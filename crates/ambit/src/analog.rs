@@ -1,0 +1,222 @@
+//! Analog model of triple-row activation (Ambit MICRO'17 §7.1–7.2).
+//!
+//! When three rows share charge with a precharged bitline, the final
+//! bitline voltage deviates from `Vdd/2` by
+//!
+//! ```text
+//! dV = (2k - 3) · Cc · Vdd / (2 · (3·Cc + Cb))
+//! ```
+//!
+//! where `k` is the number of cells holding a `1`. The sense amplifier
+//! resolves the majority as long as `|dV|` exceeds its offset. Process
+//! variation perturbs cell capacitance, stored charge, and amplifier
+//! offset; the paper's SPICE analysis concludes TRA remains reliable even
+//! with ±20% variation. [`monte_carlo_failure_rate`] reproduces that
+//! experiment statistically.
+
+use rand::Rng;
+use rand_distr_normal::NormalSampler;
+
+/// Electrical parameters of the TRA charge-sharing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogConfig {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Cell capacitance, femtofarads.
+    pub cell_cap_ff: f64,
+    /// Bitline capacitance, femtofarads.
+    pub bitline_cap_ff: f64,
+    /// Sense-amplifier offset standard deviation, millivolts.
+    pub sense_offset_mv_sigma: f64,
+    /// Relative standard deviation of cell capacitance (process variation).
+    pub cap_sigma_frac: f64,
+    /// Relative standard deviation of the stored cell voltage (charge
+    /// decay since the last refresh plus variation).
+    pub charge_sigma_frac: f64,
+}
+
+impl AnalogConfig {
+    /// Representative DDR3-era parameters (Cb/Cc ≈ 4).
+    pub fn ddr3() -> Self {
+        AnalogConfig {
+            vdd: 1.2,
+            cell_cap_ff: 24.0,
+            bitline_cap_ff: 96.0,
+            sense_offset_mv_sigma: 15.0,
+            cap_sigma_frac: 0.05,
+            charge_sigma_frac: 0.05,
+        }
+    }
+
+    /// Nominal bitline voltage deviation (volts) after TRA with `k` of the
+    /// three cells holding a `1`; positive means the amplifier resolves 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 3`.
+    pub fn nominal_deviation(&self, k: u32) -> f64 {
+        assert!(k <= 3, "at most three cells participate in a TRA");
+        let cc = self.cell_cap_ff;
+        let cb = self.bitline_cap_ff;
+        (2.0 * k as f64 - 3.0) * cc * self.vdd / (2.0 * (3.0 * cc + cb))
+    }
+
+    /// Nominal sense margin (volts): the smallest |deviation| over the
+    /// decidable cases (k ∈ {1, 2} are the worst).
+    pub fn nominal_margin(&self) -> f64 {
+        self.nominal_deviation(2).abs().min(self.nominal_deviation(1).abs())
+    }
+}
+
+/// One Monte-Carlo TRA trial: samples per-cell capacitance and charge plus
+/// the amplifier offset, returns `true` if the sensed value matches the
+/// majority of the three stored bits.
+pub fn tra_trial<R: Rng>(cfg: &AnalogConfig, bits: [bool; 3], rng: &mut R) -> bool {
+    let normal = NormalSampler::new();
+    let mut charge_ff_v = 0.0; // sum of Cc_i * V_i
+    let mut total_cell_cap = 0.0;
+    for &bit in &bits {
+        let cap = cfg.cell_cap_ff * (1.0 + cfg.cap_sigma_frac * normal.sample(rng));
+        let cap = cap.max(cfg.cell_cap_ff * 0.2);
+        let v_cell = if bit {
+            cfg.vdd * (1.0 - cfg.charge_sigma_frac * normal.sample(rng).abs())
+        } else {
+            cfg.vdd * cfg.charge_sigma_frac * normal.sample(rng).abs()
+        };
+        charge_ff_v += cap * v_cell;
+        total_cell_cap += cap;
+    }
+    let precharge = cfg.vdd / 2.0;
+    let v_final = (charge_ff_v + cfg.bitline_cap_ff * precharge)
+        / (total_cell_cap + cfg.bitline_cap_ff);
+    let offset_v = cfg.sense_offset_mv_sigma / 1000.0 * normal.sample(rng);
+    let sensed_one = v_final - precharge > offset_v;
+    let majority = bits.iter().filter(|&&b| b).count() >= 2;
+    sensed_one == majority
+}
+
+/// Runs `trials` Monte-Carlo TRA trials over the worst-case input patterns
+/// (k = 1 and k = 2) and returns the failure probability.
+pub fn monte_carlo_failure_rate<R: Rng>(cfg: &AnalogConfig, trials: u32, rng: &mut R) -> f64 {
+    let patterns = [
+        [true, false, false],
+        [false, true, false],
+        [true, true, false],
+        [false, true, true],
+    ];
+    let mut failures = 0u64;
+    for i in 0..trials {
+        let p = patterns[(i as usize) % patterns.len()];
+        if !tra_trial(cfg, p, rng) {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+/// Minimal Box-Muller standard-normal sampler (keeps us within the allowed
+/// dependency set; `rand` provides only uniform primitives).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Stateless standard-normal sampler.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct NormalSampler;
+
+    impl NormalSampler {
+        /// Creates the sampler.
+        pub fn new() -> Self {
+            NormalSampler
+        }
+
+        /// Draws one standard-normal sample.
+        pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+            loop {
+                let u1: f64 = rng.gen();
+                let u2: f64 = rng.gen();
+                if u1 > f64::EPSILON {
+                    return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_deviation_signs() {
+        let cfg = AnalogConfig::ddr3();
+        assert!(cfg.nominal_deviation(0) < 0.0);
+        assert!(cfg.nominal_deviation(1) < 0.0);
+        assert!(cfg.nominal_deviation(2) > 0.0);
+        assert!(cfg.nominal_deviation(3) > 0.0);
+        // Symmetry: |dV(1)| == |dV(2)|, |dV(0)| == |dV(3)|.
+        assert!((cfg.nominal_deviation(1) + cfg.nominal_deviation(2)).abs() < 1e-12);
+        assert!((cfg.nominal_deviation(0) + cfg.nominal_deviation(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_is_tens_of_millivolts() {
+        let cfg = AnalogConfig::ddr3();
+        let margin_mv = cfg.nominal_margin() * 1000.0;
+        assert!(
+            (50.0..150.0).contains(&margin_mv),
+            "TRA margin {margin_mv} mV out of the expected range"
+        );
+    }
+
+    #[test]
+    fn failure_rate_is_negligible_at_nominal_variation() {
+        let cfg = AnalogConfig::ddr3();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let rate = monte_carlo_failure_rate(&cfg, 100_000, &mut rng);
+        assert!(rate < 1e-3, "failure rate {rate} too high at nominal variation");
+    }
+
+    #[test]
+    fn failure_rate_grows_with_variation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let nominal = AnalogConfig::ddr3();
+        let mut stressed = nominal;
+        stressed.cap_sigma_frac = 0.3;
+        stressed.charge_sigma_frac = 0.3;
+        stressed.sense_offset_mv_sigma = 40.0;
+        let r_nominal = monte_carlo_failure_rate(&nominal, 50_000, &mut rng);
+        let r_stressed = monte_carlo_failure_rate(&stressed, 50_000, &mut rng);
+        assert!(
+            r_stressed > r_nominal,
+            "stressed rate {r_stressed} must exceed nominal {r_nominal}"
+        );
+        assert!(r_stressed > 1e-3, "30% variation should produce visible failures");
+    }
+
+    #[test]
+    fn clean_trials_always_sense_correctly() {
+        // With zero variation the sampler still runs; margins dominate.
+        let mut cfg = AnalogConfig::ddr3();
+        cfg.cap_sigma_frac = 0.0;
+        cfg.charge_sigma_frac = 0.0;
+        cfg.sense_offset_mv_sigma = 0.0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        for bits in [
+            [false, false, false],
+            [true, false, false],
+            [true, true, false],
+            [true, true, true],
+        ] {
+            for _ in 0..100 {
+                assert!(tra_trial(&cfg, bits, &mut rng));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most three")]
+    fn deviation_rejects_k4() {
+        let _ = AnalogConfig::ddr3().nominal_deviation(4);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the Ambit engine.
+
+use pim_dram::DramError;
+use pim_workloads::BulkOp;
+use std::fmt;
+
+/// Errors returned by [`AmbitSystem`](crate::engine::AmbitSystem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmbitError {
+    /// The underlying DRAM device rejected a command (a bug in the engine's
+    /// sequencing if it ever escapes).
+    Dram(DramError),
+    /// Allocation ran out of data rows in some subarray.
+    OutOfRows {
+        /// Rows requested from the exhausted subarray.
+        needed: u32,
+        /// Data rows a subarray can hold.
+        available: u32,
+    },
+    /// Two operand vectors have different bit lengths.
+    LengthMismatch {
+        /// First length.
+        a: usize,
+        /// Second length.
+        b: usize,
+    },
+    /// Operand vectors are not chunk-by-chunk co-located in the same
+    /// subarrays (they were allocated from different arenas).
+    NotColocated,
+    /// Wrong operand count for the operation (e.g. binary op without `b`).
+    WrongOperands {
+        /// The operation.
+        op: BulkOp,
+    },
+    /// A [`BitwisePlan`](pim_workloads::BitwisePlan) failed validation.
+    PlanInvalid(String),
+}
+
+impl fmt::Display for AmbitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmbitError::Dram(e) => write!(f, "dram: {e}"),
+            AmbitError::OutOfRows { needed, available } => {
+                write!(f, "subarray data rows exhausted: need {needed}, have {available}")
+            }
+            AmbitError::LengthMismatch { a, b } => {
+                write!(f, "bit vector length mismatch: {a} vs {b}")
+            }
+            AmbitError::NotColocated => {
+                f.write_str("operand vectors are not co-located in the same subarrays")
+            }
+            AmbitError::WrongOperands { op } => {
+                write!(f, "wrong operand count for {op}")
+            }
+            AmbitError::PlanInvalid(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AmbitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AmbitError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for AmbitError {
+    fn from(e: DramError) -> Self {
+        AmbitError::Dram(e)
+    }
+}
+
+/// Convenience alias for Ambit results.
+pub type Result<T> = std::result::Result<T, AmbitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let errs: Vec<AmbitError> = vec![
+            AmbitError::Dram(DramError::QueueFull { capacity: 4 }),
+            AmbitError::OutOfRows { needed: 600, available: 504 },
+            AmbitError::LengthMismatch { a: 10, b: 20 },
+            AmbitError::NotColocated,
+            AmbitError::WrongOperands { op: BulkOp::And },
+            AmbitError::PlanInvalid("bad".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn dram_source_is_chained() {
+        use std::error::Error;
+        let e = AmbitError::from(DramError::QueueFull { capacity: 1 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,160 @@
+//! Gather-Scatter DRAM (Seshadri et al., MICRO'15 — cited by the paper as
+//! one of the minimal-change in-DRAM substrates \[92\]): in-DRAM address
+//! translation that assembles *strided* data into dense cache lines.
+//!
+//! The motivating pattern: accessing one field of an array-of-structs
+//! touches one useful word per cache line, so a conventional channel moves
+//! `stride`× more bytes than needed. GS-DRAM shuffles column addresses
+//! across chips so that a single burst gathers the requested field from
+//! `stride` consecutive records — the channel moves only useful bytes for
+//! power-of-two strides up to the chip count.
+
+use pim_dram::DramSpec;
+use pim_energy::{Component, DramEnergyModel, EnergyBreakdown};
+use std::fmt;
+
+/// Configuration of a GS-DRAM module.
+///
+/// # Examples
+///
+/// ```
+/// use pim_ambit::{strided_read, GatherConfig};
+/// let cfg = GatherConfig::ddr3();
+/// let base = strided_read(&cfg, 8, 1 << 20, false);
+/// let gs = strided_read(&cfg, 8, 1 << 20, true);
+/// assert!(gs.ns * 7.9 < base.ns); // ~8x for stride 8
+/// ```
+#[derive(Debug, Clone)]
+pub struct GatherConfig {
+    /// The underlying device.
+    pub spec: DramSpec,
+    /// Energy model.
+    pub energy: DramEnergyModel,
+    /// Fraction of peak bandwidth achievable on gathered streams.
+    pub efficiency: f64,
+    /// Largest supported power-of-two stride (chips per rank, 8 for x8
+    /// DIMMs).
+    pub max_stride: u32,
+}
+
+impl GatherConfig {
+    /// DDR3 DIMM with 8 chips (strides 1..=8 supported).
+    pub fn ddr3() -> Self {
+        GatherConfig {
+            spec: DramSpec::ddr3_1600(),
+            energy: DramEnergyModel::ddr3(),
+            efficiency: 0.85,
+            max_stride: 8,
+        }
+    }
+
+    /// `true` if GS-DRAM can gather this stride in hardware.
+    pub fn supports(&self, stride: u32) -> bool {
+        stride.is_power_of_two() && stride <= self.max_stride
+    }
+}
+
+/// Cost report for a strided read of `useful_bytes` at `stride`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StridedReport {
+    /// Requested (useful) bytes.
+    pub useful_bytes: u64,
+    /// Bytes actually moved over the channel.
+    pub bytes_moved: u64,
+    /// Time, ns.
+    pub ns: f64,
+    /// Energy.
+    pub energy: EnergyBreakdown,
+}
+
+impl StridedReport {
+    /// Useful bandwidth in GB/s.
+    pub fn useful_gbps(&self) -> f64 {
+        self.useful_bytes as f64 / self.ns
+    }
+}
+
+impl fmt::Display for StridedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} useful bytes, {} moved, {:.0} ns ({:.2} GB/s useful)",
+            self.useful_bytes,
+            self.bytes_moved,
+            self.ns,
+            self.useful_gbps()
+        )
+    }
+}
+
+/// Reads `useful_bytes` of one field from an array-of-structs with
+/// record stride `stride` (in fields of the same size).
+///
+/// With `gs` enabled and the stride supported, each burst carries only
+/// useful data; otherwise every useful word drags its whole cache line
+/// across the channel.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+pub fn strided_read(cfg: &GatherConfig, stride: u32, useful_bytes: u64, gs: bool) -> StridedReport {
+    assert!(stride > 0, "stride must be nonzero");
+    let amplification = if gs && cfg.supports(stride) { 1 } else { stride as u64 };
+    let bytes_moved = useful_bytes * amplification;
+    let bw = cfg.spec.peak_bandwidth_gbps() * cfg.efficiency;
+    let ns = bytes_moved as f64 / bw;
+    let mut energy = EnergyBreakdown::new();
+    let kb = bytes_moved as f64 / 1024.0;
+    let acts = bytes_moved as f64 / cfg.spec.org.row_bytes() as f64;
+    energy.add_nj(Component::DramActivation, acts * cfg.energy.act_pre_nj);
+    energy += cfg.energy.column_energy(kb, 0.0);
+    StridedReport { useful_bytes, bytes_moved, ns, energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_eliminates_stride_amplification() {
+        let cfg = GatherConfig::ddr3();
+        for stride in [2u32, 4, 8] {
+            let base = strided_read(&cfg, stride, 1 << 20, false);
+            let gs = strided_read(&cfg, stride, 1 << 20, true);
+            assert_eq!(base.bytes_moved, gs.bytes_moved * stride as u64);
+            let speedup = base.ns / gs.ns;
+            assert!(
+                (speedup - stride as f64).abs() < 0.01,
+                "stride {stride}: speedup {speedup}"
+            );
+            assert!(gs.energy.total_nj() < base.energy.total_nj() / (stride as f64 * 0.8));
+        }
+    }
+
+    #[test]
+    fn unsupported_strides_fall_back() {
+        let cfg = GatherConfig::ddr3();
+        assert!(!cfg.supports(3));
+        assert!(!cfg.supports(16));
+        assert!(cfg.supports(8));
+        let odd = strided_read(&cfg, 3, 1 << 20, true);
+        let base = strided_read(&cfg, 3, 1 << 20, false);
+        assert_eq!(odd.bytes_moved, base.bytes_moved, "no gather for odd strides");
+    }
+
+    #[test]
+    fn unit_stride_is_free_either_way() {
+        let cfg = GatherConfig::ddr3();
+        let a = strided_read(&cfg, 1, 4096, false);
+        let b = strided_read(&cfg, 1, 4096, true);
+        assert_eq!(a.bytes_moved, b.bytes_moved);
+        assert!(a.useful_gbps() > 10.0);
+        assert!(!format!("{a}").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be nonzero")]
+    fn zero_stride_rejected() {
+        let _ = strided_read(&GatherConfig::ddr3(), 0, 64, true);
+    }
+}

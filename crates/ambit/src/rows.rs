@@ -1,0 +1,197 @@
+//! Subarray row-group organization (Ambit MICRO'17 §5).
+//!
+//! Ambit splits each subarray's row-address space into three groups:
+//!
+//! * **C-group** — two control rows hard-wired to all-zeros (`C0`) and
+//!   all-ones (`C1`);
+//! * **B-group** — the bitwise group: four designated temporary rows
+//!   `T0..T3` plus two dual-contact-cell rows `DCC0`/`DCC1` whose second
+//!   (negated) wordline captures complements;
+//! * **D-group** — the remaining regular data rows.
+//!
+//! We reserve the *top* [`SubarrayLayout::RESERVED_ROWS`] row indices of
+//! every subarray for the C- and B-groups.
+
+use std::fmt;
+
+/// One of the reserved special rows in a subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialRow {
+    /// Control row wired to all zeros.
+    C0,
+    /// Control row wired to all ones.
+    C1,
+    /// Designated temporary row 0.
+    T0,
+    /// Designated temporary row 1.
+    T1,
+    /// Designated temporary row 2.
+    T2,
+    /// Designated temporary row 3.
+    T3,
+    /// Dual-contact-cell row 0 (supports negated capture).
+    Dcc0,
+    /// Dual-contact-cell row 1 (supports negated capture).
+    Dcc1,
+}
+
+impl SpecialRow {
+    /// All special rows, in reserved-slot order.
+    pub const ALL: [SpecialRow; 8] = [
+        SpecialRow::C0,
+        SpecialRow::C1,
+        SpecialRow::T0,
+        SpecialRow::T1,
+        SpecialRow::T2,
+        SpecialRow::T3,
+        SpecialRow::Dcc0,
+        SpecialRow::Dcc1,
+    ];
+
+    /// Slot index within the reserved region (0-based from its start).
+    pub const fn slot(self) -> u32 {
+        match self {
+            SpecialRow::C0 => 0,
+            SpecialRow::C1 => 1,
+            SpecialRow::T0 => 2,
+            SpecialRow::T1 => 3,
+            SpecialRow::T2 => 4,
+            SpecialRow::T3 => 5,
+            SpecialRow::Dcc0 => 6,
+            SpecialRow::Dcc1 => 7,
+        }
+    }
+
+    /// `true` for the dual-contact-cell rows.
+    pub const fn is_dcc(self) -> bool {
+        matches!(self, SpecialRow::Dcc0 | SpecialRow::Dcc1)
+    }
+}
+
+impl fmt::Display for SpecialRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialRow::C0 => "C0",
+            SpecialRow::C1 => "C1",
+            SpecialRow::T0 => "T0",
+            SpecialRow::T1 => "T1",
+            SpecialRow::T2 => "T2",
+            SpecialRow::T3 => "T3",
+            SpecialRow::Dcc0 => "DCC0",
+            SpecialRow::Dcc1 => "DCC1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maps (subarray, role) to concrete row indices within a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubarrayLayout {
+    rows_per_subarray: u32,
+}
+
+impl SubarrayLayout {
+    /// Rows reserved per subarray for the B- and C-groups.
+    pub const RESERVED_ROWS: u32 = 8;
+
+    /// Creates a layout for subarrays of `rows_per_subarray` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subarray is too small to hold the reserved rows plus
+    /// at least one data row.
+    pub fn new(rows_per_subarray: u32) -> Self {
+        assert!(
+            rows_per_subarray > Self::RESERVED_ROWS,
+            "subarray of {rows_per_subarray} rows cannot hold {} reserved rows",
+            Self::RESERVED_ROWS
+        );
+        SubarrayLayout { rows_per_subarray }
+    }
+
+    /// Rows per subarray.
+    pub fn rows_per_subarray(&self) -> u32 {
+        self.rows_per_subarray
+    }
+
+    /// Data rows available per subarray.
+    pub fn data_rows_per_subarray(&self) -> u32 {
+        self.rows_per_subarray - Self::RESERVED_ROWS
+    }
+
+    /// The bank-relative row index of `special` in subarray `sa`.
+    pub fn special_row(&self, sa: u32, special: SpecialRow) -> u32 {
+        (sa + 1) * self.rows_per_subarray - Self::RESERVED_ROWS + special.slot()
+    }
+
+    /// The bank-relative row index of data slot `idx` in subarray `sa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` exceeds the data rows of a subarray.
+    pub fn data_row(&self, sa: u32, idx: u32) -> u32 {
+        assert!(idx < self.data_rows_per_subarray(), "data row {idx} out of range");
+        sa * self.rows_per_subarray + idx
+    }
+
+    /// The subarray containing bank-relative `row`.
+    pub fn subarray_of(&self, row: u32) -> u32 {
+        row / self.rows_per_subarray
+    }
+
+    /// `true` if `row` lies in a reserved (B/C-group) slot.
+    pub fn is_special(&self, row: u32) -> bool {
+        row % self.rows_per_subarray >= self.rows_per_subarray - Self::RESERVED_ROWS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_rows_live_at_subarray_top() {
+        let l = SubarrayLayout::new(512);
+        assert_eq!(l.special_row(0, SpecialRow::C0), 504);
+        assert_eq!(l.special_row(0, SpecialRow::Dcc1), 511);
+        assert_eq!(l.special_row(1, SpecialRow::C0), 1016);
+        for s in SpecialRow::ALL {
+            let r = l.special_row(3, s);
+            assert!(l.is_special(r), "{s} must be in the reserved region");
+            assert_eq!(l.subarray_of(r), 3);
+        }
+    }
+
+    #[test]
+    fn data_rows_below_reserved() {
+        let l = SubarrayLayout::new(512);
+        assert_eq!(l.data_rows_per_subarray(), 504);
+        assert_eq!(l.data_row(0, 0), 0);
+        assert_eq!(l.data_row(2, 10), 1034);
+        assert!(!l.is_special(l.data_row(2, 503)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn data_row_overflow_panics() {
+        let l = SubarrayLayout::new(512);
+        let _ = l.data_row(0, 504);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved rows")]
+    fn tiny_subarray_rejected() {
+        let _ = SubarrayLayout::new(8);
+    }
+
+    #[test]
+    fn slots_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in SpecialRow::ALL {
+            assert!(seen.insert(s.slot()));
+            assert!(!format!("{s}").is_empty());
+        }
+        assert!(SpecialRow::Dcc0.is_dcc());
+        assert!(!SpecialRow::T0.is_dcc());
+    }
+}

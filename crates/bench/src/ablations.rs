@@ -1,0 +1,525 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * Ambit throughput vs. bank count (the "8 banks" in the 44× claim);
+//! * the tFAW exemption for PIM activations;
+//! * DRAM address-mapping scheme vs. row-buffer locality;
+//! * TRA reliability vs. process-variation severity;
+//! * CPU↔PIM coherence schemes.
+
+use pim_ambit::{
+    monte_carlo_failure_rate, strided_read, AmbitConfig, AmbitSystem, AnalogConfig, GatherConfig,
+};
+use pim_core::{
+    chase_speedup, execution_ns, pei_expected_ns, throughput_mops, ChaseCosts, CoherenceCosts,
+    CoherenceScheme, ContentionCosts, PeiCosts, PeiPolicy, PimTranslation, SharingProfile,
+    StructureHost, Table, Value,
+};
+use pim_dram::{
+    reduction_vs_baseline, rows_per_ref, AddressMapping, Controller, DramSpec, PhysAddr,
+    RefreshPolicy, Request, RowPolicy,
+};
+use pim_workloads::{BitVec, BulkOp};
+use rand::SeedableRng;
+
+/// Ambit AND throughput (GB/s) for a given bank count.
+pub fn ambit_throughput_with_banks(banks: u32) -> f64 {
+    let spec = DramSpec::ddr3_1600().with_banks(banks);
+    let mut sys = AmbitSystem::new(AmbitConfig { spec, ..AmbitConfig::ddr3() });
+    let bits = sys.row_bits() * banks as usize * 4;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let a = sys.alloc(bits).expect("alloc");
+    let b = sys.alloc(bits).expect("alloc");
+    let out = sys.alloc(bits).expect("alloc");
+    sys.write(&a, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+    sys.write(&b, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+    sys.execute(BulkOp::And, &a, Some(&b), &out).expect("execute").throughput_gbps()
+}
+
+/// Bank-count scaling table.
+pub fn bank_scaling_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: Ambit AND throughput vs bank count (DDR3-1600)",
+        &["banks", "GB/s", "scaling vs 1 bank"],
+    );
+    let base = ambit_throughput_with_banks(1);
+    for banks in [1u32, 2, 4, 8, 16, 32] {
+        let gbps = ambit_throughput_with_banks(banks);
+        t.row(vec![
+            Value::Num(banks as f64),
+            Value::Num(gbps),
+            Value::Ratio(gbps / base),
+        ]);
+    }
+    t
+}
+
+/// Ambit AND throughput with and without the tFAW exemption.
+pub fn faw_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: PIM activations under rank power windows (tFAW/tRRD)",
+        &["config", "AND GB/s"],
+    );
+    let exempt = ambit_throughput_with_banks(8);
+    let mut spec = DramSpec::ddr3_1600();
+    spec.pim.faw_exempt = false;
+    let mut sys = AmbitSystem::new(AmbitConfig { spec, ..AmbitConfig::ddr3() });
+    let bits = sys.row_bits() * 32;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let a = sys.alloc(bits).expect("alloc");
+    let b = sys.alloc(bits).expect("alloc");
+    let out = sys.alloc(bits).expect("alloc");
+    sys.write(&a, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+    sys.write(&b, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+    let constrained =
+        sys.execute(BulkOp::And, &a, Some(&b), &out).expect("execute").throughput_gbps();
+    t.row(vec!["faw-exempt (Ambit assumption)".into(), Value::Num(exempt)]);
+    t.row(vec!["faw-constrained".into(), Value::Num(constrained)]);
+    t
+}
+
+/// Row-hit rates per mapping scheme for a sequential and a random stream.
+pub fn mapping_hit_rates() -> Vec<(AddressMapping, f64, f64)> {
+    AddressMapping::ALL
+        .iter()
+        .map(|&m| {
+            let seq = hit_rate(m, false);
+            let rnd = hit_rate(m, true);
+            (m, seq, rnd)
+        })
+        .collect()
+}
+
+fn hit_rate(mapping: AddressMapping, random: bool) -> f64 {
+    let mut mc = Controller::with_options(
+        DramSpec::ddr3_1600(),
+        mapping,
+        RowPolicy::Open,
+        false,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let addrs = if random {
+        pim_workloads::streams::random_uniform(64 << 20, 64, 2000, &mut rng)
+    } else {
+        pim_workloads::streams::sequential(0, 64, 2000)
+    };
+    for chunk in addrs.chunks(32) {
+        for &a in chunk {
+            mc.enqueue(Request::read(PhysAddr::new(a))).expect("enqueue");
+        }
+        mc.run_until_idle();
+    }
+    mc.stats().row_hit_rate()
+}
+
+/// Mapping-scheme table.
+pub fn mapping_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: address mapping vs row-buffer locality",
+        &["scheme", "sequential hit rate", "random hit rate"],
+    );
+    for (m, seq, rnd) in mapping_hit_rates() {
+        t.row(vec![m.to_string().into(), Value::Percent(seq), Value::Percent(rnd)]);
+    }
+    t
+}
+
+/// TRA failure probability vs. process variation severity.
+pub fn reliability_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: TRA Monte-Carlo failure rate vs process variation",
+        &["cap/charge sigma", "sense offset sigma (mV)", "failure rate"],
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+    for (sigma, offset) in [(0.02, 5.0), (0.05, 15.0), (0.10, 25.0), (0.20, 40.0), (0.30, 60.0)] {
+        let mut cfg = AnalogConfig::ddr3();
+        cfg.cap_sigma_frac = sigma;
+        cfg.charge_sigma_frac = sigma;
+        cfg.sense_offset_mv_sigma = offset;
+        let rate = monte_carlo_failure_rate(&cfg, 200_000, &mut rng);
+        t.row(vec![
+            Value::Num(sigma),
+            Value::Num(offset),
+            Value::Text(format!("{rate:.2e}")),
+        ]);
+    }
+    t
+}
+
+/// Coherence-scheme overhead comparison (paper §4, challenge 3).
+pub fn coherence_table() -> Table {
+    let costs = CoherenceCosts::typical();
+    let profile = SharingProfile {
+        shared_accesses: 4_000_000,
+        shared_lines: 500_000,
+        conflict_rate: 0.05,
+        base_ns: 5_000_000.0,
+    };
+    let mut t = Table::new(
+        "Ablation: CPU-PIM coherence schemes (graph-like sharing profile)",
+        &["scheme", "kernel time (ms)", "overhead"],
+    );
+    for s in CoherenceScheme::ALL {
+        let ns = execution_ns(&profile, s, &costs);
+        t.row(vec![
+            s.to_string().into(),
+            Value::Num(ns / 1e6),
+            Value::Ratio(ns / profile.base_ns),
+        ]);
+    }
+    t
+}
+
+/// RAIDR retention-aware refresh (Liu+ ISCA'12, cited in §1): refresh
+/// operations and time overhead, baseline vs binned, across capacities.
+pub fn refresh_table() -> Table {
+    let spec = DramSpec::ddr3_1600();
+    let rpr = rows_per_ref(&spec);
+    let mut t = Table::new(
+        "Extension: retention-aware refresh (RAIDR) vs the 64 ms baseline",
+        &["device rows", "policy", "row-refreshes/s", "time overhead", "refresh reduction"],
+    );
+    for scale in [1u64, 4, 16] {
+        let rows = (spec.org.rows * spec.org.banks) as u64 * scale;
+        for policy in [RefreshPolicy::baseline(rows), RefreshPolicy::raidr(rows)] {
+            t.row(vec![
+                Value::Num(rows as f64),
+                policy.name().into(),
+                Value::Num(policy.row_refreshes_per_sec()),
+                Value::Percent(policy.time_overhead(&spec.timing, rpr)),
+                Value::Percent(reduction_vs_baseline(&policy)),
+            ]);
+        }
+    }
+    t
+}
+
+/// SALP: subarray-level parallelism for PIM row ops (Kim+ ISCA'12, cited
+/// by the paper). With SALP, chunks of a large vector that share a bank
+/// but sit in different subarrays compute concurrently.
+pub fn salp_table() -> Table {
+    let mut t = Table::new(
+        "Extension: SALP for in-DRAM ops (64-row AND on 8 banks x 8 subarrays)",
+        &["config", "AND GB/s", "vs baseline"],
+    );
+    let mut results = Vec::new();
+    for salp in [false, true] {
+        let mut spec = DramSpec::ddr3_1600();
+        spec.pim.salp = salp;
+        let mut sys = AmbitSystem::new(AmbitConfig { spec, ..AmbitConfig::ddr3() });
+        let bits = sys.row_bits() * 64;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = sys.alloc(bits).expect("alloc");
+        let b = sys.alloc(bits).expect("alloc");
+        let out = sys.alloc(bits).expect("alloc");
+        sys.write(&a, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+        sys.write(&b, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+        let gbps =
+            sys.execute(BulkOp::And, &a, Some(&b), &out).expect("execute").throughput_gbps();
+        results.push(gbps);
+    }
+    t.row(vec!["bank-serial (Ambit baseline)".into(), Value::Num(results[0]), Value::Ratio(1.0)]);
+    t.row(vec![
+        "SALP (subarray-parallel)".into(),
+        Value::Num(results[1]),
+        Value::Ratio(results[1] / results[0]),
+    ]);
+    t
+}
+
+/// Ambit across DRAM technologies: the same micro-programs on DDR3/DDR4
+/// DIMMs, an HBM2 pseudo-channel, and an HMC vault.
+pub fn technology_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: Ambit AND throughput across DRAM technologies",
+        &["technology", "banks", "row (B)", "AND GB/s"],
+    );
+    let specs = [
+        DramSpec::ddr3_1600(),
+        DramSpec::ddr4_2400(),
+        DramSpec::hbm2_channel(),
+        DramSpec::hmc_vault(),
+    ];
+    for spec in specs {
+        let name = spec.name.clone();
+        let banks = spec.org.total_banks();
+        let row_bytes = spec.org.row_bytes();
+        let mut sys = AmbitSystem::new(AmbitConfig { spec, ..AmbitConfig::ddr3() });
+        let bits = sys.row_bits() * banks as usize * 2;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = sys.alloc(bits).expect("alloc");
+        let b = sys.alloc(bits).expect("alloc");
+        let out = sys.alloc(bits).expect("alloc");
+        sys.write(&a, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+        sys.write(&b, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+        let gbps =
+            sys.execute(BulkOp::And, &a, Some(&b), &out).expect("execute").throughput_gbps();
+        t.row(vec![
+            name.into(),
+            Value::Num(banks as f64),
+            Value::Num(row_bytes as f64),
+            Value::Num(gbps),
+        ]);
+    }
+    t
+}
+
+/// Gather-Scatter DRAM: useful bandwidth on strided field accesses.
+pub fn gather_table() -> Table {
+    let cfg = GatherConfig::ddr3();
+    let mut t = Table::new(
+        "Extension: Gather-Scatter DRAM on strided field accesses (1 MB useful)",
+        &["stride", "baseline GB/s (useful)", "GS-DRAM GB/s (useful)", "speedup"],
+    );
+    for stride in [1u32, 2, 4, 8] {
+        let base = strided_read(&cfg, stride, 1 << 20, false);
+        let gs = strided_read(&cfg, stride, 1 << 20, true);
+        t.row(vec![
+            Value::Num(stride as f64),
+            Value::Num(base.useful_gbps()),
+            Value::Num(gs.useful_gbps()),
+            Value::Ratio(base.ns / gs.ns),
+        ]);
+    }
+    t
+}
+
+/// PIM-enabled-instruction dispatch policies across locality mixes.
+pub fn pei_table() -> Table {
+    let costs = PeiCosts::typical();
+    let mixes: [(&str, Vec<f64>); 3] = [
+        ("cache-friendly", vec![0.95, 0.9, 0.85, 0.99]),
+        ("cache-hostile", vec![0.05, 0.1, 0.02, 0.15]),
+        ("mixed", vec![0.95, 0.05, 0.9, 0.1, 0.5]),
+    ];
+    let mut t = Table::new(
+        "Extension: PEI locality-aware dispatch (avg ns per operation)",
+        &["operand locality", "always-host", "always-memory", "adaptive (PEI)"],
+    );
+    for (name, mix) in mixes {
+        t.row(vec![
+            name.into(),
+            Value::Num(pei_expected_ns(PeiPolicy::AlwaysHost, &mix, &costs)),
+            Value::Num(pei_expected_ns(PeiPolicy::AlwaysMemory, &mix, &costs)),
+            Value::Num(pei_expected_ns(PeiPolicy::Adaptive, &mix, &costs)),
+        ]);
+    }
+    t
+}
+
+/// Tesseract blocking vs non-blocking remote function calls.
+pub fn blocking_calls_table() -> Table {
+    use pim_tesseract::{TesseractConfig, TesseractSim};
+    use pim_workloads::{Graph, KernelKind};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let g = Graph::rmat(16, 16, &mut rng);
+    let non_blocking = TesseractSim::new(TesseractConfig::isca2015());
+    let blocking = TesseractSim::new(TesseractConfig::isca2015().with_blocking_calls());
+    let mut t = Table::new(
+        "Extension: Tesseract remote-call interface (R-MAT 2^16 x 16)",
+        &["kernel", "non-blocking (ms)", "blocking (ms)", "slowdown"],
+    );
+    for k in KernelKind::ALL {
+        let (_, _, r_nb) = non_blocking.run(k, &g);
+        let (_, _, r_b) = blocking.run(k, &g);
+        t.row(vec![
+            k.to_string().into(),
+            Value::Num(r_nb.ns / 1e6),
+            Value::Num(r_b.ns / 1e6),
+            Value::Ratio(r_b.ns / r_nb.ns),
+        ]);
+    }
+    t
+}
+
+/// Virtual memory for PIM (§4 challenge 4): pointer-chase speedup per
+/// translation design.
+pub fn vm_table() -> Table {
+    let c = ChaseCosts::typical();
+    let mut t = Table::new(
+        "Extension: PIM pointer chasing vs address translation design (64 hops)",
+        &["translation", "PIM chase (us)", "speedup vs host"],
+    );
+    for tr in [
+        PimTranslation::HostMmu,
+        PimTranslation::PageWalk { levels: 4 },
+        PimTranslation::RegionTable,
+    ] {
+        t.row(vec![
+            tr.to_string().into(),
+            Value::Num(pim_core::pim_chase_ns(64, tr, &c) / 1000.0),
+            Value::Ratio(chase_speedup(64, tr, &c)),
+        ]);
+    }
+    t
+}
+
+/// Concurrent data structures (§4 challenge 5): host vs PIM-owned
+/// throughput across contention levels at 16 cores.
+pub fn structures_table() -> Table {
+    let c = ContentionCosts::typical();
+    let mut t = Table::new(
+        "Extension: contended data structures — host vs PIM-owned (16 cores, Mops/s)",
+        &["contention", "cpu-concurrent", "pim-owned", "winner"],
+    );
+    for contention in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let host = throughput_mops(StructureHost::CpuConcurrent, 16, contention, &c);
+        let pim = throughput_mops(StructureHost::PimOwned, 16, contention, &c);
+        t.row(vec![
+            Value::Percent(contention),
+            Value::Num(host),
+            Value::Num(pim),
+            if pim > host { "pim".into() } else { "cpu".into() },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_scaling_is_nearly_linear() {
+        let one = ambit_throughput_with_banks(1);
+        let eight = ambit_throughput_with_banks(8);
+        let ratio = eight / one;
+        assert!((6.0..8.5).contains(&ratio), "8-bank scaling {ratio}");
+    }
+
+    #[test]
+    fn faw_constraint_costs_throughput() {
+        // Extract the two rows and compare.
+        let t = faw_table();
+        let rows = t.rows();
+        let get = |i: usize| match &rows[i][1] {
+            Value::Num(v) => *v,
+            other => panic!("unexpected cell {other:?}"),
+        };
+        let exempt = get(0);
+        let constrained = get(1);
+        assert!(
+            constrained < exempt * 0.8,
+            "tFAW must bite: exempt {exempt} vs constrained {constrained}"
+        );
+    }
+
+    #[test]
+    fn sequential_locality_depends_on_mapping() {
+        let rates = mapping_hit_rates();
+        for (m, seq, rnd) in &rates {
+            // Every scheme keeps streams in open rows (columns sit below
+            // rows in all four layouts) but random traffic mostly misses.
+            assert!(*seq > 0.9, "{m}: sequential hit rate {seq}");
+            assert!(*rnd < 0.3, "{m}: random hit rate {rnd}");
+            assert!(seq > rnd);
+        }
+        let row_contig = rates
+            .iter()
+            .find(|(m, _, _)| *m == AddressMapping::ChRaBaRoCo)
+            .unwrap();
+        assert!(row_contig.1 > 0.98, "row-contiguous sequential hits {}", row_contig.1);
+    }
+
+    #[test]
+    fn reliability_degrades_monotonically() {
+        let t = reliability_table();
+        assert_eq!(t.rows().len(), 5);
+    }
+
+    #[test]
+    fn coherence_ranking_holds() {
+        let t = coherence_table();
+        assert!(t.to_markdown().contains("lazy-speculative"));
+    }
+
+    #[test]
+    fn vm_and_structures_tables_show_the_crossovers() {
+        let vm = vm_table();
+        let md = vm.to_markdown();
+        assert!(md.contains("region-table"));
+        // Region translation is the only one with a clear win.
+        let speedups: Vec<f64> =
+            vm.rows().iter().map(|r| r[2].as_f64().unwrap()).collect();
+        assert!(speedups[2] > 2.0 && speedups[0] < 1.0);
+
+        let st = structures_table();
+        let md = st.to_markdown();
+        assert!(md.contains("pim-owned"));
+        let first = st.rows().first().unwrap();
+        let last = st.rows().last().unwrap();
+        assert_eq!(first[3].as_text(), Some("cpu"), "uncontended: host wins");
+        assert_eq!(last[3].as_text(), Some("pim"), "fully contended: PIM wins");
+    }
+
+    #[test]
+    fn raidr_reduction_in_paper_band() {
+        let t = refresh_table();
+        let md = t.to_markdown();
+        assert!(md.contains("raidr"));
+        // Reduction cells for RAIDR rows ~75%.
+        let raidr_rows: Vec<&str> = md.lines().filter(|l| l.contains("raidr")).collect();
+        assert_eq!(raidr_rows.len(), 3);
+        for row in raidr_rows {
+            let cell = row.split('|').nth(5).unwrap().trim();
+            let pct: f64 = cell.trim_end_matches('%').parse().unwrap();
+            assert!((70.0..76.0).contains(&pct), "reduction {pct}%");
+        }
+    }
+
+    #[test]
+    fn salp_multiplies_single_bank_throughput() {
+        let t = salp_table();
+        let gbps: Vec<f64> = t
+            .rows()
+            .iter()
+            .map(|r| match &r[1] {
+                Value::Num(v) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(
+            gbps[1] > 4.0 * gbps[0],
+            "SALP must unlock subarray parallelism: {} vs {}",
+            gbps[0],
+            gbps[1]
+        );
+    }
+
+    #[test]
+    fn ambit_works_on_every_technology() {
+        let t = technology_table();
+        assert_eq!(t.rows().len(), 4);
+        let gbps: Vec<f64> = t
+            .rows()
+            .iter()
+            .map(|r| match &r[3] {
+                Value::Num(v) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        for (i, g) in gbps.iter().enumerate() {
+            assert!(*g > 10.0, "row {i}: {g} GB/s");
+        }
+    }
+
+    #[test]
+    fn gather_and_pei_tables_render() {
+        assert!(gather_table().to_markdown().contains("GS-DRAM"));
+        assert!(pei_table().to_markdown().contains("adaptive"));
+    }
+
+    #[test]
+    fn blocking_calls_hurt_message_heavy_kernels() {
+        let t = blocking_calls_table();
+        // PageRank (all-edges messaging) must show a clear slowdown.
+        let md = t.to_markdown();
+        assert!(md.contains("pagerank"));
+        let pr_row = md.lines().find(|l| l.contains("pagerank")).unwrap().to_owned();
+        let slowdown: f64 = pr_row
+            .split('|')
+            .nth(4)
+            .and_then(|c| c.trim().trim_end_matches('x').parse().ok())
+            .expect("slowdown cell");
+        assert!(slowdown > 2.0, "pagerank blocking slowdown {slowdown}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates the ablation studies (bank scaling, tFAW, address mapping,
+//! TRA reliability, coherence schemes).
+fn main() {
+    println!("{}", pim_bench::ablations::bank_scaling_table());
+    println!("{}", pim_bench::ablations::technology_table());
+    println!("{}", pim_bench::ablations::salp_table());
+    println!("{}", pim_bench::ablations::refresh_table());
+    println!("{}", pim_bench::ablations::faw_table());
+    println!("{}", pim_bench::ablations::mapping_table());
+    println!("{}", pim_bench::ablations::reliability_table());
+    println!("{}", pim_bench::ablations::coherence_table());
+    println!("{}", pim_bench::ablations::gather_table());
+    println!("{}", pim_bench::ablations::pei_table());
+    println!("{}", pim_bench::ablations::blocking_calls_table());
+    println!("{}", pim_bench::ablations::vm_table());
+    println!("{}", pim_bench::ablations::structures_table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E10 (DNA seed-location filtering).
+fn main() {
+    println!("{}", pim_bench::e10::table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E1. See DESIGN.md §4.
+fn main() {
+    println!("{}", pim_bench::e1::table());
+}

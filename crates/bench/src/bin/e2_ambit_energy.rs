@@ -1,0 +1,4 @@
+//! Regenerates experiment E2. See DESIGN.md §4.
+fn main() {
+    println!("{}", pim_bench::e2::table());
+}

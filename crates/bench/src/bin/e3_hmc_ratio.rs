@@ -1,0 +1,4 @@
+//! Regenerates experiment E3. See DESIGN.md §4.
+fn main() {
+    println!("{}", pim_bench::e3::table());
+}

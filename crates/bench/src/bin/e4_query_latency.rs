@@ -1,0 +1,4 @@
+//! Regenerates experiment E4 (bitmap + BitWeaving query latency).
+fn main() {
+    println!("{}", pim_bench::e4::table());
+}

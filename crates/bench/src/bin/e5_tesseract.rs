@@ -1,0 +1,14 @@
+//! Regenerates experiment E5 (Tesseract vs conventional host) plus the
+//! prefetcher ablation. Graph scale via argv: `e5_tesseract [scale] [deg]`.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let degree: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    println!("{}", pim_bench::e5::table(scale, degree));
+    println!("{}", pim_bench::e5::ablation_table(scale.min(18), degree));
+    println!("{}", pim_bench::e5::bandwidth_sweep_table(scale.min(18), degree));
+    println!("{}", pim_bench::e5::graph_size_sweep_table(degree));
+    println!("{}", pim_bench::e5::energy_breakdown_table(scale.min(18), degree));
+    println!("{}", pim_bench::e5::frequency_sweep_table(scale.min(18), degree));
+    println!("{}", pim_bench::e5::baselines_table(scale.min(18), degree));
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E6. See DESIGN.md §4.
+fn main() {
+    println!("{}", pim_bench::e6::table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E7. See DESIGN.md §4.
+fn main() {
+    println!("{}", pim_bench::e7::table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E8. See DESIGN.md §4.
+fn main() {
+    println!("{}", pim_bench::e8::table());
+}

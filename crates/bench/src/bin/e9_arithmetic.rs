@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E9 (in-DRAM bit-serial addition).
+fn main() {
+    println!("{}", pim_bench::e9::table());
+}

@@ -1,0 +1,159 @@
+//! E1 — bulk bitwise throughput across platforms (paper §2).
+//!
+//! Reproduces: *"Ambit with 8 DRAM banks improves bulk bitwise operation
+//! throughput by 44× compared to an Intel Skylake processor, and 32×
+//! compared to the NVIDIA GTX 745 GPU"* and the Ambit-in-HMC comparison.
+
+use pim_ambit::{AmbitConfig, AmbitSystem, BulkVec};
+use pim_core::{geomean, Table, Value};
+use pim_dram::DramSpec;
+use pim_host::{CpuConfig, CpuModel, GpuConfig, GpuModel, HmcLogicConfig, HmcLogicModel};
+use pim_workloads::{BitVec, BulkOp};
+use rand::SeedableRng;
+
+/// Measured throughputs (GB/s of output) for one platform across all ops.
+#[derive(Debug, Clone)]
+pub struct PlatformThroughput {
+    /// Platform name.
+    pub name: &'static str,
+    /// GB/s per [`BulkOp::ALL`] entry.
+    pub gbps: Vec<f64>,
+}
+
+fn measure_ambit(config: AmbitConfig, rounds: usize) -> Vec<f64> {
+    let mut sys = AmbitSystem::new(config);
+    let bits = sys.row_bits() * sys.spec().org.total_banks() as usize * rounds;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let av = BitVec::random(bits, 0.5, &mut rng);
+    let bv = BitVec::random(bits, 0.5, &mut rng);
+    let a: BulkVec = sys.alloc(bits).expect("alloc a");
+    let b = sys.alloc(bits).expect("alloc b");
+    let out = sys.alloc(bits).expect("alloc out");
+    sys.write(&a, &av).expect("write a");
+    sys.write(&b, &bv).expect("write b");
+    BulkOp::ALL
+        .iter()
+        .map(|&op| {
+            let r = if op.is_unary() {
+                sys.execute(op, &a, None, &out)
+            } else {
+                sys.execute(op, &a, Some(&b), &out)
+            }
+            .expect("execute");
+            r.throughput_gbps()
+        })
+        .collect()
+}
+
+/// Runs the experiment; `out_bytes` sizes the host-side kernels.
+pub fn run(out_bytes: u64) -> Vec<PlatformThroughput> {
+    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+    let gpu = GpuModel::new(GpuConfig::gtx745());
+    let hmc_logic = HmcLogicModel::new(HmcLogicConfig::hmc2());
+    let mut results = vec![
+        PlatformThroughput {
+            name: "skylake-cpu",
+            gbps: BulkOp::ALL
+                .iter()
+                .map(|&op| cpu.bulk_bitwise(op, out_bytes).throughput_gbps())
+                .collect(),
+        },
+        PlatformThroughput {
+            name: "gtx745-gpu",
+            gbps: BulkOp::ALL
+                .iter()
+                .map(|&op| gpu.bulk_bitwise(op, out_bytes).throughput_gbps())
+                .collect(),
+        },
+        PlatformThroughput {
+            name: "hmc-logic-layer",
+            gbps: BulkOp::ALL
+                .iter()
+                .map(|&op| hmc_logic.bulk_bitwise(op, out_bytes).throughput_gbps())
+                .collect(),
+        },
+    ];
+    results.push(PlatformThroughput {
+        name: "ambit-ddr3-8banks",
+        gbps: measure_ambit(AmbitConfig::ddr3(), 8),
+    });
+    // Ambit inside an HMC: 32 vaults modeled as 32 channels of the vault
+    // organization (512 banks computing on 512 B rows).
+    let hmc_ambit = AmbitConfig {
+        spec: DramSpec::hmc_vault().with_channels(32),
+        ..AmbitConfig::hmc_vault()
+    };
+    results.push(PlatformThroughput { name: "ambit-hmc", gbps: measure_ambit(hmc_ambit, 4) });
+    results
+}
+
+/// Geomean ratio of two platforms' per-op throughputs.
+pub fn avg_ratio(num: &PlatformThroughput, den: &PlatformThroughput) -> f64 {
+    let ratios: Vec<f64> =
+        num.gbps.iter().zip(den.gbps.iter()).map(|(a, b)| a / b).collect();
+    geomean(&ratios)
+}
+
+/// Renders the result table.
+pub fn table() -> Table {
+    let results = run(32 << 20);
+    let mut cols: Vec<&str> = vec!["op"];
+    for p in &results {
+        cols.push(p.name);
+    }
+    let mut t = Table::new(
+        "E1: bulk bitwise throughput (GB/s of output) — paper: Ambit-DDR3 = 44x CPU, 32x GPU",
+        &cols,
+    );
+    for (i, op) in BulkOp::ALL.iter().enumerate() {
+        let mut row: Vec<Value> = vec![op.to_string().into()];
+        for p in &results {
+            row.push(Value::Num(p.gbps[i]));
+        }
+        t.row(row);
+    }
+    let ambit = results.iter().find(|p| p.name == "ambit-ddr3-8banks").expect("ambit row");
+    let mut ratio_row: Vec<Value> = vec!["geomean vs ambit-ddr3".into()];
+    for p in &results {
+        ratio_row.push(Value::Ratio(avg_ratio(ambit, p)));
+    }
+    t.row(ratio_row);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_ratios_land_near_the_paper() {
+        let results = run(32 << 20);
+        let by_name = |n: &str| results.iter().find(|p| p.name == n).unwrap();
+        let ambit = by_name("ambit-ddr3-8banks");
+        let cpu = by_name("skylake-cpu");
+        let gpu = by_name("gtx745-gpu");
+        let logic = by_name("hmc-logic-layer");
+        let hmc_ambit = by_name("ambit-hmc");
+
+        let vs_cpu = avg_ratio(ambit, cpu);
+        assert!((30.0..60.0).contains(&vs_cpu), "Ambit vs CPU {vs_cpu} (paper: 44x)");
+        let vs_gpu = avg_ratio(ambit, gpu);
+        assert!((20.0..45.0).contains(&vs_gpu), "Ambit vs GPU {vs_gpu} (paper: 32x)");
+        let hmc_ratio = avg_ratio(hmc_ambit, logic);
+        assert!((5.0..16.0).contains(&hmc_ratio), "Ambit-HMC vs logic {hmc_ratio} (paper: 9.7x)");
+        // Ordering: Ambit-HMC > Ambit-DDR3 > HMC-logic > GPU > CPU (geomean).
+        let gm = |p: &PlatformThroughput| geomean(&p.gbps);
+        assert!(gm(hmc_ambit) > gm(ambit));
+        assert!(gm(ambit) > gm(logic));
+        assert!(gm(logic) > gm(gpu));
+        assert!(gm(gpu) > gm(cpu));
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table();
+        let md = t.to_markdown();
+        assert!(md.contains("ambit-ddr3-8banks"));
+        assert!(md.contains("xnor"));
+    }
+}

@@ -1,0 +1,109 @@
+//! E2 — bulk bitwise energy: in-DRAM vs. DDR3 (paper §2).
+//!
+//! Reproduces: *"Compared to DDR3 DRAM, Ambit reduces energy consumption
+//! by 35× on average"* (Ambit MICRO'17 Table 4: 93.7→1.6 nJ/KB for NOT,
+//! 137.9→3.2 for AND/OR, ...).
+
+use pim_ambit::{AmbitConfig, AmbitSystem};
+use pim_core::{geomean, Table, Value};
+use pim_host::{CpuConfig, CpuModel};
+use pim_workloads::{BitVec, BulkOp};
+use rand::SeedableRng;
+
+/// Per-op energies in nJ per KB of output.
+#[derive(Debug, Clone, Copy)]
+pub struct OpEnergy {
+    /// The operation.
+    pub op: BulkOp,
+    /// DDR3 baseline (DRAM subsystem only, as the paper reports).
+    pub ddr3_nj_per_kb: f64,
+    /// Ambit in-DRAM.
+    pub ambit_nj_per_kb: f64,
+}
+
+impl OpEnergy {
+    /// DDR3 / Ambit.
+    pub fn reduction(&self) -> f64 {
+        self.ddr3_nj_per_kb / self.ambit_nj_per_kb
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<OpEnergy> {
+    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let bits = sys.row_bits() * 16;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let a = sys.alloc(bits).expect("alloc");
+    let b = sys.alloc(bits).expect("alloc");
+    let out = sys.alloc(bits).expect("alloc");
+    sys.write(&a, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+    sys.write(&b, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
+
+    BulkOp::ALL
+        .iter()
+        .map(|&op| {
+            let ambit_report = if op.is_unary() {
+                sys.execute(op, &a, None, &out)
+            } else {
+                sys.execute(op, &a, Some(&b), &out)
+            }
+            .expect("execute");
+            OpEnergy {
+                op,
+                ddr3_nj_per_kb: cpu.bulk_bitwise(op, 32 << 20).dram_nj_per_kb(),
+                ambit_nj_per_kb: ambit_report.nj_per_kb(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the result table.
+pub fn table() -> Table {
+    let rows = run();
+    let mut t = Table::new(
+        "E2: bulk bitwise energy, nJ/KB of output — paper: 35x average reduction",
+        &["op", "DDR3 (nJ/KB)", "Ambit (nJ/KB)", "reduction"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.op.to_string().into(),
+            Value::Num(r.ddr3_nj_per_kb),
+            Value::Num(r.ambit_nj_per_kb),
+            Value::Ratio(r.reduction()),
+        ]);
+    }
+    let avg = geomean(&rows.iter().map(|r| r.reduction()).collect::<Vec<_>>());
+    t.row(vec!["geomean".into(), "".into(), "".into(), Value::Ratio(avg)]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_reductions_match_the_paper_shape() {
+        let rows = run();
+        let by_op = |op: BulkOp| rows.iter().find(|r| r.op == op).unwrap();
+        // Paper Table 4: NOT 93.7 nJ/KB on DDR3 vs 1.6 in DRAM (59x);
+        // AND 137.9 vs 3.2 (44x); XOR 25x.
+        let not = by_op(BulkOp::Not);
+        assert!((not.ddr3_nj_per_kb - 93.7).abs() < 5.0, "NOT DDR3 {}", not.ddr3_nj_per_kb);
+        assert!((not.ambit_nj_per_kb - 1.6).abs() < 0.5, "NOT Ambit {}", not.ambit_nj_per_kb);
+        let and = by_op(BulkOp::And);
+        assert!((and.ddr3_nj_per_kb - 137.9).abs() < 6.0, "AND DDR3 {}", and.ddr3_nj_per_kb);
+        assert!((and.reduction() - 44.0).abs() < 12.0, "AND reduction {}", and.reduction());
+        // NOT saves the most; XOR the least (more row ops per result).
+        assert!(not.reduction() > and.reduction());
+        assert!(and.reduction() > by_op(BulkOp::Xor).reduction());
+        // Average ~35x.
+        let avg = geomean(&rows.iter().map(|r| r.reduction()).collect::<Vec<_>>());
+        assert!((25.0..48.0).contains(&avg), "average reduction {avg} (paper: 35x)");
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(table().to_markdown().contains("geomean"));
+    }
+}

@@ -1,0 +1,57 @@
+//! E3 — Ambit inside a 3D stack vs. computing in its logic layer
+//! (paper §2: *"When integrated directly into the HMC 2.0 device, Ambit
+//! improves operation throughput by 9.7× compared to processing in the
+//! logic layer of HMC 2.0"*).
+
+use crate::e1::{avg_ratio, run, PlatformThroughput};
+use pim_core::{Table, Value};
+use pim_workloads::BulkOp;
+
+/// Runs the experiment, returning (hmc-logic, ambit-hmc) throughputs.
+pub fn run_pair() -> (PlatformThroughput, PlatformThroughput) {
+    let all = run(32 << 20);
+    let logic = all.iter().find(|p| p.name == "hmc-logic-layer").expect("logic").clone();
+    let ambit = all.iter().find(|p| p.name == "ambit-hmc").expect("ambit-hmc").clone();
+    (logic, ambit)
+}
+
+/// Renders the result table.
+pub fn table() -> Table {
+    let (logic, ambit) = run_pair();
+    let mut t = Table::new(
+        "E3: Ambit-in-HMC vs HMC logic layer (GB/s) — paper: 9.7x",
+        &["op", "hmc-logic (GB/s)", "ambit-hmc (GB/s)", "ratio"],
+    );
+    for (i, op) in BulkOp::ALL.iter().enumerate() {
+        t.row(vec![
+            op.to_string().into(),
+            Value::Num(logic.gbps[i]),
+            Value::Num(ambit.gbps[i]),
+            Value::Ratio(ambit.gbps[i] / logic.gbps[i]),
+        ]);
+    }
+    t.row(vec![
+        "geomean".into(),
+        "".into(),
+        "".into(),
+        Value::Ratio(avg_ratio(&ambit, &logic)),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmc_ratio_matches_paper_scale() {
+        let (logic, ambit) = run_pair();
+        let r = avg_ratio(&ambit, &logic);
+        assert!((5.0..16.0).contains(&r), "Ambit-HMC/logic = {r} (paper: 9.7x)");
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(table().to_markdown().contains("hmc-logic"));
+    }
+}

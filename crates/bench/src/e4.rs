@@ -1,0 +1,209 @@
+//! E4 — end-to-end database query latency (paper §2: bitmap indices and
+//! BitWeaving scans, *"query latency reductions of 2X to 12X, with larger
+//! benefits for larger data set sizes"*).
+
+use pim_ambit::{AmbitConfig, AmbitSystem};
+use pim_core::{Table, Value};
+use pim_host::{CpuConfig, CpuModel};
+use pim_workloads::{BitSlicedColumn, BitmapIndex, ConjunctiveQuery, Predicate};
+use rand::SeedableRng;
+
+/// Fixed per-query software overhead (operator dispatch, predicate setup,
+/// result materialization) charged identically on both systems; this is
+/// what makes the speedup grow with data size in the paper's end-to-end
+/// measurement.
+pub const FIXED_QUERY_NS: f64 = 50_000.0;
+
+/// One query-latency data point.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryPoint {
+    /// Rows in the data set.
+    pub rows: usize,
+    /// CPU latency, ns.
+    pub cpu_ns: f64,
+    /// Ambit latency, ns.
+    pub ambit_ns: f64,
+}
+
+impl QueryPoint {
+    /// CPU / Ambit latency.
+    pub fn speedup(&self) -> f64 {
+        self.cpu_ns / self.ambit_ns
+    }
+}
+
+/// Bitmap-index sweep: "active in all of the trailing `weeks` weeks".
+pub fn bitmap_sweep(log_users: &[u32], weeks: usize) -> Vec<QueryPoint> {
+    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+    log_users
+        .iter()
+        .map(|&lu| {
+            let users = 1usize << lu;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let index = BitmapIndex::random(users, weeks, 0.8, &mut rng);
+            let plan = index.all_active_plan(weeks);
+            let bytes = (users as u64).div_ceil(8);
+
+            let mut cpu_report = cpu.run_plan(&plan, users);
+            cpu_report.merge_sequential(&cpu.popcount(bytes));
+
+            let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
+            let (result, ambit_report) =
+                ambit.run_plan(&plan, &index.trailing_inputs(weeks)).expect("plan runs");
+            assert_eq!(result.count_ones(), index.count_all_active(weeks), "functional check");
+
+            QueryPoint {
+                rows: users,
+                cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
+                ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
+            }
+        })
+        .collect()
+}
+
+/// BitWeaving sweep: `column < c` scans over `bits`-bit codes.
+pub fn bitweaving_sweep(log_rows: &[u32], bits: u32) -> Vec<QueryPoint> {
+    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+    log_rows
+        .iter()
+        .map(|&lr| {
+            let rows = 1usize << lr;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+            let col = BitSlicedColumn::random(rows, bits, &mut rng);
+            let c = 1u64 << (bits - 1);
+            let plan = col.less_than_plan(c);
+            let bytes = (rows as u64).div_ceil(8);
+
+            let mut cpu_report = cpu.run_plan(&plan, rows);
+            cpu_report.merge_sequential(&cpu.popcount(bytes));
+
+            let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
+            let (result, ambit_report) =
+                ambit.run_plan(&plan, &col.plan_inputs()).expect("plan runs");
+            assert_eq!(result, col.less_than(c), "functional check");
+
+            QueryPoint {
+                rows,
+                cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
+                ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
+            }
+        })
+        .collect()
+}
+
+/// Multi-column conjunctive query sweep: `a < c1 AND b = c2 AND r1 <= c < r2`
+/// compiled to one plan and executed on both backends.
+pub fn conjunctive_sweep(log_rows: &[u32]) -> Vec<QueryPoint> {
+    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+    log_rows
+        .iter()
+        .map(|&lr| {
+            let rows = 1usize << lr;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+            let a = BitSlicedColumn::random(rows, 8, &mut rng);
+            let b = BitSlicedColumn::random(rows, 6, &mut rng);
+            let c = BitSlicedColumn::random(rows, 10, &mut rng);
+            let q = ConjunctiveQuery::new()
+                .and(0, Predicate::LessThan(150))
+                .and(1, Predicate::Equals(17))
+                .and(2, Predicate::Range(100, 800));
+            let cols = [&a, &b, &c];
+            let plan = q.compile(&cols);
+            let bytes = (rows as u64).div_ceil(8);
+
+            let mut cpu_report = cpu.run_plan(&plan, rows);
+            cpu_report.merge_sequential(&cpu.popcount(bytes));
+
+            let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
+            let (result, ambit_report) =
+                ambit.run_plan(&plan, &q.plan_inputs(&cols)).expect("plan runs");
+            assert_eq!(result, q.evaluate_scalar(&cols), "functional check");
+
+            QueryPoint {
+                rows,
+                cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
+                ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
+            }
+        })
+        .collect()
+}
+
+/// Renders both sweeps as one table.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "E4: end-to-end query latency — paper: 2x-12x, growing with data size",
+        &["query", "rows", "CPU (us)", "Ambit (us)", "speedup"],
+    );
+    for p in bitmap_sweep(&[20, 22, 24], 4) {
+        t.row(vec![
+            "bitmap all-active(4wk)".into(),
+            Value::Num(p.rows as f64),
+            Value::Num(p.cpu_ns / 1000.0),
+            Value::Num(p.ambit_ns / 1000.0),
+            Value::Ratio(p.speedup()),
+        ]);
+    }
+    for p in bitweaving_sweep(&[20, 22, 24], 12) {
+        t.row(vec![
+            "bitweaving lt-scan(12b)".into(),
+            Value::Num(p.rows as f64),
+            Value::Num(p.cpu_ns / 1000.0),
+            Value::Num(p.ambit_ns / 1000.0),
+            Value::Ratio(p.speedup()),
+        ]);
+    }
+    for p in conjunctive_sweep(&[20, 22]) {
+        t.row(vec![
+            "3-column WHERE clause".into(),
+            Value::Num(p.rows as f64),
+            Value::Num(p.cpu_ns / 1000.0),
+            Value::Num(p.ambit_ns / 1000.0),
+            Value::Ratio(p.speedup()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_speedup_grows_with_size_in_paper_band() {
+        let points = bitmap_sweep(&[20, 22, 24], 4);
+        for w in points.windows(2) {
+            assert!(w[1].speedup() > w[0].speedup(), "speedup must grow with size");
+        }
+        let min = points.first().unwrap().speedup();
+        let max = points.last().unwrap().speedup();
+        assert!(min > 1.8 && min < 6.0, "smallest speedup {min} (paper: ~2x)");
+        assert!(max > 5.0 && max < 14.0, "largest speedup {max} (paper: up to 12x)");
+    }
+
+    #[test]
+    fn bitweaving_speedup_grows_with_size() {
+        let points = bitweaving_sweep(&[18, 20, 22], 12);
+        for w in points.windows(2) {
+            assert!(w[1].speedup() >= w[0].speedup() * 0.98);
+        }
+        let max = points.last().unwrap().speedup();
+        assert!(max > 3.0, "bitweaving top speedup {max}");
+    }
+
+    #[test]
+    fn conjunctive_queries_accelerate_too() {
+        let points = conjunctive_sweep(&[18, 20]);
+        for p in &points {
+            assert!(p.speedup() > 2.0, "conjunctive speedup {}", p.speedup());
+        }
+        assert!(points[1].speedup() >= points[0].speedup() * 0.9);
+    }
+
+    #[test]
+    fn table_renders() {
+        let md = table().to_markdown();
+        assert!(md.contains("bitmap"));
+        assert!(md.contains("bitweaving"));
+        assert!(md.contains("WHERE"));
+    }
+}

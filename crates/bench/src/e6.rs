@@ -1,0 +1,77 @@
+//! E6 — consumer-device workloads (paper §1/§3: *"62.7% of the total
+//! system energy is spent on data movement"*; offloading target functions
+//! to PIM reduces energy by 55.4% and execution time by 54.2% on average).
+
+use pim_core::{analyze_all, ConsumerAnalysis, ConsumerSystemConfig, PimSite, Table, Value};
+
+/// Runs the analysis for all four workloads.
+pub fn run() -> Vec<ConsumerAnalysis> {
+    analyze_all(&ConsumerSystemConfig::mobile_soc())
+}
+
+/// Renders the result table.
+pub fn table() -> Table {
+    let analyses = run();
+    let mut t = Table::new(
+        "E6: consumer workloads — paper: 62.7% movement energy; 55.4% energy / 54.2% time reduction",
+        &["workload", "movement", "-E core", "-E accel", "-t core", "-t accel"],
+    );
+    for a in &analyses {
+        t.row(vec![
+            a.name.into(),
+            Value::Percent(a.movement_fraction),
+            Value::Percent(a.energy_reduction(PimSite::Core)),
+            Value::Percent(a.energy_reduction(PimSite::Accelerator)),
+            Value::Percent(a.time_reduction(PimSite::Core)),
+            Value::Percent(a.time_reduction(PimSite::Accelerator)),
+        ]);
+    }
+    let n = analyses.len() as f64;
+    let mean = |f: &dyn Fn(&ConsumerAnalysis) -> f64| analyses.iter().map(f).sum::<f64>() / n;
+    t.row(vec![
+        "average".into(),
+        Value::Percent(mean(&|a| a.movement_fraction)),
+        Value::Percent(mean(&|a| a.energy_reduction(PimSite::Core))),
+        Value::Percent(mean(&|a| a.energy_reduction(PimSite::Accelerator))),
+        Value::Percent(mean(&|a| a.time_reduction(PimSite::Core))),
+        Value::Percent(mean(&|a| a.time_reduction(PimSite::Accelerator))),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_match_the_paper() {
+        let analyses = run();
+        let n = analyses.len() as f64;
+        let movement: f64 = analyses.iter().map(|a| a.movement_fraction).sum::<f64>() / n;
+        assert!((movement - 0.627).abs() < 0.06, "movement {movement} (paper: 0.627)");
+        let energy: f64 = analyses
+            .iter()
+            .map(|a| {
+                (a.energy_reduction(PimSite::Core) + a.energy_reduction(PimSite::Accelerator))
+                    / 2.0
+            })
+            .sum::<f64>()
+            / n;
+        assert!((energy - 0.554).abs() < 0.08, "energy reduction {energy} (paper: 0.554)");
+        let time: f64 = analyses
+            .iter()
+            .map(|a| {
+                (a.time_reduction(PimSite::Core) + a.time_reduction(PimSite::Accelerator)) / 2.0
+            })
+            .sum::<f64>()
+            / n;
+        assert!((time - 0.542).abs() < 0.10, "time reduction {time} (paper: 0.542)");
+    }
+
+    #[test]
+    fn table_renders() {
+        let md = table().to_markdown();
+        assert!(md.contains("chrome"));
+        assert!(md.contains("average"));
+    }
+}

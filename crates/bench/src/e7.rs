@@ -1,0 +1,69 @@
+//! E7 — logic-layer area feasibility (paper §3: *"the area of a PIM core
+//! and a PIM accelerator take up no more than 9.4% and 35.4%,
+//! respectively, of the area available for PIM logic in an HMC-like
+//! 3D-stacked memory architecture"*).
+
+use pim_core::{Table, Value};
+use pim_stack::{AreaModel, LogicBlock, PIM_ACCELERATORS, PIM_CORE};
+
+/// Runs the experiment: utilization per configuration.
+pub fn run() -> Vec<(String, f64, bool)> {
+    let area = AreaModel::hmc();
+    let mut rows = vec![(
+        PIM_CORE.name.to_owned(),
+        area.utilization(&[PIM_CORE]),
+        area.fits(&[PIM_CORE]),
+    )];
+    for b in PIM_ACCELERATORS {
+        rows.push((b.name.to_owned(), area.utilization(&[b]), area.fits(&[b])));
+    }
+    rows.push((
+        "all accelerators".to_owned(),
+        area.utilization(&PIM_ACCELERATORS),
+        area.fits(&PIM_ACCELERATORS),
+    ));
+    let mut everything: Vec<LogicBlock> = vec![PIM_CORE];
+    everything.extend_from_slice(&PIM_ACCELERATORS);
+    rows.push((
+        "core + all accelerators".to_owned(),
+        area.utilization(&everything),
+        area.fits(&everything),
+    ));
+    rows
+}
+
+/// Renders the result table.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "E7: logic-layer area utilization — paper: core <= 9.4%, accelerators <= 35.4%",
+        &["block(s)", "utilization", "fits budget"],
+    );
+    for (name, util, fits) in run() {
+        t.row(vec![
+            name.into(),
+            Value::Percent(util),
+            if fits { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_utilizations() {
+        let rows = run();
+        let core = rows.iter().find(|(n, _, _)| n == "pim-core").unwrap();
+        assert!((core.1 - 0.094).abs() < 0.005, "core utilization {}", core.1);
+        let accel = rows.iter().find(|(n, _, _)| n == "all accelerators").unwrap();
+        assert!((accel.1 - 0.354).abs() < 0.01, "accelerator utilization {}", accel.1);
+        assert!(rows.iter().all(|(_, _, fits)| *fits), "everything must fit the budget");
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(table().to_markdown().contains("pim-core"));
+    }
+}

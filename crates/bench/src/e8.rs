@@ -1,0 +1,118 @@
+//! E8 — RowClone bulk copy and initialization (the substrate of paper §2;
+//! RowClone MICRO'13 headline: ~11.6× latency and ~74× energy reduction
+//! for in-DRAM copies at row granularity).
+
+use pim_ambit::{AmbitConfig, AmbitSystem};
+use pim_core::{Table, Value};
+use pim_host::{CpuConfig, CpuModel};
+use pim_workloads::BitVec;
+use rand::SeedableRng;
+
+/// One mechanism's cost for a bulk copy/init of a given size.
+#[derive(Debug, Clone)]
+pub struct CopyCost {
+    /// Mechanism name.
+    pub mechanism: &'static str,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Latency, ns.
+    pub ns: f64,
+    /// Energy, nJ.
+    pub nj: f64,
+}
+
+/// Runs the copy experiment at `kb` kilobytes.
+pub fn run_copy(kb: u64) -> Vec<CopyCost> {
+    let bytes = kb * 1024;
+    let bits = (bytes * 8) as usize;
+    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let src = sys.alloc(bits).expect("alloc");
+    let dst = sys.alloc(bits).expect("alloc");
+    let data = BitVec::random(bits, 0.5, &mut rng);
+    sys.write(&src, &data).expect("write");
+
+    let memcpy = cpu.memcpy(bytes);
+    let fpm = sys.copy(&src, &dst).expect("fpm");
+    assert_eq!(sys.read(&dst), data, "FPM must be bit-exact");
+    sys.write(&dst, &BitVec::zeros(bits)).expect("clear");
+    let psm = sys.copy_psm(&src, &dst).expect("psm");
+    assert_eq!(sys.read(&dst), data, "PSM must be bit-exact");
+    let memset = cpu.memset(bytes);
+    let fill = sys.fill(&dst, false).expect("fill");
+    assert_eq!(sys.read(&dst).count_ones(), 0, "fill must zero");
+
+    vec![
+        CopyCost { mechanism: "cpu-memcpy", bytes, ns: memcpy.ns, nj: memcpy.energy.total_nj() },
+        CopyCost { mechanism: "rowclone-fpm", bytes, ns: fpm.ns, nj: fpm.energy.total_nj() },
+        CopyCost { mechanism: "rowclone-psm", bytes, ns: psm.ns, nj: psm.energy.total_nj() },
+        CopyCost { mechanism: "cpu-memset", bytes, ns: memset.ns, nj: memset.energy.total_nj() },
+        CopyCost { mechanism: "rowclone-zero", bytes, ns: fill.ns, nj: fill.energy.total_nj() },
+    ]
+}
+
+/// Renders the result table across sizes.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "E8: RowClone bulk copy/init — paper substrate: ~11.6x latency / ~74x energy for FPM",
+        &["mechanism", "size (KB)", "latency (ns)", "energy (nJ)", "vs cpu (t)", "vs cpu (E)"],
+    );
+    for kb in [8u64, 64, 512] {
+        let rows = run_copy(kb);
+        let base_copy = rows[0].clone();
+        let base_set = rows[3].clone();
+        for r in &rows {
+            let base = if r.mechanism.contains("set") || r.mechanism.contains("zero") {
+                &base_set
+            } else {
+                &base_copy
+            };
+            t.row(vec![
+                r.mechanism.into(),
+                Value::Num(kb as f64),
+                Value::Num(r.ns),
+                Value::Num(r.nj),
+                Value::Ratio(base.ns / r.ns),
+                Value::Ratio(base.nj / r.nj),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpm_beats_memcpy_by_an_order_of_magnitude() {
+        let rows = run_copy(8);
+        let by = |m: &str| rows.iter().find(|r| r.mechanism == m).unwrap();
+        let memcpy = by("cpu-memcpy");
+        let fpm = by("rowclone-fpm");
+        let psm = by("rowclone-psm");
+        let t_ratio = memcpy.ns / fpm.ns;
+        let e_ratio = memcpy.nj / fpm.nj;
+        // RowClone paper: 11.6x / 74x for intra-subarray copies.
+        assert!((8.0..30.0).contains(&t_ratio), "FPM latency ratio {t_ratio}");
+        assert!(e_ratio > 50.0, "FPM energy ratio {e_ratio}");
+        // PSM sits between the channel copy and FPM.
+        assert!(psm.ns < memcpy.ns && psm.ns > fpm.ns);
+        assert!(psm.nj < memcpy.nj && psm.nj > fpm.nj);
+    }
+
+    #[test]
+    fn zero_init_is_one_aap() {
+        let rows = run_copy(8);
+        let fill = rows.iter().find(|r| r.mechanism == "rowclone-zero").unwrap();
+        let fpm = rows.iter().find(|r| r.mechanism == "rowclone-fpm").unwrap();
+        assert!((fill.ns - fpm.ns).abs() < 1.0, "zero-init costs the same AAP as a copy");
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(table().to_markdown().contains("rowclone-fpm"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # pim-bench — the experiment harness
+//!
+//! One module per experiment of the paper's evaluation (see DESIGN.md §4);
+//! each has a `run()` returning structured results and a `table()`
+//! rendering the rows EXPERIMENTS.md records. The `e*` binaries are thin
+//! wrappers that print the tables; the criterion benches under `benches/`
+//! measure the simulator itself.
+
+pub mod ablations;
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod e10;

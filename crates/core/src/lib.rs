@@ -1,0 +1,46 @@
+//! # pim-core — the unified framework API
+//!
+//! The glue the rest of the workspace reports through, plus the models of
+//! the paper's §4 ("enabling PIM adoption") challenges:
+//!
+//! * [`table`] — result [`Table`]s with markdown rendering and the
+//!   [`geomean`] helper; every experiment bin emits these;
+//! * [`offload`] — the runtime-scheduling challenge: a roofline-based
+//!   advisor deciding host vs. PIM placement per kernel;
+//! * [`coherence`] — the CPU↔PIM coherence challenge: fine-grained vs.
+//!   coarse-grained vs. LazyPIM-style speculative batching;
+//! * [`consumer`] — the consumer-workloads analysis behind experiment E6
+//!   (62.7% movement energy; ~55% energy and ~54% time reduction from
+//!   PIM offload);
+//! * [`vm`] — the virtual-memory challenge: IMPICA-style region-based
+//!   translation vs. host-MMU round trips for in-memory pointer chasing;
+//! * [`structures`] — the concurrent-data-structures challenge: contended
+//!   host structures vs. PIM-owned ones (SPAA'17).
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_core::{decide, KernelProfile, Objective, SiteModel};
+//! let memcpy_like = KernelProfile::new(8e6, 1e6);
+//! let d = decide(&memcpy_like, &SiteModel::host(), &SiteModel::pim_core(), Objective::Time);
+//! assert!(d.offload);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coherence;
+pub mod consumer;
+pub mod offload;
+pub mod pei;
+pub mod structures;
+pub mod table;
+pub mod vm;
+
+pub use coherence::{execution_ns, overhead_factor, CoherenceCosts, CoherenceScheme, SharingProfile};
+pub use consumer::{analyze_all, analyze_workload, ConsumerAnalysis, ConsumerSystemConfig, PimSite};
+pub use offload::{decide, KernelProfile, Objective, OffloadDecision, SiteModel};
+pub use pei::{dispatch, expected_ns as pei_expected_ns, PeiCosts, PeiPolicy, PeiSite};
+pub use structures::{crossover_cores, throughput_mops, ContentionCosts, StructureHost};
+pub use table::{geomean, Table, Value};
+pub use vm::{chase_speedup, host_chase_ns, pim_chase_ns, ChaseCosts, PimTranslation};

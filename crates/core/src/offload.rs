@@ -1,0 +1,229 @@
+//! The offload advisor: should a kernel run on the host or in/near memory?
+//!
+//! This encodes the paper's §4 runtime-scheduling challenge in its
+//! simplest useful form: a kernel is characterized by the bytes it moves
+//! and the operations it executes; each execution site is characterized by
+//! its bandwidth, compute rate, and per-byte / per-op energies. The
+//! advisor evaluates the rooflines and recommends a placement.
+
+use std::fmt;
+
+/// A kernel's resource footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Bytes moved through memory.
+    pub bytes: f64,
+    /// Operations executed.
+    pub ops: f64,
+}
+
+impl KernelProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either quantity is negative or non-finite.
+    pub fn new(bytes: f64, ops: f64) -> Self {
+        assert!(bytes.is_finite() && bytes >= 0.0, "bytes must be non-negative");
+        assert!(ops.is_finite() && ops >= 0.0, "ops must be non-negative");
+        KernelProfile { bytes, ops }
+    }
+
+    /// Bytes per operation — the memory intensity.
+    pub fn bytes_per_op(&self) -> f64 {
+        if self.ops == 0.0 {
+            f64::INFINITY
+        } else {
+            self.bytes / self.ops
+        }
+    }
+}
+
+/// An execution site's capability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteModel {
+    /// Site name.
+    pub name: String,
+    /// Memory bandwidth available to the site, GB/s.
+    pub bw_gbps: f64,
+    /// Compute rate, Gops.
+    pub gops: f64,
+    /// Energy per byte moved, nJ.
+    pub nj_per_byte: f64,
+    /// Energy per operation, nJ.
+    pub nj_per_op: f64,
+}
+
+impl SiteModel {
+    /// A host CPU with off-chip DRAM (defaults matching the mobile SoC of
+    /// the consumer study).
+    pub fn host() -> Self {
+        SiteModel {
+            name: "host".into(),
+            bw_gbps: 10.2,
+            gops: 16.0,
+            nj_per_byte: 0.043,
+            nj_per_op: 0.17,
+        }
+    }
+
+    /// A PIM core in a 3D stack's logic layer.
+    pub fn pim_core() -> Self {
+        SiteModel {
+            name: "pim-core".into(),
+            bw_gbps: 32.0,
+            gops: 16.0,
+            nj_per_byte: 0.013,
+            nj_per_op: 0.065,
+        }
+    }
+
+    /// Execution time in nanoseconds.
+    pub fn time_ns(&self, k: &KernelProfile) -> f64 {
+        (k.bytes / self.bw_gbps).max(k.ops / self.gops)
+    }
+
+    /// Energy in nanojoules.
+    pub fn energy_nj(&self, k: &KernelProfile) -> f64 {
+        k.bytes * self.nj_per_byte + k.ops * self.nj_per_op
+    }
+}
+
+/// What the advisor optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize execution time.
+    Time,
+    /// Minimize energy.
+    Energy,
+    /// Minimize energy-delay product.
+    EnergyDelay,
+}
+
+/// The advisor's recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadDecision {
+    /// `true` if the kernel should run at the PIM site.
+    pub offload: bool,
+    /// Host time (ns) / energy (nJ).
+    pub host_time_ns: f64,
+    /// Host energy (nJ).
+    pub host_energy_nj: f64,
+    /// PIM time (ns).
+    pub pim_time_ns: f64,
+    /// PIM energy (nJ).
+    pub pim_energy_nj: f64,
+}
+
+impl OffloadDecision {
+    /// The speedup of the recommended placement over the alternative.
+    pub fn benefit(&self, objective: Objective) -> f64 {
+        let (h, p) = match objective {
+            Objective::Time => (self.host_time_ns, self.pim_time_ns),
+            Objective::Energy => (self.host_energy_nj, self.pim_energy_nj),
+            Objective::EnergyDelay => {
+                (self.host_time_ns * self.host_energy_nj, self.pim_time_ns * self.pim_energy_nj)
+            }
+        };
+        if self.offload {
+            h / p
+        } else {
+            p / h
+        }
+    }
+}
+
+impl fmt::Display for OffloadDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: host {:.0} ns / {:.0} nJ vs pim {:.0} ns / {:.0} nJ",
+            if self.offload { "offload" } else { "stay" },
+            self.host_time_ns,
+            self.host_energy_nj,
+            self.pim_time_ns,
+            self.pim_energy_nj
+        )
+    }
+}
+
+/// Decides placement of `kernel` between `host` and `pim` under
+/// `objective`.
+pub fn decide(
+    kernel: &KernelProfile,
+    host: &SiteModel,
+    pim: &SiteModel,
+    objective: Objective,
+) -> OffloadDecision {
+    let host_time_ns = host.time_ns(kernel);
+    let pim_time_ns = pim.time_ns(kernel);
+    let host_energy_nj = host.energy_nj(kernel);
+    let pim_energy_nj = pim.energy_nj(kernel);
+    let offload = match objective {
+        Objective::Time => pim_time_ns < host_time_ns,
+        Objective::Energy => pim_energy_nj < host_energy_nj,
+        Objective::EnergyDelay => {
+            pim_time_ns * pim_energy_nj < host_time_ns * host_energy_nj
+        }
+    };
+    OffloadDecision { offload, host_time_ns, host_energy_nj, pim_time_ns, pim_energy_nj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_kernels_offload() {
+        // memcpy-like: 8 bytes/op.
+        let k = KernelProfile::new(8e6, 1e6);
+        let d = decide(&k, &SiteModel::host(), &SiteModel::pim_core(), Objective::Time);
+        assert!(d.offload, "{d}");
+        assert!(d.benefit(Objective::Time) > 1.5);
+    }
+
+    #[test]
+    fn compute_bound_kernels_stay_when_pim_is_not_faster() {
+        // Dense arithmetic: 0.1 bytes/op; equal Gops on both sites but the
+        // host is not worse, so no time benefit.
+        let k = KernelProfile::new(1e5, 1e6);
+        let mut pim = SiteModel::pim_core();
+        pim.gops = 8.0; // weaker PIM core
+        let d = decide(&k, &SiteModel::host(), &pim, Objective::Time);
+        assert!(!d.offload, "{d}");
+    }
+
+    #[test]
+    fn energy_objective_prefers_pim_more_often() {
+        // Moderately compute-bound: time says stay (weaker PIM core), but
+        // the PIM site's per-op energy still wins.
+        let k = KernelProfile::new(2e5, 1e6);
+        let mut pim = SiteModel::pim_core();
+        pim.gops = 8.0;
+        let time = decide(&k, &SiteModel::host(), &pim, Objective::Time);
+        let energy = decide(&k, &SiteModel::host(), &pim, Objective::Energy);
+        assert!(!time.offload);
+        assert!(energy.offload);
+        assert!(energy.benefit(Objective::Energy) > 1.0);
+    }
+
+    #[test]
+    fn energy_delay_balances_both() {
+        let k = KernelProfile::new(4e6, 1e6);
+        let d = decide(&k, &SiteModel::host(), &SiteModel::pim_core(), Objective::EnergyDelay);
+        assert!(d.offload);
+        assert!(d.benefit(Objective::EnergyDelay) > 2.0);
+    }
+
+    #[test]
+    fn profile_intensity() {
+        assert_eq!(KernelProfile::new(64.0, 8.0).bytes_per_op(), 8.0);
+        assert!(KernelProfile::new(64.0, 0.0).bytes_per_op().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bytes_rejected() {
+        let _ = KernelProfile::new(-1.0, 0.0);
+    }
+}

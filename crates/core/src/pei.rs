@@ -1,0 +1,182 @@
+//! PIM-enabled instructions (Ahn et al., ISCA'15 \[4\] — the paper's §4
+//! "runtime scheduling" citation): single-instruction offload with
+//! **locality-aware dispatch**. Each PEI executes either at the host (when
+//! its operand is likely cached) or at memory (when it is not); the
+//! hardware monitors locality and decides per operation.
+//!
+//! The model reproduces the PEI paper's qualitative claim: adaptive
+//! dispatch matches or beats both always-host and always-PIM across the
+//! locality spectrum.
+
+use std::fmt;
+
+/// Where a single PEI executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeiSite {
+    /// Execute at the host core (operand served from cache when resident).
+    Host,
+    /// Execute at the memory-side PIM unit.
+    Memory,
+}
+
+impl fmt::Display for PeiSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeiSite::Host => f.write_str("host"),
+            PeiSite::Memory => f.write_str("memory"),
+        }
+    }
+}
+
+/// Dispatch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeiPolicy {
+    /// Always execute at the host.
+    AlwaysHost,
+    /// Always execute at the PIM unit.
+    AlwaysMemory,
+    /// Locality-aware: host when the operand's cache-hit probability
+    /// exceeds the crossover, else memory (the PEI mechanism).
+    Adaptive,
+}
+
+impl PeiPolicy {
+    /// All policies.
+    pub const ALL: [PeiPolicy; 3] =
+        [PeiPolicy::AlwaysHost, PeiPolicy::AlwaysMemory, PeiPolicy::Adaptive];
+}
+
+impl fmt::Display for PeiPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PeiPolicy::AlwaysHost => "always-host",
+            PeiPolicy::AlwaysMemory => "always-memory",
+            PeiPolicy::Adaptive => "adaptive (PEI)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-operation latencies of the two sites.
+///
+/// # Examples
+///
+/// ```
+/// use pim_core::{dispatch, PeiCosts, PeiPolicy, PeiSite};
+/// let costs = PeiCosts::typical();
+/// assert_eq!(dispatch(PeiPolicy::Adaptive, 0.95, &costs), PeiSite::Host);
+/// assert_eq!(dispatch(PeiPolicy::Adaptive, 0.05, &costs), PeiSite::Memory);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeiCosts {
+    /// Host execution when the operand hits in cache, ns.
+    pub host_hit_ns: f64,
+    /// Host execution on a cache miss (full memory round trip), ns.
+    pub host_miss_ns: f64,
+    /// Memory-side execution (always near the data; no cache benefit), ns.
+    pub memory_ns: f64,
+}
+
+impl PeiCosts {
+    /// Representative values: 5 ns cached op, 120 ns host miss, 45 ns
+    /// memory-side op.
+    pub fn typical() -> Self {
+        PeiCosts { host_hit_ns: 5.0, host_miss_ns: 120.0, memory_ns: 45.0 }
+    }
+
+    /// Expected host latency at a given hit probability.
+    pub fn host_expected_ns(&self, hit_prob: f64) -> f64 {
+        hit_prob * self.host_hit_ns + (1.0 - hit_prob) * self.host_miss_ns
+    }
+
+    /// The hit probability above which the host wins.
+    pub fn crossover(&self) -> f64 {
+        (self.host_miss_ns - self.memory_ns) / (self.host_miss_ns - self.host_hit_ns)
+    }
+}
+
+/// Dispatches one operation with operand hit probability `hit_prob`.
+pub fn dispatch(policy: PeiPolicy, hit_prob: f64, costs: &PeiCosts) -> PeiSite {
+    match policy {
+        PeiPolicy::AlwaysHost => PeiSite::Host,
+        PeiPolicy::AlwaysMemory => PeiSite::Memory,
+        PeiPolicy::Adaptive => {
+            if hit_prob >= costs.crossover() {
+                PeiSite::Host
+            } else {
+                PeiSite::Memory
+            }
+        }
+    }
+}
+
+/// Expected per-op latency of a policy over a stream where operands hit
+/// with probability drawn from `hit_probs` (one entry per op class).
+pub fn expected_ns(policy: PeiPolicy, hit_probs: &[f64], costs: &PeiCosts) -> f64 {
+    let total: f64 = hit_probs
+        .iter()
+        .map(|&p| match dispatch(policy, p, costs) {
+            PeiSite::Host => costs.host_expected_ns(p),
+            PeiSite::Memory => costs.memory_ns,
+        })
+        .sum();
+    total / hit_probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_is_between_zero_and_one() {
+        let c = PeiCosts::typical();
+        let x = c.crossover();
+        assert!((0.0..1.0).contains(&x), "crossover {x}");
+        // At the crossover, both sites cost the same.
+        assert!((c.host_expected_ns(x) - c.memory_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_never_loses_to_either_static_policy() {
+        let c = PeiCosts::typical();
+        for mix in [
+            vec![0.9, 0.95, 0.8],              // cache-friendly stream
+            vec![0.05, 0.1, 0.2],              // cache-hostile stream
+            vec![0.9, 0.1, 0.5, 0.99, 0.02],   // mixed
+        ] {
+            let adaptive = expected_ns(PeiPolicy::Adaptive, &mix, &c);
+            let host = expected_ns(PeiPolicy::AlwaysHost, &mix, &c);
+            let memory = expected_ns(PeiPolicy::AlwaysMemory, &mix, &c);
+            assert!(adaptive <= host + 1e-9, "{mix:?}");
+            assert!(adaptive <= memory + 1e-9, "{mix:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_strictly_wins_on_mixed_streams() {
+        let c = PeiCosts::typical();
+        let mix = [0.95, 0.02, 0.9, 0.05];
+        let adaptive = expected_ns(PeiPolicy::Adaptive, &mix, &c);
+        let host = expected_ns(PeiPolicy::AlwaysHost, &mix, &c);
+        let memory = expected_ns(PeiPolicy::AlwaysMemory, &mix, &c);
+        assert!(adaptive < 0.9 * host);
+        assert!(adaptive < 0.9 * memory);
+    }
+
+    #[test]
+    fn dispatch_direction() {
+        let c = PeiCosts::typical();
+        assert_eq!(dispatch(PeiPolicy::Adaptive, 0.99, &c), PeiSite::Host);
+        assert_eq!(dispatch(PeiPolicy::Adaptive, 0.01, &c), PeiSite::Memory);
+        assert_eq!(dispatch(PeiPolicy::AlwaysHost, 0.01, &c), PeiSite::Host);
+        assert_eq!(dispatch(PeiPolicy::AlwaysMemory, 0.99, &c), PeiSite::Memory);
+    }
+
+    #[test]
+    fn display_names() {
+        for p in PeiPolicy::ALL {
+            assert!(!format!("{p}").is_empty());
+        }
+        assert_eq!(format!("{}", PeiSite::Host), "host");
+    }
+}

@@ -1,0 +1,171 @@
+//! Concurrent data structures for near-memory computing (paper §4,
+//! challenge 5, citing Liu et al., SPAA'17 \[65\]).
+//!
+//! The SPAA'17 observation: on a multicore host, a *contended* concurrent
+//! data structure (FIFO queue, counter, skip-list hot spot) spends its
+//! time bouncing cache lines between cores — every operation pays a
+//! coherence transfer that grows with core count. A PIM-side
+//! implementation serializes operations at the memory, paying a constant
+//! (higher) per-op latency but no ping-pong; under high contention it
+//! overtakes the host. For *uncontended* structures (operations spread
+//! over many keys), host caches win — both regimes are modeled.
+
+use std::fmt;
+
+/// Where the data structure's operations execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureHost {
+    /// Host cores with MESI-style coherence.
+    CpuConcurrent,
+    /// A PIM core owning the structure in memory.
+    PimOwned,
+}
+
+impl fmt::Display for StructureHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureHost::CpuConcurrent => f.write_str("cpu-concurrent"),
+            StructureHost::PimOwned => f.write_str("pim-owned"),
+        }
+    }
+}
+
+/// Cost parameters for contended-structure operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionCosts {
+    /// A cache-hit operation on an uncontended line, ns.
+    pub cached_op_ns: f64,
+    /// Transferring a contended line between cores (coherence miss), ns.
+    pub linexfer_ns: f64,
+    /// A PIM-side operation (vault access + core work), ns.
+    pub pim_op_ns: f64,
+    /// Sending the op request/response between CPU and PIM, ns
+    /// (overlappable across independent requesters).
+    pub pim_msg_ns: f64,
+    /// Outstanding requests the PIM queue overlaps.
+    pub pim_mlp: u32,
+}
+
+impl ContentionCosts {
+    /// Representative values.
+    pub fn typical() -> Self {
+        ContentionCosts {
+            cached_op_ns: 5.0,
+            linexfer_ns: 60.0,
+            pim_op_ns: 50.0,
+            pim_msg_ns: 80.0,
+            pim_mlp: 16,
+        }
+    }
+}
+
+/// Throughput (operations per microsecond) of a structure accessed by
+/// `cores` threads, where `contention` ∈ [0, 1] is the probability that an
+/// operation touches the hot line most recently written by another core.
+pub fn throughput_mops(
+    host: StructureHost,
+    cores: u32,
+    contention: f64,
+    costs: &ContentionCosts,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&contention), "contention must be in [0, 1]");
+    match host {
+        StructureHost::CpuConcurrent => {
+            // Contended ops serialize on the line transfer: the hot line
+            // moves core-to-core, so contended throughput is bounded by
+            // 1 / linexfer regardless of core count. Uncontended ops scale.
+            let contended_share = contention * (cores.saturating_sub(1)) as f64
+                / cores.max(1) as f64;
+            let per_op_serial_ns = contended_share * costs.linexfer_ns;
+            let per_op_parallel_ns = (1.0 - contended_share) * costs.cached_op_ns;
+            // Serial component bounds throughput; parallel part scales.
+            let serial_bound = if per_op_serial_ns > 0.0 {
+                1000.0 / per_op_serial_ns
+            } else {
+                f64::INFINITY
+            };
+            let parallel = cores as f64 * 1000.0
+                / (per_op_parallel_ns + per_op_serial_ns).max(f64::EPSILON);
+            serial_bound.min(parallel)
+        }
+        StructureHost::PimOwned => {
+            // One PIM core serializes the structure ops; messages overlap.
+            let service_ns = costs.pim_op_ns + costs.pim_msg_ns / costs.pim_mlp as f64;
+            1000.0 / service_ns
+        }
+    }
+}
+
+/// The core count at which the PIM-owned structure overtakes the host for
+/// a given contention level (`None` if the host always wins up to
+/// `max_cores`).
+pub fn crossover_cores(contention: f64, max_cores: u32, costs: &ContentionCosts) -> Option<u32> {
+    (1..=max_cores).find(|&n| {
+        throughput_mops(StructureHost::PimOwned, n, contention, costs)
+            >= throughput_mops(StructureHost::CpuConcurrent, n, contention, costs)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contended_structures_favor_pim() {
+        let c = ContentionCosts::typical();
+        // A fully contended FIFO at 16 cores: the host line-transfers every
+        // op; the PIM queue just streams.
+        let host = throughput_mops(StructureHost::CpuConcurrent, 16, 1.0, &c);
+        let pim = throughput_mops(StructureHost::PimOwned, 16, 1.0, &c);
+        assert!(pim > host, "PIM {pim} must beat the contended host {host}");
+    }
+
+    #[test]
+    fn uncontended_structures_favor_the_host() {
+        let c = ContentionCosts::typical();
+        let host = throughput_mops(StructureHost::CpuConcurrent, 16, 0.0, &c);
+        let pim = throughput_mops(StructureHost::PimOwned, 16, 0.0, &c);
+        assert!(host > 10.0 * pim, "caches win without contention: {host} vs {pim}");
+    }
+
+    #[test]
+    fn host_throughput_collapses_with_contention() {
+        let c = ContentionCosts::typical();
+        let low = throughput_mops(StructureHost::CpuConcurrent, 16, 0.1, &c);
+        let high = throughput_mops(StructureHost::CpuConcurrent, 16, 0.9, &c);
+        assert!(high < low / 2.0, "contention must hurt: {low} -> {high}");
+    }
+
+    #[test]
+    fn pim_throughput_is_contention_invariant() {
+        let c = ContentionCosts::typical();
+        let a = throughput_mops(StructureHost::PimOwned, 4, 0.0, &c);
+        let b = throughput_mops(StructureHost::PimOwned, 64, 1.0, &c);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_exists_only_under_contention() {
+        let c = ContentionCosts::typical();
+        assert!(crossover_cores(1.0, 64, &c).is_some());
+        assert_eq!(crossover_cores(0.0, 64, &c), None);
+        // Higher contention crosses over at fewer cores.
+        let hi = crossover_cores(1.0, 64, &c).unwrap();
+        let mid = crossover_cores(0.6, 64, &c);
+        if let Some(mid) = mid {
+            assert!(hi <= mid);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contention must be in")]
+    fn contention_validated() {
+        let _ = throughput_mops(StructureHost::PimOwned, 1, 1.5, &ContentionCosts::typical());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", StructureHost::CpuConcurrent), "cpu-concurrent");
+        assert_eq!(format!("{}", StructureHost::PimOwned), "pim-owned");
+    }
+}

@@ -1,0 +1,245 @@
+//! Result tables: the uniform way every experiment reports its rows, with
+//! markdown rendering for EXPERIMENTS.md.
+
+use std::fmt;
+
+/// One reported value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A label.
+    Text(String),
+    /// A number, rendered with sensible precision.
+    Num(f64),
+    /// A ratio, rendered as `12.3x`.
+    Ratio(f64),
+    /// A percentage (0.627 renders as `62.7%`).
+    Percent(f64),
+}
+
+impl Value {
+    /// The numeric content of `Num`, `Ratio`, or `Percent` cells.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) | Value::Ratio(v) | Value::Percent(v) => Some(*v),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// The text content of `Text` cells.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => f.write_str(s),
+            Value::Num(v) => {
+                if v.abs() >= 1000.0 {
+                    write!(f, "{v:.0}")
+                } else if v.abs() >= 10.0 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v:.2}")
+                }
+            }
+            Value::Ratio(v) => {
+                if v.abs() >= 10.0 {
+                    write!(f, "{v:.1}x")
+                } else {
+                    write!(f, "{v:.2}x")
+                }
+            }
+            Value::Percent(v) => write!(f, "{:.1}%", v * 100.0),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Num(v)
+    }
+}
+
+/// A titled table of experiment results.
+///
+/// # Examples
+///
+/// ```
+/// use pim_core::{Table, Value};
+/// let mut t = Table::new("E1: throughput", &["op", "GB/s", "vs CPU"]);
+/// t.row(vec!["and".into(), Value::Num(195.6), Value::Ratio(53.9)]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| and | 195.6 | 53.9x |"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row(&mut self, cells: Vec<Value>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as a GitHub-flavored markdown table with a heading.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str("| ");
+        out.push_str(&self.columns.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of an empty slice");
+    let sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_rendering() {
+        assert_eq!(Value::Num(1234.5).to_string(), "1234");
+        assert_eq!(Value::Num(99.94).to_string(), "99.9");
+        assert_eq!(Value::Num(1.234).to_string(), "1.23");
+        assert_eq!(Value::Ratio(43.9).to_string(), "43.9x");
+        assert_eq!(Value::Ratio(2.5).to_string(), "2.50x");
+        assert_eq!(Value::Percent(0.627).to_string(), "62.7%");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(Value::from(2.0).to_string(), "2.00");
+        assert_eq!(Value::from(String::from("s")).to_string(), "s");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Num(2.0).as_f64(), Some(2.0));
+        assert_eq!(Value::Ratio(3.0).as_f64(), Some(3.0));
+        assert_eq!(Value::Percent(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::from("x").as_text(), Some("x"));
+        assert_eq!(Value::Num(1.0).as_text(), None);
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x".into(), Value::Num(1.0)]);
+        t.row(vec!["y".into(), Value::Ratio(2.0)]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| y | 2.00x |"));
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(format!("{t}"), md);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean(&[4.0, 16.0]) - 8.0).abs() < 1e-12);
+        assert!((geomean(&[7.0]) - 7.0).abs() < 1e-12);
+        let vals = [71.9, 53.9, 53.9, 43.1, 43.1, 23.5, 23.5];
+        let g = geomean(&vals);
+        assert!(g > 38.0 && g < 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_rejects_empty() {
+        let _ = geomean(&[]);
+    }
+}

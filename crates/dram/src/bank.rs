@@ -1,0 +1,177 @@
+//! Per-bank state machine and timing bookkeeping.
+
+use crate::types::Cycle;
+
+/// The activation state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BankState {
+    /// All bitlines precharged; no row open.
+    #[default]
+    Precharged,
+    /// A row is latched in the row buffer.
+    Activated {
+        /// The open row index.
+        row: u32,
+    },
+}
+
+impl BankState {
+    /// The open row, if any.
+    pub const fn open_row(self) -> Option<u32> {
+        match self {
+            BankState::Precharged => None,
+            BankState::Activated { row } => Some(row),
+        }
+    }
+
+    /// `true` if no row is open.
+    pub const fn is_precharged(self) -> bool {
+        matches!(self, BankState::Precharged)
+    }
+}
+
+/// Timing bookkeeping for one bank: the earliest cycle each class of
+/// command may next issue, plus the activation state.
+///
+/// The device updates these fields as commands issue; the scheduler reads
+/// them through [`crate::device::Device::earliest`].
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    /// Activation state.
+    pub state: BankState,
+    /// Earliest cycle an ACT (or AAP/AP/TRA) may issue.
+    pub next_act: Cycle,
+    /// Earliest cycle a PRE may issue.
+    pub next_pre: Cycle,
+    /// Earliest cycle a RD may issue.
+    pub next_rd: Cycle,
+    /// Earliest cycle a WR may issue.
+    pub next_wr: Cycle,
+    /// Per-subarray earliest row-op cycle (SALP mode; empty when SALP is
+    /// off — the whole-bank `next_act` rules then).
+    pub subarray_next: Vec<Cycle>,
+}
+
+impl Bank {
+    /// A fresh, precharged bank with no timing debts.
+    pub fn new() -> Self {
+        Bank::default()
+    }
+
+    /// Applies the state change of an ACT at cycle `t` with the given timing
+    /// parameters (tRCD/tRAS/tRC in cycles).
+    pub fn on_act(&mut self, t: Cycle, row: u32, rcd: Cycle, ras: Cycle, rc: Cycle) {
+        self.state = BankState::Activated { row };
+        self.next_rd = self.next_rd.max(t + rcd);
+        self.next_wr = self.next_wr.max(t + rcd);
+        self.next_pre = self.next_pre.max(t + ras);
+        self.next_act = self.next_act.max(t + rc);
+    }
+
+    /// Applies the state change of a PRE at cycle `t` (tRP in cycles).
+    pub fn on_pre(&mut self, t: Cycle, rp: Cycle) {
+        self.state = BankState::Precharged;
+        self.next_act = self.next_act.max(t + rp);
+    }
+
+    /// Applies a self-precharging row operation (AP / AAP / TRA) that
+    /// occupies the bank until `t + duration` and leaves it precharged.
+    pub fn on_row_op(&mut self, t: Cycle, duration: Cycle) {
+        self.state = BankState::Precharged;
+        self.next_act = self.next_act.max(t + duration);
+        // The bank is busy for the whole op; no column access can slip in.
+        self.next_rd = self.next_rd.max(t + duration);
+        self.next_wr = self.next_wr.max(t + duration);
+        self.next_pre = self.next_pre.max(t + duration);
+    }
+
+    /// SALP variant of [`Bank::on_row_op`]: only subarray `sa` is occupied
+    /// for `duration`; the bank-level structures are busy for just
+    /// `cmd_gap` cycles (shared global wordline/command decoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-subarray table was not sized (`init_salp`).
+    pub fn on_row_op_salp(&mut self, t: Cycle, duration: Cycle, sa: u32, cmd_gap: Cycle) {
+        assert!(
+            !self.subarray_next.is_empty(),
+            "SALP bank must be initialized with init_salp"
+        );
+        self.state = BankState::Precharged;
+        let slot = &mut self.subarray_next[sa as usize];
+        *slot = (*slot).max(t + duration);
+        // Shared bank structures: brief occupancy only.
+        self.next_act = self.next_act.max(t + cmd_gap);
+        self.next_rd = self.next_rd.max(t + cmd_gap);
+        self.next_wr = self.next_wr.max(t + cmd_gap);
+        self.next_pre = self.next_pre.max(t + cmd_gap);
+    }
+
+    /// Earliest row-op cycle for subarray `sa` under SALP.
+    pub fn salp_earliest(&self, sa: u32) -> Cycle {
+        let per_sa = self.subarray_next.get(sa as usize).copied().unwrap_or(0);
+        per_sa.max(self.next_act)
+    }
+
+    /// Sizes the per-subarray table (SALP mode).
+    pub fn init_salp(&mut self, subarrays: u32) {
+        self.subarray_next = vec![0; subarrays as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_state_is_precharged() {
+        let b = Bank::new();
+        assert!(b.state.is_precharged());
+        assert_eq!(b.state.open_row(), None);
+        assert_eq!(b.next_act, 0);
+    }
+
+    #[test]
+    fn act_opens_row_and_sets_debts() {
+        let mut b = Bank::new();
+        b.on_act(100, 42, 11, 28, 39);
+        assert_eq!(b.state.open_row(), Some(42));
+        assert_eq!(b.next_rd, 111);
+        assert_eq!(b.next_wr, 111);
+        assert_eq!(b.next_pre, 128);
+        assert_eq!(b.next_act, 139);
+    }
+
+    #[test]
+    fn pre_closes_row() {
+        let mut b = Bank::new();
+        b.on_act(0, 1, 11, 28, 39);
+        b.on_pre(28, 11);
+        assert!(b.state.is_precharged());
+        // tRC from the ACT still dominates tRP from the PRE (39 == 28+11).
+        assert_eq!(b.next_act, 39);
+        b.on_pre(100, 11);
+        assert_eq!(b.next_act, 111);
+    }
+
+    #[test]
+    fn row_op_blocks_everything() {
+        let mut b = Bank::new();
+        b.on_row_op(10, 67); // AAP on DDR3-1600: 2*28+11 = 67 cycles
+        assert!(b.state.is_precharged());
+        assert_eq!(b.next_act, 77);
+        assert_eq!(b.next_rd, 77);
+        assert_eq!(b.next_wr, 77);
+        assert_eq!(b.next_pre, 77);
+    }
+
+    #[test]
+    fn debts_are_monotone() {
+        let mut b = Bank::new();
+        b.on_act(0, 1, 11, 28, 39);
+        let pre_debt = b.next_pre;
+        // Re-activation at an earlier logical time must not lower debts.
+        b.on_act(0, 2, 1, 1, 1);
+        assert!(b.next_pre >= pre_debt);
+    }
+}

@@ -1,0 +1,438 @@
+//! DRAM command set, including the in-DRAM computation extensions.
+
+use crate::types::{BankId, DramAddr, RowId};
+use std::fmt;
+
+/// A concrete DRAM command with its target address.
+///
+/// The first eight variants are the conventional DDR command set; the last
+/// three are the RowClone/Ambit extensions (see the `pim-ambit` crate):
+///
+/// * [`Command::Aap`] — *ACTIVATE-ACTIVATE-PRECHARGE*: activates `src`, then
+///   `dst` while the bitline amplifiers still drive `src`'s data, copying the
+///   row (RowClone-FPM). Both rows must be in the same subarray.
+/// * [`Command::Ap`] — *ACTIVATE-PRECHARGE* of a single row.
+/// * [`Command::Tra`] — *triple-row activation* of three rows in the same
+///   subarray; charge sharing leaves the bitwise majority of the three rows
+///   in all three rows and the row buffer (Ambit-AND-OR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Activate (open) a row.
+    Act(RowId),
+    /// Precharge (close) a bank.
+    Pre(BankId),
+    /// Precharge all banks in a rank of a channel.
+    PreAll {
+        /// Channel index.
+        channel: u32,
+        /// Rank index.
+        rank: u32,
+    },
+    /// Read one burst from the open row.
+    Rd(DramAddr),
+    /// Read one burst, then auto-precharge.
+    RdA(DramAddr),
+    /// Write one burst to the open row.
+    Wr(DramAddr),
+    /// Write one burst, then auto-precharge.
+    WrA(DramAddr),
+    /// Refresh a rank (all banks must be precharged).
+    Ref {
+        /// Channel index.
+        channel: u32,
+        /// Rank index.
+        rank: u32,
+    },
+    /// RowClone-FPM copy: `src` row → `dst` row (same subarray). With
+    /// `invert`, the destination receives the *complement* of the source
+    /// (the copy lands through the negated port of a dual-contact-cell row,
+    /// Ambit-NOT's mechanism).
+    Aap {
+        /// Source row.
+        src: RowId,
+        /// Destination row.
+        dst: RowId,
+        /// Capture the complement instead of the value.
+        invert: bool,
+    },
+    /// Activate-precharge of a single row (Ambit sequencing primitive).
+    Ap(RowId),
+    /// Triple-row activation of rows `rows` in `bank` (same subarray).
+    /// Charge sharing leaves the bitwise majority in all three rows.
+    Tra {
+        /// The bank containing the three rows.
+        bank: BankId,
+        /// The three simultaneously activated row indices.
+        rows: [u32; 3],
+    },
+    /// Fused triple-row activation + copy-out (Ambit's `AAP(B_T12, Dk)`):
+    /// computes the majority of `rows` and copies it (optionally inverted)
+    /// into `dst`, all within one AAP's duration.
+    TraAap {
+        /// The bank containing the rows.
+        bank: BankId,
+        /// The three simultaneously activated row indices.
+        rows: [u32; 3],
+        /// Destination row (same subarray).
+        dst: u32,
+        /// Capture the complement instead of the majority value.
+        invert: bool,
+    },
+}
+
+impl Command {
+    /// The kind of this command (payload stripped).
+    pub const fn kind(&self) -> CommandKind {
+        match self {
+            Command::Act(_) => CommandKind::Act,
+            Command::Pre(_) => CommandKind::Pre,
+            Command::PreAll { .. } => CommandKind::PreAll,
+            Command::Rd(_) => CommandKind::Rd,
+            Command::RdA(_) => CommandKind::RdA,
+            Command::Wr(_) => CommandKind::Wr,
+            Command::WrA(_) => CommandKind::WrA,
+            Command::Ref { .. } => CommandKind::Ref,
+            Command::Aap { .. } => CommandKind::Aap,
+            Command::Ap(_) => CommandKind::Ap,
+            Command::Tra { .. } => CommandKind::Tra,
+            Command::TraAap { .. } => CommandKind::TraAap,
+        }
+    }
+
+    /// The bank this command targets, if it targets a single bank.
+    pub fn bank(&self) -> Option<BankId> {
+        match *self {
+            Command::Act(r) | Command::Ap(r) => Some(r.bank_id()),
+            Command::Pre(b) => Some(b),
+            Command::Rd(a) | Command::RdA(a) | Command::Wr(a) | Command::WrA(a) => {
+                Some(a.bank_id())
+            }
+            Command::Aap { src, .. } => Some(src.bank_id()),
+            Command::Tra { bank, .. } | Command::TraAap { bank, .. } => Some(bank),
+            Command::PreAll { .. } | Command::Ref { .. } => None,
+        }
+    }
+
+    /// The (channel, rank) this command targets.
+    pub fn rank(&self) -> (u32, u32) {
+        match *self {
+            Command::Act(r) | Command::Ap(r) => (r.channel, r.rank),
+            Command::Pre(b) => (b.channel, b.rank),
+            Command::Rd(a) | Command::RdA(a) | Command::Wr(a) | Command::WrA(a) => {
+                (a.channel, a.rank)
+            }
+            Command::Aap { src, .. } => (src.channel, src.rank),
+            Command::Tra { bank, .. } | Command::TraAap { bank, .. } => (bank.channel, bank.rank),
+            Command::PreAll { channel, rank } | Command::Ref { channel, rank } => (channel, rank),
+        }
+    }
+
+    /// The channel this command travels over.
+    pub fn channel(&self) -> u32 {
+        self.rank().0
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Act(r) => write!(f, "ACT {r}"),
+            Command::Pre(b) => write!(f, "PRE {b}"),
+            Command::PreAll { channel, rank } => write!(f, "PREA ch{channel}/ra{rank}"),
+            Command::Rd(a) => write!(f, "RD {a}"),
+            Command::RdA(a) => write!(f, "RDA {a}"),
+            Command::Wr(a) => write!(f, "WR {a}"),
+            Command::WrA(a) => write!(f, "WRA {a}"),
+            Command::Ref { channel, rank } => write!(f, "REF ch{channel}/ra{rank}"),
+            Command::Aap { src, dst, invert } => {
+                write!(f, "AAP {src} -> {}row{:#x}", if *invert { "!" } else { "" }, dst.row)
+            }
+            Command::Ap(r) => write!(f, "AP {r}"),
+            Command::Tra { bank, rows } => {
+                write!(f, "TRA {bank} rows [{:#x},{:#x},{:#x}]", rows[0], rows[1], rows[2])
+            }
+            Command::TraAap { bank, rows, dst, invert } => {
+                write!(
+                    f,
+                    "TRA-AAP {bank} rows [{:#x},{:#x},{:#x}] -> {}row{dst:#x}",
+                    rows[0], rows[1], rows[2],
+                    if *invert { "!" } else { "" }
+                )
+            }
+        }
+    }
+}
+
+/// Command kind without payload; used to index timing/energy tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum CommandKind {
+    /// Activate.
+    Act,
+    /// Precharge one bank.
+    Pre,
+    /// Precharge all banks of a rank.
+    PreAll,
+    /// Read.
+    Rd,
+    /// Read with auto-precharge.
+    RdA,
+    /// Write.
+    Wr,
+    /// Write with auto-precharge.
+    WrA,
+    /// Refresh.
+    Ref,
+    /// RowClone-FPM copy.
+    Aap,
+    /// Activate-precharge.
+    Ap,
+    /// Triple-row activation.
+    Tra,
+    /// Fused triple-row activation + copy-out.
+    TraAap,
+}
+
+impl CommandKind {
+    /// Number of distinct command kinds.
+    pub const COUNT: usize = 12;
+
+    /// All kinds, in table order.
+    pub const ALL: [CommandKind; Self::COUNT] = [
+        CommandKind::Act,
+        CommandKind::Pre,
+        CommandKind::PreAll,
+        CommandKind::Rd,
+        CommandKind::RdA,
+        CommandKind::Wr,
+        CommandKind::WrA,
+        CommandKind::Ref,
+        CommandKind::Aap,
+        CommandKind::Ap,
+        CommandKind::Tra,
+        CommandKind::TraAap,
+    ];
+
+    /// Table index of this kind.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// `true` for commands that transfer data on the channel bus (RD/WR).
+    pub const fn uses_bus(self) -> bool {
+        matches!(self, CommandKind::Rd | CommandKind::RdA | CommandKind::Wr | CommandKind::WrA)
+    }
+
+    /// `true` for the column-read commands.
+    pub const fn is_read(self) -> bool {
+        matches!(self, CommandKind::Rd | CommandKind::RdA)
+    }
+
+    /// `true` for the column-write commands.
+    pub const fn is_write(self) -> bool {
+        matches!(self, CommandKind::Wr | CommandKind::WrA)
+    }
+
+    /// `true` for the in-DRAM computation extensions (AAP/AP/TRA).
+    pub const fn is_pim(self) -> bool {
+        matches!(self, CommandKind::Aap | CommandKind::Ap | CommandKind::Tra | CommandKind::TraAap)
+    }
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandKind::Act => "ACT",
+            CommandKind::Pre => "PRE",
+            CommandKind::PreAll => "PREA",
+            CommandKind::Rd => "RD",
+            CommandKind::RdA => "RDA",
+            CommandKind::Wr => "WR",
+            CommandKind::WrA => "WRA",
+            CommandKind::Ref => "REF",
+            CommandKind::Aap => "AAP",
+            CommandKind::Ap => "AP",
+            CommandKind::Tra => "TRA",
+            CommandKind::TraAap => "TRA-AAP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-kind command issue counters, used by the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandCounts {
+    counts: [u64; CommandKind::COUNT],
+}
+
+impl CommandCounts {
+    /// Creates an all-zero counter set.
+    pub const fn new() -> Self {
+        CommandCounts { counts: [0; CommandKind::COUNT] }
+    }
+
+    /// Records one issue of `kind`.
+    pub fn record(&mut self, kind: CommandKind) {
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Number of issues of `kind`.
+    pub fn count(&self, kind: CommandKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total commands issued.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(kind, count)` pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (CommandKind, u64)> + '_ {
+        CommandKind::ALL.iter().map(move |&k| (k, self.counts[k.index()]))
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &CommandCounts) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+    }
+
+    /// Difference `self - earlier`, useful for delta accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s.
+    pub fn since(&self, earlier: &CommandCounts) -> CommandCounts {
+        let mut out = CommandCounts::new();
+        for (i, slot) in out.counts.iter_mut().enumerate() {
+            debug_assert!(self.counts[i] >= earlier.counts[i]);
+            *slot = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out
+    }
+}
+
+impl fmt::Display for CommandCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (kind, n) in self.iter() {
+            if n > 0 {
+                if !first {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{kind}:{n}")?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BankId, DramAddr, RowId};
+
+    #[test]
+    fn kind_mapping_is_total() {
+        let row = RowId::new(0, 0, 0, 1);
+        let addr = DramAddr::new(0, 0, 0, 1, 0);
+        let bank = BankId::new(0, 0, 0);
+        let cmds = [
+            Command::Act(row),
+            Command::Pre(bank),
+            Command::PreAll { channel: 0, rank: 0 },
+            Command::Rd(addr),
+            Command::RdA(addr),
+            Command::Wr(addr),
+            Command::WrA(addr),
+            Command::Ref { channel: 0, rank: 0 },
+            Command::Aap { src: row, dst: row.bank_id().row(2), invert: false },
+            Command::Ap(row),
+            Command::Tra { bank, rows: [1, 2, 3] },
+            Command::TraAap { bank, rows: [1, 2, 3], dst: 4, invert: true },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for c in cmds {
+            assert!(seen.insert(c.kind()), "duplicate kind for {c}");
+            assert!(!format!("{c}").is_empty());
+        }
+        assert_eq!(seen.len(), CommandKind::COUNT);
+    }
+
+    #[test]
+    fn kind_indices_are_unique_and_dense() {
+        let mut seen = [false; CommandKind::COUNT];
+        for k in CommandKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(CommandKind::Rd.uses_bus());
+        assert!(CommandKind::WrA.uses_bus());
+        assert!(!CommandKind::Act.uses_bus());
+        assert!(CommandKind::Rd.is_read() && CommandKind::RdA.is_read());
+        assert!(CommandKind::Wr.is_write() && CommandKind::WrA.is_write());
+        assert!(!CommandKind::Rd.is_write());
+        assert!(CommandKind::Aap.is_pim() && CommandKind::Tra.is_pim() && CommandKind::Ap.is_pim());
+        assert!(!CommandKind::Ref.is_pim());
+    }
+
+    #[test]
+    fn command_targets() {
+        let row = RowId::new(1, 0, 3, 9);
+        assert_eq!(Command::Act(row).bank(), Some(BankId::new(1, 0, 3)));
+        assert_eq!(Command::Act(row).rank(), (1, 0));
+        assert_eq!(Command::Act(row).channel(), 1);
+        assert_eq!(Command::Ref { channel: 2, rank: 1 }.bank(), None);
+        assert_eq!(Command::Ref { channel: 2, rank: 1 }.rank(), (2, 1));
+        let addr = DramAddr::new(0, 1, 2, 3, 4);
+        assert_eq!(Command::Wr(addr).bank(), Some(BankId::new(0, 1, 2)));
+        assert_eq!(
+            Command::Tra { bank: BankId::new(0, 0, 7), rows: [1, 2, 3] }.bank(),
+            Some(BankId::new(0, 0, 7))
+        );
+    }
+
+    #[test]
+    fn counts_record_merge_since() {
+        let mut a = CommandCounts::new();
+        a.record(CommandKind::Act);
+        a.record(CommandKind::Act);
+        a.record(CommandKind::Rd);
+        assert_eq!(a.count(CommandKind::Act), 2);
+        assert_eq!(a.count(CommandKind::Rd), 1);
+        assert_eq!(a.total(), 3);
+
+        let snapshot = a;
+        a.record(CommandKind::Tra);
+        let delta = a.since(&snapshot);
+        assert_eq!(delta.count(CommandKind::Tra), 1);
+        assert_eq!(delta.total(), 1);
+
+        let mut b = CommandCounts::new();
+        b.record(CommandKind::Pre);
+        b.merge(&a);
+        assert_eq!(b.count(CommandKind::Pre), 1);
+        assert_eq!(b.count(CommandKind::Act), 2);
+        assert_eq!(b.total(), a.total() + 1);
+    }
+
+    #[test]
+    fn counts_display() {
+        let mut c = CommandCounts::new();
+        assert_eq!(format!("{c}"), "(none)");
+        c.record(CommandKind::Act);
+        c.record(CommandKind::Tra);
+        let s = format!("{c}");
+        assert!(s.contains("ACT:1") && s.contains("TRA:1"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Functional storage of DRAM row contents.
+//!
+//! The timing model and the functional model are deliberately separated: the
+//! [`Device`](crate::device::Device) enforces *when* commands may issue, and
+//! this module records *what* the rows contain. Rows are allocated lazily —
+//! untouched rows read as all-zero — so simulating a multi-gigabyte device
+//! costs memory only for the rows actually used.
+
+use crate::types::RowId;
+use std::collections::HashMap;
+
+/// Lazily allocated map from rows to their contents (64-bit words).
+#[derive(Debug, Clone, Default)]
+pub struct DataStore {
+    rows: HashMap<RowId, Box<[u64]>>,
+    row_words: usize,
+}
+
+impl DataStore {
+    /// Creates a store for rows of `row_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bytes` is zero or not a multiple of 8.
+    pub fn new(row_bytes: u64) -> Self {
+        assert!(row_bytes > 0 && row_bytes.is_multiple_of(8), "row size must be a positive multiple of 8");
+        DataStore { rows: HashMap::new(), row_words: (row_bytes / 8) as usize }
+    }
+
+    /// Number of 64-bit words per row.
+    pub fn row_words(&self) -> usize {
+        self.row_words
+    }
+
+    /// Number of rows that have been materialized.
+    pub fn allocated_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns the contents of `row`, or `None` if the row was never written
+    /// (i.e. it still reads as all-zero).
+    pub fn row(&self, row: RowId) -> Option<&[u64]> {
+        self.rows.get(&row).map(|b| &**b)
+    }
+
+    /// Returns a mutable reference to `row`, materializing it (zero-filled)
+    /// if needed.
+    pub fn row_mut(&mut self, row: RowId) -> &mut [u64] {
+        let words = self.row_words;
+        self.rows.entry(row).or_insert_with(|| vec![0u64; words].into_boxed_slice())
+    }
+
+    /// Reads word `idx` of `row` (zero if the row is unmaterialized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= row_words()`.
+    pub fn read_word(&self, row: RowId, idx: usize) -> u64 {
+        assert!(idx < self.row_words, "word index {idx} out of row bounds");
+        self.rows.get(&row).map_or(0, |r| r[idx])
+    }
+
+    /// Writes word `idx` of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= row_words()`.
+    pub fn write_word(&mut self, row: RowId, idx: usize, value: u64) {
+        assert!(idx < self.row_words, "word index {idx} out of row bounds");
+        self.row_mut(row)[idx] = value;
+    }
+
+    /// Copies the full contents of `src` into `dst` (RowClone semantics).
+    pub fn copy_row(&mut self, src: RowId, dst: RowId) {
+        if src == dst {
+            return;
+        }
+        match self.rows.get(&src).cloned() {
+            Some(data) => {
+                self.rows.insert(dst, data);
+            }
+            None => {
+                // Source is all-zero; make destination all-zero too.
+                self.rows.remove(&dst);
+            }
+        }
+    }
+
+    /// Fills `row` with `word` repeated (bulk initialization).
+    pub fn fill_row(&mut self, row: RowId, word: u64) {
+        if word == 0 {
+            self.rows.remove(&row);
+        } else {
+            self.row_mut(row).fill(word);
+        }
+    }
+
+    /// Computes the bitwise majority of three rows and stores it into **all
+    /// three** rows (triple-row-activation semantics: charge sharing leaves
+    /// the majority value in every participating cell).
+    ///
+    /// Returns a copy of the resulting row.
+    pub fn majority3(&mut self, a: RowId, b: RowId, c: RowId) -> Vec<u64> {
+        let words = self.row_words;
+        let mut out = vec![0u64; words];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let (x, y, z) = (self.read_word(a, i), self.read_word(b, i), self.read_word(c, i));
+            *slot = (x & y) | (y & z) | (x & z);
+        }
+        for row in [a, b, c] {
+            self.row_mut(row).copy_from_slice(&out);
+        }
+        out
+    }
+
+    /// Writes the bitwise NOT of `src` into `dst` (dual-contact-cell
+    /// semantics of Ambit-NOT).
+    pub fn not_row(&mut self, src: RowId, dst: RowId) {
+        let words = self.row_words;
+        let src_data: Vec<u64> =
+            (0..words).map(|i| self.read_word(src, i)).collect();
+        let dst_row = self.row_mut(dst);
+        for (d, s) in dst_row.iter_mut().zip(src_data.iter()) {
+            *d = !*s;
+        }
+    }
+
+    /// Reads the full row into a fresh vector (all-zero if unmaterialized).
+    pub fn read_row(&self, row: RowId) -> Vec<u64> {
+        match self.rows.get(&row) {
+            Some(data) => data.to_vec(),
+            None => vec![0u64; self.row_words],
+        }
+    }
+
+    /// Overwrites the full row from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != row_words()`.
+    pub fn write_row(&mut self, row: RowId, data: &[u64]) {
+        assert_eq!(data.len(), self.row_words, "row data length mismatch");
+        self.row_mut(row).copy_from_slice(data);
+    }
+
+    /// Drops all materialized rows (everything reads as zero again).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DataStore {
+        DataStore::new(64) // 8 words per row for brevity
+    }
+
+    fn rid(row: u32) -> RowId {
+        RowId::new(0, 0, 0, row)
+    }
+
+    #[test]
+    fn lazy_rows_read_zero() {
+        let s = store();
+        assert_eq!(s.read_word(rid(5), 0), 0);
+        assert!(s.row(rid(5)).is_none());
+        assert_eq!(s.allocated_rows(), 0);
+        assert_eq!(s.read_row(rid(5)), vec![0u64; 8]);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut s = store();
+        s.write_word(rid(1), 3, 0xdead_beef);
+        assert_eq!(s.read_word(rid(1), 3), 0xdead_beef);
+        assert_eq!(s.read_word(rid(1), 2), 0);
+        assert_eq!(s.allocated_rows(), 1);
+    }
+
+    #[test]
+    fn copy_row_materialized_and_zero() {
+        let mut s = store();
+        s.write_word(rid(1), 0, 7);
+        s.copy_row(rid(1), rid(2));
+        assert_eq!(s.read_word(rid(2), 0), 7);
+        // Copying an all-zero row over a dirty row zeroes it.
+        s.copy_row(rid(9), rid(2));
+        assert_eq!(s.read_word(rid(2), 0), 0);
+        // Self copy is a no-op.
+        s.write_word(rid(3), 1, 42);
+        s.copy_row(rid(3), rid(3));
+        assert_eq!(s.read_word(rid(3), 1), 42);
+    }
+
+    #[test]
+    fn fill_row_zero_frees() {
+        let mut s = store();
+        s.fill_row(rid(4), u64::MAX);
+        assert_eq!(s.read_word(rid(4), 7), u64::MAX);
+        s.fill_row(rid(4), 0);
+        assert!(s.row(rid(4)).is_none());
+        assert_eq!(s.read_word(rid(4), 7), 0);
+    }
+
+    #[test]
+    fn majority_writes_all_three_rows() {
+        let mut s = store();
+        s.write_word(rid(0), 0, 0b1100);
+        s.write_word(rid(1), 0, 0b1010);
+        s.write_word(rid(2), 0, 0b1001);
+        let out = s.majority3(rid(0), rid(1), rid(2));
+        assert_eq!(out[0], 0b1000);
+        for r in 0..3 {
+            assert_eq!(s.read_word(rid(r), 0), 0b1000, "row {r} must hold the majority");
+        }
+    }
+
+    #[test]
+    fn majority_and_or_identities() {
+        // MAJ(a, b, 0) = a AND b; MAJ(a, b, 1) = a OR b.
+        let a = 0x0f0f_1234_5678_9abc;
+        let b = 0x00ff_8765_4321_0fed;
+        let mut s = store();
+        s.write_word(rid(0), 0, a);
+        s.write_word(rid(1), 0, b);
+        s.fill_row(rid(2), 0);
+        assert_eq!(s.majority3(rid(0), rid(1), rid(2))[0], a & b);
+
+        let mut s = store();
+        s.write_word(rid(0), 0, a);
+        s.write_word(rid(1), 0, b);
+        s.fill_row(rid(2), u64::MAX);
+        assert_eq!(s.majority3(rid(0), rid(1), rid(2))[0], a | b);
+    }
+
+    #[test]
+    fn not_row_inverts() {
+        let mut s = store();
+        s.write_word(rid(0), 0, 0xff00_ff00_ff00_ff00);
+        s.not_row(rid(0), rid(1));
+        assert_eq!(s.read_word(rid(1), 0), 0x00ff_00ff_00ff_00ff);
+        // Words beyond index 0 were zero, so they invert to all-ones.
+        assert_eq!(s.read_word(rid(1), 1), u64::MAX);
+    }
+
+    #[test]
+    fn read_write_full_row() {
+        let mut s = store();
+        let data: Vec<u64> = (0..8).map(|i| i * 11).collect();
+        s.write_row(rid(6), &data);
+        assert_eq!(s.read_row(rid(6)), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn write_row_wrong_len_panics() {
+        let mut s = store();
+        s.write_row(rid(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of row bounds")]
+    fn read_word_oob_panics() {
+        let s = store();
+        let _ = s.read_word(rid(0), 8);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = store();
+        s.write_word(rid(0), 0, 1);
+        s.clear();
+        assert_eq!(s.allocated_rows(), 0);
+        assert_eq!(s.read_word(rid(0), 0), 0);
+    }
+}

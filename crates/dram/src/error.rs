@@ -1,0 +1,136 @@
+//! Error type for the DRAM simulator.
+
+use crate::command::CommandKind;
+use crate::types::{BankId, Cycle, DramAddr, RowId};
+use std::fmt;
+
+/// Errors returned by [`Device`](crate::device::Device) and
+/// [`Controller`](crate::controller::Controller) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// An address coordinate exceeds the organization's bounds.
+    AddressOutOfRange {
+        /// The offending decoded address.
+        addr: DramAddr,
+        /// Which coordinate was out of range.
+        field: &'static str,
+    },
+    /// A command was issued before the earliest cycle timing allows.
+    TooEarly {
+        /// The command kind.
+        kind: CommandKind,
+        /// Cycle the caller tried to issue at.
+        at: Cycle,
+        /// Earliest legal cycle.
+        earliest: Cycle,
+    },
+    /// A command required a different bank state (e.g. RD on a precharged
+    /// bank, or ACT on an already-open bank).
+    WrongBankState {
+        /// The command kind.
+        kind: CommandKind,
+        /// The bank.
+        bank: BankId,
+        /// Human-readable description of the requirement.
+        need: &'static str,
+    },
+    /// The open row does not match the row addressed by a column command.
+    RowMismatch {
+        /// The bank.
+        bank: BankId,
+        /// Row currently open.
+        open: u32,
+        /// Row the command addressed.
+        requested: u32,
+    },
+    /// An in-DRAM operation (AAP FPM copy, TRA) referenced rows in different
+    /// subarrays; the analog mechanism only works within one subarray.
+    SubarrayMismatch {
+        /// First row.
+        a: RowId,
+        /// Second row.
+        b: RowId,
+    },
+    /// A refresh was attempted while some bank in the rank was active.
+    RefreshWhileActive {
+        /// Channel index.
+        channel: u32,
+        /// Rank index.
+        rank: u32,
+    },
+    /// The controller's request queue is full.
+    QueueFull {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::AddressOutOfRange { addr, field } => {
+                write!(f, "address {addr} out of range: {field}")
+            }
+            DramError::TooEarly { kind, at, earliest } => {
+                write!(f, "{kind} issued at cycle {at}, earliest legal cycle is {earliest}")
+            }
+            DramError::WrongBankState { kind, bank, need } => {
+                write!(f, "{kind} on bank {bank} requires {need}")
+            }
+            DramError::RowMismatch { bank, open, requested } => {
+                write!(
+                    f,
+                    "column command on bank {bank} addresses row {requested:#x} but row {open:#x} is open"
+                )
+            }
+            DramError::SubarrayMismatch { a, b } => {
+                write!(f, "rows {a} and row{:#x} are not in the same subarray", b.row)
+            }
+            DramError::RefreshWhileActive { channel, rank } => {
+                write!(f, "refresh on ch{channel}/ra{rank} requires all banks precharged")
+            }
+            DramError::QueueFull { capacity } => {
+                write!(f, "controller request queue full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+/// Convenience alias for DRAM results.
+pub type Result<T> = std::result::Result<T, DramError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let errs: Vec<DramError> = vec![
+            DramError::AddressOutOfRange { addr: DramAddr::default(), field: "row" },
+            DramError::TooEarly { kind: CommandKind::Act, at: 5, earliest: 10 },
+            DramError::WrongBankState {
+                kind: CommandKind::Rd,
+                bank: BankId::default(),
+                need: "an open row",
+            },
+            DramError::RowMismatch { bank: BankId::default(), open: 1, requested: 2 },
+            DramError::SubarrayMismatch { a: RowId::default(), b: RowId::new(0, 0, 0, 600) },
+            DramError::RefreshWhileActive { channel: 0, rank: 0 },
+            DramError::QueueFull { capacity: 32 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            // C-GOOD-ERR: lowercase-ish messages without trailing punctuation.
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DramError::QueueFull { capacity: 1 });
+    }
+}

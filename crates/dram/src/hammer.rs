@@ -1,0 +1,181 @@
+//! RowHammer activation monitor (the paper's §1 motivates PIM partly by
+//! the RowHammer scaling problem [Kim+ ISCA'14]).
+//!
+//! A [`HammerMonitor`] counts activations per row within a refresh window
+//! and flags rows whose neighbors may be disturbed. In-DRAM computation
+//! changes the activation profile dramatically — Ambit programs hammer
+//! the B-group rows — so a PIM-aware controller needs exactly this kind
+//! of counter to decide when to issue neighbor refreshes.
+
+use crate::command::Command;
+use crate::types::{Cycle, RowId};
+use std::collections::HashMap;
+
+/// Counts row activations within a sliding refresh window.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::{Command, HammerMonitor, RowId};
+/// let mut m = HammerMonitor::new(3, 1_000_000);
+/// let row = RowId::new(0, 0, 0, 7);
+/// for t in 0..3 {
+///     m.observe(&Command::Act(row), t);
+/// }
+/// assert_eq!(m.flagged(), &[row]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HammerMonitor {
+    threshold: u32,
+    window_cycles: Cycle,
+    window_start: Cycle,
+    counts: HashMap<RowId, u32>,
+    victims: Vec<RowId>,
+}
+
+impl HammerMonitor {
+    /// Creates a monitor that flags rows activated more than `threshold`
+    /// times within any `window_cycles`-cycle refresh window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` or `window_cycles` is zero.
+    pub fn new(threshold: u32, window_cycles: Cycle) -> Self {
+        assert!(threshold > 0, "threshold must be nonzero");
+        assert!(window_cycles > 0, "window must be nonzero");
+        HammerMonitor {
+            threshold,
+            window_cycles,
+            window_start: 0,
+            counts: HashMap::new(),
+            victims: Vec::new(),
+        }
+    }
+
+    /// A DDR3-representative monitor: 50k activations per 64 ms window
+    /// (the original RowHammer threshold scale) at a 1.25 ns clock.
+    pub fn ddr3_default() -> Self {
+        HammerMonitor::new(50_000, 51_200_000)
+    }
+
+    /// The flagging threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Records a command issued at `at`, counting every row activation it
+    /// implies (AAP counts both rows; TRA counts all three).
+    pub fn observe(&mut self, cmd: &Command, at: Cycle) {
+        if at >= self.window_start + self.window_cycles {
+            self.counts.clear();
+            self.window_start = at - at % self.window_cycles;
+        }
+        let rows: Vec<RowId> = match *cmd {
+            Command::Act(r) | Command::Ap(r) => vec![r],
+            Command::Aap { src, dst, .. } => vec![src, dst],
+            Command::Tra { bank, rows } => rows.iter().map(|&r| bank.row(r)).collect(),
+            Command::TraAap { bank, rows, dst, .. } => {
+                let mut v: Vec<RowId> = rows.iter().map(|&r| bank.row(r)).collect();
+                v.push(bank.row(dst));
+                v
+            }
+            _ => Vec::new(),
+        };
+        for row in rows {
+            let c = self.counts.entry(row).or_insert(0);
+            *c += 1;
+            if *c == self.threshold {
+                self.victims.push(row);
+            }
+        }
+    }
+
+    /// Activation count of `row` in the current window.
+    pub fn count(&self, row: RowId) -> u32 {
+        self.counts.get(&row).copied().unwrap_or(0)
+    }
+
+    /// Rows that crossed the threshold this window (aggressors whose
+    /// neighbors need refreshing), in flag order.
+    pub fn flagged(&self) -> &[RowId] {
+        &self.victims
+    }
+
+    /// Drains the flagged list (the controller has refreshed the victims).
+    pub fn acknowledge(&mut self) -> Vec<RowId> {
+        std::mem::take(&mut self.victims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BankId;
+
+    fn act(row: u32) -> Command {
+        Command::Act(RowId::new(0, 0, 0, row))
+    }
+
+    #[test]
+    fn repeated_activation_trips_the_monitor() {
+        let mut m = HammerMonitor::new(100, 1_000_000);
+        for i in 0..99 {
+            m.observe(&act(7), i);
+        }
+        assert!(m.flagged().is_empty());
+        m.observe(&act(7), 99);
+        assert_eq!(m.flagged(), &[RowId::new(0, 0, 0, 7)]);
+        assert_eq!(m.count(RowId::new(0, 0, 0, 7)), 100);
+    }
+
+    #[test]
+    fn window_expiry_resets_counts() {
+        let mut m = HammerMonitor::new(10, 1000);
+        for i in 0..9 {
+            m.observe(&act(3), i);
+        }
+        assert_eq!(m.count(RowId::new(0, 0, 0, 3)), 9);
+        // Past the window: counter restarts.
+        m.observe(&act(3), 2000);
+        assert_eq!(m.count(RowId::new(0, 0, 0, 3)), 1);
+        assert!(m.flagged().is_empty());
+    }
+
+    #[test]
+    fn pim_commands_count_all_their_rows() {
+        let mut m = HammerMonitor::new(2, 1_000_000);
+        let bank = BankId::new(0, 0, 0);
+        m.observe(&Command::Tra { bank, rows: [1, 2, 3] }, 0);
+        m.observe(&Command::TraAap { bank, rows: [1, 2, 3], dst: 4, invert: false }, 10);
+        // Rows 1-3 activated twice -> all flagged; row 4 once.
+        assert_eq!(m.flagged().len(), 3);
+        assert_eq!(m.count(bank.row(4)), 1);
+        let drained = m.acknowledge();
+        assert_eq!(drained.len(), 3);
+        assert!(m.flagged().is_empty());
+    }
+
+    #[test]
+    fn aap_counts_both_rows() {
+        let mut m = HammerMonitor::new(3, 1_000_000);
+        let (src, dst) = (RowId::new(0, 0, 0, 5), RowId::new(0, 0, 0, 6));
+        for i in 0..3 {
+            m.observe(&Command::Aap { src, dst, invert: false }, i);
+        }
+        assert_eq!(m.flagged().len(), 2, "both AAP rows hammered");
+    }
+
+    #[test]
+    fn column_commands_do_not_count() {
+        let mut m = HammerMonitor::new(1, 1000);
+        m.observe(&Command::Rd(crate::types::DramAddr::new(0, 0, 0, 1, 0)), 0);
+        m.observe(&Command::Ref { channel: 0, rank: 0 }, 1);
+        assert!(m.flagged().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        let _ = HammerMonitor::new(0, 100);
+    }
+}

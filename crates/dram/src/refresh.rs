@@ -1,0 +1,176 @@
+//! Refresh-overhead analysis, including RAIDR-style retention-aware
+//! refresh (Liu+ ISCA'12, cited in the paper's §1 as part of the memory
+//! scaling problem).
+//!
+//! Every row must be refreshed within its retention time; the JEDEC
+//! default assumes the *worst* row (64 ms) for all rows. RAIDR profiles
+//! retention and bins rows: the handful of weak rows keep the short
+//! period while the vast majority refresh 4× less often, cutting refresh
+//! operations by ~75% — which matters increasingly as device capacity
+//! grows (the "refresh wall").
+
+use crate::spec::{DramSpec, Timing};
+use std::fmt;
+
+/// A group of rows sharing a refresh period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionBin {
+    /// Refresh period for this bin, in milliseconds.
+    pub period_ms: f64,
+    /// Rows in the bin.
+    pub rows: u64,
+}
+
+/// A refresh policy: a set of retention bins covering every row.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::refresh::{reduction_vs_baseline, RefreshPolicy};
+/// let raidr = RefreshPolicy::raidr(262_144);
+/// assert!(reduction_vs_baseline(&raidr) > 0.7); // ~75% fewer refreshes
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshPolicy {
+    name: &'static str,
+    bins: Vec<RetentionBin>,
+}
+
+impl RefreshPolicy {
+    /// The JEDEC baseline: every row at the worst-case 64 ms period.
+    pub fn baseline(total_rows: u64) -> Self {
+        RefreshPolicy {
+            name: "baseline-64ms",
+            bins: vec![RetentionBin { period_ms: 64.0, rows: total_rows }],
+        }
+    }
+
+    /// RAIDR's measured distribution, scaled to the device: ~30 ppm of
+    /// rows need 64 ms, ~1000 ppm need 128 ms, everything else is safe at
+    /// 256 ms.
+    pub fn raidr(total_rows: u64) -> Self {
+        let weak = (total_rows as f64 * 30e-6).ceil() as u64;
+        let medium = (total_rows as f64 * 1000e-6).ceil() as u64;
+        let strong = total_rows.saturating_sub(weak + medium);
+        RefreshPolicy {
+            name: "raidr",
+            bins: vec![
+                RetentionBin { period_ms: 64.0, rows: weak },
+                RetentionBin { period_ms: 128.0, rows: medium },
+                RetentionBin { period_ms: 256.0, rows: strong },
+            ],
+        }
+    }
+
+    /// Policy name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The bins.
+    pub fn bins(&self) -> &[RetentionBin] {
+        &self.bins
+    }
+
+    /// Total rows covered.
+    pub fn rows(&self) -> u64 {
+        self.bins.iter().map(|b| b.rows).sum()
+    }
+
+    /// Row-refresh operations per second.
+    pub fn row_refreshes_per_sec(&self) -> f64 {
+        self.bins.iter().map(|b| b.rows as f64 / (b.period_ms / 1000.0)).sum()
+    }
+
+    /// Fraction of device time spent refreshing, given that one all-bank
+    /// REF covers `rows_per_ref` rows and blocks the rank for `tRFC`.
+    pub fn time_overhead(&self, timing: &Timing, rows_per_ref: u64) -> f64 {
+        let refs_per_sec = self.row_refreshes_per_sec() / rows_per_ref as f64;
+        let rfc_sec = timing.cycles_to_ns(timing.rfc) * 1e-9;
+        refs_per_sec * rfc_sec
+    }
+}
+
+impl fmt::Display for RefreshPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} rows, {:.0} row-refreshes/s",
+            self.name,
+            self.rows(),
+            self.row_refreshes_per_sec()
+        )
+    }
+}
+
+/// Rows covered by one all-bank refresh command: with 8192 REF commands
+/// per 64 ms window (tREFI spacing), each REF covers `rows / 8192` rows
+/// per bank set.
+pub fn rows_per_ref(spec: &DramSpec) -> u64 {
+    let total_rows = spec.org.rows as u64 * spec.org.banks as u64;
+    (total_rows / 8192).max(1)
+}
+
+/// Refresh-reduction factor of `policy` vs. the 64 ms baseline.
+pub fn reduction_vs_baseline(policy: &RefreshPolicy) -> f64 {
+    let base = RefreshPolicy::baseline(policy.rows());
+    1.0 - policy.row_refreshes_per_sec() / base.row_refreshes_per_sec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raidr_cuts_refreshes_by_about_three_quarters() {
+        let rows = 32768 * 8; // one DDR3 rank
+        let raidr = RefreshPolicy::raidr(rows as u64);
+        let reduction = reduction_vs_baseline(&raidr);
+        assert!(
+            (0.70..0.76).contains(&reduction),
+            "RAIDR reduction {reduction} (paper: ~75%)"
+        );
+        assert_eq!(raidr.rows(), rows as u64);
+    }
+
+    #[test]
+    fn baseline_rate_matches_refi_math() {
+        let spec = DramSpec::ddr3_1600();
+        let rows = spec.org.rows as u64 * spec.org.banks as u64;
+        let base = RefreshPolicy::baseline(rows);
+        // All rows once per 64 ms.
+        let expect = rows as f64 / 0.064;
+        assert!((base.row_refreshes_per_sec() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn refresh_wall_grows_with_capacity() {
+        // The paper's §1 motivation: refresh overhead scales with density.
+        let spec = DramSpec::ddr3_1600();
+        let small = RefreshPolicy::baseline(32768 * 8);
+        let big = RefreshPolicy::baseline(32768 * 8 * 8); // 8x the rows
+        let o_small = small.time_overhead(&spec.timing, rows_per_ref(&spec));
+        let o_big = big.time_overhead(&spec.timing, rows_per_ref(&spec));
+        assert!((o_big / o_small - 8.0).abs() < 0.01, "overhead must scale with rows");
+        // DDR3 2Gb-era: a few percent of time.
+        assert!((0.005..0.10).contains(&o_small), "overhead {o_small}");
+    }
+
+    #[test]
+    fn raidr_reduces_time_overhead_too() {
+        let spec = DramSpec::ddr3_1600();
+        let rows = (spec.org.rows * spec.org.banks) as u64;
+        let rpr = rows_per_ref(&spec);
+        let base = RefreshPolicy::baseline(rows).time_overhead(&spec.timing, rpr);
+        let raidr = RefreshPolicy::raidr(rows).time_overhead(&spec.timing, rpr);
+        assert!(raidr < 0.35 * base);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = RefreshPolicy::raidr(1000);
+        assert!(format!("{p}").contains("raidr"));
+        assert_eq!(p.bins().len(), 3);
+        assert_eq!(p.name(), "raidr");
+    }
+}

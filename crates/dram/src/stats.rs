@@ -1,0 +1,128 @@
+//! Controller-level statistics.
+
+use crate::spec::Timing;
+use crate::types::Cycle;
+use std::fmt;
+
+/// Aggregate statistics collected by a [`Controller`](crate::controller::Controller).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Column commands that hit an already-open row.
+    pub row_hits: u64,
+    /// Requests that needed an ACT (bank was precharged).
+    pub row_misses: u64,
+    /// Requests that needed a PRE first (another row was open).
+    pub row_conflicts: u64,
+    /// Refresh commands issued.
+    pub refreshes: u64,
+    /// Sum of request latencies (arrival to data completion), in cycles.
+    pub total_latency: Cycle,
+    /// Maximum single-request latency, in cycles.
+    pub max_latency: Cycle,
+    /// Bytes moved by reads.
+    pub bytes_read: u64,
+    /// Bytes moved by writes.
+    pub bytes_written: u64,
+    /// Cycle of the last completion.
+    pub last_done: Cycle,
+    /// Cycle of the first request arrival.
+    pub first_arrival: Cycle,
+}
+
+impl ControllerStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        ControllerStats::default()
+    }
+
+    /// Total completed requests.
+    pub fn requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean request latency in cycles (0 if no requests completed).
+    pub fn avg_latency(&self) -> f64 {
+        if self.requests() == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.requests() as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all classified column accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Achieved bandwidth in GB/s over the active window, given the clock.
+    pub fn bandwidth_gbps(&self, timing: &Timing) -> f64 {
+        let cycles = self.last_done.saturating_sub(self.first_arrival);
+        if cycles == 0 {
+            return 0.0;
+        }
+        let secs = timing.cycles_to_ns(cycles) * 1e-9;
+        (self.bytes_read + self.bytes_written) as f64 / secs / 1e9
+    }
+}
+
+impl fmt::Display for ControllerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} hit-rate={:.1}% avg-lat={:.1}cy refreshes={}",
+            self.reads,
+            self.writes,
+            self.row_hit_rate() * 100.0,
+            self.avg_latency(),
+            self.refreshes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DramSpec;
+
+    #[test]
+    fn zeroed_stats_have_sane_derived_values() {
+        let s = ControllerStats::new();
+        assert_eq!(s.requests(), 0);
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.bandwidth_gbps(&DramSpec::ddr3_1600().timing), 0.0);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn derived_values() {
+        let s = ControllerStats {
+            reads: 3,
+            writes: 1,
+            row_hits: 2,
+            row_misses: 1,
+            row_conflicts: 1,
+            total_latency: 400,
+            bytes_read: 192,
+            bytes_written: 64,
+            first_arrival: 0,
+            last_done: 800, // 1000 ns at DDR3-1600
+            ..ControllerStats::default()
+        };
+        assert_eq!(s.requests(), 4);
+        assert!((s.avg_latency() - 100.0).abs() < 1e-9);
+        assert!((s.row_hit_rate() - 0.5).abs() < 1e-9);
+        let bw = s.bandwidth_gbps(&DramSpec::ddr3_1600().timing);
+        // 256 bytes over 1000 ns = 0.256 GB/s.
+        assert!((bw - 0.256).abs() < 1e-6, "bw={bw}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Fundamental value types shared across the DRAM simulator.
+//!
+//! Everything in the simulator is expressed in *memory-controller clock
+//! cycles* ([`Cycle`]); wall-clock conversions go through the clock period
+//! carried by [`crate::spec::Timing`].
+
+use std::fmt;
+
+/// A point in time or a duration, measured in memory-clock cycles.
+pub type Cycle = u64;
+
+/// A physical byte address as seen by the memory controller.
+///
+/// The controller decodes a `PhysAddr` into a [`DramAddr`] using an
+/// [`crate::mapping::AddressMapping`] scheme.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::PhysAddr;
+/// let a = PhysAddr::new(0x1000);
+/// assert_eq!(a.as_u64(), 0x1000);
+/// assert_eq!(a.offset(0x40).as_u64(), 0x1040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte address.
+    pub const fn new(addr: u64) -> Self {
+        PhysAddr(addr)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this address displaced by `bytes`.
+    pub const fn offset(self, bytes: u64) -> Self {
+        PhysAddr(self.0 + bytes)
+    }
+
+    /// Returns the address aligned *down* to `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_down(self, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        PhysAddr(self.0 & !(align - 1))
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A fully decoded DRAM location: channel / rank / bank / row / column.
+///
+/// The `column` field addresses one *device burst* (i.e. one bus transaction
+/// of `Organization::burst_bytes()` bytes), not a single byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DramAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column (burst) index within the row.
+    pub column: u32,
+}
+
+impl DramAddr {
+    /// Creates a decoded address from its five coordinates.
+    pub const fn new(channel: u32, rank: u32, bank: u32, row: u32, column: u32) -> Self {
+        DramAddr { channel, rank, bank, row, column }
+    }
+
+    /// Returns the same location with a different row.
+    pub const fn with_row(mut self, row: u32) -> Self {
+        self.row = row;
+        self
+    }
+
+    /// Returns the same location with a different column.
+    pub const fn with_column(mut self, column: u32) -> Self {
+        self.column = column;
+        self
+    }
+
+    /// Identifier of the bank this address falls in, ignoring row/column.
+    pub const fn bank_id(self) -> BankId {
+        BankId { channel: self.channel, rank: self.rank, bank: self.bank }
+    }
+
+    /// Identifier of the row this address falls in, ignoring the column.
+    pub const fn row_id(self) -> RowId {
+        RowId { channel: self.channel, rank: self.rank, bank: self.bank, row: self.row }
+    }
+}
+
+impl fmt::Display for DramAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/ra{}/ba{}/row{:#x}/col{}",
+            self.channel, self.rank, self.bank, self.row, self.column
+        )
+    }
+}
+
+/// Globally unique identifier of a bank (channel, rank, bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+}
+
+impl BankId {
+    /// Creates a bank identifier.
+    pub const fn new(channel: u32, rank: u32, bank: u32) -> Self {
+        BankId { channel, rank, bank }
+    }
+
+    /// Returns the [`RowId`] for `row` inside this bank.
+    pub const fn row(self, row: u32) -> RowId {
+        RowId { channel: self.channel, rank: self.rank, bank: self.bank, row }
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}/ra{}/ba{}", self.channel, self.rank, self.bank)
+    }
+}
+
+/// Globally unique identifier of a DRAM row (bank + row index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowId {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+impl RowId {
+    /// Creates a row identifier.
+    pub const fn new(channel: u32, rank: u32, bank: u32, row: u32) -> Self {
+        RowId { channel, rank, bank, row }
+    }
+
+    /// Returns the bank that contains this row.
+    pub const fn bank_id(self) -> BankId {
+        BankId { channel: self.channel, rank: self.rank, bank: self.bank }
+    }
+
+    /// Returns the decoded address of `column` within this row.
+    pub const fn addr(self, column: u32) -> DramAddr {
+        DramAddr {
+            channel: self.channel,
+            rank: self.rank,
+            bank: self.bank,
+            row: self.row,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}/ra{}/ba{}/row{:#x}", self.channel, self.rank, self.bank, self.row)
+    }
+}
+
+/// Kind of access carried by a memory [`Request`](crate::controller::Request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A read of one burst.
+    Read,
+    /// A write of one burst.
+    Write,
+}
+
+impl Access {
+    /// Returns `true` for [`Access::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, Access::Read)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => f.write_str("read"),
+            Access::Write => f.write_str("write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_roundtrip_and_offset() {
+        let a = PhysAddr::new(0xdead_0000);
+        assert_eq!(a.as_u64(), 0xdead_0000);
+        assert_eq!(a.offset(0x40).as_u64(), 0xdead_0040);
+        assert_eq!(PhysAddr::from(7u64).as_u64(), 7);
+    }
+
+    #[test]
+    fn phys_addr_align_down() {
+        assert_eq!(PhysAddr::new(0x1fff).align_down(0x1000).as_u64(), 0x1000);
+        assert_eq!(PhysAddr::new(0x1000).align_down(0x1000).as_u64(), 0x1000);
+        assert_eq!(PhysAddr::new(0x3f).align_down(64).as_u64(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn phys_addr_align_down_rejects_non_pow2() {
+        let _ = PhysAddr::new(0x100).align_down(3);
+    }
+
+    #[test]
+    fn dram_addr_ids() {
+        let a = DramAddr::new(1, 0, 5, 42, 3);
+        assert_eq!(a.bank_id(), BankId::new(1, 0, 5));
+        assert_eq!(a.row_id(), RowId::new(1, 0, 5, 42));
+        assert_eq!(a.row_id().bank_id(), a.bank_id());
+        assert_eq!(a.with_row(7).row, 7);
+        assert_eq!(a.with_column(9).column, 9);
+    }
+
+    #[test]
+    fn row_id_addr() {
+        let r = RowId::new(0, 1, 2, 3);
+        let a = r.addr(17);
+        assert_eq!(a, DramAddr::new(0, 1, 2, 3, 17));
+        assert_eq!(BankId::new(0, 1, 2).row(3), r);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+        assert!(!format!("{}", DramAddr::default()).is_empty());
+        assert!(!format!("{}", BankId::default()).is_empty());
+        assert!(!format!("{}", RowId::default()).is_empty());
+        assert_eq!(format!("{}", Access::Read), "read");
+        assert_eq!(format!("{}", Access::Write), "write");
+    }
+
+    #[test]
+    fn access_is_read() {
+        assert!(Access::Read.is_read());
+        assert!(!Access::Write.is_read());
+    }
+}

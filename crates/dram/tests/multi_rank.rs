@@ -1,0 +1,87 @@
+//! Multi-rank behavior: independent rank timing, per-rank refresh, and
+//! shared-channel constraints.
+
+use pim_dram::{
+    AddressMapping, Command, Controller, Device, DramAddr, DramSpec, PhysAddr, Request, RowId,
+    RowPolicy,
+};
+
+fn two_rank_spec() -> DramSpec {
+    let mut spec = DramSpec::ddr3_1600();
+    spec.org.ranks = 2;
+    spec
+}
+
+#[test]
+fn acts_in_different_ranks_are_independent() {
+    let mut d = Device::new(two_rank_spec());
+    let (t0, _) = d.issue_earliest(Command::Act(RowId::new(0, 0, 0, 1)), 0).unwrap();
+    let (t1, _) = d.issue_earliest(Command::Act(RowId::new(0, 1, 0, 1)), 0).unwrap();
+    assert_eq!(t0, 0);
+    assert_eq!(t1, 0, "tRRD/tFAW are per rank; the other rank starts cold");
+}
+
+#[test]
+fn reads_share_the_channel_bus_across_ranks() {
+    let mut d = Device::new(two_rank_spec());
+    let t = d.spec().timing;
+    d.issue_earliest(Command::Act(RowId::new(0, 0, 0, 1)), 0).unwrap();
+    d.issue_earliest(Command::Act(RowId::new(0, 1, 0, 1)), 0).unwrap();
+    let (r0, _) = d.issue_earliest(Command::Rd(DramAddr::new(0, 0, 0, 1, 0)), 0).unwrap();
+    let (r1, _) = d.issue_earliest(Command::Rd(DramAddr::new(0, 1, 0, 1, 0)), 0).unwrap();
+    assert!(r1 >= r0 + t.ccd, "column commands space by tCCD even across ranks");
+}
+
+#[test]
+fn controller_drains_two_rank_traffic_and_refreshes_both() {
+    let spec = two_rank_spec();
+    let org = spec.org;
+    let m = AddressMapping::default();
+    let mut mc = Controller::with_options(spec, m, RowPolicy::Open, true);
+    let mut reqs = Vec::new();
+    for i in 0..5000u32 {
+        // Row-conflict traffic alternating ranks, stretching past tREFI.
+        reqs.push(Request::read(m.encode(
+            DramAddr::new(0, i % 2, (i / 2) % org.banks, i % org.rows, 0),
+            &org,
+        )));
+    }
+    let (_, comps) = mc.run_batch(&reqs).unwrap();
+    assert_eq!(comps.len(), 5000);
+    // Both ranks must have refreshed (refresh count covers rank pairs).
+    assert!(mc.stats().refreshes >= 2, "refreshes: {}", mc.stats().refreshes);
+}
+
+#[test]
+fn rank_parallelism_beats_single_rank_on_conflict_traffic() {
+    let org = two_rank_spec().org;
+    let m = AddressMapping::default();
+    // Same number of row-conflicting accesses to one bank...
+    let single: Vec<Request> = (0..64u32)
+        .map(|i| Request::read(m.encode(DramAddr::new(0, 0, 0, i * 2 + 1, 0), &org)))
+        .collect();
+    // ...vs. spread over the same bank in two ranks.
+    let spread: Vec<Request> = (0..64u32)
+        .map(|i| Request::read(m.encode(DramAddr::new(0, i % 2, 0, i * 2 + 1, 0), &org)))
+        .collect();
+    let mut mc1 = Controller::new(two_rank_spec());
+    let (t_single, _) = mc1.run_batch(&single).unwrap();
+    let mut mc2 = Controller::new(two_rank_spec());
+    let (t_spread, _) = mc2.run_batch(&spread).unwrap();
+    assert!(
+        t_spread * 3 < t_single * 2,
+        "two ranks ({t_spread}) must beat one ({t_single})"
+    );
+}
+
+#[test]
+fn capacity_doubles_with_ranks() {
+    let one = DramSpec::ddr3_1600().org.capacity_bytes();
+    let two = two_rank_spec().org.capacity_bytes();
+    assert_eq!(two, 2 * one);
+    // And the top half of the address space is reachable.
+    let mut mc = Controller::new(two_rank_spec());
+    mc.enqueue(Request::read(PhysAddr::new(two - 64))).unwrap();
+    mc.run_until_idle();
+    assert_eq!(mc.stats().reads, 1);
+}

@@ -1,0 +1,290 @@
+//! Energy accounting by system component.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A system component that consumes energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Component {
+    /// DRAM row activation + precharge.
+    DramActivation,
+    /// DRAM column access (internal datapath).
+    DramColumn,
+    /// Off-chip channel I/O.
+    DramIo,
+    /// DRAM refresh.
+    DramRefresh,
+    /// DRAM background/static power.
+    DramBackground,
+    /// In-DRAM computation commands (AAP/AP/TRA).
+    PimOp,
+    /// SRAM caches.
+    Cache,
+    /// Core/accelerator computation.
+    CoreCompute,
+    /// Serial off-package links (HMC SerDes).
+    Link,
+    /// Through-silicon vias inside a 3D stack.
+    Tsv,
+    /// Anything else.
+    Other,
+}
+
+impl Component {
+    /// Number of components.
+    pub const COUNT: usize = 11;
+
+    /// All components, in index order.
+    pub const ALL: [Component; Self::COUNT] = [
+        Component::DramActivation,
+        Component::DramColumn,
+        Component::DramIo,
+        Component::DramRefresh,
+        Component::DramBackground,
+        Component::PimOp,
+        Component::Cache,
+        Component::CoreCompute,
+        Component::Link,
+        Component::Tsv,
+        Component::Other,
+    ];
+
+    /// Index of this component.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// `true` if this component represents *data movement* (as opposed to
+    /// computation) in the sense of the consumer-workloads study: everything
+    /// involved in moving bytes between cores and memory.
+    pub const fn is_data_movement(self) -> bool {
+        matches!(
+            self,
+            Component::DramActivation
+                | Component::DramColumn
+                | Component::DramIo
+                | Component::Cache
+                | Component::Link
+                | Component::Tsv
+        )
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::DramActivation => "dram-act",
+            Component::DramColumn => "dram-col",
+            Component::DramIo => "dram-io",
+            Component::DramRefresh => "dram-ref",
+            Component::DramBackground => "dram-bg",
+            Component::PimOp => "pim-op",
+            Component::Cache => "cache",
+            Component::CoreCompute => "core",
+            Component::Link => "link",
+            Component::Tsv => "tsv",
+            Component::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Energy accumulated per [`Component`], in nanojoules.
+///
+/// # Examples
+///
+/// ```
+/// use pim_energy::{Component, EnergyBreakdown};
+/// let mut e = EnergyBreakdown::new();
+/// e.add_nj(Component::DramIo, 10.0);
+/// e.add_nj(Component::CoreCompute, 5.0);
+/// assert_eq!(e.total_nj(), 15.0);
+/// assert!((e.data_movement_fraction() - 10.0 / 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    nj: [f64; Component::COUNT],
+}
+
+impl EnergyBreakdown {
+    /// An all-zero breakdown.
+    pub const fn new() -> Self {
+        EnergyBreakdown { nj: [0.0; Component::COUNT] }
+    }
+
+    /// Adds `nj` nanojoules to `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `nj` is negative or non-finite.
+    pub fn add_nj(&mut self, component: Component, nj: f64) {
+        debug_assert!(nj.is_finite() && nj >= 0.0, "energy must be finite and non-negative");
+        self.nj[component.index()] += nj;
+    }
+
+    /// Energy of one component, in nJ.
+    pub fn get(&self, component: Component) -> f64 {
+        self.nj[component.index()]
+    }
+
+    /// Total energy, in nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.nj.iter().sum()
+    }
+
+    /// Total energy, in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_nj() / 1e3
+    }
+
+    /// Total energy, in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_nj() / 1e6
+    }
+
+    /// Fraction of total energy attributed to data movement
+    /// (see [`Component::is_data_movement`]); 0 if total is zero.
+    pub fn data_movement_fraction(&self) -> f64 {
+        let total = self.total_nj();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let movement: f64 = Component::ALL
+            .iter()
+            .filter(|c| c.is_data_movement())
+            .map(|c| self.get(*c))
+            .sum();
+        movement / total
+    }
+
+    /// Iterates `(component, nJ)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, f64)> + '_ {
+        Component::ALL.iter().map(move |&c| (c, self.nj[c.index()]))
+    }
+
+    /// Returns this breakdown scaled by `factor` (e.g. per-iteration energy
+    /// multiplied up to a full run).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `factor` is negative or non-finite.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        debug_assert!(factor.is_finite() && factor >= 0.0);
+        for v in &mut self.nj {
+            *v *= factor;
+        }
+        self
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(mut self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        for (a, b) in self.nj.iter_mut().zip(rhs.nj.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl std::iter::Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(EnergyBreakdown::new(), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} nJ [", self.total_nj())?;
+        let mut first = true;
+        for (c, v) in self.iter() {
+            if v > 0.0 {
+                if !first {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{c}:{v:.1}")?;
+                first = false;
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_indices_dense_and_unique() {
+        let mut seen = [false; Component::COUNT];
+        for c in Component::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+            assert!(!format!("{c}").is_empty());
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn add_and_total() {
+        let mut e = EnergyBreakdown::new();
+        e.add_nj(Component::DramIo, 3.0);
+        e.add_nj(Component::DramIo, 2.0);
+        e.add_nj(Component::CoreCompute, 5.0);
+        assert_eq!(e.get(Component::DramIo), 5.0);
+        assert_eq!(e.total_nj(), 10.0);
+        assert!((e.total_uj() - 0.01).abs() < 1e-12);
+        assert!((e.total_mj() - 1e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn movement_fraction() {
+        let mut e = EnergyBreakdown::new();
+        assert_eq!(e.data_movement_fraction(), 0.0);
+        e.add_nj(Component::Cache, 30.0);
+        e.add_nj(Component::DramIo, 32.7);
+        e.add_nj(Component::CoreCompute, 37.3);
+        assert!((e.data_movement_fraction() - 0.627).abs() < 1e-9);
+    }
+
+    #[test]
+    fn movement_classification() {
+        assert!(Component::DramIo.is_data_movement());
+        assert!(Component::Cache.is_data_movement());
+        assert!(Component::Tsv.is_data_movement());
+        assert!(!Component::CoreCompute.is_data_movement());
+        assert!(!Component::PimOp.is_data_movement());
+        assert!(!Component::DramRefresh.is_data_movement());
+    }
+
+    #[test]
+    fn add_sum_scale() {
+        let mut a = EnergyBreakdown::new();
+        a.add_nj(Component::Link, 1.0);
+        let mut b = EnergyBreakdown::new();
+        b.add_nj(Component::Link, 2.0);
+        b.add_nj(Component::Tsv, 4.0);
+        let c = a + b;
+        assert_eq!(c.get(Component::Link), 3.0);
+        assert_eq!(c.get(Component::Tsv), 4.0);
+        let s: EnergyBreakdown = vec![c, c].into_iter().sum();
+        assert_eq!(s.total_nj(), 14.0);
+        assert_eq!(c.scaled(2.0).total_nj(), 14.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut e = EnergyBreakdown::new();
+        assert!(format!("{e}").contains("nJ"));
+        e.add_nj(Component::Other, 1.0);
+        assert!(format!("{e}").contains("other"));
+    }
+}

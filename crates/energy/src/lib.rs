@@ -1,0 +1,38 @@
+//! # pim-energy — component-level energy accounting
+//!
+//! Energy models for every component the `pim` workspace simulates:
+//!
+//! * [`DramEnergyModel`] — per-command DRAM energy, calibrated so the
+//!   reproduction of the Ambit paper's Table 4 (DDR3 vs. in-DRAM bitwise
+//!   energy, 35× average reduction) falls out of the arithmetic;
+//! * [`CacheEnergyModel`], [`ComputeEnergyModel`] — SRAM and core/accelerator
+//!   energies used by the host baselines and the consumer-workloads study;
+//! * [`LinkEnergyModel`] — 3D-stack SerDes links and TSVs;
+//! * [`EnergyBreakdown`] — the per-[`Component`] accumulator every
+//!   experiment reports, including the *data-movement fraction* that
+//!   underlies the paper's "62.7% of system energy is data movement" claim.
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_energy::{Component, DramEnergyModel, EnergyBreakdown};
+//! use pim_dram::{CommandCounts, CommandKind};
+//!
+//! let model = DramEnergyModel::ddr3();
+//! let mut counts = CommandCounts::new();
+//! counts.record(CommandKind::Act);
+//! let e = model.energy_of(&counts, 4096, 0);
+//! assert!(e.get(Component::DramIo) > 0.0);
+//! assert!(e.total_nj() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod breakdown;
+pub mod dram_energy;
+pub mod system_energy;
+
+pub use breakdown::{Component, EnergyBreakdown};
+pub use dram_energy::DramEnergyModel;
+pub use system_energy::{CacheEnergyModel, ComputeEnergyModel, ComputeSite, LinkEnergyModel};

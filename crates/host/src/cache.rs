@@ -1,0 +1,273 @@
+//! Set-associative cache with LRU replacement and write-back/write-allocate
+//! policy.
+
+use std::fmt;
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero, not a power of two, or the capacity is
+    /// not divisible into `ways × line` sets.
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u32) -> Self {
+        assert!(size_bytes.is_power_of_two(), "size must be a power of two");
+        assert!(ways > 0, "ways must be nonzero");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let cfg = CacheConfig { size_bytes, ways, line_bytes };
+        assert!(cfg.sets() >= 1, "capacity too small for {ways} ways of {line_bytes}B lines");
+        cfg
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes as u64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// `true` on hit.
+    pub hit: bool,
+    /// Line address of a dirty line evicted by this access (writeback
+    /// traffic toward the next level), if any.
+    pub writeback: Option<u64>,
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, write-back, write-allocate cache.
+///
+/// # Examples
+///
+/// ```
+/// use pim_host::cache::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, 64));
+/// assert!(!c.access(0, false).hit); // cold miss
+/// assert!(c.access(0, false).hit); // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = vec![vec![Line::default(); cfg.ways as usize]; cfg.sets() as usize];
+        Cache { cfg, sets, stats: CacheStats::default(), tick: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses `addr`; `write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let line_addr = addr / self.cfg.line_bytes as u64;
+        let set_idx = (line_addr % self.cfg.sets()) as usize;
+        let tag = line_addr / self.cfg.sets();
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return AccessOutcome { hit: true, writeback: None };
+        }
+        self.stats.misses += 1;
+        // Choose victim: invalid first, else true-LRU.
+        let victim = match set.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                let (i, _) =
+                    set.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("nonempty set");
+                i
+            }
+        };
+        let mut writeback = None;
+        let v = &mut set[victim];
+        if v.valid && v.dirty {
+            let victim_line = v.tag * self.cfg.sets() + set_idx as u64;
+            writeback = Some(victim_line * self.cfg.line_bytes as u64);
+            self.stats.writebacks += 1;
+        }
+        *v = Line { tag, valid: true, dirty: write, lru: self.tick };
+        AccessOutcome { hit: false, writeback }
+    }
+
+    /// Drops all contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.fill(Line::default());
+        }
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}-way/{}B: {:.1}% hits",
+            self.cfg.size_bytes / 1024,
+            self.cfg.ways,
+            self.cfg.line_bytes,
+            self.stats.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B.
+        Cache::new(CacheConfig::new(512, 2, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x0, false).hit);
+        assert!(c.access(0x0, false).hit);
+        assert!(c.access(0x3f, false).hit, "same line");
+        assert!(!c.access(0x40, false).hit, "next line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with line_addr % 4 == 0: 0x0, 0x100, 0x200...
+        c.access(0x000, false);
+        c.access(0x100, false); // set 0 now full
+        c.access(0x000, false); // touch 0x000 -> 0x100 is LRU
+        c.access(0x200, false); // evicts 0x100
+        assert!(c.access(0x000, false).hit);
+        assert!(!c.access(0x100, false).hit, "0x100 must have been evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x100, false);
+        let out = c.access(0x200, false); // evicts dirty 0x000
+        assert_eq!(out.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+        // Clean eviction: no writeback.
+        let out2 = c.access(0x300, false); // evicts clean 0x100
+        assert_eq!(out2.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, true); // dirty via hit
+        c.access(0x100, false);
+        let out = c.access(0x200, false);
+        assert_eq!(out.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn streaming_larger_than_capacity_always_misses() {
+        let mut c = tiny();
+        for i in 0..64u64 {
+            c.access(i * 64, false);
+        }
+        // 512B cache, 4KB stream: all cold/capacity misses.
+        assert_eq!(c.stats().misses, 64);
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn hot_set_fits_and_hits() {
+        let mut c = tiny();
+        for round in 0..10u64 {
+            for i in 0..8u64 {
+                let out = c.access(i * 64, false);
+                if round > 0 {
+                    assert!(out.hit, "round {round} line {i}");
+                }
+            }
+        }
+        assert!(c.stats().hit_rate() > 0.85);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_config_rejected() {
+        let _ = CacheConfig::new(1000, 2, 64);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let c = tiny();
+        assert!(!format!("{c}").is_empty());
+    }
+}

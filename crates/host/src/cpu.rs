@@ -1,0 +1,315 @@
+//! Skylake-class CPU baseline: a roofline model for streaming bulk kernels,
+//! driven by the DRAM channel model.
+//!
+//! Bulk bitwise operations on vectors far larger than the LLC are
+//! memory-bandwidth-bound on any wide-SIMD CPU (AVX2 can produce hundreds
+//! of GB/s of AND results; one DDR3-1600 channel delivers 12.8 GB/s). The
+//! model therefore computes both the compute and the memory roofline and
+//! takes the binding one, and charges energy for every byte that crosses
+//! the hierarchy — the same accounting the Ambit paper uses for its
+//! "Skylake" baseline.
+
+use crate::report::{Bound, HostReport};
+use pim_dram::DramSpec;
+use pim_energy::{
+    CacheEnergyModel, Component, ComputeEnergyModel, ComputeSite, DramEnergyModel,
+    EnergyBreakdown,
+};
+use pim_workloads::{BitwisePlan, BulkOp, PlanStep};
+
+/// CPU model parameters.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Core count.
+    pub cores: u32,
+    /// SIMD width in bits (256 for AVX2).
+    pub simd_bits: u32,
+    /// Vector ALU ports usable for bitwise ops per core.
+    pub bitwise_ports: u32,
+    /// The attached memory.
+    pub mem: DramSpec,
+    /// Fraction of peak channel bandwidth achievable on streams.
+    pub mem_efficiency: f64,
+    /// Whether stores incur a read-for-ownership stream. Bulk kernels use
+    /// non-temporal stores, so the default presets disable it.
+    pub rfo_writes: bool,
+    /// DRAM energy parameters.
+    pub dram_energy: DramEnergyModel,
+    /// Cache energy parameters.
+    pub cache_energy: CacheEnergyModel,
+    /// Core energy parameters.
+    pub compute_energy: ComputeEnergyModel,
+}
+
+impl CpuConfig {
+    /// Skylake-class core with one DDR3-1600 channel — the configuration
+    /// whose bandwidth ratio against 8-bank Ambit reproduces the paper's
+    /// 44× average.
+    pub fn skylake_ddr3() -> Self {
+        CpuConfig {
+            name: "skylake-ddr3-1600".into(),
+            freq_ghz: 3.4,
+            cores: 4,
+            simd_bits: 256,
+            bitwise_ports: 2,
+            mem: DramSpec::ddr3_1600(),
+            mem_efficiency: 0.85,
+            rfo_writes: false,
+            dram_energy: DramEnergyModel::ddr3(),
+            cache_energy: CacheEnergyModel::server(),
+            compute_energy: ComputeEnergyModel::default_28nm(),
+        }
+    }
+
+    /// Same core with dual-channel DDR4-2400 (for sensitivity studies).
+    pub fn skylake_ddr4() -> Self {
+        CpuConfig {
+            name: "skylake-ddr4-2400x2".into(),
+            mem: DramSpec::ddr4_2400().with_channels(2),
+            ..CpuConfig::skylake_ddr3()
+        }
+    }
+}
+
+/// The CPU roofline model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    cfg: CpuConfig,
+}
+
+impl CpuModel {
+    /// Creates a model.
+    pub fn new(cfg: CpuConfig) -> Self {
+        CpuModel { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Achievable streaming memory bandwidth, GB/s.
+    pub fn effective_bandwidth_gbps(&self) -> f64 {
+        self.cfg.mem.peak_bandwidth_gbps() * self.cfg.mem_efficiency
+    }
+
+    /// Compute-limited bitwise output rate, GB/s.
+    pub fn compute_bitwise_gbps(&self) -> f64 {
+        let bytes_per_cycle =
+            (self.cfg.simd_bits as f64 / 8.0) * self.cfg.bitwise_ports as f64;
+        bytes_per_cycle * self.cfg.freq_ghz * self.cfg.cores as f64
+    }
+
+    /// A generic streaming kernel: reads `read_bytes`, writes
+    /// `write_bytes`, executes `ops` scalar-equivalent operations.
+    pub fn stream(&self, read_bytes: u64, write_bytes: u64, ops: u64) -> HostReport {
+        let rfo = if self.cfg.rfo_writes { write_bytes } else { 0 };
+        let moved = read_bytes + write_bytes + rfo;
+        let mem_ns = moved as f64 / self.effective_bandwidth_gbps();
+        let compute_ns = ops as f64
+            / (self.cfg.freq_ghz * self.cfg.cores as f64 * self.cfg.bitwise_ports as f64);
+        let (ns, bound) = if mem_ns >= compute_ns {
+            (mem_ns, Bound::Memory)
+        } else {
+            (compute_ns, Bound::Compute)
+        };
+        let energy = self.stream_energy(moved, ops);
+        HostReport { ns, bytes_out: write_bytes, bytes_moved: moved, energy, bound }
+    }
+
+    fn stream_energy(&self, moved: u64, ops: u64) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::new();
+        let kb = moved as f64 / 1024.0;
+        // Streaming: one activation per row's worth of data.
+        let acts = moved as f64 / self.cfg.mem.org.row_bytes() as f64;
+        e.add_nj(Component::DramActivation, acts * self.cfg.dram_energy.act_pre_nj);
+        e += self.cfg.dram_energy.column_energy(kb / 2.0, kb / 2.0);
+        // Each 64B line traverses the cache hierarchy once.
+        let lines = moved / 64;
+        e += self.cfg.cache_energy.energy_of(lines, lines, lines);
+        e += self.cfg.compute_energy.compute_nj(ComputeSite::HostCore, ops);
+        e
+    }
+
+    /// One bulk bitwise operation producing `out_bytes` of output.
+    pub fn bulk_bitwise(&self, op: BulkOp, out_bytes: u64) -> HostReport {
+        let reads = out_bytes * op.inputs() as u64;
+        // One SIMD instruction per output word, plus loads/stores
+        // (amortized as `streams + 1` micro-ops per SIMD word).
+        let simd_bytes = (self.cfg.simd_bits / 8) as u64;
+        let ops = out_bytes / simd_bytes * (op.streams() as u64 + 1);
+        let mut r = self.stream(reads, out_bytes, ops);
+        r.bytes_out = out_bytes;
+        r
+    }
+
+    /// Bulk copy (`memcpy`): read + write streams.
+    pub fn memcpy(&self, bytes: u64) -> HostReport {
+        self.stream(bytes, bytes, bytes / 16)
+    }
+
+    /// Bulk initialization (`memset`): write stream only.
+    pub fn memset(&self, bytes: u64) -> HostReport {
+        self.stream(0, bytes, bytes / 16)
+    }
+
+    /// Population count over `bytes` (single read stream).
+    pub fn popcount(&self, bytes: u64) -> HostReport {
+        let mut r = self.stream(bytes, 0, bytes / 8);
+        r.bytes_out = bytes; // convention: throughput counts scanned bytes
+        r
+    }
+
+    /// Executes a [`BitwisePlan`] over `bits`-bit vectors, all DRAM-resident
+    /// (every step streams its operands through the hierarchy, as happens
+    /// when the vectors far exceed the LLC).
+    pub fn run_plan(&self, plan: &BitwisePlan, bits: usize) -> HostReport {
+        let bytes = (bits as u64).div_ceil(8);
+        let mut total: Option<HostReport> = None;
+        for step in plan.steps() {
+            let r = match *step {
+                PlanStep::Unary { .. } => self.bulk_bitwise(BulkOp::Not, bytes),
+                PlanStep::Binary { op, .. } => self.bulk_bitwise(op, bytes),
+                PlanStep::Const { .. } => self.memset(bytes),
+                // MAJ on a CPU is five binary ops, but only the three
+                // operand reads and one result write touch memory; the
+                // intermediates stay in registers.
+                PlanStep::Maj { .. } => {
+                    let mut r = self.stream(3 * bytes, bytes, bytes / 8 * 5);
+                    r.bytes_out = bytes;
+                    r
+                }
+            };
+            match &mut total {
+                None => total = Some(r),
+                Some(t) => t.merge_sequential(&r),
+            }
+        }
+        total.unwrap_or(HostReport {
+            ns: 0.0,
+            bytes_out: 0,
+            bytes_moved: 0,
+            energy: EnergyBreakdown::new(),
+            bound: Bound::Memory,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CpuModel {
+        CpuModel::new(CpuConfig::skylake_ddr3())
+    }
+
+    #[test]
+    fn bulk_ops_are_memory_bound() {
+        let m = model();
+        for op in BulkOp::ALL {
+            let r = m.bulk_bitwise(op, 32 << 20);
+            assert_eq!(r.bound, Bound::Memory, "{op}");
+        }
+    }
+
+    #[test]
+    fn and_throughput_matches_bandwidth_partition() {
+        let m = model();
+        let r = m.bulk_bitwise(BulkOp::And, 32 << 20);
+        // 12.8 GB/s * 0.85 / 3 streams = 3.63 GB/s of output.
+        let expect = 12.8 * 0.85 / 3.0;
+        assert!((r.throughput_gbps() - expect).abs() < 0.1, "{}", r.throughput_gbps());
+    }
+
+    #[test]
+    fn not_is_faster_than_and() {
+        let m = model();
+        let not = m.bulk_bitwise(BulkOp::Not, 32 << 20);
+        let and = m.bulk_bitwise(BulkOp::And, 32 << 20);
+        // 2 streams vs 3 streams.
+        assert!((not.throughput_gbps() / and.throughput_gbps() - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn dram_energy_matches_ambit_table_baseline() {
+        let m = model();
+        let r = m.bulk_bitwise(BulkOp::And, 32 << 20);
+        // Ambit Table 4: DDR3 AND = 137.9 nJ/KB of output (DRAM only).
+        let nj = r.dram_nj_per_kb();
+        assert!((nj - 137.9).abs() < 5.0, "AND DRAM energy {nj} nJ/KB");
+        let not = m.bulk_bitwise(BulkOp::Not, 32 << 20).dram_nj_per_kb();
+        assert!((not - 93.7).abs() < 4.0, "NOT DRAM energy {not} nJ/KB");
+    }
+
+    #[test]
+    fn total_energy_exceeds_dram_energy() {
+        let m = model();
+        let r = m.bulk_bitwise(BulkOp::Or, 1 << 20);
+        assert!(r.nj_per_kb() > r.dram_nj_per_kb());
+        assert!(r.energy.get(Component::Cache) > 0.0);
+        assert!(r.energy.get(Component::CoreCompute) > 0.0);
+    }
+
+    #[test]
+    fn memcpy_memset_popcount() {
+        let m = model();
+        let cp = m.memcpy(8192);
+        assert_eq!(cp.bytes_moved, 2 * 8192);
+        let st = m.memset(8192);
+        assert_eq!(st.bytes_moved, 8192);
+        assert!(st.ns < cp.ns);
+        let pc = m.popcount(8192);
+        assert_eq!(pc.bytes_moved, 8192);
+    }
+
+    #[test]
+    fn rfo_adds_a_stream() {
+        let mut cfg = CpuConfig::skylake_ddr3();
+        cfg.rfo_writes = true;
+        let with_rfo = CpuModel::new(cfg).bulk_bitwise(BulkOp::And, 1 << 20);
+        let without = model().bulk_bitwise(BulkOp::And, 1 << 20);
+        assert!(with_rfo.ns > without.ns);
+        assert_eq!(with_rfo.bytes_moved, without.bytes_moved + (1 << 20));
+    }
+
+    #[test]
+    fn tiny_kernels_can_be_compute_bound() {
+        // Absurdly high op count per byte forces the compute roofline.
+        let m = model();
+        let r = m.stream(64, 64, 1_000_000);
+        assert_eq!(r.bound, Bound::Compute);
+    }
+
+    #[test]
+    fn run_plan_accumulates_steps() {
+        use pim_workloads::PlanBuilder;
+        let m = model();
+        let mut b = PlanBuilder::new(2);
+        let (x, y) = (b.input(0), b.input(1));
+        let t = b.binary(BulkOp::And, x, y);
+        let u = b.not(t);
+        let plan = b.finish(u);
+        let r = m.run_plan(&plan, 8 << 20);
+        let and = m.bulk_bitwise(BulkOp::And, 1 << 20);
+        let not = m.bulk_bitwise(BulkOp::Not, 1 << 20);
+        let expect_ns = and.ns + not.ns;
+        assert!((r.ns - expect_ns).abs() / expect_ns < 1e-9);
+    }
+
+    #[test]
+    fn ddr4_has_more_bandwidth() {
+        let d3 = model();
+        let d4 = CpuModel::new(CpuConfig::skylake_ddr4());
+        assert!(d4.effective_bandwidth_gbps() > 2.0 * d3.effective_bandwidth_gbps());
+    }
+
+    #[test]
+    fn compute_roofline_is_far_above_memory() {
+        let m = model();
+        assert!(m.compute_bitwise_gbps() > 20.0 * m.effective_bandwidth_gbps());
+    }
+}

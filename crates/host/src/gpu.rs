@@ -1,0 +1,138 @@
+//! GTX-745-class GPU baseline (the Ambit paper's GPU comparison point):
+//! a small Maxwell part with 3 SMs and a 28.8 GB/s GDDR5 interface.
+//!
+//! Like the CPU, bulk bitwise kernels on a GPU are memory-bound; the
+//! achievable fraction of peak bandwidth on short 3-stream kernels is well
+//! below unity (`mem_efficiency`, default 0.55 — calibrated so the
+//! Ambit-vs-GPU average ratio lands near the paper's 32×).
+
+use crate::report::{Bound, HostReport};
+use pim_energy::{Component, ComputeEnergyModel, ComputeSite, DramEnergyModel, EnergyBreakdown};
+use pim_workloads::BulkOp;
+
+/// GPU model parameters.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Lanes per SM.
+    pub lanes: u32,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Achievable fraction of peak on bulk kernels.
+    pub mem_efficiency: f64,
+    /// GDDR energy parameters (per-KB scale comparable to DDR3).
+    pub dram_energy: DramEnergyModel,
+    /// Compute energy parameters.
+    pub compute_energy: ComputeEnergyModel,
+}
+
+impl GpuConfig {
+    /// NVIDIA GTX 745: 3 SMs × 128 lanes @ 1.033 GHz, 28.8 GB/s GDDR5.
+    pub fn gtx745() -> Self {
+        GpuConfig {
+            name: "gtx745".into(),
+            sms: 3,
+            lanes: 128,
+            freq_ghz: 1.033,
+            mem_bw_gbps: 28.8,
+            mem_efficiency: 0.55,
+            dram_energy: DramEnergyModel::ddr3(),
+            compute_energy: ComputeEnergyModel::default_28nm(),
+        }
+    }
+}
+
+/// The GPU roofline model.
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    cfg: GpuConfig,
+}
+
+impl GpuModel {
+    /// Creates a model.
+    pub fn new(cfg: GpuConfig) -> Self {
+        GpuModel { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Achievable memory bandwidth, GB/s.
+    pub fn effective_bandwidth_gbps(&self) -> f64 {
+        self.cfg.mem_bw_gbps * self.cfg.mem_efficiency
+    }
+
+    /// Compute-limited bitwise output rate, GB/s (4-byte lane ops).
+    pub fn compute_bitwise_gbps(&self) -> f64 {
+        self.cfg.sms as f64 * self.cfg.lanes as f64 * 4.0 * self.cfg.freq_ghz
+    }
+
+    /// One bulk bitwise operation producing `out_bytes` of output.
+    pub fn bulk_bitwise(&self, op: BulkOp, out_bytes: u64) -> HostReport {
+        let moved = out_bytes * op.streams() as u64;
+        let mem_ns = moved as f64 / self.effective_bandwidth_gbps();
+        let lane_ops = out_bytes / 4 * (op.streams() as u64 + 1);
+        let compute_ns = lane_ops as f64
+            / (self.cfg.sms as f64 * self.cfg.lanes as f64 * self.cfg.freq_ghz);
+        let (ns, bound) = if mem_ns >= compute_ns {
+            (mem_ns, Bound::Memory)
+        } else {
+            (compute_ns, Bound::Compute)
+        };
+        let mut energy = EnergyBreakdown::new();
+        let kb = moved as f64 / 1024.0;
+        let acts = moved as f64 / 2048.0; // 2KB GDDR rows
+        energy.add_nj(Component::DramActivation, acts * self.cfg.dram_energy.act_pre_nj);
+        energy += self.cfg.dram_energy.column_energy(kb / 2.0, kb / 2.0);
+        energy += self.cfg.compute_energy.compute_nj(ComputeSite::Gpu, lane_ops);
+        HostReport { ns, bytes_out: out_bytes, bytes_moved: moved, energy, bound }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{CpuConfig, CpuModel};
+
+    #[test]
+    fn gpu_bulk_ops_memory_bound() {
+        let g = GpuModel::new(GpuConfig::gtx745());
+        for op in BulkOp::ALL {
+            assert_eq!(g.bulk_bitwise(op, 32 << 20).bound, Bound::Memory, "{op}");
+        }
+    }
+
+    #[test]
+    fn gpu_is_modestly_faster_than_cpu_on_bulk_ops() {
+        // The paper's ratios (44x CPU vs 32x GPU) imply the GPU baseline is
+        // ~1.4x the CPU baseline on average.
+        let g = GpuModel::new(GpuConfig::gtx745());
+        let c = CpuModel::new(CpuConfig::skylake_ddr3());
+        let gg = g.bulk_bitwise(BulkOp::And, 32 << 20).throughput_gbps();
+        let cc = c.bulk_bitwise(BulkOp::And, 32 << 20).throughput_gbps();
+        let ratio = gg / cc;
+        assert!((1.1..2.0).contains(&ratio), "GPU/CPU ratio {ratio}");
+    }
+
+    #[test]
+    fn compute_roofline_enormous() {
+        let g = GpuModel::new(GpuConfig::gtx745());
+        assert!(g.compute_bitwise_gbps() > 1000.0);
+        assert!(g.compute_bitwise_gbps() > 10.0 * g.effective_bandwidth_gbps());
+    }
+
+    #[test]
+    fn energy_accounts_movement_and_compute() {
+        let g = GpuModel::new(GpuConfig::gtx745());
+        let r = g.bulk_bitwise(BulkOp::Xor, 1 << 20);
+        assert!(r.energy.get(Component::DramIo) > 0.0);
+        assert!(r.energy.get(Component::CoreCompute) > 0.0);
+    }
+}

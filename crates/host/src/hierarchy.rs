@@ -1,0 +1,302 @@
+//! Three-level cache hierarchy with latency accounting and memory-traffic
+//! extraction.
+
+use crate::cache::{Cache, CacheConfig};
+use std::fmt;
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// First-level cache.
+    L1,
+    /// Second-level cache.
+    L2,
+    /// Last-level cache.
+    L3,
+    /// Main memory.
+    Memory,
+}
+
+impl fmt::Display for HitLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HitLevel::L1 => "L1",
+            HitLevel::L2 => "L2",
+            HitLevel::L3 => "L3",
+            HitLevel::Memory => "memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of the hierarchy: three cache geometries plus access
+/// latencies in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// L3 geometry.
+    pub l3: CacheConfig,
+    /// L1 hit latency (cycles).
+    pub lat_l1: u32,
+    /// L2 hit latency (cycles).
+    pub lat_l2: u32,
+    /// L3 hit latency (cycles).
+    pub lat_l3: u32,
+    /// Average memory latency (cycles) charged on an L3 miss.
+    pub lat_mem: u32,
+}
+
+impl HierarchyConfig {
+    /// Server-class hierarchy: 32 KB L1 / 256 KB L2 / 8 MB L3.
+    pub fn server() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new(32 * 1024, 8, 64),
+            l2: CacheConfig::new(256 * 1024, 8, 64),
+            l3: CacheConfig::new(8 * 1024 * 1024, 16, 64),
+            lat_l1: 4,
+            lat_l2: 12,
+            lat_l3: 38,
+            lat_mem: 200,
+        }
+    }
+
+    /// Mobile-class hierarchy: 32 KB L1 / 128 KB L2 / 2 MB L3.
+    pub fn mobile() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new(32 * 1024, 4, 64),
+            l2: CacheConfig::new(128 * 1024, 8, 64),
+            l3: CacheConfig::new(2 * 1024 * 1024, 16, 64),
+            lat_l1: 3,
+            lat_l2: 10,
+            lat_l3: 30,
+            lat_mem: 180,
+        }
+    }
+}
+
+/// Per-level access counters plus traffic to memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Accesses satisfied at L1.
+    pub l1_hits: u64,
+    /// Accesses satisfied at L2.
+    pub l2_hits: u64,
+    /// Accesses satisfied at L3.
+    pub l3_hits: u64,
+    /// Accesses that went to memory.
+    pub mem_accesses: u64,
+    /// Bytes moved to/from memory (fills + writebacks).
+    pub mem_bytes: u64,
+    /// Total latency of all accesses, in core cycles.
+    pub total_latency: u64,
+}
+
+impl HierarchyStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.l3_hits + self.mem_accesses
+    }
+
+    /// Mean access latency in core cycles.
+    pub fn avg_latency(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Fraction of accesses that reached memory.
+    pub fn memory_miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.mem_accesses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A three-level (non-inclusive) cache hierarchy.
+///
+/// Misses propagate downward; dirty evictions are charged as memory traffic
+/// when they fall out of the L3.
+///
+/// # Examples
+///
+/// ```
+/// use pim_host::{CacheHierarchy, HierarchyConfig, HitLevel};
+/// let mut h = CacheHierarchy::new(HierarchyConfig::server());
+/// assert_eq!(h.access(0x40, false).0, HitLevel::Memory); // cold
+/// assert_eq!(h.access(0x40, false).0, HitLevel::L1);     // warm
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    cfg: HierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        CacheHierarchy {
+            cfg,
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            l3: Cache::new(cfg.l3),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> HierarchyConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Accesses `addr`, returning the satisfying level and its latency in
+    /// core cycles.
+    pub fn access(&mut self, addr: u64, write: bool) -> (HitLevel, u32) {
+        let line = self.cfg.l1.line_bytes as u64;
+        let (level, latency) = if self.l1.access(addr, write).hit {
+            (HitLevel::L1, self.cfg.lat_l1)
+        } else if self.l2.access(addr, write).hit {
+            (HitLevel::L2, self.cfg.lat_l2)
+        } else {
+            let l3_out = self.l3.access(addr, write);
+            if l3_out.hit {
+                (HitLevel::L3, self.cfg.lat_l3)
+            } else {
+                if l3_out.writeback.is_some() {
+                    self.stats.mem_bytes += line;
+                }
+                self.stats.mem_bytes += line; // the fill
+                (HitLevel::Memory, self.cfg.lat_mem)
+            }
+        };
+        match level {
+            HitLevel::L1 => self.stats.l1_hits += 1,
+            HitLevel::L2 => self.stats.l2_hits += 1,
+            HitLevel::L3 => self.stats.l3_hits += 1,
+            HitLevel::Memory => self.stats.mem_accesses += 1,
+        }
+        self.stats.total_latency += latency as u64;
+        (level, latency)
+    }
+
+    /// Per-cache hit statistics `(l1, l2, l3)` for energy accounting.
+    pub fn level_accesses(&self) -> (u64, u64, u64) {
+        let s = &self.stats;
+        // Every access touches L1; L1 misses touch L2; L2 misses touch L3.
+        let l1 = s.accesses();
+        let l2 = s.l2_hits + s.l3_hits + s.mem_accesses;
+        let l3 = s.l3_hits + s.mem_accesses;
+        (l1, l2, l3)
+    }
+
+    /// Drops contents and statistics.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.l3.reset();
+        self.stats = HierarchyStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn repeated_access_stays_in_l1() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::server());
+        assert_eq!(h.access(0x40, false).0, HitLevel::Memory);
+        for _ in 0..10 {
+            assert_eq!(h.access(0x40, false).0, HitLevel::L1);
+        }
+        assert_eq!(h.stats().l1_hits, 10);
+        assert_eq!(h.stats().mem_accesses, 1);
+    }
+
+    #[test]
+    fn working_set_between_l1_and_l2_hits_l2() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::server());
+        // 128 KB working set: fits L2(256KB)+L3, not L1 (32KB).
+        let lines = 128 * 1024 / 64;
+        for round in 0..3 {
+            for i in 0..lines {
+                let (lvl, _) = h.access(i as u64 * 64, false);
+                if round > 0 {
+                    assert_ne!(lvl, HitLevel::Memory, "round {round} line {i}");
+                }
+            }
+        }
+        let s = h.stats();
+        assert!(s.l2_hits > s.l1_hits, "L2 must serve the bulk: {s:?}");
+    }
+
+    #[test]
+    fn giant_stream_goes_to_memory() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::server());
+        let lines = 32 * 1024 * 1024 / 64; // 32MB > 8MB L3
+        for i in 0..lines {
+            h.access(i as u64 * 64, false);
+        }
+        assert!(h.stats().memory_miss_rate() > 0.99);
+        assert_eq!(h.stats().mem_bytes, 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn dirty_l3_evictions_count_as_memory_traffic() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::server());
+        let lines = 16 * 1024 * 1024 / 64; // 16MB of dirty lines
+        for i in 0..lines {
+            h.access(i as u64 * 64, true);
+        }
+        // Fills 16MB; roughly half the dirty lines must have been evicted
+        // (L3 is 8MB), producing writeback traffic beyond the fills.
+        let fills = 16 * 1024 * 1024u64;
+        assert!(h.stats().mem_bytes > fills + fills / 4, "bytes {}", h.stats().mem_bytes);
+    }
+
+    #[test]
+    fn latency_accumulates_by_level() {
+        let cfg = HierarchyConfig::server();
+        let mut h = CacheHierarchy::new(cfg);
+        h.access(0, false); // memory
+        h.access(0, false); // L1
+        assert_eq!(h.stats().total_latency, (cfg.lat_mem + cfg.lat_l1) as u64);
+        assert!((h.stats().avg_latency() - (cfg.lat_mem + cfg.lat_l1) as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_accesses_are_monotone() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::mobile());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..5000 {
+            let addr: u64 = rng.gen_range(0..(4u64 << 20));
+            h.access(addr & !63, rng.gen_bool(0.3));
+        }
+        let (l1, l2, l3) = h.level_accesses();
+        assert!(l1 >= l2 && l2 >= l3);
+        assert_eq!(l1, h.stats().accesses());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::mobile());
+        h.access(0, false);
+        h.reset();
+        assert_eq!(h.stats().accesses(), 0);
+    }
+}

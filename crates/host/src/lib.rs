@@ -1,0 +1,42 @@
+//! # pim-host — host-system baseline models
+//!
+//! Everything the paper compares PIM against:
+//!
+//! * [`cache`] / [`hierarchy`] — a functional set-associative cache model
+//!   and a three-level hierarchy with latency and memory-traffic
+//!   accounting (also used by the Tesseract host baseline);
+//! * [`cpu`] — a Skylake-class streaming roofline over the `pim-dram`
+//!   channel model (the paper's CPU baseline for bulk bitwise ops);
+//! * [`gpu`] — a GTX-745-class GPU roofline;
+//! * [`hmc_logic`] — processing elements in a 3D stack's logic layer,
+//!   bounded by aggregate TSV bandwidth (the comparison point for the
+//!   paper's "Ambit-in-HMC is 9.7× the logic layer" claim).
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_host::{CpuConfig, CpuModel};
+//! use pim_workloads::BulkOp;
+//! let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+//! let r = cpu.bulk_bitwise(BulkOp::And, 32 << 20);
+//! assert!(r.throughput_gbps() < 5.0); // channel-bound
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod cpu;
+pub mod gpu;
+pub mod hierarchy;
+pub mod hmc_logic;
+pub mod memory_system;
+pub mod report;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use cpu::{CpuConfig, CpuModel};
+pub use gpu::{GpuConfig, GpuModel};
+pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyStats, HitLevel};
+pub use hmc_logic::{HmcLogicConfig, HmcLogicModel};
+pub use memory_system::{AccessCost, MemorySystem};
+pub use report::{Bound, HostReport};

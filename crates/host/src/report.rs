@@ -1,0 +1,142 @@
+//! Shared cost-report type for the host baseline models.
+
+use pim_energy::EnergyBreakdown;
+use std::fmt;
+
+/// What limited the kernel's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// Arithmetic throughput limited.
+    Compute,
+    /// Memory bandwidth limited.
+    Memory,
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Compute => f.write_str("compute-bound"),
+            Bound::Memory => f.write_str("memory-bound"),
+        }
+    }
+}
+
+/// Time/energy report for a kernel executed on a host baseline
+/// (CPU, GPU, or HMC logic layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostReport {
+    /// Execution time in nanoseconds.
+    pub ns: f64,
+    /// Output payload bytes produced.
+    pub bytes_out: u64,
+    /// Total bytes moved through the memory system.
+    pub bytes_moved: u64,
+    /// Energy by component.
+    pub energy: EnergyBreakdown,
+    /// The binding resource.
+    pub bound: Bound,
+}
+
+impl HostReport {
+    /// Output throughput in GB/s.
+    pub fn throughput_gbps(&self) -> f64 {
+        if self.ns == 0.0 {
+            0.0
+        } else {
+            self.bytes_out as f64 / self.ns
+        }
+    }
+
+    /// Total energy per KB of output, in nJ.
+    pub fn nj_per_kb(&self) -> f64 {
+        if self.bytes_out == 0 {
+            0.0
+        } else {
+            self.energy.total_nj() / (self.bytes_out as f64 / 1024.0)
+        }
+    }
+
+    /// DRAM-subsystem energy only (activation + column + I/O + refresh),
+    /// per KB of output — the metric the Ambit paper's Table 4 reports.
+    pub fn dram_nj_per_kb(&self) -> f64 {
+        use pim_energy::Component as C;
+        if self.bytes_out == 0 {
+            return 0.0;
+        }
+        let dram = self.energy.get(C::DramActivation)
+            + self.energy.get(C::DramColumn)
+            + self.energy.get(C::DramIo)
+            + self.energy.get(C::DramRefresh);
+        dram / (self.bytes_out as f64 / 1024.0)
+    }
+
+    /// Accumulates another report executed after this one.
+    pub fn merge_sequential(&mut self, other: &HostReport) {
+        self.ns += other.ns;
+        self.bytes_out += other.bytes_out;
+        self.bytes_moved += other.bytes_moved;
+        self.energy += other.energy;
+        if other.bound == Bound::Compute {
+            self.bound = Bound::Compute;
+        }
+    }
+}
+
+impl fmt::Display for HostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} ns, {:.2} GB/s, {:.1} nJ/KB ({})",
+            self.ns,
+            self.throughput_gbps(),
+            self.nj_per_kb(),
+            self.bound
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_energy::Component;
+
+    #[test]
+    fn derived_metrics() {
+        let mut e = EnergyBreakdown::new();
+        e.add_nj(Component::DramIo, 100.0);
+        e.add_nj(Component::CoreCompute, 50.0);
+        let r = HostReport { ns: 1000.0, bytes_out: 2048, bytes_moved: 6144, energy: e, bound: Bound::Memory };
+        assert!((r.throughput_gbps() - 2.048).abs() < 1e-9);
+        assert!((r.nj_per_kb() - 75.0).abs() < 1e-9);
+        assert!((r.dram_nj_per_kb() - 50.0).abs() < 1e-9);
+        assert!(format!("{r}").contains("memory-bound"));
+    }
+
+    #[test]
+    fn merge_accumulates_and_promotes_bound() {
+        let z = EnergyBreakdown::new();
+        let mut a =
+            HostReport { ns: 10.0, bytes_out: 1, bytes_moved: 3, energy: z, bound: Bound::Memory };
+        let b =
+            HostReport { ns: 5.0, bytes_out: 2, bytes_moved: 4, energy: z, bound: Bound::Compute };
+        a.merge_sequential(&b);
+        assert_eq!(a.ns, 15.0);
+        assert_eq!(a.bytes_out, 3);
+        assert_eq!(a.bytes_moved, 7);
+        assert_eq!(a.bound, Bound::Compute);
+    }
+
+    #[test]
+    fn zero_output_is_safe() {
+        let r = HostReport {
+            ns: 0.0,
+            bytes_out: 0,
+            bytes_moved: 0,
+            energy: EnergyBreakdown::new(),
+            bound: Bound::Memory,
+        };
+        assert_eq!(r.throughput_gbps(), 0.0);
+        assert_eq!(r.nj_per_kb(), 0.0);
+        assert_eq!(r.dram_nj_per_kb(), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Logic-layer area model (experiment E7).
+//!
+//! The consumer-workloads study (ASPLOS'18, summarized in §3 of the paper)
+//! budgets the logic-layer area available per vault in an HMC-like stack
+//! and shows that a simple in-order PIM core uses no more than **9.4%** of
+//! it, and the full set of fixed-function PIM accelerators (one per target
+//! function) no more than **35.4%**.
+
+use std::fmt;
+
+/// A block of logic placed in the logic layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogicBlock {
+    /// Block name.
+    pub name: &'static str,
+    /// Area in mm² (28 nm).
+    pub area_mm2: f64,
+}
+
+/// A simple in-order 64-bit PIM core (ARM Cortex-R8-class), 28 nm.
+pub const PIM_CORE: LogicBlock = LogicBlock { name: "pim-core", area_mm2: 0.33 };
+
+/// Fixed-function accelerators for the four consumer workloads' target
+/// functions (texture tiling, color blitting, compression/packing,
+/// sub-pixel interpolation + deblocking, motion estimation), 28 nm.
+pub const PIM_ACCELERATORS: [LogicBlock; 4] = [
+    LogicBlock { name: "accel-chrome", area_mm2: 0.28 },
+    LogicBlock { name: "accel-tfmobile", area_mm2: 0.26 },
+    LogicBlock { name: "accel-vp9-playback", area_mm2: 0.33 },
+    LogicBlock { name: "accel-vp9-capture", area_mm2: 0.37 },
+];
+
+/// Area accounting against a per-vault logic budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Logic-layer area available per vault, mm².
+    pub budget_per_vault_mm2: f64,
+}
+
+impl AreaModel {
+    /// HMC-like budget (≈3.5 mm² per vault at 28 nm).
+    pub fn hmc() -> Self {
+        AreaModel { budget_per_vault_mm2: 3.5 }
+    }
+
+    /// Fraction of the per-vault budget consumed by `blocks`.
+    pub fn utilization(&self, blocks: &[LogicBlock]) -> f64 {
+        blocks.iter().map(|b| b.area_mm2).sum::<f64>() / self.budget_per_vault_mm2
+    }
+
+    /// `true` if the blocks fit the budget.
+    pub fn fits(&self, blocks: &[LogicBlock]) -> bool {
+        self.utilization(blocks) <= 1.0
+    }
+}
+
+impl fmt::Display for AreaModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "logic-layer budget {:.2} mm²/vault", self.budget_per_vault_mm2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pim_core_is_under_ten_percent() {
+        let m = AreaModel::hmc();
+        let u = m.utilization(&[PIM_CORE]);
+        assert!((u - 0.094).abs() < 0.005, "PIM core utilization {u}");
+        assert!(m.fits(&[PIM_CORE]));
+    }
+
+    #[test]
+    fn accelerators_are_about_a_third() {
+        let m = AreaModel::hmc();
+        let u = m.utilization(&PIM_ACCELERATORS);
+        assert!((u - 0.354).abs() < 0.01, "accelerator utilization {u}");
+        assert!(m.fits(&PIM_ACCELERATORS));
+    }
+
+    #[test]
+    fn core_plus_accelerators_still_fit() {
+        let m = AreaModel::hmc();
+        let mut blocks = vec![PIM_CORE];
+        blocks.extend_from_slice(&PIM_ACCELERATORS);
+        assert!(m.fits(&blocks));
+        assert!(m.utilization(&blocks) < 0.5);
+    }
+
+    #[test]
+    fn oversubscription_detected() {
+        let m = AreaModel { budget_per_vault_mm2: 0.1 };
+        assert!(!m.fits(&[PIM_CORE]));
+        assert!(!format!("{m}").is_empty());
+    }
+}

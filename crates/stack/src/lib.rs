@@ -1,0 +1,29 @@
+//! # pim-stack — 3D-stacked memory (HMC-like) model
+//!
+//! The substrate for the paper's §3 (PIM using 3D-stacked memory):
+//!
+//! * [`StackConfig`] — vault count, per-vault DRAM organization, TSV and
+//!   external-link bandwidths, and the logic-layer area budget;
+//! * [`StackedMemory`] — one `pim-dram` controller per vault with
+//!   block-interleaved addressing and per-vault latency measurement;
+//! * [`area`] — the logic-layer area model behind the paper's "PIM core
+//!   ≤ 9.4%, PIM accelerator ≤ 35.4% of available area" claim (E7).
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_stack::StackConfig;
+//! let hmc = StackConfig::hmc2();
+//! assert!(hmc.internal_bandwidth_gbps() > hmc.external_bandwidth_gbps());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod config;
+pub mod stack;
+
+pub use area::{AreaModel, LogicBlock, PIM_ACCELERATORS, PIM_CORE};
+pub use config::StackConfig;
+pub use stack::{StackedMemory, VAULT_BLOCK_BYTES};

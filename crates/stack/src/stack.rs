@@ -1,0 +1,202 @@
+//! The stacked-memory device: one DRAM controller per vault.
+
+use crate::config::StackConfig;
+use pim_dram::{Completion, Controller, DramError, PhysAddr, Request};
+
+/// A 3D-stacked memory: [`StackConfig::vaults`] independent vault
+/// controllers over the shared configuration.
+///
+/// Addresses interleave across vaults at 256-byte block granularity (the
+/// HMC default "max block size" interleaving).
+#[derive(Debug, Clone)]
+pub struct StackedMemory {
+    config: StackConfig,
+    vaults: Vec<Controller>,
+}
+
+/// Vault-interleaving block size in bytes.
+pub const VAULT_BLOCK_BYTES: u64 = 256;
+
+impl StackedMemory {
+    /// Builds the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(config: StackConfig) -> Self {
+        config.validate().expect("invalid stack configuration");
+        let vaults =
+            (0..config.vaults).map(|_| Controller::new(config.vault_spec.clone())).collect();
+        StackedMemory { config, vaults }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StackConfig {
+        &self.config
+    }
+
+    /// Number of vaults.
+    pub fn vaults(&self) -> u32 {
+        self.config.vaults
+    }
+
+    /// The vault an address maps to.
+    pub fn vault_of(&self, addr: PhysAddr) -> u32 {
+        ((addr.as_u64() / VAULT_BLOCK_BYTES) % self.config.vaults as u64) as u32
+    }
+
+    /// The vault-local byte address of a global address.
+    pub fn local_addr(&self, addr: PhysAddr) -> PhysAddr {
+        let block = addr.as_u64() / VAULT_BLOCK_BYTES / self.config.vaults as u64;
+        PhysAddr::new(block * VAULT_BLOCK_BYTES + addr.as_u64() % VAULT_BLOCK_BYTES)
+    }
+
+    /// Shared view of one vault's controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vault` is out of range.
+    pub fn vault(&self, vault: u32) -> &Controller {
+        &self.vaults[vault as usize]
+    }
+
+    /// Mutable view of one vault's controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vault` is out of range.
+    pub fn vault_mut(&mut self, vault: u32) -> &mut Controller {
+        &mut self.vaults[vault as usize]
+    }
+
+    /// Enqueues a request, routing it to the owning vault.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the vault controller's errors.
+    pub fn enqueue(&mut self, req: Request) -> Result<u32, DramError> {
+        let vault = self.vault_of(req.addr);
+        let local = Request { addr: self.local_addr(req.addr), access: req.access };
+        self.vaults[vault as usize].enqueue(local)?;
+        Ok(vault)
+    }
+
+    /// Drains all vaults; returns the maximum vault clock (the makespan).
+    pub fn run_until_idle(&mut self) -> u64 {
+        self.vaults.iter_mut().map(|v| v.run_until_idle()).max().unwrap_or(0)
+    }
+
+    /// Drains completions from every vault in vault order.
+    pub fn pop_completions(&mut self) -> Vec<(u32, Completion)> {
+        let mut out = Vec::new();
+        for (i, v) in self.vaults.iter_mut().enumerate() {
+            while let Some(c) = v.pop_completion() {
+                out.push((i as u32, c));
+            }
+        }
+        out
+    }
+
+    /// Measures the average vault-local random read latency by running a
+    /// batch of `addrs` through one vault's controller, in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vault` is out of range or `addrs` is empty.
+    pub fn measure_local_latency_ns(&mut self, vault: u32, addrs: &[u64]) -> f64 {
+        assert!(!addrs.is_empty(), "need at least one address");
+        let ctrl = &mut self.vaults[vault as usize];
+        let cap = ctrl.device().spec().org.capacity_bytes();
+        let reqs: Vec<Request> = addrs
+            .iter()
+            .map(|&a| Request::read(PhysAddr::new(a % cap).align_down(64)))
+            .collect();
+        let (_, comps) = ctrl.run_batch(&reqs).expect("batch within capacity");
+        let t_ck = ctrl.device().spec().timing.t_ck_ps as f64 / 1000.0;
+        let total: u64 = comps.iter().map(|c| c.latency()).sum();
+        total as f64 * t_ck / comps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_dram::Access;
+    use rand::{Rng, SeedableRng};
+
+    fn small_stack() -> StackedMemory {
+        let mut cfg = StackConfig::hmc2();
+        cfg.vaults = 4;
+        StackedMemory::new(cfg)
+    }
+
+    #[test]
+    fn vault_interleaving_rotates_every_block() {
+        let s = small_stack();
+        assert_eq!(s.vault_of(PhysAddr::new(0)), 0);
+        assert_eq!(s.vault_of(PhysAddr::new(255)), 0);
+        assert_eq!(s.vault_of(PhysAddr::new(256)), 1);
+        assert_eq!(s.vault_of(PhysAddr::new(4 * 256)), 0);
+    }
+
+    #[test]
+    fn local_addresses_compact() {
+        let s = small_stack();
+        // Global blocks 0,4,8 map to vault 0 local blocks 0,1,2.
+        assert_eq!(s.local_addr(PhysAddr::new(0)).as_u64(), 0);
+        assert_eq!(s.local_addr(PhysAddr::new(4 * 256 + 17)).as_u64(), 256 + 17);
+        assert_eq!(s.local_addr(PhysAddr::new(8 * 256)).as_u64(), 512);
+    }
+
+    #[test]
+    fn requests_route_and_complete() {
+        let mut s = small_stack();
+        for i in 0..64u64 {
+            let v = s.enqueue(Request::read(PhysAddr::new(i * 256))).unwrap();
+            assert_eq!(v, (i % 4) as u32);
+        }
+        s.run_until_idle();
+        let comps = s.pop_completions();
+        assert_eq!(comps.len(), 64);
+        for (_, c) in comps {
+            assert_eq!(c.access, Access::Read);
+        }
+    }
+
+    #[test]
+    fn vaults_run_in_parallel() {
+        // The same number of requests spread over 4 vaults finishes much
+        // faster (per the max-clock makespan) than through one vault.
+        let mut spread = small_stack();
+        for i in 0..64u64 {
+            spread.enqueue(Request::read(PhysAddr::new(i * 256))).unwrap();
+        }
+        let t_spread = spread.run_until_idle();
+
+        let mut single = small_stack();
+        for i in 0..64u64 {
+            // All in vault 0: stride of vaults*256.
+            single.enqueue(Request::read(PhysAddr::new(i * 4 * 256))).unwrap();
+        }
+        let t_single = single.run_until_idle();
+        assert!(t_spread * 2 < t_single, "spread {t_spread} vs single {t_single}");
+    }
+
+    #[test]
+    fn local_latency_measurement_is_plausible() {
+        let mut s = small_stack();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let addrs: Vec<u64> = (0..64).map(|_| rng.gen_range(0..(64u64 << 20))).collect();
+        let ns = s.measure_local_latency_ns(0, &addrs);
+        // A vault round trip is tens of nanoseconds.
+        assert!((15.0..200.0).contains(&ns), "latency {ns} ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stack configuration")]
+    fn bad_config_panics() {
+        let mut cfg = StackConfig::hmc2();
+        cfg.vaults = 0;
+        let _ = StackedMemory::new(cfg);
+    }
+}

@@ -1,0 +1,197 @@
+//! The conventional-system baseline Tesseract is compared against: a
+//! multi-core out-of-order host with a shared cache hierarchy over DDR3
+//! channels.
+//!
+//! The timing model applies the same three rooflines as the Tesseract
+//! model, but with host parameters and with cache behavior *measured* by
+//! driving a sampled vertex-access trace through the `pim-host` cache
+//! hierarchy (graph random access is exactly the traffic caches handle
+//! poorly, which is the paper's motivation).
+
+use crate::config::HostGraphConfig;
+use crate::engine::ExecutionTrace;
+use pim_energy::{Component, ComputeSite, EnergyBreakdown};
+use pim_host::CacheHierarchy;
+use pim_workloads::{Graph, KernelKind};
+use rand::{Rng, SeedableRng};
+
+/// Report for a host-baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostGraphReport {
+    /// Wall-clock nanoseconds.
+    pub ns: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Bytes moved to/from DRAM.
+    pub mem_bytes: u64,
+    /// Measured cache miss rate of the random vertex accesses.
+    pub miss_rate: f64,
+    /// Total instructions executed.
+    pub instructions: u64,
+}
+
+impl HostGraphReport {
+    /// Edges traversed per second.
+    pub fn teps(&self, edges_scanned: u64) -> f64 {
+        if self.ns == 0.0 {
+            0.0
+        } else {
+            edges_scanned as f64 / (self.ns * 1e-9)
+        }
+    }
+}
+
+/// The host baseline model.
+#[derive(Debug, Clone)]
+pub struct HostGraphModel {
+    cfg: HostGraphConfig,
+}
+
+/// Number of sampled random accesses used to measure the cache miss rate.
+const MISS_RATE_SAMPLES: usize = 100_000;
+
+impl HostGraphModel {
+    /// Creates a model.
+    pub fn new(cfg: HostGraphConfig) -> Self {
+        HostGraphModel { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HostGraphConfig {
+        &self.cfg
+    }
+
+    /// Measures the miss rate of uniform random accesses over an
+    /// `n`-vertex state array (16 B per vertex) through the server cache
+    /// hierarchy.
+    pub fn measure_vertex_miss_rate(&self, n: usize) -> f64 {
+        let mut h = CacheHierarchy::new(self.cfg.hierarchy);
+        let span = (n as u64 * 16).max(64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7e55);
+        // Warm up, then measure.
+        for _ in 0..MISS_RATE_SAMPLES / 2 {
+            h.access(rng.gen_range(0..span) & !63, false);
+        }
+        h.reset();
+        for _ in 0..MISS_RATE_SAMPLES {
+            h.access(rng.gen_range(0..span) & !63, rng.gen_bool(0.5));
+        }
+        h.stats().memory_miss_rate()
+    }
+
+    /// Runs the host baseline on the *same* execution trace the Tesseract
+    /// engine produced (same work: vertices, edges, updates), returning
+    /// its time/energy. The `graph` supplies the vertex count for the
+    /// cache-residency measurement.
+    pub fn run(&self, trace: &ExecutionTrace, graph: &Graph) -> HostGraphReport {
+        let t = trace.totals();
+        let kernel: KernelKind = trace.kernel;
+        let instr = t.vertices * kernel.instructions_per_vertex()
+            + t.edges_scanned * kernel.instructions_per_edge();
+        let random = t.random_accesses;
+        let miss_rate = self.measure_vertex_miss_rate(graph.num_vertices());
+        let misses = (random as f64 * miss_rate) as u64;
+
+        // Memory traffic: every miss moves a 64B line; sequential edge/
+        // vertex streams move their bytes once per scan.
+        let mem_bytes = misses * 64 + t.seq_bytes;
+        let bw = self.cfg.mem.peak_bandwidth_gbps() * self.cfg.mem_efficiency;
+
+        // The host synchronizes at the same algorithmic boundaries the
+        // superstep structure has (PageRank iterations, BFS levels, ...):
+        // charge each superstep the max of its three rooflines, then sum.
+        let mut ns = 0.0;
+        for ss in &trace.supersteps {
+            let (mut sv, mut se, mut sr, mut sq) = (0u64, 0u64, 0u64, 0u64);
+            for c in &ss.vaults {
+                sv += c.vertices;
+                se += c.edges_scanned;
+                sr += c.random_accesses;
+                sq += c.seq_bytes;
+            }
+            let ss_instr = sv * kernel.instructions_per_vertex()
+                + se * kernel.instructions_per_edge();
+            let ss_misses = sr as f64 * miss_rate;
+            let ss_bytes = ss_misses * 64.0 + sq as f64;
+            let bw_ns = ss_bytes / bw;
+            let lat_ns = ss_misses * self.cfg.mem_latency_ns
+                / (self.cfg.cores as f64 * self.cfg.mlp as f64);
+            let compute_ns =
+                ss_instr as f64 / (self.cfg.cores as f64 * self.cfg.ipc * self.cfg.freq_ghz);
+            ns += bw_ns.max(lat_ns).max(compute_ns);
+        }
+
+        let mut energy = EnergyBreakdown::new();
+        let kb = mem_bytes as f64 / 1024.0;
+        let row_bytes = self.cfg.mem.org.row_bytes() as f64;
+        let acts = t.seq_bytes as f64 / row_bytes + misses as f64;
+        energy.add_nj(Component::DramActivation, acts * self.cfg.dram_energy.act_pre_nj);
+        energy += self.cfg.dram_energy.column_energy(kb * 0.7, kb * 0.3);
+        // Every random access probes the hierarchy; streams touch it too.
+        let probes = random + t.seq_bytes / 64;
+        energy += self.cfg.cache_energy.energy_of(probes, probes / 2, misses * 2);
+        energy += self.cfg.compute_energy.compute_nj(ComputeSite::HostCore, instr);
+
+        HostGraphReport { ns, energy, mem_bytes, miss_rate, instructions: instr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_pagerank;
+    use crate::partition::VertexPartition;
+    use rand::SeedableRng;
+
+    fn graph(scale: u32) -> Graph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        Graph::rmat(scale, 8, &mut rng)
+    }
+
+    #[test]
+    fn miss_rate_grows_with_graph_size() {
+        let m = HostGraphModel::new(HostGraphConfig::ddr3_ooo());
+        // 2^14 vertices x 16B = 256KB: fits caches. 2^21 x 16B = 32MB: not.
+        let small = m.measure_vertex_miss_rate(1 << 14);
+        let large = m.measure_vertex_miss_rate(1 << 21);
+        assert!(small < 0.1, "small working set miss rate {small}");
+        assert!(large > 0.6, "large working set miss rate {large}");
+    }
+
+    #[test]
+    fn host_run_produces_consistent_report() {
+        let g = graph(12);
+        let p = VertexPartition::hashed(32);
+        let (_, trace) = run_pagerank(&g, &p, 2);
+        let m = HostGraphModel::new(HostGraphConfig::ddr3_ooo());
+        let r = m.run(&trace, &g);
+        assert!(r.ns > 0.0);
+        assert!(r.mem_bytes > 0);
+        assert!(r.instructions > 0);
+        assert!(r.energy.total_nj() > 0.0);
+        assert!(r.teps(trace.totals().edges_scanned) > 0.0);
+    }
+
+    #[test]
+    fn bigger_graphs_are_disproportionately_slower_on_the_host() {
+        // Cache-resident graphs run fine; LLC-overflowing graphs pay the
+        // memory wall. Normalize per edge.
+        let m = HostGraphModel::new(HostGraphConfig::ddr3_ooo());
+        let p = VertexPartition::hashed(32);
+        let g_small = graph(12);
+        let g_large = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+            Graph::rmat(20, 4, &mut rng) // 16 MB of vertex state > 8 MB LLC
+        };
+        let (_, tr_s) = run_pagerank(&g_small, &p, 1);
+        let (_, tr_l) = run_pagerank(&g_large, &p, 1);
+        let r_s = m.run(&tr_s, &g_small);
+        let r_l = m.run(&tr_l, &g_large);
+        let per_edge_s = r_s.ns / g_small.num_edges() as f64;
+        let per_edge_l = r_l.ns / g_large.num_edges() as f64;
+        assert!(
+            per_edge_l > 1.5 * per_edge_s,
+            "per-edge cost must rise past the LLC: {per_edge_s} vs {per_edge_l}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # pim-tesseract — PIM graph processing in 3D-stacked memory
+//!
+//! Reproduction of Tesseract (Ahn et al., ISCA'15), the paper's §3
+//! example of general-purpose PIM:
+//!
+//! * [`partition`] — vertex-to-vault interleaving;
+//! * [`engine`] — a functional superstep executor for the five paper
+//!   kernels (ATF, conductance, PageRank, SSSP, vertex cover) with exact
+//!   per-vault traffic counts, including local vs. remote function calls;
+//! * [`timing`] — the compute/bandwidth/latency roofline per vault per
+//!   superstep, with the list and message-triggered prefetchers;
+//! * [`host_baseline`] — the conventional out-of-order multicore baseline
+//!   (cache behavior measured through the `pim-host` hierarchy);
+//! * [`sim`] — [`TesseractSim`]: run + compare in one call.
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_tesseract::{TesseractConfig, TesseractSim, HostGraphConfig};
+//! use pim_workloads::{Graph, KernelKind};
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = Graph::rmat(12, 8, &mut rng); // toy-sized; see the e5 bench for scale
+//! let sim = TesseractSim::new(TesseractConfig::isca2015());
+//! let cmp = sim.compare(KernelKind::PageRank, &g, &HostGraphConfig::ddr3_ooo());
+//! assert!(cmp.tesseract.ns > 0.0 && cmp.host.ns > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod engine;
+pub mod host_baseline;
+pub mod partition;
+pub mod sim;
+pub mod timing;
+
+pub use config::{HostGraphConfig, TesseractConfig};
+pub use engine::{run_sssp_weighted, ExecutionTrace, KernelOutput, SuperstepTrace, VaultCounts};
+pub use host_baseline::{HostGraphModel, HostGraphReport};
+pub use partition::VertexPartition;
+pub use sim::{Comparison, TesseractSim};
+pub use timing::{trace_energy, trace_ns, TesseractReport};

@@ -1,0 +1,261 @@
+//! Timing and energy model: turns an [`ExecutionTrace`] into wall-clock
+//! time and an energy breakdown for the Tesseract accelerator.
+//!
+//! Per vault and per superstep, three rooflines compete:
+//!
+//! * **compute** — in-order core instructions (per-vertex, per-edge, and
+//!   per-message overheads) at `core_ghz`;
+//! * **bandwidth** — sequential edge/vertex streams plus 32-byte random
+//!   bursts over the vault's TSV bandwidth;
+//! * **latency** — stall time of the in-order core on vault-local
+//!   accesses. Stalls *add* to the busy time (an in-order core blocks);
+//!   the *list prefetcher* removes sequential stalls entirely and the
+//!   *message-triggered prefetcher* raises the memory-level parallelism
+//!   of message handlers ([`TesseractConfig::prefetch_mlp`] vs.
+//!   [`TesseractConfig::base_mlp`]).
+//!
+//! Supersteps end at a barrier: the slowest vault sets the pace (the
+//! paper's workload-balance discussion).
+
+use crate::config::TesseractConfig;
+use crate::engine::{ExecutionTrace, VaultCounts};
+use pim_energy::{Component, ComputeSite, EnergyBreakdown};
+use pim_workloads::KernelKind;
+
+/// Burst size of a random vault access, bytes.
+const RANDOM_BURST_BYTES: u64 = 32;
+
+/// Instructions a vault executes in one superstep.
+pub fn vault_instructions(c: &VaultCounts, kernel: KernelKind, cfg: &TesseractConfig) -> u64 {
+    c.vertices * kernel.instructions_per_vertex()
+        + c.edges_scanned * kernel.instructions_per_edge()
+        + (c.msgs_in() + c.msgs_out_remote) * cfg.msg_overhead_instr
+}
+
+/// Time one vault spends on one superstep, nanoseconds.
+pub fn vault_superstep_ns(c: &VaultCounts, kernel: KernelKind, cfg: &TesseractConfig) -> f64 {
+    let instr = vault_instructions(c, kernel, cfg);
+    let compute_ns = instr as f64 / cfg.core_ghz;
+
+    let bytes = c.seq_bytes
+        + c.random_accesses * RANDOM_BURST_BYTES
+        + (c.msgs_in_remote + c.msgs_out_remote) * cfg.msg_bytes;
+    let bw_ns = bytes as f64 / cfg.stack.tsv_gbps_per_vault;
+
+    // Cross-vault messages also cross this vault's NoC port.
+    let noc_bytes = (c.msgs_in_remote + c.msgs_out_remote) * cfg.msg_bytes;
+    let noc_ns = noc_bytes as f64 / cfg.noc_gbps_per_vault;
+
+    let seq_stall_ns = if cfg.list_prefetcher {
+        0.0
+    } else {
+        let lines = c.seq_bytes as f64 / 64.0;
+        lines * cfg.local_latency_ns / cfg.base_mlp as f64
+    };
+    let msg_mlp = if cfg.msg_prefetcher { cfg.prefetch_mlp } else { cfg.base_mlp };
+    let rand_stall_ns = c.random_accesses as f64 * cfg.local_latency_ns / msg_mlp as f64;
+
+    // Blocking remote calls stall the *sender* for a cross-vault round
+    // trip each; the non-blocking interface (the paper's design) hides
+    // this entirely behind the message queues.
+    let send_stall_ns = if cfg.non_blocking_calls {
+        0.0
+    } else {
+        c.msgs_out_remote as f64 * cfg.remote_rt_ns / cfg.base_mlp as f64
+    };
+
+    // The core overlaps compute with the prefetched streams (roofline max),
+    // but in-order stalls serialize on top.
+    compute_ns.max(bw_ns).max(noc_ns) + seq_stall_ns + rand_stall_ns + send_stall_ns
+}
+
+/// Wall-clock time of the whole trace (barrier per superstep), nanoseconds.
+pub fn trace_ns(trace: &ExecutionTrace, cfg: &TesseractConfig) -> f64 {
+    trace
+        .supersteps
+        .iter()
+        .map(|ss| {
+            ss.vaults
+                .iter()
+                .map(|c| vault_superstep_ns(c, trace.kernel, cfg))
+                .fold(0.0, f64::max)
+        })
+        .sum()
+}
+
+/// Energy of the whole trace.
+pub fn trace_energy(trace: &ExecutionTrace, cfg: &TesseractConfig) -> EnergyBreakdown {
+    let t = trace.totals();
+    let mut e = EnergyBreakdown::new();
+    // Vault DRAM: streams + random bursts.
+    let bytes = t.seq_bytes + t.random_accesses * RANDOM_BURST_BYTES;
+    let kb = bytes as f64 / 1024.0;
+    let row_bytes = cfg.stack.vault_spec.org.row_bytes() as f64;
+    // Sequential data amortizes activations over rows; every random burst
+    // opens its own row.
+    let acts = t.seq_bytes as f64 / row_bytes + t.random_accesses as f64;
+    e.add_nj(Component::DramActivation, acts * cfg.dram_energy.act_pre_nj);
+    e += cfg.dram_energy.column_energy(kb * 0.7, kb * 0.3);
+    // TSV movement of everything plus the cross-vault message traffic.
+    e += cfg.link_energy.tsv_energy(bytes + (t.msgs_in_remote + t.msgs_out_remote) * cfg.msg_bytes);
+    // PIM core instructions.
+    let instr: u64 = trace
+        .supersteps
+        .iter()
+        .flat_map(|ss| ss.vaults.iter())
+        .map(|c| vault_instructions(c, trace.kernel, cfg))
+        .sum();
+    e += cfg.compute_energy.compute_nj(ComputeSite::PimCore, instr);
+    e
+}
+
+/// Combined report for one Tesseract run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TesseractReport {
+    /// Wall-clock nanoseconds.
+    pub ns: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Number of supersteps executed.
+    pub supersteps: usize,
+    /// Aggregate traffic counters.
+    pub totals: VaultCounts,
+    /// Fraction of messages that crossed vaults.
+    pub remote_fraction: f64,
+    /// Load imbalance: time of the slowest vault divided by the average
+    /// vault time, aggregated over supersteps (1.0 = perfectly balanced;
+    /// the barrier makes the slowest vault set the pace).
+    pub imbalance: f64,
+}
+
+impl TesseractReport {
+    /// Builds the report from a trace.
+    pub fn from_trace(trace: &ExecutionTrace, cfg: &TesseractConfig) -> Self {
+        // Imbalance: sum of per-superstep maxima over sum of averages.
+        let mut sum_max = 0.0;
+        let mut sum_avg = 0.0;
+        for ss in &trace.supersteps {
+            let times: Vec<f64> =
+                ss.vaults.iter().map(|c| vault_superstep_ns(c, trace.kernel, cfg)).collect();
+            let max = times.iter().fold(0.0f64, |a, &b| a.max(b));
+            let avg = times.iter().sum::<f64>() / times.len().max(1) as f64;
+            sum_max += max;
+            sum_avg += avg;
+        }
+        let imbalance = if sum_avg > 0.0 { sum_max / sum_avg } else { 1.0 };
+        TesseractReport {
+            ns: trace_ns(trace, cfg),
+            energy: trace_energy(trace, cfg),
+            supersteps: trace.supersteps.len(),
+            totals: trace.totals(),
+            remote_fraction: trace.remote_fraction(),
+            imbalance,
+        }
+    }
+
+    /// Edges traversed per second, a common graph-processing metric.
+    pub fn teps(&self) -> f64 {
+        if self.ns == 0.0 {
+            0.0
+        } else {
+            self.totals.edges_scanned as f64 / (self.ns * 1e-9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_pagerank;
+    use crate::partition::VertexPartition;
+    use pim_workloads::Graph;
+    use rand::SeedableRng;
+
+    fn setup() -> (Graph, VertexPartition, TesseractConfig) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        (Graph::rmat(11, 8, &mut rng), VertexPartition::hashed(32), TesseractConfig::single_cube())
+    }
+
+    #[test]
+    fn time_is_positive_and_scales_with_iterations() {
+        let (g, p, cfg) = setup();
+        let (_, t2) = run_pagerank(&g, &p, 2);
+        let (_, t4) = run_pagerank(&g, &p, 4);
+        let n2 = trace_ns(&t2, &cfg);
+        let n4 = trace_ns(&t4, &cfg);
+        assert!(n2 > 0.0);
+        assert!((n4 / n2 - 2.0).abs() < 0.2, "4 iters should be ~2x 2 iters");
+    }
+
+    #[test]
+    fn prefetchers_help() {
+        let (g, p, cfg) = setup();
+        let (_, trace) = run_pagerank(&g, &p, 2);
+        let with = trace_ns(&trace, &cfg);
+        let without = trace_ns(&trace, &cfg.clone().without_prefetchers());
+        assert!(
+            without > 1.25 * with,
+            "prefetchers must matter: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    fn a_starved_noc_becomes_the_bottleneck() {
+        let (g, p, cfg) = setup();
+        let (_, trace) = run_pagerank(&g, &p, 2);
+        let healthy = trace_ns(&trace, &cfg);
+        let mut starved = cfg.clone();
+        starved.noc_gbps_per_vault = 0.5;
+        let slow = trace_ns(&trace, &starved);
+        assert!(slow > 2.0 * healthy, "NoC starvation must bite: {healthy} -> {slow}");
+    }
+
+    #[test]
+    fn blocking_remote_calls_are_catastrophic() {
+        let (g, p, cfg) = setup();
+        let (_, trace) = run_pagerank(&g, &p, 2);
+        let non_blocking = trace_ns(&trace, &cfg);
+        let blocking = trace_ns(&trace, &cfg.clone().with_blocking_calls());
+        assert!(
+            blocking > 3.0 * non_blocking,
+            "blocking {blocking} vs non-blocking {non_blocking}"
+        );
+    }
+
+    #[test]
+    fn more_vaults_reduce_time() {
+        let (g, _, cfg) = setup();
+        let (_, t32) = run_pagerank(&g, &VertexPartition::hashed(32), 2);
+        let (_, t4) = run_pagerank(&g, &VertexPartition::hashed(4), 2);
+        let mut cfg4 = cfg.clone();
+        cfg4.stack.vaults = 4;
+        let n32 = trace_ns(&t32, &cfg);
+        let n4 = trace_ns(&t4, &cfg4);
+        assert!(n4 > 2.5 * n32, "4 vaults ({n4}) must be much slower than 32 ({n32})");
+    }
+
+    #[test]
+    fn energy_components_present() {
+        let (g, p, cfg) = setup();
+        let (_, trace) = run_pagerank(&g, &p, 2);
+        let e = trace_energy(&trace, &cfg);
+        assert!(e.get(Component::DramActivation) > 0.0);
+        assert!(e.get(Component::Tsv) > 0.0);
+        assert!(e.get(Component::CoreCompute) > 0.0);
+        assert!(e.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn report_metrics() {
+        let (g, p, cfg) = setup();
+        let (_, trace) = run_pagerank(&g, &p, 3);
+        let r = TesseractReport::from_trace(&trace, &cfg);
+        assert_eq!(r.supersteps, 3);
+        assert!(r.teps() > 0.0);
+        assert!(r.remote_fraction > 0.5);
+        // Hashed partitioning keeps the barrier imbalance moderate.
+        assert!(r.imbalance >= 1.0);
+        assert!(r.imbalance < 4.0, "imbalance {}", r.imbalance);
+        assert_eq!(r.totals.edges_scanned, 3 * g.num_edges() as u64);
+    }
+}

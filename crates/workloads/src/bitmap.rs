@@ -1,0 +1,187 @@
+//! Bitmap-index workload (the Ambit paper's first end-to-end use case).
+//!
+//! The scenario from the paper: a table of `u` users with one bitmap per
+//! week recording which users were active. The query *"how many users were
+//! active every week for the past `w` weeks?"* is a `w`-way bulk AND
+//! followed by a population count. Query latency is dominated by the bulk
+//! bitwise work, which is what Ambit accelerates (2×–12× end-to-end in the
+//! paper, growing with data size).
+
+use crate::bitvec::{BitVec, BulkOp};
+use crate::plan::{BitwisePlan, PlanBuilder};
+use rand::Rng;
+
+/// A collection of equal-length bitmaps (one per attribute/week).
+#[derive(Debug, Clone)]
+pub struct BitmapIndex {
+    bitmaps: Vec<BitVec>,
+    rows: usize,
+}
+
+impl BitmapIndex {
+    /// Builds an index from pre-computed bitmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps have differing lengths or there are none.
+    pub fn new(bitmaps: Vec<BitVec>) -> Self {
+        assert!(!bitmaps.is_empty(), "an index needs at least one bitmap");
+        let rows = bitmaps[0].len();
+        for b in &bitmaps {
+            assert_eq!(b.len(), rows, "all bitmaps must have equal length");
+        }
+        BitmapIndex { bitmaps, rows }
+    }
+
+    /// Generates a synthetic index: `weeks` bitmaps over `users` rows, each
+    /// user active in a given week with probability `density`.
+    pub fn random<R: Rng>(users: usize, weeks: usize, density: f64, rng: &mut R) -> Self {
+        let bitmaps = (0..weeks).map(|_| BitVec::random(users, density, rng)).collect();
+        BitmapIndex::new(bitmaps)
+    }
+
+    /// Number of rows (users).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitmaps (weeks).
+    pub fn bitmaps(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// The individual bitmaps.
+    pub fn columns(&self) -> &[BitVec] {
+        &self.bitmaps
+    }
+
+    /// Total size of the index in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bitmaps.iter().map(|b| b.byte_len()).sum()
+    }
+
+    /// Compiles the *active-every-week* query over `weeks` trailing weeks
+    /// into a [`BitwisePlan`] (a chain of ANDs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weeks` is zero or exceeds the number of bitmaps.
+    pub fn all_active_plan(&self, weeks: usize) -> BitwisePlan {
+        assert!(weeks >= 1 && weeks <= self.bitmaps.len(), "weeks out of range");
+        let mut b = PlanBuilder::new(weeks);
+        let mut acc = b.input(0);
+        for i in 1..weeks {
+            let next = b.input(i);
+            acc = b.binary(BulkOp::And, acc, next);
+        }
+        b.finish(acc)
+    }
+
+    /// Compiles the *active in any week* query (a chain of ORs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weeks` is zero or exceeds the number of bitmaps.
+    pub fn any_active_plan(&self, weeks: usize) -> BitwisePlan {
+        assert!(weeks >= 1 && weeks <= self.bitmaps.len(), "weeks out of range");
+        let mut b = PlanBuilder::new(weeks);
+        let mut acc = b.input(0);
+        for i in 1..weeks {
+            let next = b.input(i);
+            acc = b.binary(BulkOp::Or, acc, next);
+        }
+        b.finish(acc)
+    }
+
+    /// The inputs for a trailing-`weeks` query, oldest first.
+    pub fn trailing_inputs(&self, weeks: usize) -> Vec<&BitVec> {
+        self.bitmaps[self.bitmaps.len() - weeks..].iter().collect()
+    }
+
+    /// CPU reference: number of users active in **all** of the trailing
+    /// `weeks` weeks.
+    pub fn count_all_active(&self, weeks: usize) -> u64 {
+        let plan = self.all_active_plan(weeks);
+        plan.eval_cpu(&self.trailing_inputs(weeks)).count_ones()
+    }
+
+    /// CPU reference: number of users active in **any** of the trailing
+    /// `weeks` weeks.
+    pub fn count_any_active(&self, weeks: usize) -> u64 {
+        let plan = self.any_active_plan(weeks);
+        plan.eval_cpu(&self.trailing_inputs(weeks)).count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_index() -> BitmapIndex {
+        // 8 users x 3 weeks with a known pattern.
+        let w0 = BitVec::from_fn(8, |i| i % 2 == 0); // 0,2,4,6
+        let w1 = BitVec::from_fn(8, |i| i < 5); // 0..4
+        let w2 = BitVec::from_fn(8, |i| i != 2); // all but 2
+        BitmapIndex::new(vec![w0, w1, w2])
+    }
+
+    #[test]
+    fn all_active_matches_manual_intersection() {
+        let idx = small_index();
+        // weeks=3: active in w0 & w1 & w2 -> {0, 4}.
+        assert_eq!(idx.count_all_active(3), 2);
+        // weeks=2 (w1 & w2): {0,1,3,4}.
+        assert_eq!(idx.count_all_active(2), 4);
+        // weeks=1 (w2 only): 7 users.
+        assert_eq!(idx.count_all_active(1), 7);
+    }
+
+    #[test]
+    fn any_active_matches_manual_union() {
+        let idx = small_index();
+        assert_eq!(idx.count_any_active(3), 8);
+        assert_eq!(idx.count_any_active(1), 7);
+    }
+
+    #[test]
+    fn plan_shape() {
+        let idx = small_index();
+        let plan = idx.all_active_plan(3);
+        assert_eq!(plan.inputs(), 3);
+        assert_eq!(plan.steps().len(), 2); // w-1 ANDs
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn random_index_counts_are_consistent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let idx = BitmapIndex::random(10_000, 6, 0.8, &mut rng);
+        assert_eq!(idx.rows(), 10_000);
+        assert_eq!(idx.bitmaps(), 6);
+        let all = idx.count_all_active(6);
+        let any = idx.count_any_active(6);
+        assert!(all <= any);
+        // Expected all-active fraction ~0.8^6 ~ 26%.
+        let frac = all as f64 / 10_000.0;
+        assert!((frac - 0.262).abs() < 0.05, "all-active fraction {frac}");
+    }
+
+    #[test]
+    fn bytes_accounts_all_bitmaps() {
+        let idx = small_index();
+        assert_eq!(idx.bytes(), 3 * 8); // three 8-bit bitmaps, 1 word each
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        let _ = BitmapIndex::new(vec![BitVec::zeros(8), BitVec::zeros(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weeks out of range")]
+    fn zero_weeks_rejected() {
+        let _ = small_index().all_active_plan(0);
+    }
+}

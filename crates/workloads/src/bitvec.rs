@@ -1,0 +1,399 @@
+//! Bit vectors and the seven bulk bitwise operations of the Ambit paper.
+//!
+//! [`BitVec`] is the CPU *reference implementation*: the in-DRAM engine in
+//! `pim-ambit` must produce bit-identical results, and the host baselines
+//! in `pim-host` charge time/energy for exactly the bytes these operations
+//! touch.
+
+use std::fmt;
+
+/// The bulk bitwise operations evaluated by the paper (§2): NOT, AND, OR,
+/// NAND, NOR, XOR, XNOR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BulkOp {
+    /// Bitwise complement (unary).
+    Not,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise NAND.
+    Nand,
+    /// Bitwise NOR.
+    Nor,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise XNOR.
+    Xnor,
+}
+
+impl BulkOp {
+    /// All seven operations, in the paper's order.
+    pub const ALL: [BulkOp; 7] = [
+        BulkOp::Not,
+        BulkOp::And,
+        BulkOp::Or,
+        BulkOp::Nand,
+        BulkOp::Nor,
+        BulkOp::Xor,
+        BulkOp::Xnor,
+    ];
+
+    /// `true` for the single unary operation (NOT).
+    pub const fn is_unary(self) -> bool {
+        matches!(self, BulkOp::Not)
+    }
+
+    /// Number of input vectors.
+    pub const fn inputs(self) -> u32 {
+        if self.is_unary() {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Bytes moved on a conventional memory channel per byte of output:
+    /// all inputs are read and the output is written.
+    pub const fn streams(self) -> u32 {
+        self.inputs() + 1
+    }
+
+    /// Applies the operation to a word (`b` ignored for NOT).
+    pub const fn apply_word(self, a: u64, b: u64) -> u64 {
+        match self {
+            BulkOp::Not => !a,
+            BulkOp::And => a & b,
+            BulkOp::Or => a | b,
+            BulkOp::Nand => !(a & b),
+            BulkOp::Nor => !(a | b),
+            BulkOp::Xor => a ^ b,
+            BulkOp::Xnor => !(a ^ b),
+        }
+    }
+}
+
+impl fmt::Display for BulkOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BulkOp::Not => "not",
+            BulkOp::And => "and",
+            BulkOp::Or => "or",
+            BulkOp::Nand => "nand",
+            BulkOp::Nor => "nor",
+            BulkOp::Xor => "xor",
+            BulkOp::Xnor => "xnor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A bit vector backed by 64-bit words.
+///
+/// Bits beyond `len` are kept zero as an invariant (checked by the property
+/// tests), so [`BitVec::count_ones`] and equality are always exact.
+///
+/// # Examples
+///
+/// ```
+/// use pim_workloads::{BitVec, BulkOp};
+/// let a = BitVec::from_fn(130, |i| i % 2 == 0);
+/// let b = BitVec::from_fn(130, |i| i % 3 == 0);
+/// let c = a.binary(BulkOp::And, &b);
+/// assert_eq!(c.count_ones(), (0..130).filter(|i| i % 6 == 0).count() as u64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec { words: vec![u64::MAX; len.div_ceil(64)], len };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a vector from a predicate over bit indices.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = BitVec::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a vector from pre-packed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `len` requires.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert!(words.len() >= len.div_ceil(64), "not enough words for {len} bits");
+        let mut v = BitVec { words, len };
+        v.words.truncate(len.div_ceil(64));
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a random vector where each bit is one with probability
+    /// `density`, using the given RNG.
+    pub fn random<R: rand::Rng>(len: usize, density: f64, rng: &mut R) -> Self {
+        let mut v = BitVec::zeros(len);
+        for w in &mut v.words {
+            for bit in 0..64 {
+                if rng.gen_bool(density) {
+                    *w |= 1u64 << bit;
+                }
+            }
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes (whole words).
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// The backing words.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Population count.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Applies a binary [`BulkOp`] element-wise, returning a new vector.
+    ///
+    /// For [`BulkOp::Not`] the second operand is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn binary(&self, op: BulkOp, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| op.apply_word(a, b))
+            .collect();
+        let mut out = BitVec { words, len: self.len };
+        out.mask_tail();
+        out
+    }
+
+    /// Applies NOT, returning a new vector.
+    pub fn not(&self) -> BitVec {
+        let words = self.words.iter().map(|&a| !a).collect();
+        let mut out = BitVec { words, len: self.len };
+        out.mask_tail();
+        out
+    }
+
+    /// Applies `op` with the unary/binary distinction handled: `b` must be
+    /// `Some` exactly when the op is binary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the operation.
+    pub fn apply(op: BulkOp, a: &BitVec, b: Option<&BitVec>) -> BitVec {
+        match (op.is_unary(), b) {
+            (true, None) => a.not(),
+            (false, Some(b)) => a.binary(op, b),
+            (true, Some(_)) => panic!("{op} is unary but two operands were given"),
+            (false, None) => panic!("{op} is binary but one operand was given"),
+        }
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi * 64;
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(base + tz)
+                }
+            })
+        })
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_ones_and_len() {
+        let z = BitVec::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert_eq!(o.byte_len(), 16);
+        assert!(BitVec::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut v = BitVec::zeros(70);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(69, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(69));
+        assert!(!v.get(1) && !v.get(65));
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let v = BitVec::zeros(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn all_ops_match_word_semantics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = BitVec::random(200, 0.5, &mut rng);
+        let b = BitVec::random(200, 0.5, &mut rng);
+        for op in BulkOp::ALL {
+            let out = if op.is_unary() {
+                BitVec::apply(op, &a, None)
+            } else {
+                BitVec::apply(op, &a, Some(&b))
+            };
+            for i in 0..200 {
+                let expect = op.apply_word(a.get(i) as u64, b.get(i) as u64) & 1 == 1;
+                assert_eq!(out.get(i), expect, "{op} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tail_bits_stay_zero_after_not() {
+        let v = BitVec::zeros(65);
+        let n = v.not();
+        assert_eq!(n.count_ones(), 65, "NOT must not set bits beyond len");
+        let nn = n.binary(BulkOp::Xnor, &n);
+        assert_eq!(nn.count_ones(), 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "unary")]
+    fn apply_not_with_two_operands_panics() {
+        let a = BitVec::zeros(8);
+        let _ = BitVec::apply(BulkOp::Not, &a, Some(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn apply_and_with_one_operand_panics() {
+        let a = BitVec::zeros(8);
+        let _ = BitVec::apply(BulkOp::And, &a, None);
+    }
+
+    #[test]
+    fn iter_ones_lists_set_bits() {
+        let v = BitVec::from_fn(150, |i| i % 37 == 0);
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![0, 37, 74, 111, 148]);
+    }
+
+    #[test]
+    fn random_density_is_plausible() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let v = BitVec::random(64_000, 0.25, &mut rng);
+        let frac = v.count_ones() as f64 / 64_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "density {frac}");
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let v = BitVec::from_words(vec![u64::MAX], 4);
+        assert_eq!(v.count_ones(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough words")]
+    fn from_words_too_short_panics() {
+        let _ = BitVec::from_words(vec![0], 100);
+    }
+
+    #[test]
+    fn op_metadata() {
+        assert!(BulkOp::Not.is_unary());
+        assert_eq!(BulkOp::Not.streams(), 2);
+        assert_eq!(BulkOp::And.streams(), 3);
+        assert_eq!(BulkOp::Xor.inputs(), 2);
+        for op in BulkOp::ALL {
+            assert!(!format!("{op}").is_empty());
+        }
+    }
+}

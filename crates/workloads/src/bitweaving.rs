@@ -1,0 +1,276 @@
+//! BitWeaving-style bit-sliced column scans (Li & Patel, SIGMOD'13), the
+//! Ambit paper's second end-to-end database use case.
+//!
+//! A column of `k`-bit codes is stored *vertically*: plane `0` holds the
+//! most-significant bit of every row, plane `k-1` the least significant.
+//! Predicates (`<`, `<=`, `=`, ranges) then evaluate with `O(k)` bulk
+//! bitwise operations over the planes — exactly the workload Ambit executes
+//! in DRAM.
+
+use crate::bitvec::{BitVec, BulkOp};
+use crate::plan::{BitwisePlan, PlanBuilder, Reg};
+
+/// A bit-sliced (vertically partitioned) column of unsigned `bits`-bit codes.
+#[derive(Debug, Clone)]
+pub struct BitSlicedColumn {
+    planes: Vec<BitVec>, // planes[0] = MSB
+    bits: u32,
+    rows: usize,
+}
+
+impl BitSlicedColumn {
+    /// Slices a column of values into bit planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or > 63, or any value needs more than `bits`
+    /// bits.
+    pub fn from_values(values: &[u64], bits: u32) -> Self {
+        assert!((1..=63).contains(&bits), "bits must be in 1..=63");
+        let limit = 1u64 << bits;
+        let planes = (0..bits)
+            .map(|p| {
+                let shift = bits - 1 - p; // plane 0 = MSB
+                BitVec::from_fn(values.len(), |i| {
+                    assert!(values[i] < limit, "value {} needs more than {bits} bits", values[i]);
+                    (values[i] >> shift) & 1 == 1
+                })
+            })
+            .collect();
+        BitSlicedColumn { planes, bits, rows: values.len() }
+    }
+
+    /// Generates a column of uniformly random codes.
+    pub fn random<R: rand::Rng>(rows: usize, bits: u32, rng: &mut R) -> Self {
+        let values: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..(1u64 << bits))).collect();
+        BitSlicedColumn::from_values(&values, bits)
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The bit planes, MSB first.
+    pub fn planes(&self) -> &[BitVec] {
+        &self.planes
+    }
+
+    /// Total storage in bytes.
+    pub fn bytes(&self) -> usize {
+        self.planes.iter().map(|p| p.byte_len()).sum()
+    }
+
+    /// Reconstructs the value of row `i` (for testing/verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn value(&self, i: usize) -> u64 {
+        self.planes
+            .iter()
+            .fold(0u64, |acc, plane| (acc << 1) | plane.get(i) as u64)
+    }
+
+    /// Compiles `column < c` into a [`BitwisePlan`] whose inputs are the
+    /// planes (MSB first).
+    ///
+    /// Algorithm (MSB-first digit comparison):
+    /// `lt := 0; eq := 1`; for each plane `v_i` with constant bit `c_i`:
+    /// if `c_i = 1` then `lt |= eq & !v_i; eq &= v_i` else `eq &= !v_i`.
+    ///
+    /// `c == 2^bits` is allowed and yields the always-true plan (useful
+    /// for open-ended ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` exceeds `2^bits`.
+    pub fn less_than_plan(&self, c: u64) -> BitwisePlan {
+        assert!(c <= (1u64 << self.bits), "constant {c} exceeds {}-bit codes", self.bits);
+        if c == (1u64 << self.bits) {
+            let mut b = PlanBuilder::new(self.bits as usize);
+            let ones = b.constant(true);
+            return b.finish(ones);
+        }
+        let mut b = PlanBuilder::new(self.bits as usize);
+        let mut lt = b.constant(false);
+        let mut eq: Option<Reg> = None; // None means "all ones" (identity)
+        for p in 0..self.bits {
+            let v = b.input(p as usize);
+            let c_bit = (c >> (self.bits - 1 - p)) & 1 == 1;
+            if c_bit {
+                let nv = b.not(v);
+                let term = match eq {
+                    None => nv,
+                    Some(e) => b.binary(BulkOp::And, e, nv),
+                };
+                lt = b.binary(BulkOp::Or, lt, term);
+                eq = Some(match eq {
+                    None => v,
+                    Some(e) => b.binary(BulkOp::And, e, v),
+                });
+            } else {
+                let nv = b.not(v);
+                eq = Some(match eq {
+                    None => nv,
+                    Some(e) => b.binary(BulkOp::And, e, nv),
+                });
+            }
+        }
+        b.finish(lt)
+    }
+
+    /// Compiles `column == c` into a plan (an XNOR/AND chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` does not fit in the code width.
+    pub fn equals_plan(&self, c: u64) -> BitwisePlan {
+        assert!(c < (1u64 << self.bits), "constant {c} exceeds {}-bit codes", self.bits);
+        let mut b = PlanBuilder::new(self.bits as usize);
+        let mut eq: Option<Reg> = None;
+        for p in 0..self.bits {
+            let v = b.input(p as usize);
+            let c_bit = (c >> (self.bits - 1 - p)) & 1 == 1;
+            let bit_match = if c_bit { v } else { b.not(v) };
+            eq = Some(match eq {
+                None => bit_match,
+                Some(e) => b.binary(BulkOp::And, e, bit_match),
+            });
+        }
+        b.finish(eq.expect("bits >= 1"))
+    }
+
+    /// The plan inputs (the planes) in the order the plans expect.
+    pub fn plan_inputs(&self) -> Vec<&BitVec> {
+        self.planes.iter().collect()
+    }
+
+    /// CPU reference: bitmap of rows with value `< c`.
+    pub fn less_than(&self, c: u64) -> BitVec {
+        self.less_than_plan(c).eval_cpu(&self.plan_inputs())
+    }
+
+    /// CPU reference: bitmap of rows with value `== c`.
+    pub fn equals(&self, c: u64) -> BitVec {
+        self.equals_plan(c).eval_cpu(&self.plan_inputs())
+    }
+
+    /// CPU reference: bitmap of rows with `lo <= value < hi`
+    /// (computed as `lt(hi) AND NOT lt(lo)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound exceeds the code width.
+    pub fn range(&self, lo: u64, hi: u64) -> BitVec {
+        assert!(lo <= hi, "range bounds inverted");
+        let below_hi = self.less_than(hi);
+        let below_lo = self.less_than(lo);
+        below_hi.binary(BulkOp::And, &below_lo.not())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn slicing_roundtrips_values() {
+        let values = [0u64, 1, 5, 7, 6, 3, 2, 4];
+        let col = BitSlicedColumn::from_values(&values, 3);
+        assert_eq!(col.bits(), 3);
+        assert_eq!(col.rows(), 8);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(col.value(i), v, "row {i}");
+        }
+    }
+
+    #[test]
+    fn less_than_matches_scalar_scan() {
+        let values = [0u64, 1, 5, 7, 6, 3, 2, 4];
+        let col = BitSlicedColumn::from_values(&values, 3);
+        for c in 0..8u64 {
+            let got = col.less_than(c);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(got.get(i), v < c, "v={v} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn equals_matches_scalar_scan() {
+        let values = [0u64, 1, 5, 7, 6, 3, 2, 4, 5, 5];
+        let col = BitSlicedColumn::from_values(&values, 3);
+        for c in 0..8u64 {
+            let got = col.equals(c);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(got.get(i), v == c, "v={v} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_scalar_scan() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let col = BitSlicedColumn::random(1000, 8, &mut rng);
+        let got = col.range(50, 200);
+        for i in 0..1000 {
+            let v = col.value(i);
+            assert_eq!(got.get(i), (50..200).contains(&v), "row {i} v={v}");
+        }
+    }
+
+    #[test]
+    fn random_large_width_scan() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let col = BitSlicedColumn::random(5000, 12, &mut rng);
+        let c = 1 << 11;
+        let got = col.less_than(c);
+        let expect = (0..5000).filter(|&i| col.value(i) < c).count() as u64;
+        assert_eq!(got.count_ones(), expect);
+        // Uniform codes: about half below the midpoint.
+        assert!((got.count_ones() as f64 / 5000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn plan_size_is_linear_in_width() {
+        let col = BitSlicedColumn::from_values(&[0, 1, 2, 3], 2);
+        let small = col.less_than_plan(2).steps().len();
+        let col16 = BitSlicedColumn::from_values(&[0, 1, 2, 3], 16);
+        let large = col16.less_than_plan(40_000).steps().len();
+        assert!(large > small);
+        assert!(large <= 4 * 16 + 1, "plan must stay O(bits), got {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn constant_too_wide_rejected() {
+        let col = BitSlicedColumn::from_values(&[0, 1], 1);
+        let _ = col.less_than_plan(3);
+    }
+
+    #[test]
+    fn lt_of_two_to_the_bits_is_always_true() {
+        let col = BitSlicedColumn::from_values(&[0, 1, 3], 2);
+        let all = col.less_than(4);
+        assert_eq!(all.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn value_too_wide_rejected() {
+        let _ = BitSlicedColumn::from_values(&[4], 2);
+    }
+
+    #[test]
+    fn bytes_counts_planes() {
+        let col = BitSlicedColumn::from_values(&[0u64; 64], 4);
+        assert_eq!(col.bytes(), 4 * 8);
+    }
+}

@@ -1,0 +1,247 @@
+//! Descriptors for the four Google consumer-device workloads analyzed by
+//! Boroumand et al. (ASPLOS'18) and summarized in §1/§3 of the paper:
+//! Chrome scrolling, TensorFlow Mobile inference, VP9 playback, and VP9
+//! capture.
+//!
+//! The original study instruments real devices; we substitute *workload
+//! descriptors*: for each **target function** (the functions the study
+//! identifies as PIM candidates) we record its share of runtime, how many
+//! bytes it moves through the memory hierarchy per unit of work, and how
+//! many compute operations it performs. The energy/performance analysis
+//! over these descriptors lives in `pim-core`'s `consumer` module; the
+//! movement/compute ratios here are set to the study's reported
+//! characteristics (memory-intensity of texture tiling, packing, motion
+//! estimation, etc.), which is what makes the headline numbers (62.7%
+//! movement energy, ~55% energy and ~54% time reduction) reproducible.
+
+use std::fmt;
+
+/// One offloadable target function of a consumer workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetFunction {
+    /// Function name (as in the ASPLOS'18 study).
+    pub name: &'static str,
+    /// Fraction of the workload's total runtime spent here.
+    pub time_fraction: f64,
+    /// Megabytes moved through the memory hierarchy per frame/unit.
+    pub mb_moved_per_unit: f64,
+    /// Millions of compute operations per frame/unit.
+    pub mops_per_unit: f64,
+    /// `true` if the study found this function suitable for a simple PIM
+    /// core or accelerator (all listed functions are; kept for extensions).
+    pub pim_candidate: bool,
+}
+
+impl TargetFunction {
+    /// Bytes moved per compute operation — the memory intensity that makes
+    /// these functions PIM-friendly.
+    pub fn bytes_per_op(&self) -> f64 {
+        self.mb_moved_per_unit / self.mops_per_unit
+    }
+}
+
+/// A consumer-device workload: target functions plus the residual
+/// (non-offloadable) activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsumerWorkload {
+    /// Workload name.
+    pub name: &'static str,
+    /// The PIM-candidate target functions.
+    pub functions: Vec<TargetFunction>,
+    /// Bytes moved per unit by the *rest* of the workload, in MB.
+    pub other_mb_moved: f64,
+    /// Compute ops per unit by the rest of the workload, in Mops.
+    pub other_mops: f64,
+}
+
+impl ConsumerWorkload {
+    /// Chrome browser scrolling: texture tiling and color blitting dominate
+    /// data movement (the study attributes ~41% of page-scroll energy to
+    /// data movement in these two functions).
+    pub fn chrome() -> Self {
+        ConsumerWorkload {
+            name: "chrome-scrolling",
+            functions: vec![
+                TargetFunction {
+                    name: "texture-tiling",
+                    time_fraction: 0.50,
+                    mb_moved_per_unit: 20.0,
+                    mops_per_unit: 10.0,
+                    pim_candidate: true,
+                },
+                TargetFunction {
+                    name: "color-blitting",
+                    time_fraction: 0.37,
+                    mb_moved_per_unit: 15.0,
+                    mops_per_unit: 8.0,
+                    pim_candidate: true,
+                },
+            ],
+            other_mb_moved: 2.5,
+            other_mops: 8.0,
+        }
+    }
+
+    /// TensorFlow Mobile inference: matrix packing and quantization are the
+    /// dominant movement (the study: packing alone is up to ~40% of
+    /// inference energy).
+    pub fn tensorflow_mobile() -> Self {
+        ConsumerWorkload {
+            name: "tensorflow-mobile",
+            functions: vec![
+                TargetFunction {
+                    name: "packing",
+                    time_fraction: 0.48,
+                    mb_moved_per_unit: 22.0,
+                    mops_per_unit: 11.0,
+                    pim_candidate: true,
+                },
+                TargetFunction {
+                    name: "quantization",
+                    time_fraction: 0.18,
+                    mb_moved_per_unit: 8.0,
+                    mops_per_unit: 5.0,
+                    pim_candidate: true,
+                },
+            ],
+            other_mb_moved: 3.0,
+            other_mops: 10.0,
+        }
+    }
+
+    /// VP9 playback: sub-pixel interpolation and the deblocking filter.
+    pub fn vp9_playback() -> Self {
+        ConsumerWorkload {
+            name: "vp9-playback",
+            functions: vec![
+                TargetFunction {
+                    name: "sub-pixel-interpolation",
+                    time_fraction: 0.43,
+                    mb_moved_per_unit: 18.0,
+                    mops_per_unit: 10.0,
+                    pim_candidate: true,
+                },
+                TargetFunction {
+                    name: "deblocking-filter",
+                    time_fraction: 0.25,
+                    mb_moved_per_unit: 10.0,
+                    mops_per_unit: 6.0,
+                    pim_candidate: true,
+                },
+            ],
+            other_mb_moved: 3.0,
+            other_mops: 9.0,
+        }
+    }
+
+    /// VP9 capture: motion estimation dominates both time and movement.
+    pub fn vp9_capture() -> Self {
+        ConsumerWorkload {
+            name: "vp9-capture",
+            functions: vec![TargetFunction {
+                name: "motion-estimation",
+                time_fraction: 0.65,
+                mb_moved_per_unit: 30.0,
+                mops_per_unit: 16.0,
+                pim_candidate: true,
+            }],
+            other_mb_moved: 3.5,
+            other_mops: 11.0,
+        }
+    }
+
+    /// All four workloads of the study.
+    pub fn all() -> Vec<ConsumerWorkload> {
+        vec![
+            ConsumerWorkload::chrome(),
+            ConsumerWorkload::tensorflow_mobile(),
+            ConsumerWorkload::vp9_playback(),
+            ConsumerWorkload::vp9_capture(),
+        ]
+    }
+
+    /// Total MB moved per unit of work (target functions + rest).
+    pub fn total_mb_moved(&self) -> f64 {
+        self.functions.iter().map(|f| f.mb_moved_per_unit).sum::<f64>() + self.other_mb_moved
+    }
+
+    /// Total Mops per unit of work.
+    pub fn total_mops(&self) -> f64 {
+        self.functions.iter().map(|f| f.mops_per_unit).sum::<f64>() + self.other_mops
+    }
+
+    /// Fraction of bytes moved that target functions account for.
+    pub fn target_movement_fraction(&self) -> f64 {
+        let t: f64 = self.functions.iter().map(|f| f.mb_moved_per_unit).sum();
+        t / self.total_mb_moved()
+    }
+
+    /// Fraction of runtime covered by target functions.
+    pub fn target_time_fraction(&self) -> f64 {
+        self.functions.iter().map(|f| f.time_fraction).sum()
+    }
+}
+
+impl fmt::Display for ConsumerWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} target fns, {:.1} MB moved/unit ({:.0}% in targets)",
+            self.name,
+            self.functions.len(),
+            self.total_mb_moved(),
+            self.target_movement_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_workloads_exist() {
+        let all = ConsumerWorkload::all();
+        assert_eq!(all.len(), 4);
+        let names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        assert!(names.contains(&"chrome-scrolling"));
+        assert!(names.contains(&"tensorflow-mobile"));
+        assert!(names.contains(&"vp9-playback"));
+        assert!(names.contains(&"vp9-capture"));
+    }
+
+    #[test]
+    fn target_functions_are_memory_intensive() {
+        // The study's core finding: target functions move far more bytes
+        // per op than the residual compute.
+        for w in ConsumerWorkload::all() {
+            let other_bpo = w.other_mb_moved / w.other_mops;
+            for f in &w.functions {
+                assert!(
+                    f.bytes_per_op() > 2.0 * other_bpo,
+                    "{}/{} must be movement-heavy",
+                    w.name,
+                    f.name
+                );
+                assert!(f.pim_candidate);
+            }
+        }
+    }
+
+    #[test]
+    fn fractions_are_sane() {
+        for w in ConsumerWorkload::all() {
+            let t = w.target_time_fraction();
+            assert!(t > 0.0 && t < 1.0, "{}: target time fraction {t}", w.name);
+            let m = w.target_movement_fraction();
+            assert!(m > 0.5, "{}: targets must dominate movement, got {m}", w.name);
+            assert!(w.total_mb_moved() > 0.0 && w.total_mops() > 0.0);
+        }
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let w = ConsumerWorkload::chrome();
+        assert!(format!("{w}").contains("chrome"));
+    }
+}

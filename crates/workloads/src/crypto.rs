@@ -1,0 +1,152 @@
+//! XOR-based cryptography kernels (the paper's §2 lists "encryption
+//! algorithms \[28, 98\]" — optical/visual XOR schemes — among the bulk
+//! bitwise applications).
+//!
+//! Two textbook constructions, both pure bulk-XOR and therefore Ambit
+//! targets:
+//!
+//! * **One-time pad** — `cipher = plain XOR key`; decryption is the same
+//!   operation (XOR is an involution).
+//! * **XOR secret sharing** (n-of-n visual cryptography) — a secret splits
+//!   into `n` shares, `n − 1` of them random; any `n − 1` shares reveal
+//!   nothing (each is uniformly random), XOR-ing all `n` reconstructs the
+//!   secret.
+
+use crate::bitvec::{BitVec, BulkOp};
+use crate::plan::{BitwisePlan, PlanBuilder};
+use rand::Rng;
+
+/// One-time-pad encryption: `data XOR key`.
+///
+/// Decryption is the identical call (XOR involution).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn one_time_pad(data: &BitVec, key: &BitVec) -> BitVec {
+    data.binary(BulkOp::Xor, key)
+}
+
+/// Splits `secret` into `n` XOR shares; the first `n − 1` are uniformly
+/// random and the last is chosen so all shares XOR back to the secret.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn share_secret<R: Rng>(secret: &BitVec, n: usize, rng: &mut R) -> Vec<BitVec> {
+    assert!(n >= 1, "need at least one share");
+    let mut shares: Vec<BitVec> =
+        (0..n - 1).map(|_| BitVec::random(secret.len(), 0.5, rng)).collect();
+    let mut last = secret.clone();
+    for s in &shares {
+        last = last.binary(BulkOp::Xor, s);
+    }
+    shares.push(last);
+    shares
+}
+
+/// Compiles the reconstruction (`share_0 XOR … XOR share_{n-1}`) into a
+/// [`BitwisePlan`] — the program Ambit executes to reveal the secret.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn reconstruct_plan(n: usize) -> BitwisePlan {
+    assert!(n >= 1, "need at least one share");
+    let mut pb = PlanBuilder::new(n);
+    let mut acc = pb.input(0);
+    for i in 1..n {
+        let next = pb.input(i);
+        acc = pb.binary(BulkOp::Xor, acc, next);
+    }
+    pb.finish(acc)
+}
+
+/// CPU reference: reconstructs the secret from its shares.
+///
+/// # Panics
+///
+/// Panics if `shares` is empty.
+pub fn reconstruct(shares: &[BitVec]) -> BitVec {
+    assert!(!shares.is_empty(), "need at least one share");
+    let plan = reconstruct_plan(shares.len());
+    let inputs: Vec<&BitVec> = shares.iter().collect();
+    plan.eval_cpu(&inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn otp_roundtrips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data = BitVec::random(10_000, 0.3, &mut rng);
+        let key = BitVec::random(10_000, 0.5, &mut rng);
+        let cipher = one_time_pad(&data, &key);
+        assert_ne!(cipher, data, "ciphertext must differ from plaintext");
+        assert_eq!(one_time_pad(&cipher, &key), data, "XOR involution");
+    }
+
+    #[test]
+    fn otp_ciphertext_is_balanced() {
+        // A uniform key makes the ciphertext look uniform even for heavily
+        // biased plaintext.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let data = BitVec::random(100_000, 0.05, &mut rng); // 5% ones
+        let key = BitVec::random(100_000, 0.5, &mut rng);
+        let cipher = one_time_pad(&data, &key);
+        let density = cipher.count_ones() as f64 / 100_000.0;
+        assert!((density - 0.5).abs() < 0.01, "cipher density {density}");
+    }
+
+    #[test]
+    fn shares_reconstruct_the_secret() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let secret = BitVec::random(5000, 0.2, &mut rng);
+        for n in [1usize, 2, 3, 7] {
+            let shares = share_secret(&secret, n, &mut rng);
+            assert_eq!(shares.len(), n);
+            assert_eq!(reconstruct(&shares), secret, "n={n}");
+        }
+    }
+
+    #[test]
+    fn any_partial_share_set_reveals_nothing() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let secret = BitVec::random(100_000, 0.1, &mut rng); // biased secret
+        let shares = share_secret(&secret, 3, &mut rng);
+        // XOR of any proper subset is uniformly random (density ~50%),
+        // leaking none of the 10% bias.
+        for subset in [vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![0, 2]] {
+            let partial = subset
+                .iter()
+                .map(|&i| shares[i].clone())
+                .reduce(|a, b| a.binary(BulkOp::Xor, &b))
+                .unwrap();
+            let density = partial.count_ones() as f64 / 100_000.0;
+            assert!(
+                (density - 0.5).abs() < 0.02,
+                "subset {subset:?} leaks: density {density}"
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_plan_is_a_pure_xor_chain() {
+        let plan = reconstruct_plan(5);
+        assert_eq!(plan.steps().len(), 4);
+        for (op, count) in plan.op_histogram() {
+            assert_eq!(op, Some(BulkOp::Xor));
+            assert_eq!(count, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one share")]
+    fn zero_shares_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let _ = share_secret(&BitVec::zeros(8), 0, &mut rng);
+    }
+}

@@ -1,0 +1,303 @@
+//! DNA seed-location filtering (GRIM-Filter, Kim+ BMC Genomics'18 —
+//! cited by the paper's §2 as a bulk-bitwise application \[47\]).
+//!
+//! The genome is divided into bins; for every possible `k`-mer (length-k
+//! DNA substring) the index stores a bit vector over bins: bit `b` is set
+//! iff the k-mer occurs in bin `b`. To locate a read, AND the bit vectors
+//! of all its k-mers: surviving bins are the only candidates for
+//! expensive alignment. The AND chain over megabit vectors is exactly the
+//! workload Ambit executes in DRAM.
+//!
+//! The filter is *conservative*: a bin that truly contains the read always
+//! survives (no false negatives — asserted by the tests); false positives
+//! cost extra alignment work and shrink as `k` grows.
+
+use crate::bitvec::{BitVec, BulkOp};
+use crate::plan::{BitwisePlan, PlanBuilder};
+use rand::Rng;
+use std::fmt;
+
+/// The four nucleotides, encoded 0..4.
+pub const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+
+/// A reference genome as a 2-bit-per-base sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Genome {
+    bases: Vec<u8>,
+}
+
+impl Genome {
+    /// Generates a uniform random genome of `len` bases.
+    pub fn random<R: Rng>(len: usize, rng: &mut R) -> Self {
+        Genome { bases: (0..len).map(|_| rng.gen_range(0..4u8)).collect() }
+    }
+
+    /// Builds from a DNA string.
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters outside `ACGT`.
+    pub fn from_str_dna(s: &str) -> Self {
+        let bases = s
+            .chars()
+            .map(|c| match c {
+                'A' => 0u8,
+                'C' => 1,
+                'G' => 2,
+                'T' => 3,
+                other => panic!("invalid base {other:?}"),
+            })
+            .collect();
+        Genome { bases }
+    }
+
+    /// Length in bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The subsequence `[start, start+len)` as base codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the genome.
+    pub fn slice(&self, start: usize, len: usize) -> &[u8] {
+        &self.bases[start..start + len]
+    }
+
+    /// Encodes the k-mer starting at `pos` as an integer (2 bits/base).
+    fn kmer_at(&self, pos: usize, k: usize) -> usize {
+        self.bases[pos..pos + k]
+            .iter()
+            .fold(0usize, |acc, &b| (acc << 2) | b as usize)
+    }
+}
+
+impl fmt::Display for Genome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in self.bases.iter().take(60) {
+            write!(f, "{}", BASES[b as usize])?;
+        }
+        if self.bases.len() > 60 {
+            write!(f, "... ({} bases)", self.bases.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// The GRIM-Filter-style k-mer presence index.
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    bin_len: usize,
+    bins: usize,
+    /// One presence bit vector (over bins) per possible k-mer.
+    presence: Vec<BitVec>,
+}
+
+impl KmerIndex {
+    /// Builds the index for `genome` with `k`-mers and `bin_len`-base bins.
+    /// Adjacent bins overlap by `overlap` bases (GRIM-Filter overlaps by
+    /// the maximum read length, so a read starting anywhere in a bin has
+    /// all of its k-mers indexed under that bin — the no-false-negative
+    /// guarantee).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or > 12, `bin_len <= k`, or `overlap < k`.
+    pub fn build(genome: &Genome, k: usize, bin_len: usize, overlap: usize) -> Self {
+        assert!((1..=12).contains(&k), "k must be in 1..=12");
+        assert!(bin_len > k, "bins must be longer than k");
+        assert!(overlap >= k, "overlap must cover at least one k-mer");
+        let bins = genome.len().div_ceil(bin_len).max(1);
+        let mut presence = vec![BitVec::zeros(bins); 4usize.pow(k as u32)];
+        for bin in 0..bins {
+            let start = bin * bin_len;
+            let end = (start + bin_len + overlap).min(genome.len());
+            if start + k > genome.len() {
+                break;
+            }
+            for pos in start..=(end - k) {
+                let code = genome.kmer_at(pos, k);
+                presence[code].set(bin, true);
+            }
+        }
+        KmerIndex { k, bin_len, bins, presence }
+    }
+
+    /// The k-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of genome bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Total index size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.presence.iter().map(|p| p.byte_len()).sum()
+    }
+
+    /// The presence vector of one (encoded) k-mer.
+    fn vector_of(&self, code: usize) -> &BitVec {
+        &self.presence[code]
+    }
+
+    /// The distinct k-mer codes of `read` (consecutive, non-overlapping
+    /// k-mers as in GRIM-Filter's token extraction).
+    pub fn read_tokens(&self, read: &[u8]) -> Vec<usize> {
+        let mut tokens: Vec<usize> = read
+            .chunks_exact(self.k)
+            .map(|chunk| chunk.iter().fold(0usize, |acc, &b| (acc << 2) | b as usize))
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        tokens
+    }
+
+    /// Compiles the filter for `read` into a bulk-AND plan over the
+    /// k-mers' presence vectors; returns the plan plus its inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read is shorter than one k-mer.
+    pub fn filter_plan(&self, read: &[u8]) -> (BitwisePlan, Vec<&BitVec>) {
+        let tokens = self.read_tokens(read);
+        assert!(!tokens.is_empty(), "read shorter than one {}-mer", self.k);
+        let mut pb = PlanBuilder::new(tokens.len());
+        let mut acc = pb.input(0);
+        for i in 1..tokens.len() {
+            let next = pb.input(i);
+            acc = pb.binary(BulkOp::And, acc, next);
+        }
+        let plan = pb.finish(acc);
+        let inputs = tokens.iter().map(|&t| self.vector_of(t)).collect();
+        (plan, inputs)
+    }
+
+    /// CPU reference: candidate bins for `read`.
+    pub fn candidate_bins(&self, read: &[u8]) -> BitVec {
+        let (plan, inputs) = self.filter_plan(read);
+        plan.eval_cpu(&inputs)
+    }
+
+    /// The bin containing genome position `pos`.
+    pub fn bin_of(&self, pos: usize) -> usize {
+        pos / self.bin_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (Genome, KmerIndex) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        let genome = Genome::random(200_000, &mut rng);
+        let index = KmerIndex::build(&genome, 5, 200, 100);
+        (genome, index)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        // Reads sampled from the genome must always keep their source bin.
+        let (genome, index) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            // Bins overlap by the read length, so any in-genome read keeps
+            // the bin it starts in.
+            let pos = rng.gen_range(0..genome.len() - 100);
+            let read = genome.slice(pos, 100);
+            let candidates = index.candidate_bins(read);
+            assert!(
+                candidates.get(index.bin_of(pos)),
+                "source bin {} must survive the filter",
+                index.bin_of(pos)
+            );
+        }
+    }
+
+    #[test]
+    fn filter_is_selective() {
+        let (genome, index) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut total_frac = 0.0;
+        for _ in 0..20 {
+            let pos = rng.gen_range(0..genome.len() - 100);
+            let read = genome.slice(pos, 100);
+            let candidates = index.candidate_bins(read);
+            total_frac += candidates.count_ones() as f64 / index.bins() as f64;
+        }
+        let avg = total_frac / 20.0;
+        assert!(avg < 0.2, "filter must reject most bins (kept {avg})");
+    }
+
+    #[test]
+    fn longer_kmers_filter_better() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let genome = Genome::random(200_000, &mut rng);
+        let survivors = |k: usize| -> f64 {
+            let index = KmerIndex::build(&genome, k, 200, 80);
+            let mut total = 0.0;
+            let mut r = rand::rngs::StdRng::seed_from_u64(10);
+            for _ in 0..10 {
+                let pos = r.gen_range(0..genome.len() - 80);
+                let read = genome.slice(pos, 80);
+                total += index.candidate_bins(read).count_ones() as f64;
+            }
+            total
+        };
+        // k=2: only 16 possible 2-mers, every bin contains all of them ->
+        // the filter passes everything. k=5 is selective.
+        let k2 = survivors(2);
+        let k5 = survivors(5);
+        assert!(k5 * 10.0 < k2, "k=5 ({k5}) must be far more selective than k=2 ({k2})");
+        assert!(k5 <= 30.0, "k=5 keeps ~1 bin per read, got {k5}");
+    }
+
+    #[test]
+    fn random_reads_mostly_filtered_out() {
+        let (_, index) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let random_read = Genome::random(100, &mut rng);
+        let candidates = index.candidate_bins(random_read.slice(0, 100));
+        // A read not from the genome keeps almost no bins.
+        assert!(
+            (candidates.count_ones() as f64) < 0.05 * index.bins() as f64,
+            "random read kept {} of {} bins",
+            candidates.count_ones(),
+            index.bins()
+        );
+    }
+
+    #[test]
+    fn genome_roundtrip_and_display() {
+        let g = Genome::from_str_dna("ACGTACGT");
+        assert_eq!(g.len(), 8);
+        assert!(!g.is_empty());
+        assert_eq!(format!("{g}"), "ACGTACGT");
+        assert_eq!(g.slice(2, 3), &[2, 3, 0]); // GTA
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid base")]
+    fn bad_dna_rejected() {
+        let _ = Genome::from_str_dna("ACGX");
+    }
+
+    #[test]
+    fn tokens_dedupe() {
+        let g = Genome::from_str_dna("AAAAAAAAAA");
+        let idx = KmerIndex::build(&g, 2, 5, 4);
+        // All 2-mers of the read are "AA" -> one token.
+        assert_eq!(idx.read_tokens(g.slice(0, 8)).len(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Graph representation and generators for the Tesseract experiments.
+//!
+//! Tesseract (ISCA'15) evaluates on large scale-free graphs; we generate
+//! R-MAT (Kronecker-like) graphs with the standard (0.57, 0.19, 0.19, 0.05)
+//! partition plus uniform random graphs as a contrast, both in CSR form.
+
+use rand::Rng;
+use std::fmt;
+
+/// An unweighted directed graph in compressed-sparse-row form.
+///
+/// # Examples
+///
+/// ```
+/// use pim_workloads::Graph;
+/// let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (3, 0)]);
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a CSR graph from an edge list over `n` vertices. Edges are
+    /// sorted per source; duplicates are kept (multigraph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            degree[u as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut targets = vec![0u32; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, targets }
+    }
+
+    /// Generates an R-MAT graph with `1 << scale` vertices and roughly
+    /// `avg_degree` out-edges per vertex, using the canonical
+    /// (0.57, 0.19, 0.19, 0.05) quadrant probabilities.
+    pub fn rmat<R: Rng>(scale: u32, avg_degree: usize, rng: &mut R) -> Self {
+        let n = 1usize << scale;
+        let m = n * avg_degree;
+        let (a, b, c) = (0.57, 0.19, 0.19);
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (mut u, mut v) = (0usize, 0usize);
+            for _ in 0..scale {
+                u <<= 1;
+                v <<= 1;
+                let r: f64 = rng.gen();
+                if r < a {
+                    // top-left
+                } else if r < a + b {
+                    v |= 1;
+                } else if r < a + b + c {
+                    u |= 1;
+                } else {
+                    u |= 1;
+                    v |= 1;
+                }
+            }
+            edges.push((u as u32, v as u32));
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// Generates a uniform random graph: `n` vertices, each with exactly
+    /// `degree` out-edges to uniformly random targets.
+    pub fn uniform<R: Rng>(n: usize, degree: usize, rng: &mut R) -> Self {
+        let mut edges = Vec::with_capacity(n * degree);
+        for u in 0..n {
+            for _ in 0..degree {
+                edges.push((u as u32, rng.gen_range(0..n) as u32));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Out-neighbors of `v` (sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterates all edges as `(src, dst)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u).iter().map(move |&v| (u as u32, v))
+        })
+    }
+
+    /// The transpose (all edges reversed).
+    pub fn transpose(&self) -> Graph {
+        let edges: Vec<(u32, u32)> = self.edges().map(|(u, v)| (v, u)).collect();
+        Graph::from_edges(self.num_vertices(), &edges)
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.out_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph: {} vertices, {} edges (avg degree {:.1}, max {})",
+            self.num_vertices(),
+            self.num_edges(),
+            self.avg_degree(),
+            self.max_degree()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn csr_construction() {
+        let g = Graph::from_edges(5, &[(0, 3), (0, 1), (2, 4), (4, 0), (4, 0)]);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.neighbors(0), &[1, 3]); // sorted
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(4), &[0, 0]); // multigraph keeps duplicates
+        assert_eq!(g.out_degree(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let _ = Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let t = g.transpose();
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[1]);
+        assert_eq!(t.neighbors(0), &[2]);
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = Graph::rmat(10, 8, &mut rng);
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_edges(), 1024 * 8);
+        // Scale-free-ish: the max degree is far above the average.
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree(), "max {}", g.max_degree());
+    }
+
+    #[test]
+    fn uniform_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let g = Graph::uniform(500, 4, &mut rng);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_edges(), 2000);
+        for v in 0..500 {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn edges_iterator_matches_csr() {
+        let edges = vec![(0u32, 1u32), (1, 0), (1, 2)];
+        let g = Graph::from_edges(3, &edges);
+        let collected: Vec<(u32, u32)> = g.edges().collect();
+        assert_eq!(collected.len(), 3);
+        assert!(collected.contains(&(0, 1)));
+        assert!(collected.contains(&(1, 0)));
+        assert!(collected.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let s = format!("{g}");
+        assert!(s.contains("2 vertices") && s.contains("1 edges"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

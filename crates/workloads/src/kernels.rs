@@ -1,0 +1,443 @@
+//! The five Tesseract graph workloads (ISCA'15 §6): reference CPU
+//! implementations plus per-kernel cost descriptors used by the timing
+//! models.
+//!
+//! * **ATF** — *average teenage followers*: count, per vertex, the
+//!   in-neighbors whose age attribute marks them as teenagers.
+//! * **Conductance** — cut size between a vertex bipartition relative to
+//!   the smaller side's volume.
+//! * **PageRank** — classic damped power iteration.
+//! * **SSSP** — single-source shortest paths (Bellman-Ford rounds, unit
+//!   weights).
+//! * **Vertex cover** — greedy 2-approximation via maximal matching.
+//!
+//! The reference implementations also serve as functional oracles for the
+//! `pim-tesseract` execution engine.
+
+use crate::graph::Graph;
+use std::fmt;
+
+/// Which Tesseract workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Average teenage followers.
+    AverageTeenageFollower,
+    /// Graph conductance.
+    Conductance,
+    /// PageRank (power iteration).
+    PageRank,
+    /// Single-source shortest paths.
+    Sssp,
+    /// Greedy vertex cover.
+    VertexCover,
+}
+
+impl KernelKind {
+    /// All five workloads, in the paper's order.
+    pub const ALL: [KernelKind; 5] = [
+        KernelKind::AverageTeenageFollower,
+        KernelKind::Conductance,
+        KernelKind::PageRank,
+        KernelKind::Sssp,
+        KernelKind::VertexCover,
+    ];
+
+    /// Abbreviation used in the paper's figures.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            KernelKind::AverageTeenageFollower => "AT",
+            KernelKind::Conductance => "CT",
+            KernelKind::PageRank => "PR",
+            KernelKind::Sssp => "SP",
+            KernelKind::VertexCover => "VC",
+        }
+    }
+
+    /// Instructions executed per traversed edge on a simple in-order core
+    /// (load target, compute update, issue remote write/message).
+    pub const fn instructions_per_edge(self) -> u64 {
+        match self {
+            KernelKind::AverageTeenageFollower => 6,
+            KernelKind::Conductance => 5,
+            KernelKind::PageRank => 8,
+            KernelKind::Sssp => 9,
+            KernelKind::VertexCover => 10,
+        }
+    }
+
+    /// Instructions executed per vertex per iteration (loop control, apply
+    /// phase).
+    pub const fn instructions_per_vertex(self) -> u64 {
+        match self {
+            KernelKind::AverageTeenageFollower => 4,
+            KernelKind::Conductance => 3,
+            KernelKind::PageRank => 10,
+            KernelKind::Sssp => 6,
+            KernelKind::VertexCover => 5,
+        }
+    }
+
+    /// Number of superstep iterations the timing models simulate. PageRank
+    /// and SSSP are iterative; the others are single-pass (plus a reduce).
+    pub const fn iterations(self) -> u32 {
+        match self {
+            KernelKind::PageRank => 10,
+            KernelKind::Sssp => 8,
+            _ => 1,
+        }
+    }
+
+    /// Bytes of vertex state read+written per edge traversal (the random
+    /// access component that stresses memory).
+    pub const fn state_bytes_per_edge(self) -> u64 {
+        match self {
+            KernelKind::AverageTeenageFollower => 8,
+            KernelKind::Conductance => 8,
+            KernelKind::PageRank => 16,
+            KernelKind::Sssp => 16,
+            KernelKind::VertexCover => 12,
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KernelKind::AverageTeenageFollower => "average-teenage-follower",
+            KernelKind::Conductance => "conductance",
+            KernelKind::PageRank => "pagerank",
+            KernelKind::Sssp => "sssp",
+            KernelKind::VertexCover => "vertex-cover",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Deterministic pseudo-age attribute for ATF: vertex `v` is a "teenager"
+/// iff `hash(v) % 8 == 0` (about 1 in 8 vertices).
+pub fn is_teen(v: u32) -> bool {
+    // splitmix-style mix for a stable, seed-free attribute.
+    let mut x = v as u64 + 0x9e37_79b9_7f4a_7c15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)).is_multiple_of(8)
+}
+
+/// ATF reference: per-vertex teen-follower counts, plus the global average.
+pub fn average_teenage_followers(g: &Graph) -> (Vec<u32>, f64) {
+    let mut counts = vec![0u32; g.num_vertices()];
+    for (u, v) in g.edges() {
+        // u follows v; if u is a teen, v gains a teenage follower.
+        if is_teen(u) {
+            counts[v as usize] += 1;
+        }
+    }
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    let avg = if g.num_vertices() == 0 { 0.0 } else { total as f64 / g.num_vertices() as f64 };
+    (counts, avg)
+}
+
+/// Deterministic bipartition for conductance: `hash(v)` parity.
+pub fn in_partition(v: u32) -> bool {
+    let mut x = v as u64 ^ 0xdead_beef_cafe_f00d;
+    x = (x ^ (x >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    (x ^ (x >> 33)) & 1 == 1
+}
+
+/// Conductance reference: `cut / min(vol(S), vol(V\S))`; 0 for empty sides.
+pub fn conductance(g: &Graph) -> f64 {
+    let mut cut = 0u64;
+    let mut vol_s = 0u64;
+    let mut vol_t = 0u64;
+    for (u, v) in g.edges() {
+        let (pu, pv) = (in_partition(u), in_partition(v));
+        if pu != pv {
+            cut += 1;
+        }
+        if pu {
+            vol_s += 1;
+        } else {
+            vol_t += 1;
+        }
+    }
+    let denom = vol_s.min(vol_t);
+    if denom == 0 {
+        0.0
+    } else {
+        cut as f64 / denom as f64
+    }
+}
+
+/// PageRank reference: `iters` damped power iterations (d = 0.85).
+/// Dangling mass is redistributed uniformly. Returns the rank vector.
+pub fn pagerank(g: &Graph, iters: u32) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = 0.85;
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iters {
+        next.fill((1.0 - d) / n as f64);
+        let mut dangling = 0.0;
+        for (u, &rank_u) in rank.iter().enumerate() {
+            let deg = g.out_degree(u);
+            if deg == 0 {
+                dangling += rank_u;
+                continue;
+            }
+            let share = d * rank_u / deg as f64;
+            for &v in g.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        let dangling_share = d * dangling / n as f64;
+        for r in &mut next {
+            *r += dangling_share;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// SSSP reference with unit weights: returns `dist[v]` (`u32::MAX` if
+/// unreachable) from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn sssp(g: &Graph, source: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    // Unit weights: BFS gives exact shortest paths.
+    let mut frontier = vec![source];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            let du = dist[u as usize];
+            for &v in g.neighbors(u as usize) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Deterministic pseudo-weight of edge `(u, v)`: 1..=16, derived by
+/// hashing the endpoints (the graphs are synthetic, so weights are too).
+pub fn edge_weight(u: u32, v: u32) -> u32 {
+    let mut x = ((u as u64) << 32 | v as u64) ^ 0x9e37_79b9_7f4a_7c15;
+    x = (x ^ (x >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x = (x ^ (x >> 29)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    ((x ^ (x >> 32)) % 16 + 1) as u32
+}
+
+/// Weighted SSSP reference (Dijkstra over the hash-derived weights):
+/// returns `dist[v]` (`u64::MAX` if unreachable) from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn weighted_sssp(g: &Graph, source: u32) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![u64::MAX; n];
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &w in g.neighbors(u as usize) {
+            let nd = d + edge_weight(u, w) as u64;
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    dist
+}
+
+/// Greedy vertex-cover reference (maximal-matching 2-approximation):
+/// returns the cover as a boolean vector.
+pub fn vertex_cover(g: &Graph) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut in_cover = vec![false; n];
+    for (u, v) in g.edges() {
+        if u != v && !in_cover[u as usize] && !in_cover[v as usize] {
+            in_cover[u as usize] = true;
+            in_cover[v as usize] = true;
+        }
+    }
+    in_cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn line_graph() -> Graph {
+        // 0 -> 1 -> 2 -> 3
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn sssp_on_line() {
+        let d = sssp(&line_graph(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        let d1 = sssp(&line_graph(), 2);
+        assert_eq!(d1, vec![u32::MAX, u32::MAX, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn sssp_bad_source() {
+        let _ = sssp(&line_graph(), 9);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_sinks_higher() {
+        // Star into vertex 0: everyone links to 0.
+        let g = Graph::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let pr = pagerank(&g, 30);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "ranks must sum to 1, got {sum}");
+        for v in 1..5 {
+            assert!(pr[0] > pr[v], "hub must out-rank leaves");
+        }
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, 50);
+        for &r in &pr {
+            assert!((r - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn atf_counts_teen_in_neighbors() {
+        let g = line_graph();
+        let (counts, avg) = average_teenage_followers(&g);
+        // Manually: counts[v] = sum over in-edges (u,v) of is_teen(u).
+        for (v, &count) in counts.iter().enumerate() {
+            let expect: u32 =
+                g.edges().filter(|&(u, dst)| dst as usize == v && is_teen(u)).count() as u32;
+            assert_eq!(count, expect);
+        }
+        let total: u32 = counts.iter().sum();
+        assert!((avg - total as f64 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn teen_attribute_density_is_about_one_in_eight() {
+        let teens = (0..80_000u32).filter(|&v| is_teen(v)).count();
+        let frac = teens as f64 / 80_000.0;
+        assert!((frac - 0.125).abs() < 0.01, "teen fraction {frac}");
+    }
+
+    #[test]
+    fn conductance_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let g = Graph::uniform(2000, 8, &mut rng);
+        let c = conductance(&g);
+        // Random bipartition of a random graph: conductance near 1.0
+        // relative to the smaller volume, and within sane bounds.
+        assert!(c > 0.0, "random graph must have cut edges");
+        assert!(c <= 2.2, "conductance {c} out of plausible range");
+    }
+
+    #[test]
+    fn conductance_zero_when_no_cut() {
+        // All vertices whose partition bit matches, self-contained edges...
+        // simplest: a graph with no edges has zero conductance.
+        let g = Graph::from_edges(4, &[]);
+        assert_eq!(conductance(&g), 0.0);
+    }
+
+    #[test]
+    fn vertex_cover_covers_every_edge() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let g = Graph::rmat(8, 4, &mut rng);
+        let cover = vertex_cover(&g);
+        for (u, v) in g.edges() {
+            if u != v {
+                assert!(
+                    cover[u as usize] || cover[v as usize],
+                    "edge ({u},{v}) uncovered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_cover_is_not_everything() {
+        // Star: center 0 plus the first matched leaf suffice.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let cover = vertex_cover(&g);
+        let size = cover.iter().filter(|&&b| b).count();
+        assert_eq!(size, 2, "greedy cover of a star is the first matched edge");
+        assert!(cover[0], "the hub must be in the cover");
+    }
+
+    #[test]
+    fn edge_weights_are_deterministic_and_bounded() {
+        for u in 0..100u32 {
+            for v in 0..10u32 {
+                let w = edge_weight(u, v);
+                assert!((1..=16).contains(&w));
+                assert_eq!(w, edge_weight(u, v));
+            }
+        }
+        // Weights vary (not all equal).
+        let distinct: std::collections::HashSet<u32> =
+            (0..100).map(|u| edge_weight(u, 0)).collect();
+        assert!(distinct.len() > 4);
+    }
+
+    #[test]
+    fn weighted_sssp_on_line() {
+        let g = line_graph();
+        let d = weighted_sssp(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], edge_weight(0, 1) as u64);
+        assert_eq!(d[2], (edge_weight(0, 1) + edge_weight(1, 2)) as u64);
+        assert_eq!(d[3], d[2] + edge_weight(2, 3) as u64);
+    }
+
+    #[test]
+    fn weighted_sssp_takes_the_cheaper_path() {
+        // Two routes 0->3: direct (weight w03) vs via 1 and 2.
+        let g = Graph::from_edges(4, &[(0, 3), (0, 1), (1, 2), (2, 3)]);
+        let d = weighted_sssp(&g, 0);
+        let direct = edge_weight(0, 3) as u64;
+        let via = (edge_weight(0, 1) + edge_weight(1, 2) + edge_weight(2, 3)) as u64;
+        assert_eq!(d[3], direct.min(via));
+    }
+
+    #[test]
+    fn kernel_metadata_is_complete() {
+        for k in KernelKind::ALL {
+            assert!(!format!("{k}").is_empty());
+            assert!(!k.short_name().is_empty());
+            assert!(k.instructions_per_edge() > 0);
+            assert!(k.instructions_per_vertex() > 0);
+            assert!(k.iterations() >= 1);
+            assert!(k.state_bytes_per_edge() > 0);
+        }
+        assert_eq!(KernelKind::PageRank.iterations(), 10);
+    }
+}

@@ -1,0 +1,55 @@
+//! # pim-workloads — the workloads the paper evaluates
+//!
+//! Pure-algorithm implementations (no simulator dependencies) of everything
+//! the `pim` workspace measures:
+//!
+//! * [`BitVec`] and the seven [`BulkOp`]s — the bulk bitwise operations
+//!   Ambit accelerates (paper §2), with CPU reference semantics;
+//! * [`BitwisePlan`] — a tiny dataflow IR that bitmap-index and BitWeaving
+//!   queries compile to, executable on the CPU (here) or in DRAM
+//!   (`pim-ambit`);
+//! * [`BitmapIndex`] and [`BitSlicedColumn`] — the paper's two database use
+//!   cases (bitmap indices, BitWeaving scans);
+//! * [`Graph`] (CSR + R-MAT generator) and the five Tesseract graph
+//!   [`kernels`] (paper §3) with reference implementations;
+//! * [`ConsumerWorkload`] — descriptors of the four Google consumer-device
+//!   workloads (paper §1/§3);
+//! * [`streams`] — address-pattern generators for the memory models.
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_workloads::{BitmapIndex, BitVec};
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let idx = BitmapIndex::random(1 << 16, 4, 0.75, &mut rng);
+//! let active_all_4_weeks = idx.count_all_active(4);
+//! assert!(active_all_4_weeks > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arith;
+pub mod bitmap;
+pub mod bitvec;
+pub mod bitweaving;
+pub mod consumer;
+pub mod crypto;
+pub mod dna;
+pub mod graph;
+pub mod kernels;
+pub mod plan;
+pub mod query;
+pub mod streams;
+
+pub use arith::BitSlicedIntVec;
+pub use bitmap::BitmapIndex;
+pub use bitvec::{BitVec, BulkOp};
+pub use bitweaving::BitSlicedColumn;
+pub use consumer::{ConsumerWorkload, TargetFunction};
+pub use dna::{Genome, KmerIndex};
+pub use graph::Graph;
+pub use kernels::KernelKind;
+pub use plan::{BitwisePlan, PlanBuilder, PlanStep, Reg};
+pub use query::{ConjunctiveQuery, Predicate};

@@ -1,0 +1,622 @@
+//! A tiny dataflow IR for bulk bitwise computations.
+//!
+//! Query-level workloads (bitmap indices, BitWeaving scans) compile to a
+//! [`BitwisePlan`]: a straight-line sequence of bulk bitwise operations over
+//! virtual registers. The same plan can then be executed
+//!
+//! * on the CPU reference ([`BitwisePlan::eval_cpu`]), or
+//! * inside DRAM by the Ambit engine (`pim_ambit::AmbitSystem::run_plan`),
+//!
+//! which is exactly the paper's end-to-end query experiment: the database
+//! operator is fixed, only the bitwise substrate changes.
+
+use crate::bitvec::{BitVec, BulkOp};
+use std::fmt;
+
+/// A virtual register holding one bit vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub usize);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One step of a [`BitwisePlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStep {
+    /// `dst = op(a)` for unary ops (NOT).
+    Unary {
+        /// The (unary) operation.
+        op: BulkOp,
+        /// Source register.
+        a: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst = op(a, b)` for binary ops.
+    Binary {
+        /// The (binary) operation.
+        op: BulkOp,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst = 000…0` or `111…1` (bulk initialization; Ambit implements this
+    /// with one RowClone from a control row).
+    Const {
+        /// The fill bit.
+        ones: bool,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst = MAJ(a, b, c)` — bitwise majority of three vectors. On the
+    /// CPU this is five binary ops; in DRAM it is a *single* triple-row
+    /// activation, which is what makes bit-serial arithmetic practical
+    /// (the carry of a full adder is exactly `MAJ(a, b, cin)`).
+    Maj {
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+        /// Third source register.
+        c: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+}
+
+impl PlanStep {
+    /// Destination register of this step.
+    pub fn dst(&self) -> Reg {
+        match *self {
+            PlanStep::Unary { dst, .. }
+            | PlanStep::Binary { dst, .. }
+            | PlanStep::Const { dst, .. }
+            | PlanStep::Maj { dst, .. } => dst,
+        }
+    }
+}
+
+/// A straight-line bitwise dataflow program.
+///
+/// Registers `0..inputs` are the plan's inputs; every other register is
+/// defined by exactly one step before any use (enforced by
+/// [`PlanBuilder`] and re-checked by [`BitwisePlan::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitwisePlan {
+    inputs: usize,
+    regs: usize,
+    steps: Vec<PlanStep>,
+    outputs: Vec<Reg>,
+}
+
+impl BitwisePlan {
+    /// Number of input registers.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Total register count (inputs + defined temporaries).
+    pub fn regs(&self) -> usize {
+        self.regs
+    }
+
+    /// The steps, in execution order.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// The register holding the (first) result.
+    pub fn output(&self) -> Reg {
+        self.outputs[0]
+    }
+
+    /// All result registers (multi-output plans, e.g. bit-sliced adders).
+    pub fn outputs(&self) -> &[Reg] {
+        &self.outputs
+    }
+
+    /// Counts steps by operation (`Const` steps counted under `None`).
+    pub fn op_histogram(&self) -> Vec<(Option<BulkOp>, usize)> {
+        let mut counts: std::collections::BTreeMap<Option<BulkOp>, usize> = Default::default();
+        for s in &self.steps {
+            let key = match s {
+                PlanStep::Unary { op, .. } | PlanStep::Binary { op, .. } => Some(*op),
+                PlanStep::Const { .. } | PlanStep::Maj { .. } => None,
+            };
+            *counts.entry(key).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Re-validates the SSA-like invariants (each register defined before
+    /// use, output defined).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut defined = vec![false; self.regs];
+        for d in defined.iter_mut().take(self.inputs) {
+            *d = true;
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            let check = |r: Reg, defined: &[bool]| -> Result<(), String> {
+                if r.0 >= self.regs {
+                    return Err(format!("step {i} references out-of-range register {r}"));
+                }
+                if !defined[r.0] {
+                    return Err(format!("step {i} reads undefined register {r}"));
+                }
+                Ok(())
+            };
+            match *s {
+                PlanStep::Unary { op, a, .. } => {
+                    if !op.is_unary() {
+                        return Err(format!("step {i} uses binary op {op} as unary"));
+                    }
+                    check(a, &defined)?;
+                }
+                PlanStep::Binary { op, a, b, .. } => {
+                    if op.is_unary() {
+                        return Err(format!("step {i} uses unary op {op} as binary"));
+                    }
+                    check(a, &defined)?;
+                    check(b, &defined)?;
+                }
+                PlanStep::Const { .. } => {}
+                PlanStep::Maj { a, b, c, .. } => {
+                    check(a, &defined)?;
+                    check(b, &defined)?;
+                    check(c, &defined)?;
+                }
+            }
+            let d = s.dst();
+            if d.0 >= self.regs {
+                return Err(format!("step {i} writes out-of-range register {d}"));
+            }
+            defined[d.0] = true;
+        }
+        if self.outputs.is_empty() {
+            return Err("plan has no outputs".into());
+        }
+        for &o in &self.outputs {
+            if o.0 >= self.regs || !defined[o.0] {
+                return Err(format!("output register {o} is never defined"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes the plan on the CPU reference implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`BitwisePlan::inputs`] or if
+    /// the input lengths disagree.
+    pub fn eval_cpu(&self, inputs: &[&BitVec]) -> BitVec {
+        assert_eq!(inputs.len(), self.inputs, "plan expects {} inputs", self.inputs);
+        let len = inputs.first().map_or(0, |v| v.len());
+        for v in inputs {
+            assert_eq!(v.len(), len, "plan inputs must share a length");
+        }
+        let mut regs: Vec<Option<BitVec>> = vec![None; self.regs];
+        for (i, v) in inputs.iter().enumerate() {
+            regs[i] = Some((*v).clone());
+        }
+        for s in &self.steps {
+            let value = match *s {
+                PlanStep::Unary { a, .. } => {
+                    regs[a.0].as_ref().expect("validated plan").not()
+                }
+                PlanStep::Binary { op, a, b, .. } => {
+                    let av = regs[a.0].as_ref().expect("validated plan");
+                    let bv = regs[b.0].as_ref().expect("validated plan");
+                    av.binary(op, bv)
+                }
+                PlanStep::Const { ones, .. } => {
+                    if ones {
+                        BitVec::ones(len)
+                    } else {
+                        BitVec::zeros(len)
+                    }
+                }
+                PlanStep::Maj { a, b, c, .. } => {
+                    let av = regs[a.0].as_ref().expect("validated plan");
+                    let bv = regs[b.0].as_ref().expect("validated plan");
+                    let cv = regs[c.0].as_ref().expect("validated plan");
+                    let ab = av.binary(BulkOp::And, bv);
+                    let bc = bv.binary(BulkOp::And, cv);
+                    let ac = av.binary(BulkOp::And, cv);
+                    ab.binary(BulkOp::Or, &bc).binary(BulkOp::Or, &ac)
+                }
+            };
+            regs[s.dst().0] = Some(value);
+        }
+        regs[self.outputs[0].0].take().expect("validated plan defines output")
+    }
+
+    /// Like [`BitwisePlan::eval_cpu`] but returns every output register.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`BitwisePlan::eval_cpu`].
+    pub fn eval_cpu_multi(&self, inputs: &[&BitVec]) -> Vec<BitVec> {
+        assert_eq!(inputs.len(), self.inputs, "plan expects {} inputs", self.inputs);
+        let len = inputs.first().map_or(0, |v| v.len());
+        let mut regs: Vec<Option<BitVec>> = vec![None; self.regs];
+        for (i, v) in inputs.iter().enumerate() {
+            regs[i] = Some((*v).clone());
+        }
+        for s in &self.steps {
+            let value = match *s {
+                PlanStep::Unary { a, .. } => regs[a.0].as_ref().expect("validated").not(),
+                PlanStep::Binary { op, a, b, .. } => {
+                    regs[a.0].as_ref().expect("validated").binary(op, regs[b.0].as_ref().expect("validated"))
+                }
+                PlanStep::Const { ones, .. } => {
+                    if ones { BitVec::ones(len) } else { BitVec::zeros(len) }
+                }
+                PlanStep::Maj { a, b, c, .. } => {
+                    let av = regs[a.0].as_ref().expect("validated");
+                    let bv = regs[b.0].as_ref().expect("validated");
+                    let cv = regs[c.0].as_ref().expect("validated");
+                    let ab = av.binary(BulkOp::And, bv);
+                    let bc = bv.binary(BulkOp::And, cv);
+                    let ac = av.binary(BulkOp::And, cv);
+                    ab.binary(BulkOp::Or, &bc).binary(BulkOp::Or, &ac)
+                }
+            };
+            regs[s.dst().0] = Some(value);
+        }
+        self.outputs
+            .iter()
+            .map(|o| regs[o.0].clone().expect("validated plan defines outputs"))
+            .collect()
+    }
+}
+
+/// Incremental builder for [`BitwisePlan`] with SSA-style register
+/// allocation.
+///
+/// # Examples
+///
+/// ```
+/// use pim_workloads::{BitVec, BulkOp, PlanBuilder};
+/// let mut b = PlanBuilder::new(2);
+/// let (x, y) = (b.input(0), b.input(1));
+/// let t = b.binary(BulkOp::Xor, x, y);
+/// let plan = b.finish(t);
+/// let a = BitVec::from_fn(64, |i| i % 2 == 0);
+/// let c = BitVec::from_fn(64, |i| i % 4 == 0);
+/// assert_eq!(plan.eval_cpu(&[&a, &c]), a.binary(BulkOp::Xor, &c));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    inputs: usize,
+    regs: usize,
+    steps: Vec<PlanStep>,
+}
+
+impl PlanBuilder {
+    /// Starts a plan with `inputs` input registers.
+    pub fn new(inputs: usize) -> Self {
+        PlanBuilder { inputs, regs: inputs, steps: Vec::new() }
+    }
+
+    /// The `i`-th input register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn input(&self, i: usize) -> Reg {
+        assert!(i < self.inputs, "input {i} out of range ({} inputs)", self.inputs);
+        Reg(i)
+    }
+
+    fn fresh(&mut self) -> Reg {
+        let r = Reg(self.regs);
+        self.regs += 1;
+        r
+    }
+
+    /// Appends `dst = NOT a`, returning `dst`.
+    pub fn not(&mut self, a: Reg) -> Reg {
+        let dst = self.fresh();
+        self.steps.push(PlanStep::Unary { op: BulkOp::Not, a, dst });
+        dst
+    }
+
+    /// Appends `dst = op(a, b)` for a binary op, returning `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is unary.
+    pub fn binary(&mut self, op: BulkOp, a: Reg, b: Reg) -> Reg {
+        assert!(!op.is_unary(), "use PlanBuilder::not for unary ops");
+        let dst = self.fresh();
+        self.steps.push(PlanStep::Binary { op, a, b, dst });
+        dst
+    }
+
+    /// Appends a constant fill, returning its register.
+    pub fn constant(&mut self, ones: bool) -> Reg {
+        let dst = self.fresh();
+        self.steps.push(PlanStep::Const { ones, dst });
+        dst
+    }
+
+    /// Appends `dst = MAJ(a, b, c)`, returning `dst`.
+    pub fn maj(&mut self, a: Reg, b: Reg, c: Reg) -> Reg {
+        let dst = self.fresh();
+        self.steps.push(PlanStep::Maj { a, b, c, dst });
+        dst
+    }
+
+    /// Inlines `plan` into this builder: the inlined plan's inputs are
+    /// wired to `inputs`, its steps are appended with fresh destination
+    /// registers, and the registers now holding its outputs are returned.
+    ///
+    /// This is how multi-column queries compose per-column scan plans into
+    /// one program (e.g. `a < x AND b = y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the plan's input count.
+    pub fn inline(&mut self, plan: &BitwisePlan, inputs: &[Reg]) -> Vec<Reg> {
+        assert_eq!(inputs.len(), plan.inputs(), "inline input count mismatch");
+        // Map from the inlined plan's register space to ours.
+        let mut map: Vec<Option<Reg>> = vec![None; plan.regs()];
+        for (i, &r) in inputs.iter().enumerate() {
+            map[i] = Some(r);
+        }
+        let resolve = |map: &[Option<Reg>], r: Reg| map[r.0].expect("validated plan");
+        for step in plan.steps() {
+            let dst = self.fresh();
+            let new_step = match *step {
+                PlanStep::Unary { op, a, .. } => {
+                    PlanStep::Unary { op, a: resolve(&map, a), dst }
+                }
+                PlanStep::Binary { op, a, b, .. } => {
+                    PlanStep::Binary { op, a: resolve(&map, a), b: resolve(&map, b), dst }
+                }
+                PlanStep::Const { ones, .. } => PlanStep::Const { ones, dst },
+                PlanStep::Maj { a, b, c, .. } => PlanStep::Maj {
+                    a: resolve(&map, a),
+                    b: resolve(&map, b),
+                    c: resolve(&map, c),
+                    dst,
+                },
+            };
+            self.steps.push(new_step);
+            map[step.dst().0] = Some(dst);
+        }
+        plan.outputs().iter().map(|&o| resolve(&map, o)).collect()
+    }
+
+    /// Finishes the plan with `output` as the result register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting plan fails validation (a builder bug).
+    pub fn finish(self, output: Reg) -> BitwisePlan {
+        self.finish_multi(vec![output])
+    }
+
+    /// Finishes a multi-output plan (e.g. the sum planes of an adder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting plan fails validation (a builder bug).
+    pub fn finish_multi(self, outputs: Vec<Reg>) -> BitwisePlan {
+        let plan =
+            BitwisePlan { inputs: self.inputs, regs: self.regs, steps: self.steps, outputs };
+        plan.validate().expect("builder produces valid plans");
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_eval_simple() {
+        let mut b = PlanBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let nx = b.not(x);
+        let out = b.binary(BulkOp::And, nx, y);
+        let plan = b.finish(out);
+        assert_eq!(plan.inputs(), 2);
+        assert_eq!(plan.steps().len(), 2);
+
+        let a = BitVec::from_fn(100, |i| i < 50);
+        let c = BitVec::from_fn(100, |i| i % 2 == 0);
+        let r = plan.eval_cpu(&[&a, &c]);
+        for i in 0..100 {
+            assert_eq!(r.get(i), !a.get(i) && c.get(i));
+        }
+    }
+
+    #[test]
+    fn const_steps() {
+        let mut b = PlanBuilder::new(1);
+        let ones = b.constant(true);
+        let x = b.input(0);
+        let out = b.binary(BulkOp::Xor, x, ones);
+        let plan = b.finish(out);
+        let a = BitVec::from_fn(64, |i| i % 3 == 0);
+        assert_eq!(plan.eval_cpu(&[&a]), a.not());
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let mut b = PlanBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let t1 = b.binary(BulkOp::And, x, y);
+        let t2 = b.binary(BulkOp::And, t1, y);
+        let t3 = b.not(t2);
+        let z = b.constant(false);
+        let out = b.binary(BulkOp::Or, t3, z);
+        let plan = b.finish(out);
+        let h = plan.op_histogram();
+        assert!(h.contains(&(Some(BulkOp::And), 2)));
+        assert!(h.contains(&(Some(BulkOp::Not), 1)));
+        assert!(h.contains(&(Some(BulkOp::Or), 1)));
+        assert!(h.contains(&(None, 1)));
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        // Hand-built plan reading an undefined register.
+        let plan = BitwisePlan {
+            inputs: 1,
+            regs: 3,
+            steps: vec![PlanStep::Binary { op: BulkOp::And, a: Reg(0), b: Reg(2), dst: Reg(1) }],
+            outputs: vec![Reg(1)],
+        };
+        assert!(plan.validate().is_err());
+
+        let plan = BitwisePlan {
+            inputs: 1,
+            regs: 2,
+            steps: vec![PlanStep::Unary { op: BulkOp::And, a: Reg(0), dst: Reg(1) }],
+            outputs: vec![Reg(1)],
+        };
+        assert!(plan.validate().unwrap_err().contains("binary op"));
+
+        let plan = BitwisePlan { inputs: 1, regs: 2, steps: vec![], outputs: vec![Reg(1)] };
+        assert!(plan.validate().unwrap_err().contains("never defined"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn eval_wrong_input_count_panics() {
+        let mut b = PlanBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let out = b.binary(BulkOp::Or, x, y);
+        let plan = b.finish(out);
+        let a = BitVec::zeros(8);
+        let _ = plan.eval_cpu(&[&a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unary")]
+    fn builder_binary_rejects_not() {
+        let mut b = PlanBuilder::new(1);
+        let x = b.input(0);
+        let _ = b.binary(BulkOp::Not, x, x);
+    }
+
+    #[test]
+    fn maj_step_computes_majority() {
+        let mut b = PlanBuilder::new(3);
+        let (x, y, z) = (b.input(0), b.input(1), b.input(2));
+        let m = b.maj(x, y, z);
+        let plan = b.finish(m);
+        let av = BitVec::from_fn(64, |i| i % 2 == 0);
+        let bv = BitVec::from_fn(64, |i| i % 3 == 0);
+        let cv = BitVec::from_fn(64, |i| i % 5 == 0);
+        let out = plan.eval_cpu(&[&av, &bv, &cv]);
+        for i in 0..64 {
+            let (a, bb, c) = (av.get(i), bv.get(i), cv.get(i));
+            assert_eq!(out.get(i), (a & bb) | (bb & c) | (a & c), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn multi_output_plans() {
+        let mut b = PlanBuilder::new(2);
+        let (x, y) = (b.input(0), b.input(1));
+        let s = b.binary(BulkOp::Xor, x, y);
+        let c = b.binary(BulkOp::And, x, y);
+        let plan = b.finish_multi(vec![s, c]);
+        assert_eq!(plan.outputs().len(), 2);
+        let av = BitVec::from_fn(32, |i| i % 2 == 0);
+        let bv = BitVec::from_fn(32, |i| i % 4 == 0);
+        let outs = plan.eval_cpu_multi(&[&av, &bv]);
+        assert_eq!(outs[0], av.binary(BulkOp::Xor, &bv));
+        assert_eq!(outs[1], av.binary(BulkOp::And, &bv));
+        // Single-output view still works.
+        assert_eq!(plan.eval_cpu(&[&av, &bv]), outs[0]);
+    }
+
+    #[test]
+    fn empty_outputs_rejected() {
+        let plan = BitwisePlan { inputs: 1, regs: 1, steps: vec![], outputs: vec![] };
+        assert!(plan.validate().unwrap_err().contains("no outputs"));
+    }
+
+    #[test]
+    fn inline_composes_plans() {
+        // Inner plan: out = a AND b.
+        let mut inner = PlanBuilder::new(2);
+        let (x, y) = (inner.input(0), inner.input(1));
+        let o = inner.binary(BulkOp::And, x, y);
+        let inner = inner.finish(o);
+
+        // Outer: NOT(inner(p, q)) XOR r.
+        let mut outer = PlanBuilder::new(3);
+        let (p, q, r) = (outer.input(0), outer.input(1), outer.input(2));
+        let inlined = outer.inline(&inner, &[p, q]);
+        let n = outer.not(inlined[0]);
+        let out = outer.binary(BulkOp::Xor, n, r);
+        let plan = outer.finish(out);
+
+        let a = BitVec::from_fn(64, |i| i % 2 == 0);
+        let b = BitVec::from_fn(64, |i| i % 3 == 0);
+        let c = BitVec::from_fn(64, |i| i % 5 == 0);
+        let got = plan.eval_cpu(&[&a, &b, &c]);
+        let expect = a.binary(BulkOp::And, &b).not().binary(BulkOp::Xor, &c);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn inline_maps_multi_outputs() {
+        let mut inner = PlanBuilder::new(2);
+        let (x, y) = (inner.input(0), inner.input(1));
+        let s = inner.binary(BulkOp::Xor, x, y);
+        let cy = inner.binary(BulkOp::And, x, y);
+        let inner = inner.finish_multi(vec![s, cy]);
+
+        let mut outer = PlanBuilder::new(2);
+        let (p, q) = (outer.input(0), outer.input(1));
+        let outs = outer.inline(&inner, &[p, q]);
+        assert_eq!(outs.len(), 2);
+        let plan = outer.finish_multi(outs);
+        let a = BitVec::from_fn(32, |i| i % 2 == 0);
+        let b = BitVec::from_fn(32, |i| i % 4 == 0);
+        let got = plan.eval_cpu_multi(&[&a, &b]);
+        assert_eq!(got[0], a.binary(BulkOp::Xor, &b));
+        assert_eq!(got[1], a.binary(BulkOp::And, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "inline input count mismatch")]
+    fn inline_checks_arity() {
+        let mut inner = PlanBuilder::new(2);
+        let (x, y) = (inner.input(0), inner.input(1));
+        let o = inner.binary(BulkOp::Or, x, y);
+        let inner = inner.finish(o);
+        let mut outer = PlanBuilder::new(1);
+        let p = outer.input(0);
+        let _ = outer.inline(&inner, &[p]);
+    }
+
+    #[test]
+    fn output_can_be_an_input() {
+        let b = PlanBuilder::new(1);
+        let x = b.input(0);
+        let plan = b.finish(x);
+        let a = BitVec::from_fn(10, |i| i == 3);
+        assert_eq!(plan.eval_cpu(&[&a]), a);
+    }
+}

@@ -1,0 +1,85 @@
+//! Address-stream generators for driving memory models.
+//!
+//! These produce physical byte addresses (already aligned to an access
+//! granularity) in the patterns the experiments need: streaming, strided,
+//! and uniformly random.
+
+use rand::Rng;
+
+/// Generates `n` sequential addresses starting at `base`, spaced by
+/// `stride` bytes.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+pub fn sequential(base: u64, stride: u64, n: usize) -> Vec<u64> {
+    assert!(stride > 0, "stride must be nonzero");
+    (0..n as u64).map(|i| base + i * stride).collect()
+}
+
+/// Generates `n` uniformly random addresses in `[0, span)`, aligned down to
+/// `align` bytes.
+///
+/// # Panics
+///
+/// Panics if `align` is not a power of two or `span < align`.
+pub fn random_uniform<R: Rng>(span: u64, align: u64, n: usize, rng: &mut R) -> Vec<u64> {
+    assert!(align.is_power_of_two(), "align must be a power of two");
+    assert!(span >= align, "span must cover at least one aligned block");
+    (0..n).map(|_| rng.gen_range(0..span) & !(align - 1)).collect()
+}
+
+/// Generates a gather pattern: `n` addresses chosen from `slots` distinct
+/// aligned locations (hot-set reuse), uniformly.
+///
+/// # Panics
+///
+/// Panics if `slots` is zero or `align` is not a power of two.
+pub fn hot_set<R: Rng>(slots: u64, align: u64, n: usize, rng: &mut R) -> Vec<u64> {
+    assert!(slots > 0, "slots must be nonzero");
+    assert!(align.is_power_of_two(), "align must be a power of two");
+    (0..n).map(|_| rng.gen_range(0..slots) * align).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_spacing() {
+        let s = sequential(0x1000, 64, 4);
+        assert_eq!(s, vec![0x1000, 0x1040, 0x1080, 0x10c0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn sequential_zero_stride_panics() {
+        let _ = sequential(0, 0, 4);
+    }
+
+    #[test]
+    fn random_respects_span_and_alignment() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = random_uniform(1 << 20, 64, 1000, &mut rng);
+        for &a in &s {
+            assert!(a < (1 << 20));
+            assert_eq!(a % 64, 0);
+        }
+        // Should touch many distinct cache lines.
+        let distinct: std::collections::HashSet<u64> = s.iter().copied().collect();
+        assert!(distinct.len() > 900);
+    }
+
+    #[test]
+    fn hot_set_reuses_slots() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let s = hot_set(16, 64, 1000, &mut rng);
+        let distinct: std::collections::HashSet<u64> = s.iter().copied().collect();
+        assert!(distinct.len() <= 16);
+        for &a in &s {
+            assert_eq!(a % 64, 0);
+            assert!(a < 16 * 64);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Consumer-device workload analysis (the paper's §1/§3): how much system
+//! energy goes to data movement, and what PIM offload of the target
+//! functions saves.
+//!
+//! Run with: `cargo run --release --example consumer_energy`
+
+use pim::core::{analyze_all, ConsumerSystemConfig, PimSite};
+use pim::stack::{AreaModel, PIM_ACCELERATORS, PIM_CORE};
+
+fn main() {
+    let cfg = ConsumerSystemConfig::mobile_soc();
+    let analyses = analyze_all(&cfg);
+
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "movement", "-E (core)", "-E (accel)", "-t (core)", "-t (accel)"
+    );
+    let mut movement = Vec::new();
+    let mut e_core = Vec::new();
+    let mut e_accel = Vec::new();
+    let mut t_core = Vec::new();
+    let mut t_accel = Vec::new();
+    for a in &analyses {
+        movement.push(a.movement_fraction);
+        e_core.push(a.energy_reduction(PimSite::Core));
+        e_accel.push(a.energy_reduction(PimSite::Accelerator));
+        t_core.push(a.time_reduction(PimSite::Core));
+        t_accel.push(a.time_reduction(PimSite::Accelerator));
+        println!(
+            "{:<20} {:>9.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+            a.name,
+            a.movement_fraction * 100.0,
+            a.energy_reduction(PimSite::Core) * 100.0,
+            a.energy_reduction(PimSite::Accelerator) * 100.0,
+            a.time_reduction(PimSite::Core) * 100.0,
+            a.time_reduction(PimSite::Accelerator) * 100.0
+        );
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "{:<20} {:>9.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+        "average",
+        mean(&movement) * 100.0,
+        mean(&e_core) * 100.0,
+        mean(&e_accel) * 100.0,
+        mean(&t_core) * 100.0,
+        mean(&t_accel) * 100.0
+    );
+    println!("\npaper: 62.7% movement energy; 55.4% avg energy reduction; 54.2% avg time reduction");
+
+    // Area feasibility (paper: core <= 9.4%, accelerators <= 35.4%).
+    let area = AreaModel::hmc();
+    println!(
+        "\nlogic-layer area: PIM core {:.1}% of budget, all accelerators {:.1}% (budget {:.1} mm^2/vault)",
+        area.utilization(&[PIM_CORE]) * 100.0,
+        area.utilization(&PIM_ACCELERATORS) * 100.0,
+        area.budget_per_vault_mm2
+    );
+}

@@ -1,0 +1,51 @@
+//! Tesseract graph processing (the paper's §3): run the five ISCA'15
+//! kernels on an R-MAT graph, on both the PIM accelerator and the
+//! conventional host, and print speedups and energy reductions.
+//!
+//! Run with: `cargo run --release --example graph_tesseract`
+
+use pim::core::geomean;
+use pim::tesseract::{HostGraphConfig, TesseractConfig, TesseractSim};
+use pim::workloads::{Graph, KernelKind};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let scale = 20;
+    let degree = 16;
+    println!("generating R-MAT graph (2^{scale} vertices, avg degree {degree})...");
+    let graph = Graph::rmat(scale, degree, &mut rng);
+    println!("{graph}\n");
+
+    let sim = TesseractSim::new(TesseractConfig::isca2015());
+    let host = HostGraphConfig::ddr3_ooo();
+    println!(
+        "Tesseract: {} PIM cores, {:.0} GB/s internal | host: {} OoO cores, {:.0} GB/s",
+        sim.config().cores(),
+        sim.config().stack.internal_bandwidth_gbps(),
+        host.cores,
+        host.mem.peak_bandwidth_gbps() * host.mem_efficiency,
+    );
+    println!(
+        "\n{:<26} {:>12} {:>12} {:>9} {:>9}",
+        "kernel", "host (ms)", "pim (ms)", "speedup", "-energy"
+    );
+
+    let mut speedups = Vec::new();
+    for kernel in KernelKind::ALL {
+        let cmp = sim.compare(kernel, &graph, &host);
+        speedups.push(cmp.speedup());
+        println!(
+            "{:<26} {:>12.2} {:>12.2} {:>8.1}x {:>8.1}%",
+            kernel.to_string(),
+            cmp.host.ns / 1e6,
+            cmp.tesseract.ns / 1e6,
+            cmp.speedup(),
+            cmp.energy_reduction() * 100.0
+        );
+    }
+    println!(
+        "\ngeomean speedup: {:.1}x  (paper: 13.8x average, 87% energy reduction)",
+        geomean(&speedups)
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: drive the DRAM simulator directly, then run one in-DRAM
+//! bulk bitwise operation and compare it against the CPU baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pim::ambit::{AmbitConfig, AmbitSystem};
+use pim::dram::{Controller, DramSpec, PhysAddr, Request};
+use pim::host::{CpuConfig, CpuModel};
+use pim::workloads::{BitVec, BulkOp};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- 1. The DRAM substrate: a DDR3-1600 controller -------------------
+    let mut mc = Controller::new(DramSpec::ddr3_1600());
+    println!("device: {}", mc.device().spec());
+    for i in 0..256u64 {
+        mc.enqueue(Request::read(PhysAddr::new(i * 64)))?;
+        if i % 64 == 63 {
+            mc.run_until_idle();
+        }
+    }
+    mc.run_until_idle();
+    println!("sequential reads: {}", mc.stats());
+
+    // --- 2. In-DRAM computation: Ambit ----------------------------------
+    let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
+    let bits = ambit.row_bits() * 8; // one row per bank
+    let a = ambit.alloc(bits)?;
+    let b = ambit.alloc(bits)?;
+    let out = ambit.alloc(bits)?;
+    let av = BitVec::from_fn(bits, |i| i % 2 == 0);
+    let bv = BitVec::from_fn(bits, |i| i % 3 == 0);
+    ambit.write(&a, &av)?;
+    ambit.write(&b, &bv)?;
+
+    let report = ambit.execute(BulkOp::Xor, &a, Some(&b), &out)?;
+    assert_eq!(ambit.read(&out), av.binary(BulkOp::Xor, &bv), "bit-exact result");
+    println!("\nin-DRAM XOR over {} KB: {report}", bits / 8 / 1024);
+
+    // --- 3. The same operation on a Skylake-class CPU --------------------
+    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+    let cpu_report = cpu.bulk_bitwise(BulkOp::Xor, (bits / 8) as u64);
+    println!("CPU XOR over the same data: {cpu_report}");
+    println!(
+        "\nAmbit advantage: {:.1}x throughput, {:.1}x DRAM energy",
+        report.throughput_gbps() / cpu_report.throughput_gbps(),
+        cpu_report.dram_nj_per_kb() / report.nj_per_kb()
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # pim — Processing In/Near Memory simulation framework
+//!
+//! A reproduction of *"Enabling Practical Processing in and near Memory
+//! for Data-Intensive Computing"* (Mutlu, Ghose, Gómez-Luna,
+//! Ausavarungnirun — DAC 2019) as a Rust workspace. This crate is the
+//! facade: it re-exports every sub-crate and hosts the examples and
+//! integration tests.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dram`] | `pim-dram` | cycle-level DRAM device + controller, PIM command extensions |
+//! | [`energy`] | `pim-energy` | component-level energy models |
+//! | [`workloads`] | `pim-workloads` | bit vectors, bitmap/BitWeaving queries, graphs, consumer kernels |
+//! | [`ambit`] | `pim-ambit` | RowClone + Ambit in-DRAM bulk bitwise engine (paper §2) |
+//! | [`host`] | `pim-host` | CPU/GPU/HMC-logic baselines, cache hierarchy |
+//! | [`stack`] | `pim-stack` | HMC-like 3D stack, logic-layer area model |
+//! | [`tesseract`] | `pim-tesseract` | PIM graph accelerator + host baseline (paper §3) |
+//! | [`core`] | `pim-core` | tables, offload advisor, coherence + consumer analyses (paper §4) |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pim::ambit::{AmbitConfig, AmbitSystem};
+//! use pim::workloads::{BitVec, BulkOp};
+//! # fn main() -> Result<(), pim::ambit::AmbitError> {
+//! let mut dram = AmbitSystem::new(AmbitConfig::ddr3());
+//! let bits = dram.row_bits();
+//! let (a, b, out) = (dram.alloc(bits)?, dram.alloc(bits)?, dram.alloc(bits)?);
+//! dram.write(&a, &BitVec::from_fn(bits, |i| i % 2 == 0))?;
+//! dram.write(&b, &BitVec::from_fn(bits, |i| i % 3 == 0))?;
+//! let report = dram.execute(BulkOp::And, &a, Some(&b), &out)?;
+//! println!("in-DRAM AND: {report}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pim_ambit as ambit;
+pub use pim_core as core;
+pub use pim_dram as dram;
+pub use pim_energy as energy;
+pub use pim_host as host;
+pub use pim_stack as stack;
+pub use pim_tesseract as tesseract;
+pub use pim_workloads as workloads;

@@ -1,0 +1,113 @@
+//! Cross-crate integration: database query plans compiled by the workloads
+//! crate, executed both on the CPU reference and inside DRAM by the Ambit
+//! engine, with energy accounted by the energy crate — the full §2
+//! pipeline of the paper.
+
+use pim::ambit::{AmbitConfig, AmbitSystem};
+use pim::dram::CommandKind;
+use pim::energy::Component;
+use pim::host::{CpuConfig, CpuModel};
+use pim::workloads::{BitSlicedColumn, BitmapIndex, BulkOp};
+use rand::SeedableRng;
+
+#[test]
+fn bitmap_query_is_bit_exact_across_backends() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    let users = 100_000;
+    let index = BitmapIndex::random(users, 6, 0.7, &mut rng);
+    for weeks in [2usize, 4, 6] {
+        let plan = index.all_active_plan(weeks);
+        let cpu_result = plan.eval_cpu(&index.trailing_inputs(weeks));
+        let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
+        let (ambit_result, report) =
+            ambit.run_plan(&plan, &index.trailing_inputs(weeks)).expect("plan runs");
+        assert_eq!(ambit_result, cpu_result, "weeks={weeks}");
+        assert_eq!(ambit_result.count_ones(), index.count_all_active(weeks));
+        assert!(report.cycles > 0);
+    }
+}
+
+#[test]
+fn bitweaving_scans_are_bit_exact_across_backends() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+    let col = BitSlicedColumn::random(50_000, 10, &mut rng);
+    for c in [1u64, 100, 511, 1023] {
+        let plan = col.less_than_plan(c);
+        let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
+        let (got, _) = ambit.run_plan(&plan, &col.plan_inputs()).expect("plan runs");
+        assert_eq!(got, col.less_than(c), "c={c}");
+    }
+}
+
+#[test]
+fn ambit_energy_flows_from_command_counts() {
+    // Every nanojoule the report charges must correspond to commands the
+    // device actually issued.
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let bits = sys.row_bits() * 4;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(103);
+    let a = sys.alloc(bits).unwrap();
+    let b = sys.alloc(bits).unwrap();
+    let out = sys.alloc(bits).unwrap();
+    sys.write(&a, &pim::workloads::BitVec::random(bits, 0.5, &mut rng)).unwrap();
+    sys.write(&b, &pim::workloads::BitVec::random(bits, 0.5, &mut rng)).unwrap();
+    let report = sys.execute(BulkOp::Nand, &a, Some(&b), &out).unwrap();
+    // NAND = 3 Copy + 1 TraCopy + 1 Copy = 4 AAP + 1 TRA-AAP per chunk.
+    assert_eq!(report.commands.count(CommandKind::Aap), 4 * 4);
+    assert_eq!(report.commands.count(CommandKind::TraAap), 4);
+    assert!(report.energy.get(Component::PimOp) > 0.0);
+    assert_eq!(report.energy.get(Component::DramIo), 0.0, "no channel I/O in-DRAM");
+}
+
+#[test]
+fn in_dram_multiplication_is_bit_exact() {
+    // An 8-bit multiplier is a ~400-step plan; without the engine's
+    // register liveness reclamation it would exhaust the subarray's data
+    // rows, so this test also covers the allocator's free list.
+    use pim::workloads::arith::{mul, ripple_mul_plan, BitSlicedIntVec};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(555);
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let len = 2000;
+    let a = BitSlicedIntVec::random(len, 8, &mut rng);
+    let b = BitSlicedIntVec::random(len, 8, &mut rng);
+    let plan = ripple_mul_plan(8);
+    let mut inputs: Vec<&pim::workloads::BitVec> = a.planes().iter().collect();
+    inputs.extend(b.planes().iter());
+    let (planes, report) = sys.run_plan_multi(&plan, &inputs).expect("plan runs");
+    let got = BitSlicedIntVec::from_planes(planes);
+    assert_eq!(got, mul(&a, &b));
+    for i in 0..len {
+        assert_eq!(got.value(i), a.value(i) * b.value(i), "element {i}");
+    }
+    assert!(report.commands.total() > 0);
+}
+
+#[test]
+fn cpu_and_ambit_agree_on_the_workload_but_not_the_cost() {
+    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let bits = sys.row_bits() * 8;
+    let bytes = (bits / 8) as u64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(104);
+    let av = pim::workloads::BitVec::random(bits, 0.5, &mut rng);
+    let bv = pim::workloads::BitVec::random(bits, 0.5, &mut rng);
+    let a = sys.alloc(bits).unwrap();
+    let b = sys.alloc(bits).unwrap();
+    let out = sys.alloc(bits).unwrap();
+    sys.write(&a, &av).unwrap();
+    sys.write(&b, &bv).unwrap();
+    for op in BulkOp::ALL {
+        let ambit_report = if op.is_unary() {
+            sys.execute(op, &a, None, &out).unwrap()
+        } else {
+            sys.execute(op, &a, Some(&b), &out).unwrap()
+        };
+        let host_report = cpu.bulk_bitwise(op, bytes);
+        let expect = pim::workloads::BitVec::apply(op, &av, (!op.is_unary()).then_some(&bv));
+        assert_eq!(sys.read(&out), expect, "{op}");
+        assert!(
+            ambit_report.throughput_gbps() > 5.0 * host_report.throughput_gbps(),
+            "{op}: in-DRAM must dominate the channel-bound CPU"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration for the §3 pipeline: graphs from the workloads
+//! crate, executed by the Tesseract engine over the stack model, validated
+//! against the reference kernels, and compared to the host baseline.
+
+use pim::tesseract::{HostGraphConfig, KernelOutput, TesseractConfig, TesseractSim};
+use pim::workloads::kernels as reference;
+use pim::workloads::{Graph, KernelKind};
+use rand::SeedableRng;
+
+fn graphs() -> Vec<Graph> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    vec![
+        Graph::rmat(12, 8, &mut rng),
+        Graph::uniform(3000, 6, &mut rng),
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]),
+    ]
+}
+
+#[test]
+fn tesseract_outputs_match_references_on_varied_graphs() {
+    let sim = TesseractSim::new(TesseractConfig::isca2015());
+    for g in graphs() {
+        let (out, _, _) = sim.run(KernelKind::AverageTeenageFollower, &g);
+        match out {
+            KernelOutput::TeenCounts(counts, _) => {
+                assert_eq!(counts, reference::average_teenage_followers(&g).0);
+            }
+            other => panic!("wrong output {other:?}"),
+        }
+        let (out, _, _) = sim.run(KernelKind::Conductance, &g);
+        match out {
+            KernelOutput::Conductance(c) => {
+                assert!((c - reference::conductance(&g)).abs() < 1e-12);
+            }
+            other => panic!("wrong output {other:?}"),
+        }
+        let (out, _, _) = sim.run(KernelKind::Sssp, &g);
+        match out {
+            KernelOutput::Distances(d) => assert_eq!(d, reference::sssp(&g, 0)),
+            other => panic!("wrong output {other:?}"),
+        }
+        let (out, _, _) = sim.run(KernelKind::PageRank, &g);
+        match out {
+            KernelOutput::Ranks(r) => {
+                let expect = reference::pagerank(&g, 10);
+                for (a, b) in r.iter().zip(expect.iter()) {
+                    assert!((a - b).abs() < 1e-9);
+                }
+            }
+            other => panic!("wrong output {other:?}"),
+        }
+        let (out, _, _) = sim.run(KernelKind::VertexCover, &g);
+        match out {
+            KernelOutput::Cover(cover) => {
+                for (u, v) in g.edges() {
+                    if u != v {
+                        assert!(cover[u as usize] || cover[v as usize]);
+                    }
+                }
+            }
+            other => panic!("wrong output {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn vault_count_scales_tesseract_performance() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let g = Graph::rmat(14, 8, &mut rng);
+    let mut times = Vec::new();
+    for vaults in [32u32, 128, 512] {
+        let mut cfg = TesseractConfig::isca2015();
+        cfg.stack.vaults = vaults;
+        let sim = TesseractSim::new(cfg);
+        let (_, _, r) = sim.run(KernelKind::PageRank, &g);
+        times.push(r.ns);
+    }
+    assert!(times[0] > 2.0 * times[1], "128 vaults must beat 32: {times:?}");
+    assert!(times[1] > 1.2 * times[2], "512 vaults must beat 128: {times:?}");
+}
+
+#[test]
+fn host_and_tesseract_account_the_same_work() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let g = Graph::rmat(13, 8, &mut rng);
+    let sim = TesseractSim::new(TesseractConfig::isca2015());
+    let cmp = sim.compare(KernelKind::PageRank, &g, &HostGraphConfig::ddr3_ooo());
+    // Both sides processed the same edges.
+    assert_eq!(cmp.tesseract.totals.edges_scanned, 10 * g.num_edges() as u64);
+    assert!(cmp.host.instructions > 0);
+    assert!(cmp.tesseract.energy.total_nj() > 0.0);
+    assert!(cmp.host.energy.total_nj() > 0.0);
+}

@@ -1,0 +1,142 @@
+//! Property-based tests over the workspace's core invariants.
+
+use pim::ambit::{AmbitConfig, AmbitSystem};
+use pim::dram::{AddressMapping, Controller, DramSpec, PhysAddr, Request};
+use pim::workloads::{BitSlicedColumn, BitVec, BulkOp, PlanBuilder};
+use proptest::prelude::*;
+
+fn arb_bitvec(max_bits: usize) -> impl Strategy<Value = BitVec> {
+    (1usize..max_bits, any::<u64>()).prop_map(|(len, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        BitVec::random(len, 0.5, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// De Morgan: !(a & b) == !a | !b, for every length.
+    #[test]
+    fn de_morgan_holds(pair in arb_bitvec(512).prop_flat_map(|a| {
+        let len = a.len();
+        (Just(a), any::<u64>().prop_map(move |s| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(s);
+            BitVec::random(len, 0.5, &mut rng)
+        }))
+    })) {
+        let (a, b) = pair;
+        let nand = a.binary(BulkOp::Nand, &b);
+        let demorgan = a.not().binary(BulkOp::Or, &b.not());
+        prop_assert_eq!(nand, demorgan);
+    }
+
+    /// XOR is an involution: (a ^ b) ^ b == a.
+    #[test]
+    fn xor_involution(pair in arb_bitvec(512).prop_flat_map(|a| {
+        let len = a.len();
+        (Just(a), any::<u64>().prop_map(move |s| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(s);
+            BitVec::random(len, 0.5, &mut rng)
+        }))
+    })) {
+        let (a, b) = pair;
+        prop_assert_eq!(a.binary(BulkOp::Xor, &b).binary(BulkOp::Xor, &b), a);
+    }
+
+    /// Popcount of a vector plus its complement covers every bit.
+    #[test]
+    fn popcount_complement(a in arb_bitvec(1024)) {
+        prop_assert_eq!(a.count_ones() + a.not().count_ones(), a.len() as u64);
+    }
+
+    /// Address mapping decode/encode round-trips for every scheme.
+    #[test]
+    fn mapping_roundtrip(raw in 0u64..(1u64 << 31), scheme_idx in 0usize..4) {
+        let org = DramSpec::ddr3_1600().org;
+        let scheme = AddressMapping::ALL[scheme_idx];
+        let aligned = PhysAddr::new(raw).align_down(org.burst_bytes());
+        let decoded = scheme.decode(aligned, &org);
+        prop_assert_eq!(scheme.encode(decoded, &org), aligned);
+        prop_assert!(decoded.row < org.rows);
+        prop_assert!(decoded.column < org.columns);
+    }
+
+    /// The controller drains any batch of in-range requests, and every
+    /// completion is reported exactly once.
+    #[test]
+    fn controller_drains_any_batch(addr_seeds in prop::collection::vec(0u64..(1u64 << 31), 1..60),
+                                   write_mask in any::<u64>()) {
+        let mut mc = Controller::new(DramSpec::ddr3_1600());
+        let reqs: Vec<Request> = addr_seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let addr = PhysAddr::new(a).align_down(64);
+                if (write_mask >> (i % 64)) & 1 == 1 {
+                    Request::write(addr)
+                } else {
+                    Request::read(addr)
+                }
+            })
+            .collect();
+        let (_, comps) = mc.run_batch(&reqs).expect("drain");
+        prop_assert_eq!(comps.len(), reqs.len());
+        prop_assert_eq!(mc.stats().requests(), reqs.len() as u64);
+        // Completion times never decrease.
+        for w in comps.windows(2) {
+            prop_assert!(w[1].done >= w[0].done);
+        }
+    }
+
+    /// Bit-sliced scans agree with scalar comparison for arbitrary values.
+    #[test]
+    fn bitsliced_scan_matches_scalar(values in prop::collection::vec(0u64..256, 1..200),
+                                     c in 0u64..256) {
+        let col = BitSlicedColumn::from_values(&values, 8);
+        let lt = col.less_than(c);
+        let eq = col.equals(c);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(lt.get(i), v < c);
+            prop_assert_eq!(eq.get(i), v == c);
+        }
+    }
+}
+
+proptest! {
+    // The in-DRAM engine is slower to run, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any random straight-line plan computes the same bits in DRAM as on
+    /// the CPU reference.
+    #[test]
+    fn random_plans_agree_between_cpu_and_ambit(
+        ops in prop::collection::vec(0usize..7, 1..8),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let len = 3000usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = BitVec::random(len, 0.5, &mut rng);
+        let b = BitVec::random(len, 0.5, &mut rng);
+
+        let mut pb = PlanBuilder::new(2);
+        let mut regs = vec![pb.input(0), pb.input(1)];
+        for &o in &ops {
+            let op = BulkOp::ALL[o];
+            let x = regs[regs.len() - 1];
+            let y = regs[regs.len() % regs.len().max(1)];
+            let r = if op.is_unary() { pb.not(x) } else { pb.binary(op, x, y) };
+            regs.push(r);
+        }
+        let out = *regs.last().expect("nonempty");
+        let plan = pb.finish(out);
+
+        let cpu = plan.eval_cpu(&[&a, &b]);
+        let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+        let (ambit, _) = sys.run_plan(&plan, &[&a, &b]).expect("plan runs");
+        prop_assert_eq!(cpu, ambit);
+    }
+}
