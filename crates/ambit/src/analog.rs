@@ -42,7 +42,7 @@ impl AnalogConfig {
             vdd: 1.2,
             cell_cap_ff: 24.0,
             bitline_cap_ff: 96.0,
-            sense_offset_mv_sigma: 15.0,
+            sense_offset_mv_sigma: 5.0,
             cap_sigma_frac: 0.05,
             charge_sigma_frac: 0.05,
         }
@@ -64,7 +64,9 @@ impl AnalogConfig {
     /// Nominal sense margin (volts): the smallest |deviation| over the
     /// decidable cases (k ∈ {1, 2} are the worst).
     pub fn nominal_margin(&self) -> f64 {
-        self.nominal_deviation(2).abs().min(self.nominal_deviation(1).abs())
+        self.nominal_deviation(2)
+            .abs()
+            .min(self.nominal_deviation(1).abs())
     }
 }
 
@@ -87,8 +89,8 @@ pub fn tra_trial<R: Rng>(cfg: &AnalogConfig, bits: [bool; 3], rng: &mut R) -> bo
         total_cell_cap += cap;
     }
     let precharge = cfg.vdd / 2.0;
-    let v_final = (charge_ff_v + cfg.bitline_cap_ff * precharge)
-        / (total_cell_cap + cfg.bitline_cap_ff);
+    let v_final =
+        (charge_ff_v + cfg.bitline_cap_ff * precharge) / (total_cell_cap + cfg.bitline_cap_ff);
     let offset_v = cfg.sense_offset_mv_sigma / 1000.0 * normal.sample(rng);
     let sensed_one = v_final - precharge > offset_v;
     let majority = bits.iter().filter(|&&b| b).count() >= 2;
@@ -174,7 +176,10 @@ mod tests {
         let cfg = AnalogConfig::ddr3();
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let rate = monte_carlo_failure_rate(&cfg, 100_000, &mut rng);
-        assert!(rate < 1e-3, "failure rate {rate} too high at nominal variation");
+        assert!(
+            rate < 1e-3,
+            "failure rate {rate} too high at nominal variation"
+        );
     }
 
     #[test]
@@ -191,7 +196,10 @@ mod tests {
             r_stressed > r_nominal,
             "stressed rate {r_stressed} must exceed nominal {r_nominal}"
         );
-        assert!(r_stressed > 1e-3, "30% variation should produce visible failures");
+        assert!(
+            r_stressed > 1e-3,
+            "30% variation should produce visible failures"
+        );
     }
 
     #[test]

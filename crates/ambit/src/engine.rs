@@ -140,6 +140,16 @@ impl ExecReport {
         self.energy += other.energy;
         self.bytes_out += other.bytes_out;
     }
+
+    /// Merges a report from work that ran *concurrently* with this one
+    /// (cycles/ns take the max; energy/commands/bytes accumulate).
+    pub fn merge_parallel(&mut self, other: &ExecReport) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.ns = self.ns.max(other.ns);
+        self.commands.merge(&other.commands);
+        self.energy += other.energy;
+        self.bytes_out += other.bytes_out;
+    }
 }
 
 impl fmt::Display for ExecReport {
@@ -194,8 +204,118 @@ pub struct AmbitSystem {
     clock: Cycle,
     cursors: Vec<ArenaCursor>, // indexed by flat (channel, rank, bank, subarray)
     tra_failure_rate: f64,
-    fault_rng: rand::rngs::StdRng,
+    fault_seed: u64,
+    /// Monotonic counter of fault *sites* (micro-op slots) consumed so far.
+    /// Each TRA derives its fault RNG from `(fault_seed, site, chunk)`, so
+    /// the injected fault pattern is a pure function of program position —
+    /// identical whether chunks execute sequentially or bank-parallel.
+    fault_epoch: u64,
     faults_injected: u64,
+}
+
+/// One command bound for a specific chunk's timing chain, tagged with the
+/// fault-injection identity of its micro-op slot. Building a full site
+/// list up front lets [`AmbitSystem::run_banked`] replay it either on the
+/// main device (sequentially, in construction order) or sharded per bank.
+#[derive(Debug, Clone)]
+struct SiteCmd {
+    /// Fault-site index (monotonic across the system's lifetime).
+    site: u64,
+    /// Chunk whose dependency chain this command extends.
+    chunk: usize,
+    cmd: Command,
+    /// Rows to perturb after issue when fault injection is enabled.
+    fault_rows: Vec<RowId>,
+}
+
+/// The bank whose timing chain `cmd` occupies. Only meaningful for
+/// bank-local commands (all the engine emits); rank-scoped commands map to
+/// bank 0 of their rank and must not be sharded.
+#[cfg(feature = "parallel")]
+fn command_bank(cmd: &Command) -> BankId {
+    match *cmd {
+        Command::Aap { src, .. } => src.bank_id(),
+        Command::Tra { bank, .. } | Command::TraAap { bank, .. } => bank,
+        Command::Act(r) | Command::Ap(r) => r.bank_id(),
+        Command::Pre(b) => b,
+        Command::Rd(a) | Command::RdA(a) | Command::Wr(a) | Command::WrA(a) => a.row_id().bank_id(),
+        Command::PreAll { channel, rank } | Command::Ref { channel, rank } => {
+            BankId::new(channel, rank, 0)
+        }
+    }
+}
+
+/// Derives the per-site fault RNG from `(seed, site, chunk)` with a
+/// SplitMix64-style mix, so every TRA slot owns an independent stream
+/// regardless of execution order or thread count.
+fn fault_site_rng(seed: u64, site: u64, chunk: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let mut z =
+        seed ^ site.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ chunk.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    rand::rngs::StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Flips each bit of `row` with probability `rate` (geometric skipping
+/// keeps this O(faults), not O(bits)). Returns the number of bits flipped.
+fn inject_tra_faults(
+    device: &mut Device,
+    row: RowId,
+    rate: f64,
+    rng: &mut rand::rngs::StdRng,
+) -> u64 {
+    use rand::Rng;
+    let bits = device.spec().org.row_bits();
+    let p = rate.min(1.0);
+    let mut pos = 0u64;
+    let mut injected = 0u64;
+    loop {
+        // Geometric gap to the next failing bit.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = (u.ln() / (1.0 - p).ln()).floor() as u64;
+        pos += gap;
+        if pos >= bits {
+            break;
+        }
+        let word = (pos / 64) as usize;
+        let bit = pos % 64;
+        let current = device.store().read_word(row, word);
+        device
+            .store_mut()
+            .write_word(row, word, current ^ (1u64 << bit));
+        injected += 1;
+        pos += 1;
+    }
+    injected
+}
+
+/// Replays `sites` on `device` in order, chaining each command onto its
+/// chunk's dependency time and injecting faults where tagged. Returns the
+/// cycle the last command finishes and the number of faults injected.
+fn run_sites(
+    device: &mut Device,
+    sites: &[SiteCmd],
+    start: Cycle,
+    n_chunks: usize,
+    rate: f64,
+    fault_seed: u64,
+) -> Result<(Cycle, u64)> {
+    let mut chunk_time = vec![start; n_chunks];
+    let mut end = start;
+    let mut faults = 0u64;
+    for s in sites {
+        let (_, outcome) = device.issue_earliest(s.cmd, chunk_time[s.chunk])?;
+        chunk_time[s.chunk] = outcome.done;
+        end = end.max(outcome.done);
+        if rate > 0.0 && !s.fault_rows.is_empty() {
+            let mut rng = fault_site_rng(fault_seed, s.site, s.chunk as u64);
+            for &r in &s.fault_rows {
+                faults += inject_tra_faults(device, r, rate, &mut rng);
+            }
+        }
+    }
+    Ok((end, faults))
 }
 
 impl AmbitSystem {
@@ -205,9 +325,7 @@ impl AmbitSystem {
         let spec = config.spec;
         let layout = SubarrayLayout::new(spec.org.rows_per_subarray());
         let org = spec.org;
-        let arenas =
-            (org.channels * org.ranks * org.banks * org.subarrays) as usize;
-        use rand::SeedableRng;
+        let arenas = (org.channels * org.ranks * org.banks * org.subarrays) as usize;
         let mut sys = AmbitSystem {
             device: Device::new(spec),
             layout,
@@ -215,7 +333,8 @@ impl AmbitSystem {
             clock: 0,
             cursors: vec![ArenaCursor::default(); arenas],
             tra_failure_rate: config.tra_failure_rate,
-            fault_rng: rand::rngs::StdRng::seed_from_u64(config.fault_seed),
+            fault_seed: config.fault_seed,
+            fault_epoch: 0,
             faults_injected: 0,
         };
         sys.init_control_rows();
@@ -227,30 +346,99 @@ impl AmbitSystem {
         self.faults_injected
     }
 
-    /// Flips each bit of `row` with the configured TRA failure probability
-    /// (geometric skipping keeps this O(faults), not O(bits)).
-    fn inject_tra_faults(&mut self, row: RowId) {
-        if self.tra_failure_rate <= 0.0 {
-            return;
-        }
-        use rand::Rng;
-        let bits = self.device.spec().org.row_bits();
-        let p = self.tra_failure_rate.min(1.0);
-        let mut pos = 0u64;
-        loop {
-            // Geometric gap to the next failing bit.
-            let u: f64 = self.fault_rng.gen_range(f64::EPSILON..1.0);
-            let gap = (u.ln() / (1.0 - p).ln()).floor() as u64;
-            pos += gap;
-            if pos >= bits {
-                break;
+    /// Executes a site list: sequentially on the main device, or — with the
+    /// `parallel` feature, more than one worker thread, and a `faw_exempt`
+    /// timing model — sharded per bank via [`Device::fork_bank`]. The two
+    /// paths produce identical data, command counts, timing, and fault
+    /// patterns: PIM row ops are bank-local in the exempt timing model, and
+    /// each site's fault RNG depends only on `(fault_seed, site, chunk)`.
+    fn run_banked(&mut self, sites: Vec<SiteCmd>, start: Cycle, n_chunks: usize) -> Result<Cycle> {
+        #[cfg(feature = "parallel")]
+        let sites = {
+            let mut sites = sites;
+            if let Some(end) = self.run_banked_parallel(&mut sites, start, n_chunks)? {
+                return Ok(end);
             }
-            let word = (pos / 64) as usize;
-            let bit = pos % 64;
-            let current = self.device.store().read_word(row, word);
-            self.device.store_mut().write_word(row, word, current ^ (1u64 << bit));
-            self.faults_injected += 1;
-            pos += 1;
+            sites
+        };
+        let (end, faults) = run_sites(
+            &mut self.device,
+            &sites,
+            start,
+            n_chunks,
+            self.tra_failure_rate,
+            self.fault_seed,
+        )?;
+        self.faults_injected += faults;
+        Ok(end)
+    }
+
+    /// Bank-sharded execution; returns `None` (leaving `sites` intact) when
+    /// parallelism cannot help: a single worker thread, a non-exempt timing
+    /// model (PIM ops couple banks through rank tRRD/tFAW state), or all
+    /// sites landing in one bank.
+    #[cfg(feature = "parallel")]
+    fn run_banked_parallel(
+        &mut self,
+        sites: &mut Vec<SiteCmd>,
+        start: Cycle,
+        n_chunks: usize,
+    ) -> Result<Option<Cycle>> {
+        if !self.device.spec().pim.faw_exempt || rayon::current_num_threads() <= 1 {
+            return Ok(None);
+        }
+        // Partition by bank, preserving per-bank site order.
+        let mut banks: Vec<BankId> = Vec::new();
+        let mut groups: Vec<Vec<SiteCmd>> = Vec::new();
+        for s in std::mem::take(sites) {
+            let b = command_bank(&s.cmd);
+            match banks.iter().position(|&x| x == b) {
+                Some(i) => groups[i].push(s),
+                None => {
+                    banks.push(b);
+                    groups.push(vec![s]);
+                }
+            }
+        }
+        if banks.len() <= 1 {
+            *sites = groups.pop().unwrap_or_default();
+            return Ok(None);
+        }
+        let rate = self.tra_failure_rate;
+        let seed = self.fault_seed;
+        let mut work = Vec::with_capacity(banks.len());
+        for (&b, group) in banks.iter().zip(groups) {
+            work.push((self.device.fork_bank(b)?, group));
+        }
+        use rayon::prelude::*;
+        let results: Vec<Result<(Device, Cycle, u64)>> = work
+            .into_par_iter()
+            .map(|(mut dev, group)| {
+                let (end, faults) = run_sites(&mut dev, &group, start, n_chunks, rate, seed)?;
+                Ok((dev, end, faults))
+            })
+            .collect();
+        let mut end = start;
+        for (b, res) in banks.into_iter().zip(results) {
+            let (shard, e, faults) = res?;
+            self.device.join_bank(b, shard)?;
+            end = end.max(e);
+            self.faults_injected += faults;
+        }
+        Ok(Some(end))
+    }
+
+    /// Fault rows for `cmd`, when fault injection is on: every row a TRA
+    /// charge-shares (they all end up holding the possibly-corrupt
+    /// majority), or the destination of a fused TRA-AAP.
+    fn fault_rows_for(&self, cmd: &Command) -> Vec<RowId> {
+        if self.tra_failure_rate <= 0.0 {
+            return Vec::new();
+        }
+        match *cmd {
+            Command::Tra { bank, rows } => rows.iter().map(|&r| bank.row(r)).collect(),
+            Command::TraAap { bank, dst, .. } => vec![bank.row(dst)],
+            _ => Vec::new(),
         }
     }
 
@@ -388,7 +576,10 @@ impl AmbitSystem {
     /// [`AmbitError::LengthMismatch`] if `bits.len() != vec.len()`.
     pub fn write(&mut self, vec: &BulkVec, bits: &BitVec) -> Result<()> {
         if bits.len() != vec.len_bits {
-            return Err(AmbitError::LengthMismatch { a: bits.len(), b: vec.len_bits });
+            return Err(AmbitError::LengthMismatch {
+                a: bits.len(),
+                b: vec.len_bits,
+            });
         }
         let row_words = self.device.spec().org.row_bytes() as usize / 8;
         let words = bits.as_words();
@@ -420,7 +611,10 @@ impl AmbitSystem {
         let first = vecs[0];
         for v in &vecs[1..] {
             if v.len_bits != first.len_bits {
-                return Err(AmbitError::LengthMismatch { a: first.len_bits, b: v.len_bits });
+                return Err(AmbitError::LengthMismatch {
+                    a: first.len_bits,
+                    b: v.len_bits,
+                });
             }
             for (ra, rb) in first.rows.iter().zip(v.rows.iter()) {
                 if ra.bank_id() != rb.bank_id()
@@ -473,29 +667,21 @@ impl AmbitSystem {
         let start_counts = *self.device.counts();
         let start = self.clock;
         let n_chunks = dst.rows.len();
-        let mut chunk_time = vec![start; n_chunks];
 
-        for mop in program.ops() {
-            for (chunk, time) in chunk_time.iter_mut().enumerate() {
+        let mut sites = Vec::with_capacity(program.ops().len() * n_chunks);
+        for (op_idx, mop) in program.ops().iter().enumerate() {
+            for chunk in 0..n_chunks {
                 let cmd = self.command_for(mop, chunk, &ins, dst);
-                let (_, outcome) = self.device.issue_earliest(cmd, *time)?;
-                *time = outcome.done;
-                if self.tra_failure_rate > 0.0 {
-                    match cmd {
-                        Command::Tra { bank, rows } => {
-                            for r in rows {
-                                self.inject_tra_faults(bank.row(r));
-                            }
-                        }
-                        Command::TraAap { bank, dst: d, .. } => {
-                            self.inject_tra_faults(bank.row(d));
-                        }
-                        _ => {}
-                    }
-                }
+                sites.push(SiteCmd {
+                    site: self.fault_epoch + op_idx as u64,
+                    chunk,
+                    fault_rows: self.fault_rows_for(&cmd),
+                    cmd,
+                });
             }
         }
-        let end = chunk_time.into_iter().max().unwrap_or(start);
+        self.fault_epoch += program.ops().len() as u64;
+        let end = self.run_banked(sites, start, n_chunks)?;
         self.clock = end;
         self.report(start, end, start_counts, dst)
     }
@@ -548,17 +734,28 @@ impl AmbitSystem {
         let start_counts = *self.device.counts();
         let start = self.clock;
         let n_chunks = dst.rows.len();
-        let mut chunk_time = vec![start; n_chunks];
         let ins = [a, b, c];
-        #[allow(clippy::needless_range_loop)]
+        let mut sites = Vec::with_capacity(4 * n_chunks);
         for chunk in 0..n_chunks {
             let bank = dst.rows[chunk].bank_id();
             let sa = self.layout.subarray_of(dst.rows[chunk].row);
             let t = |r: SpecialRow| self.layout.special_row(sa, r);
             let cmds = [
-                Command::Aap { src: ins[0].rows[chunk], dst: bank.row(t(SpecialRow::T0)), invert: false },
-                Command::Aap { src: ins[1].rows[chunk], dst: bank.row(t(SpecialRow::T1)), invert: false },
-                Command::Aap { src: ins[2].rows[chunk], dst: bank.row(t(SpecialRow::T2)), invert: false },
+                Command::Aap {
+                    src: ins[0].rows[chunk],
+                    dst: bank.row(t(SpecialRow::T0)),
+                    invert: false,
+                },
+                Command::Aap {
+                    src: ins[1].rows[chunk],
+                    dst: bank.row(t(SpecialRow::T1)),
+                    invert: false,
+                },
+                Command::Aap {
+                    src: ins[2].rows[chunk],
+                    dst: bank.row(t(SpecialRow::T2)),
+                    invert: false,
+                },
                 Command::TraAap {
                     bank,
                     rows: [t(SpecialRow::T0), t(SpecialRow::T1), t(SpecialRow::T2)],
@@ -566,15 +763,22 @@ impl AmbitSystem {
                     invert: false,
                 },
             ];
-            for cmd in cmds {
-                let (_, outcome) = self.device.issue_earliest(cmd, chunk_time[chunk])?;
-                chunk_time[chunk] = outcome.done;
-            }
-            if self.tra_failure_rate > 0.0 {
-                self.inject_tra_faults(dst.rows[chunk]);
+            for (op_idx, cmd) in cmds.into_iter().enumerate() {
+                let fault_rows = if self.tra_failure_rate > 0.0 && op_idx == 3 {
+                    vec![dst.rows[chunk]]
+                } else {
+                    Vec::new()
+                };
+                sites.push(SiteCmd {
+                    site: self.fault_epoch + op_idx as u64,
+                    chunk,
+                    cmd,
+                    fault_rows,
+                });
             }
         }
-        let end = chunk_time.into_iter().max().unwrap_or(start);
+        self.fault_epoch += 4;
+        let end = self.run_banked(sites, start, n_chunks)?;
         self.clock = end;
         self.report(start, end, start_counts, dst)
     }
@@ -588,13 +792,21 @@ impl AmbitSystem {
         self.check_colocated(&[src, dst])?;
         let start_counts = *self.device.counts();
         let start = self.clock;
-        let mut end = start;
-        for chunk in 0..dst.rows.len() {
-            let cmd =
-                Command::Aap { src: src.rows[chunk], dst: dst.rows[chunk], invert: false };
-            let (_, outcome) = self.device.issue_earliest(cmd, start)?;
-            end = end.max(outcome.done);
-        }
+        let n_chunks = dst.rows.len();
+        let sites = (0..n_chunks)
+            .map(|chunk| SiteCmd {
+                site: self.fault_epoch,
+                chunk,
+                cmd: Command::Aap {
+                    src: src.rows[chunk],
+                    dst: dst.rows[chunk],
+                    invert: false,
+                },
+                fault_rows: Vec::new(),
+            })
+            .collect();
+        self.fault_epoch += 1;
+        let end = self.run_banked(sites, start, n_chunks)?;
         self.clock = end;
         self.report(start, end, start_counts, dst)
     }
@@ -608,14 +820,30 @@ impl AmbitSystem {
     pub fn fill(&mut self, dst: &BulkVec, ones: bool) -> Result<ExecReport> {
         let start_counts = *self.device.counts();
         let start = self.clock;
-        let mut end = start;
-        for row in &dst.rows {
-            let sa = self.layout.subarray_of(row.row);
-            let c = self.layout.special_row(sa, if ones { SpecialRow::C1 } else { SpecialRow::C0 });
-            let cmd = Command::Aap { src: row.bank_id().row(c), dst: *row, invert: false };
-            let (_, outcome) = self.device.issue_earliest(cmd, start)?;
-            end = end.max(outcome.done);
-        }
+        let n_chunks = dst.rows.len();
+        let sites = dst
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(chunk, row)| {
+                let sa = self.layout.subarray_of(row.row);
+                let c = self
+                    .layout
+                    .special_row(sa, if ones { SpecialRow::C1 } else { SpecialRow::C0 });
+                SiteCmd {
+                    site: self.fault_epoch,
+                    chunk,
+                    cmd: Command::Aap {
+                        src: row.bank_id().row(c),
+                        dst: *row,
+                        invert: false,
+                    },
+                    fault_rows: Vec::new(),
+                }
+            })
+            .collect();
+        self.fault_epoch += 1;
+        let end = self.run_banked(sites, start, n_chunks)?;
         self.clock = end;
         self.report(start, end, start_counts, dst)
     }
@@ -631,14 +859,16 @@ impl AmbitSystem {
     /// [`AmbitError::LengthMismatch`] if lengths differ.
     pub fn copy_psm(&mut self, src: &BulkVec, dst: &BulkVec) -> Result<ExecReport> {
         if src.len_bits != dst.len_bits {
-            return Err(AmbitError::LengthMismatch { a: src.len_bits, b: dst.len_bits });
+            return Err(AmbitError::LengthMismatch {
+                a: src.len_bits,
+                b: dst.len_bits,
+            });
         }
         let spec = self.device.spec().clone();
         let start = self.clock;
         let start_counts = *self.device.counts();
-        let per_row = spec.timing.rcd
-            + spec.org.columns as Cycle * spec.pim.psm_col_cycles
-            + spec.timing.rp;
+        let per_row =
+            spec.timing.rcd + spec.org.columns as Cycle * spec.pim.psm_col_cycles + spec.timing.rp;
         // Chunks in distinct (src,dst) bank pairs overlap; model per-pair
         // serialization through the shared internal bus pessimistically as
         // full serialization per source bank.
@@ -682,7 +912,10 @@ impl AmbitSystem {
     /// [`AmbitError::NotColocated`] if some chunk pair crosses banks.
     pub fn copy_lisa(&mut self, src: &BulkVec, dst: &BulkVec) -> Result<ExecReport> {
         if src.len_bits != dst.len_bits {
-            return Err(AmbitError::LengthMismatch { a: src.len_bits, b: dst.len_bits });
+            return Err(AmbitError::LengthMismatch {
+                a: src.len_bits,
+                b: dst.len_bits,
+            });
         }
         for (s, d) in src.rows.iter().zip(dst.rows.iter()) {
             if s.bank_id() != d.bank_id() {
@@ -733,7 +966,11 @@ impl AmbitSystem {
     ///
     /// [`AmbitError::PlanInvalid`] for malformed plans, allocation and
     /// compatibility errors otherwise.
-    pub fn run_plan(&mut self, plan: &BitwisePlan, inputs: &[&BitVec]) -> Result<(BitVec, ExecReport)> {
+    pub fn run_plan(
+        &mut self,
+        plan: &BitwisePlan,
+        inputs: &[&BitVec],
+    ) -> Result<(BitVec, ExecReport)> {
         let (mut outs, report) = self.run_plan_multi(plan, inputs)?;
         Ok((outs.swap_remove(0), report))
     }
@@ -867,7 +1104,11 @@ impl AmbitSystem {
         let program = program_for(op);
         let mut cycles = 0u64;
         for mop in program.ops() {
-            cycles += if mop.is_aap_cost() { spec.pim.aap } else { spec.pim.tra };
+            cycles += if mop.is_aap_cost() {
+                spec.pim.aap
+            } else {
+                spec.pim.tra
+            };
         }
         let ns = spec.timing.cycles_to_ns(cycles);
         let banks = spec.org.total_banks() as f64;
@@ -1117,7 +1358,11 @@ mod tests {
     fn execute_maj_is_one_tra_per_chunk() {
         let mut sys = small_sys();
         let bits = sys.row_bits() * 2;
-        let (av, bv, cv) = (rand_bits(bits, 30), rand_bits(bits, 31), rand_bits(bits, 32));
+        let (av, bv, cv) = (
+            rand_bits(bits, 30),
+            rand_bits(bits, 31),
+            rand_bits(bits, 32),
+        );
         let a = sys.alloc(bits).unwrap();
         let b = sys.alloc(bits).unwrap();
         let c = sys.alloc(bits).unwrap();
@@ -1169,7 +1414,10 @@ mod tests {
         let mut sys = small_sys();
         let a = sys.alloc(128).unwrap();
         let bits = BitVec::zeros(64);
-        assert!(matches!(sys.write(&a, &bits), Err(AmbitError::LengthMismatch { .. })));
+        assert!(matches!(
+            sys.write(&a, &bits),
+            Err(AmbitError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -1180,7 +1428,10 @@ mod tests {
         spec.org.channels = 1;
         spec.org.subarrays = 1;
         spec.org.rows = 16;
-        let cfg = AmbitConfig { spec, ..AmbitConfig::ddr3() };
+        let cfg = AmbitConfig {
+            spec,
+            ..AmbitConfig::ddr3()
+        };
         let mut sys = AmbitSystem::new(cfg);
         // 8 data rows available (16 - 8 reserved).
         for _ in 0..8 {
@@ -1229,7 +1480,11 @@ mod tests {
         // The analog model at nominal variation yields a negligible rate;
         // a whole row of ANDs still comes out bit-exact.
         let cfg = AmbitConfig::ddr3().with_variation(&crate::analog::AnalogConfig::ddr3(), 20_000);
-        assert!(cfg.tra_failure_rate < 1e-3, "nominal rate {}", cfg.tra_failure_rate);
+        assert!(
+            cfg.tra_failure_rate < 1e-3,
+            "nominal rate {}",
+            cfg.tra_failure_rate
+        );
         let mut sys = AmbitSystem::new(cfg);
         let bits = sys.row_bits();
         let av = rand_bits(bits, 52);

@@ -34,6 +34,9 @@ pub enum AmbitError {
     },
     /// A [`BitwisePlan`](pim_workloads::BitwisePlan) failed validation.
     PlanInvalid(String),
+    /// A caller-supplied argument is out of the function's domain
+    /// (e.g. a zero stride for a gather).
+    InvalidArgument(&'static str),
 }
 
 impl fmt::Display for AmbitError {
@@ -41,7 +44,10 @@ impl fmt::Display for AmbitError {
         match self {
             AmbitError::Dram(e) => write!(f, "dram: {e}"),
             AmbitError::OutOfRows { needed, available } => {
-                write!(f, "subarray data rows exhausted: need {needed}, have {available}")
+                write!(
+                    f,
+                    "subarray data rows exhausted: need {needed}, have {available}"
+                )
             }
             AmbitError::LengthMismatch { a, b } => {
                 write!(f, "bit vector length mismatch: {a} vs {b}")
@@ -53,6 +59,7 @@ impl fmt::Display for AmbitError {
                 write!(f, "wrong operand count for {op}")
             }
             AmbitError::PlanInvalid(msg) => write!(f, "invalid plan: {msg}"),
+            AmbitError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
 }
@@ -83,11 +90,15 @@ mod tests {
     fn display_all_variants() {
         let errs: Vec<AmbitError> = vec![
             AmbitError::Dram(DramError::QueueFull { capacity: 4 }),
-            AmbitError::OutOfRows { needed: 600, available: 504 },
+            AmbitError::OutOfRows {
+                needed: 600,
+                available: 504,
+            },
             AmbitError::LengthMismatch { a: 10, b: 20 },
             AmbitError::NotColocated,
             AmbitError::WrongOperands { op: BulkOp::And },
             AmbitError::PlanInvalid("bad".into()),
+            AmbitError::InvalidArgument("stride must be nonzero"),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

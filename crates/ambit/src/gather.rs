@@ -9,6 +9,7 @@
 //! `stride` consecutive records — the channel moves only useful bytes for
 //! power-of-two strides up to the chip count.
 
+use crate::error::{AmbitError, Result};
 use pim_dram::DramSpec;
 use pim_energy::{Component, DramEnergyModel, EnergyBreakdown};
 use std::fmt;
@@ -20,8 +21,8 @@ use std::fmt;
 /// ```
 /// use pim_ambit::{strided_read, GatherConfig};
 /// let cfg = GatherConfig::ddr3();
-/// let base = strided_read(&cfg, 8, 1 << 20, false);
-/// let gs = strided_read(&cfg, 8, 1 << 20, true);
+/// let base = strided_read(&cfg, 8, 1 << 20, false).unwrap();
+/// let gs = strided_read(&cfg, 8, 1 << 20, true).unwrap();
 /// assert!(gs.ns * 7.9 < base.ns); // ~8x for stride 8
 /// ```
 #[derive(Debug, Clone)]
@@ -94,12 +95,23 @@ impl fmt::Display for StridedReport {
 /// useful data; otherwise every useful word drags its whole cache line
 /// across the channel.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `stride` is zero.
-pub fn strided_read(cfg: &GatherConfig, stride: u32, useful_bytes: u64, gs: bool) -> StridedReport {
-    assert!(stride > 0, "stride must be nonzero");
-    let amplification = if gs && cfg.supports(stride) { 1 } else { stride as u64 };
+/// Returns [`AmbitError::InvalidArgument`] if `stride` is zero.
+pub fn strided_read(
+    cfg: &GatherConfig,
+    stride: u32,
+    useful_bytes: u64,
+    gs: bool,
+) -> Result<StridedReport> {
+    if stride == 0 {
+        return Err(AmbitError::InvalidArgument("stride must be nonzero"));
+    }
+    let amplification = if gs && cfg.supports(stride) {
+        1
+    } else {
+        stride as u64
+    };
     let bytes_moved = useful_bytes * amplification;
     let bw = cfg.spec.peak_bandwidth_gbps() * cfg.efficiency;
     let ns = bytes_moved as f64 / bw;
@@ -108,7 +120,12 @@ pub fn strided_read(cfg: &GatherConfig, stride: u32, useful_bytes: u64, gs: bool
     let acts = bytes_moved as f64 / cfg.spec.org.row_bytes() as f64;
     energy.add_nj(Component::DramActivation, acts * cfg.energy.act_pre_nj);
     energy += cfg.energy.column_energy(kb, 0.0);
-    StridedReport { useful_bytes, bytes_moved, ns, energy }
+    Ok(StridedReport {
+        useful_bytes,
+        bytes_moved,
+        ns,
+        energy,
+    })
 }
 
 #[cfg(test)]
@@ -119,8 +136,8 @@ mod tests {
     fn gather_eliminates_stride_amplification() {
         let cfg = GatherConfig::ddr3();
         for stride in [2u32, 4, 8] {
-            let base = strided_read(&cfg, stride, 1 << 20, false);
-            let gs = strided_read(&cfg, stride, 1 << 20, true);
+            let base = strided_read(&cfg, stride, 1 << 20, false).unwrap();
+            let gs = strided_read(&cfg, stride, 1 << 20, true).unwrap();
             assert_eq!(base.bytes_moved, gs.bytes_moved * stride as u64);
             let speedup = base.ns / gs.ns;
             assert!(
@@ -137,24 +154,27 @@ mod tests {
         assert!(!cfg.supports(3));
         assert!(!cfg.supports(16));
         assert!(cfg.supports(8));
-        let odd = strided_read(&cfg, 3, 1 << 20, true);
-        let base = strided_read(&cfg, 3, 1 << 20, false);
-        assert_eq!(odd.bytes_moved, base.bytes_moved, "no gather for odd strides");
+        let odd = strided_read(&cfg, 3, 1 << 20, true).unwrap();
+        let base = strided_read(&cfg, 3, 1 << 20, false).unwrap();
+        assert_eq!(
+            odd.bytes_moved, base.bytes_moved,
+            "no gather for odd strides"
+        );
     }
 
     #[test]
     fn unit_stride_is_free_either_way() {
         let cfg = GatherConfig::ddr3();
-        let a = strided_read(&cfg, 1, 4096, false);
-        let b = strided_read(&cfg, 1, 4096, true);
+        let a = strided_read(&cfg, 1, 4096, false).unwrap();
+        let b = strided_read(&cfg, 1, 4096, true).unwrap();
         assert_eq!(a.bytes_moved, b.bytes_moved);
         assert!(a.useful_gbps() > 10.0);
         assert!(!format!("{a}").is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "stride must be nonzero")]
     fn zero_stride_rejected() {
-        let _ = strided_read(&GatherConfig::ddr3(), 0, 64, true);
+        let err = strided_read(&GatherConfig::ddr3(), 0, 64, true).unwrap_err();
+        assert_eq!(err, AmbitError::InvalidArgument("stride must be nonzero"));
     }
 }

@@ -126,14 +126,34 @@ pub fn program_for(op: BulkOp) -> MicroProgram {
     let ops = match op {
         // Copy the source through DCC0's negated wordline, then copy out.
         BulkOp::Not => vec![
-            MicroOp::Copy { src: In(0), dst: Special(Dcc0), invert: true },
-            MicroOp::Copy { src: Special(Dcc0), dst: Out, invert: false },
+            MicroOp::Copy {
+                src: In(0),
+                dst: Special(Dcc0),
+                invert: true,
+            },
+            MicroOp::Copy {
+                src: Special(Dcc0),
+                dst: Out,
+                invert: false,
+            },
         ],
         // MAJ(a, b, 0) = a AND b.
         BulkOp::And => vec![
-            MicroOp::Copy { src: In(0), dst: Special(T0), invert: false },
-            MicroOp::Copy { src: In(1), dst: Special(T1), invert: false },
-            MicroOp::Copy { src: Special(C0), dst: Special(T2), invert: false },
+            MicroOp::Copy {
+                src: In(0),
+                dst: Special(T0),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: In(1),
+                dst: Special(T1),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: Special(C0),
+                dst: Special(T2),
+                invert: false,
+            },
             MicroOp::TraCopy {
                 rows: [Special(T0), Special(T1), Special(T2)],
                 dst: Out,
@@ -142,9 +162,21 @@ pub fn program_for(op: BulkOp) -> MicroProgram {
         ],
         // MAJ(a, b, 1) = a OR b.
         BulkOp::Or => vec![
-            MicroOp::Copy { src: In(0), dst: Special(T0), invert: false },
-            MicroOp::Copy { src: In(1), dst: Special(T1), invert: false },
-            MicroOp::Copy { src: Special(C1), dst: Special(T2), invert: false },
+            MicroOp::Copy {
+                src: In(0),
+                dst: Special(T0),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: In(1),
+                dst: Special(T1),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: Special(C1),
+                dst: Special(T2),
+                invert: false,
+            },
             MicroOp::TraCopy {
                 rows: [Special(T0), Special(T1), Special(T2)],
                 dst: Out,
@@ -153,38 +185,102 @@ pub fn program_for(op: BulkOp) -> MicroProgram {
         ],
         // AND captured through DCC0's negated port, then copied out.
         BulkOp::Nand => vec![
-            MicroOp::Copy { src: In(0), dst: Special(T0), invert: false },
-            MicroOp::Copy { src: In(1), dst: Special(T1), invert: false },
-            MicroOp::Copy { src: Special(C0), dst: Special(T2), invert: false },
+            MicroOp::Copy {
+                src: In(0),
+                dst: Special(T0),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: In(1),
+                dst: Special(T1),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: Special(C0),
+                dst: Special(T2),
+                invert: false,
+            },
             MicroOp::TraCopy {
                 rows: [Special(T0), Special(T1), Special(T2)],
                 dst: Special(Dcc0),
                 invert: true,
             },
-            MicroOp::Copy { src: Special(Dcc0), dst: Out, invert: false },
+            MicroOp::Copy {
+                src: Special(Dcc0),
+                dst: Out,
+                invert: false,
+            },
         ],
         BulkOp::Nor => vec![
-            MicroOp::Copy { src: In(0), dst: Special(T0), invert: false },
-            MicroOp::Copy { src: In(1), dst: Special(T1), invert: false },
-            MicroOp::Copy { src: Special(C1), dst: Special(T2), invert: false },
+            MicroOp::Copy {
+                src: In(0),
+                dst: Special(T0),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: In(1),
+                dst: Special(T1),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: Special(C1),
+                dst: Special(T2),
+                invert: false,
+            },
             MicroOp::TraCopy {
                 rows: [Special(T0), Special(T1), Special(T2)],
                 dst: Special(Dcc0),
                 invert: true,
             },
-            MicroOp::Copy { src: Special(Dcc0), dst: Out, invert: false },
+            MicroOp::Copy {
+                src: Special(Dcc0),
+                dst: Out,
+                invert: false,
+            },
         ],
         // xor = (a & !b) | (!a & b)
         BulkOp::Xor => vec![
-            MicroOp::Copy { src: In(1), dst: Special(Dcc0), invert: true }, // DCC0 = !b
-            MicroOp::Copy { src: In(0), dst: Special(T0), invert: false },  // T0 = a
-            MicroOp::Copy { src: Special(C0), dst: Special(T1), invert: false }, // T1 = 0
-            MicroOp::Tra { rows: [Special(T0), Special(Dcc0), Special(T1)] }, // all = a & !b
-            MicroOp::Copy { src: In(0), dst: Special(Dcc1), invert: true }, // DCC1 = !a
-            MicroOp::Copy { src: In(1), dst: Special(T2), invert: false },  // T2 = b
-            MicroOp::Copy { src: Special(C0), dst: Special(T3), invert: false }, // T3 = 0
-            MicroOp::Tra { rows: [Special(T2), Special(Dcc1), Special(T3)] }, // all = !a & b
-            MicroOp::Copy { src: Special(C1), dst: Special(T1), invert: false }, // T1 = 1
+            MicroOp::Copy {
+                src: In(1),
+                dst: Special(Dcc0),
+                invert: true,
+            }, // DCC0 = !b
+            MicroOp::Copy {
+                src: In(0),
+                dst: Special(T0),
+                invert: false,
+            }, // T0 = a
+            MicroOp::Copy {
+                src: Special(C0),
+                dst: Special(T1),
+                invert: false,
+            }, // T1 = 0
+            MicroOp::Tra {
+                rows: [Special(T0), Special(Dcc0), Special(T1)],
+            }, // all = a & !b
+            MicroOp::Copy {
+                src: In(0),
+                dst: Special(Dcc1),
+                invert: true,
+            }, // DCC1 = !a
+            MicroOp::Copy {
+                src: In(1),
+                dst: Special(T2),
+                invert: false,
+            }, // T2 = b
+            MicroOp::Copy {
+                src: Special(C0),
+                dst: Special(T3),
+                invert: false,
+            }, // T3 = 0
+            MicroOp::Tra {
+                rows: [Special(T2), Special(Dcc1), Special(T3)],
+            }, // all = !a & b
+            MicroOp::Copy {
+                src: Special(C1),
+                dst: Special(T1),
+                invert: false,
+            }, // T1 = 1
             MicroOp::TraCopy {
                 rows: [Special(T0), Special(T2), Special(T1)],
                 dst: Out,
@@ -193,15 +289,47 @@ pub fn program_for(op: BulkOp) -> MicroProgram {
         ],
         // xnor = (a & b) | (!a & !b)
         BulkOp::Xnor => vec![
-            MicroOp::Copy { src: In(0), dst: Special(T0), invert: false },
-            MicroOp::Copy { src: In(1), dst: Special(T1), invert: false },
-            MicroOp::Copy { src: Special(C0), dst: Special(T2), invert: false },
-            MicroOp::Tra { rows: [Special(T0), Special(T1), Special(T2)] }, // all = a & b
-            MicroOp::Copy { src: In(0), dst: Special(Dcc0), invert: true }, // DCC0 = !a
-            MicroOp::Copy { src: In(1), dst: Special(Dcc1), invert: true }, // DCC1 = !b
-            MicroOp::Copy { src: Special(C0), dst: Special(T3), invert: false },
-            MicroOp::Tra { rows: [Special(Dcc0), Special(Dcc1), Special(T3)] }, // = !a & !b
-            MicroOp::Copy { src: Special(C1), dst: Special(T1), invert: false }, // T1 = 1
+            MicroOp::Copy {
+                src: In(0),
+                dst: Special(T0),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: In(1),
+                dst: Special(T1),
+                invert: false,
+            },
+            MicroOp::Copy {
+                src: Special(C0),
+                dst: Special(T2),
+                invert: false,
+            },
+            MicroOp::Tra {
+                rows: [Special(T0), Special(T1), Special(T2)],
+            }, // all = a & b
+            MicroOp::Copy {
+                src: In(0),
+                dst: Special(Dcc0),
+                invert: true,
+            }, // DCC0 = !a
+            MicroOp::Copy {
+                src: In(1),
+                dst: Special(Dcc1),
+                invert: true,
+            }, // DCC1 = !b
+            MicroOp::Copy {
+                src: Special(C0),
+                dst: Special(T3),
+                invert: false,
+            },
+            MicroOp::Tra {
+                rows: [Special(Dcc0), Special(Dcc1), Special(T3)],
+            }, // = !a & !b
+            MicroOp::Copy {
+                src: Special(C1),
+                dst: Special(T1),
+                invert: false,
+            }, // T1 = 1
             MicroOp::TraCopy {
                 rows: [Special(T0), Special(Dcc0), Special(T1)],
                 dst: Out,
@@ -227,7 +355,8 @@ mod tests {
         env.insert("C0".into(), false);
         env.insert("C1".into(), true);
         let read = |env: &HashMap<String, bool>, l: &Loc| -> bool {
-            *env.get(&l.to_string()).unwrap_or_else(|| panic!("read of undefined {l}"))
+            *env.get(&l.to_string())
+                .unwrap_or_else(|| panic!("read of undefined {l}"))
         };
         for op in prog.ops() {
             match op {
@@ -285,8 +414,12 @@ mod tests {
     fn inverted_captures_only_target_dcc_rows() {
         for op in BulkOp::ALL {
             for mop in program_for(op).ops() {
-                if let MicroOp::Copy { dst, invert: true, .. }
-                | MicroOp::TraCopy { dst, invert: true, .. } = mop
+                if let MicroOp::Copy {
+                    dst, invert: true, ..
+                }
+                | MicroOp::TraCopy {
+                    dst, invert: true, ..
+                } = mop
                 {
                     match dst {
                         Loc::Special(s) => assert!(s.is_dcc(), "{op}: negated capture into {s}"),
@@ -338,10 +471,7 @@ mod tests {
                     }
                 };
                 for w in written {
-                    assert!(
-                        !matches!(w, Loc::In(_)),
-                        "{op} writes an input row"
-                    );
+                    assert!(!matches!(w, Loc::In(_)), "{op} writes an input row");
                 }
             }
         }

@@ -130,7 +130,10 @@ impl SubarrayLayout {
     ///
     /// Panics if `idx` exceeds the data rows of a subarray.
     pub fn data_row(&self, sa: u32, idx: u32) -> u32 {
-        assert!(idx < self.data_rows_per_subarray(), "data row {idx} out of range");
+        assert!(
+            idx < self.data_rows_per_subarray(),
+            "data row {idx} out of range"
+        );
         sa * self.rows_per_subarray + idx
     }
 

@@ -1,0 +1,124 @@
+//! Thread-count invariance of the bank-parallel execution path:
+//! functional results, injected-fault counts, and `ExecReport`s must be
+//! bit-identical whether the engine runs on one thread or many — with
+//! fault injection both off and on.
+
+#![cfg(feature = "parallel")]
+
+use pim_ambit::{AmbitConfig, AmbitSystem, ExecReport};
+use pim_workloads::{BitVec, BulkOp};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Runs `f` under a rayon pool fixed at `n` threads.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+/// A mixed workload over all banks: binary/unary bulk ops, a RowClone
+/// copy, and a fill. Returns every intermediate output, every report, and
+/// the total injected-fault count.
+fn run_workload(rate: f64) -> (Vec<BitVec>, Vec<ExecReport>, u64) {
+    let mut cfg = AmbitConfig::ddr3();
+    cfg.tra_failure_rate = rate;
+    cfg.fault_seed = 0xA5A5;
+    let mut sys = AmbitSystem::new(cfg);
+    let bits = sys.row_bits() * sys.spec().org.total_banks() as usize * 2;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let av = BitVec::random(bits, 0.5, &mut rng);
+    let bv = BitVec::random(bits, 0.5, &mut rng);
+    let a = sys.alloc(bits).expect("alloc a");
+    let b = sys.alloc(bits).expect("alloc b");
+    let out = sys.alloc(bits).expect("alloc out");
+    sys.write(&a, &av).expect("write a");
+    sys.write(&b, &bv).expect("write b");
+
+    let mut outs = Vec::new();
+    let mut reports = Vec::new();
+    for op in [BulkOp::And, BulkOp::Xor] {
+        reports.push(sys.execute(op, &a, Some(&b), &out).expect("execute"));
+        outs.push(sys.read(&out));
+    }
+    reports.push(
+        sys.execute(BulkOp::Not, &a, None, &out)
+            .expect("execute not"),
+    );
+    outs.push(sys.read(&out));
+    reports.push(sys.copy(&a, &out).expect("copy"));
+    outs.push(sys.read(&out));
+    reports.push(sys.fill(&out, true).expect("fill"));
+    outs.push(sys.read(&out));
+    (outs, reports, sys.faults_injected())
+}
+
+#[test]
+fn results_identical_across_thread_counts() {
+    for rate in [0.0, 0.01] {
+        let base = with_threads(1, || run_workload(rate));
+        for threads in [2usize, 4, 8] {
+            let other = with_threads(threads, || run_workload(rate));
+            assert_eq!(
+                base.0, other.0,
+                "outputs differ at {threads} threads, rate {rate}"
+            );
+            assert_eq!(
+                base.1, other.1,
+                "reports differ at {threads} threads, rate {rate}"
+            );
+            assert_eq!(
+                base.2, other.2,
+                "fault counts differ at {threads} threads, rate {rate}"
+            );
+        }
+        if rate > 0.0 {
+            assert!(base.2 > 0, "fault injection must fire at rate {rate}");
+        }
+    }
+}
+
+/// Builds a report from loose parts (command counts stay empty — they are
+/// covered by the engine tests; here the merge arithmetic is the subject).
+fn report(cycles: u64, ns: f64, nj: f64, bytes_out: u64) -> ExecReport {
+    let mut energy = pim_energy::EnergyBreakdown::new();
+    energy.add_nj(pim_energy::Component::DramActivation, nj);
+    ExecReport {
+        cycles,
+        ns,
+        commands: pim_dram::CommandCounts::new(),
+        energy,
+        bytes_out,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `merge_parallel` and `merge_sequential` agree on every accumulated
+    /// resource (energy, bytes) and differ only in the time dimension,
+    /// where parallel takes the max and sequential the sum.
+    #[test]
+    fn merge_parallel_vs_sequential(
+        c1 in 0u64..1_000_000, c2 in 0u64..1_000_000,
+        nj1 in 0u64..1_000_000, nj2 in 0u64..1_000_000,
+        b1 in 0u64..1_000_000, b2 in 0u64..1_000_000,
+    ) {
+        let a = report(c1, c1 as f64 * 1.25, nj1 as f64 / 3.0, b1);
+        let b = report(c2, c2 as f64 * 1.25, nj2 as f64 / 3.0, b2);
+        let mut par = a.clone();
+        par.merge_parallel(&b);
+        let mut seq = a.clone();
+        seq.merge_sequential(&b);
+
+        prop_assert!((par.energy.total_nj() - seq.energy.total_nj()).abs() < 1e-6);
+        prop_assert_eq!(par.bytes_out, seq.bytes_out);
+        prop_assert_eq!(par.cycles, c1.max(c2));
+        prop_assert_eq!(seq.cycles, c1 + c2);
+        prop_assert!(par.cycles <= seq.cycles);
+        prop_assert!((par.ns - (c1.max(c2) as f64 * 1.25)).abs() < 1e-9);
+        prop_assert!((seq.ns - ((c1 + c2) as f64 * 1.25)).abs() < 1e-9);
+    }
+}

@@ -24,15 +24,22 @@ use rand::SeedableRng;
 /// Ambit AND throughput (GB/s) for a given bank count.
 pub fn ambit_throughput_with_banks(banks: u32) -> f64 {
     let spec = DramSpec::ddr3_1600().with_banks(banks);
-    let mut sys = AmbitSystem::new(AmbitConfig { spec, ..AmbitConfig::ddr3() });
+    let mut sys = AmbitSystem::new(AmbitConfig {
+        spec,
+        ..AmbitConfig::ddr3()
+    });
     let bits = sys.row_bits() * banks as usize * 4;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let a = sys.alloc(bits).expect("alloc");
     let b = sys.alloc(bits).expect("alloc");
     let out = sys.alloc(bits).expect("alloc");
-    sys.write(&a, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
-    sys.write(&b, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
-    sys.execute(BulkOp::And, &a, Some(&b), &out).expect("execute").throughput_gbps()
+    sys.write(&a, &BitVec::random(bits, 0.5, &mut rng))
+        .expect("write");
+    sys.write(&b, &BitVec::random(bits, 0.5, &mut rng))
+        .expect("write");
+    sys.execute(BulkOp::And, &a, Some(&b), &out)
+        .expect("execute")
+        .throughput_gbps()
 }
 
 /// Bank-count scaling table.
@@ -62,17 +69,27 @@ pub fn faw_table() -> Table {
     let exempt = ambit_throughput_with_banks(8);
     let mut spec = DramSpec::ddr3_1600();
     spec.pim.faw_exempt = false;
-    let mut sys = AmbitSystem::new(AmbitConfig { spec, ..AmbitConfig::ddr3() });
+    let mut sys = AmbitSystem::new(AmbitConfig {
+        spec,
+        ..AmbitConfig::ddr3()
+    });
     let bits = sys.row_bits() * 32;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let a = sys.alloc(bits).expect("alloc");
     let b = sys.alloc(bits).expect("alloc");
     let out = sys.alloc(bits).expect("alloc");
-    sys.write(&a, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
-    sys.write(&b, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
-    let constrained =
-        sys.execute(BulkOp::And, &a, Some(&b), &out).expect("execute").throughput_gbps();
-    t.row(vec!["faw-exempt (Ambit assumption)".into(), Value::Num(exempt)]);
+    sys.write(&a, &BitVec::random(bits, 0.5, &mut rng))
+        .expect("write");
+    sys.write(&b, &BitVec::random(bits, 0.5, &mut rng))
+        .expect("write");
+    let constrained = sys
+        .execute(BulkOp::And, &a, Some(&b), &out)
+        .expect("execute")
+        .throughput_gbps();
+    t.row(vec![
+        "faw-exempt (Ambit assumption)".into(),
+        Value::Num(exempt),
+    ]);
     t.row(vec!["faw-constrained".into(), Value::Num(constrained)]);
     t
 }
@@ -90,12 +107,7 @@ pub fn mapping_hit_rates() -> Vec<(AddressMapping, f64, f64)> {
 }
 
 fn hit_rate(mapping: AddressMapping, random: bool) -> f64 {
-    let mut mc = Controller::with_options(
-        DramSpec::ddr3_1600(),
-        mapping,
-        RowPolicy::Open,
-        false,
-    );
+    let mut mc = Controller::with_options(DramSpec::ddr3_1600(), mapping, RowPolicy::Open, false);
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let addrs = if random {
         pim_workloads::streams::random_uniform(64 << 20, 64, 2000, &mut rng)
@@ -104,7 +116,8 @@ fn hit_rate(mapping: AddressMapping, random: bool) -> f64 {
     };
     for chunk in addrs.chunks(32) {
         for &a in chunk {
-            mc.enqueue(Request::read(PhysAddr::new(a))).expect("enqueue");
+            mc.enqueue(Request::read(PhysAddr::new(a)))
+                .expect("enqueue");
         }
         mc.run_until_idle();
     }
@@ -118,7 +131,11 @@ pub fn mapping_table() -> Table {
         &["scheme", "sequential hit rate", "random hit rate"],
     );
     for (m, seq, rnd) in mapping_hit_rates() {
-        t.row(vec![m.to_string().into(), Value::Percent(seq), Value::Percent(rnd)]);
+        t.row(vec![
+            m.to_string().into(),
+            Value::Percent(seq),
+            Value::Percent(rnd),
+        ]);
     }
     t
 }
@@ -127,10 +144,20 @@ pub fn mapping_table() -> Table {
 pub fn reliability_table() -> Table {
     let mut t = Table::new(
         "Ablation: TRA Monte-Carlo failure rate vs process variation",
-        &["cap/charge sigma", "sense offset sigma (mV)", "failure rate"],
+        &[
+            "cap/charge sigma",
+            "sense offset sigma (mV)",
+            "failure rate",
+        ],
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(123);
-    for (sigma, offset) in [(0.02, 5.0), (0.05, 15.0), (0.10, 25.0), (0.20, 40.0), (0.30, 60.0)] {
+    for (sigma, offset) in [
+        (0.02, 5.0),
+        (0.05, 15.0),
+        (0.10, 25.0),
+        (0.20, 40.0),
+        (0.30, 60.0),
+    ] {
         let mut cfg = AnalogConfig::ddr3();
         cfg.cap_sigma_frac = sigma;
         cfg.charge_sigma_frac = sigma;
@@ -176,7 +203,13 @@ pub fn refresh_table() -> Table {
     let rpr = rows_per_ref(&spec);
     let mut t = Table::new(
         "Extension: retention-aware refresh (RAIDR) vs the 64 ms baseline",
-        &["device rows", "policy", "row-refreshes/s", "time overhead", "refresh reduction"],
+        &[
+            "device rows",
+            "policy",
+            "row-refreshes/s",
+            "time overhead",
+            "refresh reduction",
+        ],
     );
     for scale in [1u64, 4, 16] {
         let rows = (spec.org.rows * spec.org.banks) as u64 * scale;
@@ -205,19 +238,30 @@ pub fn salp_table() -> Table {
     for salp in [false, true] {
         let mut spec = DramSpec::ddr3_1600();
         spec.pim.salp = salp;
-        let mut sys = AmbitSystem::new(AmbitConfig { spec, ..AmbitConfig::ddr3() });
+        let mut sys = AmbitSystem::new(AmbitConfig {
+            spec,
+            ..AmbitConfig::ddr3()
+        });
         let bits = sys.row_bits() * 64;
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let a = sys.alloc(bits).expect("alloc");
         let b = sys.alloc(bits).expect("alloc");
         let out = sys.alloc(bits).expect("alloc");
-        sys.write(&a, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
-        sys.write(&b, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
-        let gbps =
-            sys.execute(BulkOp::And, &a, Some(&b), &out).expect("execute").throughput_gbps();
+        sys.write(&a, &BitVec::random(bits, 0.5, &mut rng))
+            .expect("write");
+        sys.write(&b, &BitVec::random(bits, 0.5, &mut rng))
+            .expect("write");
+        let gbps = sys
+            .execute(BulkOp::And, &a, Some(&b), &out)
+            .expect("execute")
+            .throughput_gbps();
         results.push(gbps);
     }
-    t.row(vec!["bank-serial (Ambit baseline)".into(), Value::Num(results[0]), Value::Ratio(1.0)]);
+    t.row(vec![
+        "bank-serial (Ambit baseline)".into(),
+        Value::Num(results[0]),
+        Value::Ratio(1.0),
+    ]);
     t.row(vec![
         "SALP (subarray-parallel)".into(),
         Value::Num(results[1]),
@@ -243,16 +287,23 @@ pub fn technology_table() -> Table {
         let name = spec.name.clone();
         let banks = spec.org.total_banks();
         let row_bytes = spec.org.row_bytes();
-        let mut sys = AmbitSystem::new(AmbitConfig { spec, ..AmbitConfig::ddr3() });
+        let mut sys = AmbitSystem::new(AmbitConfig {
+            spec,
+            ..AmbitConfig::ddr3()
+        });
         let bits = sys.row_bits() * banks as usize * 2;
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let a = sys.alloc(bits).expect("alloc");
         let b = sys.alloc(bits).expect("alloc");
         let out = sys.alloc(bits).expect("alloc");
-        sys.write(&a, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
-        sys.write(&b, &BitVec::random(bits, 0.5, &mut rng)).expect("write");
-        let gbps =
-            sys.execute(BulkOp::And, &a, Some(&b), &out).expect("execute").throughput_gbps();
+        sys.write(&a, &BitVec::random(bits, 0.5, &mut rng))
+            .expect("write");
+        sys.write(&b, &BitVec::random(bits, 0.5, &mut rng))
+            .expect("write");
+        let gbps = sys
+            .execute(BulkOp::And, &a, Some(&b), &out)
+            .expect("execute")
+            .throughput_gbps();
         t.row(vec![
             name.into(),
             Value::Num(banks as f64),
@@ -268,11 +319,16 @@ pub fn gather_table() -> Table {
     let cfg = GatherConfig::ddr3();
     let mut t = Table::new(
         "Extension: Gather-Scatter DRAM on strided field accesses (1 MB useful)",
-        &["stride", "baseline GB/s (useful)", "GS-DRAM GB/s (useful)", "speedup"],
+        &[
+            "stride",
+            "baseline GB/s (useful)",
+            "GS-DRAM GB/s (useful)",
+            "speedup",
+        ],
     );
     for stride in [1u32, 2, 4, 8] {
-        let base = strided_read(&cfg, stride, 1 << 20, false);
-        let gs = strided_read(&cfg, stride, 1 << 20, true);
+        let base = strided_read(&cfg, stride, 1 << 20, false).expect("nonzero stride");
+        let gs = strided_read(&cfg, stride, 1 << 20, true).expect("nonzero stride");
         t.row(vec![
             Value::Num(stride as f64),
             Value::Num(base.useful_gbps()),
@@ -293,7 +349,12 @@ pub fn pei_table() -> Table {
     ];
     let mut t = Table::new(
         "Extension: PEI locality-aware dispatch (avg ns per operation)",
-        &["operand locality", "always-host", "always-memory", "adaptive (PEI)"],
+        &[
+            "operand locality",
+            "always-host",
+            "always-memory",
+            "adaptive (PEI)",
+        ],
     );
     for (name, mix) in mixes {
         t.row(vec![
@@ -368,7 +429,11 @@ pub fn structures_table() -> Table {
             Value::Percent(contention),
             Value::Num(host),
             Value::Num(pim),
-            if pim > host { "pim".into() } else { "cpu".into() },
+            if pim > host {
+                "pim".into()
+            } else {
+                "cpu".into()
+            },
         ]);
     }
     t
@@ -417,7 +482,11 @@ mod tests {
             .iter()
             .find(|(m, _, _)| *m == AddressMapping::ChRaBaRoCo)
             .unwrap();
-        assert!(row_contig.1 > 0.98, "row-contiguous sequential hits {}", row_contig.1);
+        assert!(
+            row_contig.1 > 0.98,
+            "row-contiguous sequential hits {}",
+            row_contig.1
+        );
     }
 
     #[test]
@@ -438,8 +507,7 @@ mod tests {
         let md = vm.to_markdown();
         assert!(md.contains("region-table"));
         // Region translation is the only one with a clear win.
-        let speedups: Vec<f64> =
-            vm.rows().iter().map(|r| r[2].as_f64().unwrap()).collect();
+        let speedups: Vec<f64> = vm.rows().iter().map(|r| r[2].as_f64().unwrap()).collect();
         assert!(speedups[2] > 2.0 && speedups[0] < 1.0);
 
         let st = structures_table();
@@ -514,7 +582,11 @@ mod tests {
         // PageRank (all-edges messaging) must show a clear slowdown.
         let md = t.to_markdown();
         assert!(md.contains("pagerank"));
-        let pr_row = md.lines().find(|l| l.contains("pagerank")).unwrap().to_owned();
+        let pr_row = md
+            .lines()
+            .find(|l| l.contains("pagerank"))
+            .unwrap()
+            .to_owned();
         let slowdown: f64 = pr_row
             .split('|')
             .nth(4)

@@ -12,37 +12,94 @@ fn main() {
         ("e3_hmc_ratio", pim_bench::e3::table().to_markdown()),
         ("e4_query_latency", pim_bench::e4::table().to_markdown()),
         ("e5_tesseract", pim_bench::e5::table(18, 16).to_markdown()),
-        ("e5b_prefetchers", pim_bench::e5::ablation_table(16, 16).to_markdown()),
-        ("e5c_bandwidth", pim_bench::e5::bandwidth_sweep_table(16, 16).to_markdown()),
-        ("e5d_graph_size", pim_bench::e5::graph_size_sweep_table(16).to_markdown()),
-        ("e5e_energy_breakdown", pim_bench::e5::energy_breakdown_table(16, 16).to_markdown()),
-        ("e5f_frequency", pim_bench::e5::frequency_sweep_table(16, 16).to_markdown()),
-        ("e5g_baselines", pim_bench::e5::baselines_table(16, 16).to_markdown()),
+        (
+            "e5b_prefetchers",
+            pim_bench::e5::ablation_table(16, 16).to_markdown(),
+        ),
+        (
+            "e5c_bandwidth",
+            pim_bench::e5::bandwidth_sweep_table(16, 16).to_markdown(),
+        ),
+        (
+            "e5d_graph_size",
+            pim_bench::e5::graph_size_sweep_table(16).to_markdown(),
+        ),
+        (
+            "e5e_energy_breakdown",
+            pim_bench::e5::energy_breakdown_table(16, 16).to_markdown(),
+        ),
+        (
+            "e5f_frequency",
+            pim_bench::e5::frequency_sweep_table(16, 16).to_markdown(),
+        ),
+        (
+            "e5g_baselines",
+            pim_bench::e5::baselines_table(16, 16).to_markdown(),
+        ),
         ("e6_consumer", pim_bench::e6::table().to_markdown()),
         ("e7_area", pim_bench::e7::table().to_markdown()),
         ("e8_rowclone", pim_bench::e8::table().to_markdown()),
         ("e9_arithmetic", pim_bench::e9::table().to_markdown()),
         ("e10_dna_filter", pim_bench::e10::table().to_markdown()),
-        ("ablation_banks", pim_bench::ablations::bank_scaling_table().to_markdown()),
-        ("ablation_technology", pim_bench::ablations::technology_table().to_markdown()),
-        ("ablation_salp", pim_bench::ablations::salp_table().to_markdown()),
-        ("ablation_refresh", pim_bench::ablations::refresh_table().to_markdown()),
-        ("ablation_faw", pim_bench::ablations::faw_table().to_markdown()),
-        ("ablation_mapping", pim_bench::ablations::mapping_table().to_markdown()),
-        ("ablation_reliability", pim_bench::ablations::reliability_table().to_markdown()),
-        ("ablation_coherence", pim_bench::ablations::coherence_table().to_markdown()),
-        ("ablation_gather", pim_bench::ablations::gather_table().to_markdown()),
-        ("ablation_pei", pim_bench::ablations::pei_table().to_markdown()),
-        ("ablation_blocking", pim_bench::ablations::blocking_calls_table().to_markdown()),
-        ("ablation_vm", pim_bench::ablations::vm_table().to_markdown()),
-        ("ablation_structures", pim_bench::ablations::structures_table().to_markdown()),
+        (
+            "ablation_banks",
+            pim_bench::ablations::bank_scaling_table().to_markdown(),
+        ),
+        (
+            "ablation_technology",
+            pim_bench::ablations::technology_table().to_markdown(),
+        ),
+        (
+            "ablation_salp",
+            pim_bench::ablations::salp_table().to_markdown(),
+        ),
+        (
+            "ablation_refresh",
+            pim_bench::ablations::refresh_table().to_markdown(),
+        ),
+        (
+            "ablation_faw",
+            pim_bench::ablations::faw_table().to_markdown(),
+        ),
+        (
+            "ablation_mapping",
+            pim_bench::ablations::mapping_table().to_markdown(),
+        ),
+        (
+            "ablation_reliability",
+            pim_bench::ablations::reliability_table().to_markdown(),
+        ),
+        (
+            "ablation_coherence",
+            pim_bench::ablations::coherence_table().to_markdown(),
+        ),
+        (
+            "ablation_gather",
+            pim_bench::ablations::gather_table().to_markdown(),
+        ),
+        (
+            "ablation_pei",
+            pim_bench::ablations::pei_table().to_markdown(),
+        ),
+        (
+            "ablation_blocking",
+            pim_bench::ablations::blocking_calls_table().to_markdown(),
+        ),
+        (
+            "ablation_vm",
+            pim_bench::ablations::vm_table().to_markdown(),
+        ),
+        (
+            "ablation_structures",
+            pim_bench::ablations::structures_table().to_markdown(),
+        ),
     ];
     for (name, md) in &tables {
         println!("{md}");
         if let Some(dir) = &out_dir {
             std::fs::create_dir_all(dir).expect("create output dir");
-            let mut f = std::fs::File::create(format!("{dir}/{name}.md"))
-                .expect("create table file");
+            let mut f =
+                std::fs::File::create(format!("{dir}/{name}.md")).expect("create table file");
             f.write_all(md.as_bytes()).expect("write table");
         }
     }

@@ -6,9 +6,18 @@ fn main() {
     let degree: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
     println!("{}", pim_bench::e5::table(scale, degree));
     println!("{}", pim_bench::e5::ablation_table(scale.min(18), degree));
-    println!("{}", pim_bench::e5::bandwidth_sweep_table(scale.min(18), degree));
+    println!(
+        "{}",
+        pim_bench::e5::bandwidth_sweep_table(scale.min(18), degree)
+    );
     println!("{}", pim_bench::e5::graph_size_sweep_table(degree));
-    println!("{}", pim_bench::e5::energy_breakdown_table(scale.min(18), degree));
-    println!("{}", pim_bench::e5::frequency_sweep_table(scale.min(18), degree));
+    println!(
+        "{}",
+        pim_bench::e5::energy_breakdown_table(scale.min(18), degree)
+    );
+    println!(
+        "{}",
+        pim_bench::e5::frequency_sweep_table(scale.min(18), degree)
+    );
     println!("{}", pim_bench::e5::baselines_table(scale.min(18), degree));
 }

@@ -46,52 +46,68 @@ fn measure_ambit(config: AmbitConfig, rounds: usize) -> Vec<f64> {
 }
 
 /// Runs the experiment; `out_bytes` sizes the host-side kernels.
+///
+/// The five platform measurements are independent (each task builds its
+/// own model), so they run concurrently under the `parallel` feature.
 pub fn run(out_bytes: u64) -> Vec<PlatformThroughput> {
-    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
-    let gpu = GpuModel::new(GpuConfig::gtx745());
-    let hmc_logic = HmcLogicModel::new(HmcLogicConfig::hmc2());
-    let mut results = vec![
-        PlatformThroughput {
-            name: "skylake-cpu",
-            gbps: BulkOp::ALL
-                .iter()
-                .map(|&op| cpu.bulk_bitwise(op, out_bytes).throughput_gbps())
-                .collect(),
-        },
-        PlatformThroughput {
-            name: "gtx745-gpu",
-            gbps: BulkOp::ALL
-                .iter()
-                .map(|&op| gpu.bulk_bitwise(op, out_bytes).throughput_gbps())
-                .collect(),
-        },
-        PlatformThroughput {
-            name: "hmc-logic-layer",
-            gbps: BulkOp::ALL
-                .iter()
-                .map(|&op| hmc_logic.bulk_bitwise(op, out_bytes).throughput_gbps())
-                .collect(),
-        },
-    ];
-    results.push(PlatformThroughput {
-        name: "ambit-ddr3-8banks",
-        gbps: measure_ambit(AmbitConfig::ddr3(), 8),
-    });
     // Ambit inside an HMC: 32 vaults modeled as 32 channels of the vault
     // organization (512 banks computing on 512 B rows).
     let hmc_ambit = AmbitConfig {
         spec: DramSpec::hmc_vault().with_channels(32),
         ..AmbitConfig::hmc_vault()
     };
-    results.push(PlatformThroughput { name: "ambit-hmc", gbps: measure_ambit(hmc_ambit, 4) });
-    results
+    let tasks: Vec<Box<dyn FnOnce() -> PlatformThroughput + Send>> = vec![
+        Box::new(move || PlatformThroughput {
+            name: "skylake-cpu",
+            gbps: {
+                let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+                BulkOp::ALL
+                    .iter()
+                    .map(|&op| cpu.bulk_bitwise(op, out_bytes).throughput_gbps())
+                    .collect()
+            },
+        }),
+        Box::new(move || PlatformThroughput {
+            name: "gtx745-gpu",
+            gbps: {
+                let gpu = GpuModel::new(GpuConfig::gtx745());
+                BulkOp::ALL
+                    .iter()
+                    .map(|&op| gpu.bulk_bitwise(op, out_bytes).throughput_gbps())
+                    .collect()
+            },
+        }),
+        Box::new(move || PlatformThroughput {
+            name: "hmc-logic-layer",
+            gbps: {
+                let hmc_logic = HmcLogicModel::new(HmcLogicConfig::hmc2());
+                BulkOp::ALL
+                    .iter()
+                    .map(|&op| hmc_logic.bulk_bitwise(op, out_bytes).throughput_gbps())
+                    .collect()
+            },
+        }),
+        Box::new(|| PlatformThroughput {
+            name: "ambit-ddr3-8banks",
+            gbps: measure_ambit(AmbitConfig::ddr3(), 8),
+        }),
+        Box::new(move || PlatformThroughput {
+            name: "ambit-hmc",
+            gbps: measure_ambit(hmc_ambit, 4),
+        }),
+    ];
+    crate::run_tasks(tasks)
 }
 
 /// Geomean ratio of two platforms' per-op throughputs.
 pub fn avg_ratio(num: &PlatformThroughput, den: &PlatformThroughput) -> f64 {
-    let ratios: Vec<f64> =
-        num.gbps.iter().zip(den.gbps.iter()).map(|(a, b)| a / b).collect();
-    geomean(&ratios)
+    let ratios: Vec<f64> = num
+        .gbps
+        .iter()
+        .zip(den.gbps.iter())
+        .map(|(a, b)| a / b)
+        .collect();
+    geomean(&ratios).expect("platform throughputs are positive")
 }
 
 /// Renders the result table.
@@ -112,7 +128,10 @@ pub fn table() -> Table {
         }
         t.row(row);
     }
-    let ambit = results.iter().find(|p| p.name == "ambit-ddr3-8banks").expect("ambit row");
+    let ambit = results
+        .iter()
+        .find(|p| p.name == "ambit-ddr3-8banks")
+        .expect("ambit row");
     let mut ratio_row: Vec<Value> = vec!["geomean vs ambit-ddr3".into()];
     for p in &results {
         ratio_row.push(Value::Ratio(avg_ratio(ambit, p)));
@@ -136,13 +155,22 @@ mod tests {
         let hmc_ambit = by_name("ambit-hmc");
 
         let vs_cpu = avg_ratio(ambit, cpu);
-        assert!((30.0..60.0).contains(&vs_cpu), "Ambit vs CPU {vs_cpu} (paper: 44x)");
+        assert!(
+            (30.0..60.0).contains(&vs_cpu),
+            "Ambit vs CPU {vs_cpu} (paper: 44x)"
+        );
         let vs_gpu = avg_ratio(ambit, gpu);
-        assert!((20.0..45.0).contains(&vs_gpu), "Ambit vs GPU {vs_gpu} (paper: 32x)");
+        assert!(
+            (20.0..45.0).contains(&vs_gpu),
+            "Ambit vs GPU {vs_gpu} (paper: 32x)"
+        );
         let hmc_ratio = avg_ratio(hmc_ambit, logic);
-        assert!((5.0..16.0).contains(&hmc_ratio), "Ambit-HMC vs logic {hmc_ratio} (paper: 9.7x)");
+        assert!(
+            (5.0..16.0).contains(&hmc_ratio),
+            "Ambit-HMC vs logic {hmc_ratio} (paper: 9.7x)"
+        );
         // Ordering: Ambit-HMC > Ambit-DDR3 > HMC-logic > GPU > CPU (geomean).
-        let gm = |p: &PlatformThroughput| geomean(&p.gbps);
+        let gm = |p: &PlatformThroughput| geomean(&p.gbps).unwrap();
         assert!(gm(hmc_ambit) > gm(ambit));
         assert!(gm(ambit) > gm(logic));
         assert!(gm(logic) > gm(gpu));

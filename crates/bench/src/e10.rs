@@ -74,7 +74,14 @@ pub fn run(genome_len: usize, bin_len: usize, k: usize, reads: usize) -> FilterP
 pub fn table() -> Table {
     let mut t = Table::new(
         "E10 (extension): DNA seed-location filtering (GRIM-Filter) — CPU vs in-DRAM",
-        &["genome (bases)", "bins", "avg candidates", "CPU (us/read)", "Ambit (us/read)", "speedup"],
+        &[
+            "genome (bases)",
+            "bins",
+            "avg candidates",
+            "CPU (us/read)",
+            "Ambit (us/read)",
+            "speedup",
+        ],
     );
     for genome_len in [1 << 21, 1 << 23] {
         let p = run(genome_len, 64, 6, 12);

@@ -10,8 +10,16 @@ use pim_workloads::BulkOp;
 /// Runs the experiment, returning (hmc-logic, ambit-hmc) throughputs.
 pub fn run_pair() -> (PlatformThroughput, PlatformThroughput) {
     let all = run(32 << 20);
-    let logic = all.iter().find(|p| p.name == "hmc-logic-layer").expect("logic").clone();
-    let ambit = all.iter().find(|p| p.name == "ambit-hmc").expect("ambit-hmc").clone();
+    let logic = all
+        .iter()
+        .find(|p| p.name == "hmc-logic-layer")
+        .expect("logic")
+        .clone();
+    let ambit = all
+        .iter()
+        .find(|p| p.name == "ambit-hmc")
+        .expect("ambit-hmc")
+        .clone();
     (logic, ambit)
 }
 
@@ -47,7 +55,10 @@ mod tests {
     fn hmc_ratio_matches_paper_scale() {
         let (logic, ambit) = run_pair();
         let r = avg_ratio(&ambit, &logic);
-        assert!((5.0..16.0).contains(&r), "Ambit-HMC/logic = {r} (paper: 9.7x)");
+        assert!(
+            (5.0..16.0).contains(&r),
+            "Ambit-HMC/logic = {r} (paper: 9.7x)"
+        );
     }
 
     #[test]

@@ -33,99 +33,120 @@ impl QueryPoint {
 }
 
 /// Bitmap-index sweep: "active in all of the trailing `weeks` weeks".
+/// Each data point owns its index and simulator, so points run
+/// concurrently under the `parallel` feature.
 pub fn bitmap_sweep(log_users: &[u32], weeks: usize) -> Vec<QueryPoint> {
     let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
-    log_users
+    let cpu = &cpu;
+    let tasks: Vec<Box<dyn FnOnce() -> QueryPoint + Send + '_>> = log_users
         .iter()
         .map(|&lu| {
-            let users = 1usize << lu;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-            let index = BitmapIndex::random(users, weeks, 0.8, &mut rng);
-            let plan = index.all_active_plan(weeks);
-            let bytes = (users as u64).div_ceil(8);
+            Box::new(move || {
+                let users = 1usize << lu;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                let index = BitmapIndex::random(users, weeks, 0.8, &mut rng);
+                let plan = index.all_active_plan(weeks);
+                let bytes = (users as u64).div_ceil(8);
 
-            let mut cpu_report = cpu.run_plan(&plan, users);
-            cpu_report.merge_sequential(&cpu.popcount(bytes));
+                let mut cpu_report = cpu.run_plan(&plan, users);
+                cpu_report.merge_sequential(&cpu.popcount(bytes));
 
-            let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
-            let (result, ambit_report) =
-                ambit.run_plan(&plan, &index.trailing_inputs(weeks)).expect("plan runs");
-            assert_eq!(result.count_ones(), index.count_all_active(weeks), "functional check");
+                let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
+                let (result, ambit_report) = ambit
+                    .run_plan(&plan, &index.trailing_inputs(weeks))
+                    .expect("plan runs");
+                assert_eq!(
+                    result.count_ones(),
+                    index.count_all_active(weeks),
+                    "functional check"
+                );
 
-            QueryPoint {
-                rows: users,
-                cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
-                ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
-            }
+                QueryPoint {
+                    rows: users,
+                    cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
+                    ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
+                }
+            }) as Box<dyn FnOnce() -> QueryPoint + Send + '_>
         })
-        .collect()
+        .collect();
+    crate::run_tasks(tasks)
 }
 
 /// BitWeaving sweep: `column < c` scans over `bits`-bit codes.
 pub fn bitweaving_sweep(log_rows: &[u32], bits: u32) -> Vec<QueryPoint> {
     let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
-    log_rows
+    let cpu = &cpu;
+    let tasks: Vec<Box<dyn FnOnce() -> QueryPoint + Send + '_>> = log_rows
         .iter()
         .map(|&lr| {
-            let rows = 1usize << lr;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-            let col = BitSlicedColumn::random(rows, bits, &mut rng);
-            let c = 1u64 << (bits - 1);
-            let plan = col.less_than_plan(c);
-            let bytes = (rows as u64).div_ceil(8);
+            Box::new(move || {
+                let rows = 1usize << lr;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+                let col = BitSlicedColumn::random(rows, bits, &mut rng);
+                let c = 1u64 << (bits - 1);
+                let plan = col.less_than_plan(c);
+                let bytes = (rows as u64).div_ceil(8);
 
-            let mut cpu_report = cpu.run_plan(&plan, rows);
-            cpu_report.merge_sequential(&cpu.popcount(bytes));
+                let mut cpu_report = cpu.run_plan(&plan, rows);
+                cpu_report.merge_sequential(&cpu.popcount(bytes));
 
-            let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
-            let (result, ambit_report) =
-                ambit.run_plan(&plan, &col.plan_inputs()).expect("plan runs");
-            assert_eq!(result, col.less_than(c), "functional check");
+                let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
+                let (result, ambit_report) = ambit
+                    .run_plan(&plan, &col.plan_inputs())
+                    .expect("plan runs");
+                assert_eq!(result, col.less_than(c), "functional check");
 
-            QueryPoint {
-                rows,
-                cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
-                ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
-            }
+                QueryPoint {
+                    rows,
+                    cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
+                    ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
+                }
+            }) as Box<dyn FnOnce() -> QueryPoint + Send + '_>
         })
-        .collect()
+        .collect();
+    crate::run_tasks(tasks)
 }
 
 /// Multi-column conjunctive query sweep: `a < c1 AND b = c2 AND r1 <= c < r2`
 /// compiled to one plan and executed on both backends.
 pub fn conjunctive_sweep(log_rows: &[u32]) -> Vec<QueryPoint> {
     let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
-    log_rows
+    let cpu = &cpu;
+    let tasks: Vec<Box<dyn FnOnce() -> QueryPoint + Send + '_>> = log_rows
         .iter()
         .map(|&lr| {
-            let rows = 1usize << lr;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-            let a = BitSlicedColumn::random(rows, 8, &mut rng);
-            let b = BitSlicedColumn::random(rows, 6, &mut rng);
-            let c = BitSlicedColumn::random(rows, 10, &mut rng);
-            let q = ConjunctiveQuery::new()
-                .and(0, Predicate::LessThan(150))
-                .and(1, Predicate::Equals(17))
-                .and(2, Predicate::Range(100, 800));
-            let cols = [&a, &b, &c];
-            let plan = q.compile(&cols);
-            let bytes = (rows as u64).div_ceil(8);
+            Box::new(move || {
+                let rows = 1usize << lr;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+                let a = BitSlicedColumn::random(rows, 8, &mut rng);
+                let b = BitSlicedColumn::random(rows, 6, &mut rng);
+                let c = BitSlicedColumn::random(rows, 10, &mut rng);
+                let q = ConjunctiveQuery::new()
+                    .and(0, Predicate::LessThan(150))
+                    .and(1, Predicate::Equals(17))
+                    .and(2, Predicate::Range(100, 800));
+                let cols = [&a, &b, &c];
+                let plan = q.compile(&cols);
+                let bytes = (rows as u64).div_ceil(8);
 
-            let mut cpu_report = cpu.run_plan(&plan, rows);
-            cpu_report.merge_sequential(&cpu.popcount(bytes));
+                let mut cpu_report = cpu.run_plan(&plan, rows);
+                cpu_report.merge_sequential(&cpu.popcount(bytes));
 
-            let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
-            let (result, ambit_report) =
-                ambit.run_plan(&plan, &q.plan_inputs(&cols)).expect("plan runs");
-            assert_eq!(result, q.evaluate_scalar(&cols), "functional check");
+                let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
+                let (result, ambit_report) = ambit
+                    .run_plan(&plan, &q.plan_inputs(&cols))
+                    .expect("plan runs");
+                assert_eq!(result, q.evaluate_scalar(&cols), "functional check");
 
-            QueryPoint {
-                rows,
-                cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
-                ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
-            }
+                QueryPoint {
+                    rows,
+                    cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
+                    ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
+                }
+            }) as Box<dyn FnOnce() -> QueryPoint + Send + '_>
         })
-        .collect()
+        .collect();
+    crate::run_tasks(tasks)
 }
 
 /// Renders both sweeps as one table.
@@ -172,12 +193,21 @@ mod tests {
     fn bitmap_speedup_grows_with_size_in_paper_band() {
         let points = bitmap_sweep(&[20, 22, 24], 4);
         for w in points.windows(2) {
-            assert!(w[1].speedup() > w[0].speedup(), "speedup must grow with size");
+            assert!(
+                w[1].speedup() > w[0].speedup(),
+                "speedup must grow with size"
+            );
         }
         let min = points.first().unwrap().speedup();
         let max = points.last().unwrap().speedup();
-        assert!(min > 1.8 && min < 6.0, "smallest speedup {min} (paper: ~2x)");
-        assert!(max > 5.0 && max < 14.0, "largest speedup {max} (paper: up to 12x)");
+        assert!(
+            min > 1.8 && min < 6.0,
+            "smallest speedup {min} (paper: ~2x)"
+        );
+        assert!(
+            max > 5.0 && max < 14.0,
+            "largest speedup {max} (paper: up to 12x)"
+        );
     }
 
     #[test]

@@ -15,33 +15,50 @@ pub fn eval_graph(scale: u32, degree: usize) -> Graph {
     Graph::rmat(scale, degree, &mut rng)
 }
 
+/// Runs the five kernels against `host`, one task per kernel (concurrent
+/// under the `parallel` feature; each comparison is independent).
+fn compare_all(graph: &Graph, host: HostGraphConfig) -> Vec<Comparison> {
+    let sim = TesseractSim::new(TesseractConfig::isca2015());
+    let sim = &sim;
+    let host = &host;
+    let tasks: Vec<Box<dyn FnOnce() -> Comparison + Send + '_>> = KernelKind::ALL
+        .iter()
+        .map(|&k| {
+            Box::new(move || sim.compare(k, graph, host))
+                as Box<dyn FnOnce() -> Comparison + Send + '_>
+        })
+        .collect();
+    crate::run_tasks(tasks)
+}
+
 /// Runs all five kernels; returns the comparisons.
 pub fn run(graph: &Graph) -> Vec<Comparison> {
-    let sim = TesseractSim::new(TesseractConfig::isca2015());
-    let host = HostGraphConfig::ddr3_ooo();
-    KernelKind::ALL.iter().map(|&k| sim.compare(k, graph, &host)).collect()
+    compare_all(graph, HostGraphConfig::ddr3_ooo())
 }
 
 /// Like [`run`] but against the ISCA'15 HMC-OoO baseline (HMC as plain
 /// main memory — more bandwidth, still no computation in memory).
 pub fn run_vs_hmc_ooo(graph: &Graph) -> Vec<Comparison> {
-    let sim = TesseractSim::new(TesseractConfig::isca2015());
-    let host = HostGraphConfig::hmc_ooo();
-    KernelKind::ALL.iter().map(|&k| sim.compare(k, graph, &host)).collect()
+    compare_all(graph, HostGraphConfig::hmc_ooo())
 }
 
 /// Prefetcher ablation: Tesseract time without prefetchers / with.
+/// One task per kernel, concurrent under the `parallel` feature.
 pub fn prefetcher_ablation(graph: &Graph) -> Vec<(KernelKind, f64)> {
     let on = TesseractSim::new(TesseractConfig::isca2015());
     let off = TesseractSim::new(TesseractConfig::isca2015().without_prefetchers());
-    KernelKind::ALL
+    let (on, off) = (&on, &off);
+    let tasks: Vec<Box<dyn FnOnce() -> (KernelKind, f64) + Send + '_>> = KernelKind::ALL
         .iter()
         .map(|&k| {
-            let (_, _, r_on) = on.run(k, graph);
-            let (_, _, r_off) = off.run(k, graph);
-            (k, r_off.ns / r_on.ns)
+            Box::new(move || {
+                let (_, _, r_on) = on.run(k, graph);
+                let (_, _, r_off) = off.run(k, graph);
+                (k, r_off.ns / r_on.ns)
+            }) as Box<dyn FnOnce() -> (KernelKind, f64) + Send + '_>
         })
-        .collect()
+        .collect();
+    crate::run_tasks(tasks)
 }
 
 /// Renders the main table.
@@ -71,7 +88,7 @@ pub fn table(scale: u32, degree: usize) -> Table {
         "geomean / mean".into(),
         "".into(),
         "".into(),
-        Value::Ratio(geomean(&speedups)),
+        Value::Ratio(geomean(&speedups).expect("speedups are positive")),
         Value::Percent(energies.iter().sum::<f64>() / energies.len() as f64),
         "".into(),
     ]);
@@ -113,7 +130,11 @@ pub fn baselines_table(scale: u32, degree: usize) -> Table {
             Value::Ratio(b.speedup()),
         ]);
     }
-    t.row(vec!["geomean".into(), Value::Ratio(geomean(&s1)), Value::Ratio(geomean(&s2))]);
+    t.row(vec![
+        "geomean".into(),
+        Value::Ratio(geomean(&s1).expect("speedups are positive")),
+        Value::Ratio(geomean(&s2).expect("speedups are positive")),
+    ]);
     t
 }
 
@@ -128,7 +149,12 @@ pub fn bandwidth_sweep_table(scale: u32, degree: usize) -> Table {
     let host_ns = HostGraphModel::new(host_cfg).run(&trace, &graph).ns;
     let mut t = Table::new(
         "E5c: PageRank speedup vs per-vault TSV bandwidth (bandwidth scaling figure)",
-        &["GB/s per vault", "aggregate (GB/s)", "tesseract (ms)", "speedup vs host"],
+        &[
+            "GB/s per vault",
+            "aggregate (GB/s)",
+            "tesseract (ms)",
+            "speedup vs host",
+        ],
     );
     for tsv in [2.5f64, 5.0, 10.0, 20.0, 40.0] {
         let mut cfg = TesseractConfig::isca2015();
@@ -185,7 +211,11 @@ pub fn frequency_sweep_table(scale: u32, degree: usize) -> Table {
         let mut cfg = TesseractConfig::isca2015();
         cfg.core_ghz = ghz;
         let ns = trace_ns(&trace, &cfg);
-        t.row(vec![Value::Num(ghz), Value::Num(ns / 1e6), Value::Ratio(base / ns)]);
+        t.row(vec![
+            Value::Num(ghz),
+            Value::Num(ns / 1e6),
+            Value::Ratio(base / ns),
+        ]);
     }
     t
 }
@@ -198,7 +228,14 @@ pub fn energy_breakdown_table(scale: u32, degree: usize) -> Table {
     let comparisons = run(&graph);
     let mut t = Table::new(
         "E5e: energy by component (mJ) — host vs Tesseract",
-        &["kernel", "host core", "host dram+cache", "tess core", "tess dram+tsv", "saved"],
+        &[
+            "kernel",
+            "host core",
+            "host dram+cache",
+            "tess core",
+            "tess dram+tsv",
+            "saved",
+        ],
     );
     for c in &comparisons {
         let host_core = c.host.energy.get(Component::CoreCompute) / 1e6;
@@ -228,11 +265,20 @@ mod tests {
         let graph = eval_graph(18, 16);
         let comparisons = run(&graph);
         let speedups: Vec<f64> = comparisons.iter().map(|c| c.speedup()).collect();
-        let g = geomean(&speedups);
-        assert!((4.0..25.0).contains(&g), "geomean speedup {g} (paper: 13.8x)");
-        let avg_energy: f64 = comparisons.iter().map(|c| c.energy_reduction()).sum::<f64>()
+        let g = geomean(&speedups).unwrap();
+        assert!(
+            (4.0..25.0).contains(&g),
+            "geomean speedup {g} (paper: 13.8x)"
+        );
+        let avg_energy: f64 = comparisons
+            .iter()
+            .map(|c| c.energy_reduction())
+            .sum::<f64>()
             / comparisons.len() as f64;
-        assert!((0.6..0.95).contains(&avg_energy), "energy reduction {avg_energy} (paper: 0.87)");
+        assert!(
+            (0.6..0.95).contains(&avg_energy),
+            "energy reduction {avg_energy} (paper: 0.87)"
+        );
     }
 
     #[test]
@@ -248,7 +294,10 @@ mod tests {
             .collect();
         // More bandwidth never hurts and the sweep spans a real range.
         for w in speedups.windows(2) {
-            assert!(w[1] >= w[0] * 0.999, "speedup must be monotone: {speedups:?}");
+            assert!(
+                w[1] >= w[0] * 0.999,
+                "speedup must be monotone: {speedups:?}"
+            );
         }
         assert!(
             speedups.last().unwrap() > &(speedups[0] * 1.3),
@@ -278,8 +327,8 @@ mod tests {
         let graph = eval_graph(16, 16);
         let vs_ddr3 = run(&graph);
         let vs_hmc = run_vs_hmc_ooo(&graph);
-        let g1 = geomean(&vs_ddr3.iter().map(|c| c.speedup()).collect::<Vec<_>>());
-        let g2 = geomean(&vs_hmc.iter().map(|c| c.speedup()).collect::<Vec<_>>());
+        let g1 = geomean(&vs_ddr3.iter().map(|c| c.speedup()).collect::<Vec<_>>()).unwrap();
+        let g2 = geomean(&vs_hmc.iter().map(|c| c.speedup()).collect::<Vec<_>>()).unwrap();
         assert!(g2 > 1.0, "Tesseract must still win vs HMC-OoO: {g2}");
         assert!(g2 < g1, "a better host narrows the gap: {g1} vs {g2}");
     }
@@ -287,8 +336,7 @@ mod tests {
     #[test]
     fn frequency_sweep_shows_diminishing_returns() {
         let t = frequency_sweep_table(16, 16);
-        let times: Vec<f64> =
-            t.rows().iter().map(|r| r[1].as_f64().unwrap()).collect();
+        let times: Vec<f64> = t.rows().iter().map(|r| r[1].as_f64().unwrap()).collect();
         // Faster cores never hurt; the last doubling helps less than the
         // first (the memory side takes over).
         for w in times.windows(2) {

@@ -48,16 +48,21 @@ mod tests {
         let analyses = run();
         let n = analyses.len() as f64;
         let movement: f64 = analyses.iter().map(|a| a.movement_fraction).sum::<f64>() / n;
-        assert!((movement - 0.627).abs() < 0.06, "movement {movement} (paper: 0.627)");
+        assert!(
+            (movement - 0.627).abs() < 0.06,
+            "movement {movement} (paper: 0.627)"
+        );
         let energy: f64 = analyses
             .iter()
             .map(|a| {
-                (a.energy_reduction(PimSite::Core) + a.energy_reduction(PimSite::Accelerator))
-                    / 2.0
+                (a.energy_reduction(PimSite::Core) + a.energy_reduction(PimSite::Accelerator)) / 2.0
             })
             .sum::<f64>()
             / n;
-        assert!((energy - 0.554).abs() < 0.08, "energy reduction {energy} (paper: 0.554)");
+        assert!(
+            (energy - 0.554).abs() < 0.08,
+            "energy reduction {energy} (paper: 0.554)"
+        );
         let time: f64 = analyses
             .iter()
             .map(|a| {
@@ -65,7 +70,10 @@ mod tests {
             })
             .sum::<f64>()
             / n;
-        assert!((time - 0.542).abs() < 0.10, "time reduction {time} (paper: 0.542)");
+        assert!(
+            (time - 0.542).abs() < 0.10,
+            "time reduction {time} (paper: 0.542)"
+        );
     }
 
     #[test]

@@ -56,10 +56,24 @@ mod tests {
     fn headline_utilizations() {
         let rows = run();
         let core = rows.iter().find(|(n, _, _)| n == "pim-core").unwrap();
-        assert!((core.1 - 0.094).abs() < 0.005, "core utilization {}", core.1);
-        let accel = rows.iter().find(|(n, _, _)| n == "all accelerators").unwrap();
-        assert!((accel.1 - 0.354).abs() < 0.01, "accelerator utilization {}", accel.1);
-        assert!(rows.iter().all(|(_, _, fits)| *fits), "everything must fit the budget");
+        assert!(
+            (core.1 - 0.094).abs() < 0.005,
+            "core utilization {}",
+            core.1
+        );
+        let accel = rows
+            .iter()
+            .find(|(n, _, _)| n == "all accelerators")
+            .unwrap();
+        assert!(
+            (accel.1 - 0.354).abs() < 0.01,
+            "accelerator utilization {}",
+            accel.1
+        );
+        assert!(
+            rows.iter().all(|(_, _, fits)| *fits),
+            "everything must fit the budget"
+        );
     }
 
     #[test]

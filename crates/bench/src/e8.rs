@@ -45,11 +45,36 @@ pub fn run_copy(kb: u64) -> Vec<CopyCost> {
     assert_eq!(sys.read(&dst).count_ones(), 0, "fill must zero");
 
     vec![
-        CopyCost { mechanism: "cpu-memcpy", bytes, ns: memcpy.ns, nj: memcpy.energy.total_nj() },
-        CopyCost { mechanism: "rowclone-fpm", bytes, ns: fpm.ns, nj: fpm.energy.total_nj() },
-        CopyCost { mechanism: "rowclone-psm", bytes, ns: psm.ns, nj: psm.energy.total_nj() },
-        CopyCost { mechanism: "cpu-memset", bytes, ns: memset.ns, nj: memset.energy.total_nj() },
-        CopyCost { mechanism: "rowclone-zero", bytes, ns: fill.ns, nj: fill.energy.total_nj() },
+        CopyCost {
+            mechanism: "cpu-memcpy",
+            bytes,
+            ns: memcpy.ns,
+            nj: memcpy.energy.total_nj(),
+        },
+        CopyCost {
+            mechanism: "rowclone-fpm",
+            bytes,
+            ns: fpm.ns,
+            nj: fpm.energy.total_nj(),
+        },
+        CopyCost {
+            mechanism: "rowclone-psm",
+            bytes,
+            ns: psm.ns,
+            nj: psm.energy.total_nj(),
+        },
+        CopyCost {
+            mechanism: "cpu-memset",
+            bytes,
+            ns: memset.ns,
+            nj: memset.energy.total_nj(),
+        },
+        CopyCost {
+            mechanism: "rowclone-zero",
+            bytes,
+            ns: fill.ns,
+            nj: fill.energy.total_nj(),
+        },
     ]
 }
 
@@ -57,7 +82,14 @@ pub fn run_copy(kb: u64) -> Vec<CopyCost> {
 pub fn table() -> Table {
     let mut t = Table::new(
         "E8: RowClone bulk copy/init — paper substrate: ~11.6x latency / ~74x energy for FPM",
-        &["mechanism", "size (KB)", "latency (ns)", "energy (nJ)", "vs cpu (t)", "vs cpu (E)"],
+        &[
+            "mechanism",
+            "size (KB)",
+            "latency (ns)",
+            "energy (nJ)",
+            "vs cpu (t)",
+            "vs cpu (E)",
+        ],
     );
     for kb in [8u64, 64, 512] {
         let rows = run_copy(kb);
@@ -96,7 +128,10 @@ mod tests {
         let t_ratio = memcpy.ns / fpm.ns;
         let e_ratio = memcpy.nj / fpm.nj;
         // RowClone paper: 11.6x / 74x for intra-subarray copies.
-        assert!((8.0..30.0).contains(&t_ratio), "FPM latency ratio {t_ratio}");
+        assert!(
+            (8.0..30.0).contains(&t_ratio),
+            "FPM latency ratio {t_ratio}"
+        );
         assert!(e_ratio > 50.0, "FPM energy ratio {e_ratio}");
         // PSM sits between the channel copy and FPM.
         assert!(psm.ns < memcpy.ns && psm.ns > fpm.ns);
@@ -106,9 +141,15 @@ mod tests {
     #[test]
     fn zero_init_is_one_aap() {
         let rows = run_copy(8);
-        let fill = rows.iter().find(|r| r.mechanism == "rowclone-zero").unwrap();
+        let fill = rows
+            .iter()
+            .find(|r| r.mechanism == "rowclone-zero")
+            .unwrap();
         let fpm = rows.iter().find(|r| r.mechanism == "rowclone-fpm").unwrap();
-        assert!((fill.ns - fpm.ns).abs() < 1.0, "zero-init costs the same AAP as a copy");
+        assert!(
+            (fill.ns - fpm.ns).abs() < 1.0,
+            "zero-init costs the same AAP as a copy"
+        );
     }
 
     #[test]

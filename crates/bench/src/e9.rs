@@ -78,7 +78,11 @@ pub fn run_mul_width(bits: u32) -> AddPoint {
     let mut inputs: Vec<&BitVec> = a.planes().iter().collect();
     inputs.extend(b.planes().iter());
     let (planes, report) = sys.run_plan_multi(&plan, &inputs).expect("plan runs");
-    assert_eq!(BitSlicedIntVec::from_planes(planes), mul(&a, &b), "bit-exact");
+    assert_eq!(
+        BitSlicedIntVec::from_planes(planes),
+        mul(&a, &b),
+        "bit-exact"
+    );
 
     let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
     let elem_bytes = (bits as u64).div_ceil(8).max(1);
@@ -98,7 +102,13 @@ pub fn run_mul_width(bits: u32) -> AddPoint {
 pub fn table() -> Table {
     let mut t = Table::new(
         "E9 (extension): in-DRAM bit-serial arithmetic vs CPU",
-        &["op / width", "elements", "CPU (Gelem/s)", "Ambit (Gelem/s)", "speedup"],
+        &[
+            "op / width",
+            "elements",
+            "CPU (Gelem/s)",
+            "Ambit (Gelem/s)",
+            "speedup",
+        ],
     );
     for bits in [8u32, 16, 32] {
         let p = run_width(bits);

@@ -107,11 +107,15 @@ impl CoherenceCosts {
 }
 
 /// Total execution time of the offloaded kernel under `scheme`, ns.
-pub fn execution_ns(profile: &SharingProfile, scheme: CoherenceScheme, costs: &CoherenceCosts) -> f64 {
+pub fn execution_ns(
+    profile: &SharingProfile,
+    scheme: CoherenceScheme,
+    costs: &CoherenceCosts,
+) -> f64 {
     match scheme {
         CoherenceScheme::FineGrained => {
-            let msg_ns = profile.shared_accesses as f64 * costs.link_roundtrip_ns
-                / costs.mlp as f64;
+            let msg_ns =
+                profile.shared_accesses as f64 * costs.link_roundtrip_ns / costs.mlp as f64;
             profile.base_ns + msg_ns
         }
         CoherenceScheme::CoarseGrained => {

@@ -123,7 +123,10 @@ fn host_energy(mb: f64, mops: f64, cfg: &ConsumerSystemConfig) -> EnergyBreakdow
     let mut e = EnergyBreakdown::new();
     e.add_nj(Component::DramIo, mb * cfg.host_dram_uj_per_mb * 1000.0);
     e.add_nj(Component::Cache, mops * cfg.host_move_uj_per_mop * 1000.0);
-    e.add_nj(Component::CoreCompute, mops * cfg.host_compute_uj_per_mop * 1000.0);
+    e.add_nj(
+        Component::CoreCompute,
+        mops * cfg.host_compute_uj_per_mop * 1000.0,
+    );
     e
 }
 
@@ -167,8 +170,12 @@ pub fn analyze_workload(w: &ConsumerWorkload, cfg: &ConsumerSystemConfig) -> Con
     for f in &w.functions {
         if f.pim_candidate {
             core_energy += pim_energy_of(f.mb_moved_per_unit, f.mops_per_unit, PimSite::Core, cfg);
-            accel_energy +=
-                pim_energy_of(f.mb_moved_per_unit, f.mops_per_unit, PimSite::Accelerator, cfg);
+            accel_energy += pim_energy_of(
+                f.mb_moved_per_unit,
+                f.mops_per_unit,
+                PimSite::Accelerator,
+                cfg,
+            );
         } else {
             let e = host_energy(f.mb_moved_per_unit, f.mops_per_unit, cfg);
             core_energy += e;
@@ -223,7 +230,10 @@ pub fn analyze_workload(w: &ConsumerWorkload, cfg: &ConsumerSystemConfig) -> Con
 
 /// Analyzes all four workloads of the study.
 pub fn analyze_all(cfg: &ConsumerSystemConfig) -> Vec<ConsumerAnalysis> {
-    ConsumerWorkload::all().iter().map(|w| analyze_workload(w, cfg)).collect()
+    ConsumerWorkload::all()
+        .iter()
+        .map(|w| analyze_workload(w, cfg))
+        .collect()
 }
 
 /// Arithmetic mean of a metric over analyses.
@@ -249,7 +259,12 @@ mod tests {
             "average movement fraction {avg}, expected ~0.627"
         );
         for x in &a {
-            assert!(x.movement_fraction > 0.5, "{}: {}", x.name, x.movement_fraction);
+            assert!(
+                x.movement_fraction > 0.5,
+                "{}: {}",
+                x.name,
+                x.movement_fraction
+            );
         }
     }
 
@@ -260,7 +275,10 @@ mod tests {
         let accel = mean(&a, |x| x.energy_reduction(PimSite::Accelerator));
         // Paper: 55.4% average (across both PIM configurations).
         let both = (core + accel) / 2.0;
-        assert!((both - 0.554).abs() < 0.08, "avg energy reduction {both}, expected ~0.554");
+        assert!(
+            (both - 0.554).abs() < 0.08,
+            "avg energy reduction {both}, expected ~0.554"
+        );
         assert!(accel > core, "accelerators must save more than cores");
     }
 
@@ -271,7 +289,10 @@ mod tests {
         let accel = mean(&a, |x| x.time_reduction(PimSite::Accelerator));
         // Paper: 54.2% average.
         let both = (core + accel) / 2.0;
-        assert!((both - 0.542).abs() < 0.10, "avg time reduction {both}, expected ~0.542");
+        assert!(
+            (both - 0.542).abs() < 0.10,
+            "avg time reduction {both}, expected ~0.542"
+        );
         assert!(accel >= core - 1e-12);
     }
 

@@ -37,8 +37,12 @@ pub mod structures;
 pub mod table;
 pub mod vm;
 
-pub use coherence::{execution_ns, overhead_factor, CoherenceCosts, CoherenceScheme, SharingProfile};
-pub use consumer::{analyze_all, analyze_workload, ConsumerAnalysis, ConsumerSystemConfig, PimSite};
+pub use coherence::{
+    execution_ns, overhead_factor, CoherenceCosts, CoherenceScheme, SharingProfile,
+};
+pub use consumer::{
+    analyze_all, analyze_workload, ConsumerAnalysis, ConsumerSystemConfig, PimSite,
+};
 pub use offload::{decide, KernelProfile, Objective, OffloadDecision, SiteModel};
 pub use pei::{dispatch, expected_ns as pei_expected_ns, PeiCosts, PeiPolicy, PeiSite};
 pub use structures::{crossover_cores, throughput_mops, ContentionCosts, StructureHost};

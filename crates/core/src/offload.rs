@@ -24,7 +24,10 @@ impl KernelProfile {
     ///
     /// Panics if either quantity is negative or non-finite.
     pub fn new(bytes: f64, ops: f64) -> Self {
-        assert!(bytes.is_finite() && bytes >= 0.0, "bytes must be non-negative");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "bytes must be non-negative"
+        );
         assert!(ops.is_finite() && ops >= 0.0, "ops must be non-negative");
         KernelProfile { bytes, ops }
     }
@@ -121,9 +124,10 @@ impl OffloadDecision {
         let (h, p) = match objective {
             Objective::Time => (self.host_time_ns, self.pim_time_ns),
             Objective::Energy => (self.host_energy_nj, self.pim_energy_nj),
-            Objective::EnergyDelay => {
-                (self.host_time_ns * self.host_energy_nj, self.pim_time_ns * self.pim_energy_nj)
-            }
+            Objective::EnergyDelay => (
+                self.host_time_ns * self.host_energy_nj,
+                self.pim_time_ns * self.pim_energy_nj,
+            ),
         };
         if self.offload {
             h / p
@@ -162,11 +166,15 @@ pub fn decide(
     let offload = match objective {
         Objective::Time => pim_time_ns < host_time_ns,
         Objective::Energy => pim_energy_nj < host_energy_nj,
-        Objective::EnergyDelay => {
-            pim_time_ns * pim_energy_nj < host_time_ns * host_energy_nj
-        }
+        Objective::EnergyDelay => pim_time_ns * pim_energy_nj < host_time_ns * host_energy_nj,
     };
-    OffloadDecision { offload, host_time_ns, host_energy_nj, pim_time_ns, pim_energy_nj }
+    OffloadDecision {
+        offload,
+        host_time_ns,
+        host_energy_nj,
+        pim_time_ns,
+        pim_energy_nj,
+    }
 }
 
 #[cfg(test)]
@@ -177,7 +185,12 @@ mod tests {
     fn memory_bound_kernels_offload() {
         // memcpy-like: 8 bytes/op.
         let k = KernelProfile::new(8e6, 1e6);
-        let d = decide(&k, &SiteModel::host(), &SiteModel::pim_core(), Objective::Time);
+        let d = decide(
+            &k,
+            &SiteModel::host(),
+            &SiteModel::pim_core(),
+            Objective::Time,
+        );
         assert!(d.offload, "{d}");
         assert!(d.benefit(Objective::Time) > 1.5);
     }
@@ -210,7 +223,12 @@ mod tests {
     #[test]
     fn energy_delay_balances_both() {
         let k = KernelProfile::new(4e6, 1e6);
-        let d = decide(&k, &SiteModel::host(), &SiteModel::pim_core(), Objective::EnergyDelay);
+        let d = decide(
+            &k,
+            &SiteModel::host(),
+            &SiteModel::pim_core(),
+            Objective::EnergyDelay,
+        );
         assert!(d.offload);
         assert!(d.benefit(Objective::EnergyDelay) > 2.0);
     }

@@ -42,8 +42,11 @@ pub enum PeiPolicy {
 
 impl PeiPolicy {
     /// All policies.
-    pub const ALL: [PeiPolicy; 3] =
-        [PeiPolicy::AlwaysHost, PeiPolicy::AlwaysMemory, PeiPolicy::Adaptive];
+    pub const ALL: [PeiPolicy; 3] = [
+        PeiPolicy::AlwaysHost,
+        PeiPolicy::AlwaysMemory,
+        PeiPolicy::Adaptive,
+    ];
 }
 
 impl fmt::Display for PeiPolicy {
@@ -81,7 +84,11 @@ impl PeiCosts {
     /// Representative values: 5 ns cached op, 120 ns host miss, 45 ns
     /// memory-side op.
     pub fn typical() -> Self {
-        PeiCosts { host_hit_ns: 5.0, host_miss_ns: 120.0, memory_ns: 45.0 }
+        PeiCosts {
+            host_hit_ns: 5.0,
+            host_miss_ns: 120.0,
+            memory_ns: 45.0,
+        }
     }
 
     /// Expected host latency at a given hit probability.
@@ -140,9 +147,9 @@ mod tests {
     fn adaptive_never_loses_to_either_static_policy() {
         let c = PeiCosts::typical();
         for mix in [
-            vec![0.9, 0.95, 0.8],              // cache-friendly stream
-            vec![0.05, 0.1, 0.2],              // cache-hostile stream
-            vec![0.9, 0.1, 0.5, 0.99, 0.02],   // mixed
+            vec![0.9, 0.95, 0.8],            // cache-friendly stream
+            vec![0.05, 0.1, 0.2],            // cache-hostile stream
+            vec![0.9, 0.1, 0.5, 0.99, 0.02], // mixed
         ] {
             let adaptive = expected_ns(PeiPolicy::Adaptive, &mix, &c);
             let host = expected_ns(PeiPolicy::AlwaysHost, &mix, &c);

@@ -68,14 +68,17 @@ pub fn throughput_mops(
     contention: f64,
     costs: &ContentionCosts,
 ) -> f64 {
-    assert!((0.0..=1.0).contains(&contention), "contention must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&contention),
+        "contention must be in [0, 1]"
+    );
     match host {
         StructureHost::CpuConcurrent => {
             // Contended ops serialize on the line transfer: the hot line
             // moves core-to-core, so contended throughput is bounded by
             // 1 / linexfer regardless of core count. Uncontended ops scale.
-            let contended_share = contention * (cores.saturating_sub(1)) as f64
-                / cores.max(1) as f64;
+            let contended_share =
+                contention * (cores.saturating_sub(1)) as f64 / cores.max(1) as f64;
             let per_op_serial_ns = contended_share * costs.linexfer_ns;
             let per_op_parallel_ns = (1.0 - contended_share) * costs.cached_op_ns;
             // Serial component bounds throughput; parallel part scales.
@@ -84,8 +87,8 @@ pub fn throughput_mops(
             } else {
                 f64::INFINITY
             };
-            let parallel = cores as f64 * 1000.0
-                / (per_op_parallel_ns + per_op_serial_ns).max(f64::EPSILON);
+            let parallel =
+                cores as f64 * 1000.0 / (per_op_parallel_ns + per_op_serial_ns).max(f64::EPSILON);
             serial_bound.min(parallel)
         }
         StructureHost::PimOwned => {
@@ -125,7 +128,10 @@ mod tests {
         let c = ContentionCosts::typical();
         let host = throughput_mops(StructureHost::CpuConcurrent, 16, 0.0, &c);
         let pim = throughput_mops(StructureHost::PimOwned, 16, 0.0, &c);
-        assert!(host > 10.0 * pim, "caches win without contention: {host} vs {pim}");
+        assert!(
+            host > 10.0 * pim,
+            "caches win without contention: {host} vs {pim}"
+        );
     }
 
     #[test]
@@ -165,7 +171,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(format!("{}", StructureHost::CpuConcurrent), "cpu-concurrent");
+        assert_eq!(
+            format!("{}", StructureHost::CpuConcurrent),
+            "cpu-concurrent"
+        );
         assert_eq!(format!("{}", StructureHost::PimOwned), "pim-owned");
     }
 }

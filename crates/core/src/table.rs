@@ -159,19 +159,14 @@ impl fmt::Display for Table {
 
 /// Geometric mean of a slice of positive values.
 ///
-/// # Panics
-///
-/// Panics if `values` is empty or any value is non-positive.
-pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of an empty slice");
-    let sum: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "geomean requires positive values, got {v}");
-            v.ln()
-        })
-        .sum();
-    (sum / values.len() as f64).exp()
+/// Returns `None` if `values` is empty or any value is non-positive
+/// (the geometric mean is undefined in both cases).
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let sum: f64 = values.iter().map(|&v| v.ln()).sum();
+    Some((sum / values.len() as f64).exp())
 }
 
 #[cfg(test)]
@@ -224,22 +219,21 @@ mod tests {
 
     #[test]
     fn geomean_math() {
-        assert!((geomean(&[4.0, 16.0]) - 8.0).abs() < 1e-12);
-        assert!((geomean(&[7.0]) - 7.0).abs() < 1e-12);
+        assert!((geomean(&[4.0, 16.0]).unwrap() - 8.0).abs() < 1e-12);
+        assert!((geomean(&[7.0]).unwrap() - 7.0).abs() < 1e-12);
         let vals = [71.9, 53.9, 53.9, 43.1, 43.1, 23.5, 23.5];
-        let g = geomean(&vals);
+        let g = geomean(&vals).unwrap();
         assert!(g > 38.0 && g < 50.0);
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn geomean_rejects_nonpositive() {
-        let _ = geomean(&[1.0, 0.0]);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[2.0, -1.0]), None);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
     fn geomean_rejects_empty() {
-        let _ = geomean(&[]);
+        assert_eq!(geomean(&[]), None);
     }
 }

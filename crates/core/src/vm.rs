@@ -110,7 +110,10 @@ mod tests {
         // latency ratio; page walks eat most of it; host-MMU round trips
         // make PIM *slower* than just running on the host.
         assert!(region > 2.0, "region speedup {region}");
-        assert!(walk < 0.7 * region, "page walk must cost: {walk} vs {region}");
+        assert!(
+            walk < 0.7 * region,
+            "page walk must cost: {walk} vs {region}"
+        );
         assert!(mmu < 1.0, "host-translated PIM loses: {mmu}");
         assert!(region > walk && walk > mmu);
     }
@@ -135,7 +138,10 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(format!("{}", PimTranslation::HostMmu), "host-mmu");
-        assert_eq!(format!("{}", PimTranslation::PageWalk { levels: 4 }), "page-walk(4)");
+        assert_eq!(
+            format!("{}", PimTranslation::PageWalk { levels: 4 }),
+            "page-walk(4)"
+        );
         assert_eq!(format!("{}", PimTranslation::RegionTable), "region-table");
     }
 }

@@ -145,17 +145,33 @@ impl fmt::Display for Command {
             Command::WrA(a) => write!(f, "WRA {a}"),
             Command::Ref { channel, rank } => write!(f, "REF ch{channel}/ra{rank}"),
             Command::Aap { src, dst, invert } => {
-                write!(f, "AAP {src} -> {}row{:#x}", if *invert { "!" } else { "" }, dst.row)
+                write!(
+                    f,
+                    "AAP {src} -> {}row{:#x}",
+                    if *invert { "!" } else { "" },
+                    dst.row
+                )
             }
             Command::Ap(r) => write!(f, "AP {r}"),
             Command::Tra { bank, rows } => {
-                write!(f, "TRA {bank} rows [{:#x},{:#x},{:#x}]", rows[0], rows[1], rows[2])
+                write!(
+                    f,
+                    "TRA {bank} rows [{:#x},{:#x},{:#x}]",
+                    rows[0], rows[1], rows[2]
+                )
             }
-            Command::TraAap { bank, rows, dst, invert } => {
+            Command::TraAap {
+                bank,
+                rows,
+                dst,
+                invert,
+            } => {
                 write!(
                     f,
                     "TRA-AAP {bank} rows [{:#x},{:#x},{:#x}] -> {}row{dst:#x}",
-                    rows[0], rows[1], rows[2],
+                    rows[0],
+                    rows[1],
+                    rows[2],
                     if *invert { "!" } else { "" }
                 )
             }
@@ -220,7 +236,10 @@ impl CommandKind {
 
     /// `true` for commands that transfer data on the channel bus (RD/WR).
     pub const fn uses_bus(self) -> bool {
-        matches!(self, CommandKind::Rd | CommandKind::RdA | CommandKind::Wr | CommandKind::WrA)
+        matches!(
+            self,
+            CommandKind::Rd | CommandKind::RdA | CommandKind::Wr | CommandKind::WrA
+        )
     }
 
     /// `true` for the column-read commands.
@@ -235,7 +254,10 @@ impl CommandKind {
 
     /// `true` for the in-DRAM computation extensions (AAP/AP/TRA).
     pub const fn is_pim(self) -> bool {
-        matches!(self, CommandKind::Aap | CommandKind::Ap | CommandKind::Tra | CommandKind::TraAap)
+        matches!(
+            self,
+            CommandKind::Aap | CommandKind::Ap | CommandKind::Tra | CommandKind::TraAap
+        )
     }
 }
 
@@ -268,7 +290,9 @@ pub struct CommandCounts {
 impl CommandCounts {
     /// Creates an all-zero counter set.
     pub const fn new() -> Self {
-        CommandCounts { counts: [0; CommandKind::COUNT] }
+        CommandCounts {
+            counts: [0; CommandKind::COUNT],
+        }
     }
 
     /// Records one issue of `kind`.
@@ -288,7 +312,9 @@ impl CommandCounts {
 
     /// Iterates `(kind, count)` pairs in table order.
     pub fn iter(&self) -> impl Iterator<Item = (CommandKind, u64)> + '_ {
-        CommandKind::ALL.iter().map(move |&k| (k, self.counts[k.index()]))
+        CommandKind::ALL
+            .iter()
+            .map(move |&k| (k, self.counts[k.index()]))
     }
 
     /// Adds another counter set into this one.
@@ -345,16 +371,34 @@ mod tests {
         let cmds = [
             Command::Act(row),
             Command::Pre(bank),
-            Command::PreAll { channel: 0, rank: 0 },
+            Command::PreAll {
+                channel: 0,
+                rank: 0,
+            },
             Command::Rd(addr),
             Command::RdA(addr),
             Command::Wr(addr),
             Command::WrA(addr),
-            Command::Ref { channel: 0, rank: 0 },
-            Command::Aap { src: row, dst: row.bank_id().row(2), invert: false },
+            Command::Ref {
+                channel: 0,
+                rank: 0,
+            },
+            Command::Aap {
+                src: row,
+                dst: row.bank_id().row(2),
+                invert: false,
+            },
             Command::Ap(row),
-            Command::Tra { bank, rows: [1, 2, 3] },
-            Command::TraAap { bank, rows: [1, 2, 3], dst: 4, invert: true },
+            Command::Tra {
+                bank,
+                rows: [1, 2, 3],
+            },
+            Command::TraAap {
+                bank,
+                rows: [1, 2, 3],
+                dst: 4,
+                invert: true,
+            },
         ];
         let mut seen = std::collections::HashSet::new();
         for c in cmds {
@@ -392,12 +436,30 @@ mod tests {
         assert_eq!(Command::Act(row).bank(), Some(BankId::new(1, 0, 3)));
         assert_eq!(Command::Act(row).rank(), (1, 0));
         assert_eq!(Command::Act(row).channel(), 1);
-        assert_eq!(Command::Ref { channel: 2, rank: 1 }.bank(), None);
-        assert_eq!(Command::Ref { channel: 2, rank: 1 }.rank(), (2, 1));
+        assert_eq!(
+            Command::Ref {
+                channel: 2,
+                rank: 1
+            }
+            .bank(),
+            None
+        );
+        assert_eq!(
+            Command::Ref {
+                channel: 2,
+                rank: 1
+            }
+            .rank(),
+            (2, 1)
+        );
         let addr = DramAddr::new(0, 1, 2, 3, 4);
         assert_eq!(Command::Wr(addr).bank(), Some(BankId::new(0, 1, 2)));
         assert_eq!(
-            Command::Tra { bank: BankId::new(0, 0, 7), rows: [1, 2, 3] }.bank(),
+            Command::Tra {
+                bank: BankId::new(0, 0, 7),
+                rows: [1, 2, 3]
+            }
+            .bank(),
             Some(BankId::new(0, 0, 7))
         );
     }

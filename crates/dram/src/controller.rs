@@ -28,12 +28,18 @@ pub struct Request {
 impl Request {
     /// Creates a read request.
     pub fn read(addr: PhysAddr) -> Self {
-        Request { addr, access: Access::Read }
+        Request {
+            addr,
+            access: Access::Read,
+        }
     }
 
     /// Creates a write request.
     pub fn write(addr: PhysAddr) -> Self {
-        Request { addr, access: Access::Write }
+        Request {
+            addr,
+            access: Access::Write,
+        }
     }
 }
 
@@ -238,7 +244,9 @@ impl Controller {
     ///   (address beyond device capacity).
     pub fn enqueue(&mut self, req: Request) -> Result<ReqId> {
         if self.pending.len() >= self.queue_cap {
-            return Err(DramError::QueueFull { capacity: self.queue_cap });
+            return Err(DramError::QueueFull {
+                capacity: self.queue_cap,
+            });
         }
         let org = self.device.spec().org;
         if req.addr.as_u64() >= org.capacity_bytes() {
@@ -263,7 +271,9 @@ impl Controller {
         };
         if self.posted_writes && req.access == Access::Write {
             if self.write_buffer.len() >= self.queue_cap {
-                return Err(DramError::QueueFull { capacity: self.queue_cap });
+                return Err(DramError::QueueFull {
+                    capacity: self.queue_cap,
+                });
             }
             // Posted: the writer gets its acknowledgment immediately.
             self.completions.push_back(Completion {
@@ -333,8 +343,8 @@ impl Controller {
 
         match cmd {
             Command::Rd(_) | Command::RdA(_) | Command::Wr(_) | Command::WrA(_) => {
-                let from_writes = matches!(cmd, Command::Wr(_) | Command::WrA(_))
-                    && self.posted_writes;
+                let from_writes =
+                    matches!(cmd, Command::Wr(_) | Command::WrA(_)) && self.posted_writes;
                 let p = if from_writes {
                     self.write_buffer.remove(idx).expect("served index valid")
                 } else {
@@ -374,13 +384,21 @@ impl Controller {
                 }
             }
             Command::Act(_) => {
-                let q = if use_writes { &mut self.write_buffer } else { &mut self.pending };
+                let q = if use_writes {
+                    &mut self.write_buffer
+                } else {
+                    &mut self.pending
+                };
                 if let Some(p) = q.get_mut(idx) {
                     p.needed_act = true;
                 }
             }
             Command::Pre(_) => {
-                let q = if use_writes { &mut self.write_buffer } else { &mut self.pending };
+                let q = if use_writes {
+                    &mut self.write_buffer
+                } else {
+                    &mut self.pending
+                };
                 if let Some(p) = q.get_mut(idx) {
                     p.needed_pre = true;
                 }
@@ -451,7 +469,10 @@ impl Controller {
         let mut out = Vec::with_capacity(trace.len());
         let mut last_arrival = 0;
         for &(arrival, req) in trace {
-            assert!(arrival >= last_arrival, "trace must be sorted by arrival cycle");
+            assert!(
+                arrival >= last_arrival,
+                "trace must be sorted by arrival cycle"
+            );
             last_arrival = arrival;
             // Work until the new request's arrival time.
             while self.clock < arrival {
@@ -490,7 +511,11 @@ impl Controller {
         // part). Then, across banks, issue the command with the earliest
         // legal cycle, preferring row hits on ties — this captures both
         // row-buffer locality and bank-level parallelism.
-        let queue = if use_writes { &self.write_buffer } else { &self.pending };
+        let queue = if use_writes {
+            &self.write_buffer
+        } else {
+            &self.pending
+        };
         let mut per_bank: std::collections::HashMap<crate::types::BankId, (usize, bool)> =
             std::collections::HashMap::new();
         for (idx, p) in queue.iter().enumerate() {
@@ -682,7 +707,9 @@ mod tests {
         let m = mc.mapping();
         let mut reqs = Vec::new();
         for i in 0..2000u32 {
-            reqs.push(Request::read(m.encode(DramAddr::new(0, 0, 0, i % org.rows, 0), &org)));
+            reqs.push(Request::read(
+                m.encode(DramAddr::new(0, 0, 0, i % org.rows, 0), &org),
+            ));
         }
         mc.run_batch(&reqs).unwrap();
         assert_eq!(mc.stats().refreshes, 0);
@@ -791,8 +818,9 @@ mod tests {
     fn trace_replay_handles_bursts_beyond_queue_capacity() {
         let mut mc = ctrl();
         mc.set_queue_capacity(8);
-        let trace: Vec<(u64, Request)> =
-            (0..100u64).map(|i| (0, Request::read(PhysAddr::new(i * 64)))).collect();
+        let trace: Vec<(u64, Request)> = (0..100u64)
+            .map(|i| (0, Request::read(PhysAddr::new(i * 64))))
+            .collect();
         let comps = mc.replay_trace(&trace).unwrap();
         assert_eq!(comps.len(), 100);
     }
@@ -801,8 +829,10 @@ mod tests {
     #[should_panic(expected = "sorted by arrival")]
     fn trace_replay_rejects_unsorted() {
         let mut mc = ctrl();
-        let trace =
-            vec![(100u64, Request::read(PhysAddr::new(0))), (50, Request::read(PhysAddr::new(64)))];
+        let trace = vec![
+            (100u64, Request::read(PhysAddr::new(0))),
+            (50, Request::read(PhysAddr::new(64))),
+        ];
         let _ = mc.replay_trace(&trace);
     }
 
@@ -829,14 +859,15 @@ mod tests {
             let mut mc = ctrl();
             mc.set_posted_writes(posted);
             for i in 0..32u32 {
-                mc.enqueue(Request::write(m.encode(
-                    DramAddr::new(0, 0, i % 8, 2 * i + 1, 0),
-                    &org,
-                )))
+                mc.enqueue(Request::write(
+                    m.encode(DramAddr::new(0, 0, i % 8, 2 * i + 1, 0), &org),
+                ))
                 .unwrap();
             }
             let id = mc
-                .enqueue(Request::read(m.encode(DramAddr::new(0, 0, 1, 4000, 0), &org)))
+                .enqueue(Request::read(
+                    m.encode(DramAddr::new(0, 0, 1, 4000, 0), &org),
+                ))
                 .unwrap();
             mc.run_until_idle();
             loop {

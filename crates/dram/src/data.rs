@@ -6,7 +6,7 @@
 //! untouched rows read as all-zero — so simulating a multi-gigabyte device
 //! costs memory only for the rows actually used.
 
-use crate::types::RowId;
+use crate::types::{BankId, RowId};
 use std::collections::HashMap;
 
 /// Lazily allocated map from rows to their contents (64-bit words).
@@ -23,8 +23,14 @@ impl DataStore {
     ///
     /// Panics if `row_bytes` is zero or not a multiple of 8.
     pub fn new(row_bytes: u64) -> Self {
-        assert!(row_bytes > 0 && row_bytes.is_multiple_of(8), "row size must be a positive multiple of 8");
-        DataStore { rows: HashMap::new(), row_words: (row_bytes / 8) as usize }
+        assert!(
+            row_bytes > 0 && row_bytes.is_multiple_of(8),
+            "row size must be a positive multiple of 8"
+        );
+        DataStore {
+            rows: HashMap::new(),
+            row_words: (row_bytes / 8) as usize,
+        }
     }
 
     /// Number of 64-bit words per row.
@@ -47,7 +53,9 @@ impl DataStore {
     /// if needed.
     pub fn row_mut(&mut self, row: RowId) -> &mut [u64] {
         let words = self.row_words;
-        self.rows.entry(row).or_insert_with(|| vec![0u64; words].into_boxed_slice())
+        self.rows
+            .entry(row)
+            .or_insert_with(|| vec![0u64; words].into_boxed_slice())
     }
 
     /// Reads word `idx` of `row` (zero if the row is unmaterialized).
@@ -104,7 +112,11 @@ impl DataStore {
         let words = self.row_words;
         let mut out = vec![0u64; words];
         for (i, slot) in out.iter_mut().enumerate() {
-            let (x, y, z) = (self.read_word(a, i), self.read_word(b, i), self.read_word(c, i));
+            let (x, y, z) = (
+                self.read_word(a, i),
+                self.read_word(b, i),
+                self.read_word(c, i),
+            );
             *slot = (x & y) | (y & z) | (x & z);
         }
         for row in [a, b, c] {
@@ -117,8 +129,7 @@ impl DataStore {
     /// semantics of Ambit-NOT).
     pub fn not_row(&mut self, src: RowId, dst: RowId) {
         let words = self.row_words;
-        let src_data: Vec<u64> =
-            (0..words).map(|i| self.read_word(src, i)).collect();
+        let src_data: Vec<u64> = (0..words).map(|i| self.read_word(src, i)).collect();
         let dst_row = self.row_mut(dst);
         for (d, s) in dst_row.iter_mut().zip(src_data.iter()) {
             *d = !*s;
@@ -146,6 +157,38 @@ impl DataStore {
     /// Drops all materialized rows (everything reads as zero again).
     pub fn clear(&mut self) {
         self.rows.clear();
+    }
+
+    /// Removes and returns every materialized row belonging to `bank`,
+    /// leaving the rest of the store untouched. Used to carve a per-bank
+    /// shard for parallel execution.
+    pub fn take_bank_rows(&mut self, bank: BankId) -> Vec<(RowId, Box<[u64]>)> {
+        let keys: Vec<RowId> = self
+            .rows
+            .keys()
+            .copied()
+            .filter(|r| r.bank_id() == bank)
+            .collect();
+        keys.into_iter()
+            .map(|k| {
+                let data = self.rows.remove(&k).expect("key collected from this map");
+                (k, data)
+            })
+            .collect()
+    }
+
+    /// Removes and returns every materialized row (the inverse of repeated
+    /// [`DataStore::insert_rows`]).
+    pub fn take_all_rows(&mut self) -> Vec<(RowId, Box<[u64]>)> {
+        self.rows.drain().collect()
+    }
+
+    /// Inserts rows previously taken with [`DataStore::take_bank_rows`] or
+    /// [`DataStore::take_all_rows`], overwriting any existing contents.
+    pub fn insert_rows(&mut self, rows: Vec<(RowId, Box<[u64]>)>) {
+        for (k, data) in rows {
+            self.rows.insert(k, data);
+        }
     }
 }
 
@@ -213,7 +256,11 @@ mod tests {
         let out = s.majority3(rid(0), rid(1), rid(2));
         assert_eq!(out[0], 0b1000);
         for r in 0..3 {
-            assert_eq!(s.read_word(rid(r), 0), 0b1000, "row {r} must hold the majority");
+            assert_eq!(
+                s.read_word(rid(r), 0),
+                0b1000,
+                "row {r} must hold the majority"
+            );
         }
     }
 
@@ -265,6 +312,24 @@ mod tests {
     fn read_word_oob_panics() {
         let s = store();
         let _ = s.read_word(rid(0), 8);
+    }
+
+    #[test]
+    fn take_and_insert_bank_rows_round_trip() {
+        let mut s = store();
+        let b0r = RowId::new(0, 0, 0, 1);
+        let b1r = RowId::new(0, 0, 1, 1);
+        s.write_word(b0r, 0, 11);
+        s.write_word(b1r, 0, 22);
+        let taken = s.take_bank_rows(BankId::new(0, 0, 1));
+        assert_eq!(taken.len(), 1);
+        assert_eq!(s.read_word(b1r, 0), 0, "taken rows read as zero");
+        assert_eq!(s.read_word(b0r, 0), 11, "other banks untouched");
+        s.insert_rows(taken);
+        assert_eq!(s.read_word(b1r, 0), 22);
+        let all = s.take_all_rows();
+        assert_eq!(all.len(), 2);
+        assert_eq!(s.allocated_rows(), 0);
     }
 
     #[test]

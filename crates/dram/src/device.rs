@@ -98,13 +98,20 @@ impl Device {
     pub fn new(spec: DramSpec) -> Self {
         let channels = (0..spec.org.channels)
             .map(|_| ChannelTiming {
-                ranks: (0..spec.org.ranks).map(|_| RankTiming::new(spec.org.banks)).collect(),
+                ranks: (0..spec.org.ranks)
+                    .map(|_| RankTiming::new(spec.org.banks))
+                    .collect(),
                 next_rd: 0,
                 next_wr: 0,
             })
             .collect();
         let store = DataStore::new(spec.org.row_bytes());
-        let mut dev = Device { spec, channels, store, counts: CommandCounts::new() };
+        let mut dev = Device {
+            spec,
+            channels,
+            store,
+            counts: CommandCounts::new(),
+        };
         if dev.spec.pim.salp {
             let subarrays = dev.spec.org.subarrays;
             for ch in &mut dev.channels {
@@ -164,13 +171,22 @@ impl Device {
         let o = &self.spec.org;
         let addr = DramAddr::new(b.channel, b.rank, b.bank, 0, 0);
         if b.channel >= o.channels {
-            return Err(DramError::AddressOutOfRange { addr, field: "channel" });
+            return Err(DramError::AddressOutOfRange {
+                addr,
+                field: "channel",
+            });
         }
         if b.rank >= o.ranks {
-            return Err(DramError::AddressOutOfRange { addr, field: "rank" });
+            return Err(DramError::AddressOutOfRange {
+                addr,
+                field: "rank",
+            });
         }
         if b.bank >= o.banks {
-            return Err(DramError::AddressOutOfRange { addr, field: "bank" });
+            return Err(DramError::AddressOutOfRange {
+                addr,
+                field: "bank",
+            });
         }
         Ok(())
     }
@@ -178,7 +194,10 @@ impl Device {
     fn check_row(&self, r: RowId) -> Result<()> {
         self.check_bank_id(r.bank_id())?;
         if r.row >= self.spec.org.rows {
-            return Err(DramError::AddressOutOfRange { addr: r.addr(0), field: "row" });
+            return Err(DramError::AddressOutOfRange {
+                addr: r.addr(0),
+                field: "row",
+            });
         }
         Ok(())
     }
@@ -186,7 +205,10 @@ impl Device {
     fn check_addr(&self, a: DramAddr) -> Result<()> {
         self.check_row(a.row_id())?;
         if a.column >= self.spec.org.columns {
-            return Err(DramError::AddressOutOfRange { addr: a, field: "column" });
+            return Err(DramError::AddressOutOfRange {
+                addr: a,
+                field: "column",
+            });
         }
         Ok(())
     }
@@ -211,7 +233,6 @@ impl Device {
     /// * [`DramError::SubarrayMismatch`] for AAP/TRA across subarrays.
     /// * [`DramError::RefreshWhileActive`] if REF finds an open bank.
     pub fn earliest(&self, cmd: &Command) -> Result<Cycle> {
-        
         match *cmd {
             Command::Act(row) => {
                 self.check_row(row)?;
@@ -255,13 +276,17 @@ impl Device {
                 self.check_addr(addr)?;
                 let bank = self.bank(addr.bank_id());
                 self.check_open_row(addr, bank, cmd.kind())?;
-                Ok(bank.next_rd.max(self.channels[addr.channel as usize].next_rd))
+                Ok(bank
+                    .next_rd
+                    .max(self.channels[addr.channel as usize].next_rd))
             }
             Command::Wr(addr) | Command::WrA(addr) => {
                 self.check_addr(addr)?;
                 let bank = self.bank(addr.bank_id());
                 self.check_open_row(addr, bank, cmd.kind())?;
-                Ok(bank.next_wr.max(self.channels[addr.channel as usize].next_wr))
+                Ok(bank
+                    .next_wr
+                    .max(self.channels[addr.channel as usize].next_wr))
             }
             Command::Ref { channel, rank } => {
                 self.check_bank_id(BankId::new(channel, rank, 0))?;
@@ -293,7 +318,9 @@ impl Device {
                 self.require_precharged(bank, CommandKind::Tra)?;
                 Ok(self.pim_act_earliest(bank, rows[0]))
             }
-            Command::TraAap { bank, rows, dst, .. } => {
+            Command::TraAap {
+                bank, rows, dst, ..
+            } => {
                 self.check_bank_id(bank)?;
                 for &r in &rows {
                     self.check_row(bank.row(r))?;
@@ -310,7 +337,11 @@ impl Device {
 
     fn require_precharged(&self, bank_id: BankId, kind: CommandKind) -> Result<()> {
         if !self.bank(bank_id).state.is_precharged() {
-            return Err(DramError::WrongBankState { kind, bank: bank_id, need: "a precharged bank" });
+            return Err(DramError::WrongBankState {
+                kind,
+                bank: bank_id,
+                need: "a precharged bank",
+            });
         }
         Ok(())
     }
@@ -322,9 +353,11 @@ impl Device {
                 bank: addr.bank_id(),
                 need: "an open row",
             }),
-            BankState::Activated { row } if row != addr.row => {
-                Err(DramError::RowMismatch { bank: addr.bank_id(), open: row, requested: addr.row })
-            }
+            BankState::Activated { row } if row != addr.row => Err(DramError::RowMismatch {
+                bank: addr.bank_id(),
+                open: row,
+                requested: addr.row,
+            }),
             BankState::Activated { .. } => Ok(()),
         }
     }
@@ -361,7 +394,11 @@ impl Device {
     pub fn issue(&mut self, cmd: Command, at: Cycle) -> Result<IssueOutcome> {
         let earliest = self.earliest(&cmd)?;
         if at < earliest {
-            return Err(DramError::TooEarly { kind: cmd.kind(), at, earliest });
+            return Err(DramError::TooEarly {
+                kind: cmd.kind(),
+                at,
+                earliest,
+            });
         }
         let t = self.spec.timing;
         let pim = self.spec.pim;
@@ -369,7 +406,8 @@ impl Device {
         self.counts.record(cmd.kind());
         let outcome = match cmd {
             Command::Act(row) => {
-                self.bank_mut(row.bank_id()).on_act(at, row.row, t.rcd, t.ras, t.rc);
+                self.bank_mut(row.bank_id())
+                    .on_act(at, row.row, t.rcd, t.ras, t.rc);
                 if pim.salp {
                     let sa = self.subarray_of(row.row);
                     let bank = self.bank_mut(row.bank_id());
@@ -377,11 +415,17 @@ impl Device {
                     *slot = (*slot).max(at + t.rc);
                 }
                 self.rank_mut(row.channel, row.rank).record_act(at, t.rrd);
-                IssueOutcome { done: at + t.rcd, row_hit: false }
+                IssueOutcome {
+                    done: at + t.rcd,
+                    row_hit: false,
+                }
             }
             Command::Pre(bank_id) => {
                 self.bank_mut(bank_id).on_pre(at, t.rp);
-                IssueOutcome { done: at + t.rp, row_hit: false }
+                IssueOutcome {
+                    done: at + t.rp,
+                    row_hit: false,
+                }
             }
             Command::PreAll { channel, rank } => {
                 let rp = t.rp;
@@ -391,7 +435,10 @@ impl Device {
                         b.on_pre(at, rp);
                     }
                 }
-                IssueOutcome { done: at + rp, row_hit: false }
+                IssueOutcome {
+                    done: at + rp,
+                    row_hit: false,
+                }
             }
             Command::Rd(addr) | Command::RdA(addr) => {
                 let auto_pre = matches!(cmd, Command::RdA(_));
@@ -409,7 +456,10 @@ impl Device {
                 // Read-to-write: the write burst must not collide with the
                 // read burst on the shared data bus.
                 ch.next_wr = ch.next_wr.max(at + t.cl + burst + 2 - t.cwl.min(t.cl));
-                IssueOutcome { done, row_hit: true }
+                IssueOutcome {
+                    done,
+                    row_hit: true,
+                }
             }
             Command::Wr(addr) | Command::WrA(addr) => {
                 let auto_pre = matches!(cmd, Command::WrA(_));
@@ -426,7 +476,10 @@ impl Device {
                 let ch = &mut self.channels[addr.channel as usize];
                 ch.next_wr = ch.next_wr.max(at + t.ccd);
                 ch.next_rd = ch.next_rd.max(at + t.cwl + burst + t.wtr);
-                IssueOutcome { done, row_hit: true }
+                IssueOutcome {
+                    done,
+                    row_hit: true,
+                }
             }
             Command::Ref { channel, rank } => {
                 let rfc = t.rfc;
@@ -434,7 +487,10 @@ impl Device {
                 for b in &mut r.banks {
                     b.next_act = b.next_act.max(at + rfc);
                 }
-                IssueOutcome { done: at + rfc, row_hit: false }
+                IssueOutcome {
+                    done: at + rfc,
+                    row_hit: false,
+                }
             }
             Command::Aap { src, dst, invert } => {
                 // Two back-to-back activations: charge tRRD/tFAW for both
@@ -442,7 +498,8 @@ impl Device {
                 if pim.salp {
                     let sa = self.subarray_of(src.row);
                     let gap = t.rrd;
-                    self.bank_mut(src.bank_id()).on_row_op_salp(at, pim.aap, sa, gap);
+                    self.bank_mut(src.bank_id())
+                        .on_row_op_salp(at, pim.aap, sa, gap);
                 } else {
                     self.bank_mut(src.bank_id()).on_row_op(at, pim.aap);
                 }
@@ -458,13 +515,17 @@ impl Device {
                 } else {
                     self.store.copy_row(src, dst);
                 }
-                IssueOutcome { done: at + pim.aap, row_hit: false }
+                IssueOutcome {
+                    done: at + pim.aap,
+                    row_hit: false,
+                }
             }
             Command::Ap(row) => {
                 if pim.salp {
                     let sa = self.subarray_of(row.row);
                     let gap = t.rrd;
-                    self.bank_mut(row.bank_id()).on_row_op_salp(at, pim.ap, sa, gap);
+                    self.bank_mut(row.bank_id())
+                        .on_row_op_salp(at, pim.ap, sa, gap);
                 } else {
                     self.bank_mut(row.bank_id()).on_row_op(at, pim.ap);
                 }
@@ -472,7 +533,10 @@ impl Device {
                     let rrd = t.rrd;
                     self.rank_mut(row.channel, row.rank).record_act(at, rrd);
                 }
-                IssueOutcome { done: at + pim.ap, row_hit: false }
+                IssueOutcome {
+                    done: at + pim.ap,
+                    row_hit: false,
+                }
             }
             Command::Tra { bank, rows } => {
                 if pim.salp {
@@ -486,10 +550,19 @@ impl Device {
                     let rrd = t.rrd;
                     self.rank_mut(bank.channel, bank.rank).record_act(at, rrd);
                 }
-                self.store.majority3(bank.row(rows[0]), bank.row(rows[1]), bank.row(rows[2]));
-                IssueOutcome { done: at + pim.tra, row_hit: false }
+                self.store
+                    .majority3(bank.row(rows[0]), bank.row(rows[1]), bank.row(rows[2]));
+                IssueOutcome {
+                    done: at + pim.tra,
+                    row_hit: false,
+                }
             }
-            Command::TraAap { bank, rows, dst, invert } => {
+            Command::TraAap {
+                bank,
+                rows,
+                dst,
+                invert,
+            } => {
                 if pim.salp {
                     let sa = self.subarray_of(rows[0]);
                     let gap = t.rrd;
@@ -505,11 +578,18 @@ impl Device {
                     r.record_act(at + ras, rrd);
                 }
                 let maj =
-                    self.store.majority3(bank.row(rows[0]), bank.row(rows[1]), bank.row(rows[2]));
-                let out: Vec<u64> =
-                    if invert { maj.iter().map(|w| !w).collect() } else { maj };
+                    self.store
+                        .majority3(bank.row(rows[0]), bank.row(rows[1]), bank.row(rows[2]));
+                let out: Vec<u64> = if invert {
+                    maj.iter().map(|w| !w).collect()
+                } else {
+                    maj
+                };
                 self.store.write_row(bank.row(dst), &out);
-                IssueOutcome { done: at + pim.aap, row_hit: false }
+                IssueOutcome {
+                    done: at + pim.aap,
+                    row_hit: false,
+                }
             }
         };
         Ok(outcome)
@@ -521,7 +601,11 @@ impl Device {
     /// # Errors
     ///
     /// Same as [`Device::earliest`].
-    pub fn issue_earliest(&mut self, cmd: Command, not_before: Cycle) -> Result<(Cycle, IssueOutcome)> {
+    pub fn issue_earliest(
+        &mut self,
+        cmd: Command,
+        not_before: Cycle,
+    ) -> Result<(Cycle, IssueOutcome)> {
         let at = self.earliest(&cmd)?.max(not_before);
         let outcome = self.issue(cmd, at)?;
         Ok((at, outcome))
@@ -529,6 +613,50 @@ impl Device {
 
     fn rank_mut(&mut self, channel: u32, rank: u32) -> &mut RankTiming {
         &mut self.channels[channel as usize].ranks[rank as usize]
+    }
+
+    /// Splits off a shard device that owns `bank`'s data rows and a copy of
+    /// the timing state, so commands confined to that bank can be issued on
+    /// the shard concurrently with other banks' shards.
+    ///
+    /// The moved rows read as zero in `self` until [`Device::join_bank`]
+    /// returns them. The shard starts with fresh command counts so the join
+    /// can merge them back without double counting.
+    ///
+    /// Timing equivalence holds only for commands that are *bank-local* in
+    /// the timing model — with `pim.faw_exempt` set (the default), all PIM
+    /// row ops (`Aap`/`Ap`/`Tra`/`TraAap`) qualify because they never touch
+    /// rank-level tRRD/tFAW state. Callers must not issue rank-coupled
+    /// commands on a shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] if `bank` does not exist.
+    pub fn fork_bank(&mut self, bank: BankId) -> Result<Device> {
+        self.check_bank_id(bank)?;
+        let mut store = DataStore::new(self.spec.org.row_bytes());
+        store.insert_rows(self.store.take_bank_rows(bank));
+        Ok(Device {
+            spec: self.spec.clone(),
+            channels: self.channels.clone(),
+            store,
+            counts: CommandCounts::new(),
+        })
+    }
+
+    /// Reabsorbs a shard produced by [`Device::fork_bank`]: `bank`'s timing
+    /// state is taken from the shard, the shard's rows move back into this
+    /// store, and the shard's command counts merge into this device's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] if `bank` does not exist.
+    pub fn join_bank(&mut self, bank: BankId, mut shard: Device) -> Result<()> {
+        self.check_bank_id(bank)?;
+        *self.bank_mut(bank) = shard.bank(bank).clone();
+        self.store.insert_rows(shard.store.take_all_rows());
+        self.counts.merge(&shard.counts);
+        Ok(())
     }
 }
 
@@ -562,14 +690,27 @@ mod tests {
         let mut d = dev();
         d.issue_earliest(Command::Act(row(0, 5)), 0).unwrap();
         let err = d.earliest(&Command::Rd(row(0, 6).addr(0))).unwrap_err();
-        assert!(matches!(err, DramError::RowMismatch { open: 5, requested: 6, .. }));
+        assert!(matches!(
+            err,
+            DramError::RowMismatch {
+                open: 5,
+                requested: 6,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn read_precharged_bank_is_error() {
         let d = dev();
         let err = d.earliest(&Command::Rd(row(0, 5).addr(0))).unwrap_err();
-        assert!(matches!(err, DramError::WrongBankState { kind: CommandKind::Rd, .. }));
+        assert!(matches!(
+            err,
+            DramError::WrongBankState {
+                kind: CommandKind::Rd,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -577,7 +718,13 @@ mod tests {
         let mut d = dev();
         d.issue_earliest(Command::Act(row(0, 5)), 0).unwrap();
         let err = d.earliest(&Command::Act(row(0, 6))).unwrap_err();
-        assert!(matches!(err, DramError::WrongBankState { kind: CommandKind::Act, .. }));
+        assert!(matches!(
+            err,
+            DramError::WrongBankState {
+                kind: CommandKind::Act,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -594,10 +741,16 @@ mod tests {
         let t = d.spec().timing;
         d.issue(Command::Act(row(0, 5)), 0).unwrap();
         // PRE cannot issue before tRAS.
-        assert_eq!(d.earliest(&Command::Pre(BankId::new(0, 0, 0))).unwrap(), t.ras);
+        assert_eq!(
+            d.earliest(&Command::Pre(BankId::new(0, 0, 0))).unwrap(),
+            t.ras
+        );
         d.issue(Command::Pre(BankId::new(0, 0, 0)), t.ras).unwrap();
         // Next ACT gated by max(tRC, tRAS+tRP) = tRC for DDR3-1600.
-        assert_eq!(d.earliest(&Command::Act(row(0, 9))).unwrap(), t.rc.max(t.ras + t.rp));
+        assert_eq!(
+            d.earliest(&Command::Act(row(0, 9))).unwrap(),
+            t.rc.max(t.ras + t.rp)
+        );
     }
 
     #[test]
@@ -647,7 +800,8 @@ mod tests {
     fn rda_auto_precharges() {
         let mut d = dev();
         d.issue_earliest(Command::Act(row(0, 1)), 0).unwrap();
-        d.issue_earliest(Command::RdA(row(0, 1).addr(0)), 0).unwrap();
+        d.issue_earliest(Command::RdA(row(0, 1).addr(0)), 0)
+            .unwrap();
         assert!(d.bank_state(BankId::new(0, 0, 0)).is_precharged());
         // A new ACT is legal (after the precharge completes).
         assert!(d.earliest(&Command::Act(row(0, 2))).is_ok());
@@ -657,7 +811,8 @@ mod tests {
     fn wra_auto_precharges_with_write_recovery() {
         let mut d = dev();
         let t = d.spec().timing;
-        let (w, _) = d.issue_earliest(Command::Act(row(0, 1)), 0)
+        let (w, _) = d
+            .issue_earliest(Command::Act(row(0, 1)), 0)
             .and_then(|_| d.issue_earliest(Command::WrA(row(0, 1).addr(0)), 0))
             .unwrap();
         assert!(d.bank_state(BankId::new(0, 0, 0)).is_precharged());
@@ -671,11 +826,24 @@ mod tests {
         let t = d.spec().timing;
         d.issue_earliest(Command::Act(row(0, 1)), 0).unwrap();
         assert!(matches!(
-            d.earliest(&Command::Ref { channel: 0, rank: 0 }),
+            d.earliest(&Command::Ref {
+                channel: 0,
+                rank: 0
+            }),
             Err(DramError::RefreshWhileActive { .. })
         ));
-        let (p, _) = d.issue_earliest(Command::Pre(BankId::new(0, 0, 0)), 0).unwrap();
-        let (r, _) = d.issue_earliest(Command::Ref { channel: 0, rank: 0 }, p).unwrap();
+        let (p, _) = d
+            .issue_earliest(Command::Pre(BankId::new(0, 0, 0)), 0)
+            .unwrap();
+        let (r, _) = d
+            .issue_earliest(
+                Command::Ref {
+                    channel: 0,
+                    rank: 0,
+                },
+                p,
+            )
+            .unwrap();
         let next = d.earliest(&Command::Act(row(0, 1))).unwrap();
         assert!(next >= r + t.rfc);
     }
@@ -685,8 +853,20 @@ mod tests {
         let mut d = dev();
         d.issue_earliest(Command::Act(row(0, 1)), 0).unwrap();
         d.issue_earliest(Command::Act(row(3, 1)), 0).unwrap();
-        let e = d.earliest(&Command::PreAll { channel: 0, rank: 0 }).unwrap();
-        d.issue(Command::PreAll { channel: 0, rank: 0 }, e).unwrap();
+        let e = d
+            .earliest(&Command::PreAll {
+                channel: 0,
+                rank: 0,
+            })
+            .unwrap();
+        d.issue(
+            Command::PreAll {
+                channel: 0,
+                rank: 0,
+            },
+            e,
+        )
+        .unwrap();
         for b in 0..8 {
             assert!(d.bank_state(BankId::new(0, 0, b)).is_precharged());
         }
@@ -699,7 +879,16 @@ mod tests {
         let src = row(0, 10);
         let dst = row(0, 11);
         d.store_mut().write_word(src, 0, 0xabcd);
-        let (at, out) = d.issue_earliest(Command::Aap { src, dst, invert: false }, 0).unwrap();
+        let (at, out) = d
+            .issue_earliest(
+                Command::Aap {
+                    src,
+                    dst,
+                    invert: false,
+                },
+                0,
+            )
+            .unwrap();
         assert_eq!(out.done - at, pim.aap);
         assert_eq!(d.store().read_word(dst, 0), 0xabcd);
         assert!(d.bank_state(BankId::new(0, 0, 0)).is_precharged());
@@ -710,7 +899,14 @@ mod tests {
         let mut d = dev();
         let rows_per_sa = d.spec().org.rows_per_subarray();
         let err = d
-            .issue_earliest(Command::Aap { src: row(0, 0), dst: row(0, rows_per_sa), invert: false }, 0)
+            .issue_earliest(
+                Command::Aap {
+                    src: row(0, 0),
+                    dst: row(0, rows_per_sa),
+                    invert: false,
+                },
+                0,
+            )
             .unwrap_err();
         assert!(matches!(err, DramError::SubarrayMismatch { .. }));
     }
@@ -722,7 +918,14 @@ mod tests {
         d.store_mut().write_word(bank.row(0), 0, 0b1100);
         d.store_mut().write_word(bank.row(1), 0, 0b1010);
         d.store_mut().write_word(bank.row(2), 0, 0b0110);
-        d.issue_earliest(Command::Tra { bank, rows: [0, 1, 2] }, 0).unwrap();
+        d.issue_earliest(
+            Command::Tra {
+                bank,
+                rows: [0, 1, 2],
+            },
+            0,
+        )
+        .unwrap();
         for r in 0..3 {
             assert_eq!(d.store().read_word(bank.row(r), 0), 0b1110);
         }
@@ -734,7 +937,15 @@ mod tests {
         let src = row(0, 10);
         let dst = row(0, 11);
         d.store_mut().write_word(src, 0, 0x0ff0);
-        d.issue_earliest(Command::Aap { src, dst, invert: true }, 0).unwrap();
+        d.issue_earliest(
+            Command::Aap {
+                src,
+                dst,
+                invert: true,
+            },
+            0,
+        )
+        .unwrap();
         assert_eq!(d.store().read_word(dst, 0), !0x0ff0u64);
         // Source is untouched by the negated capture.
         assert_eq!(d.store().read_word(src, 0), 0x0ff0);
@@ -749,7 +960,15 @@ mod tests {
         d.store_mut().write_word(bank.row(1), 0, 0b1010);
         d.store_mut().write_word(bank.row(2), 0, 0b0110);
         let (at, out) = d
-            .issue_earliest(Command::TraAap { bank, rows: [0, 1, 2], dst: 5, invert: false }, 0)
+            .issue_earliest(
+                Command::TraAap {
+                    bank,
+                    rows: [0, 1, 2],
+                    dst: 5,
+                    invert: false,
+                },
+                0,
+            )
             .unwrap();
         // Fused op costs one AAP, not TRA + AAP.
         assert_eq!(out.done - at, pim.aap);
@@ -764,9 +983,21 @@ mod tests {
         let bank = BankId::new(0, 0, 2);
         d.store_mut().write_word(bank.row(0), 0, u64::MAX);
         d.store_mut().write_word(bank.row(1), 0, u64::MAX);
-        d.issue_earliest(Command::TraAap { bank, rows: [0, 1, 2], dst: 6, invert: true }, 0)
-            .unwrap();
-        assert_eq!(d.store().read_word(bank.row(6), 0), 0, "NAND of all-ones is zero");
+        d.issue_earliest(
+            Command::TraAap {
+                bank,
+                rows: [0, 1, 2],
+                dst: 6,
+                invert: true,
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(
+            d.store().read_word(bank.row(6), 0),
+            0,
+            "NAND of all-ones is zero"
+        );
     }
 
     #[test]
@@ -775,7 +1006,12 @@ mod tests {
         let sa = d.spec().org.rows_per_subarray();
         let bank = BankId::new(0, 0, 0);
         let err = d
-            .earliest(&Command::TraAap { bank, rows: [0, 1, 2], dst: sa, invert: false })
+            .earliest(&Command::TraAap {
+                bank,
+                rows: [0, 1, 2],
+                dst: sa,
+                invert: false,
+            })
             .unwrap_err();
         assert!(matches!(err, DramError::SubarrayMismatch { .. }));
     }
@@ -805,7 +1041,12 @@ mod tests {
         let d = dev();
         let sa = d.spec().org.rows_per_subarray();
         let bank = BankId::new(0, 0, 0);
-        let err = d.earliest(&Command::Tra { bank, rows: [0, 1, sa] }).unwrap_err();
+        let err = d
+            .earliest(&Command::Tra {
+                bank,
+                rows: [0, 1, sa],
+            })
+            .unwrap_err();
         assert!(matches!(err, DramError::SubarrayMismatch { .. }));
     }
 
@@ -813,10 +1054,18 @@ mod tests {
     fn out_of_range_addresses_rejected() {
         let d = dev();
         let o = d.spec().org;
-        assert!(d.earliest(&Command::Act(RowId::new(o.channels, 0, 0, 0))).is_err());
-        assert!(d.earliest(&Command::Act(RowId::new(0, o.ranks, 0, 0))).is_err());
-        assert!(d.earliest(&Command::Act(RowId::new(0, 0, o.banks, 0))).is_err());
-        assert!(d.earliest(&Command::Act(RowId::new(0, 0, 0, o.rows))).is_err());
+        assert!(d
+            .earliest(&Command::Act(RowId::new(o.channels, 0, 0, 0)))
+            .is_err());
+        assert!(d
+            .earliest(&Command::Act(RowId::new(0, o.ranks, 0, 0)))
+            .is_err());
+        assert!(d
+            .earliest(&Command::Act(RowId::new(0, 0, o.banks, 0)))
+            .is_err());
+        assert!(d
+            .earliest(&Command::Act(RowId::new(0, 0, 0, o.rows)))
+            .is_err());
         assert!(d
             .earliest(&Command::Rd(DramAddr::new(0, 0, 0, 0, o.columns)))
             .is_err());
@@ -844,7 +1093,9 @@ mod tests {
         // issue tRRD apart instead of serializing on the full row cycle.
         let mut issue_times = Vec::new();
         for i in 0..4u32 {
-            let (at, _) = d.issue_earliest(Command::Ap(row(0, i * sa_rows)), 0).unwrap();
+            let (at, _) = d
+                .issue_earliest(Command::Ap(row(0, i * sa_rows)), 0)
+                .unwrap();
             issue_times.push(at);
         }
         for w in issue_times.windows(2) {
@@ -894,6 +1145,93 @@ mod tests {
             last_done = last_done.max(out.done);
         }
         let serial = 8 * (t.ras + t.rp);
-        assert!(last_done < serial, "parallel {last_done} vs serial {serial}");
+        assert!(
+            last_done < serial,
+            "parallel {last_done} vs serial {serial}"
+        );
+    }
+
+    #[test]
+    fn fork_join_matches_direct_execution() {
+        // Issuing bank-local PIM commands on a forked shard and joining it
+        // back must be indistinguishable — data, counts, and timing — from
+        // issuing the same commands on the original device.
+        let prog: Vec<(RowId, RowId)> = (0..4).map(|i| (row(1, i), row(1, 100 + i))).collect();
+
+        let mut direct = dev();
+        for (i, (src, _)) in prog.iter().enumerate() {
+            direct.store_mut().write_word(*src, 0, 0x1000 + i as u64);
+        }
+        let mut direct_end = 0;
+        for &(src, dst) in &prog {
+            let (_, out) = direct
+                .issue_earliest(
+                    Command::Aap {
+                        src,
+                        dst,
+                        invert: false,
+                    },
+                    0,
+                )
+                .unwrap();
+            direct_end = direct_end.max(out.done);
+        }
+
+        let mut forked = dev();
+        for (i, (src, _)) in prog.iter().enumerate() {
+            forked.store_mut().write_word(*src, 0, 0x1000 + i as u64);
+        }
+        let bank = BankId::new(0, 0, 1);
+        let mut shard = forked.fork_bank(bank).unwrap();
+        assert_eq!(
+            forked.store().read_word(prog[0].0, 0),
+            0,
+            "rows moved to shard"
+        );
+        let mut shard_end = 0;
+        for &(src, dst) in &prog {
+            let (_, out) = shard
+                .issue_earliest(
+                    Command::Aap {
+                        src,
+                        dst,
+                        invert: false,
+                    },
+                    0,
+                )
+                .unwrap();
+            shard_end = shard_end.max(out.done);
+        }
+        forked.join_bank(bank, shard).unwrap();
+
+        assert_eq!(shard_end, direct_end);
+        assert_eq!(forked.counts(), direct.counts());
+        for &(src, dst) in &prog {
+            assert_eq!(
+                forked.store().read_word(dst, 0),
+                direct.store().read_word(dst, 0)
+            );
+            assert_eq!(
+                forked.store().read_word(src, 0),
+                direct.store().read_word(src, 0)
+            );
+        }
+        // Timing state survives the round trip: the next command in that
+        // bank sees the same earliest cycle on both devices.
+        let probe = Command::Aap {
+            src: row(1, 50),
+            dst: row(1, 150),
+            invert: false,
+        };
+        assert_eq!(
+            forked.earliest(&probe).unwrap(),
+            direct.earliest(&probe).unwrap()
+        );
+    }
+
+    #[test]
+    fn fork_bank_rejects_bad_bank() {
+        let mut d = dev();
+        assert!(d.fork_bank(BankId::new(9, 0, 0)).is_err());
     }
 }

@@ -72,22 +72,36 @@ impl fmt::Display for DramError {
                 write!(f, "address {addr} out of range: {field}")
             }
             DramError::TooEarly { kind, at, earliest } => {
-                write!(f, "{kind} issued at cycle {at}, earliest legal cycle is {earliest}")
+                write!(
+                    f,
+                    "{kind} issued at cycle {at}, earliest legal cycle is {earliest}"
+                )
             }
             DramError::WrongBankState { kind, bank, need } => {
                 write!(f, "{kind} on bank {bank} requires {need}")
             }
-            DramError::RowMismatch { bank, open, requested } => {
+            DramError::RowMismatch {
+                bank,
+                open,
+                requested,
+            } => {
                 write!(
                     f,
                     "column command on bank {bank} addresses row {requested:#x} but row {open:#x} is open"
                 )
             }
             DramError::SubarrayMismatch { a, b } => {
-                write!(f, "rows {a} and row{:#x} are not in the same subarray", b.row)
+                write!(
+                    f,
+                    "rows {a} and row{:#x} are not in the same subarray",
+                    b.row
+                )
             }
             DramError::RefreshWhileActive { channel, rank } => {
-                write!(f, "refresh on ch{channel}/ra{rank} requires all banks precharged")
+                write!(
+                    f,
+                    "refresh on ch{channel}/ra{rank} requires all banks precharged"
+                )
             }
             DramError::QueueFull { capacity } => {
                 write!(f, "controller request queue full (capacity {capacity})")
@@ -108,16 +122,33 @@ mod tests {
     #[test]
     fn all_variants_display() {
         let errs: Vec<DramError> = vec![
-            DramError::AddressOutOfRange { addr: DramAddr::default(), field: "row" },
-            DramError::TooEarly { kind: CommandKind::Act, at: 5, earliest: 10 },
+            DramError::AddressOutOfRange {
+                addr: DramAddr::default(),
+                field: "row",
+            },
+            DramError::TooEarly {
+                kind: CommandKind::Act,
+                at: 5,
+                earliest: 10,
+            },
             DramError::WrongBankState {
                 kind: CommandKind::Rd,
                 bank: BankId::default(),
                 need: "an open row",
             },
-            DramError::RowMismatch { bank: BankId::default(), open: 1, requested: 2 },
-            DramError::SubarrayMismatch { a: RowId::default(), b: RowId::new(0, 0, 0, 600) },
-            DramError::RefreshWhileActive { channel: 0, rank: 0 },
+            DramError::RowMismatch {
+                bank: BankId::default(),
+                open: 1,
+                requested: 2,
+            },
+            DramError::SubarrayMismatch {
+                a: RowId::default(),
+                b: RowId::new(0, 0, 0, 600),
+            },
+            DramError::RefreshWhileActive {
+                channel: 0,
+                rank: 0,
+            },
             DramError::QueueFull { capacity: 32 },
         ];
         for e in errs {

@@ -74,7 +74,9 @@ impl HammerMonitor {
             Command::Act(r) | Command::Ap(r) => vec![r],
             Command::Aap { src, dst, .. } => vec![src, dst],
             Command::Tra { bank, rows } => rows.iter().map(|&r| bank.row(r)).collect(),
-            Command::TraAap { bank, rows, dst, .. } => {
+            Command::TraAap {
+                bank, rows, dst, ..
+            } => {
                 let mut v: Vec<RowId> = rows.iter().map(|&r| bank.row(r)).collect();
                 v.push(bank.row(dst));
                 v
@@ -145,8 +147,22 @@ mod tests {
     fn pim_commands_count_all_their_rows() {
         let mut m = HammerMonitor::new(2, 1_000_000);
         let bank = BankId::new(0, 0, 0);
-        m.observe(&Command::Tra { bank, rows: [1, 2, 3] }, 0);
-        m.observe(&Command::TraAap { bank, rows: [1, 2, 3], dst: 4, invert: false }, 10);
+        m.observe(
+            &Command::Tra {
+                bank,
+                rows: [1, 2, 3],
+            },
+            0,
+        );
+        m.observe(
+            &Command::TraAap {
+                bank,
+                rows: [1, 2, 3],
+                dst: 4,
+                invert: false,
+            },
+            10,
+        );
         // Rows 1-3 activated twice -> all flagged; row 4 once.
         assert_eq!(m.flagged().len(), 3);
         assert_eq!(m.count(bank.row(4)), 1);
@@ -160,7 +176,14 @@ mod tests {
         let mut m = HammerMonitor::new(3, 1_000_000);
         let (src, dst) = (RowId::new(0, 0, 0, 5), RowId::new(0, 0, 0, 6));
         for i in 0..3 {
-            m.observe(&Command::Aap { src, dst, invert: false }, i);
+            m.observe(
+                &Command::Aap {
+                    src,
+                    dst,
+                    invert: false,
+                },
+                i,
+            );
         }
         assert_eq!(m.flagged().len(), 2, "both AAP rows hammered");
     }
@@ -169,7 +192,13 @@ mod tests {
     fn column_commands_do_not_count() {
         let mut m = HammerMonitor::new(1, 1000);
         m.observe(&Command::Rd(crate::types::DramAddr::new(0, 0, 0, 1, 0)), 0);
-        m.observe(&Command::Ref { channel: 0, rank: 0 }, 1);
+        m.observe(
+            &Command::Ref {
+                channel: 0,
+                rank: 0,
+            },
+            1,
+        );
         assert!(m.flagged().is_empty());
     }
 

@@ -41,7 +41,10 @@ impl RefreshPolicy {
     pub fn baseline(total_rows: u64) -> Self {
         RefreshPolicy {
             name: "baseline-64ms",
-            bins: vec![RetentionBin { period_ms: 64.0, rows: total_rows }],
+            bins: vec![RetentionBin {
+                period_ms: 64.0,
+                rows: total_rows,
+            }],
         }
     }
 
@@ -55,9 +58,18 @@ impl RefreshPolicy {
         RefreshPolicy {
             name: "raidr",
             bins: vec![
-                RetentionBin { period_ms: 64.0, rows: weak },
-                RetentionBin { period_ms: 128.0, rows: medium },
-                RetentionBin { period_ms: 256.0, rows: strong },
+                RetentionBin {
+                    period_ms: 64.0,
+                    rows: weak,
+                },
+                RetentionBin {
+                    period_ms: 128.0,
+                    rows: medium,
+                },
+                RetentionBin {
+                    period_ms: 256.0,
+                    rows: strong,
+                },
             ],
         }
     }
@@ -79,7 +91,10 @@ impl RefreshPolicy {
 
     /// Row-refresh operations per second.
     pub fn row_refreshes_per_sec(&self) -> f64 {
-        self.bins.iter().map(|b| b.rows as f64 / (b.period_ms / 1000.0)).sum()
+        self.bins
+            .iter()
+            .map(|b| b.rows as f64 / (b.period_ms / 1000.0))
+            .sum()
     }
 
     /// Fraction of device time spent refreshing, given that one all-bank
@@ -151,7 +166,10 @@ mod tests {
         let big = RefreshPolicy::baseline(32768 * 8 * 8); // 8x the rows
         let o_small = small.time_overhead(&spec.timing, rows_per_ref(&spec));
         let o_big = big.time_overhead(&spec.timing, rows_per_ref(&spec));
-        assert!((o_big / o_small - 8.0).abs() < 0.01, "overhead must scale with rows");
+        assert!(
+            (o_big / o_small - 8.0).abs() < 0.01,
+            "overhead must scale with rows"
+        );
         // DDR3 2Gb-era: a few percent of time.
         assert!((0.005..0.10).contains(&o_small), "overhead {o_small}");
     }

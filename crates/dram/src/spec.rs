@@ -92,16 +92,26 @@ impl Timing {
             return Err("t_ck_ps must be nonzero".into());
         }
         if self.rc < self.ras + self.rp {
-            return Err(format!("rc ({}) must be >= ras + rp ({})", self.rc, self.ras + self.rp));
+            return Err(format!(
+                "rc ({}) must be >= ras + rp ({})",
+                self.rc,
+                self.ras + self.rp
+            ));
         }
         if self.bl == 0 || !self.bl.is_multiple_of(2) {
-            return Err(format!("burst length must be a nonzero multiple of 2, got {}", self.bl));
+            return Err(format!(
+                "burst length must be a nonzero multiple of 2, got {}",
+                self.bl
+            ));
         }
         if self.faw < self.rrd {
             return Err(format!("faw ({}) must be >= rrd ({})", self.faw, self.rrd));
         }
         if self.refi <= self.rfc {
-            return Err(format!("refi ({}) must exceed rfc ({})", self.refi, self.rfc));
+            return Err(format!(
+                "refi ({}) must exceed rfc ({})",
+                self.refi, self.rfc
+            ));
         }
         Ok(())
     }
@@ -197,7 +207,10 @@ impl Organization {
             ));
         }
         if !self.bus_bits.is_multiple_of(8) {
-            return Err(format!("bus_bits ({}) must be a multiple of 8", self.bus_bits));
+            return Err(format!(
+                "bus_bits ({}) must be a multiple of 8",
+                self.bus_bits
+            ));
         }
         Ok(())
     }
@@ -283,13 +296,25 @@ impl DramSpec {
     ///
     /// Returns [`SpecError`] if the timing or organization fail validation or
     /// the burst lengths disagree.
-    pub fn new(name: impl Into<String>, timing: Timing, org: Organization) -> Result<Self, SpecError> {
+    pub fn new(
+        name: impl Into<String>,
+        timing: Timing,
+        org: Organization,
+    ) -> Result<Self, SpecError> {
         timing.validate().map_err(SpecError::Timing)?;
         org.validate().map_err(SpecError::Organization)?;
         if timing.bl != org.bl {
-            return Err(SpecError::BurstMismatch { timing_bl: timing.bl, org_bl: org.bl });
+            return Err(SpecError::BurstMismatch {
+                timing_bl: timing.bl,
+                org_bl: org.bl,
+            });
         }
-        Ok(DramSpec { name: name.into(), pim: PimTiming::from_timing(&timing), timing, org })
+        Ok(DramSpec {
+            name: name.into(),
+            pim: PimTiming::from_timing(&timing),
+            timing,
+            org,
+        })
     }
 
     /// DDR3-1600 (11-11-11), 2 Gb x8 devices, one rank of 8 banks per
@@ -481,7 +506,10 @@ impl DramSpec {
     ///
     /// Panics if `channels` is zero or not a power of two.
     pub fn with_channels(mut self, channels: u32) -> Self {
-        assert!(channels.is_power_of_two(), "channels must be a nonzero power of two");
+        assert!(
+            channels.is_power_of_two(),
+            "channels must be a nonzero power of two"
+        );
         self.org.channels = channels;
         self
     }
@@ -492,7 +520,10 @@ impl DramSpec {
     ///
     /// Panics if `banks` is zero or not a power of two.
     pub fn with_banks(mut self, banks: u32) -> Self {
-        assert!(banks.is_power_of_two(), "banks must be a nonzero power of two");
+        assert!(
+            banks.is_power_of_two(),
+            "banks must be a nonzero power of two"
+        );
         self.org.banks = banks;
         self
     }
@@ -535,7 +566,10 @@ impl fmt::Display for SpecError {
             SpecError::Timing(msg) => write!(f, "invalid timing: {msg}"),
             SpecError::Organization(msg) => write!(f, "invalid organization: {msg}"),
             SpecError::BurstMismatch { timing_bl, org_bl } => {
-                write!(f, "burst length mismatch: timing bl={timing_bl}, organization bl={org_bl}")
+                write!(
+                    f,
+                    "burst length mismatch: timing bl={timing_bl}, organization bl={org_bl}"
+                )
             }
         }
     }

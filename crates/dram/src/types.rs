@@ -91,7 +91,13 @@ pub struct DramAddr {
 impl DramAddr {
     /// Creates a decoded address from its five coordinates.
     pub const fn new(channel: u32, rank: u32, bank: u32, row: u32, column: u32) -> Self {
-        DramAddr { channel, rank, bank, row, column }
+        DramAddr {
+            channel,
+            rank,
+            bank,
+            row,
+            column,
+        }
     }
 
     /// Returns the same location with a different row.
@@ -108,12 +114,21 @@ impl DramAddr {
 
     /// Identifier of the bank this address falls in, ignoring row/column.
     pub const fn bank_id(self) -> BankId {
-        BankId { channel: self.channel, rank: self.rank, bank: self.bank }
+        BankId {
+            channel: self.channel,
+            rank: self.rank,
+            bank: self.bank,
+        }
     }
 
     /// Identifier of the row this address falls in, ignoring the column.
     pub const fn row_id(self) -> RowId {
-        RowId { channel: self.channel, rank: self.rank, bank: self.bank, row: self.row }
+        RowId {
+            channel: self.channel,
+            rank: self.rank,
+            bank: self.bank,
+            row: self.row,
+        }
     }
 }
 
@@ -141,12 +156,21 @@ pub struct BankId {
 impl BankId {
     /// Creates a bank identifier.
     pub const fn new(channel: u32, rank: u32, bank: u32) -> Self {
-        BankId { channel, rank, bank }
+        BankId {
+            channel,
+            rank,
+            bank,
+        }
     }
 
     /// Returns the [`RowId`] for `row` inside this bank.
     pub const fn row(self, row: u32) -> RowId {
-        RowId { channel: self.channel, rank: self.rank, bank: self.bank, row }
+        RowId {
+            channel: self.channel,
+            rank: self.rank,
+            bank: self.bank,
+            row,
+        }
     }
 }
 
@@ -172,12 +196,21 @@ pub struct RowId {
 impl RowId {
     /// Creates a row identifier.
     pub const fn new(channel: u32, rank: u32, bank: u32, row: u32) -> Self {
-        RowId { channel, rank, bank, row }
+        RowId {
+            channel,
+            rank,
+            bank,
+            row,
+        }
     }
 
     /// Returns the bank that contains this row.
     pub const fn bank_id(self) -> BankId {
-        BankId { channel: self.channel, rank: self.rank, bank: self.bank }
+        BankId {
+            channel: self.channel,
+            rank: self.rank,
+            bank: self.bank,
+        }
     }
 
     /// Returns the decoded address of `column` within this row.
@@ -194,7 +227,11 @@ impl RowId {
 
 impl fmt::Display for RowId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ch{}/ra{}/ba{}/row{:#x}", self.channel, self.rank, self.bank, self.row)
+        write!(
+            f,
+            "ch{}/ra{}/ba{}/row{:#x}",
+            self.channel, self.rank, self.bank, self.row
+        )
     }
 }
 

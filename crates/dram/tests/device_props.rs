@@ -18,8 +18,11 @@ enum Intent {
 fn arb_intent() -> impl Strategy<Value = Intent> {
     prop_oneof![
         (0u32..8, 0u32..512).prop_map(|(bank, row)| Intent::Act { bank, row }),
-        (0u32..8, 0u32..128, any::<bool>())
-            .prop_map(|(bank, col, write)| Intent::PreOrColumn { bank, col, write }),
+        (0u32..8, 0u32..128, any::<bool>()).prop_map(|(bank, col, write)| Intent::PreOrColumn {
+            bank,
+            col,
+            write
+        }),
         (0u32..8, 0u32..4, 0u8..3).prop_map(|(bank, sa, kind)| Intent::RowOp { bank, sa, kind }),
     ]
 }

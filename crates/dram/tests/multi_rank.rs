@@ -15,8 +15,12 @@ fn two_rank_spec() -> DramSpec {
 #[test]
 fn acts_in_different_ranks_are_independent() {
     let mut d = Device::new(two_rank_spec());
-    let (t0, _) = d.issue_earliest(Command::Act(RowId::new(0, 0, 0, 1)), 0).unwrap();
-    let (t1, _) = d.issue_earliest(Command::Act(RowId::new(0, 1, 0, 1)), 0).unwrap();
+    let (t0, _) = d
+        .issue_earliest(Command::Act(RowId::new(0, 0, 0, 1)), 0)
+        .unwrap();
+    let (t1, _) = d
+        .issue_earliest(Command::Act(RowId::new(0, 1, 0, 1)), 0)
+        .unwrap();
     assert_eq!(t0, 0);
     assert_eq!(t1, 0, "tRRD/tFAW are per rank; the other rank starts cold");
 }
@@ -25,11 +29,20 @@ fn acts_in_different_ranks_are_independent() {
 fn reads_share_the_channel_bus_across_ranks() {
     let mut d = Device::new(two_rank_spec());
     let t = d.spec().timing;
-    d.issue_earliest(Command::Act(RowId::new(0, 0, 0, 1)), 0).unwrap();
-    d.issue_earliest(Command::Act(RowId::new(0, 1, 0, 1)), 0).unwrap();
-    let (r0, _) = d.issue_earliest(Command::Rd(DramAddr::new(0, 0, 0, 1, 0)), 0).unwrap();
-    let (r1, _) = d.issue_earliest(Command::Rd(DramAddr::new(0, 1, 0, 1, 0)), 0).unwrap();
-    assert!(r1 >= r0 + t.ccd, "column commands space by tCCD even across ranks");
+    d.issue_earliest(Command::Act(RowId::new(0, 0, 0, 1)), 0)
+        .unwrap();
+    d.issue_earliest(Command::Act(RowId::new(0, 1, 0, 1)), 0)
+        .unwrap();
+    let (r0, _) = d
+        .issue_earliest(Command::Rd(DramAddr::new(0, 0, 0, 1, 0)), 0)
+        .unwrap();
+    let (r1, _) = d
+        .issue_earliest(Command::Rd(DramAddr::new(0, 1, 0, 1, 0)), 0)
+        .unwrap();
+    assert!(
+        r1 >= r0 + t.ccd,
+        "column commands space by tCCD even across ranks"
+    );
 }
 
 #[test]
@@ -49,7 +62,11 @@ fn controller_drains_two_rank_traffic_and_refreshes_both() {
     let (_, comps) = mc.run_batch(&reqs).unwrap();
     assert_eq!(comps.len(), 5000);
     // Both ranks must have refreshed (refresh count covers rank pairs).
-    assert!(mc.stats().refreshes >= 2, "refreshes: {}", mc.stats().refreshes);
+    assert!(
+        mc.stats().refreshes >= 2,
+        "refreshes: {}",
+        mc.stats().refreshes
+    );
 }
 
 #[test]

@@ -110,7 +110,9 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// An all-zero breakdown.
     pub const fn new() -> Self {
-        EnergyBreakdown { nj: [0.0; Component::COUNT] }
+        EnergyBreakdown {
+            nj: [0.0; Component::COUNT],
+        }
     }
 
     /// Adds `nj` nanojoules to `component`.
@@ -119,7 +121,10 @@ impl EnergyBreakdown {
     ///
     /// Panics in debug builds if `nj` is negative or non-finite.
     pub fn add_nj(&mut self, component: Component, nj: f64) {
-        debug_assert!(nj.is_finite() && nj >= 0.0, "energy must be finite and non-negative");
+        debug_assert!(
+            nj.is_finite() && nj >= 0.0,
+            "energy must be finite and non-negative"
+        );
         self.nj[component.index()] += nj;
     }
 

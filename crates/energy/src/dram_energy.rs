@@ -96,8 +96,14 @@ impl DramEnergyModel {
     /// (datapath + I/O, excluding activations), split into components.
     pub fn column_energy(&self, kb_read: f64, kb_written: f64) -> EnergyBreakdown {
         let mut e = EnergyBreakdown::new();
-        e.add_nj(Component::DramColumn, kb_read * self.rd_nj_per_kb + kb_written * self.wr_nj_per_kb);
-        e.add_nj(Component::DramIo, (kb_read + kb_written) * self.io_nj_per_kb);
+        e.add_nj(
+            Component::DramColumn,
+            kb_read * self.rd_nj_per_kb + kb_written * self.wr_nj_per_kb,
+        );
+        e.add_nj(
+            Component::DramIo,
+            (kb_read + kb_written) * self.io_nj_per_kb,
+        );
         e
     }
 
@@ -126,7 +132,10 @@ impl DramEnergyModel {
         let mut e = EnergyBreakdown::new();
         let acts = counts.count(CommandKind::Act) as f64;
         e.add_nj(Component::DramActivation, acts * self.act_pre_nj);
-        e.add_nj(Component::DramRefresh, counts.count(CommandKind::Ref) as f64 * self.refresh_nj);
+        e.add_nj(
+            Component::DramRefresh,
+            counts.count(CommandKind::Ref) as f64 * self.refresh_nj,
+        );
         e += self.column_energy(bytes_read as f64 / 1024.0, bytes_written as f64 / 1024.0);
         // PIM commands: AAP = two activations, AP = one, TRA = tra_factor,
         // fused TRA-AAP = a TRA plus the copy-out activation.
@@ -184,7 +193,10 @@ mod tests {
         assert!((ratios[1] - 43.0).abs() < 4.0, "and ratio {}", ratios[1]);
         assert!((ratios[3] - 25.0).abs() < 3.0, "xor ratio {}", ratios[3]);
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        assert!(avg > 30.0 && avg < 45.0, "average ratio {avg} should be ~35x");
+        assert!(
+            avg > 30.0 && avg < 45.0,
+            "average ratio {avg} should be ~35x"
+        );
     }
 
     #[test]

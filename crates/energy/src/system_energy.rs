@@ -26,12 +26,20 @@ pub struct CacheEnergyModel {
 impl CacheEnergyModel {
     /// Server-class hierarchy (large LLC).
     pub fn server() -> Self {
-        CacheEnergyModel { l1_nj: 0.1, l2_nj: 0.35, llc_nj: 1.0 }
+        CacheEnergyModel {
+            l1_nj: 0.1,
+            l2_nj: 0.35,
+            llc_nj: 1.0,
+        }
     }
 
     /// Mobile-class hierarchy (smaller, lower-power arrays).
     pub fn mobile() -> Self {
-        CacheEnergyModel { l1_nj: 0.06, l2_nj: 0.25, llc_nj: 0.6 }
+        CacheEnergyModel {
+            l1_nj: 0.06,
+            l2_nj: 0.25,
+            llc_nj: 0.6,
+        }
     }
 
     /// Energy for a given number of accesses per level.
@@ -110,20 +118,29 @@ pub struct LinkEnergyModel {
 impl LinkEnergyModel {
     /// HMC-like defaults.
     pub fn hmc() -> Self {
-        LinkEnergyModel { serdes_pj_per_bit: 6.0, tsv_pj_per_bit: 0.4 }
+        LinkEnergyModel {
+            serdes_pj_per_bit: 6.0,
+            tsv_pj_per_bit: 0.4,
+        }
     }
 
     /// Energy of moving `bytes` over the external links.
     pub fn link_energy(&self, bytes: u64) -> EnergyBreakdown {
         let mut e = EnergyBreakdown::new();
-        e.add_nj(Component::Link, bytes as f64 * 8.0 * self.serdes_pj_per_bit / 1000.0);
+        e.add_nj(
+            Component::Link,
+            bytes as f64 * 8.0 * self.serdes_pj_per_bit / 1000.0,
+        );
         e
     }
 
     /// Energy of moving `bytes` over TSVs.
     pub fn tsv_energy(&self, bytes: u64) -> EnergyBreakdown {
         let mut e = EnergyBreakdown::new();
-        e.add_nj(Component::Tsv, bytes as f64 * 8.0 * self.tsv_pj_per_bit / 1000.0);
+        e.add_nj(
+            Component::Tsv,
+            bytes as f64 * 8.0 * self.tsv_pj_per_bit / 1000.0,
+        );
         e
     }
 }

@@ -24,9 +24,19 @@ impl CacheConfig {
     pub fn new(size_bytes: u64, ways: u32, line_bytes: u32) -> Self {
         assert!(size_bytes.is_power_of_two(), "size must be a power of two");
         assert!(ways > 0, "ways must be nonzero");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        let cfg = CacheConfig { size_bytes, ways, line_bytes };
-        assert!(cfg.sets() >= 1, "capacity too small for {ways} ways of {line_bytes}B lines");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let cfg = CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+        };
+        assert!(
+            cfg.sets() >= 1,
+            "capacity too small for {ways} ways of {line_bytes}B lines"
+        );
         cfg
     }
 
@@ -99,7 +109,12 @@ impl Cache {
     /// Creates an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = vec![vec![Line::default(); cfg.ways as usize]; cfg.sets() as usize];
-        Cache { cfg, sets, stats: CacheStats::default(), tick: 0 }
+        Cache {
+            cfg,
+            sets,
+            stats: CacheStats::default(),
+            tick: 0,
+        }
     }
 
     /// The configuration.
@@ -124,15 +139,21 @@ impl Cache {
             line.lru = self.tick;
             line.dirty |= write;
             self.stats.hits += 1;
-            return AccessOutcome { hit: true, writeback: None };
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
         }
         self.stats.misses += 1;
         // Choose victim: invalid first, else true-LRU.
         let victim = match set.iter().position(|l| !l.valid) {
             Some(i) => i,
             None => {
-                let (i, _) =
-                    set.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("nonempty set");
+                let (i, _) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .expect("nonempty set");
                 i
             }
         };
@@ -143,8 +164,16 @@ impl Cache {
             writeback = Some(victim_line * self.cfg.line_bytes as u64);
             self.stats.writebacks += 1;
         }
-        *v = Line { tag, valid: true, dirty: write, lru: self.tick };
-        AccessOutcome { hit: false, writeback }
+        *v = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.tick,
+        };
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Drops all contents and statistics.

@@ -12,8 +12,7 @@
 use crate::report::{Bound, HostReport};
 use pim_dram::DramSpec;
 use pim_energy::{
-    CacheEnergyModel, Component, ComputeEnergyModel, ComputeSite, DramEnergyModel,
-    EnergyBreakdown,
+    CacheEnergyModel, Component, ComputeEnergyModel, ComputeSite, DramEnergyModel, EnergyBreakdown,
 };
 use pim_workloads::{BitwisePlan, BulkOp, PlanStep};
 
@@ -99,8 +98,7 @@ impl CpuModel {
 
     /// Compute-limited bitwise output rate, GB/s.
     pub fn compute_bitwise_gbps(&self) -> f64 {
-        let bytes_per_cycle =
-            (self.cfg.simd_bits as f64 / 8.0) * self.cfg.bitwise_ports as f64;
+        let bytes_per_cycle = (self.cfg.simd_bits as f64 / 8.0) * self.cfg.bitwise_ports as f64;
         bytes_per_cycle * self.cfg.freq_ghz * self.cfg.cores as f64
     }
 
@@ -118,7 +116,13 @@ impl CpuModel {
             (compute_ns, Bound::Compute)
         };
         let energy = self.stream_energy(moved, ops);
-        HostReport { ns, bytes_out: write_bytes, bytes_moved: moved, energy, bound }
+        HostReport {
+            ns,
+            bytes_out: write_bytes,
+            bytes_moved: moved,
+            energy,
+            bound,
+        }
     }
 
     fn stream_energy(&self, moved: u64, ops: u64) -> EnergyBreakdown {
@@ -126,12 +130,18 @@ impl CpuModel {
         let kb = moved as f64 / 1024.0;
         // Streaming: one activation per row's worth of data.
         let acts = moved as f64 / self.cfg.mem.org.row_bytes() as f64;
-        e.add_nj(Component::DramActivation, acts * self.cfg.dram_energy.act_pre_nj);
+        e.add_nj(
+            Component::DramActivation,
+            acts * self.cfg.dram_energy.act_pre_nj,
+        );
         e += self.cfg.dram_energy.column_energy(kb / 2.0, kb / 2.0);
         // Each 64B line traverses the cache hierarchy once.
         let lines = moved / 64;
         e += self.cfg.cache_energy.energy_of(lines, lines, lines);
-        e += self.cfg.compute_energy.compute_nj(ComputeSite::HostCore, ops);
+        e += self
+            .cfg
+            .compute_energy
+            .compute_nj(ComputeSite::HostCore, ops);
         e
     }
 
@@ -222,7 +232,11 @@ mod tests {
         let r = m.bulk_bitwise(BulkOp::And, 32 << 20);
         // 12.8 GB/s * 0.85 / 3 streams = 3.63 GB/s of output.
         let expect = 12.8 * 0.85 / 3.0;
-        assert!((r.throughput_gbps() - expect).abs() < 0.1, "{}", r.throughput_gbps());
+        assert!(
+            (r.throughput_gbps() - expect).abs() < 0.1,
+            "{}",
+            r.throughput_gbps()
+        );
     }
 
     #[test]

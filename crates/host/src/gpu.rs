@@ -79,8 +79,8 @@ impl GpuModel {
         let moved = out_bytes * op.streams() as u64;
         let mem_ns = moved as f64 / self.effective_bandwidth_gbps();
         let lane_ops = out_bytes / 4 * (op.streams() as u64 + 1);
-        let compute_ns = lane_ops as f64
-            / (self.cfg.sms as f64 * self.cfg.lanes as f64 * self.cfg.freq_ghz);
+        let compute_ns =
+            lane_ops as f64 / (self.cfg.sms as f64 * self.cfg.lanes as f64 * self.cfg.freq_ghz);
         let (ns, bound) = if mem_ns >= compute_ns {
             (mem_ns, Bound::Memory)
         } else {
@@ -89,10 +89,22 @@ impl GpuModel {
         let mut energy = EnergyBreakdown::new();
         let kb = moved as f64 / 1024.0;
         let acts = moved as f64 / 2048.0; // 2KB GDDR rows
-        energy.add_nj(Component::DramActivation, acts * self.cfg.dram_energy.act_pre_nj);
+        energy.add_nj(
+            Component::DramActivation,
+            acts * self.cfg.dram_energy.act_pre_nj,
+        );
         energy += self.cfg.dram_energy.column_energy(kb / 2.0, kb / 2.0);
-        energy += self.cfg.compute_energy.compute_nj(ComputeSite::Gpu, lane_ops);
-        HostReport { ns, bytes_out: out_bytes, bytes_moved: moved, energy, bound }
+        energy += self
+            .cfg
+            .compute_energy
+            .compute_nj(ComputeSite::Gpu, lane_ops);
+        HostReport {
+            ns,
+            bytes_out: out_bytes,
+            bytes_moved: moved,
+            energy,
+            bound,
+        }
     }
 }
 

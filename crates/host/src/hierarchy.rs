@@ -266,7 +266,11 @@ mod tests {
         // Fills 16MB; roughly half the dirty lines must have been evicted
         // (L3 is 8MB), producing writeback traffic beyond the fills.
         let fills = 16 * 1024 * 1024u64;
-        assert!(h.stats().mem_bytes > fills + fills / 4, "bytes {}", h.stats().mem_bytes);
+        assert!(
+            h.stats().mem_bytes > fills + fills / 4,
+            "bytes {}",
+            h.stats().mem_bytes
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! Ambit-in-HMC computes at row granularity inside each bank.
 
 use crate::report::{Bound, HostReport};
-use pim_energy::{ComputeEnergyModel, ComputeSite, DramEnergyModel, EnergyBreakdown, LinkEnergyModel};
+use pim_energy::{
+    ComputeEnergyModel, ComputeSite, DramEnergyModel, EnergyBreakdown, LinkEnergyModel,
+};
 use pim_workloads::BulkOp;
 
 /// HMC logic-layer compute parameters.
@@ -79,8 +81,7 @@ impl HmcLogicModel {
         // Fixed-function bitwise PEs: one fused 8-byte op per output word
         // (operand movement is charged to the TSV bandwidth, not to ops).
         let core_ops = out_bytes / 8;
-        let compute_ns =
-            core_ops as f64 / (self.cfg.cores as f64 * self.cfg.freq_ghz);
+        let compute_ns = core_ops as f64 / (self.cfg.cores as f64 * self.cfg.freq_ghz);
         let (ns, bound) = if mem_ns >= compute_ns {
             (mem_ns, Bound::Memory)
         } else {
@@ -95,8 +96,17 @@ impl HmcLogicModel {
         );
         energy += self.cfg.dram_energy.column_energy(kb / 2.0, kb / 2.0);
         energy += self.cfg.link_energy.tsv_energy(moved);
-        energy += self.cfg.compute_energy.compute_nj(ComputeSite::PimCore, core_ops);
-        HostReport { ns, bytes_out: out_bytes, bytes_moved: moved, energy, bound }
+        energy += self
+            .cfg
+            .compute_energy
+            .compute_nj(ComputeSite::PimCore, core_ops);
+        HostReport {
+            ns,
+            bytes_out: out_bytes,
+            bytes_moved: moved,
+            energy,
+            bound,
+        }
     }
 }
 

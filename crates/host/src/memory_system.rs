@@ -127,11 +127,15 @@ impl MemorySystem {
         let mut cache_cycles_max: u32 = 0;
         while let Some(req) = self.batched.pop_front() {
             self.accesses += 1;
-            let (level, cycles) =
-                self.hierarchy.access(req.addr.as_u64(), !req.access.is_read());
+            let (level, cycles) = self
+                .hierarchy
+                .access(req.addr.as_u64(), !req.access.is_read());
             cache_cycles_max = cache_cycles_max.max(cycles);
             if level == HitLevel::Memory {
-                to_mem.push(Request { addr: PhysAddr::new(req.addr.as_u64() % cap), ..req });
+                to_mem.push(Request {
+                    addr: PhysAddr::new(req.addr.as_u64() % cap),
+                    ..req
+                });
             }
         }
         let mut makespan = cache_cycles_max as f64;
@@ -179,7 +183,11 @@ mod tests {
         );
         // A DDR3 round trip at 3.4 GHz is on the order of 100-300 core
         // cycles.
-        assert!((50.0..500.0).contains(&miss.core_cycles), "{}", miss.core_cycles);
+        assert!(
+            (50.0..500.0).contains(&miss.core_cycles),
+            "{}",
+            miss.core_cycles
+        );
     }
 
     #[test]

@@ -105,7 +105,13 @@ mod tests {
         let mut e = EnergyBreakdown::new();
         e.add_nj(Component::DramIo, 100.0);
         e.add_nj(Component::CoreCompute, 50.0);
-        let r = HostReport { ns: 1000.0, bytes_out: 2048, bytes_moved: 6144, energy: e, bound: Bound::Memory };
+        let r = HostReport {
+            ns: 1000.0,
+            bytes_out: 2048,
+            bytes_moved: 6144,
+            energy: e,
+            bound: Bound::Memory,
+        };
         assert!((r.throughput_gbps() - 2.048).abs() < 1e-9);
         assert!((r.nj_per_kb() - 75.0).abs() < 1e-9);
         assert!((r.dram_nj_per_kb() - 50.0).abs() < 1e-9);
@@ -115,10 +121,20 @@ mod tests {
     #[test]
     fn merge_accumulates_and_promotes_bound() {
         let z = EnergyBreakdown::new();
-        let mut a =
-            HostReport { ns: 10.0, bytes_out: 1, bytes_moved: 3, energy: z, bound: Bound::Memory };
-        let b =
-            HostReport { ns: 5.0, bytes_out: 2, bytes_moved: 4, energy: z, bound: Bound::Compute };
+        let mut a = HostReport {
+            ns: 10.0,
+            bytes_out: 1,
+            bytes_moved: 3,
+            energy: z,
+            bound: Bound::Memory,
+        };
+        let b = HostReport {
+            ns: 5.0,
+            bytes_out: 2,
+            bytes_moved: 4,
+            energy: z,
+            bound: Bound::Compute,
+        };
         a.merge_sequential(&b);
         assert_eq!(a.ns, 15.0);
         assert_eq!(a.bytes_out, 3);

@@ -18,16 +18,31 @@ pub struct LogicBlock {
 }
 
 /// A simple in-order 64-bit PIM core (ARM Cortex-R8-class), 28 nm.
-pub const PIM_CORE: LogicBlock = LogicBlock { name: "pim-core", area_mm2: 0.33 };
+pub const PIM_CORE: LogicBlock = LogicBlock {
+    name: "pim-core",
+    area_mm2: 0.33,
+};
 
 /// Fixed-function accelerators for the four consumer workloads' target
 /// functions (texture tiling, color blitting, compression/packing,
 /// sub-pixel interpolation + deblocking, motion estimation), 28 nm.
 pub const PIM_ACCELERATORS: [LogicBlock; 4] = [
-    LogicBlock { name: "accel-chrome", area_mm2: 0.28 },
-    LogicBlock { name: "accel-tfmobile", area_mm2: 0.26 },
-    LogicBlock { name: "accel-vp9-playback", area_mm2: 0.33 },
-    LogicBlock { name: "accel-vp9-capture", area_mm2: 0.37 },
+    LogicBlock {
+        name: "accel-chrome",
+        area_mm2: 0.28,
+    },
+    LogicBlock {
+        name: "accel-tfmobile",
+        area_mm2: 0.26,
+    },
+    LogicBlock {
+        name: "accel-vp9-playback",
+        area_mm2: 0.33,
+    },
+    LogicBlock {
+        name: "accel-vp9-capture",
+        area_mm2: 0.37,
+    },
 ];
 
 /// Area accounting against a per-vault logic budget.
@@ -40,7 +55,9 @@ pub struct AreaModel {
 impl AreaModel {
     /// HMC-like budget (≈3.5 mm² per vault at 28 nm).
     pub fn hmc() -> Self {
-        AreaModel { budget_per_vault_mm2: 3.5 }
+        AreaModel {
+            budget_per_vault_mm2: 3.5,
+        }
     }
 
     /// Fraction of the per-vault budget consumed by `blocks`.
@@ -56,7 +73,11 @@ impl AreaModel {
 
 impl fmt::Display for AreaModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "logic-layer budget {:.2} mm²/vault", self.budget_per_vault_mm2)
+        write!(
+            f,
+            "logic-layer budget {:.2} mm²/vault",
+            self.budget_per_vault_mm2
+        )
     }
 }
 
@@ -91,7 +112,9 @@ mod tests {
 
     #[test]
     fn oversubscription_detected() {
-        let m = AreaModel { budget_per_vault_mm2: 0.1 };
+        let m = AreaModel {
+            budget_per_vault_mm2: 0.1,
+        };
         assert!(!m.fits(&[PIM_CORE]));
         assert!(!format!("{m}").is_empty());
     }

@@ -25,8 +25,9 @@ impl StackedMemory {
     /// Panics if the configuration fails validation.
     pub fn new(config: StackConfig) -> Self {
         config.validate().expect("invalid stack configuration");
-        let vaults =
-            (0..config.vaults).map(|_| Controller::new(config.vault_spec.clone())).collect();
+        let vaults = (0..config.vaults)
+            .map(|_| Controller::new(config.vault_spec.clone()))
+            .collect();
         StackedMemory { config, vaults }
     }
 
@@ -76,14 +77,21 @@ impl StackedMemory {
     /// Propagates the vault controller's errors.
     pub fn enqueue(&mut self, req: Request) -> Result<u32, DramError> {
         let vault = self.vault_of(req.addr);
-        let local = Request { addr: self.local_addr(req.addr), access: req.access };
+        let local = Request {
+            addr: self.local_addr(req.addr),
+            access: req.access,
+        };
         self.vaults[vault as usize].enqueue(local)?;
         Ok(vault)
     }
 
     /// Drains all vaults; returns the maximum vault clock (the makespan).
     pub fn run_until_idle(&mut self) -> u64 {
-        self.vaults.iter_mut().map(|v| v.run_until_idle()).max().unwrap_or(0)
+        self.vaults
+            .iter_mut()
+            .map(|v| v.run_until_idle())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Drains completions from every vault in vault order.
@@ -169,17 +177,24 @@ mod tests {
         // faster (per the max-clock makespan) than through one vault.
         let mut spread = small_stack();
         for i in 0..64u64 {
-            spread.enqueue(Request::read(PhysAddr::new(i * 256))).unwrap();
+            spread
+                .enqueue(Request::read(PhysAddr::new(i * 256)))
+                .unwrap();
         }
         let t_spread = spread.run_until_idle();
 
         let mut single = small_stack();
         for i in 0..64u64 {
             // All in vault 0: stride of vaults*256.
-            single.enqueue(Request::read(PhysAddr::new(i * 4 * 256))).unwrap();
+            single
+                .enqueue(Request::read(PhysAddr::new(i * 4 * 256)))
+                .unwrap();
         }
         let t_single = single.run_until_idle();
-        assert!(t_spread * 2 < t_single, "spread {t_spread} vs single {t_single}");
+        assert!(
+            t_spread * 2 < t_single,
+            "spread {t_spread} vs single {t_single}"
+        );
     }
 
     #[test]

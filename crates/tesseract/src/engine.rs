@@ -61,7 +61,9 @@ pub struct SuperstepTrace {
 
 impl SuperstepTrace {
     fn new(vaults: u32) -> Self {
-        SuperstepTrace { vaults: vec![VaultCounts::default(); vaults as usize] }
+        SuperstepTrace {
+            vaults: vec![VaultCounts::default(); vaults as usize],
+        }
     }
 
     /// Sum of a field across vaults, via an accessor.
@@ -134,12 +136,7 @@ fn charge_scan(c: &mut VaultCounts, vertices: u64, edges: u64) {
 
 /// Visits `u`'s edge list page by page, handing each chunk to the vault
 /// that stores it.
-fn scan_edge_pages(
-    g: &Graph,
-    p: &VertexPartition,
-    u: u32,
-    mut f: impl FnMut(u32, &[u32]),
-) {
+fn scan_edge_pages(g: &Graph, p: &VertexPartition, u: u32, mut f: impl FnMut(u32, &[u32])) {
     for (page, chunk) in g.neighbors(u as usize).chunks(EDGES_PER_PAGE).enumerate() {
         f(p.page_vault(u, page as u32), chunk);
     }
@@ -156,7 +153,10 @@ struct TargetDedup {
 
 impl TargetDedup {
     fn new(n: usize) -> Self {
-        TargetDedup { epoch_of: vec![u32::MAX; n], epoch: 0 }
+        TargetDedup {
+            epoch_of: vec![u32::MAX; n],
+            epoch: 0,
+        }
     }
 
     fn next_superstep(&mut self) {
@@ -192,66 +192,155 @@ fn charge_message(
     }
 }
 
+/// A remote function call recorded during a vault scan and applied at the
+/// superstep barrier, carrying a kernel-specific payload `M`.
+struct Emit<M> {
+    src_vault: u32,
+    dst_vault: u32,
+    target: u32,
+    msg: M,
+}
+
+/// Runs one barrier-synchronized superstep: `vertices` are grouped by
+/// owning vault (preserving order), every vault scans its group — reading
+/// only snapshot state, writing a vault-local trace, emit list, and
+/// accumulator — and the barrier then merges traces and applies emits in
+/// **vault order**. That fixed merge order makes traces and outputs
+/// identical whether the vault scans run on one thread or many; with the
+/// `parallel` feature and more than one worker thread the scans run
+/// concurrently.
+///
+/// Returns the merged trace and each vault's accumulator (vault order) for
+/// the caller to fold.
+fn run_superstep<M: Send, A: Default + Send>(
+    p: &VertexPartition,
+    vertices: &[u32],
+    dedup: &mut TargetDedup,
+    scan: &(impl Fn(u32, &mut SuperstepTrace, &mut Vec<Emit<M>>, &mut A) + Sync),
+    mut apply: impl FnMut(&Emit<M>),
+) -> (SuperstepTrace, Vec<A>) {
+    dedup.next_superstep();
+    let n_vaults = p.vaults();
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n_vaults as usize];
+    for &u in vertices {
+        groups[p.vault_of(u) as usize].push(u);
+    }
+    let run_group = |group: &[u32]| {
+        let mut local = SuperstepTrace::new(n_vaults);
+        let mut emits = Vec::new();
+        let mut acc = A::default();
+        for &u in group {
+            scan(u, &mut local, &mut emits, &mut acc);
+        }
+        (local, emits, acc)
+    };
+    #[cfg(feature = "parallel")]
+    let results: Vec<(SuperstepTrace, Vec<Emit<M>>, A)> = if rayon::current_num_threads() > 1 {
+        use rayon::prelude::*;
+        groups.into_par_iter().map(|g| run_group(&g)).collect()
+    } else {
+        groups.iter().map(|g| run_group(g)).collect()
+    };
+    #[cfg(not(feature = "parallel"))]
+    let results: Vec<(SuperstepTrace, Vec<Emit<M>>, A)> =
+        groups.iter().map(|g| run_group(g)).collect();
+
+    let mut ss = SuperstepTrace::new(n_vaults);
+    let mut accs = Vec::with_capacity(results.len());
+    for (local, emits, acc) in results {
+        for (total, vault) in ss.vaults.iter_mut().zip(local.vaults.iter()) {
+            total.merge(vault);
+        }
+        accs.push(acc);
+        for e in emits {
+            charge_message(&mut ss, e.src_vault, e.dst_vault, e.target, dedup);
+            apply(&e);
+        }
+    }
+    (ss, accs)
+}
+
 /// Runs ATF (average teenage followers): one superstep, one message per
 /// edge whose source is a teen.
 pub fn run_atf(g: &Graph, p: &VertexPartition) -> (KernelOutput, ExecutionTrace) {
     let n = g.num_vertices();
     let mut counts = vec![0u32; n];
     let mut dedup = TargetDedup::new(n);
-    dedup.next_superstep();
-    let mut ss = SuperstepTrace::new(p.vaults());
-    for u in 0..n as u32 {
+    let vertices: Vec<u32> = (0..n as u32).collect();
+    let scan = |u: u32, local: &mut SuperstepTrace, emits: &mut Vec<Emit<()>>, _: &mut ()| {
         let vu = p.vault_of(u);
-        charge_scan(&mut ss.vaults[vu as usize], 1, 0);
+        charge_scan(&mut local.vaults[vu as usize], 1, 0);
         let teen = is_teen(u);
         scan_edge_pages(g, p, u, |sv, chunk| {
-            charge_scan(&mut ss.vaults[sv as usize], 0, chunk.len() as u64);
+            charge_scan(&mut local.vaults[sv as usize], 0, chunk.len() as u64);
             if teen {
                 for &w in chunk {
-                    counts[w as usize] += 1;
-                    charge_message(&mut ss, sv, p.vault_of(w), w, &mut dedup);
+                    emits.push(Emit {
+                        src_vault: sv,
+                        dst_vault: p.vault_of(w),
+                        target: w,
+                        msg: (),
+                    });
                 }
             }
         });
-    }
+    };
+    let (ss, _) = run_superstep(p, &vertices, &mut dedup, &scan, |e| {
+        counts[e.target as usize] += 1;
+    });
     let total: u64 = counts.iter().map(|&c| c as u64).sum();
     let avg = if n == 0 { 0.0 } else { total as f64 / n as f64 };
     (
         KernelOutput::TeenCounts(counts, avg),
-        ExecutionTrace { kernel: KernelKind::AverageTeenageFollower, supersteps: vec![ss] },
+        ExecutionTrace {
+            kernel: KernelKind::AverageTeenageFollower,
+            supersteps: vec![ss],
+        },
     )
 }
 
 /// Runs conductance: one streaming superstep, no messages (partition bits
 /// derive from the vertex id), one global reduce.
 pub fn run_conductance(g: &Graph, p: &VertexPartition) -> (KernelOutput, ExecutionTrace) {
-    let mut cut = 0u64;
-    let mut vol_s = 0u64;
-    let mut vol_t = 0u64;
-    let mut ss = SuperstepTrace::new(p.vaults());
-    for u in 0..g.num_vertices() as u32 {
-        let vu = p.vault_of(u);
-        charge_scan(&mut ss.vaults[vu as usize], 1, 0);
-        scan_edge_pages(g, p, u, |sv, chunk| {
-            charge_scan(&mut ss.vaults[sv as usize], 0, chunk.len() as u64);
-            for &w in chunk {
-                let (pu, pw) = (in_partition(u), in_partition(w));
-                if pu != pw {
-                    cut += 1;
+    let n = g.num_vertices();
+    let mut dedup = TargetDedup::new(n);
+    let vertices: Vec<u32> = (0..n as u32).collect();
+    // Per-vault accumulator: (cut, vol_s, vol_t); folded at the barrier.
+    let scan =
+        |u: u32, local: &mut SuperstepTrace, _: &mut Vec<Emit<()>>, acc: &mut (u64, u64, u64)| {
+            let vu = p.vault_of(u);
+            charge_scan(&mut local.vaults[vu as usize], 1, 0);
+            scan_edge_pages(g, p, u, |sv, chunk| {
+                charge_scan(&mut local.vaults[sv as usize], 0, chunk.len() as u64);
+                for &w in chunk {
+                    let (pu, pw) = (in_partition(u), in_partition(w));
+                    if pu != pw {
+                        acc.0 += 1;
+                    }
+                    if pu {
+                        acc.1 += 1;
+                    } else {
+                        acc.2 += 1;
+                    }
                 }
-                if pu {
-                    vol_s += 1;
-                } else {
-                    vol_t += 1;
-                }
-            }
-        });
-    }
+            });
+        };
+    let (ss, accs) = run_superstep(p, &vertices, &mut dedup, &scan, |_| {});
+    let (cut, vol_s, vol_t) = accs
+        .iter()
+        .fold((0u64, 0u64, 0u64), |t, a| (t.0 + a.0, t.1 + a.1, t.2 + a.2));
     let denom = vol_s.min(vol_t);
-    let c = if denom == 0 { 0.0 } else { cut as f64 / denom as f64 };
+    let c = if denom == 0 {
+        0.0
+    } else {
+        cut as f64 / denom as f64
+    };
     (
         KernelOutput::Conductance(c),
-        ExecutionTrace { kernel: KernelKind::Conductance, supersteps: vec![ss] },
+        ExecutionTrace {
+            kernel: KernelKind::Conductance,
+            supersteps: vec![ss],
+        },
     )
 }
 
@@ -263,28 +352,36 @@ pub fn run_pagerank(g: &Graph, p: &VertexPartition, iters: u32) -> (KernelOutput
     let mut rank = vec![1.0 / n.max(1) as f64; n];
     let mut supersteps = Vec::with_capacity(iters as usize);
     let mut dedup = TargetDedup::new(n);
+    let vertices: Vec<u32> = (0..n as u32).collect();
     for _ in 0..iters {
-        dedup.next_superstep();
         let mut next = vec![(1.0 - d) / n as f64; n];
-        let mut dangling = 0.0;
-        let mut ss = SuperstepTrace::new(p.vaults());
-        for u in 0..n as u32 {
-            let vu = p.vault_of(u);
-            let deg = g.out_degree(u as usize);
-            charge_scan(&mut ss.vaults[vu as usize], 1, 0);
-            if deg == 0 {
-                dangling += rank[u as usize];
-                continue;
-            }
-            let share = d * rank[u as usize] / deg as f64;
-            scan_edge_pages(g, p, u, |sv, chunk| {
-                charge_scan(&mut ss.vaults[sv as usize], 0, chunk.len() as u64);
-                for &w in chunk {
-                    next[w as usize] += share;
-                    charge_message(&mut ss, sv, p.vault_of(w), w, &mut dedup);
+        let rank_snapshot = &rank;
+        let scan =
+            |u: u32, local: &mut SuperstepTrace, emits: &mut Vec<Emit<f64>>, dangling: &mut f64| {
+                let vu = p.vault_of(u);
+                let deg = g.out_degree(u as usize);
+                charge_scan(&mut local.vaults[vu as usize], 1, 0);
+                if deg == 0 {
+                    *dangling += rank_snapshot[u as usize];
+                    return;
                 }
-            });
-        }
+                let share = d * rank_snapshot[u as usize] / deg as f64;
+                scan_edge_pages(g, p, u, |sv, chunk| {
+                    charge_scan(&mut local.vaults[sv as usize], 0, chunk.len() as u64);
+                    for &w in chunk {
+                        emits.push(Emit {
+                            src_vault: sv,
+                            dst_vault: p.vault_of(w),
+                            target: w,
+                            msg: share,
+                        });
+                    }
+                });
+            };
+        let (ss, danglings) = run_superstep(p, &vertices, &mut dedup, &scan, |e| {
+            next[e.target as usize] += e.msg;
+        });
+        let dangling: f64 = danglings.iter().sum();
         let dangling_share = d * dangling / n as f64;
         for r in &mut next {
             *r += dangling_share;
@@ -294,7 +391,10 @@ pub fn run_pagerank(g: &Graph, p: &VertexPartition, iters: u32) -> (KernelOutput
     }
     (
         KernelOutput::Ranks(rank),
-        ExecutionTrace { kernel: KernelKind::PageRank, supersteps },
+        ExecutionTrace {
+            kernel: KernelKind::PageRank,
+            supersteps,
+        },
     )
 }
 
@@ -312,31 +412,48 @@ pub fn run_sssp(g: &Graph, p: &VertexPartition, source: u32) -> (KernelOutput, E
     let mut frontier = vec![source];
     let mut supersteps = Vec::new();
     let mut dedup = TargetDedup::new(n);
+    // Unit-weight BFS: every frontier vertex sits at the same level, so the
+    // relaxation distance is a superstep constant and the scans need no
+    // view of the evolving distance array.
+    let mut level = 0u32;
     while !frontier.is_empty() {
-        dedup.next_superstep();
-        let mut ss = SuperstepTrace::new(p.vaults());
-        let mut next = Vec::new();
-        for &u in &frontier {
+        let nd = level + 1;
+        let scan = |u: u32, local: &mut SuperstepTrace, emits: &mut Vec<Emit<()>>, _: &mut ()| {
             let vu = p.vault_of(u);
-            charge_scan(&mut ss.vaults[vu as usize], 1, 0);
-            let du = dist[u as usize];
+            charge_scan(&mut local.vaults[vu as usize], 1, 0);
             scan_edge_pages(g, p, u, |sv, chunk| {
-                charge_scan(&mut ss.vaults[sv as usize], 0, chunk.len() as u64);
+                charge_scan(&mut local.vaults[sv as usize], 0, chunk.len() as u64);
                 for &w in chunk {
-                    charge_message(&mut ss, sv, p.vault_of(w), w, &mut dedup);
-                    if dist[w as usize] > du + 1 {
-                        dist[w as usize] = du + 1;
-                        next.push(w);
-                    }
+                    emits.push(Emit {
+                        src_vault: sv,
+                        dst_vault: p.vault_of(w),
+                        target: w,
+                        msg: (),
+                    });
                 }
             });
-        }
+        };
+        let mut next = Vec::new();
+        let (ss, _) = run_superstep(p, &frontier, &mut dedup, &scan, |e| {
+            let w = e.target as usize;
+            if dist[w] > nd {
+                dist[w] = nd;
+                next.push(e.target);
+            }
+        });
         next.sort_unstable();
         next.dedup();
         frontier = next;
+        level = nd;
         supersteps.push(ss);
     }
-    (KernelOutput::Distances(dist), ExecutionTrace { kernel: KernelKind::Sssp, supersteps })
+    (
+        KernelOutput::Distances(dist),
+        ExecutionTrace {
+            kernel: KernelKind::Sssp,
+            supersteps,
+        },
+    )
 }
 
 /// Runs **weighted** SSSP from `source` (hash-derived edge weights,
@@ -361,29 +478,43 @@ pub fn run_sssp_weighted(
     let mut supersteps = Vec::new();
     let mut dedup = TargetDedup::new(n);
     while !frontier.is_empty() {
-        dedup.next_superstep();
-        let mut ss = SuperstepTrace::new(p.vaults());
-        let mut improved = vec![false; n];
-        for &u in &frontier {
+        // Synchronous Bellman-Ford: scans relax against the superstep-start
+        // snapshot, and improvements land at the barrier.
+        let dist_snapshot = dist.clone();
+        let scan = |u: u32, local: &mut SuperstepTrace, emits: &mut Vec<Emit<u64>>, _: &mut ()| {
             let vu = p.vault_of(u);
-            charge_scan(&mut ss.vaults[vu as usize], 1, 0);
-            let du = dist[u as usize];
+            charge_scan(&mut local.vaults[vu as usize], 1, 0);
+            let du = dist_snapshot[u as usize];
             scan_edge_pages(g, p, u, |sv, chunk| {
-                charge_scan(&mut ss.vaults[sv as usize], 0, chunk.len() as u64);
+                charge_scan(&mut local.vaults[sv as usize], 0, chunk.len() as u64);
                 for &w in chunk {
-                    charge_message(&mut ss, sv, p.vault_of(w), w, &mut dedup);
-                    let nd = du + edge_weight(u, w) as u64;
-                    if nd < dist[w as usize] {
-                        dist[w as usize] = nd;
-                        improved[w as usize] = true;
-                    }
+                    emits.push(Emit {
+                        src_vault: sv,
+                        dst_vault: p.vault_of(w),
+                        target: w,
+                        msg: du + edge_weight(u, w) as u64,
+                    });
                 }
             });
-        }
+        };
+        let mut improved = vec![false; n];
+        let (ss, _) = run_superstep(p, &frontier, &mut dedup, &scan, |e| {
+            let w = e.target as usize;
+            if e.msg < dist[w] {
+                dist[w] = e.msg;
+                improved[w] = true;
+            }
+        });
         frontier = (0..n as u32).filter(|&v| improved[v as usize]).collect();
         supersteps.push(ss);
     }
-    (dist, ExecutionTrace { kernel: KernelKind::Sssp, supersteps })
+    (
+        dist,
+        ExecutionTrace {
+            kernel: KernelKind::Sssp,
+            supersteps,
+        },
+    )
 }
 
 /// Runs the parallel vertex-cover kernel: rounds of mutual-minimum
@@ -395,35 +526,41 @@ pub fn run_vertex_cover(g: &Graph, p: &VertexPartition) -> (KernelOutput, Execut
     let mut supersteps = Vec::new();
     let mut dedup = TargetDedup::new(n);
     loop {
-        dedup.next_superstep();
         // Propose: each uncovered vertex with an uncovered neighbor picks
-        // its minimum uncovered neighbor.
+        // its minimum uncovered neighbor. The proposal arrives as a message
+        // carrying the proposer's id.
         let mut proposal = vec![u32::MAX; n];
-        let mut ss = SuperstepTrace::new(p.vaults());
-        let mut any_uncovered_edge = false;
-        for u in 0..n as u32 {
-            if in_cover[u as usize] {
-                continue;
-            }
-            let vu = p.vault_of(u);
-            charge_scan(&mut ss.vaults[vu as usize], 1, 0);
-            let mut best = u32::MAX;
-            scan_edge_pages(g, p, u, |sv, chunk| {
-                charge_scan(&mut ss.vaults[sv as usize], 0, chunk.len() as u64);
-                for &w in chunk {
-                    if w != u && !in_cover[w as usize] {
-                        any_uncovered_edge = true;
-                        if w < best {
-                            best = w;
+        let uncovered: Vec<u32> = (0..n as u32).filter(|&u| !in_cover[u as usize]).collect();
+        let cover_snapshot = &in_cover;
+        let scan =
+            |u: u32, local: &mut SuperstepTrace, emits: &mut Vec<Emit<u32>>, any: &mut bool| {
+                let vu = p.vault_of(u);
+                charge_scan(&mut local.vaults[vu as usize], 1, 0);
+                let mut best = u32::MAX;
+                scan_edge_pages(g, p, u, |sv, chunk| {
+                    charge_scan(&mut local.vaults[sv as usize], 0, chunk.len() as u64);
+                    for &w in chunk {
+                        if w != u && !cover_snapshot[w as usize] {
+                            *any = true;
+                            if w < best {
+                                best = w;
+                            }
                         }
                     }
+                });
+                if best != u32::MAX {
+                    emits.push(Emit {
+                        src_vault: vu,
+                        dst_vault: p.vault_of(best),
+                        target: best,
+                        msg: u,
+                    });
                 }
-            });
-            proposal[u as usize] = best;
-            if best != u32::MAX {
-                charge_message(&mut ss, vu, p.vault_of(best), best, &mut dedup);
-            }
-        }
+            };
+        let (ss, anys) = run_superstep(p, &uncovered, &mut dedup, &scan, |e| {
+            proposal[e.msg as usize] = e.target;
+        });
+        let any_uncovered_edge = anys.into_iter().any(|b| b);
         supersteps.push(ss);
         if !any_uncovered_edge {
             break;
@@ -443,8 +580,7 @@ pub fn run_vertex_cover(g: &Graph, p: &VertexPartition) -> (KernelOutput, Execut
                 continue;
             }
             let w = pu;
-            let accept =
-                proposal[w as usize] == u || proposal[w as usize] == u32::MAX || w > u;
+            let accept = proposal[w as usize] == u || proposal[w as usize] == u32::MAX || w > u;
             if accept {
                 newly.push(u);
                 newly.push(w);
@@ -458,13 +594,20 @@ pub fn run_vertex_cover(g: &Graph, p: &VertexPartition) -> (KernelOutput, Execut
     }
     (
         KernelOutput::Cover(in_cover),
-        ExecutionTrace { kernel: KernelKind::VertexCover, supersteps },
+        ExecutionTrace {
+            kernel: KernelKind::VertexCover,
+            supersteps,
+        },
     )
 }
 
 /// Dispatches a kernel by kind (PageRank/SSSP use their standard
 /// parameters: [`KernelKind::iterations`] supersteps and source 0).
-pub fn run_kernel(kind: KernelKind, g: &Graph, p: &VertexPartition) -> (KernelOutput, ExecutionTrace) {
+pub fn run_kernel(
+    kind: KernelKind,
+    g: &Graph,
+    p: &VertexPartition,
+) -> (KernelOutput, ExecutionTrace) {
     match kind {
         KernelKind::AverageTeenageFollower => run_atf(g, p),
         KernelKind::Conductance => run_conductance(g, p),
@@ -605,7 +748,10 @@ mod tests {
         for ss in &trace.supersteps {
             let out_remote = ss.total(|c| c.msgs_out_remote);
             let in_remote = ss.total(|c| c.msgs_in_remote);
-            assert_eq!(out_remote, in_remote, "remote sends must equal remote receives");
+            assert_eq!(
+                out_remote, in_remote,
+                "remote sends must equal remote receives"
+            );
             let applies = ss.total(|c| c.random_accesses);
             assert!(applies <= ss.total(|c| c.msgs_in()));
             assert!(applies > 0);

@@ -109,13 +109,13 @@ impl HostGraphModel {
                 sr += c.random_accesses;
                 sq += c.seq_bytes;
             }
-            let ss_instr = sv * kernel.instructions_per_vertex()
-                + se * kernel.instructions_per_edge();
+            let ss_instr =
+                sv * kernel.instructions_per_vertex() + se * kernel.instructions_per_edge();
             let ss_misses = sr as f64 * miss_rate;
             let ss_bytes = ss_misses * 64.0 + sq as f64;
             let bw_ns = ss_bytes / bw;
-            let lat_ns = ss_misses * self.cfg.mem_latency_ns
-                / (self.cfg.cores as f64 * self.cfg.mlp as f64);
+            let lat_ns =
+                ss_misses * self.cfg.mem_latency_ns / (self.cfg.cores as f64 * self.cfg.mlp as f64);
             let compute_ns =
                 ss_instr as f64 / (self.cfg.cores as f64 * self.cfg.ipc * self.cfg.freq_ghz);
             ns += bw_ns.max(lat_ns).max(compute_ns);
@@ -125,14 +125,29 @@ impl HostGraphModel {
         let kb = mem_bytes as f64 / 1024.0;
         let row_bytes = self.cfg.mem.org.row_bytes() as f64;
         let acts = t.seq_bytes as f64 / row_bytes + misses as f64;
-        energy.add_nj(Component::DramActivation, acts * self.cfg.dram_energy.act_pre_nj);
+        energy.add_nj(
+            Component::DramActivation,
+            acts * self.cfg.dram_energy.act_pre_nj,
+        );
         energy += self.cfg.dram_energy.column_energy(kb * 0.7, kb * 0.3);
         // Every random access probes the hierarchy; streams touch it too.
         let probes = random + t.seq_bytes / 64;
-        energy += self.cfg.cache_energy.energy_of(probes, probes / 2, misses * 2);
-        energy += self.cfg.compute_energy.compute_nj(ComputeSite::HostCore, instr);
+        energy += self
+            .cfg
+            .cache_energy
+            .energy_of(probes, probes / 2, misses * 2);
+        energy += self
+            .cfg
+            .compute_energy
+            .compute_nj(ComputeSite::HostCore, instr);
 
-        HostGraphReport { ns, energy, mem_bytes, miss_rate, instructions: instr }
+        HostGraphReport {
+            ns,
+            energy,
+            mem_bytes,
+            miss_rate,
+            instructions: instr,
+        }
     }
 }
 

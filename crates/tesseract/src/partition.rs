@@ -34,7 +34,10 @@ impl VertexPartition {
     pub fn new(vaults: u32, block: u32) -> Self {
         assert!(vaults > 0, "vaults must be nonzero");
         assert!(block > 0, "block must be nonzero");
-        VertexPartition { vaults, mode: Mode::BlockCyclic { block } }
+        VertexPartition {
+            vaults,
+            mode: Mode::BlockCyclic { block },
+        }
     }
 
     /// Creates a hash-based partition (the default for Tesseract runs):
@@ -45,7 +48,10 @@ impl VertexPartition {
     /// Panics if `vaults` is zero.
     pub fn hashed(vaults: u32) -> Self {
         assert!(vaults > 0, "vaults must be nonzero");
-        VertexPartition { vaults, mode: Mode::Hashed }
+        VertexPartition {
+            vaults,
+            mode: Mode::Hashed,
+        }
     }
 
     /// Number of vaults.
@@ -94,8 +100,10 @@ impl VertexPartition {
         if g.num_edges() == 0 {
             return 0.0;
         }
-        let remote =
-            g.edges().filter(|&(u, v)| self.vault_of(u) != self.vault_of(v)).count();
+        let remote = g
+            .edges()
+            .filter(|&(u, v)| self.vault_of(u) != self.vault_of(v))
+            .count();
         remote as f64 / g.num_edges() as f64
     }
 }
@@ -195,7 +203,10 @@ mod tests {
         };
         let cyclic = edge_load(&VertexPartition::new(32, 1));
         let hashed = edge_load(&VertexPartition::hashed(32));
-        assert!(hashed < cyclic, "hashed ({hashed}) must balance better than cyclic ({cyclic})");
+        assert!(
+            hashed < cyclic,
+            "hashed ({hashed}) must balance better than cyclic ({cyclic})"
+        );
         assert!(hashed < 3.0, "hashed edge imbalance {hashed}");
     }
 }

@@ -61,17 +61,31 @@ impl TesseractSim {
 
     /// Runs `kernel` on `graph`, returning the functional output, the raw
     /// trace, and the timing/energy report.
-    pub fn run(&self, kernel: KernelKind, graph: &Graph) -> (KernelOutput, ExecutionTrace, TesseractReport) {
+    pub fn run(
+        &self,
+        kernel: KernelKind,
+        graph: &Graph,
+    ) -> (KernelOutput, ExecutionTrace, TesseractReport) {
         let (out, trace) = run_kernel(kernel, graph, &self.partition);
         let report = TesseractReport::from_trace(&trace, &self.config);
         (out, trace, report)
     }
 
     /// Runs `kernel` on both Tesseract and the given host baseline.
-    pub fn compare(&self, kernel: KernelKind, graph: &Graph, host_cfg: &HostGraphConfig) -> Comparison {
+    pub fn compare(
+        &self,
+        kernel: KernelKind,
+        graph: &Graph,
+        host_cfg: &HostGraphConfig,
+    ) -> Comparison {
         let (output, trace, tesseract) = self.run(kernel, graph);
         let host = HostGraphModel::new(host_cfg.clone()).run(&trace, graph);
-        Comparison { kernel, output, tesseract, host }
+        Comparison {
+            kernel,
+            output,
+            tesseract,
+            host,
+        }
     }
 }
 
@@ -106,8 +120,7 @@ mod tests {
             assert!(cmp.speedup() > 1.2, "{k}: speedup {}", cmp.speedup());
             speedups.push(cmp.speedup());
         }
-        let geomean =
-            (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
         // Paper: 13.8x average. This unit test runs a deliberately small
         // graph (2k edges per vault) where fixed per-vault skew dominates;
         // the full-scale reproduction is the `e5_tesseract` bench, which

@@ -52,7 +52,11 @@ pub fn vault_superstep_ns(c: &VaultCounts, kernel: KernelKind, cfg: &TesseractCo
         let lines = c.seq_bytes as f64 / 64.0;
         lines * cfg.local_latency_ns / cfg.base_mlp as f64
     };
-    let msg_mlp = if cfg.msg_prefetcher { cfg.prefetch_mlp } else { cfg.base_mlp };
+    let msg_mlp = if cfg.msg_prefetcher {
+        cfg.prefetch_mlp
+    } else {
+        cfg.base_mlp
+    };
     let rand_stall_ns = c.random_accesses as f64 * cfg.local_latency_ns / msg_mlp as f64;
 
     // Blocking remote calls stall the *sender* for a cross-vault round
@@ -97,7 +101,9 @@ pub fn trace_energy(trace: &ExecutionTrace, cfg: &TesseractConfig) -> EnergyBrea
     e.add_nj(Component::DramActivation, acts * cfg.dram_energy.act_pre_nj);
     e += cfg.dram_energy.column_energy(kb * 0.7, kb * 0.3);
     // TSV movement of everything plus the cross-vault message traffic.
-    e += cfg.link_energy.tsv_energy(bytes + (t.msgs_in_remote + t.msgs_out_remote) * cfg.msg_bytes);
+    e += cfg
+        .link_energy
+        .tsv_energy(bytes + (t.msgs_in_remote + t.msgs_out_remote) * cfg.msg_bytes);
     // PIM core instructions.
     let instr: u64 = trace
         .supersteps
@@ -135,14 +141,21 @@ impl TesseractReport {
         let mut sum_max = 0.0;
         let mut sum_avg = 0.0;
         for ss in &trace.supersteps {
-            let times: Vec<f64> =
-                ss.vaults.iter().map(|c| vault_superstep_ns(c, trace.kernel, cfg)).collect();
+            let times: Vec<f64> = ss
+                .vaults
+                .iter()
+                .map(|c| vault_superstep_ns(c, trace.kernel, cfg))
+                .collect();
             let max = times.iter().fold(0.0f64, |a, &b| a.max(b));
             let avg = times.iter().sum::<f64>() / times.len().max(1) as f64;
             sum_max += max;
             sum_avg += avg;
         }
-        let imbalance = if sum_avg > 0.0 { sum_max / sum_avg } else { 1.0 };
+        let imbalance = if sum_avg > 0.0 {
+            sum_max / sum_avg
+        } else {
+            1.0
+        };
         TesseractReport {
             ns: trace_ns(trace, cfg),
             energy: trace_energy(trace, cfg),
@@ -173,7 +186,11 @@ mod tests {
 
     fn setup() -> (Graph, VertexPartition, TesseractConfig) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        (Graph::rmat(11, 8, &mut rng), VertexPartition::hashed(32), TesseractConfig::single_cube())
+        (
+            Graph::rmat(11, 8, &mut rng),
+            VertexPartition::hashed(32),
+            TesseractConfig::single_cube(),
+        )
     }
 
     #[test]
@@ -207,7 +224,10 @@ mod tests {
         let mut starved = cfg.clone();
         starved.noc_gbps_per_vault = 0.5;
         let slow = trace_ns(&trace, &starved);
-        assert!(slow > 2.0 * healthy, "NoC starvation must bite: {healthy} -> {slow}");
+        assert!(
+            slow > 2.0 * healthy,
+            "NoC starvation must bite: {healthy} -> {slow}"
+        );
     }
 
     #[test]
@@ -231,7 +251,10 @@ mod tests {
         cfg4.stack.vaults = 4;
         let n32 = trace_ns(&t32, &cfg);
         let n4 = trace_ns(&t4, &cfg4);
-        assert!(n4 > 2.5 * n32, "4 vaults ({n4}) must be much slower than 32 ({n32})");
+        assert!(
+            n4 > 2.5 * n32,
+            "4 vaults ({n4}) must be much slower than 32 ({n32})"
+        );
     }
 
     #[test]

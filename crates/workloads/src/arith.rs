@@ -48,12 +48,20 @@ impl BitSlicedIntVec {
         let planes = (0..bits)
             .map(|p| {
                 BitVec::from_fn(values.len(), |i| {
-                    assert!(values[i] < limit, "value {} needs more than {bits} bits", values[i]);
+                    assert!(
+                        values[i] < limit,
+                        "value {} needs more than {bits} bits",
+                        values[i]
+                    );
                     (values[i] >> p) & 1 == 1
                 })
             })
             .collect();
-        BitSlicedIntVec { planes, bits, len: values.len() }
+        BitSlicedIntVec {
+            planes,
+            bits,
+            len: values.len(),
+        }
     }
 
     /// Builds from raw planes (LSB first).

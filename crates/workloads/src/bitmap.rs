@@ -36,7 +36,9 @@ impl BitmapIndex {
     /// Generates a synthetic index: `weeks` bitmaps over `users` rows, each
     /// user active in a given week with probability `density`.
     pub fn random<R: Rng>(users: usize, weeks: usize, density: f64, rng: &mut R) -> Self {
-        let bitmaps = (0..weeks).map(|_| BitVec::random(users, density, rng)).collect();
+        let bitmaps = (0..weeks)
+            .map(|_| BitVec::random(users, density, rng))
+            .collect();
         BitmapIndex::new(bitmaps)
     }
 
@@ -67,7 +69,10 @@ impl BitmapIndex {
     ///
     /// Panics if `weeks` is zero or exceeds the number of bitmaps.
     pub fn all_active_plan(&self, weeks: usize) -> BitwisePlan {
-        assert!(weeks >= 1 && weeks <= self.bitmaps.len(), "weeks out of range");
+        assert!(
+            weeks >= 1 && weeks <= self.bitmaps.len(),
+            "weeks out of range"
+        );
         let mut b = PlanBuilder::new(weeks);
         let mut acc = b.input(0);
         for i in 1..weeks {
@@ -83,7 +88,10 @@ impl BitmapIndex {
     ///
     /// Panics if `weeks` is zero or exceeds the number of bitmaps.
     pub fn any_active_plan(&self, weeks: usize) -> BitwisePlan {
-        assert!(weeks >= 1 && weeks <= self.bitmaps.len(), "weeks out of range");
+        assert!(
+            weeks >= 1 && weeks <= self.bitmaps.len(),
+            "weeks out of range"
+        );
         let mut b = PlanBuilder::new(weeks);
         let mut acc = b.input(0);
         for i in 1..weeks {

@@ -111,12 +111,18 @@ pub struct BitVec {
 impl BitVec {
     /// Creates an all-zero vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec { words: vec![0; len.div_ceil(64)], len }
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Creates an all-one vector of `len` bits.
     pub fn ones(len: usize) -> Self {
-        let mut v = BitVec { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut v = BitVec {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         v.mask_tail();
         v
     }
@@ -138,7 +144,10 @@ impl BitVec {
     ///
     /// Panics if `words` is shorter than `len` requires.
     pub fn from_words(words: Vec<u64>, len: usize) -> Self {
-        assert!(words.len() >= len.div_ceil(64), "not enough words for {len} bits");
+        assert!(
+            words.len() >= len.div_ceil(64),
+            "not enough words for {len} bits"
+        );
         let mut v = BitVec { words, len };
         v.words.truncate(len.div_ceil(64));
         v.mask_tail();
@@ -186,7 +195,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -196,7 +209,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;
@@ -225,7 +242,10 @@ impl BitVec {
             .zip(other.words.iter())
             .map(|(&a, &b)| op.apply_word(a, b))
             .collect();
-        let mut out = BitVec { words, len: self.len };
+        let mut out = BitVec {
+            words,
+            len: self.len,
+        };
         out.mask_tail();
         out
     }
@@ -233,7 +253,10 @@ impl BitVec {
     /// Applies NOT, returning a new vector.
     pub fn not(&self) -> BitVec {
         let words = self.words.iter().map(|&a| !a).collect();
-        let mut out = BitVec { words, len: self.len };
+        let mut out = BitVec {
+            words,
+            len: self.len,
+        };
         out.mask_tail();
         out
     }

@@ -32,17 +32,27 @@ impl BitSlicedColumn {
             .map(|p| {
                 let shift = bits - 1 - p; // plane 0 = MSB
                 BitVec::from_fn(values.len(), |i| {
-                    assert!(values[i] < limit, "value {} needs more than {bits} bits", values[i]);
+                    assert!(
+                        values[i] < limit,
+                        "value {} needs more than {bits} bits",
+                        values[i]
+                    );
                     (values[i] >> shift) & 1 == 1
                 })
             })
             .collect();
-        BitSlicedColumn { planes, bits, rows: values.len() }
+        BitSlicedColumn {
+            planes,
+            bits,
+            rows: values.len(),
+        }
     }
 
     /// Generates a column of uniformly random codes.
     pub fn random<R: rand::Rng>(rows: usize, bits: u32, rng: &mut R) -> Self {
-        let values: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..(1u64 << bits))).collect();
+        let values: Vec<u64> = (0..rows)
+            .map(|_| rng.gen_range(0..(1u64 << bits)))
+            .collect();
         BitSlicedColumn::from_values(&values, bits)
     }
 
@@ -91,7 +101,11 @@ impl BitSlicedColumn {
     ///
     /// Panics if `c` exceeds `2^bits`.
     pub fn less_than_plan(&self, c: u64) -> BitwisePlan {
-        assert!(c <= (1u64 << self.bits), "constant {c} exceeds {}-bit codes", self.bits);
+        assert!(
+            c <= (1u64 << self.bits),
+            "constant {c} exceeds {}-bit codes",
+            self.bits
+        );
         if c == (1u64 << self.bits) {
             let mut b = PlanBuilder::new(self.bits as usize);
             let ones = b.constant(true);
@@ -131,7 +145,11 @@ impl BitSlicedColumn {
     ///
     /// Panics if `c` does not fit in the code width.
     pub fn equals_plan(&self, c: u64) -> BitwisePlan {
-        assert!(c < (1u64 << self.bits), "constant {c} exceeds {}-bit codes", self.bits);
+        assert!(
+            c < (1u64 << self.bits),
+            "constant {c} exceeds {}-bit codes",
+            self.bits
+        );
         let mut b = PlanBuilder::new(self.bits as usize);
         let mut eq: Option<Reg> = None;
         for p in 0..self.bits {

@@ -162,7 +162,11 @@ impl ConsumerWorkload {
 
     /// Total MB moved per unit of work (target functions + rest).
     pub fn total_mb_moved(&self) -> f64 {
-        self.functions.iter().map(|f| f.mb_moved_per_unit).sum::<f64>() + self.other_mb_moved
+        self.functions
+            .iter()
+            .map(|f| f.mb_moved_per_unit)
+            .sum::<f64>()
+            + self.other_mb_moved
     }
 
     /// Total Mops per unit of work.
@@ -234,7 +238,11 @@ mod tests {
             let t = w.target_time_fraction();
             assert!(t > 0.0 && t < 1.0, "{}: target time fraction {t}", w.name);
             let m = w.target_movement_fraction();
-            assert!(m > 0.5, "{}: targets must dominate movement, got {m}", w.name);
+            assert!(
+                m > 0.5,
+                "{}: targets must dominate movement, got {m}",
+                w.name
+            );
             assert!(w.total_mb_moved() > 0.0 && w.total_mops() > 0.0);
         }
     }

@@ -35,8 +35,9 @@ pub fn one_time_pad(data: &BitVec, key: &BitVec) -> BitVec {
 /// Panics if `n` is zero.
 pub fn share_secret<R: Rng>(secret: &BitVec, n: usize, rng: &mut R) -> Vec<BitVec> {
     assert!(n >= 1, "need at least one share");
-    let mut shares: Vec<BitVec> =
-        (0..n - 1).map(|_| BitVec::random(secret.len(), 0.5, rng)).collect();
+    let mut shares: Vec<BitVec> = (0..n - 1)
+        .map(|_| BitVec::random(secret.len(), 0.5, rng))
+        .collect();
     let mut last = secret.clone();
     for s in &shares {
         last = last.binary(BulkOp::Xor, s);
@@ -119,7 +120,14 @@ mod tests {
         let shares = share_secret(&secret, 3, &mut rng);
         // XOR of any proper subset is uniformly random (density ~50%),
         // leaking none of the 10% bias.
-        for subset in [vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![0, 2]] {
+        for subset in [
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2],
+        ] {
             let partial = subset
                 .iter()
                 .map(|&i| shares[i].clone())

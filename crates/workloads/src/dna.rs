@@ -29,7 +29,9 @@ pub struct Genome {
 impl Genome {
     /// Generates a uniform random genome of `len` bases.
     pub fn random<R: Rng>(len: usize, rng: &mut R) -> Self {
-        Genome { bases: (0..len).map(|_| rng.gen_range(0..4u8)).collect() }
+        Genome {
+            bases: (0..len).map(|_| rng.gen_range(0..4u8)).collect(),
+        }
     }
 
     /// Builds from a DNA string.
@@ -127,7 +129,12 @@ impl KmerIndex {
                 presence[code].set(bin, true);
             }
         }
-        KmerIndex { k, bin_len, bins, presence }
+        KmerIndex {
+            k,
+            bin_len,
+            bins,
+            presence,
+        }
     }
 
     /// The k-mer length.
@@ -259,7 +266,10 @@ mod tests {
         // the filter passes everything. k=5 is selective.
         let k2 = survivors(2);
         let k5 = survivors(5);
-        assert!(k5 * 10.0 < k2, "k=5 ({k5}) must be far more selective than k=2 ({k2})");
+        assert!(
+            k5 * 10.0 < k2,
+            "k=5 ({k5}) must be far more selective than k=2 ({k2})"
+        );
         assert!(k5 <= 30.0, "k=5 keeps ~1 bin per read, got {k5}");
     }
 

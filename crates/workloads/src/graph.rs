@@ -34,7 +34,10 @@ impl Graph {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         let mut degree = vec![0usize; n];
         for &(u, v) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range"
+            );
             degree[u as usize] += 1;
         }
         let mut offsets = vec![0usize; n + 1];
@@ -125,9 +128,8 @@ impl Graph {
 
     /// Iterates all edges as `(src, dst)`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_vertices()).flat_map(move |u| {
-            self.neighbors(u).iter().map(move |&v| (u as u32, v))
-        })
+        (0..self.num_vertices())
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u as u32, v)))
     }
 
     /// The transpose (all edges reversed).
@@ -138,7 +140,10 @@ impl Graph {
 
     /// Maximum out-degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.out_degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average out-degree.
@@ -203,7 +208,11 @@ mod tests {
         assert_eq!(g.num_vertices(), 1024);
         assert_eq!(g.num_edges(), 1024 * 8);
         // Scale-free-ish: the max degree is far above the average.
-        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree(), "max {}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 4.0 * g.avg_degree(),
+            "max {}",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -133,7 +133,11 @@ pub fn average_teenage_followers(g: &Graph) -> (Vec<u32>, f64) {
         }
     }
     let total: u64 = counts.iter().map(|&c| c as u64).sum();
-    let avg = if g.num_vertices() == 0 { 0.0 } else { total as f64 / g.num_vertices() as f64 };
+    let avg = if g.num_vertices() == 0 {
+        0.0
+    } else {
+        total as f64 / g.num_vertices() as f64
+    };
     (counts, avg)
 }
 
@@ -334,8 +338,10 @@ mod tests {
         let (counts, avg) = average_teenage_followers(&g);
         // Manually: counts[v] = sum over in-edges (u,v) of is_teen(u).
         for (v, &count) in counts.iter().enumerate() {
-            let expect: u32 =
-                g.edges().filter(|&(u, dst)| dst as usize == v && is_teen(u)).count() as u32;
+            let expect: u32 = g
+                .edges()
+                .filter(|&(u, dst)| dst as usize == v && is_teen(u))
+                .count() as u32;
             assert_eq!(count, expect);
         }
         let total: u32 = counts.iter().sum();

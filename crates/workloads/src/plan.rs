@@ -200,7 +200,12 @@ impl BitwisePlan {
     /// Panics if `inputs.len()` differs from [`BitwisePlan::inputs`] or if
     /// the input lengths disagree.
     pub fn eval_cpu(&self, inputs: &[&BitVec]) -> BitVec {
-        assert_eq!(inputs.len(), self.inputs, "plan expects {} inputs", self.inputs);
+        assert_eq!(
+            inputs.len(),
+            self.inputs,
+            "plan expects {} inputs",
+            self.inputs
+        );
         let len = inputs.first().map_or(0, |v| v.len());
         for v in inputs {
             assert_eq!(v.len(), len, "plan inputs must share a length");
@@ -211,9 +216,7 @@ impl BitwisePlan {
         }
         for s in &self.steps {
             let value = match *s {
-                PlanStep::Unary { a, .. } => {
-                    regs[a.0].as_ref().expect("validated plan").not()
-                }
+                PlanStep::Unary { a, .. } => regs[a.0].as_ref().expect("validated plan").not(),
                 PlanStep::Binary { op, a, b, .. } => {
                     let av = regs[a.0].as_ref().expect("validated plan");
                     let bv = regs[b.0].as_ref().expect("validated plan");
@@ -238,7 +241,9 @@ impl BitwisePlan {
             };
             regs[s.dst().0] = Some(value);
         }
-        regs[self.outputs[0].0].take().expect("validated plan defines output")
+        regs[self.outputs[0].0]
+            .take()
+            .expect("validated plan defines output")
     }
 
     /// Like [`BitwisePlan::eval_cpu`] but returns every output register.
@@ -247,7 +252,12 @@ impl BitwisePlan {
     ///
     /// Same conditions as [`BitwisePlan::eval_cpu`].
     pub fn eval_cpu_multi(&self, inputs: &[&BitVec]) -> Vec<BitVec> {
-        assert_eq!(inputs.len(), self.inputs, "plan expects {} inputs", self.inputs);
+        assert_eq!(
+            inputs.len(),
+            self.inputs,
+            "plan expects {} inputs",
+            self.inputs
+        );
         let len = inputs.first().map_or(0, |v| v.len());
         let mut regs: Vec<Option<BitVec>> = vec![None; self.regs];
         for (i, v) in inputs.iter().enumerate() {
@@ -256,11 +266,16 @@ impl BitwisePlan {
         for s in &self.steps {
             let value = match *s {
                 PlanStep::Unary { a, .. } => regs[a.0].as_ref().expect("validated").not(),
-                PlanStep::Binary { op, a, b, .. } => {
-                    regs[a.0].as_ref().expect("validated").binary(op, regs[b.0].as_ref().expect("validated"))
-                }
+                PlanStep::Binary { op, a, b, .. } => regs[a.0]
+                    .as_ref()
+                    .expect("validated")
+                    .binary(op, regs[b.0].as_ref().expect("validated")),
                 PlanStep::Const { ones, .. } => {
-                    if ones { BitVec::ones(len) } else { BitVec::zeros(len) }
+                    if ones {
+                        BitVec::ones(len)
+                    } else {
+                        BitVec::zeros(len)
+                    }
                 }
                 PlanStep::Maj { a, b, c, .. } => {
                     let av = regs[a.0].as_ref().expect("validated");
@@ -306,7 +321,11 @@ pub struct PlanBuilder {
 impl PlanBuilder {
     /// Starts a plan with `inputs` input registers.
     pub fn new(inputs: usize) -> Self {
-        PlanBuilder { inputs, regs: inputs, steps: Vec::new() }
+        PlanBuilder {
+            inputs,
+            regs: inputs,
+            steps: Vec::new(),
+        }
     }
 
     /// The `i`-th input register.
@@ -315,7 +334,11 @@ impl PlanBuilder {
     ///
     /// Panics if `i` is out of range.
     pub fn input(&self, i: usize) -> Reg {
-        assert!(i < self.inputs, "input {i} out of range ({} inputs)", self.inputs);
+        assert!(
+            i < self.inputs,
+            "input {i} out of range ({} inputs)",
+            self.inputs
+        );
         Reg(i)
     }
 
@@ -328,7 +351,11 @@ impl PlanBuilder {
     /// Appends `dst = NOT a`, returning `dst`.
     pub fn not(&mut self, a: Reg) -> Reg {
         let dst = self.fresh();
-        self.steps.push(PlanStep::Unary { op: BulkOp::Not, a, dst });
+        self.steps.push(PlanStep::Unary {
+            op: BulkOp::Not,
+            a,
+            dst,
+        });
         dst
     }
 
@@ -379,12 +406,17 @@ impl PlanBuilder {
         for step in plan.steps() {
             let dst = self.fresh();
             let new_step = match *step {
-                PlanStep::Unary { op, a, .. } => {
-                    PlanStep::Unary { op, a: resolve(&map, a), dst }
-                }
-                PlanStep::Binary { op, a, b, .. } => {
-                    PlanStep::Binary { op, a: resolve(&map, a), b: resolve(&map, b), dst }
-                }
+                PlanStep::Unary { op, a, .. } => PlanStep::Unary {
+                    op,
+                    a: resolve(&map, a),
+                    dst,
+                },
+                PlanStep::Binary { op, a, b, .. } => PlanStep::Binary {
+                    op,
+                    a: resolve(&map, a),
+                    b: resolve(&map, b),
+                    dst,
+                },
                 PlanStep::Const { ones, .. } => PlanStep::Const { ones, dst },
                 PlanStep::Maj { a, b, c, .. } => PlanStep::Maj {
                     a: resolve(&map, a),
@@ -414,8 +446,12 @@ impl PlanBuilder {
     ///
     /// Panics if the resulting plan fails validation (a builder bug).
     pub fn finish_multi(self, outputs: Vec<Reg>) -> BitwisePlan {
-        let plan =
-            BitwisePlan { inputs: self.inputs, regs: self.regs, steps: self.steps, outputs };
+        let plan = BitwisePlan {
+            inputs: self.inputs,
+            regs: self.regs,
+            steps: self.steps,
+            outputs,
+        };
         plan.validate().expect("builder produces valid plans");
         plan
     }
@@ -479,7 +515,12 @@ mod tests {
         let plan = BitwisePlan {
             inputs: 1,
             regs: 3,
-            steps: vec![PlanStep::Binary { op: BulkOp::And, a: Reg(0), b: Reg(2), dst: Reg(1) }],
+            steps: vec![PlanStep::Binary {
+                op: BulkOp::And,
+                a: Reg(0),
+                b: Reg(2),
+                dst: Reg(1),
+            }],
             outputs: vec![Reg(1)],
         };
         assert!(plan.validate().is_err());
@@ -487,12 +528,21 @@ mod tests {
         let plan = BitwisePlan {
             inputs: 1,
             regs: 2,
-            steps: vec![PlanStep::Unary { op: BulkOp::And, a: Reg(0), dst: Reg(1) }],
+            steps: vec![PlanStep::Unary {
+                op: BulkOp::And,
+                a: Reg(0),
+                dst: Reg(1),
+            }],
             outputs: vec![Reg(1)],
         };
         assert!(plan.validate().unwrap_err().contains("binary op"));
 
-        let plan = BitwisePlan { inputs: 1, regs: 2, steps: vec![], outputs: vec![Reg(1)] };
+        let plan = BitwisePlan {
+            inputs: 1,
+            regs: 2,
+            steps: vec![],
+            outputs: vec![Reg(1)],
+        };
         assert!(plan.validate().unwrap_err().contains("never defined"));
     }
 
@@ -551,7 +601,12 @@ mod tests {
 
     #[test]
     fn empty_outputs_rejected() {
-        let plan = BitwisePlan { inputs: 1, regs: 1, steps: vec![], outputs: vec![] };
+        let plan = BitwisePlan {
+            inputs: 1,
+            regs: 1,
+            steps: vec![],
+            outputs: vec![],
+        };
         assert!(plan.validate().unwrap_err().contains("no outputs"));
     }
 

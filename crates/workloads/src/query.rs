@@ -91,10 +91,14 @@ impl ConjunctiveQuery {
         }
         let mut acc: Option<Reg> = None;
         for &(col_idx, pred) in &self.terms {
-            assert!(col_idx < columns.len(), "query references column {col_idx} out of range");
+            assert!(
+                col_idx < columns.len(),
+                "query references column {col_idx} out of range"
+            );
             let col = columns[col_idx];
-            let col_regs: Vec<Reg> =
-                (0..col.bits() as usize).map(|p| Reg(starts[col_idx] + p)).collect();
+            let col_regs: Vec<Reg> = (0..col.bits() as usize)
+                .map(|p| Reg(starts[col_idx] + p))
+                .collect();
             let term_out = match pred {
                 Predicate::LessThan(c) => {
                     let plan = col.less_than_plan(c);

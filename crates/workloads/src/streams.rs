@@ -26,7 +26,9 @@ pub fn sequential(base: u64, stride: u64, n: usize) -> Vec<u64> {
 pub fn random_uniform<R: Rng>(span: u64, align: u64, n: usize, rng: &mut R) -> Vec<u64> {
     assert!(align.is_power_of_two(), "align must be a power of two");
     assert!(span >= align, "span must cover at least one aligned block");
-    (0..n).map(|_| rng.gen_range(0..span) & !(align - 1)).collect()
+    (0..n)
+        .map(|_| rng.gen_range(0..span) & !(align - 1))
+        .collect()
 }
 
 /// Generates a gather pattern: `n` addresses chosen from `slots` distinct

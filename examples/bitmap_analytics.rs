@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // makes the Ambit speedup grow with data size (2x -> 12x).
     let fixed_query_ns = 50_000.0;
     println!("query: users active in all of the trailing {weeks} weeks\n");
-    println!("{:>12} {:>14} {:>14} {:>9}", "users", "CPU (us)", "Ambit (us)", "speedup");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "users", "CPU (us)", "Ambit (us)", "speedup"
+    );
 
     for log_users in [20u32, 22, 24] {
         let users = 1usize << log_users;

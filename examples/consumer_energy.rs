@@ -46,7 +46,9 @@ fn main() {
         mean(&t_core) * 100.0,
         mean(&t_accel) * 100.0
     );
-    println!("\npaper: 62.7% movement energy; 55.4% avg energy reduction; 54.2% avg time reduction");
+    println!(
+        "\npaper: 62.7% movement energy; 55.4% avg energy reduction; 54.2% avg time reduction"
+    );
 
     // Area feasibility (paper: core <= 9.4%, accelerators <= 35.4%).
     let area = AreaModel::hmc();

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
         let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
         let (candidates, report) = sys.run_plan(&plan, &inputs)?;
-        assert!(candidates.get(index.bin_of(pos)), "true bin always survives");
+        assert!(
+            candidates.get(index.bin_of(pos)),
+            "true bin always survives"
+        );
         let host = cpu.run_plan(&plan, index.bins());
         cpu_us += host.ns / 1000.0;
         ambit_us += report.ns / 1000.0;

@@ -46,6 +46,6 @@ fn main() {
     }
     println!(
         "\ngeomean speedup: {:.1}x  (paper: 13.8x average, 87% energy reduction)",
-        geomean(&speedups)
+        geomean(&speedups).expect("speedups are positive")
     );
 }

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     ambit.write(&b, &bv)?;
 
     let report = ambit.execute(BulkOp::Xor, &a, Some(&b), &out)?;
-    assert_eq!(ambit.read(&out), av.binary(BulkOp::Xor, &bv), "bit-exact result");
+    assert_eq!(
+        ambit.read(&out),
+        av.binary(BulkOp::Xor, &bv),
+        "bit-exact result"
+    );
     println!("\nin-DRAM XOR over {} KB: {report}", bits / 8 / 1024);
 
     // --- 3. The same operation on a Skylake-class CPU --------------------

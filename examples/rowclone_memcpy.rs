@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 
-    println!("{:<22} {:>12} {:>14} {:>14}", "mechanism", "time (ns)", "energy (nJ)", "vs memcpy");
+    println!(
+        "{:<22} {:>12} {:>14} {:>14}",
+        "mechanism", "time (ns)", "energy (nJ)", "vs memcpy"
+    );
     for kb in [8u64, 64] {
         let bytes = kb * 1024;
         let bits = (bytes * 8) as usize;
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("--- {kb} KB copy ---");
         println!(
             "{:<22} {:>12.0} {:>14.1} {:>13}",
-            "CPU memcpy", memcpy.ns, memcpy.energy.total_nj(), "1.0x"
+            "CPU memcpy",
+            memcpy.ns,
+            memcpy.energy.total_nj(),
+            "1.0x"
         );
         println!(
             "{:<22} {:>12.0} {:>14.1} {:>10.1}x t / {:.0}x E",

@@ -58,6 +58,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         cpu_report.ns / report.ns,
         cpu_report.energy.total_nj() / report.energy.total_nj()
     );
-    println!("(spot check: {} + {} = {})", a.value(0), b.value(0), got.value(0));
+    println!(
+        "(spot check: {} + {} = {})",
+        a.value(0),
+        b.value(0),
+        got.value(0)
+    );
     Ok(())
 }

@@ -19,8 +19,9 @@ fn bitmap_query_is_bit_exact_across_backends() {
         let plan = index.all_active_plan(weeks);
         let cpu_result = plan.eval_cpu(&index.trailing_inputs(weeks));
         let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
-        let (ambit_result, report) =
-            ambit.run_plan(&plan, &index.trailing_inputs(weeks)).expect("plan runs");
+        let (ambit_result, report) = ambit
+            .run_plan(&plan, &index.trailing_inputs(weeks))
+            .expect("plan runs");
         assert_eq!(ambit_result, cpu_result, "weeks={weeks}");
         assert_eq!(ambit_result.count_ones(), index.count_all_active(weeks));
         assert!(report.cycles > 0);
@@ -34,7 +35,9 @@ fn bitweaving_scans_are_bit_exact_across_backends() {
     for c in [1u64, 100, 511, 1023] {
         let plan = col.less_than_plan(c);
         let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
-        let (got, _) = ambit.run_plan(&plan, &col.plan_inputs()).expect("plan runs");
+        let (got, _) = ambit
+            .run_plan(&plan, &col.plan_inputs())
+            .expect("plan runs");
         assert_eq!(got, col.less_than(c), "c={c}");
     }
 }
@@ -49,14 +52,20 @@ fn ambit_energy_flows_from_command_counts() {
     let a = sys.alloc(bits).unwrap();
     let b = sys.alloc(bits).unwrap();
     let out = sys.alloc(bits).unwrap();
-    sys.write(&a, &pim::workloads::BitVec::random(bits, 0.5, &mut rng)).unwrap();
-    sys.write(&b, &pim::workloads::BitVec::random(bits, 0.5, &mut rng)).unwrap();
+    sys.write(&a, &pim::workloads::BitVec::random(bits, 0.5, &mut rng))
+        .unwrap();
+    sys.write(&b, &pim::workloads::BitVec::random(bits, 0.5, &mut rng))
+        .unwrap();
     let report = sys.execute(BulkOp::Nand, &a, Some(&b), &out).unwrap();
     // NAND = 3 Copy + 1 TraCopy + 1 Copy = 4 AAP + 1 TRA-AAP per chunk.
     assert_eq!(report.commands.count(CommandKind::Aap), 4 * 4);
     assert_eq!(report.commands.count(CommandKind::TraAap), 4);
     assert!(report.energy.get(Component::PimOp) > 0.0);
-    assert_eq!(report.energy.get(Component::DramIo), 0.0, "no channel I/O in-DRAM");
+    assert_eq!(
+        report.energy.get(Component::DramIo),
+        0.0,
+        "no channel I/O in-DRAM"
+    );
 }
 
 #[test]

@@ -75,8 +75,14 @@ fn vault_count_scales_tesseract_performance() {
         let (_, _, r) = sim.run(KernelKind::PageRank, &g);
         times.push(r.ns);
     }
-    assert!(times[0] > 2.0 * times[1], "128 vaults must beat 32: {times:?}");
-    assert!(times[1] > 1.2 * times[2], "512 vaults must beat 128: {times:?}");
+    assert!(
+        times[0] > 2.0 * times[1],
+        "128 vaults must beat 32: {times:?}"
+    );
+    assert!(
+        times[1] > 1.2 * times[2],
+        "512 vaults must beat 128: {times:?}"
+    );
 }
 
 #[test]
@@ -86,7 +92,10 @@ fn host_and_tesseract_account_the_same_work() {
     let sim = TesseractSim::new(TesseractConfig::isca2015());
     let cmp = sim.compare(KernelKind::PageRank, &g, &HostGraphConfig::ddr3_ooo());
     // Both sides processed the same edges.
-    assert_eq!(cmp.tesseract.totals.edges_scanned, 10 * g.num_edges() as u64);
+    assert_eq!(
+        cmp.tesseract.totals.edges_scanned,
+        10 * g.num_edges() as u64
+    );
     assert!(cmp.host.instructions > 0);
     assert!(cmp.tesseract.energy.total_nj() > 0.0);
     assert!(cmp.host.energy.total_nj() > 0.0);

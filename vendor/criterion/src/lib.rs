@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API surface this workspace uses
+//! (`criterion_group!` / `criterion_main!`, groups, throughput, inputs)
+//! with a simple mean-of-samples wall-clock measurement instead of
+//! criterion's statistical machinery. Results are printed to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units of work per benchmark iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark name composed of a function name and a parameter,
+/// rendered as `function/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = f();
+            self.total += start.elapsed();
+            black_box(&out);
+            self.iters += 1;
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&full, self.sample_size, self.throughput, &mut g);
+        self
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id:<56} (no iterations recorded)");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+            format!("  {:>12.3e} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+            format!(
+                "  {:>9.3} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{id:<56} time: {mean:>12.3?}/iter{rate}");
+}
+
+/// Declares a function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut count = 0u32;
+        group.bench_function("counted", |b| {
+            b.iter(|| count += 1);
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("inp", "x"), &7u64, |b, &v| {
+            b.iter(|| seen = v);
+        });
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+}

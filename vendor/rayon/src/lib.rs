@@ -1,0 +1,373 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `into_par_iter().map(...).collect()`, [`join`], and
+//! [`ThreadPoolBuilder`]`::num_threads(n).build().install(...)` — on top
+//! of `std::thread::scope`. Work is split into one contiguous chunk per
+//! thread and results are reassembled in input order, so `collect()`
+//! always observes the same ordering as the sequential iterator
+//! regardless of thread count.
+//!
+//! The effective thread count is, in priority order: the innermost active
+//! [`ThreadPool::install`] on the current thread, the `RAYON_NUM_THREADS`
+//! environment variable, then `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::panic;
+use std::thread;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "no override".
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations started from this thread will
+/// use.
+pub fn current_num_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(Cell::get);
+    if over != 0 {
+        return over;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builder for a fixed-size [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error building a thread pool (never produced by this implementation;
+/// kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the pool's thread count; 0 keeps the automatic choice.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Infallible here; `Result` mirrors the real rayon signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle scoping parallel operations to a fixed thread count.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing any parallel
+    /// operations `f` starts on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
+        // Restore on unwind as well, so a panicking benchmark iteration
+        // cannot leak the override into later tests on the same thread.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// The pool's configured thread count (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() > 1 {
+        thread::scope(|s| {
+            let ha = s.spawn(a);
+            let rb = b();
+            let ra = ha.join().unwrap_or_else(|p| panic::resume_unwind(p));
+            (ra, rb)
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+/// Maps `items` through `f` using the current thread count, preserving
+/// input order in the output.
+fn run_par<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|p| panic::resume_unwind(p)))
+            .collect()
+    })
+}
+
+/// Parallel iterator traits and adapters.
+pub mod iter {
+    use super::run_par;
+
+    /// Conversion into a [`ParallelIterator`].
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// An iterator whose elements are produced in parallel. Evaluation is
+    /// driven at the consuming call (`collect`/`for_each`); adapters only
+    /// compose the per-element function.
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item: Send;
+
+        /// Consumes the iterator, applying `g` to every element with the
+        /// current thread count and returning results in input order.
+        fn drive<O, G>(self, g: G) -> Vec<O>
+        where
+            O: Send,
+            G: Fn(Self::Item) -> O + Sync;
+
+        /// Maps each element through `f`.
+        fn map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            O: Send,
+            F: Fn(Self::Item) -> O + Sync,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Collects results, preserving input order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_ordered_vec(self.drive(|x| x))
+        }
+
+        /// Applies `f` to every element for its side effects.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            self.drive(f);
+        }
+    }
+
+    /// Collection types buildable from an ordered parallel result.
+    pub trait FromParallelIterator<T: Send> {
+        /// Builds the collection from results in input order.
+        fn from_ordered_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec`.
+    pub struct VecIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+
+        fn drive<O, G>(self, g: G) -> Vec<O>
+        where
+            O: Send,
+            G: Fn(T) -> O + Sync,
+        {
+            run_par(self.items, g)
+        }
+    }
+
+    impl IntoParallelIterator for core::ops::Range<usize> {
+        type Item = usize;
+        type Iter = VecIter<usize>;
+
+        fn into_par_iter(self) -> VecIter<usize> {
+            VecIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    /// Output of [`ParallelIterator::map`].
+    pub struct Map<I, F> {
+        inner: I,
+        f: F,
+    }
+
+    impl<I, O, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        O: Send,
+        F: Fn(I::Item) -> O + Sync,
+    {
+        type Item = O;
+
+        fn drive<O2, G>(self, g: G) -> Vec<O2>
+        where
+            O2: Send,
+            G: Fn(O) -> O2 + Sync,
+        {
+            let f = self.f;
+            self.inner.drive(move |x| g(f(x)))
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let sequential: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        let parallel: Vec<u64> = input.into_par_iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 1);
+        let pool3 = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("pool");
+        assert_eq!(pool3.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let before = current_num_threads();
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .expect("pool");
+        pool.install(|| {});
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn range_par_iter_works() {
+        let squares: Vec<usize> = (0..64).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 64);
+        assert_eq!(squares[7], 49);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let work = |n: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                (0..500usize)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|i| (i as u64) << 3)
+                    .collect()
+            })
+        };
+        assert_eq!(work(1), work(4));
+    }
+}

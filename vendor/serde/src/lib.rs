@@ -1,0 +1,419 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of serde the workspace needs: derivable
+//! [`Serialize`] / [`Deserialize`] traits over an in-memory JSON-like
+//! [`Value`] tree. `serde_json` (also vendored) maps the tree to and from
+//! JSON text.
+//!
+//! Compared to real serde this model skips the zero-copy serializer /
+//! deserializer abstraction: `serialize` builds a [`Value`], and
+//! `deserialize` reads one. That is exactly what the configuration
+//! round-trip feature of this workspace requires, with two orders of
+//! magnitude less code.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// An insertion-ordered string-keyed map (JSON object).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` under `key`, replacing any existing entry.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((key, value)),
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up `key` mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An in-memory JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`; integers are exact up to 2^53).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// Numeric content, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if this is a number holding an exact non-negative
+    /// integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The name of this value's JSON type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Returns the field `key` of an object, or `Null` when absent or when
+    /// `self` is not an object (matching `serde_json`'s behavior).
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Returns the field `key` of an object, inserting `Null` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(m) => {
+                if m.get(key).is_none() {
+                    m.insert(key, Value::Null);
+                }
+                m.get_mut(key).expect("just inserted")
+            }
+            other => panic!("cannot index {} with a string key", other.type_name()),
+        }
+    }
+}
+
+/// A type that can render itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value, reporting structural mismatches as [`Error`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `v` does not have the expected shape.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 => {
+                        let t = *n as $t;
+                        if t as f64 == *n {
+                            Ok(t)
+                        } else {
+                            Err(Error::msg(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected {} integer, found {}",
+                        stringify!($t),
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, found {}", v.type_name())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|n| n as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!(
+                "expected bool, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Fetches a required object field — used by the derive macros.
+///
+/// # Errors
+///
+/// Returns an error when `v` is not an object or lacks `name`.
+pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Object(m) => m
+            .get(name)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+        other => Err(Error::msg(format!(
+            "expected object with field `{name}`, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::deserialize(&42u32.serialize()), Ok(42));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2].serialize()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(Option::<u8>::deserialize(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u8::deserialize(&Value::Str("x".into())).is_err());
+        assert!(u8::deserialize(&Value::Num(300.0)).is_err());
+        assert!(u8::deserialize(&Value::Num(1.5)).is_err());
+        assert!(bool::deserialize(&Value::Num(0.0)).is_err());
+        assert!(Vec::<u8>::deserialize(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn value_indexing() {
+        let mut m = Map::new();
+        m.insert("a", Value::Num(1.0));
+        let mut v = Value::Object(m);
+        assert_eq!(v["a"], Value::Num(1.0));
+        assert_eq!(v["missing"], Value::Null);
+        v["b"] = Value::Bool(true);
+        assert_eq!(v["b"], Value::Bool(true));
+        v["a"] = Value::Num(2.0);
+        assert_eq!(v["a"], Value::Num(2.0));
+    }
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        m.insert("k", Value::Num(1.0));
+        m.insert("k", Value::Num(2.0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&Value::Num(2.0)));
+    }
+}

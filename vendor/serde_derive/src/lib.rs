@@ -1,0 +1,298 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! two shapes this workspace uses: structs with named fields (including
+//! unit structs) and enums whose variants are all units. The input is
+//! parsed directly from the `proc_macro` token stream — the usual
+//! `syn`/`quote` helpers are unavailable offline — which is tractable
+//! because only field and variant *names* matter: field types are
+//! recovered by inference in the generated struct literal.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the deriving type.
+enum Input {
+    /// `struct Name { a: T, b: U }` — `fields` are the declared names in
+    /// order; `struct Name;` yields an empty list.
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { A, B }` with unit variants only.
+    Enum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let code = match parse(input) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Strips a raw-identifier prefix to get the serialized key.
+fn key_of(ident: &str) -> &str {
+    ident.strip_prefix("r#").unwrap_or(ident)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert({key:?}, ::serde::Serialize::serialize(&self.{f}));\n",
+                    key = key_of(f)
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {key:?},\n", key = key_of(v)))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(String::from(match self {{\n{arms}}}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(::serde::field(v, {key:?})?)?,\n",
+                        key = key_of(f)
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{key:?} => Ok({name}::{v}),\n", key = key_of(v)))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error::msg(format!(\n\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"expected string variant of {name}, found {{}}\",\n\
+                                 other.type_name()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes leading `#[...]` attribute groups (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+
+    match c.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("derive on generic type `{name}` is not supported"));
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            // Unit struct: serializes as an empty object.
+            return Ok(Input::Struct {
+                name,
+                fields: Vec::new(),
+            });
+        }
+        _ => {}
+    }
+
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "expected `{{...}}` body for `{name}`, found {other:?}"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Input::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Input::Enum {
+            name,
+            variants: parse_unit_variants(body)?,
+        }),
+        other => Err(format!("cannot derive serde impls for `{other} {name}`")),
+    }
+}
+
+/// Extracts field names from a named-field struct body. Field *types* are
+/// skipped token-wise, tracking `<`/`>` depth so generic arguments'
+/// commas do not end the field early.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            return Ok(fields);
+        }
+        let field = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match c.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Extracts variant names, rejecting payload or discriminant variants.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            return Ok(variants);
+        }
+        let variant = c.expect_ident()?;
+        match c.next() {
+            None => {
+                variants.push(variant);
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            other => {
+                return Err(format!(
+                    "variant `{variant}` is not a unit variant (found {other:?}); \
+                     only unit-variant enums can derive serde impls"
+                ));
+            }
+        }
+    }
+}
