@@ -211,13 +211,48 @@ pub struct AmbitSystem {
     /// identical whether chunks execute sequentially or bank-parallel.
     fault_epoch: u64,
     faults_injected: u64,
+    /// Reusable site-list buffer: every operation builds its command replay
+    /// list here, so steady-state execution performs no per-op allocation.
+    site_buf: Vec<SiteCmd>,
+    /// Reusable per-chunk dependency-time buffer for sequential replay.
+    chunk_time_buf: Vec<Cycle>,
+}
+
+/// Rows a site perturbs when fault injection is on — at most the three
+/// rows of a TRA, held inline so [`SiteCmd`] stays `Copy` and building a
+/// site list never allocates.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultRows {
+    rows: [RowId; 3],
+    len: u8,
+}
+
+impl FaultRows {
+    fn push(&mut self, row: RowId) {
+        self.rows[self.len as usize] = row;
+        self.len += 1;
+    }
+
+    fn single(row: RowId) -> Self {
+        let mut fr = FaultRows::default();
+        fr.push(row);
+        fr
+    }
+
+    fn as_slice(&self) -> &[RowId] {
+        &self.rows[..self.len as usize]
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 /// One command bound for a specific chunk's timing chain, tagged with the
 /// fault-injection identity of its micro-op slot. Building a full site
 /// list up front lets [`AmbitSystem::run_banked`] replay it either on the
 /// main device (sequentially, in construction order) or sharded per bank.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct SiteCmd {
     /// Fault-site index (monotonic across the system's lifetime).
     site: u64,
@@ -225,7 +260,7 @@ struct SiteCmd {
     chunk: usize,
     cmd: Command,
     /// Rows to perturb after issue when fault injection is enabled.
-    fault_rows: Vec<RowId>,
+    fault_rows: FaultRows,
 }
 
 /// The bank whose timing chain `cmd` occupies. Only meaningful for
@@ -242,6 +277,23 @@ fn command_bank(cmd: &Command) -> BankId {
         Command::PreAll { channel, rank } | Command::Ref { channel, rank } => {
             BankId::new(channel, rank, 0)
         }
+    }
+}
+
+/// Linear-scan `(bank, free-at)` table for the serial-copy paths. The
+/// engine touches at most a handful of banks per copy, so a scan beats
+/// hashing and the Vec is the only allocation.
+fn bank_free_get(table: &[(BankId, Cycle)], bank: BankId, default: Cycle) -> Cycle {
+    table
+        .iter()
+        .find(|(b, _)| *b == bank)
+        .map_or(default, |&(_, t)| t)
+}
+
+fn bank_free_set(table: &mut Vec<(BankId, Cycle)>, bank: BankId, t: Cycle) {
+    match table.iter_mut().find(|(b, _)| *b == bank) {
+        Some(entry) => entry.1 = t,
+        None => table.push((bank, t)),
     }
 }
 
@@ -300,8 +352,10 @@ fn run_sites(
     n_chunks: usize,
     rate: f64,
     fault_seed: u64,
+    chunk_time: &mut Vec<Cycle>,
 ) -> Result<(Cycle, u64)> {
-    let mut chunk_time = vec![start; n_chunks];
+    chunk_time.clear();
+    chunk_time.resize(n_chunks, start);
     let mut end = start;
     let mut faults = 0u64;
     for s in sites {
@@ -310,7 +364,7 @@ fn run_sites(
         end = end.max(outcome.done);
         if rate > 0.0 && !s.fault_rows.is_empty() {
             let mut rng = fault_site_rng(fault_seed, s.site, s.chunk as u64);
-            for &r in &s.fault_rows {
+            for &r in s.fault_rows.as_slice() {
                 faults += inject_tra_faults(device, r, rate, &mut rng);
             }
         }
@@ -336,6 +390,8 @@ impl AmbitSystem {
             fault_seed: config.fault_seed,
             fault_epoch: 0,
             faults_injected: 0,
+            site_buf: Vec::new(),
+            chunk_time_buf: Vec::new(),
         };
         sys.init_control_rows();
         sys
@@ -352,35 +408,37 @@ impl AmbitSystem {
     /// paths produce identical data, command counts, timing, and fault
     /// patterns: PIM row ops are bank-local in the exempt timing model, and
     /// each site's fault RNG depends only on `(fault_seed, site, chunk)`.
-    fn run_banked(&mut self, sites: Vec<SiteCmd>, start: Cycle, n_chunks: usize) -> Result<Cycle> {
+    fn run_banked(&mut self, sites: &[SiteCmd], start: Cycle, n_chunks: usize) -> Result<Cycle> {
         #[cfg(feature = "parallel")]
-        let sites = {
-            let mut sites = sites;
-            if let Some(end) = self.run_banked_parallel(&mut sites, start, n_chunks)? {
-                return Ok(end);
-            }
-            sites
-        };
-        let (end, faults) = run_sites(
+        if let Some(end) = self.run_banked_parallel(sites, start, n_chunks)? {
+            return Ok(end);
+        }
+        let mut chunk_time = std::mem::take(&mut self.chunk_time_buf);
+        let res = run_sites(
             &mut self.device,
-            &sites,
+            sites,
             start,
             n_chunks,
             self.tra_failure_rate,
             self.fault_seed,
-        )?;
+            &mut chunk_time,
+        );
+        self.chunk_time_buf = chunk_time;
+        let (end, faults) = res?;
         self.faults_injected += faults;
         Ok(end)
     }
 
-    /// Bank-sharded execution; returns `None` (leaving `sites` intact) when
-    /// parallelism cannot help: a single worker thread, a non-exempt timing
-    /// model (PIM ops couple banks through rank tRRD/tFAW state), or all
-    /// sites landing in one bank.
+    /// Bank-sharded execution; returns `None` when parallelism cannot help:
+    /// a single worker thread, a non-exempt timing model (PIM ops couple
+    /// banks through rank tRRD/tFAW state), or all sites landing in one
+    /// bank. `sites` is only read — `SiteCmd` is `Copy`, so partitioning
+    /// copies sites into per-bank groups without disturbing the caller's
+    /// reusable buffer.
     #[cfg(feature = "parallel")]
     fn run_banked_parallel(
         &mut self,
-        sites: &mut Vec<SiteCmd>,
+        sites: &[SiteCmd],
         start: Cycle,
         n_chunks: usize,
     ) -> Result<Option<Cycle>> {
@@ -390,7 +448,7 @@ impl AmbitSystem {
         // Partition by bank, preserving per-bank site order.
         let mut banks: Vec<BankId> = Vec::new();
         let mut groups: Vec<Vec<SiteCmd>> = Vec::new();
-        for s in std::mem::take(sites) {
+        for &s in sites {
             let b = command_bank(&s.cmd);
             match banks.iter().position(|&x| x == b) {
                 Some(i) => groups[i].push(s),
@@ -401,7 +459,6 @@ impl AmbitSystem {
             }
         }
         if banks.len() <= 1 {
-            *sites = groups.pop().unwrap_or_default();
             return Ok(None);
         }
         let rate = self.tra_failure_rate;
@@ -414,7 +471,16 @@ impl AmbitSystem {
         let results: Vec<Result<(Device, Cycle, u64)>> = work
             .into_par_iter()
             .map(|(mut dev, group)| {
-                let (end, faults) = run_sites(&mut dev, &group, start, n_chunks, rate, seed)?;
+                let mut chunk_time = Vec::new();
+                let (end, faults) = run_sites(
+                    &mut dev,
+                    &group,
+                    start,
+                    n_chunks,
+                    rate,
+                    seed,
+                    &mut chunk_time,
+                )?;
                 Ok((dev, end, faults))
             })
             .collect();
@@ -431,15 +497,21 @@ impl AmbitSystem {
     /// Fault rows for `cmd`, when fault injection is on: every row a TRA
     /// charge-shares (they all end up holding the possibly-corrupt
     /// majority), or the destination of a fused TRA-AAP.
-    fn fault_rows_for(&self, cmd: &Command) -> Vec<RowId> {
+    fn fault_rows_for(&self, cmd: &Command) -> FaultRows {
+        let mut fr = FaultRows::default();
         if self.tra_failure_rate <= 0.0 {
-            return Vec::new();
+            return fr;
         }
         match *cmd {
-            Command::Tra { bank, rows } => rows.iter().map(|&r| bank.row(r)).collect(),
-            Command::TraAap { bank, dst, .. } => vec![bank.row(dst)],
-            _ => Vec::new(),
+            Command::Tra { bank, rows } => {
+                for &r in &rows {
+                    fr.push(bank.row(r));
+                }
+            }
+            Command::TraAap { bank, dst, .. } => fr.push(bank.row(dst)),
+            _ => {}
         }
+        fr
     }
 
     fn init_control_rows(&mut self) {
@@ -584,14 +656,12 @@ impl AmbitSystem {
         let row_words = self.device.spec().org.row_bytes() as usize / 8;
         let words = bits.as_words();
         for (chunk, row) in vec.rows.iter().enumerate() {
-            let start = chunk * row_words;
-            let mut row_data = vec![0u64; row_words];
-            for (i, slot) in row_data.iter_mut().enumerate() {
-                if start + i < words.len() {
-                    *slot = words[start + i];
-                }
-            }
-            self.device.store_mut().write_row(*row, &row_data);
+            let start = (chunk * row_words).min(words.len());
+            let end = (start + row_words).min(words.len());
+            // The store zero-fills the tail past the supplied slice.
+            self.device
+                .store_mut()
+                .write_row_from(*row, &words[start..end]);
         }
         Ok(())
     }
@@ -601,7 +671,7 @@ impl AmbitSystem {
         let row_words = self.device.spec().org.row_bytes() as usize / 8;
         let mut words = Vec::with_capacity(vec.rows.len() * row_words);
         for row in &vec.rows {
-            words.extend(self.device.store().read_row(*row));
+            self.device.store().append_row(*row, &mut words);
         }
         words.truncate(vec.len_bits.div_ceil(64).max(1));
         BitVec::from_words(words, vec.len_bits)
@@ -654,24 +724,30 @@ impl AmbitSystem {
         b: Option<&BulkVec>,
         dst: &BulkVec,
     ) -> Result<ExecReport> {
-        let ins: Vec<&BulkVec> = match (op.is_unary(), b) {
-            (true, None) => vec![a],
-            (false, Some(b)) => vec![a, b],
-            _ => return Err(AmbitError::WrongOperands { op }),
+        if op.is_unary() != b.is_none() {
+            return Err(AmbitError::WrongOperands { op });
+        }
+        // Stack-held operand lists — no per-call Vec for the operands.
+        let ins_storage = [a, b.unwrap_or(a)];
+        let ins = &ins_storage[..1 + usize::from(b.is_some())];
+        let all_storage = [a, b.unwrap_or(dst), dst];
+        let all: &[&BulkVec] = if b.is_some() {
+            &all_storage
+        } else {
+            &all_storage[..2]
         };
-        let mut all = ins.clone();
-        all.push(dst);
-        self.check_colocated(&all)?;
+        self.check_colocated(all)?;
 
         let program = program_for(op);
         let start_counts = *self.device.counts();
         let start = self.clock;
         let n_chunks = dst.rows.len();
 
-        let mut sites = Vec::with_capacity(program.ops().len() * n_chunks);
+        let mut sites = std::mem::take(&mut self.site_buf);
+        sites.clear();
         for (op_idx, mop) in program.ops().iter().enumerate() {
             for chunk in 0..n_chunks {
-                let cmd = self.command_for(mop, chunk, &ins, dst);
+                let cmd = self.command_for(mop, chunk, ins, dst);
                 sites.push(SiteCmd {
                     site: self.fault_epoch + op_idx as u64,
                     chunk,
@@ -681,7 +757,9 @@ impl AmbitSystem {
             }
         }
         self.fault_epoch += program.ops().len() as u64;
-        let end = self.run_banked(sites, start, n_chunks)?;
+        let end = self.run_banked(&sites, start, n_chunks);
+        self.site_buf = sites;
+        let end = end?;
         self.clock = end;
         self.report(start, end, start_counts, dst)
     }
@@ -735,7 +813,8 @@ impl AmbitSystem {
         let start = self.clock;
         let n_chunks = dst.rows.len();
         let ins = [a, b, c];
-        let mut sites = Vec::with_capacity(4 * n_chunks);
+        let mut sites = std::mem::take(&mut self.site_buf);
+        sites.clear();
         for chunk in 0..n_chunks {
             let bank = dst.rows[chunk].bank_id();
             let sa = self.layout.subarray_of(dst.rows[chunk].row);
@@ -765,9 +844,9 @@ impl AmbitSystem {
             ];
             for (op_idx, cmd) in cmds.into_iter().enumerate() {
                 let fault_rows = if self.tra_failure_rate > 0.0 && op_idx == 3 {
-                    vec![dst.rows[chunk]]
+                    FaultRows::single(dst.rows[chunk])
                 } else {
-                    Vec::new()
+                    FaultRows::default()
                 };
                 sites.push(SiteCmd {
                     site: self.fault_epoch + op_idx as u64,
@@ -778,7 +857,9 @@ impl AmbitSystem {
             }
         }
         self.fault_epoch += 4;
-        let end = self.run_banked(sites, start, n_chunks)?;
+        let end = self.run_banked(&sites, start, n_chunks);
+        self.site_buf = sites;
+        let end = end?;
         self.clock = end;
         self.report(start, end, start_counts, dst)
     }
@@ -793,8 +874,10 @@ impl AmbitSystem {
         let start_counts = *self.device.counts();
         let start = self.clock;
         let n_chunks = dst.rows.len();
-        let sites = (0..n_chunks)
-            .map(|chunk| SiteCmd {
+        let mut sites = std::mem::take(&mut self.site_buf);
+        sites.clear();
+        for chunk in 0..n_chunks {
+            sites.push(SiteCmd {
                 site: self.fault_epoch,
                 chunk,
                 cmd: Command::Aap {
@@ -802,11 +885,13 @@ impl AmbitSystem {
                     dst: dst.rows[chunk],
                     invert: false,
                 },
-                fault_rows: Vec::new(),
-            })
-            .collect();
+                fault_rows: FaultRows::default(),
+            });
+        }
         self.fault_epoch += 1;
-        let end = self.run_banked(sites, start, n_chunks)?;
+        let end = self.run_banked(&sites, start, n_chunks);
+        self.site_buf = sites;
+        let end = end?;
         self.clock = end;
         self.report(start, end, start_counts, dst)
     }
@@ -821,29 +906,28 @@ impl AmbitSystem {
         let start_counts = *self.device.counts();
         let start = self.clock;
         let n_chunks = dst.rows.len();
-        let sites = dst
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(chunk, row)| {
-                let sa = self.layout.subarray_of(row.row);
-                let c = self
-                    .layout
-                    .special_row(sa, if ones { SpecialRow::C1 } else { SpecialRow::C0 });
-                SiteCmd {
-                    site: self.fault_epoch,
-                    chunk,
-                    cmd: Command::Aap {
-                        src: row.bank_id().row(c),
-                        dst: *row,
-                        invert: false,
-                    },
-                    fault_rows: Vec::new(),
-                }
-            })
-            .collect();
+        let mut sites = std::mem::take(&mut self.site_buf);
+        sites.clear();
+        for (chunk, row) in dst.rows.iter().enumerate() {
+            let sa = self.layout.subarray_of(row.row);
+            let c = self
+                .layout
+                .special_row(sa, if ones { SpecialRow::C1 } else { SpecialRow::C0 });
+            sites.push(SiteCmd {
+                site: self.fault_epoch,
+                chunk,
+                cmd: Command::Aap {
+                    src: row.bank_id().row(c),
+                    dst: *row,
+                    invert: false,
+                },
+                fault_rows: FaultRows::default(),
+            });
+        }
         self.fault_epoch += 1;
-        let end = self.run_banked(sites, start, n_chunks)?;
+        let end = self.run_banked(&sites, start, n_chunks);
+        self.site_buf = sites;
+        let end = end?;
         self.clock = end;
         self.report(start, end, start_counts, dst)
     }
@@ -872,17 +956,16 @@ impl AmbitSystem {
         // Chunks in distinct (src,dst) bank pairs overlap; model per-pair
         // serialization through the shared internal bus pessimistically as
         // full serialization per source bank.
-        let mut bank_free: std::collections::HashMap<BankId, Cycle> = Default::default();
+        let mut bank_free: Vec<(BankId, Cycle)> = Vec::new();
         let mut end = start;
         for chunk in 0..dst.rows.len() {
             let (s, d) = (src.rows[chunk], dst.rows[chunk]);
-            let ready = *bank_free.get(&s.bank_id()).unwrap_or(&start);
+            let ready = bank_free_get(&bank_free, s.bank_id(), start);
             let done = ready + per_row;
-            bank_free.insert(s.bank_id(), done);
-            bank_free.insert(d.bank_id(), done);
+            bank_free_set(&mut bank_free, s.bank_id(), done);
+            bank_free_set(&mut bank_free, d.bank_id(), done);
             end = end.max(done);
-            let data = self.device.store().read_row(s);
-            self.device.store_mut().write_row(d, &data);
+            self.device.store_mut().copy_row(s, d);
         }
         self.clock = end;
         let mut report = self.report(start, end, start_counts, dst)?;
@@ -926,7 +1009,7 @@ impl AmbitSystem {
         let rbm_cycles = spec.timing.ns_to_cycles(8.0);
         let start = self.clock;
         let start_counts = *self.device.counts();
-        let mut bank_free: std::collections::HashMap<BankId, Cycle> = Default::default();
+        let mut bank_free: Vec<(BankId, Cycle)> = Vec::new();
         let mut end = start;
         let mut total_hops = 0u64;
         for chunk in 0..dst.rows.len() {
@@ -936,12 +1019,11 @@ impl AmbitSystem {
                 .unsigned_abs();
             total_hops += hops;
             let per_row = spec.pim.aap + hops * rbm_cycles;
-            let ready = *bank_free.get(&s.bank_id()).unwrap_or(&start);
+            let ready = bank_free_get(&bank_free, s.bank_id(), start);
             let done = ready + per_row;
-            bank_free.insert(s.bank_id(), done);
+            bank_free_set(&mut bank_free, s.bank_id(), done);
             end = end.max(done);
-            let data = self.device.store().read_row(s);
-            self.device.store_mut().write_row(d, &data);
+            self.device.store_mut().copy_row(s, d);
         }
         self.clock = end;
         let mut report = self.report(start, end, start_counts, dst)?;

@@ -5,15 +5,222 @@
 //! this module records *what* the rows contain. Rows are allocated lazily —
 //! untouched rows read as all-zero — so simulating a multi-gigabyte device
 //! costs memory only for the rows actually used.
+//!
+//! ## Arena layout
+//!
+//! Row payloads live in per-bank arenas: one dense `Vec<u64>` slab per
+//! materialized bank, slot-major (`slot * row_words ..`), with a compact
+//! row→slot table in front of it. Banks with few materialized rows use a
+//! small open-addressing [`FastRowMap`] (one multiply + a short linear
+//! probe — no SipHash anywhere on the datapath); once a bank accumulates
+//! more than [`SPARSE_MAX`] rows the table is promoted to a dense `Vec<u32>`
+//! indexed directly by row number. The result is that the bulk-bitwise hot
+//! loops ([`DataStore::majority3`], [`DataStore::not_row`],
+//! [`DataStore::copy_row`], [`DataStore::fill_row`]) resolve each operand
+//! row *once* and then run as straight slice loops, instead of paying a
+//! hash lookup per 64-bit word as the original `HashMap<RowId, Box<[u64]>>`
+//! store did.
+//!
+//! ## Multi-row borrow rules
+//!
+//! [`DataStore::row_pair_mut`] and [`DataStore::row_triple_mut`] hand out
+//! disjoint mutable slices over rows of the arena:
+//!
+//! * all requested rows must be **distinct** (aliasing panics — callers
+//!   that may alias, like [`DataStore::majority3`], special-case aliases
+//!   *before* borrowing);
+//! * `row_triple_mut` additionally requires all three rows in **one bank**
+//!   (a triple-row activation is a subarray-local operation, so this is
+//!   the only case the hot path needs);
+//! * borrowing materializes the rows first (zero-filled), so the returned
+//!   slices are always full rows.
+//!
+//! A reusable scratch row ([`DataStore`] keeps one, `row_words` long) backs
+//! the rare cross-bank `majority3` fallback, so even that path allocates
+//! nothing in steady state.
 
 use crate::types::{BankId, RowId};
-use std::collections::HashMap;
+use std::cell::Cell;
 
-/// Lazily allocated map from rows to their contents (64-bit words).
+/// Sentinel slot meaning "row not materialized".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Materialized-row count past which a bank's row→slot table is promoted
+/// from the sparse fast-hash map to a dense direct-indexed table.
+const SPARSE_MAX: usize = 128;
+
+/// Open-addressing row→slot map with multiplicative (Fibonacci) hashing —
+/// the table for sparsely-touched banks. Lookups cost one multiply, one
+/// shift, and a short linear probe; there is no per-process seed, so
+/// behavior is identical across runs and threads.
+#[derive(Debug, Clone)]
+struct FastRowMap {
+    /// `(row, slot)` cells; vacant cells hold `slot == NO_SLOT`.
+    cells: Vec<(u32, u32)>,
+    len: usize,
+}
+
+impl FastRowMap {
+    fn new() -> Self {
+        FastRowMap {
+            cells: vec![(0, NO_SLOT); 16],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.cells.len() - 1
+    }
+
+    #[inline]
+    fn home(&self, row: u32) -> usize {
+        (((row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize & self.mask()
+    }
+
+    #[inline]
+    fn get(&self, row: u32) -> Option<u32> {
+        let mut i = self.home(row);
+        loop {
+            let (r, s) = self.cells[i];
+            if s == NO_SLOT {
+                return None;
+            }
+            if r == row {
+                return Some(s);
+            }
+            i = (i + 1) & self.mask();
+        }
+    }
+
+    /// Inserts a key known to be absent.
+    fn insert(&mut self, row: u32, slot: u32) {
+        if (self.len + 1) * 4 >= self.cells.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.home(row);
+        while self.cells[i].1 != NO_SLOT {
+            i = (i + 1) & self.mask();
+        }
+        self.cells[i] = (row, slot);
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.cells.len() * 2;
+        let old = std::mem::replace(&mut self.cells, vec![(0, NO_SLOT); doubled]);
+        for (row, slot) in old {
+            if slot != NO_SLOT {
+                let mut i = self.home(row);
+                while self.cells[i].1 != NO_SLOT {
+                    i = (i + 1) & self.mask();
+                }
+                self.cells[i] = (row, slot);
+            }
+        }
+    }
+}
+
+/// Row→slot table of one bank arena.
+#[derive(Debug, Clone)]
+enum RowTable {
+    /// Fast-hash map for banks with few materialized rows.
+    Sparse(FastRowMap),
+    /// Dense table indexed directly by row number (`NO_SLOT` = absent).
+    Dense(Vec<u32>),
+}
+
+/// One bank's materialized rows: a slot-major `u64` slab plus the
+/// row→slot table. Obtained from [`DataStore::take_bank`] and moved back
+/// with [`DataStore::insert_bank`] — the O(1) fork/join primitive behind
+/// bank-parallel execution.
+#[derive(Debug, Clone)]
+pub struct BankRows {
+    bank: BankId,
+    /// Slot-major payloads: slot `s` occupies `words[s*row_words..][..row_words]`.
+    words: Vec<u64>,
+    /// Slot → row index (the table's inverse; drives promotion and merge).
+    slot_rows: Vec<u32>,
+    table: RowTable,
+}
+
+impl BankRows {
+    fn new(bank: BankId) -> Self {
+        BankRows {
+            bank,
+            words: Vec::new(),
+            slot_rows: Vec::new(),
+            table: RowTable::Sparse(FastRowMap::new()),
+        }
+    }
+
+    /// The bank these rows belong to.
+    pub fn bank_id(&self) -> BankId {
+        self.bank
+    }
+
+    #[inline]
+    fn slot_of(&self, row: u32) -> Option<usize> {
+        match &self.table {
+            RowTable::Sparse(m) => m.get(row).map(|s| s as usize),
+            RowTable::Dense(t) => match t.get(row as usize) {
+                Some(&s) if s != NO_SLOT => Some(s as usize),
+                _ => None,
+            },
+        }
+    }
+
+    /// Slot of `row`, materializing it (zero-filled) if needed.
+    fn materialize(&mut self, row: u32, row_words: usize) -> usize {
+        if let Some(s) = self.slot_of(row) {
+            return s;
+        }
+        let slot = self.slot_rows.len();
+        self.slot_rows.push(row);
+        self.words.resize(self.words.len() + row_words, 0);
+        match &mut self.table {
+            RowTable::Sparse(m) => {
+                m.insert(row, slot as u32);
+                if m.len > SPARSE_MAX {
+                    self.promote();
+                }
+            }
+            RowTable::Dense(t) => {
+                if row as usize >= t.len() {
+                    t.resize((row as usize + 1).next_power_of_two(), NO_SLOT);
+                }
+                t[row as usize] = slot as u32;
+            }
+        }
+        slot
+    }
+
+    fn promote(&mut self) {
+        let max_row = self.slot_rows.iter().copied().max().unwrap_or(0) as usize;
+        let mut t = vec![NO_SLOT; (max_row + 1).next_power_of_two()];
+        for (slot, &row) in self.slot_rows.iter().enumerate() {
+            t[row as usize] = slot as u32;
+        }
+        self.table = RowTable::Dense(t);
+    }
+
+    #[inline]
+    fn row(&self, row: u32, row_words: usize) -> Option<&[u64]> {
+        self.slot_of(row)
+            .map(|s| &self.words[s * row_words..(s + 1) * row_words])
+    }
+}
+
+/// Arena-backed store of materialized DRAM rows (64-bit words).
 #[derive(Debug, Clone, Default)]
 pub struct DataStore {
-    rows: HashMap<RowId, Box<[u64]>>,
+    banks: Vec<BankRows>,
     row_words: usize,
+    /// One-entry bank-lookup cache. The Ambit engine issues long streaks
+    /// of same-bank commands, so this hits nearly always.
+    last_bank: Cell<usize>,
+    /// Reusable scratch row for the cross-bank `majority3` fallback.
+    scratch: Vec<u64>,
 }
 
 impl DataStore {
@@ -28,8 +235,10 @@ impl DataStore {
             "row size must be a positive multiple of 8"
         );
         DataStore {
-            rows: HashMap::new(),
+            banks: Vec::new(),
             row_words: (row_bytes / 8) as usize,
+            last_bank: Cell::new(usize::MAX),
+            scratch: Vec::new(),
         }
     }
 
@@ -40,22 +249,139 @@ impl DataStore {
 
     /// Number of rows that have been materialized.
     pub fn allocated_rows(&self) -> usize {
-        self.rows.len()
+        self.banks.iter().map(|b| b.slot_rows.len()).sum()
     }
 
-    /// Returns the contents of `row`, or `None` if the row was never written
-    /// (i.e. it still reads as all-zero).
+    /// Number of banks that have at least one materialized row.
+    pub fn allocated_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    #[inline]
+    fn bank_index(&self, bank: BankId) -> Option<usize> {
+        let hint = self.last_bank.get();
+        if let Some(b) = self.banks.get(hint) {
+            if b.bank == bank {
+                return Some(hint);
+            }
+        }
+        let idx = self.banks.iter().position(|b| b.bank == bank)?;
+        self.last_bank.set(idx);
+        Some(idx)
+    }
+
+    /// Arena index for `bank`, creating an empty arena if needed.
+    fn bank_index_mut(&mut self, bank: BankId) -> usize {
+        match self.bank_index(bank) {
+            Some(i) => i,
+            None => {
+                self.banks.push(BankRows::new(bank));
+                let i = self.banks.len() - 1;
+                self.last_bank.set(i);
+                i
+            }
+        }
+    }
+
+    /// `(arena, slot)` of `row`, materializing it (zero-filled) if needed.
+    #[inline]
+    fn materialize(&mut self, row: RowId) -> (usize, usize) {
+        let words = self.row_words;
+        let b = self.bank_index_mut(row.bank_id());
+        let slot = self.banks[b].materialize(row.row, words);
+        (b, slot)
+    }
+
+    /// Returns the contents of `row`, or `None` if the row was never
+    /// materialized (i.e. it still reads as all-zero).
     pub fn row(&self, row: RowId) -> Option<&[u64]> {
-        self.rows.get(&row).map(|b| &**b)
+        self.bank_index(row.bank_id())
+            .and_then(|b| self.banks[b].row(row.row, self.row_words))
     }
 
     /// Returns a mutable reference to `row`, materializing it (zero-filled)
     /// if needed.
     pub fn row_mut(&mut self, row: RowId) -> &mut [u64] {
         let words = self.row_words;
-        self.rows
-            .entry(row)
-            .or_insert_with(|| vec![0u64; words].into_boxed_slice())
+        let (b, slot) = self.materialize(row);
+        &mut self.banks[b].words[slot * words..(slot + 1) * words]
+    }
+
+    /// Disjoint mutable views of two distinct rows, materializing both.
+    /// The rows may live in different banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn row_pair_mut(&mut self, a: RowId, b: RowId) -> (&mut [u64], &mut [u64]) {
+        assert_ne!(a, b, "row_pair_mut requires distinct rows");
+        let words = self.row_words;
+        let (ba, sa) = self.materialize(a);
+        let (bb, sb) = self.materialize(b);
+        if ba == bb {
+            let ws = &mut self.banks[ba].words;
+            split_two(ws, sa * words, sb * words, words)
+        } else {
+            let (lo_i, hi_i) = (ba.min(bb), ba.max(bb));
+            let (lo, hi) = self.banks.split_at_mut(hi_i);
+            let lo_slice = {
+                let s = if ba == lo_i { sa } else { sb };
+                &mut lo[lo_i].words[s * words..(s + 1) * words]
+            };
+            let hi_slice = {
+                let s = if ba == lo_i { sb } else { sa };
+                &mut hi[0].words[s * words..(s + 1) * words]
+            };
+            if ba == lo_i {
+                (lo_slice, hi_slice)
+            } else {
+                (hi_slice, lo_slice)
+            }
+        }
+    }
+
+    /// Disjoint mutable views of three distinct rows of **one bank**,
+    /// materializing all three — the triple-row-activation borrow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two rows alias or the rows span banks.
+    pub fn row_triple_mut(
+        &mut self,
+        a: RowId,
+        b: RowId,
+        c: RowId,
+    ) -> (&mut [u64], &mut [u64], &mut [u64]) {
+        assert!(
+            a.bank_id() == b.bank_id() && a.bank_id() == c.bank_id(),
+            "row_triple_mut requires one bank (TRA is subarray-local)"
+        );
+        assert!(
+            a != b && a != c && b != c,
+            "row_triple_mut requires distinct rows"
+        );
+        let words = self.row_words;
+        let (bank, sa) = self.materialize(a);
+        let sb = self.banks[bank].materialize(b.row, words);
+        let sc = self.banks[bank].materialize(c.row, words);
+        let offs = [sa * words, sb * words, sc * words];
+        let ws = &mut self.banks[bank].words;
+        // Split at the two larger offsets, then map the pieces back to
+        // (a, b, c) order.
+        let mut order = [0usize, 1, 2];
+        order.sort_unstable_by_key(|&i| offs[i]);
+        let (lo, rest) = ws.split_at_mut(offs[order[1]]);
+        let (mid, hi) = rest.split_at_mut(offs[order[2]] - offs[order[1]]);
+        let s0 = &mut lo[offs[order[0]]..offs[order[0]] + words];
+        let s1 = &mut mid[..words];
+        let s2 = &mut hi[..words];
+        let mut out = [Some(s0), Some(s1), Some(s2)];
+        let mut pick = |tag: usize| {
+            let pos = order.iter().position(|&o| o == tag).expect("tag in order");
+            out[pos].take().expect("each piece taken once")
+        };
+        let (ra, rb, rc) = (pick(0), pick(1), pick(2));
+        (ra, rb, rc)
     }
 
     /// Reads word `idx` of `row` (zero if the row is unmaterialized).
@@ -65,7 +391,7 @@ impl DataStore {
     /// Panics if `idx >= row_words()`.
     pub fn read_word(&self, row: RowId, idx: usize) -> u64 {
         assert!(idx < self.row_words, "word index {idx} out of row bounds");
-        self.rows.get(&row).map_or(0, |r| r[idx])
+        self.row(row).map_or(0, |r| r[idx])
     }
 
     /// Writes word `idx` of `row`.
@@ -79,68 +405,114 @@ impl DataStore {
     }
 
     /// Copies the full contents of `src` into `dst` (RowClone semantics).
+    /// A self-copy is a no-op; copying an unmaterialized source zeroes the
+    /// destination without materializing the source.
     pub fn copy_row(&mut self, src: RowId, dst: RowId) {
         if src == dst {
             return;
         }
-        match self.rows.get(&src).cloned() {
-            Some(data) => {
-                self.rows.insert(dst, data);
-            }
-            None => {
-                // Source is all-zero; make destination all-zero too.
-                self.rows.remove(&dst);
+        let src_exists = self
+            .bank_index(src.bank_id())
+            .is_some_and(|b| self.banks[b].slot_of(src.row).is_some());
+        if src_exists {
+            let (s, d) = self.row_pair_mut(src, dst);
+            d.copy_from_slice(s);
+        } else if let Some(b) = self.bank_index(dst.bank_id()) {
+            if let Some(slot) = self.banks[b].slot_of(dst.row) {
+                let words = self.row_words;
+                self.banks[b].words[slot * words..(slot + 1) * words].fill(0);
             }
         }
     }
 
-    /// Fills `row` with `word` repeated (bulk initialization).
+    /// Fills `row` with `word` repeated (bulk initialization). Zero-filling
+    /// a row that was never materialized is a no-op.
     pub fn fill_row(&mut self, row: RowId, word: u64) {
-        if word == 0 {
-            self.rows.remove(&row);
-        } else {
-            self.row_mut(row).fill(word);
+        if word == 0 && self.row(row).is_none() {
+            return;
         }
+        self.row_mut(row).fill(word);
     }
 
     /// Computes the bitwise majority of three rows and stores it into **all
     /// three** rows (triple-row-activation semantics: charge sharing leaves
     /// the majority value in every participating cell).
     ///
-    /// Returns a copy of the resulting row.
-    pub fn majority3(&mut self, a: RowId, b: RowId, c: RowId) -> Vec<u64> {
-        let words = self.row_words;
-        let mut out = vec![0u64; words];
-        for (i, slot) in out.iter_mut().enumerate() {
-            let (x, y, z) = (
-                self.read_word(a, i),
-                self.read_word(b, i),
-                self.read_word(c, i),
-            );
-            *slot = (x & y) | (y & z) | (x & z);
+    /// Aliased operands are handled (`MAJ(x, x, z) = x`); the same-bank
+    /// case — the only one a real TRA can produce — runs as a single
+    /// three-slice loop with no allocation.
+    pub fn majority3(&mut self, a: RowId, b: RowId, c: RowId) {
+        // Aliases collapse to copies: two aliased operands outvote the third.
+        if a == b && b == c {
+            return;
         }
-        for row in [a, b, c] {
-            self.row_mut(row).copy_from_slice(&out);
+        if a == b {
+            return self.copy_row(a, c);
         }
-        out
+        if a == c {
+            return self.copy_row(a, b);
+        }
+        if b == c {
+            return self.copy_row(b, a);
+        }
+        if a.bank_id() == b.bank_id() && a.bank_id() == c.bank_id() {
+            let (x, y, z) = self.row_triple_mut(a, b, c);
+            for ((xw, yw), zw) in x.iter_mut().zip(y.iter_mut()).zip(z.iter_mut()) {
+                let m = (*xw & *yw) | (*yw & *zw) | (*xw & *zw);
+                *xw = m;
+                *yw = m;
+                *zw = m;
+            }
+        } else {
+            // Cross-bank fallback (never produced by real TRA commands):
+            // compute into the reusable scratch row, then store.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            scratch.resize(self.row_words, 0);
+            for (i, slot) in scratch.iter_mut().enumerate() {
+                let (x, y, z) = (
+                    self.read_word(a, i),
+                    self.read_word(b, i),
+                    self.read_word(c, i),
+                );
+                *slot = (x & y) | (y & z) | (x & z);
+            }
+            for row in [a, b, c] {
+                self.write_row(row, &scratch);
+            }
+            self.scratch = scratch;
+        }
     }
 
     /// Writes the bitwise NOT of `src` into `dst` (dual-contact-cell
-    /// semantics of Ambit-NOT).
+    /// semantics of Ambit-NOT). `src == dst` inverts the row in place.
     pub fn not_row(&mut self, src: RowId, dst: RowId) {
-        let words = self.row_words;
-        let src_data: Vec<u64> = (0..words).map(|i| self.read_word(src, i)).collect();
-        let dst_row = self.row_mut(dst);
-        for (d, s) in dst_row.iter_mut().zip(src_data.iter()) {
-            *d = !*s;
+        if src == dst {
+            for w in self.row_mut(dst) {
+                *w = !*w;
+            }
+        } else {
+            let (s, d) = self.row_pair_mut(src, dst);
+            for (dw, sw) in d.iter_mut().zip(s.iter()) {
+                *dw = !*sw;
+            }
         }
     }
 
     /// Reads the full row into a fresh vector (all-zero if unmaterialized).
     pub fn read_row(&self, row: RowId) -> Vec<u64> {
-        match self.rows.get(&row) {
+        match self.row(row) {
             Some(data) => data.to_vec(),
             None => vec![0u64; self.row_words],
+        }
+    }
+
+    /// Appends the full row contents to `out` (zeros if unmaterialized)
+    /// without allocating a temporary.
+    pub fn append_row(&self, row: RowId, out: &mut Vec<u64>) {
+        match self.row(row) {
+            Some(data) => out.extend_from_slice(data),
+            None => out.resize(out.len() + self.row_words, 0),
         }
     }
 
@@ -154,41 +526,69 @@ impl DataStore {
         self.row_mut(row).copy_from_slice(data);
     }
 
+    /// Overwrites `row` from a possibly-short slice, zero-filling the tail
+    /// (the bulk-vector write path's last chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() > row_words()`.
+    pub fn write_row_from(&mut self, row: RowId, data: &[u64]) {
+        assert!(data.len() <= self.row_words, "row data length mismatch");
+        let dst = self.row_mut(row);
+        dst[..data.len()].copy_from_slice(data);
+        dst[data.len()..].fill(0);
+    }
+
     /// Drops all materialized rows (everything reads as zero again).
     pub fn clear(&mut self) {
-        self.rows.clear();
+        self.banks.clear();
+        self.last_bank.set(usize::MAX);
     }
 
-    /// Removes and returns every materialized row belonging to `bank`,
-    /// leaving the rest of the store untouched. Used to carve a per-bank
-    /// shard for parallel execution.
-    pub fn take_bank_rows(&mut self, bank: BankId) -> Vec<(RowId, Box<[u64]>)> {
-        let keys: Vec<RowId> = self
-            .rows
-            .keys()
-            .copied()
-            .filter(|r| r.bank_id() == bank)
-            .collect();
-        keys.into_iter()
-            .map(|k| {
-                let data = self.rows.remove(&k).expect("key collected from this map");
-                (k, data)
-            })
-            .collect()
+    /// Removes and returns `bank`'s whole arena (its rows then read as
+    /// zero here), or `None` if the bank was never touched. O(1): the slab
+    /// moves, nothing is copied. Used to carve a per-bank shard for
+    /// parallel execution.
+    pub fn take_bank(&mut self, bank: BankId) -> Option<BankRows> {
+        let idx = self.banks.iter().position(|b| b.bank == bank)?;
+        self.last_bank.set(usize::MAX);
+        Some(self.banks.swap_remove(idx))
     }
 
-    /// Removes and returns every materialized row (the inverse of repeated
-    /// [`DataStore::insert_rows`]).
-    pub fn take_all_rows(&mut self) -> Vec<(RowId, Box<[u64]>)> {
-        self.rows.drain().collect()
+    /// Removes and returns every bank arena.
+    pub fn take_all_banks(&mut self) -> Vec<BankRows> {
+        self.last_bank.set(usize::MAX);
+        std::mem::take(&mut self.banks)
     }
 
-    /// Inserts rows previously taken with [`DataStore::take_bank_rows`] or
-    /// [`DataStore::take_all_rows`], overwriting any existing contents.
-    pub fn insert_rows(&mut self, rows: Vec<(RowId, Box<[u64]>)>) {
-        for (k, data) in rows {
-            self.rows.insert(k, data);
+    /// Inserts an arena previously removed with [`DataStore::take_bank`] /
+    /// [`DataStore::take_all_banks`]. If rows of that bank were
+    /// re-materialized here in the meantime, the incoming rows overwrite
+    /// them row by row; in the common fork/join protocol the bank is absent
+    /// and the arena moves back in O(1).
+    pub fn insert_bank(&mut self, incoming: BankRows) {
+        match self.bank_index(incoming.bank) {
+            None => self.banks.push(incoming),
+            Some(_) => {
+                let words = self.row_words;
+                for (slot, &row) in incoming.slot_rows.iter().enumerate() {
+                    let id = incoming.bank.row(row);
+                    self.write_row(id, &incoming.words[slot * words..(slot + 1) * words]);
+                }
+            }
         }
+    }
+}
+
+/// Two disjoint `n`-word ranges of `ws` starting at distinct offsets.
+fn split_two(ws: &mut [u64], o1: usize, o2: usize, n: usize) -> (&mut [u64], &mut [u64]) {
+    debug_assert_ne!(o1, o2);
+    if o1 < o2 {
+        let (lo, hi) = ws.split_at_mut(o2);
+        (&mut lo[o1..o1 + n], &mut hi[..n])
+    } else {
+        let (lo, hi) = ws.split_at_mut(o1);
+        (&mut hi[..n], &mut lo[o2..o2 + n])
     }
 }
 
@@ -220,6 +620,7 @@ mod tests {
         assert_eq!(s.read_word(rid(1), 3), 0xdead_beef);
         assert_eq!(s.read_word(rid(1), 2), 0);
         assert_eq!(s.allocated_rows(), 1);
+        assert_eq!(s.allocated_banks(), 1);
     }
 
     #[test]
@@ -231,6 +632,8 @@ mod tests {
         // Copying an all-zero row over a dirty row zeroes it.
         s.copy_row(rid(9), rid(2));
         assert_eq!(s.read_word(rid(2), 0), 0);
+        // ...without materializing the all-zero source.
+        assert!(s.row(rid(9)).is_none());
         // Self copy is a no-op.
         s.write_word(rid(3), 1, 42);
         s.copy_row(rid(3), rid(3));
@@ -238,13 +641,26 @@ mod tests {
     }
 
     #[test]
-    fn fill_row_zero_frees() {
+    fn copy_row_across_banks() {
+        let mut s = store();
+        let a = RowId::new(0, 0, 0, 1);
+        let b = RowId::new(0, 0, 3, 9);
+        s.write_word(a, 2, 0xabc);
+        s.copy_row(a, b);
+        assert_eq!(s.read_word(b, 2), 0xabc);
+        assert_eq!(s.allocated_banks(), 2);
+    }
+
+    #[test]
+    fn fill_row_values_and_zero() {
         let mut s = store();
         s.fill_row(rid(4), u64::MAX);
         assert_eq!(s.read_word(rid(4), 7), u64::MAX);
         s.fill_row(rid(4), 0);
-        assert!(s.row(rid(4)).is_none());
         assert_eq!(s.read_word(rid(4), 7), 0);
+        // Zero-filling an untouched row must not materialize it.
+        s.fill_row(rid(5), 0);
+        assert!(s.row(rid(5)).is_none());
     }
 
     #[test]
@@ -253,8 +669,7 @@ mod tests {
         s.write_word(rid(0), 0, 0b1100);
         s.write_word(rid(1), 0, 0b1010);
         s.write_word(rid(2), 0, 0b1001);
-        let out = s.majority3(rid(0), rid(1), rid(2));
-        assert_eq!(out[0], 0b1000);
+        s.majority3(rid(0), rid(1), rid(2));
         for r in 0..3 {
             assert_eq!(
                 s.read_word(rid(r), 0),
@@ -273,13 +688,44 @@ mod tests {
         s.write_word(rid(0), 0, a);
         s.write_word(rid(1), 0, b);
         s.fill_row(rid(2), 0);
-        assert_eq!(s.majority3(rid(0), rid(1), rid(2))[0], a & b);
+        s.majority3(rid(0), rid(1), rid(2));
+        assert_eq!(s.read_word(rid(2), 0), a & b);
 
         let mut s = store();
         s.write_word(rid(0), 0, a);
         s.write_word(rid(1), 0, b);
         s.fill_row(rid(2), u64::MAX);
-        assert_eq!(s.majority3(rid(0), rid(1), rid(2))[0], a | b);
+        s.majority3(rid(0), rid(1), rid(2));
+        assert_eq!(s.read_word(rid(2), 0), a | b);
+    }
+
+    #[test]
+    fn majority_aliased_operands() {
+        // MAJ(x, x, z) = x: the aliased pair outvotes the third row.
+        let mut s = store();
+        s.write_word(rid(0), 0, 0xf0f0);
+        s.write_word(rid(1), 0, 0x1234);
+        s.majority3(rid(0), rid(0), rid(1));
+        assert_eq!(s.read_word(rid(0), 0), 0xf0f0);
+        assert_eq!(s.read_word(rid(1), 0), 0xf0f0);
+        // Fully aliased: no-op.
+        s.majority3(rid(0), rid(0), rid(0));
+        assert_eq!(s.read_word(rid(0), 0), 0xf0f0);
+    }
+
+    #[test]
+    fn majority_across_banks_fallback() {
+        let mut s = store();
+        let a = RowId::new(0, 0, 0, 0);
+        let b = RowId::new(0, 0, 1, 0);
+        let c = RowId::new(0, 0, 2, 0);
+        s.write_word(a, 1, 0b1100);
+        s.write_word(b, 1, 0b1010);
+        s.write_word(c, 1, 0b1001);
+        s.majority3(a, b, c);
+        for r in [a, b, c] {
+            assert_eq!(s.read_word(r, 1), 0b1000);
+        }
     }
 
     #[test]
@@ -290,6 +736,51 @@ mod tests {
         assert_eq!(s.read_word(rid(1), 0), 0x00ff_00ff_00ff_00ff);
         // Words beyond index 0 were zero, so they invert to all-ones.
         assert_eq!(s.read_word(rid(1), 1), u64::MAX);
+        // In-place inversion.
+        s.not_row(rid(1), rid(1));
+        assert_eq!(s.read_word(rid(1), 0), 0xff00_ff00_ff00_ff00);
+        assert_eq!(s.read_word(rid(1), 1), 0);
+    }
+
+    #[test]
+    fn row_pair_mut_disjoint_both_orders() {
+        let mut s = store();
+        s.write_word(rid(1), 0, 11);
+        s.write_word(rid(2), 0, 22);
+        {
+            let (a, b) = s.row_pair_mut(rid(1), rid(2));
+            assert_eq!((a[0], b[0]), (11, 22));
+            a[0] = 1;
+            b[0] = 2;
+        }
+        {
+            let (b, a) = s.row_pair_mut(rid(2), rid(1));
+            assert_eq!((b[0], a[0]), (2, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn row_pair_mut_rejects_alias() {
+        let mut s = store();
+        let _ = s.row_pair_mut(rid(1), rid(1));
+    }
+
+    #[test]
+    fn row_triple_mut_all_orderings() {
+        let mut s = store();
+        for (i, r) in [3u32, 1, 2].iter().enumerate() {
+            s.write_word(rid(*r), 0, 100 + i as u64);
+        }
+        let (a, b, c) = s.row_triple_mut(rid(3), rid(1), rid(2));
+        assert_eq!((a[0], b[0], c[0]), (100, 101, 102));
+    }
+
+    #[test]
+    #[should_panic(expected = "one bank")]
+    fn row_triple_mut_rejects_cross_bank() {
+        let mut s = store();
+        let _ = s.row_triple_mut(rid(0), rid(1), RowId::new(0, 0, 1, 2));
     }
 
     #[test]
@@ -298,6 +789,19 @@ mod tests {
         let data: Vec<u64> = (0..8).map(|i| i * 11).collect();
         s.write_row(rid(6), &data);
         assert_eq!(s.read_row(rid(6)), data);
+        let mut out = Vec::new();
+        s.append_row(rid(6), &mut out);
+        s.append_row(rid(7), &mut out);
+        assert_eq!(out[..8], data[..]);
+        assert_eq!(out[8..], [0u64; 8]);
+    }
+
+    #[test]
+    fn write_row_from_zero_fills_tail() {
+        let mut s = store();
+        s.fill_row(rid(0), u64::MAX);
+        s.write_row_from(rid(0), &[1, 2, 3]);
+        assert_eq!(s.read_row(rid(0)), vec![1, 2, 3, 0, 0, 0, 0, 0]);
     }
 
     #[test]
@@ -315,21 +819,50 @@ mod tests {
     }
 
     #[test]
-    fn take_and_insert_bank_rows_round_trip() {
+    fn take_and_insert_bank_round_trip() {
         let mut s = store();
         let b0r = RowId::new(0, 0, 0, 1);
         let b1r = RowId::new(0, 0, 1, 1);
         s.write_word(b0r, 0, 11);
         s.write_word(b1r, 0, 22);
-        let taken = s.take_bank_rows(BankId::new(0, 0, 1));
-        assert_eq!(taken.len(), 1);
+        let taken = s.take_bank(BankId::new(0, 0, 1)).expect("bank 1 touched");
+        assert_eq!(taken.bank_id(), BankId::new(0, 0, 1));
         assert_eq!(s.read_word(b1r, 0), 0, "taken rows read as zero");
         assert_eq!(s.read_word(b0r, 0), 11, "other banks untouched");
-        s.insert_rows(taken);
+        s.insert_bank(taken);
         assert_eq!(s.read_word(b1r, 0), 22);
-        let all = s.take_all_rows();
+        assert!(s.take_bank(BankId::new(0, 0, 7)).is_none());
+        let all = s.take_all_banks();
         assert_eq!(all.len(), 2);
         assert_eq!(s.allocated_rows(), 0);
+    }
+
+    #[test]
+    fn insert_bank_merges_into_existing() {
+        let mut s = store();
+        let r1 = RowId::new(0, 0, 1, 5);
+        let r2 = RowId::new(0, 0, 1, 6);
+        s.write_word(r1, 0, 1);
+        let taken = s.take_bank(BankId::new(0, 0, 1)).unwrap();
+        // Re-materialize rows of the same bank while the arena is out.
+        s.write_word(r1, 0, 99);
+        s.write_word(r2, 0, 42);
+        s.insert_bank(taken);
+        assert_eq!(s.read_word(r1, 0), 1, "incoming rows overwrite");
+        assert_eq!(s.read_word(r2, 0), 42, "rows absent from the arena stay");
+    }
+
+    #[test]
+    fn sparse_promotes_to_dense() {
+        let mut s = store();
+        for r in 0..(SPARSE_MAX as u32 * 2) {
+            s.write_word(rid(r * 3), 0, r as u64);
+        }
+        assert!(matches!(s.banks[0].table, RowTable::Dense(_)));
+        for r in 0..(SPARSE_MAX as u32 * 2) {
+            assert_eq!(s.read_word(rid(r * 3), 0), r as u64, "row {r} survived");
+        }
+        assert_eq!(s.allocated_rows(), SPARSE_MAX * 2);
     }
 
     #[test]

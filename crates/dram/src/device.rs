@@ -400,11 +400,18 @@ impl Device {
                 earliest,
             });
         }
+        Ok(self.apply(cmd, at))
+    }
+
+    /// Applies a command already validated by [`Device::earliest`] at a
+    /// cycle already known to be legal. Infallible by construction — this
+    /// is what lets [`Device::issue_earliest`] validate exactly once.
+    fn apply(&mut self, cmd: Command, at: Cycle) -> IssueOutcome {
         let t = self.spec.timing;
         let pim = self.spec.pim;
         let burst = t.burst_cycles();
         self.counts.record(cmd.kind());
-        let outcome = match cmd {
+        match cmd {
             Command::Act(row) => {
                 self.bank_mut(row.bank_id())
                     .on_act(at, row.row, t.rcd, t.ras, t.rc);
@@ -577,26 +584,30 @@ impl Device {
                     r.record_act(at, rrd);
                     r.record_act(at + ras, rrd);
                 }
-                let maj =
-                    self.store
-                        .majority3(bank.row(rows[0]), bank.row(rows[1]), bank.row(rows[2]));
-                let out: Vec<u64> = if invert {
-                    maj.iter().map(|w| !w).collect()
+                self.store
+                    .majority3(bank.row(rows[0]), bank.row(rows[1]), bank.row(rows[2]));
+                // All three rows now hold the majority; capture it into dst
+                // in place (inverted through the dual-contact cell if asked).
+                if invert {
+                    self.store.not_row(bank.row(rows[0]), bank.row(dst));
                 } else {
-                    maj
-                };
-                self.store.write_row(bank.row(dst), &out);
+                    self.store.copy_row(bank.row(rows[0]), bank.row(dst));
+                }
                 IssueOutcome {
                     done: at + pim.aap,
                     row_hit: false,
                 }
             }
-        };
-        Ok(outcome)
+        }
     }
 
     /// Issues `cmd` at the earliest legal cycle that is `>= not_before`,
     /// returning `(issue_cycle, outcome)`.
+    ///
+    /// The legality check runs exactly once: `earliest` both validates the
+    /// command and yields the issue cycle, and the state transition is then
+    /// applied directly instead of re-deriving the constraint inside
+    /// [`Device::issue`].
     ///
     /// # Errors
     ///
@@ -606,9 +617,15 @@ impl Device {
         cmd: Command,
         not_before: Cycle,
     ) -> Result<(Cycle, IssueOutcome)> {
-        let at = self.earliest(&cmd)?.max(not_before);
-        let outcome = self.issue(cmd, at)?;
-        Ok((at, outcome))
+        let earliest = self.earliest(&cmd)?;
+        let at = earliest.max(not_before);
+        // Issuing at the cycle `earliest` just returned can never be
+        // TooEarly; guard the single-validation fast path in debug builds.
+        debug_assert!(
+            at >= self.earliest(&cmd).expect("command stays valid"),
+            "issue at {at} would be TooEarly"
+        );
+        Ok((at, self.apply(cmd, at)))
     }
 
     fn rank_mut(&mut self, channel: u32, rank: u32) -> &mut RankTiming {
@@ -635,7 +652,9 @@ impl Device {
     pub fn fork_bank(&mut self, bank: BankId) -> Result<Device> {
         self.check_bank_id(bank)?;
         let mut store = DataStore::new(self.spec.org.row_bytes());
-        store.insert_rows(self.store.take_bank_rows(bank));
+        if let Some(arena) = self.store.take_bank(bank) {
+            store.insert_bank(arena);
+        }
         Ok(Device {
             spec: self.spec.clone(),
             channels: self.channels.clone(),
@@ -654,7 +673,9 @@ impl Device {
     pub fn join_bank(&mut self, bank: BankId, mut shard: Device) -> Result<()> {
         self.check_bank_id(bank)?;
         *self.bank_mut(bank) = shard.bank(bank).clone();
-        self.store.insert_rows(shard.store.take_all_rows());
+        for arena in shard.store.take_all_banks() {
+            self.store.insert_bank(arena);
+        }
         self.counts.merge(&shard.counts);
         Ok(())
     }

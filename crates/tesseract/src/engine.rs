@@ -201,6 +201,27 @@ struct Emit<M> {
     msg: M,
 }
 
+/// Reusable vault-grouping buffer for [`run_superstep`]: the inner vectors
+/// keep their capacity across supersteps, so iterative kernels (PageRank,
+/// SSSP, vertex cover) regroup the frontier without allocating.
+#[derive(Debug, Default)]
+struct VaultGroups {
+    groups: Vec<Vec<u32>>,
+}
+
+impl VaultGroups {
+    /// Regroups `vertices` by owning vault, preserving order within a vault.
+    fn regroup(&mut self, p: &VertexPartition, vertices: &[u32]) {
+        self.groups.resize_with(p.vaults() as usize, Vec::new);
+        for g in &mut self.groups {
+            g.clear();
+        }
+        for &u in vertices {
+            self.groups[p.vault_of(u) as usize].push(u);
+        }
+    }
+}
+
 /// Runs one barrier-synchronized superstep: `vertices` are grouped by
 /// owning vault (preserving order), every vault scans its group — reading
 /// only snapshot state, writing a vault-local trace, emit list, and
@@ -216,15 +237,14 @@ fn run_superstep<M: Send, A: Default + Send>(
     p: &VertexPartition,
     vertices: &[u32],
     dedup: &mut TargetDedup,
+    groups: &mut VaultGroups,
     scan: &(impl Fn(u32, &mut SuperstepTrace, &mut Vec<Emit<M>>, &mut A) + Sync),
     mut apply: impl FnMut(&Emit<M>),
 ) -> (SuperstepTrace, Vec<A>) {
     dedup.next_superstep();
     let n_vaults = p.vaults();
-    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n_vaults as usize];
-    for &u in vertices {
-        groups[p.vault_of(u) as usize].push(u);
-    }
+    groups.regroup(p, vertices);
+    let groups = &groups.groups;
     let run_group = |group: &[u32]| {
         let mut local = SuperstepTrace::new(n_vaults);
         let mut emits = Vec::new();
@@ -237,7 +257,10 @@ fn run_superstep<M: Send, A: Default + Send>(
     #[cfg(feature = "parallel")]
     let results: Vec<(SuperstepTrace, Vec<Emit<M>>, A)> = if rayon::current_num_threads() > 1 {
         use rayon::prelude::*;
-        groups.into_par_iter().map(|g| run_group(&g)).collect()
+        (0..groups.len())
+            .into_par_iter()
+            .map(|i| run_group(&groups[i]))
+            .collect()
     } else {
         groups.iter().map(|g| run_group(g)).collect()
     };
@@ -266,6 +289,7 @@ pub fn run_atf(g: &Graph, p: &VertexPartition) -> (KernelOutput, ExecutionTrace)
     let n = g.num_vertices();
     let mut counts = vec![0u32; n];
     let mut dedup = TargetDedup::new(n);
+    let mut groups = VaultGroups::default();
     let vertices: Vec<u32> = (0..n as u32).collect();
     let scan = |u: u32, local: &mut SuperstepTrace, emits: &mut Vec<Emit<()>>, _: &mut ()| {
         let vu = p.vault_of(u);
@@ -285,7 +309,7 @@ pub fn run_atf(g: &Graph, p: &VertexPartition) -> (KernelOutput, ExecutionTrace)
             }
         });
     };
-    let (ss, _) = run_superstep(p, &vertices, &mut dedup, &scan, |e| {
+    let (ss, _) = run_superstep(p, &vertices, &mut dedup, &mut groups, &scan, |e| {
         counts[e.target as usize] += 1;
     });
     let total: u64 = counts.iter().map(|&c| c as u64).sum();
@@ -304,6 +328,7 @@ pub fn run_atf(g: &Graph, p: &VertexPartition) -> (KernelOutput, ExecutionTrace)
 pub fn run_conductance(g: &Graph, p: &VertexPartition) -> (KernelOutput, ExecutionTrace) {
     let n = g.num_vertices();
     let mut dedup = TargetDedup::new(n);
+    let mut groups = VaultGroups::default();
     let vertices: Vec<u32> = (0..n as u32).collect();
     // Per-vault accumulator: (cut, vol_s, vol_t); folded at the barrier.
     let scan =
@@ -325,7 +350,7 @@ pub fn run_conductance(g: &Graph, p: &VertexPartition) -> (KernelOutput, Executi
                 }
             });
         };
-    let (ss, accs) = run_superstep(p, &vertices, &mut dedup, &scan, |_| {});
+    let (ss, accs) = run_superstep(p, &vertices, &mut dedup, &mut groups, &scan, |_| {});
     let (cut, vol_s, vol_t) = accs
         .iter()
         .fold((0u64, 0u64, 0u64), |t, a| (t.0 + a.0, t.1 + a.1, t.2 + a.2));
@@ -352,6 +377,7 @@ pub fn run_pagerank(g: &Graph, p: &VertexPartition, iters: u32) -> (KernelOutput
     let mut rank = vec![1.0 / n.max(1) as f64; n];
     let mut supersteps = Vec::with_capacity(iters as usize);
     let mut dedup = TargetDedup::new(n);
+    let mut groups = VaultGroups::default();
     let vertices: Vec<u32> = (0..n as u32).collect();
     for _ in 0..iters {
         let mut next = vec![(1.0 - d) / n as f64; n];
@@ -378,7 +404,7 @@ pub fn run_pagerank(g: &Graph, p: &VertexPartition, iters: u32) -> (KernelOutput
                     }
                 });
             };
-        let (ss, danglings) = run_superstep(p, &vertices, &mut dedup, &scan, |e| {
+        let (ss, danglings) = run_superstep(p, &vertices, &mut dedup, &mut groups, &scan, |e| {
             next[e.target as usize] += e.msg;
         });
         let dangling: f64 = danglings.iter().sum();
@@ -412,6 +438,7 @@ pub fn run_sssp(g: &Graph, p: &VertexPartition, source: u32) -> (KernelOutput, E
     let mut frontier = vec![source];
     let mut supersteps = Vec::new();
     let mut dedup = TargetDedup::new(n);
+    let mut groups = VaultGroups::default();
     // Unit-weight BFS: every frontier vertex sits at the same level, so the
     // relaxation distance is a superstep constant and the scans need no
     // view of the evolving distance array.
@@ -434,7 +461,7 @@ pub fn run_sssp(g: &Graph, p: &VertexPartition, source: u32) -> (KernelOutput, E
             });
         };
         let mut next = Vec::new();
-        let (ss, _) = run_superstep(p, &frontier, &mut dedup, &scan, |e| {
+        let (ss, _) = run_superstep(p, &frontier, &mut dedup, &mut groups, &scan, |e| {
             let w = e.target as usize;
             if dist[w] > nd {
                 dist[w] = nd;
@@ -477,6 +504,7 @@ pub fn run_sssp_weighted(
     let mut frontier = vec![source];
     let mut supersteps = Vec::new();
     let mut dedup = TargetDedup::new(n);
+    let mut groups = VaultGroups::default();
     while !frontier.is_empty() {
         // Synchronous Bellman-Ford: scans relax against the superstep-start
         // snapshot, and improvements land at the barrier.
@@ -498,7 +526,7 @@ pub fn run_sssp_weighted(
             });
         };
         let mut improved = vec![false; n];
-        let (ss, _) = run_superstep(p, &frontier, &mut dedup, &scan, |e| {
+        let (ss, _) = run_superstep(p, &frontier, &mut dedup, &mut groups, &scan, |e| {
             let w = e.target as usize;
             if e.msg < dist[w] {
                 dist[w] = e.msg;
@@ -525,6 +553,7 @@ pub fn run_vertex_cover(g: &Graph, p: &VertexPartition) -> (KernelOutput, Execut
     let mut in_cover = vec![false; n];
     let mut supersteps = Vec::new();
     let mut dedup = TargetDedup::new(n);
+    let mut groups = VaultGroups::default();
     loop {
         // Propose: each uncovered vertex with an uncovered neighbor picks
         // its minimum uncovered neighbor. The proposal arrives as a message
@@ -557,7 +586,7 @@ pub fn run_vertex_cover(g: &Graph, p: &VertexPartition) -> (KernelOutput, Execut
                     });
                 }
             };
-        let (ss, anys) = run_superstep(p, &uncovered, &mut dedup, &scan, |e| {
+        let (ss, anys) = run_superstep(p, &uncovered, &mut dedup, &mut groups, &scan, |e| {
             proposal[e.msg as usize] = e.target;
         });
         let any_uncovered_edge = anys.into_iter().any(|b| b);
