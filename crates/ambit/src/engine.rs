@@ -547,6 +547,21 @@ impl AmbitSystem {
         self.device.counts()
     }
 
+    /// Enables or disables command-trace capture on the underlying device.
+    ///
+    /// With capture on, every AAP/AP/TRA the engine issues is recorded —
+    /// including on the bank-sharded parallel path, where per-bank shard
+    /// traces are merged back bank-major on join (normalize before
+    /// comparing; `pim-check`'s `Trace::capture` does this).
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.device.set_trace(enabled);
+    }
+
+    /// Takes the captured command trace (empty when capture is disabled).
+    pub fn take_trace(&mut self) -> Vec<pim_dram::TraceRecord> {
+        self.device.take_trace()
+    }
+
     /// Bits held by one DRAM row (the chunk granularity).
     pub fn row_bits(&self) -> usize {
         self.device.spec().org.row_bits() as usize

@@ -94,6 +94,88 @@ fn report(cycles: u64, ns: f64, nj: f64, bytes_out: u64) -> ExecReport {
     }
 }
 
+/// One step of a generated Ambit program: the 7 bulk ops, a RowClone
+/// copy, or a fill.
+fn run_step(
+    sys: &mut AmbitSystem,
+    step: u8,
+    a: &pim_ambit::BulkVec,
+    b: &pim_ambit::BulkVec,
+    out: &pim_ambit::BulkVec,
+) {
+    match step {
+        s if (s as usize) < BulkOp::ALL.len() => {
+            let op = BulkOp::ALL[s as usize];
+            let rhs = if op.is_unary() { None } else { Some(b) };
+            sys.execute(op, a, rhs, out).expect("execute");
+        }
+        7 => {
+            sys.copy(a, out).expect("copy");
+        }
+        _ => {
+            sys.fill(out, true).expect("fill");
+        }
+    }
+}
+
+/// Runs a generated program on `banks` bank-rows with tracing enabled;
+/// returns the outputs after every step, the spec, and the raw records.
+fn run_traced_program(
+    banks: usize,
+    program: &[u8],
+    seed: u64,
+) -> (Vec<BitVec>, pim_dram::DramSpec, Vec<pim_dram::TraceRecord>) {
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    sys.set_trace(true);
+    let bits = sys.row_bits() * banks;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a = sys.alloc(bits).expect("alloc a");
+    let b = sys.alloc(bits).expect("alloc b");
+    let out = sys.alloc(bits).expect("alloc out");
+    sys.write(&a, &BitVec::random(bits, 0.5, &mut rng))
+        .expect("write a");
+    sys.write(&b, &BitVec::random(bits, 0.5, &mut rng))
+        .expect("write b");
+    let mut outs = Vec::new();
+    for &step in program {
+        run_step(&mut sys, step, &a, &b, &out);
+        outs.push(sys.read(&out));
+    }
+    let spec = sys.spec().clone();
+    (outs, spec, sys.take_trace())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary Ambit programs over 1–8 banks: the protocol oracle
+    /// accepts every captured command trace, the sharded (8-thread) run
+    /// produces the same outputs as the sequential one, and both runs
+    /// normalize to byte-identical traces.
+    #[test]
+    fn arbitrary_programs_trace_identically_and_legally(
+        banks in 1usize..=8,
+        program in proptest::collection::vec(0u8..9, 1..8),
+        seed in 0u64..1_000,
+    ) {
+        let (outs1, spec, rec1) = with_threads(1, || run_traced_program(banks, &program, seed));
+        let (outs8, _, rec8) = with_threads(8, || run_traced_program(banks, &program, seed));
+        prop_assert_eq!(outs1, outs8, "outputs must not depend on thread count");
+
+        let t1 = pim_check::Trace::capture(spec.clone(), rec1);
+        let t8 = pim_check::Trace::capture(spec, rec8);
+        prop_assert_eq!(
+            t1.to_bytes(),
+            t8.to_bytes(),
+            "normalized traces must be byte-identical across thread counts"
+        );
+        match pim_check::check_trace(&t1, pim_check::CheckOptions::timing_only()) {
+            Ok(report) => prop_assert_eq!(report.commands, t1.records.len()),
+            Err(v) => panic!("oracle rejected trace: {v}"),
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -1,11 +1,15 @@
 //! Regenerates every experiment and ablation in one run, printing the
 //! full markdown report (what EXPERIMENTS.md's numbers come from).
-//! Pass a directory argument to also write one file per table.
+//! Pass a directory argument to also write one file per table; pass
+//! `--trace` to additionally capture, oracle-verify, and dump the E1/E5
+//! command traces under `<dir>/traces/` (default `results/traces/`).
 
 use std::io::Write;
 
 fn main() {
-    let out_dir = std::env::args().nth(1);
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let out_dir = positional.into_iter().next();
     let tables: Vec<(&str, String)> = vec![
         ("e1_ambit_throughput", pim_bench::e1::table().to_markdown()),
         ("e2_ambit_energy", pim_bench::e2::table().to_markdown()),
@@ -104,4 +108,17 @@ fn main() {
         }
     }
     eprintln!("{} tables regenerated", tables.len());
+    if flags.iter().any(|a| a == "--trace") {
+        let base = out_dir.as_deref().unwrap_or("results");
+        let dumped =
+            pim_bench::tracecap::dump_all(std::path::Path::new(base)).expect("dump command traces");
+        for (path, report) in &dumped {
+            eprintln!(
+                "trace: {} commands over {} cycles, oracle-clean -> {}",
+                report.commands,
+                report.span,
+                path.display()
+            );
+        }
+    }
 }

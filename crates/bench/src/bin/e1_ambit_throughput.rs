@@ -1,4 +1,19 @@
 //! Regenerates experiment E1. See DESIGN.md §4.
+//! `--trace` additionally captures the Ambit command stream, verifies it
+//! against the protocol oracle, and dumps it under `results/traces/`.
 fn main() {
     println!("{}", pim_bench::e1::table());
+    if std::env::args().any(|a| a == "--trace") {
+        let cap = pim_bench::tracecap::e1_trace();
+        let (bin, json) = cap
+            .write(&std::path::Path::new("results").join("traces"))
+            .expect("write trace files");
+        eprintln!(
+            "trace: {} commands over {} cycles, oracle-clean -> {} / {}",
+            cap.report.commands,
+            cap.report.span,
+            bin.display(),
+            json.display()
+        );
+    }
 }

@@ -1,7 +1,12 @@
 //! Regenerates experiment E5 (Tesseract vs conventional host) plus the
 //! prefetcher ablation. Graph scale via argv: `e5_tesseract [scale] [deg]`.
+//! `--trace` additionally captures one vault's DRAM command stream,
+//! verifies it (refresh deadlines included), and dumps it under
+//! `results/traces/`.
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let mut args = positional.into_iter();
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
     let degree: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
     println!("{}", pim_bench::e5::table(scale, degree));
@@ -20,4 +25,18 @@ fn main() {
         pim_bench::e5::frequency_sweep_table(scale.min(18), degree)
     );
     println!("{}", pim_bench::e5::baselines_table(scale.min(18), degree));
+    if flags.iter().any(|a| a == "--trace") {
+        let cap = pim_bench::tracecap::e5_trace(scale.min(18), degree);
+        let (bin, json) = cap
+            .write(&std::path::Path::new("results").join("traces"))
+            .expect("write trace files");
+        eprintln!(
+            "trace: {} commands ({} refreshes) over {} cycles, oracle-clean -> {} / {}",
+            cap.report.commands,
+            cap.report.refreshes,
+            cap.report.span,
+            bin.display(),
+            json.display()
+        );
+    }
 }

@@ -22,6 +22,22 @@ pub struct PlatformThroughput {
 
 fn measure_ambit(config: AmbitConfig, rounds: usize) -> Vec<f64> {
     let mut sys = AmbitSystem::new(config);
+    measure_ambit_on(&mut sys, rounds)
+}
+
+/// Runs the Ambit measurement workload (the exact loop [`run`] prices)
+/// with command tracing enabled; returns the spec and the raw records.
+pub fn captured_trace(
+    config: AmbitConfig,
+    rounds: usize,
+) -> (DramSpec, Vec<pim_dram::TraceRecord>) {
+    let mut sys = AmbitSystem::new(config);
+    sys.set_trace(true);
+    let _ = measure_ambit_on(&mut sys, rounds);
+    (sys.spec().clone(), sys.take_trace())
+}
+
+fn measure_ambit_on(sys: &mut AmbitSystem, rounds: usize) -> Vec<f64> {
     let bits = sys.row_bits() * sys.spec().org.total_banks() as usize * rounds;
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let av = BitVec::random(bits, 0.5, &mut rng);

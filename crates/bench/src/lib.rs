@@ -33,3 +33,4 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
+pub mod tracecap;

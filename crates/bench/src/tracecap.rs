@@ -1,0 +1,146 @@
+//! Command-trace capture for the benchmarks (the `--trace` flag).
+//!
+//! Re-runs the E1 Ambit measurement and an E5 vault workload with the
+//! `pim-dram` trace sink enabled, verifies every captured trace against
+//! the independent `pim-check` protocol oracle, and dumps each trace in
+//! both the compact binary format (`.trc`) and JSON (`.json`) next to the
+//! experiment results. A dump fails loudly if the oracle finds a single
+//! protocol violation — a passing dump is a conformance statement about
+//! the simulator's command streams, not just a data export.
+
+use pim_ambit::AmbitConfig;
+use pim_check::{check_trace, replay, CheckOptions, CheckReport, Trace};
+use pim_tesseract::{vault_command_trace, TesseractConfig};
+use pim_workloads::KernelKind;
+use std::path::{Path, PathBuf};
+
+/// A verified command trace ready to be written to disk.
+#[derive(Debug)]
+pub struct CapturedTrace {
+    /// File stem used for the dumped `.trc`/`.json` pair.
+    pub name: &'static str,
+    /// The normalized trace (spec + records).
+    pub trace: Trace,
+    /// Oracle verdict for the capture.
+    pub report: CheckReport,
+}
+
+impl CapturedTrace {
+    /// Writes the binary and JSON forms under `dir`, returning both paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating `dir` or the files.
+    pub fn write(&self, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let bin = dir.join(format!("{}.trc", self.name));
+        let json = dir.join(format!("{}.json", self.name));
+        std::fs::write(&bin, self.trace.to_bytes())?;
+        std::fs::write(&json, self.trace.to_json_string())?;
+        Ok((bin, json))
+    }
+}
+
+fn verified(name: &'static str, trace: Trace, opts: CheckOptions) -> CapturedTrace {
+    let report = check_trace(&trace, opts)
+        .unwrap_or_else(|v| panic!("{name}: oracle rejected captured trace: {v}"));
+    replay(&trace).unwrap_or_else(|e| panic!("{name}: captured trace does not replay: {e}"));
+    CapturedTrace {
+        name,
+        trace,
+        report,
+    }
+}
+
+/// Captures the full E1 Ambit-DDR3 measurement (8 banks, 8 rounds — the
+/// configuration behind the paper's 44×/32× headline) as a command trace.
+///
+/// # Panics
+///
+/// Panics if the oracle rejects the trace or replay diverges; both would
+/// mean the Ambit engine emitted a protocol-illegal command stream.
+pub fn e1_trace() -> CapturedTrace {
+    let (spec, records) = crate::e1::captured_trace(AmbitConfig::ddr3(), 8);
+    let trace = Trace::capture(spec, records);
+    // Ambit measurement traces are refresh-free by design (refresh cost is
+    // accounted analytically), so only the timing/state tables apply.
+    verified("e1_ambit_ddr3", trace, CheckOptions::timing_only())
+}
+
+/// Captures one vault's share of the E5 PageRank run as an explicit DRAM
+/// command stream (including the refresh duty) and verifies it, refresh
+/// deadlines included.
+///
+/// # Panics
+///
+/// Panics if the vault scheduler emits an illegal or refresh-starved
+/// stream, or if replay diverges.
+pub fn e5_trace(scale: u32, degree: usize) -> CapturedTrace {
+    let graph = crate::e5::eval_graph(scale, degree);
+    let cfg = TesseractConfig::isca2015();
+    let sim = pim_tesseract::TesseractSim::new(cfg.clone());
+    let (_, exec, _) = sim.run(KernelKind::PageRank, &graph);
+    let (spec, records) =
+        vault_command_trace(&exec, &cfg, 0, 2048).expect("vault schedule is device-legal");
+    let opts = CheckOptions::with_refresh(&spec);
+    verified("e5_pagerank_vault0", Trace::capture(spec, records), opts)
+}
+
+/// Captures, verifies, and dumps all benchmark traces under
+/// `<results>/traces/`. Returns one (path, report) pair per dumped binary
+/// trace. This is what the benches' `--trace` flag runs.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; oracle rejections panic (see
+/// [`e1_trace`]/[`e5_trace`]).
+pub fn dump_all(results_dir: &Path) -> std::io::Result<Vec<(PathBuf, CheckReport)>> {
+    let dir = results_dir.join("traces");
+    let mut out = Vec::new();
+    for cap in [e1_trace(), e5_trace(16, 16)] {
+        let (bin, _) = cap.write(&dir)?;
+        out.push((bin, cap.report));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_validates_the_full_e1_bench_trace() {
+        let cap = e1_trace();
+        assert!(cap.report.commands > 0, "E1 capture must not be empty");
+        assert!(cap.report.activations > 0);
+        // The round-trip formats agree with the in-memory capture.
+        let back = Trace::from_bytes(&cap.trace.to_bytes()).expect("binary roundtrip");
+        assert_eq!(back.records, cap.trace.records);
+    }
+
+    #[test]
+    fn oracle_validates_the_full_e5_bench_trace() {
+        let cap = e5_trace(16, 16);
+        assert!(cap.report.commands > 0, "E5 capture must not be empty");
+        assert!(
+            cap.report.refreshes > 0,
+            "bench-scale vault trace must carry its refresh duty"
+        );
+    }
+
+    #[test]
+    fn traces_dump_next_to_results() {
+        let dir = std::env::temp_dir().join("pim_bench_tracecap_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dumped = dump_all(&dir).expect("dump traces");
+        assert_eq!(dumped.len(), 2);
+        for (path, report) in &dumped {
+            assert!(path.exists(), "missing {}", path.display());
+            let bytes = std::fs::read(path).expect("read trace back");
+            let trace = Trace::from_bytes(&bytes).expect("parse dumped trace");
+            assert_eq!(trace.records.len(), report.commands);
+            assert!(path.with_extension("json").exists());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

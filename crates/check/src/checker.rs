@@ -1,0 +1,763 @@
+//! The independent protocol checker: replays a trace against its own
+//! bank/rank/channel state machines and timing tables, derived from the
+//! JEDEC constraint definitions in the spec header — *not* from
+//! `pim_dram::device` — so the two implementations cross-validate.
+//!
+//! ## Invariant tables
+//!
+//! Every resource keeps *absolute-cycle deadlines*, each labeled with the
+//! constraint that raised it, so a violation reports which JEDEC parameter
+//! was broken:
+//!
+//! | resource | deadline | raised by |
+//! |----------|----------|-----------|
+//! | bank     | next ACT | tRC after ACT, tRP after PRE, tRFC after REF, PIM row-op occupancy |
+//! | bank     | next PRE | tRAS after ACT, tRTP after RD, tWR after WR |
+//! | bank     | next RD/WR | tRCD after ACT, tWTR after WR, row-op occupancy |
+//! | rank     | next ACT | tRRD after any activation |
+//! | rank     | 4-ACT window | tFAW over the last four activations |
+//! | rank     | refresh deadline | tREFI (optionally, with JEDEC postponement slack) |
+//! | channel  | next RD/WR | tCCD, read-write bus turnaround |
+//!
+//! State legality is checked alongside: ACT requires a closed bank, column
+//! commands an open matching row, REF a fully-precharged rank, and the
+//! Ambit commands (AAP/TRA) closed banks and same-subarray operand rows.
+//! PIM activations skip the rank tRRD/tFAW checks exactly when the spec's
+//! `pim.faw_exempt` says so, and SALP specs get per-subarray occupancy
+//! instead of whole-bank occupancy.
+
+use crate::trace::Trace;
+use pim_dram::{Command, CommandKind, Cycle, DramSpec, TraceRecord};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What the checker found wrong with a trace, with enough context to
+/// locate and explain the offending record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Records are not in nondecreasing cycle order.
+    OutOfOrder {
+        /// Index of the record that went backwards.
+        index: usize,
+    },
+    /// An address field exceeds the organization in the trace header.
+    OutOfRange {
+        /// Record index.
+        index: usize,
+        /// Which address field overflowed.
+        field: &'static str,
+    },
+    /// The bank (or rank) was not in the state the command requires.
+    BadState {
+        /// Record index.
+        index: usize,
+        /// Command kind.
+        kind: CommandKind,
+        /// The state the command needed.
+        need: &'static str,
+    },
+    /// A column command targeted a row other than the open one.
+    RowMismatch {
+        /// Record index.
+        index: usize,
+        /// The row the bank has open.
+        open: u32,
+        /// The row the command addressed.
+        requested: u32,
+    },
+    /// AAP/TRA operand rows do not share a subarray.
+    SubarrayMismatch {
+        /// Record index.
+        index: usize,
+    },
+    /// The command issued before a timing constraint allowed it.
+    TooEarly {
+        /// Record index.
+        index: usize,
+        /// Command kind.
+        kind: CommandKind,
+        /// The cycle it issued at.
+        at: Cycle,
+        /// The earliest cycle the violated constraint allowed.
+        ready: Cycle,
+        /// The JEDEC constraint that was violated (e.g. `"tRRD"`).
+        constraint: &'static str,
+    },
+    /// A rank went longer than the refresh deadline without a REF.
+    RefreshLate {
+        /// Channel of the starved rank.
+        channel: u32,
+        /// Rank index.
+        rank: u32,
+        /// Cycle the deadline expired at.
+        deadline: Cycle,
+        /// Cycle the (late or absent) refresh was observed at.
+        observed: Cycle,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OutOfOrder { index } => {
+                write!(f, "record {index}: issue cycles go backwards")
+            }
+            Violation::OutOfRange { index, field } => {
+                write!(
+                    f,
+                    "record {index}: {field} out of range for the traced organization"
+                )
+            }
+            Violation::BadState { index, kind, need } => {
+                write!(f, "record {index}: {kind} requires {need}")
+            }
+            Violation::RowMismatch {
+                index,
+                open,
+                requested,
+            } => write!(
+                f,
+                "record {index}: column command for row {requested} but row {open} is open"
+            ),
+            Violation::SubarrayMismatch { index } => {
+                write!(f, "record {index}: operand rows span subarrays")
+            }
+            Violation::TooEarly {
+                index,
+                kind,
+                at,
+                ready,
+                constraint,
+            } => write!(
+                f,
+                "record {index}: {kind} at cycle {at} violates {constraint} (ready at {ready})"
+            ),
+            Violation::RefreshLate {
+                channel,
+                rank,
+                deadline,
+                observed,
+            } => write!(
+                f,
+                "rank {channel}.{rank}: refresh deadline {deadline} missed (observed {observed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Options controlling optional invariants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckOptions {
+    /// When set, every rank must see consecutive REF commands (and the end
+    /// of the trace) no further apart than this many cycles. Leave `None`
+    /// for traces that legitimately run without refresh (e.g. short Ambit
+    /// measurement windows).
+    pub refresh_deadline: Option<Cycle>,
+}
+
+impl CheckOptions {
+    /// No optional invariants: protocol timing and state only.
+    pub fn timing_only() -> Self {
+        CheckOptions::default()
+    }
+
+    /// Enforces refresh deadlines with the standard JEDEC postponement
+    /// allowance: at most 9 x tREFI between consecutive REFs per rank.
+    pub fn with_refresh(spec: &DramSpec) -> Self {
+        CheckOptions {
+            refresh_deadline: Some(9 * spec.timing.refi),
+        }
+    }
+}
+
+/// Summary of a clean (or failed) check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Commands checked.
+    pub commands: usize,
+    /// Cycles spanned by the trace.
+    pub span: Cycle,
+    /// Activate-class commands seen (ACT plus the PIM row ops).
+    pub activations: u64,
+    /// REF commands seen.
+    pub refreshes: u64,
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} commands over {} cycles ({} activations, {} refreshes): protocol-legal",
+            self.commands, self.span, self.activations, self.refreshes
+        )
+    }
+}
+
+/// An absolute-cycle deadline labeled with the constraint that set it.
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    at: Cycle,
+    why: &'static str,
+}
+
+impl Deadline {
+    const FREE: Deadline = Deadline { at: 0, why: "idle" };
+
+    /// Raises the deadline monotonically, keeping the dominating label.
+    fn raise(&mut self, at: Cycle, why: &'static str) {
+        if at > self.at {
+            *self = Deadline { at, why };
+        }
+    }
+
+    fn check(&self, index: usize, kind: CommandKind, at: Cycle) -> Result<(), Violation> {
+        if at < self.at {
+            return Err(Violation::TooEarly {
+                index,
+                kind,
+                at,
+                ready: self.at,
+                constraint: self.why,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BankModel {
+    open: Option<u32>,
+    act: Deadline,
+    pre: Deadline,
+    rd: Deadline,
+    wr: Deadline,
+    /// Per-subarray occupancy deadlines (SALP specs only).
+    subarrays: Vec<Deadline>,
+}
+
+impl BankModel {
+    fn new(subarrays: usize) -> Self {
+        BankModel {
+            open: None,
+            act: Deadline::FREE,
+            pre: Deadline::FREE,
+            rd: Deadline::FREE,
+            wr: Deadline::FREE,
+            subarrays: vec![Deadline::FREE; subarrays],
+        }
+    }
+
+    /// Occupies the whole bank through `until` (a self-precharging row op
+    /// blocks every command class).
+    fn occupy(&mut self, until: Cycle, why: &'static str) {
+        self.act.raise(until, why);
+        self.pre.raise(until, why);
+        self.rd.raise(until, why);
+        self.wr.raise(until, why);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RankModel {
+    act: Deadline,
+    /// Issue cycles of the last four activations, for the tFAW window.
+    act_window: VecDeque<Cycle>,
+    /// Cycle the current refresh interval expires at.
+    refresh_due: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct ChannelModel {
+    rd: Deadline,
+    wr: Deadline,
+}
+
+/// One self-precharging PIM row operation, as the checker models it:
+/// where it lands, how long it occupies the bank, and how many rank
+/// activations it charges.
+#[derive(Debug, Clone, Copy)]
+struct RowOp {
+    kind: CommandKind,
+    channel: u32,
+    rank: u32,
+    bank: u32,
+    row0: u32,
+    duration: Cycle,
+    acts: u32,
+}
+
+/// Online protocol checker: feed records in canonical order, one call per
+/// command; any violation is returned at the record that caused it.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    spec: DramSpec,
+    banks: Vec<BankModel>,
+    ranks: Vec<RankModel>,
+    channels: Vec<ChannelModel>,
+    opts: CheckOptions,
+    commands: usize,
+    activations: u64,
+    refreshes: u64,
+    last_at: Cycle,
+}
+
+impl Checker {
+    /// A fresh checker for `spec` (all banks precharged, no timing debts).
+    pub fn new(spec: DramSpec, opts: CheckOptions) -> Self {
+        let org = spec.org;
+        let nbanks = (org.channels * org.ranks * org.banks) as usize;
+        let nranks = (org.channels * org.ranks) as usize;
+        let subarrays = if spec.pim.salp {
+            org.subarrays as usize
+        } else {
+            0
+        };
+        let deadline = opts.refresh_deadline.unwrap_or(Cycle::MAX);
+        Checker {
+            spec,
+            banks: vec![BankModel::new(subarrays); nbanks],
+            ranks: vec![
+                RankModel {
+                    act: Deadline::FREE,
+                    act_window: VecDeque::with_capacity(4),
+                    refresh_due: deadline,
+                };
+                nranks
+            ],
+            channels: vec![
+                ChannelModel {
+                    rd: Deadline::FREE,
+                    wr: Deadline::FREE,
+                };
+                org.channels as usize
+            ],
+            opts,
+            commands: 0,
+            activations: 0,
+            refreshes: 0,
+            last_at: 0,
+        }
+    }
+
+    fn bank_index(&self, channel: u32, rank: u32, bank: u32) -> usize {
+        ((channel * self.spec.org.ranks + rank) * self.spec.org.banks + bank) as usize
+    }
+
+    fn rank_index(&self, channel: u32, rank: u32) -> usize {
+        (channel * self.spec.org.ranks + rank) as usize
+    }
+
+    fn check_position(
+        &self,
+        index: usize,
+        channel: u32,
+        rank: u32,
+        bank: u32,
+    ) -> Result<(), Violation> {
+        let org = self.spec.org;
+        for (v, limit, field) in [
+            (channel, org.channels, "channel"),
+            (rank, org.ranks, "rank"),
+            (bank, org.banks, "bank"),
+        ] {
+            if v >= limit {
+                return Err(Violation::OutOfRange { index, field });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_rows(&self, index: usize, rows: &[u32]) -> Result<(), Violation> {
+        if rows.iter().any(|&r| r >= self.spec.org.rows) {
+            return Err(Violation::OutOfRange {
+                index,
+                field: "row",
+            });
+        }
+        Ok(())
+    }
+
+    fn check_same_subarray(&self, index: usize, rows: &[u32]) -> Result<(), Violation> {
+        let per = self.spec.org.rows_per_subarray();
+        if rows.windows(2).any(|w| w[0] / per != w[1] / per) {
+            return Err(Violation::SubarrayMismatch { index });
+        }
+        Ok(())
+    }
+
+    /// Checks a regular (non-exempt) activation against the rank power
+    /// windows and records it. `checked` is false for the trailing
+    /// activation of an AAP pair, which is charged against the windows but
+    /// validated as part of the issuing command.
+    fn rank_activation(
+        &mut self,
+        index: usize,
+        kind: CommandKind,
+        ri: usize,
+        at: Cycle,
+        checked: bool,
+    ) -> Result<(), Violation> {
+        let faw = self.spec.timing.faw;
+        let rrd = self.spec.timing.rrd;
+        let rank = &mut self.ranks[ri];
+        if checked {
+            rank.act.check(index, kind, at)?;
+        }
+        if rank.act_window.len() == 4 {
+            let window_start = rank.act_window[0];
+            if checked && at < window_start + faw {
+                return Err(Violation::TooEarly {
+                    index,
+                    kind,
+                    at,
+                    ready: window_start + faw,
+                    constraint: "tFAW",
+                });
+            }
+            rank.act_window.pop_front();
+        }
+        rank.act_window.push_back(at);
+        rank.act.raise(at + rrd, "tRRD");
+        Ok(())
+    }
+
+    /// Checks and applies a self-precharging PIM row operation (all rows
+    /// already bounds-checked and in one subarray), charging the rank
+    /// windows for `op.acts` activations unless the spec exempts PIM
+    /// commands.
+    fn pim_row_op(&mut self, index: usize, op: RowOp, at: Cycle) -> Result<(), Violation> {
+        let bi = self.bank_index(op.channel, op.rank, op.bank);
+        let ri = self.rank_index(op.channel, op.rank);
+        if self.banks[bi].open.is_some() {
+            return Err(Violation::BadState {
+                index,
+                kind: op.kind,
+                need: "a precharged bank",
+            });
+        }
+        self.banks[bi].act.check(index, op.kind, at)?;
+        let salp = self.spec.pim.salp;
+        let sa = (op.row0 / self.spec.org.rows_per_subarray()) as usize;
+        if salp {
+            self.banks[bi].subarrays[sa].check(index, op.kind, at)?;
+        }
+        if !self.spec.pim.faw_exempt {
+            let ras = self.spec.timing.ras;
+            for i in 0..op.acts {
+                // AAP's second activation lands tRAS after the first; it is
+                // charged against the rank windows but not re-validated.
+                self.rank_activation(index, op.kind, ri, at + ras * i as Cycle, i == 0)?;
+            }
+        }
+        let bank_model = &mut self.banks[bi];
+        if salp {
+            bank_model.subarrays[sa].raise(at + op.duration, "subarray row-op occupancy");
+            // Shared bank structures are busy only for the command gap.
+            bank_model.occupy(at + self.spec.timing.rrd, "SALP command gap");
+        } else {
+            bank_model.occupy(at + op.duration, "PIM row-op occupancy");
+        }
+        self.activations += u64::from(op.acts);
+        Ok(())
+    }
+
+    /// Feeds one record. Records must arrive in canonical
+    /// (nondecreasing-cycle) order.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Violation`] the record commits, if any. After an error
+    /// the checker state is unspecified; stop feeding.
+    pub fn feed(&mut self, index: usize, rec: &TraceRecord) -> Result<(), Violation> {
+        let at = rec.at;
+        if at < self.last_at {
+            return Err(Violation::OutOfOrder { index });
+        }
+        self.last_at = at;
+        self.commands += 1;
+        let t = self.spec.timing;
+        let burst = t.burst_cycles();
+        let kind = rec.cmd.kind();
+        match rec.cmd {
+            Command::Act(row) => {
+                self.check_position(index, row.channel, row.rank, row.bank)?;
+                self.check_rows(index, &[row.row])?;
+                let bi = self.bank_index(row.channel, row.rank, row.bank);
+                let ri = self.rank_index(row.channel, row.rank);
+                if self.banks[bi].open.is_some() {
+                    return Err(Violation::BadState {
+                        index,
+                        kind,
+                        need: "a precharged bank",
+                    });
+                }
+                self.banks[bi].act.check(index, kind, at)?;
+                if self.spec.pim.salp {
+                    let sa = (row.row / self.spec.org.rows_per_subarray()) as usize;
+                    self.banks[bi].subarrays[sa].check(index, kind, at)?;
+                }
+                self.rank_activation(index, kind, ri, at, true)?;
+                let bank = &mut self.banks[bi];
+                bank.open = Some(row.row);
+                bank.rd.raise(at + t.rcd, "tRCD");
+                bank.wr.raise(at + t.rcd, "tRCD");
+                bank.pre.raise(at + t.ras, "tRAS");
+                bank.act.raise(at + t.rc, "tRC");
+                if self.spec.pim.salp {
+                    let sa = (row.row / self.spec.org.rows_per_subarray()) as usize;
+                    self.banks[bi].subarrays[sa].raise(at + t.rc, "tRC");
+                }
+                self.activations += 1;
+            }
+            Command::Pre(b) => {
+                self.check_position(index, b.channel, b.rank, b.bank)?;
+                let bi = self.bank_index(b.channel, b.rank, b.bank);
+                if self.banks[bi].open.is_none() {
+                    return Err(Violation::BadState {
+                        index,
+                        kind,
+                        need: "an open row",
+                    });
+                }
+                self.banks[bi].pre.check(index, kind, at)?;
+                self.banks[bi].open = None;
+                self.banks[bi].act.raise(at + t.rp, "tRP");
+            }
+            Command::PreAll { channel, rank } => {
+                self.check_position(index, channel, rank, 0)?;
+                for b in 0..self.spec.org.banks {
+                    let bi = self.bank_index(channel, rank, b);
+                    if self.banks[bi].open.is_some() {
+                        self.banks[bi].pre.check(index, kind, at)?;
+                        self.banks[bi].open = None;
+                        self.banks[bi].act.raise(at + t.rp, "tRP");
+                    }
+                }
+            }
+            Command::Rd(a) | Command::RdA(a) | Command::Wr(a) | Command::WrA(a) => {
+                self.check_position(index, a.channel, a.rank, a.bank)?;
+                self.check_rows(index, &[a.row])?;
+                if a.column >= self.spec.org.columns {
+                    return Err(Violation::OutOfRange {
+                        index,
+                        field: "column",
+                    });
+                }
+                let bi = self.bank_index(a.channel, a.rank, a.bank);
+                match self.banks[bi].open {
+                    None => {
+                        return Err(Violation::BadState {
+                            index,
+                            kind,
+                            need: "an open row",
+                        })
+                    }
+                    Some(open) if open != a.row => {
+                        return Err(Violation::RowMismatch {
+                            index,
+                            open,
+                            requested: a.row,
+                        })
+                    }
+                    Some(_) => {}
+                }
+                let ch = a.channel as usize;
+                let is_read = kind.is_read();
+                if is_read {
+                    self.banks[bi].rd.check(index, kind, at)?;
+                    self.channels[ch].rd.check(index, kind, at)?;
+                } else {
+                    self.banks[bi].wr.check(index, kind, at)?;
+                    self.channels[ch].wr.check(index, kind, at)?;
+                }
+                let auto_pre = matches!(rec.cmd, Command::RdA(_) | Command::WrA(_));
+                let bank = &mut self.banks[bi];
+                if is_read {
+                    bank.pre.raise(at + t.rtp, "tRTP");
+                    if auto_pre {
+                        bank.open = None;
+                        bank.act.raise(at + t.rtp + t.rp, "tRTP+tRP");
+                    }
+                } else {
+                    bank.pre.raise(at + t.cwl + burst + t.wr, "tWR");
+                    bank.rd.raise(at + t.cwl + burst + t.wtr, "tWTR");
+                    if auto_pre {
+                        bank.open = None;
+                        bank.act.raise(at + t.cwl + burst + t.wr + t.rp, "tWR+tRP");
+                    }
+                }
+                let chan = &mut self.channels[ch];
+                if is_read {
+                    chan.rd.raise(at + t.ccd, "tCCD");
+                    // The write burst must not collide with this read's
+                    // burst on the shared data bus.
+                    chan.wr.raise(
+                        at + t.cl + burst + 2 - t.cwl.min(t.cl),
+                        "read-write turnaround",
+                    );
+                } else {
+                    chan.wr.raise(at + t.ccd, "tCCD");
+                    chan.rd.raise(at + t.cwl + burst + t.wtr, "tWTR");
+                }
+            }
+            Command::Ref { channel, rank } => {
+                self.check_position(index, channel, rank, 0)?;
+                let ri = self.rank_index(channel, rank);
+                for b in 0..self.spec.org.banks {
+                    let bi = self.bank_index(channel, rank, b);
+                    if self.banks[bi].open.is_some() {
+                        return Err(Violation::BadState {
+                            index,
+                            kind,
+                            need: "a fully precharged rank",
+                        });
+                    }
+                    self.banks[bi].act.check(index, kind, at)?;
+                }
+                if let Some(gap) = self.opts.refresh_deadline {
+                    if at > self.ranks[ri].refresh_due {
+                        return Err(Violation::RefreshLate {
+                            channel,
+                            rank,
+                            deadline: self.ranks[ri].refresh_due,
+                            observed: at,
+                        });
+                    }
+                    self.ranks[ri].refresh_due = at + gap;
+                }
+                for b in 0..self.spec.org.banks {
+                    let bi = self.bank_index(channel, rank, b);
+                    self.banks[bi].act.raise(at + t.rfc, "tRFC");
+                }
+                self.refreshes += 1;
+            }
+            Command::Aap {
+                src,
+                dst,
+                invert: _,
+            } => {
+                self.check_position(index, src.channel, src.rank, src.bank)?;
+                if src.bank_id() != dst.bank_id() {
+                    return Err(Violation::SubarrayMismatch { index });
+                }
+                self.check_rows(index, &[src.row, dst.row])?;
+                self.check_same_subarray(index, &[src.row, dst.row])?;
+                self.pim_row_op(
+                    index,
+                    RowOp {
+                        kind,
+                        channel: src.channel,
+                        rank: src.rank,
+                        bank: src.bank,
+                        row0: src.row,
+                        duration: self.spec.pim.aap,
+                        acts: 2,
+                    },
+                    at,
+                )?;
+            }
+            Command::Ap(row) => {
+                self.check_position(index, row.channel, row.rank, row.bank)?;
+                self.check_rows(index, &[row.row])?;
+                self.pim_row_op(
+                    index,
+                    RowOp {
+                        kind,
+                        channel: row.channel,
+                        rank: row.rank,
+                        bank: row.bank,
+                        row0: row.row,
+                        duration: self.spec.pim.ap,
+                        acts: 1,
+                    },
+                    at,
+                )?;
+            }
+            Command::Tra { bank, rows } => {
+                self.check_position(index, bank.channel, bank.rank, bank.bank)?;
+                self.check_rows(index, &rows)?;
+                self.check_same_subarray(index, &rows)?;
+                self.pim_row_op(
+                    index,
+                    RowOp {
+                        kind,
+                        channel: bank.channel,
+                        rank: bank.rank,
+                        bank: bank.bank,
+                        row0: rows[0],
+                        duration: self.spec.pim.tra,
+                        acts: 1,
+                    },
+                    at,
+                )?;
+            }
+            Command::TraAap {
+                bank,
+                rows,
+                dst,
+                invert: _,
+            } => {
+                self.check_position(index, bank.channel, bank.rank, bank.bank)?;
+                self.check_rows(index, &[rows[0], rows[1], rows[2], dst])?;
+                self.check_same_subarray(index, &[rows[0], rows[1], rows[2], dst])?;
+                self.pim_row_op(
+                    index,
+                    RowOp {
+                        kind,
+                        channel: bank.channel,
+                        rank: bank.rank,
+                        bank: bank.bank,
+                        row0: rows[0],
+                        duration: self.spec.pim.aap,
+                        acts: 2,
+                    },
+                    at,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Final checks (trailing refresh deadlines) and the summary report.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::RefreshLate`] if a rank's refresh interval expired
+    /// before the end of the trace.
+    pub fn finish(self) -> Result<CheckReport, Violation> {
+        if self.opts.refresh_deadline.is_some() {
+            let ranks_per_ch = self.spec.org.ranks;
+            for (ri, rank) in self.ranks.iter().enumerate() {
+                if self.last_at > rank.refresh_due {
+                    return Err(Violation::RefreshLate {
+                        channel: ri as u32 / ranks_per_ch,
+                        rank: ri as u32 % ranks_per_ch,
+                        deadline: rank.refresh_due,
+                        observed: self.last_at,
+                    });
+                }
+            }
+        }
+        Ok(CheckReport {
+            commands: self.commands,
+            span: self.last_at,
+            activations: self.activations,
+            refreshes: self.refreshes,
+        })
+    }
+}
+
+/// Checks a whole trace against its own spec header.
+///
+/// # Errors
+///
+/// The first [`Violation`] committed, if any.
+pub fn check_trace(trace: &Trace, opts: CheckOptions) -> Result<CheckReport, Violation> {
+    let mut checker = Checker::new(trace.spec.clone(), opts);
+    for (i, rec) in trace.records.iter().enumerate() {
+        checker.feed(i, rec)?;
+    }
+    checker.finish()
+}

@@ -199,6 +199,20 @@ impl Controller {
         &mut self.device
     }
 
+    /// Enables or disables command-trace capture on the underlying device.
+    ///
+    /// Every command the scheduler issues — including refresh and
+    /// row-policy precharges — funnels through the device's single
+    /// mutation point, so the trace is complete.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.device.set_trace(enabled);
+    }
+
+    /// Takes the device's captured command trace (empty when disabled).
+    pub fn take_trace(&mut self) -> Vec<crate::trace::TraceRecord> {
+        self.device.take_trace()
+    }
+
     /// The address-mapping scheme in use.
     pub fn mapping(&self) -> AddressMapping {
         self.mapping
@@ -916,5 +930,117 @@ mod tests {
         assert_eq!(mc.clock(), 100);
         mc.advance_to(50);
         assert_eq!(mc.clock(), 100);
+    }
+
+    #[test]
+    fn queue_full_rejection_is_not_sticky() {
+        let mut mc = ctrl();
+        mc.set_queue_capacity(2);
+        mc.enqueue(Request::read(PhysAddr::new(0))).unwrap();
+        mc.enqueue(Request::read(PhysAddr::new(64))).unwrap();
+        assert!(mc.enqueue(Request::read(PhysAddr::new(128))).is_err());
+        // Draining one request frees a slot; the next enqueue succeeds.
+        while mc.pending_len() == 2 {
+            assert!(mc.step(), "pending work must make progress");
+        }
+        mc.enqueue(Request::read(PhysAddr::new(128)))
+            .expect("slot freed after drain");
+    }
+
+    #[test]
+    fn run_batch_completes_every_request_exactly_once() {
+        let mut mc = ctrl();
+        mc.set_queue_capacity(4);
+        // More requests than queue slots, mixed access, colliding rows.
+        let reqs: Vec<Request> = (0..64u64)
+            .map(|i| {
+                let addr = PhysAddr::new((i % 16) * 8192 + i * 64);
+                if i % 3 == 0 {
+                    Request::write(addr)
+                } else {
+                    Request::read(addr)
+                }
+            })
+            .collect();
+        let (elapsed, completions) = mc.run_batch(&reqs).unwrap();
+        assert!(elapsed > 0);
+        assert_eq!(completions.len(), reqs.len());
+        let mut ids: Vec<u64> = completions.iter().map(|c| c.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reqs.len(), "each request completes exactly once");
+        // Completion timestamps are reported in completion order.
+        for w in completions.windows(2) {
+            assert!(w[1].done >= w[0].done, "completion order must follow time");
+        }
+    }
+
+    #[test]
+    fn run_batch_under_posted_writes_still_accounts_for_all() {
+        let mut mc = ctrl();
+        mc.set_posted_writes(true);
+        mc.set_queue_capacity(4);
+        let reqs: Vec<Request> = (0..32u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Request::write(PhysAddr::new(i * 64))
+                } else {
+                    Request::read(PhysAddr::new(4096 + i * 64))
+                }
+            })
+            .collect();
+        let (_, completions) = mc.run_batch(&reqs).unwrap();
+        assert_eq!(completions.len(), reqs.len());
+        assert_eq!(mc.write_buffer_len(), 0, "batch must drain posted writes");
+        assert_eq!(mc.stats().writes, 16, "posted writes must reach DRAM");
+        // Posted write acks carry zero latency; reads carry real latency.
+        for c in &completions {
+            match c.access {
+                Access::Write => assert_eq!(c.latency(), 0),
+                Access::Read => assert!(c.latency() > 0),
+            }
+        }
+    }
+
+    #[test]
+    fn posted_write_drain_respects_hysteresis_watermarks() {
+        let org = DramSpec::ddr3_1600().org;
+        let m = AddressMapping::default();
+        let mut mc = ctrl();
+        mc.set_posted_writes(true);
+        mc.set_queue_capacity(8); // high watermark 6, low watermark 4
+                                  // Fill the write buffer to the forced-drain threshold…
+        for i in 0..6u32 {
+            mc.enqueue(Request::write(
+                m.encode(DramAddr::new(0, 0, i % 8, 100 + i, 0), &org),
+            ))
+            .unwrap();
+        }
+        assert_eq!(mc.write_buffer_len(), 6);
+        // …while a steady stream of reads is waiting.
+        for i in 0..8u32 {
+            mc.enqueue(Request::read(
+                m.encode(DramAddr::new(0, 0, i % 8, 4000, 0), &org),
+            ))
+            .unwrap();
+        }
+        // The forced burst drains writes down to the low watermark even
+        // though reads are pending; then reads regain priority and the
+        // remaining writes wait until idle.
+        let mut saw_low_with_reads_pending = false;
+        while mc.step() {
+            if mc.write_buffer_len() == 4 && mc.pending_len() > 0 {
+                saw_low_with_reads_pending = true;
+            }
+            assert!(
+                mc.write_buffer_len() >= 4 || mc.pending_len() == 0,
+                "writes below the low watermark must not starve reads"
+            );
+        }
+        assert!(
+            saw_low_with_reads_pending,
+            "high watermark must force a drain burst while reads wait"
+        );
+        assert_eq!(mc.write_buffer_len(), 0, "idle drain finishes the rest");
     }
 }

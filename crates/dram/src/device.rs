@@ -12,6 +12,7 @@ use crate::command::{Command, CommandCounts, CommandKind};
 use crate::data::DataStore;
 use crate::error::{DramError, Result};
 use crate::spec::DramSpec;
+use crate::trace::{TraceRecord, TraceSink};
 use crate::types::{BankId, Cycle, DramAddr, RowId};
 use std::collections::VecDeque;
 
@@ -91,6 +92,9 @@ pub struct Device {
     channels: Vec<ChannelTiming>,
     store: DataStore,
     counts: CommandCounts,
+    /// Optional command-trace capture; `None` (the default) keeps the
+    /// issue path free of any recording cost beyond one branch.
+    sink: Option<TraceSink>,
 }
 
 impl Device {
@@ -111,6 +115,7 @@ impl Device {
             channels,
             store,
             counts: CommandCounts::new(),
+            sink: None,
         };
         if dev.spec.pim.salp {
             let subarrays = dev.spec.org.subarrays;
@@ -143,6 +148,37 @@ impl Device {
     /// Per-kind command issue counts since construction.
     pub fn counts(&self) -> &CommandCounts {
         &self.counts
+    }
+
+    /// Enables or disables command-trace capture.
+    ///
+    /// Enabling starts a fresh trace; disabling discards any captured
+    /// records. While disabled the only cost on the issue path is one
+    /// branch on a `None` option.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.sink = if enabled {
+            Some(TraceSink::new())
+        } else {
+            None
+        };
+    }
+
+    /// `true` if command-trace capture is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Takes the captured trace, leaving an empty sink in place (capture
+    /// stays enabled). Records are in capture order; bank-sharded runs
+    /// append shard traces bank-major, so normalize with
+    /// [`trace::normalize`](crate::trace::normalize) before comparing.
+    ///
+    /// Returns an empty vector when capture is disabled.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        match &mut self.sink {
+            Some(sink) => std::mem::take(sink).into_records(),
+            None => Vec::new(),
+        }
     }
 
     /// Current state of `bank`.
@@ -411,6 +447,9 @@ impl Device {
         let pim = self.spec.pim;
         let burst = t.burst_cycles();
         self.counts.record(cmd.kind());
+        if let Some(sink) = &mut self.sink {
+            sink.push(at, cmd);
+        }
         match cmd {
             Command::Act(row) => {
                 self.bank_mut(row.bank_id())
@@ -660,6 +699,9 @@ impl Device {
             channels: self.channels.clone(),
             store,
             counts: CommandCounts::new(),
+            // The shard records its own bank-local trace iff the parent is
+            // recording; join_bank merges it back.
+            sink: self.sink.as_ref().map(|_| TraceSink::new()),
         })
     }
 
@@ -677,6 +719,9 @@ impl Device {
             self.store.insert_bank(arena);
         }
         self.counts.merge(&shard.counts);
+        if let (Some(mine), Some(theirs)) = (&mut self.sink, shard.sink.take()) {
+            mine.absorb(theirs);
+        }
         Ok(())
     }
 }

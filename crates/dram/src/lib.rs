@@ -50,6 +50,7 @@ pub mod mapping;
 pub mod refresh;
 pub mod spec;
 pub mod stats;
+pub mod trace;
 pub mod types;
 
 pub use bank::BankState;
@@ -63,4 +64,5 @@ pub use mapping::AddressMapping;
 pub use refresh::{reduction_vs_baseline, rows_per_ref, RefreshPolicy, RetentionBin};
 pub use spec::{DramSpec, Organization, PimTiming, SpecError, Timing};
 pub use stats::ControllerStats;
+pub use trace::{TraceRecord, TraceSink};
 pub use types::{Access, BankId, Cycle, DramAddr, PhysAddr, RowId};

@@ -1,0 +1,156 @@
+//! Command-trace capture: a zero-cost-when-disabled hook that records
+//! every command the device applies, for offline legality checking and
+//! deterministic replay (see the `pim-check` crate).
+//!
+//! The [`Device`](crate::Device) owns an optional [`TraceSink`]; when it is
+//! absent (the default) the only cost on the issue path is a branch on a
+//! `None`. When enabled, [`Device::apply`](crate::Device::issue) appends one
+//! [`TraceRecord`] per command — the *exact* command and issue cycle, taken
+//! at the device's single mutation point, so nothing the controller or the
+//! Ambit engine issues can escape the trace.
+//!
+//! ## Shard merging
+//!
+//! The bank-parallel Ambit path runs per-bank device shards
+//! ([`Device::fork_bank`](crate::Device::fork_bank)); each shard records its
+//! own bank-local trace and [`Device::join_bank`](crate::Device::join_bank)
+//! concatenates them back. The concatenation is bank-major, not time-major,
+//! so consumers must [`normalize`] before comparing or checking traces.
+//! Normalization is a stable sort on `(cycle, channel, rank, bank)`: within
+//! one bank records are already in issue order (bank occupancy serializes
+//! them), so the result is a canonical global order that is *identical*
+//! whether the trace was captured sequentially or from merged shards.
+
+use crate::command::Command;
+use crate::types::Cycle;
+
+/// One issued command, as observed at the device's mutation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The cycle the command issued at.
+    pub at: Cycle,
+    /// The command exactly as issued.
+    pub cmd: Command,
+}
+
+impl TraceRecord {
+    /// Canonical ordering key: issue cycle, then physical position.
+    ///
+    /// Rank-scoped commands (`PreAll`, `Ref`) sort after any bank-scoped
+    /// command at the same cycle on the same rank.
+    pub fn sort_key(&self) -> (Cycle, u32, u32, u32) {
+        let (channel, rank) = self.cmd.rank();
+        let bank = self.cmd.bank().map_or(u32::MAX, |b| b.bank);
+        (self.at, channel, rank, bank)
+    }
+}
+
+/// Canonicalizes a trace: stable sort by [`TraceRecord::sort_key`].
+///
+/// Per-bank subsequences keep their issue order (stable sort; two commands
+/// can never share a bank *and* a cycle because every command occupies its
+/// bank for at least one cycle), so sequential and bank-sharded captures of
+/// the same program normalize to byte-identical traces.
+pub fn normalize(records: &mut [TraceRecord]) {
+    records.sort_by_key(TraceRecord::sort_key);
+}
+
+/// A command-trace buffer owned by a recording device.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Appends one record.
+    #[inline]
+    pub fn push(&mut self, at: Cycle, cmd: Command) {
+        self.records.push(TraceRecord { at, cmd });
+    }
+
+    /// The records captured so far, in capture order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of captured records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Consumes the sink, returning the raw (unnormalized) records.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// Moves another sink's records onto the end of this one (shard merge).
+    pub fn absorb(&mut self, other: TraceSink) {
+        self.records.extend(other.records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BankId, RowId};
+
+    fn rec(at: Cycle, bank: u32) -> TraceRecord {
+        TraceRecord {
+            at,
+            cmd: Command::Ap(RowId::new(0, 0, bank, 1)),
+        }
+    }
+
+    #[test]
+    fn normalize_orders_by_cycle_then_bank() {
+        let mut t = vec![rec(50, 1), rec(10, 1), rec(10, 0), rec(50, 0)];
+        normalize(&mut t);
+        let key: Vec<(Cycle, u32)> = t
+            .iter()
+            .map(|r| (r.at, r.cmd.bank().unwrap().bank))
+            .collect();
+        assert_eq!(key, vec![(10, 0), (10, 1), (50, 0), (50, 1)]);
+    }
+
+    #[test]
+    fn rank_scoped_commands_sort_last_within_a_cycle() {
+        let mut t = vec![
+            TraceRecord {
+                at: 7,
+                cmd: Command::Ref {
+                    channel: 0,
+                    rank: 0,
+                },
+            },
+            rec(7, 3),
+        ];
+        normalize(&mut t);
+        assert_eq!(t[0].cmd.bank(), Some(BankId::new(0, 0, 3)));
+        assert_eq!(t[1].cmd.kind(), crate::CommandKind::Ref);
+    }
+
+    #[test]
+    fn sink_roundtrip_and_absorb() {
+        let mut a = TraceSink::new();
+        assert!(a.is_empty());
+        a.push(3, Command::Ap(RowId::new(0, 0, 0, 9)));
+        let mut b = TraceSink::new();
+        b.push(1, Command::Ap(RowId::new(0, 0, 1, 2)));
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.records()[1].at, 1);
+        let mut recs = a.into_records();
+        normalize(&mut recs);
+        assert_eq!(recs[0].at, 1);
+    }
+}

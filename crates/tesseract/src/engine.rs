@@ -103,6 +103,18 @@ impl ExecutionTrace {
             t.msgs_in_remote as f64 / total as f64
         }
     }
+
+    /// The final superstep, or `None` for a zero-superstep run (e.g. an
+    /// empty graph or a frontier that drains immediately).
+    pub fn last_superstep(&self) -> Option<&SuperstepTrace> {
+        self.supersteps.last()
+    }
+
+    /// Sum of a field across vaults of the final superstep; 0 for a
+    /// zero-superstep run.
+    pub fn last_total(&self, f: impl Fn(&VaultCounts) -> u64) -> u64 {
+        self.last_superstep().map_or(0, |ss| ss.total(f))
+    }
 }
 
 /// Functional output of a kernel run.
@@ -723,9 +735,22 @@ mod tests {
         assert!(!trace.supersteps.is_empty());
         // Later supersteps shrink as the frontier drains.
         let first = trace.supersteps[0].total(|c| c.edges_scanned);
-        let last = trace.supersteps.last().unwrap().total(|c| c.edges_scanned);
+        let last = trace.last_total(|c| c.edges_scanned);
         assert!(first <= g.num_edges() as u64);
         assert!(last <= first || trace.supersteps.len() < 3);
+    }
+
+    #[test]
+    fn zero_superstep_trace_reports_zero_instead_of_panicking() {
+        // An empty graph with zero iterations produces no supersteps; the
+        // last-superstep accessors must degrade to None/0, not unwrap.
+        let g = Graph::from_edges(0, &[]);
+        let (_, trace) = run_pagerank(&g, &partition(), 0);
+        assert!(trace.supersteps.is_empty());
+        assert!(trace.last_superstep().is_none());
+        assert_eq!(trace.last_total(|c| c.edges_scanned), 0);
+        assert_eq!(trace.totals(), VaultCounts::default());
+        assert_eq!(trace.remote_fraction(), 0.0);
     }
 
     #[test]

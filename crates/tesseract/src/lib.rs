@@ -35,6 +35,7 @@ pub mod host_baseline;
 pub mod partition;
 pub mod sim;
 pub mod timing;
+pub mod trace;
 
 pub use config::{HostGraphConfig, TesseractConfig};
 pub use engine::{run_sssp_weighted, ExecutionTrace, KernelOutput, SuperstepTrace, VaultCounts};
@@ -42,3 +43,4 @@ pub use host_baseline::{HostGraphModel, HostGraphReport};
 pub use partition::VertexPartition;
 pub use sim::{Comparison, TesseractSim};
 pub use timing::{trace_energy, trace_ns, TesseractReport};
+pub use trace::vault_command_trace;
