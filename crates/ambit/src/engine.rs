@@ -468,7 +468,9 @@ impl AmbitSystem {
             work.push((self.device.fork_bank(b)?, group));
         }
         use rayon::prelude::*;
-        let results: Vec<Result<(Device, Cycle, u64)>> = work
+        // Per-shard outcome: (device shard, end cycle, faults, chunk ends).
+        type ShardRun = (Device, Cycle, u64, Vec<Cycle>);
+        let results: Vec<Result<ShardRun>> = work
             .into_par_iter()
             .map(|(mut dev, group)| {
                 let mut chunk_time = Vec::new();
@@ -481,15 +483,23 @@ impl AmbitSystem {
                     seed,
                     &mut chunk_time,
                 )?;
-                Ok((dev, end, faults))
+                Ok((dev, end, faults, chunk_time))
             })
             .collect();
+        // Merge the shards' per-chunk completion times (each chunk's
+        // commands live in exactly one bank, so max == the one real entry)
+        // so `last_chunk_ends` is path-independent.
+        self.chunk_time_buf.clear();
+        self.chunk_time_buf.resize(n_chunks, start);
         let mut end = start;
         for (b, res) in banks.into_iter().zip(results) {
-            let (shard, e, faults) = res?;
+            let (shard, e, faults, chunk_time) = res?;
             self.device.join_bank(b, shard)?;
             end = end.max(e);
             self.faults_injected += faults;
+            for (merged, t) in self.chunk_time_buf.iter_mut().zip(chunk_time) {
+                *merged = (*merged).max(t);
+            }
         }
         Ok(Some(end))
     }
@@ -545,6 +555,26 @@ impl AmbitSystem {
     /// Cumulative command counts since construction.
     pub fn counts(&self) -> &CommandCounts {
         self.device.counts()
+    }
+
+    /// Per-chunk completion cycles of the most recent command-replayed
+    /// operation ([`AmbitSystem::execute`], [`AmbitSystem::execute_maj`],
+    /// [`AmbitSystem::copy`], [`AmbitSystem::fill`]): entry `c` is the
+    /// cycle chunk `c`'s dependency chain finished (the operation's start
+    /// cycle for untouched chunks). Identical on the sequential and
+    /// bank-sharded paths. `pim-runtime` uses this to price each job of a
+    /// coalesced dispatch as if it had run alone. Not updated by the
+    /// analytic copy paths (`copy_psm` / `copy_lisa`).
+    pub fn last_chunk_ends(&self) -> &[Cycle] {
+        &self.chunk_time_buf
+    }
+
+    /// Prices a command-count delta with this system's energy model — the
+    /// same pricing [`ExecReport::energy`] uses, exposed so callers that
+    /// apportion one execution across jobs (runtime coalescing) can build
+    /// per-job energy breakdowns that sum to the whole.
+    pub fn price_commands(&self, counts: &CommandCounts) -> EnergyBreakdown {
+        self.energy.energy_of(counts, 0, 0)
     }
 
     /// Enables or disables command-trace capture on the underlying device.
@@ -1163,6 +1193,12 @@ impl AmbitSystem {
             .iter()
             .map(|o| self.read(regs[o.0].as_ref().expect("validated plan defines outputs")))
             .collect();
+        // Outputs (and any register a degenerate plan left alive) are dead
+        // once read back; reclaim their rows so a long-lived engine can run
+        // an unbounded stream of plans without exhausting subarrays.
+        for v in regs.into_iter().flatten() {
+            self.free(v);
+        }
         let report = total.unwrap_or(ExecReport {
             cycles: 0,
             ns: 0.0,
@@ -1249,6 +1285,25 @@ mod tests {
             assert!(report.cycles > 0);
             assert!(report.energy.total_nj() > 0.0);
         }
+    }
+
+    #[test]
+    fn last_chunk_ends_cover_every_chunk_and_peak_at_the_clock() {
+        let mut sys = small_sys();
+        let bits = sys.row_bits() * 3;
+        let av = rand_bits(bits, 7);
+        let bv = rand_bits(bits, 8);
+        let a = sys.alloc(bits).unwrap();
+        let b = sys.alloc(bits).unwrap();
+        let out = sys.alloc(bits).unwrap();
+        sys.write(&a, &av).unwrap();
+        sys.write(&b, &bv).unwrap();
+        let start = sys.clock();
+        sys.execute(BulkOp::Nand, &a, Some(&b), &out).unwrap();
+        let ends = sys.last_chunk_ends();
+        assert_eq!(ends.len(), 3);
+        assert!(ends.iter().all(|&e| e > start));
+        assert_eq!(ends.iter().copied().max(), Some(sys.clock()));
     }
 
     #[test]

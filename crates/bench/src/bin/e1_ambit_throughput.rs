@@ -1,9 +1,22 @@
 //! Regenerates experiment E1. See DESIGN.md §4.
+//! `--placement advised` additionally prints where the offload advisor
+//! places each op when all four platforms share one runtime (the forced
+//! per-platform measurement table is always printed).
 //! `--trace` additionally captures the Ambit command stream, verifies it
 //! against the protocol oracle, and dumps it under `results/traces/`.
 fn main() {
     println!("{}", pim_bench::e1::table());
-    if std::env::args().any(|a| a == "--trace") {
+    let args: Vec<String> = std::env::args().collect();
+    if args
+        .windows(2)
+        .any(|w| w[0] == "--placement" && w[1] == "advised")
+    {
+        println!(
+            "{}",
+            pim_bench::e1::placement_table(pim_core::Objective::Time)
+        );
+    }
+    if args.iter().any(|a| a == "--trace") {
         let cap = pim_bench::tracecap::e1_trace();
         let (bin, json) = cap
             .write(&std::path::Path::new("results").join("traces"))

@@ -1,4 +1,16 @@
 //! Regenerates experiment E6. See DESIGN.md §4.
+//! Default: the study runs live through the pim-runtime advisor path.
+//! `--placement forced` prints the closed-form static accounting instead
+//! (the A/B baseline; the two must agree to floating-point noise).
 fn main() {
-    println!("{}", pim_bench::e6::table());
+    let args: Vec<String> = std::env::args().collect();
+    let forced = args
+        .windows(2)
+        .any(|w| w[0] == "--placement" && w[1] == "forced");
+    let t = if forced {
+        pim_bench::e6::table_from(&pim_bench::e6::run_static(), " [static accounting]")
+    } else {
+        pim_bench::e6::table_from(&pim_bench::e6::run(), " [runtime, advised]")
+    };
+    println!("{t}");
 }

@@ -3,13 +3,20 @@
 //! Reproduces: *"Ambit with 8 DRAM banks improves bulk bitwise operation
 //! throughput by 44× compared to an Intel Skylake processor, and 32×
 //! compared to the NVIDIA GTX 745 GPU"* and the Ambit-in-HMC comparison.
+//!
+//! Every measurement dispatches through the [`pim_runtime`] job runtime:
+//! each platform is a [`Backend`](pim_runtime::Backend) and each op is a
+//! [`Job`] forced onto it, so the numbers here exercise the exact
+//! submit/drain path the advisor-driven experiments use.
 
-use pim_ambit::{AmbitConfig, AmbitSystem, BulkVec};
-use pim_core::{geomean, Table, Value};
+use pim_ambit::{AmbitConfig, AmbitSystem};
+use pim_core::{geomean, Objective, Table, Value};
 use pim_dram::DramSpec;
 use pim_host::{CpuConfig, CpuModel, GpuConfig, GpuModel, HmcLogicConfig, HmcLogicModel};
+use pim_runtime::{AmbitBackend, CpuBackend, GpuBackend, HmcLogicBackend, Job, Placement, Runtime};
 use pim_workloads::{BitVec, BulkOp};
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Measured throughputs (GB/s of output) for one platform across all ops.
 #[derive(Debug, Clone)]
@@ -20,51 +27,73 @@ pub struct PlatformThroughput {
     pub gbps: Vec<f64>,
 }
 
+/// Submits one job per [`BulkOp::ALL`] entry forced onto `backend`,
+/// drains, and returns the per-op throughputs in op order.
+fn measure_ops(rt: &mut Runtime, backend: &str, a: &Arc<BitVec>, b: &Arc<BitVec>) -> Vec<f64> {
+    for &op in BulkOp::ALL.iter() {
+        let rhs = if op.is_unary() { None } else { Some(b.clone()) };
+        rt.submit(
+            Job::bulk(op, a.clone(), rhs),
+            Placement::Forced(backend.to_string()),
+        )
+        .expect("submit");
+    }
+    rt.drain()
+        .expect("drain")
+        .into_iter()
+        .map(|c| c.report.throughput_gbps())
+        .collect()
+}
+
+/// Deterministic patterned operands sized for the host platforms.
+/// Roofline pricing depends only on the operand length, so cheap
+/// repeating words stand in for multi-hundred-megabit random draws.
+fn host_operands(out_bytes: u64) -> (Arc<BitVec>, Arc<BitVec>) {
+    let bits = (out_bytes * 8) as usize;
+    let words = bits.div_ceil(64);
+    (
+        Arc::new(BitVec::from_words(vec![0x5555_AAAA_0F0F_3C3C; words], bits)),
+        Arc::new(BitVec::from_words(vec![0x3333_CCCC_00FF_55AA; words], bits)),
+    )
+}
+
+/// Seed-11 random operands covering `rounds` full row-rounds of the
+/// Ambit device — the historical E1 workload.
+fn ambit_operands(sys: &AmbitSystem, rounds: usize) -> (Arc<BitVec>, Arc<BitVec>) {
+    let bits = sys.row_bits() * sys.spec().org.total_banks() as usize * rounds;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let a = BitVec::random(bits, 0.5, &mut rng);
+    let b = BitVec::random(bits, 0.5, &mut rng);
+    (Arc::new(a), Arc::new(b))
+}
+
 fn measure_ambit(config: AmbitConfig, rounds: usize) -> Vec<f64> {
-    let mut sys = AmbitSystem::new(config);
-    measure_ambit_on(&mut sys, rounds)
+    let backend = AmbitBackend::new("ambit", config);
+    let (a, b) = ambit_operands(backend.system(), rounds);
+    let mut rt = Runtime::new().with(Box::new(backend));
+    measure_ops(&mut rt, "ambit", &a, &b)
 }
 
 /// Runs the Ambit measurement workload (the exact loop [`run`] prices)
-/// with command tracing enabled; returns the spec and the raw records.
+/// through the runtime with command tracing enabled; returns the spec
+/// and the raw records.
 pub fn captured_trace(
     config: AmbitConfig,
     rounds: usize,
 ) -> (DramSpec, Vec<pim_dram::TraceRecord>) {
-    let mut sys = AmbitSystem::new(config);
-    sys.set_trace(true);
-    let _ = measure_ambit_on(&mut sys, rounds);
-    (sys.spec().clone(), sys.take_trace())
-}
-
-fn measure_ambit_on(sys: &mut AmbitSystem, rounds: usize) -> Vec<f64> {
-    let bits = sys.row_bits() * sys.spec().org.total_banks() as usize * rounds;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let av = BitVec::random(bits, 0.5, &mut rng);
-    let bv = BitVec::random(bits, 0.5, &mut rng);
-    let a: BulkVec = sys.alloc(bits).expect("alloc a");
-    let b = sys.alloc(bits).expect("alloc b");
-    let out = sys.alloc(bits).expect("alloc out");
-    sys.write(&a, &av).expect("write a");
-    sys.write(&b, &bv).expect("write b");
-    BulkOp::ALL
-        .iter()
-        .map(|&op| {
-            let r = if op.is_unary() {
-                sys.execute(op, &a, None, &out)
-            } else {
-                sys.execute(op, &a, Some(&b), &out)
-            }
-            .expect("execute");
-            r.throughput_gbps()
-        })
-        .collect()
+    let backend = AmbitBackend::new("ambit", config);
+    let (a, b) = ambit_operands(backend.system(), rounds);
+    let mut rt = Runtime::new().with(Box::new(backend));
+    rt.set_trace(true);
+    let _ = measure_ops(&mut rt, "ambit", &a, &b);
+    let (_, spec, records) = rt.take_traces().pop().expect("ambit trace");
+    (spec, records)
 }
 
 /// Runs the experiment; `out_bytes` sizes the host-side kernels.
 ///
 /// The five platform measurements are independent (each task builds its
-/// own model), so they run concurrently under the `parallel` feature.
+/// own runtime), so they run concurrently under the `parallel` feature.
 pub fn run(out_bytes: u64) -> Vec<PlatformThroughput> {
     // Ambit inside an HMC: 32 vaults modeled as 32 channels of the vault
     // organization (512 banks computing on 512 B rows).
@@ -76,31 +105,34 @@ pub fn run(out_bytes: u64) -> Vec<PlatformThroughput> {
         Box::new(move || PlatformThroughput {
             name: "skylake-cpu",
             gbps: {
-                let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
-                BulkOp::ALL
-                    .iter()
-                    .map(|&op| cpu.bulk_bitwise(op, out_bytes).throughput_gbps())
-                    .collect()
+                let mut rt = Runtime::new().with(Box::new(CpuBackend::new(
+                    "cpu",
+                    CpuModel::new(CpuConfig::skylake_ddr3()),
+                )));
+                let (a, b) = host_operands(out_bytes);
+                measure_ops(&mut rt, "cpu", &a, &b)
             },
         }),
         Box::new(move || PlatformThroughput {
             name: "gtx745-gpu",
             gbps: {
-                let gpu = GpuModel::new(GpuConfig::gtx745());
-                BulkOp::ALL
-                    .iter()
-                    .map(|&op| gpu.bulk_bitwise(op, out_bytes).throughput_gbps())
-                    .collect()
+                let mut rt = Runtime::new().with(Box::new(GpuBackend::gpu(
+                    "gpu",
+                    GpuModel::new(GpuConfig::gtx745()),
+                )));
+                let (a, b) = host_operands(out_bytes);
+                measure_ops(&mut rt, "gpu", &a, &b)
             },
         }),
         Box::new(move || PlatformThroughput {
             name: "hmc-logic-layer",
             gbps: {
-                let hmc_logic = HmcLogicModel::new(HmcLogicConfig::hmc2());
-                BulkOp::ALL
-                    .iter()
-                    .map(|&op| hmc_logic.bulk_bitwise(op, out_bytes).throughput_gbps())
-                    .collect()
+                let mut rt = Runtime::new().with(Box::new(HmcLogicBackend::hmc_logic(
+                    "hmc-logic",
+                    HmcLogicModel::new(HmcLogicConfig::hmc2()),
+                )));
+                let (a, b) = host_operands(out_bytes);
+                measure_ops(&mut rt, "hmc-logic", &a, &b)
             },
         }),
         Box::new(|| PlatformThroughput {
@@ -156,6 +188,52 @@ pub fn table() -> Table {
     t
 }
 
+/// A/B counterpart to the forced-placement table: submits each op as an
+/// advised job to a runtime holding all four platforms and tabulates
+/// which backend the offload advisor picked, with its cost estimates.
+pub fn placement_table(objective: Objective) -> Table {
+    let ambit = AmbitBackend::new("ambit-ddr3-8banks", AmbitConfig::ddr3());
+    let bits = ambit.system().row_bits() * ambit.system().spec().org.total_banks() as usize;
+    let mut rt = Runtime::new()
+        .with(Box::new(CpuBackend::new(
+            "skylake-cpu",
+            CpuModel::new(CpuConfig::skylake_ddr3()),
+        )))
+        .with(Box::new(GpuBackend::gpu(
+            "gtx745-gpu",
+            GpuModel::new(GpuConfig::gtx745()),
+        )))
+        .with(Box::new(HmcLogicBackend::hmc_logic(
+            "hmc-logic-layer",
+            HmcLogicModel::new(HmcLogicConfig::hmc2()),
+        )))
+        .with(Box::new(ambit));
+    let (a, b) = host_operands((bits / 8) as u64);
+    let mut t = Table::new(
+        "E1 advisor placement (--placement advised)",
+        &["op", "chosen backend", "host ns", "pim ns"],
+    );
+    for &op in BulkOp::ALL.iter() {
+        let rhs = if op.is_unary() { None } else { Some(b.clone()) };
+        let id = rt
+            .submit(Job::bulk(op, a.clone(), rhs), Placement::Advised(objective))
+            .expect("submit");
+        let d = rt.decision(id).expect("decision").clone();
+        let (host_ns, pim_ns) = d
+            .advised
+            .map(|o| (Value::Num(o.host_time_ns), Value::Num(o.pim_time_ns)))
+            .unwrap_or(("-".into(), "-".into()));
+        t.row(vec![
+            op.to_string().into(),
+            d.backend.into(),
+            host_ns,
+            pim_ns,
+        ]);
+    }
+    rt.drain().expect("drain");
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +277,14 @@ mod tests {
         let md = t.to_markdown();
         assert!(md.contains("ambit-ddr3-8banks"));
         assert!(md.contains("xnor"));
+    }
+
+    #[test]
+    fn advisor_offloads_bulk_bitwise_to_a_pim_backend() {
+        let t = placement_table(Objective::Time);
+        let md = t.to_markdown();
+        // A row-sized bulk bitwise kernel is exactly the workload the
+        // paper builds Ambit for; the advisor must not keep it on host.
+        assert!(md.contains("ambit") || md.contains("hmc"), "{md}");
     }
 }

@@ -1,12 +1,22 @@
 //! E4 — end-to-end database query latency (paper §2: bitmap indices and
 //! BitWeaving scans, *"query latency reductions of 2X to 12X, with larger
 //! benefits for larger data set sizes"*).
+//!
+//! Each compiled query plan is submitted twice to a two-backend
+//! [`pim_runtime`] runtime — forced onto the CPU baseline and forced onto
+//! Ambit — so the A/B comparison runs on the exact dispatch path the
+//! advisor-driven experiments use, and the two backends' functional
+//! outputs are asserted identical.
 
-use pim_ambit::{AmbitConfig, AmbitSystem};
+use pim_ambit::AmbitConfig;
 use pim_core::{Table, Value};
 use pim_host::{CpuConfig, CpuModel};
-use pim_workloads::{BitSlicedColumn, BitmapIndex, ConjunctiveQuery, Predicate};
+use pim_runtime::{AmbitBackend, CpuBackend, Job, Placement, Runtime};
+use pim_workloads::{
+    BitSlicedColumn, BitVec, BitmapIndex, BitwisePlan, ConjunctiveQuery, Predicate,
+};
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Fixed per-query software overhead (operator dispatch, predicate setup,
 /// result materialization) charged identically on both systems; this is
@@ -32,13 +42,40 @@ impl QueryPoint {
     }
 }
 
+/// Prices one compiled plan on both sites through the runtime. The final
+/// popcount of the result bitmap runs on the CPU either way (Ambit has no
+/// reduction unit), and both sites pay the fixed query overhead.
+fn run_both(plan: BitwisePlan, inputs: Vec<&BitVec>, rows: usize) -> (BitVec, QueryPoint) {
+    let inputs: Vec<Arc<BitVec>> = inputs.into_iter().cloned().map(Arc::new).collect();
+    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
+    let mut rt = Runtime::new()
+        .with(Box::new(CpuBackend::new(
+            "cpu",
+            CpuModel::new(CpuConfig::skylake_ddr3()),
+        )))
+        .with(Box::new(AmbitBackend::new("ambit", AmbitConfig::ddr3())));
+    let job = Job::Bitwise { plan, inputs };
+    rt.submit(job.clone(), Placement::Forced("cpu".into()))
+        .expect("submit cpu");
+    rt.submit(job, Placement::Forced("ambit".into()))
+        .expect("submit ambit");
+    let done = rt.drain().expect("drain");
+    assert_eq!(done[0].output, done[1].output, "cpu and ambit plans agree");
+    let result = done[1].output.bits().expect("single output").clone();
+    let pop = cpu.popcount((rows as u64).div_ceil(8));
+    let point = QueryPoint {
+        rows,
+        cpu_ns: FIXED_QUERY_NS + done[0].report.ns + pop.ns,
+        ambit_ns: FIXED_QUERY_NS + done[1].report.ns + pop.ns,
+    };
+    (result, point)
+}
+
 /// Bitmap-index sweep: "active in all of the trailing `weeks` weeks".
-/// Each data point owns its index and simulator, so points run
+/// Each data point owns its index and runtime, so points run
 /// concurrently under the `parallel` feature.
 pub fn bitmap_sweep(log_users: &[u32], weeks: usize) -> Vec<QueryPoint> {
-    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
-    let cpu = &cpu;
-    let tasks: Vec<Box<dyn FnOnce() -> QueryPoint + Send + '_>> = log_users
+    let tasks: Vec<Box<dyn FnOnce() -> QueryPoint + Send>> = log_users
         .iter()
         .map(|&lu| {
             Box::new(move || {
@@ -46,27 +83,14 @@ pub fn bitmap_sweep(log_users: &[u32], weeks: usize) -> Vec<QueryPoint> {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(7);
                 let index = BitmapIndex::random(users, weeks, 0.8, &mut rng);
                 let plan = index.all_active_plan(weeks);
-                let bytes = (users as u64).div_ceil(8);
-
-                let mut cpu_report = cpu.run_plan(&plan, users);
-                cpu_report.merge_sequential(&cpu.popcount(bytes));
-
-                let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
-                let (result, ambit_report) = ambit
-                    .run_plan(&plan, &index.trailing_inputs(weeks))
-                    .expect("plan runs");
+                let (result, point) = run_both(plan, index.trailing_inputs(weeks), users);
                 assert_eq!(
                     result.count_ones(),
                     index.count_all_active(weeks),
                     "functional check"
                 );
-
-                QueryPoint {
-                    rows: users,
-                    cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
-                    ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
-                }
-            }) as Box<dyn FnOnce() -> QueryPoint + Send + '_>
+                point
+            }) as Box<dyn FnOnce() -> QueryPoint + Send>
         })
         .collect();
     crate::run_tasks(tasks)
@@ -74,9 +98,7 @@ pub fn bitmap_sweep(log_users: &[u32], weeks: usize) -> Vec<QueryPoint> {
 
 /// BitWeaving sweep: `column < c` scans over `bits`-bit codes.
 pub fn bitweaving_sweep(log_rows: &[u32], bits: u32) -> Vec<QueryPoint> {
-    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
-    let cpu = &cpu;
-    let tasks: Vec<Box<dyn FnOnce() -> QueryPoint + Send + '_>> = log_rows
+    let tasks: Vec<Box<dyn FnOnce() -> QueryPoint + Send>> = log_rows
         .iter()
         .map(|&lr| {
             Box::new(move || {
@@ -85,23 +107,10 @@ pub fn bitweaving_sweep(log_rows: &[u32], bits: u32) -> Vec<QueryPoint> {
                 let col = BitSlicedColumn::random(rows, bits, &mut rng);
                 let c = 1u64 << (bits - 1);
                 let plan = col.less_than_plan(c);
-                let bytes = (rows as u64).div_ceil(8);
-
-                let mut cpu_report = cpu.run_plan(&plan, rows);
-                cpu_report.merge_sequential(&cpu.popcount(bytes));
-
-                let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
-                let (result, ambit_report) = ambit
-                    .run_plan(&plan, &col.plan_inputs())
-                    .expect("plan runs");
+                let (result, point) = run_both(plan, col.plan_inputs(), rows);
                 assert_eq!(result, col.less_than(c), "functional check");
-
-                QueryPoint {
-                    rows,
-                    cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
-                    ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
-                }
-            }) as Box<dyn FnOnce() -> QueryPoint + Send + '_>
+                point
+            }) as Box<dyn FnOnce() -> QueryPoint + Send>
         })
         .collect();
     crate::run_tasks(tasks)
@@ -110,9 +119,7 @@ pub fn bitweaving_sweep(log_rows: &[u32], bits: u32) -> Vec<QueryPoint> {
 /// Multi-column conjunctive query sweep: `a < c1 AND b = c2 AND r1 <= c < r2`
 /// compiled to one plan and executed on both backends.
 pub fn conjunctive_sweep(log_rows: &[u32]) -> Vec<QueryPoint> {
-    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
-    let cpu = &cpu;
-    let tasks: Vec<Box<dyn FnOnce() -> QueryPoint + Send + '_>> = log_rows
+    let tasks: Vec<Box<dyn FnOnce() -> QueryPoint + Send>> = log_rows
         .iter()
         .map(|&lr| {
             Box::new(move || {
@@ -127,23 +134,10 @@ pub fn conjunctive_sweep(log_rows: &[u32]) -> Vec<QueryPoint> {
                     .and(2, Predicate::Range(100, 800));
                 let cols = [&a, &b, &c];
                 let plan = q.compile(&cols);
-                let bytes = (rows as u64).div_ceil(8);
-
-                let mut cpu_report = cpu.run_plan(&plan, rows);
-                cpu_report.merge_sequential(&cpu.popcount(bytes));
-
-                let mut ambit = AmbitSystem::new(AmbitConfig::ddr3());
-                let (result, ambit_report) = ambit
-                    .run_plan(&plan, &q.plan_inputs(&cols))
-                    .expect("plan runs");
+                let (result, point) = run_both(plan, q.plan_inputs(&cols), rows);
                 assert_eq!(result, q.evaluate_scalar(&cols), "functional check");
-
-                QueryPoint {
-                    rows,
-                    cpu_ns: FIXED_QUERY_NS + cpu_report.ns,
-                    ambit_ns: FIXED_QUERY_NS + ambit_report.ns + cpu.popcount(bytes).ns,
-                }
-            }) as Box<dyn FnOnce() -> QueryPoint + Send + '_>
+                point
+            }) as Box<dyn FnOnce() -> QueryPoint + Send>
         })
         .collect();
     crate::run_tasks(tasks)

@@ -2,12 +2,15 @@
 //! *"Tesseract improves average system performance by 13.8× and reduces
 //! average system energy by 87%"*), plus the prefetcher ablation.
 
-use pim_core::{geomean, Table, Value};
+use pim_core::{geomean, Objective, Table, Value};
+use pim_runtime::{Job, JobOutput, Placement, Runtime, TesseractBackend};
 use pim_tesseract::{
-    trace_ns, Comparison, HostGraphConfig, HostGraphModel, TesseractConfig, TesseractSim,
+    trace_ns, Comparison, HostGraphConfig, HostGraphModel, TesseractConfig, TesseractReport,
+    TesseractSim,
 };
 use pim_workloads::{Graph, KernelKind};
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Generates the evaluation graph (R-MAT, LLC-hostile vertex state).
 pub fn eval_graph(scale: u32, degree: usize) -> Graph {
@@ -17,15 +20,40 @@ pub fn eval_graph(scale: u32, degree: usize) -> Graph {
 
 /// Runs the five kernels against `host`, one task per kernel (concurrent
 /// under the `parallel` feature; each comparison is independent).
+///
+/// Each kernel is a [`Job::GraphBatch`] advised onto a Tesseract-backed
+/// runtime; the host baseline prices the same execution trace the
+/// accelerator produced, exactly as [`TesseractSim::compare`] does.
 fn compare_all(graph: &Graph, host: HostGraphConfig) -> Vec<Comparison> {
-    let sim = TesseractSim::new(TesseractConfig::isca2015());
-    let sim = &sim;
+    let graph = Arc::new(graph.clone());
     let host = &host;
+    let graph = &graph;
     let tasks: Vec<Box<dyn FnOnce() -> Comparison + Send + '_>> = KernelKind::ALL
         .iter()
         .map(|&k| {
-            Box::new(move || sim.compare(k, graph, host))
-                as Box<dyn FnOnce() -> Comparison + Send + '_>
+            Box::new(move || {
+                let config = TesseractConfig::isca2015();
+                let mut rt = Runtime::new()
+                    .with(Box::new(TesseractBackend::new("tesseract", config.clone())));
+                rt.submit(
+                    Job::GraphBatch {
+                        kernel: k,
+                        graph: graph.clone(),
+                    },
+                    Placement::Advised(Objective::Time),
+                )
+                .expect("submit");
+                let done = rt.drain().expect("drain");
+                let JobOutput::Graph(run) = &done[0].output else {
+                    panic!("graph job returns a graph run");
+                };
+                Comparison {
+                    kernel: k,
+                    output: run.output.clone(),
+                    tesseract: TesseractReport::from_trace(&run.trace, &config),
+                    host: HostGraphModel::new(host.clone()).run(&run.trace, graph),
+                }
+            }) as Box<dyn FnOnce() -> Comparison + Send + '_>
         })
         .collect();
     crate::run_tasks(tasks)

@@ -1,22 +1,142 @@
 //! E6 — consumer-device workloads (paper §1/§3: *"62.7% of the total
 //! system energy is spent on data movement"*; offloading target functions
 //! to PIM reduces energy by 55.4% and execution time by 54.2% on average).
+//!
+//! The default path runs the study live through the [`pim_runtime`] job
+//! runtime: each workload phase is a [`Job::Stream`] on a two-site
+//! runtime (host + logic-layer PIM), with the offload advisor deciding
+//! placement of the PIM-candidate functions and everything else pinned to
+//! the host. [`run_static`] keeps the closed-form
+//! [`analyze_all`] accounting for A/B comparison (`--placement forced`).
 
-use pim_core::{analyze_all, ConsumerAnalysis, ConsumerSystemConfig, PimSite, Table, Value};
+use pim_core::{
+    analyze_all, ConsumerAnalysis, ConsumerSystemConfig, Objective, PimSite, Table, Value,
+};
+use pim_energy::EnergyBreakdown;
+use pim_runtime::{Job, Placement, Runtime, StreamSiteBackend, StreamSiteConfig};
+use pim_workloads::ConsumerWorkload;
 
-/// Runs the analysis for all four workloads.
+/// A workload phase as a runtime job; the consumer model counts MB and
+/// Mops per unit of work, the runtime streams bytes and ops.
+fn stream_job(mb: f64, mops: f64) -> Job {
+    Job::Stream {
+        bytes: mb * 1e6,
+        ops: mops * 1e6,
+    }
+}
+
+/// A two-site runtime: the mobile SoC host and one logic-layer PIM site.
+fn site_runtime(cfg: &ConsumerSystemConfig, site: PimSite) -> Runtime {
+    let pim_name = match site {
+        PimSite::Core => "pim-core",
+        PimSite::Accelerator => "pim-accel",
+    };
+    Runtime::new()
+        .with(Box::new(StreamSiteBackend::new(
+            "host",
+            StreamSiteConfig::host(cfg),
+            true,
+        )))
+        .with(Box::new(StreamSiteBackend::new(
+            pim_name,
+            StreamSiteConfig::pim(cfg, site),
+            false,
+        )))
+}
+
+/// Submits one workload's phases (target functions plus the residual),
+/// drains, and returns total energy and serial time in the analysis's
+/// per-unit time units (the runtime's ns are 1e6× those units because a
+/// phase streams 1e6 bytes per MB).
+fn run_phases(w: &ConsumerWorkload, rt: &mut Runtime) -> (EnergyBreakdown, f64) {
+    for f in &w.functions {
+        let placement = if f.pim_candidate {
+            Placement::Advised(Objective::EnergyDelay)
+        } else {
+            // `pim_candidate` is a code-feasibility attribute: the study
+            // only ports these functions to the logic layer, so the rest
+            // is pinned to the host no matter what the roofline says.
+            Placement::Forced("host".into())
+        };
+        rt.submit(stream_job(f.mb_moved_per_unit, f.mops_per_unit), placement)
+            .expect("submit");
+    }
+    rt.submit(
+        stream_job(w.other_mb_moved, w.other_mops),
+        Placement::Forced("host".into()),
+    )
+    .expect("submit");
+    let done = rt.drain().expect("drain");
+    let mut energy = EnergyBreakdown::new();
+    let mut time = 0.0;
+    for c in &done {
+        energy += c.report.energy;
+        time += c.report.ns / 1e6;
+    }
+    (energy, time)
+}
+
+/// Analyzes one workload by dispatching its phases through the runtime
+/// (both PIM configurations), with the host-only baseline priced by the
+/// host backend's estimator.
+fn analyze_via_runtime(w: &ConsumerWorkload, cfg: &ConsumerSystemConfig) -> ConsumerAnalysis {
+    let mut rt_core = site_runtime(cfg, PimSite::Core);
+    let mut baseline_energy = EnergyBreakdown::new();
+    let mut baseline_time = 0.0;
+    for f in &w.functions {
+        let est = rt_core
+            .estimate_on("host", &stream_job(f.mb_moved_per_unit, f.mops_per_unit))
+            .expect("host estimate");
+        baseline_energy += est.energy;
+        baseline_time += est.ns / 1e6;
+    }
+    let est = rt_core
+        .estimate_on("host", &stream_job(w.other_mb_moved, w.other_mops))
+        .expect("host estimate");
+    baseline_energy += est.energy;
+    baseline_time += est.ns / 1e6;
+
+    let (pim_core_energy, pim_core_time) = run_phases(w, &mut rt_core);
+    let mut rt_accel = site_runtime(cfg, PimSite::Accelerator);
+    let (pim_accel_energy, pim_accel_time) = run_phases(w, &mut rt_accel);
+
+    ConsumerAnalysis {
+        name: w.name,
+        movement_fraction: baseline_energy.data_movement_fraction(),
+        baseline_energy,
+        pim_core_energy,
+        pim_accel_energy,
+        baseline_time,
+        pim_core_time,
+        pim_accel_time,
+    }
+}
+
+/// Runs the analysis for all four workloads through the job runtime with
+/// advisor-driven placement.
 pub fn run() -> Vec<ConsumerAnalysis> {
+    let cfg = ConsumerSystemConfig::mobile_soc();
+    ConsumerWorkload::all()
+        .iter()
+        .map(|w| analyze_via_runtime(w, &cfg))
+        .collect()
+}
+
+/// The closed-form accounting (no runtime dispatch) — the forced-placement
+/// A/B baseline for [`run`].
+pub fn run_static() -> Vec<ConsumerAnalysis> {
     analyze_all(&ConsumerSystemConfig::mobile_soc())
 }
 
-/// Renders the result table.
-pub fn table() -> Table {
-    let analyses = run();
+/// Renders the result table from precomputed analyses.
+pub fn table_from(analyses: &[ConsumerAnalysis], title_suffix: &str) -> Table {
     let mut t = Table::new(
-        "E6: consumer workloads — paper: 62.7% movement energy; 55.4% energy / 54.2% time reduction",
+        format!(
+            "E6: consumer workloads — paper: 62.7% movement energy; 55.4% energy / 54.2% time reduction{title_suffix}"
+        ),
         &["workload", "movement", "-E core", "-E accel", "-t core", "-t accel"],
     );
-    for a in &analyses {
+    for a in analyses {
         t.row(vec![
             a.name.into(),
             Value::Percent(a.movement_fraction),
@@ -37,6 +157,11 @@ pub fn table() -> Table {
         Value::Percent(mean(&|a| a.time_reduction(PimSite::Accelerator))),
     ]);
     t
+}
+
+/// Renders the result table (runtime path).
+pub fn table() -> Table {
+    table_from(&run(), "")
 }
 
 #[cfg(test)]
@@ -74,6 +199,42 @@ mod tests {
             (time - 0.542).abs() < 0.10,
             "time reduction {time} (paper: 0.542)"
         );
+    }
+
+    #[test]
+    fn runtime_path_agrees_with_static_accounting() {
+        // The advisor must offload exactly the candidate functions, so the
+        // live dispatch reproduces the closed-form study to fp noise.
+        let live = run();
+        let fixed = run_static();
+        assert_eq!(live.len(), fixed.len());
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        for (l, f) in live.iter().zip(fixed.iter()) {
+            assert_eq!(l.name, f.name);
+            assert!(
+                close(l.movement_fraction, f.movement_fraction),
+                "{}",
+                l.name
+            );
+            assert!(
+                close(l.baseline_energy.total_nj(), f.baseline_energy.total_nj()),
+                "{}",
+                l.name
+            );
+            assert!(
+                close(l.pim_core_energy.total_nj(), f.pim_core_energy.total_nj()),
+                "{}",
+                l.name
+            );
+            assert!(
+                close(l.pim_accel_energy.total_nj(), f.pim_accel_energy.total_nj()),
+                "{}",
+                l.name
+            );
+            assert!(close(l.baseline_time, f.baseline_time), "{}", l.name);
+            assert!(close(l.pim_core_time, f.pim_core_time), "{}", l.name);
+            assert!(close(l.pim_accel_time, f.pim_accel_time), "{}", l.name);
+        }
     }
 
     #[test]

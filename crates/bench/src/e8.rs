@@ -1,12 +1,20 @@
 //! E8 — RowClone bulk copy and initialization (the substrate of paper §2;
 //! RowClone MICRO'13 headline: ~11.6× latency and ~74× energy reduction
 //! for in-DRAM copies at row granularity).
+//!
+//! All five mechanisms are [`Job::RowCopy`]/[`Job::RowInit`] jobs on one
+//! two-backend [`pim_runtime`] runtime — the CPU backend executes them as
+//! `memcpy`/`memset`, the Ambit backend as RowClone FPM/PSM/fill — so
+//! the A/B comparison shares one dispatch path and every mechanism's
+//! functional output is checked.
 
-use pim_ambit::{AmbitConfig, AmbitSystem};
+use pim_ambit::AmbitConfig;
 use pim_core::{Table, Value};
 use pim_host::{CpuConfig, CpuModel};
+use pim_runtime::{AmbitBackend, CpuBackend, Job, Placement, Runtime};
 use pim_workloads::BitVec;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// One mechanism's cost for a bulk copy/init of a given size.
 #[derive(Debug, Clone)]
@@ -25,57 +33,61 @@ pub struct CopyCost {
 pub fn run_copy(kb: u64) -> Vec<CopyCost> {
     let bytes = kb * 1024;
     let bits = (bytes * 8) as usize;
-    let cpu = CpuModel::new(CpuConfig::skylake_ddr3());
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let data = Arc::new(BitVec::random(bits, 0.5, &mut rng));
 
-    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
-    let src = sys.alloc(bits).expect("alloc");
-    let dst = sys.alloc(bits).expect("alloc");
-    let data = BitVec::random(bits, 0.5, &mut rng);
-    sys.write(&src, &data).expect("write");
-
-    let memcpy = cpu.memcpy(bytes);
-    let fpm = sys.copy(&src, &dst).expect("fpm");
-    assert_eq!(sys.read(&dst), data, "FPM must be bit-exact");
-    sys.write(&dst, &BitVec::zeros(bits)).expect("clear");
-    let psm = sys.copy_psm(&src, &dst).expect("psm");
-    assert_eq!(sys.read(&dst), data, "PSM must be bit-exact");
-    let memset = cpu.memset(bytes);
-    let fill = sys.fill(&dst, false).expect("fill");
-    assert_eq!(sys.read(&dst).count_ones(), 0, "fill must zero");
-
-    vec![
-        CopyCost {
-            mechanism: "cpu-memcpy",
+    let mut rt = Runtime::new()
+        .with(Box::new(CpuBackend::new(
+            "cpu",
+            CpuModel::new(CpuConfig::skylake_ddr3()),
+        )))
+        .with(Box::new(AmbitBackend::new("ambit", AmbitConfig::ddr3())));
+    let copy = |psm| Job::RowCopy {
+        data: data.clone(),
+        psm,
+    };
+    let init = Job::RowInit { bits, ones: false };
+    for (job, backend) in [
+        (copy(false), "cpu"),
+        (copy(false), "ambit"),
+        (copy(true), "ambit"),
+        (init.clone(), "cpu"),
+        (init, "ambit"),
+    ] {
+        rt.submit(job, Placement::Forced(backend.into()))
+            .expect("submit");
+    }
+    let done = rt.drain().expect("drain");
+    for c in &done[..3] {
+        assert_eq!(
+            c.output.bits().expect("copy output"),
+            data.as_ref(),
+            "copies must be bit-exact"
+        );
+    }
+    for c in &done[3..] {
+        assert_eq!(
+            c.output.bits().expect("init output").count_ones(),
+            0,
+            "fill must zero"
+        );
+    }
+    let names = [
+        "cpu-memcpy",
+        "rowclone-fpm",
+        "rowclone-psm",
+        "cpu-memset",
+        "rowclone-zero",
+    ];
+    done.iter()
+        .zip(names)
+        .map(|(c, mechanism)| CopyCost {
+            mechanism,
             bytes,
-            ns: memcpy.ns,
-            nj: memcpy.energy.total_nj(),
-        },
-        CopyCost {
-            mechanism: "rowclone-fpm",
-            bytes,
-            ns: fpm.ns,
-            nj: fpm.energy.total_nj(),
-        },
-        CopyCost {
-            mechanism: "rowclone-psm",
-            bytes,
-            ns: psm.ns,
-            nj: psm.energy.total_nj(),
-        },
-        CopyCost {
-            mechanism: "cpu-memset",
-            bytes,
-            ns: memset.ns,
-            nj: memset.energy.total_nj(),
-        },
-        CopyCost {
-            mechanism: "rowclone-zero",
-            bytes,
-            ns: fill.ns,
-            nj: fill.energy.total_nj(),
-        },
-    ]
+            ns: c.report.ns,
+            nj: c.report.energy.total_nj(),
+        })
+        .collect()
 }
 
 /// Renders the result table across sizes.

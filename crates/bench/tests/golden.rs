@@ -9,8 +9,8 @@
 //! tight. CI runs this suite with the `parallel` feature both on and off;
 //! identical results at any thread count is part of the contract.
 
-use pim_bench::{e1, e2, e3, e4, e5};
-use pim_core::geomean;
+use pim_bench::{e1, e2, e3, e4, e5, e6, e8};
+use pim_core::{geomean, PimSite};
 use pim_workloads::BulkOp;
 
 fn assert_band(v: f64, lo: f64, hi: f64, what: &str) {
@@ -123,4 +123,62 @@ fn e5_tesseract_speedup_and_energy() {
             c.kernel
         );
     }
+}
+
+/// E6 — consumer-workload study through the advisor-driven runtime.
+/// Paper: 62.7% movement energy, 55.4% energy / 54.2% time reduction.
+#[test]
+fn e6_consumer_workload_averages() {
+    let analyses = e6::run();
+    let n = analyses.len() as f64;
+    let mean =
+        |f: &dyn Fn(&pim_core::ConsumerAnalysis) -> f64| analyses.iter().map(f).sum::<f64>() / n;
+    assert_band(
+        mean(&|a| a.movement_fraction),
+        0.567,
+        0.687,
+        "E6 movement-energy fraction",
+    );
+    let energy = mean(&|a| {
+        (a.energy_reduction(PimSite::Core) + a.energy_reduction(PimSite::Accelerator)) / 2.0
+    });
+    assert_band(energy, 0.474, 0.634, "E6 energy reduction");
+    let time =
+        mean(&|a| (a.time_reduction(PimSite::Core) + a.time_reduction(PimSite::Accelerator)) / 2.0);
+    assert_band(time, 0.442, 0.642, "E6 time reduction");
+    // The live runtime dispatch and the closed-form accounting are the
+    // same study; they must agree on total baseline energy.
+    for (l, s) in analyses.iter().zip(e6::run_static().iter()) {
+        let (a, b) = (l.baseline_energy.total_nj(), s.baseline_energy.total_nj());
+        assert!(
+            (a - b).abs() <= 1e-9 * a.max(b),
+            "E6 {}: runtime {a} vs static {b}",
+            l.name
+        );
+    }
+}
+
+/// E8 — RowClone copy/init costs through the runtime.
+/// RowClone paper: ~11.6× latency, ~74× energy for FPM copies.
+#[test]
+fn e8_rowclone_ratios() {
+    let rows = e8::run_copy(8);
+    let by = |m: &str| rows.iter().find(|r| r.mechanism == m).unwrap();
+    let (memcpy, fpm, psm) = (by("cpu-memcpy"), by("rowclone-fpm"), by("rowclone-psm"));
+    let (memset, zero) = (by("cpu-memset"), by("rowclone-zero"));
+    assert_band(memcpy.ns / fpm.ns, 8.0, 30.0, "E8 FPM latency ratio");
+    assert!(
+        memcpy.nj / fpm.nj > 50.0,
+        "E8 FPM energy ratio {} (paper: ~74x)",
+        memcpy.nj / fpm.nj
+    );
+    // PSM sits between the channel copy and FPM on both axes.
+    assert!(
+        psm.ns < memcpy.ns && psm.ns > fpm.ns,
+        "E8 PSM latency order"
+    );
+    assert!(psm.nj < memcpy.nj && psm.nj > fpm.nj, "E8 PSM energy order");
+    // Zero-init is one AAP, same cost as an FPM copy, and beats memset.
+    assert!((zero.ns - fpm.ns).abs() < 1.0, "E8 zero-init = one AAP");
+    assert!(memset.ns / zero.ns > 8.0, "E8 zero-init vs memset");
 }

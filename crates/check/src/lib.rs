@@ -14,7 +14,7 @@
 //! * [`Checker`] / [`check_trace`] — the online legality checker
 //!   (tRCD/tRP/tRAS/tRRD/tFAW/tWR/tCCD/tRFC, refresh deadlines, open-row
 //!   and same-subarray TRA/AAP legality, PIM exemptions and SALP);
-//! * [`replay`] — re-executes a trace on a fresh device at the recorded
+//! * [`replay()`] — re-executes a trace on a fresh device at the recorded
 //!   cycles and proves the re-capture is byte-identical.
 //!
 //! ## Quick start

@@ -21,7 +21,7 @@
 //!
 //! ```
 //! use pim_core::{decide, KernelProfile, Objective, SiteModel};
-//! let memcpy_like = KernelProfile::new(8e6, 1e6);
+//! let memcpy_like = KernelProfile::new(8e6, 1e6).expect("valid profile");
 //! let d = decide(&memcpy_like, &SiteModel::host(), &SiteModel::pim_core(), Objective::Time);
 //! assert!(d.offload);
 //! ```
@@ -43,7 +43,7 @@ pub use coherence::{
 pub use consumer::{
     analyze_all, analyze_workload, ConsumerAnalysis, ConsumerSystemConfig, PimSite,
 };
-pub use offload::{decide, KernelProfile, Objective, OffloadDecision, SiteModel};
+pub use offload::{decide, KernelProfile, Objective, OffloadDecision, OffloadError, SiteModel};
 pub use pei::{dispatch, expected_ns as pei_expected_ns, PeiCosts, PeiPolicy, PeiSite};
 pub use structures::{crossover_cores, throughput_mops, ContentionCosts, StructureHost};
 pub use table::{geomean, Table, Value};

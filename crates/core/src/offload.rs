@@ -8,6 +8,49 @@
 
 use std::fmt;
 
+/// Why a profile or site model was rejected.
+///
+/// Library code must not panic on user-supplied inputs; every validating
+/// constructor in this module returns this error instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OffloadError {
+    /// A parameter was outside its valid range (negative, non-finite, or
+    /// zero where a positive value is required).
+    InvalidParameter {
+        /// Which parameter was rejected.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What the parameter must satisfy.
+        need: &'static str,
+    },
+}
+
+impl fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadError::InvalidParameter { field, value, need } => {
+                write!(f, "{field} = {value} is invalid: must be {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OffloadError {}
+
+fn require(
+    field: &'static str,
+    value: f64,
+    need: &'static str,
+    ok: bool,
+) -> Result<(), OffloadError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(OffloadError::InvalidParameter { field, value, need })
+    }
+}
+
 /// A kernel's resource footprint.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelProfile {
@@ -20,16 +63,24 @@ pub struct KernelProfile {
 impl KernelProfile {
     /// Creates a profile.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either quantity is negative or non-finite.
-    pub fn new(bytes: f64, ops: f64) -> Self {
-        assert!(
+    /// Returns [`OffloadError::InvalidParameter`] if either quantity is
+    /// negative or non-finite.
+    pub fn new(bytes: f64, ops: f64) -> Result<Self, OffloadError> {
+        require(
+            "bytes",
+            bytes,
+            "finite and non-negative",
             bytes.is_finite() && bytes >= 0.0,
-            "bytes must be non-negative"
-        );
-        assert!(ops.is_finite() && ops >= 0.0, "ops must be non-negative");
-        KernelProfile { bytes, ops }
+        )?;
+        require(
+            "ops",
+            ops,
+            "finite and non-negative",
+            ops.is_finite() && ops >= 0.0,
+        )?;
+        Ok(KernelProfile { bytes, ops })
     }
 
     /// Bytes per operation — the memory intensity.
@@ -58,6 +109,53 @@ pub struct SiteModel {
 }
 
 impl SiteModel {
+    /// Creates a validated site model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError::InvalidParameter`] if a rate is not strictly
+    /// positive (a site that moves no bytes or retires no ops has no
+    /// roofline) or an energy coefficient is negative or non-finite.
+    pub fn new(
+        name: impl Into<String>,
+        bw_gbps: f64,
+        gops: f64,
+        nj_per_byte: f64,
+        nj_per_op: f64,
+    ) -> Result<Self, OffloadError> {
+        require(
+            "bw_gbps",
+            bw_gbps,
+            "finite and positive",
+            bw_gbps.is_finite() && bw_gbps > 0.0,
+        )?;
+        require(
+            "gops",
+            gops,
+            "finite and positive",
+            gops.is_finite() && gops > 0.0,
+        )?;
+        require(
+            "nj_per_byte",
+            nj_per_byte,
+            "finite and non-negative",
+            nj_per_byte.is_finite() && nj_per_byte >= 0.0,
+        )?;
+        require(
+            "nj_per_op",
+            nj_per_op,
+            "finite and non-negative",
+            nj_per_op.is_finite() && nj_per_op >= 0.0,
+        )?;
+        Ok(SiteModel {
+            name: name.into(),
+            bw_gbps,
+            gops,
+            nj_per_byte,
+            nj_per_op,
+        })
+    }
+
     /// A host CPU with off-chip DRAM (defaults matching the mobile SoC of
     /// the consumer study).
     pub fn host() -> Self {
@@ -184,7 +282,7 @@ mod tests {
     #[test]
     fn memory_bound_kernels_offload() {
         // memcpy-like: 8 bytes/op.
-        let k = KernelProfile::new(8e6, 1e6);
+        let k = KernelProfile::new(8e6, 1e6).unwrap();
         let d = decide(
             &k,
             &SiteModel::host(),
@@ -199,7 +297,7 @@ mod tests {
     fn compute_bound_kernels_stay_when_pim_is_not_faster() {
         // Dense arithmetic: 0.1 bytes/op; equal Gops on both sites but the
         // host is not worse, so no time benefit.
-        let k = KernelProfile::new(1e5, 1e6);
+        let k = KernelProfile::new(1e5, 1e6).unwrap();
         let mut pim = SiteModel::pim_core();
         pim.gops = 8.0; // weaker PIM core
         let d = decide(&k, &SiteModel::host(), &pim, Objective::Time);
@@ -210,7 +308,7 @@ mod tests {
     fn energy_objective_prefers_pim_more_often() {
         // Moderately compute-bound: time says stay (weaker PIM core), but
         // the PIM site's per-op energy still wins.
-        let k = KernelProfile::new(2e5, 1e6);
+        let k = KernelProfile::new(2e5, 1e6).unwrap();
         let mut pim = SiteModel::pim_core();
         pim.gops = 8.0;
         let time = decide(&k, &SiteModel::host(), &pim, Objective::Time);
@@ -222,7 +320,7 @@ mod tests {
 
     #[test]
     fn energy_delay_balances_both() {
-        let k = KernelProfile::new(4e6, 1e6);
+        let k = KernelProfile::new(4e6, 1e6).unwrap();
         let d = decide(
             &k,
             &SiteModel::host(),
@@ -234,14 +332,103 @@ mod tests {
     }
 
     #[test]
-    fn profile_intensity() {
-        assert_eq!(KernelProfile::new(64.0, 8.0).bytes_per_op(), 8.0);
-        assert!(KernelProfile::new(64.0, 0.0).bytes_per_op().is_infinite());
+    fn zero_op_kernel_is_pure_data_movement() {
+        // ops = 0: infinite memory intensity. Time is pure bandwidth, no
+        // NaN leaks out, and the faster memory wins under every objective.
+        let k = KernelProfile::new(1e6, 0.0).unwrap();
+        for objective in [Objective::Time, Objective::Energy, Objective::EnergyDelay] {
+            let d = decide(&k, &SiteModel::host(), &SiteModel::pim_core(), objective);
+            assert!(d.host_time_ns.is_finite());
+            assert!(d.pim_time_ns.is_finite());
+            assert!(d.benefit(objective).is_finite());
+            assert!(d.offload, "zero-op streams are memory-bound: {d}");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
-    fn negative_bytes_rejected() {
-        let _ = KernelProfile::new(-1.0, 0.0);
+    fn empty_kernel_stays_on_host() {
+        // bytes = ops = 0: both sites cost exactly nothing, the strict-<
+        // comparison fails, and the advisor defaults to not moving work.
+        let k = KernelProfile::new(0.0, 0.0).unwrap();
+        for objective in [Objective::Time, Objective::Energy, Objective::EnergyDelay] {
+            let d = decide(&k, &SiteModel::host(), &SiteModel::pim_core(), objective);
+            assert_eq!(d.host_time_ns, 0.0);
+            assert_eq!(d.pim_time_ns, 0.0);
+            assert!(!d.offload, "an empty kernel must not offload: {d}");
+        }
+    }
+
+    #[test]
+    fn exact_roofline_tie_goes_to_host() {
+        // Identical sites: every cost is equal on both sides, so under
+        // every objective the tie resolves to staying put (offloading
+        // with zero benefit would pay the code-dispatch cost for free).
+        let host = SiteModel::host();
+        let pim = SiteModel::new(
+            "mirror",
+            host.bw_gbps,
+            host.gops,
+            host.nj_per_byte,
+            host.nj_per_op,
+        )
+        .unwrap();
+        for (bytes, ops) in [(8e6, 1e6), (1e5, 1e6), (1e6, 0.0)] {
+            let k = KernelProfile::new(bytes, ops).unwrap();
+            for objective in [Objective::Time, Objective::Energy, Objective::EnergyDelay] {
+                let d = decide(&k, &host, &pim, objective);
+                assert_eq!(d.host_time_ns, d.pim_time_ns);
+                assert_eq!(d.host_energy_nj, d.pim_energy_nj);
+                assert!(!d.offload, "exact ties must stay on the host: {d}");
+                assert_eq!(d.benefit(objective), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_intensity() {
+        assert_eq!(KernelProfile::new(64.0, 8.0).unwrap().bytes_per_op(), 8.0);
+        assert!(KernelProfile::new(64.0, 0.0)
+            .unwrap()
+            .bytes_per_op()
+            .is_infinite());
+    }
+
+    #[test]
+    fn invalid_profiles_rejected_not_panicked() {
+        for (bytes, ops) in [
+            (-1.0, 0.0),
+            (f64::NAN, 0.0),
+            (f64::INFINITY, 0.0),
+            (0.0, -1.0),
+            (0.0, f64::NAN),
+        ] {
+            let err = KernelProfile::new(bytes, ops).unwrap_err();
+            let OffloadError::InvalidParameter { field, .. } = err;
+            assert!(field == "bytes" || field == "ops", "{err}");
+        }
+    }
+
+    #[test]
+    fn invalid_sites_rejected_not_panicked() {
+        assert!(SiteModel::new("s", 10.0, 16.0, 0.04, 0.17).is_ok());
+        for (bw, gops, njb, njo) in [
+            (0.0, 16.0, 0.0, 0.0),
+            (-1.0, 16.0, 0.0, 0.0),
+            (10.0, 0.0, 0.0, 0.0),
+            (10.0, f64::NAN, 0.0, 0.0),
+            (10.0, 16.0, -0.1, 0.0),
+            (10.0, 16.0, 0.0, f64::INFINITY),
+        ] {
+            assert!(
+                SiteModel::new("s", bw, gops, njb, njo).is_err(),
+                "bw={bw} gops={gops} njb={njb} njo={njo} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_names_the_field() {
+        let err = KernelProfile::new(-1.0, 0.0).unwrap_err();
+        assert!(err.to_string().contains("bytes"));
     }
 }

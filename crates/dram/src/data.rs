@@ -11,9 +11,9 @@
 //! Row payloads live in per-bank arenas: one dense `Vec<u64>` slab per
 //! materialized bank, slot-major (`slot * row_words ..`), with a compact
 //! row→slot table in front of it. Banks with few materialized rows use a
-//! small open-addressing [`FastRowMap`] (one multiply + a short linear
+//! small open-addressing `FastRowMap` (one multiply + a short linear
 //! probe — no SipHash anywhere on the datapath); once a bank accumulates
-//! more than [`SPARSE_MAX`] rows the table is promoted to a dense `Vec<u32>`
+//! more than `SPARSE_MAX` rows the table is promoted to a dense `Vec<u32>`
 //! indexed directly by row number. The result is that the bulk-bitwise hot
 //! loops ([`DataStore::majority3`], [`DataStore::not_row`],
 //! [`DataStore::copy_row`], [`DataStore::fill_row`]) resolve each operand

@@ -38,5 +38,5 @@ pub use cpu::{CpuConfig, CpuModel};
 pub use gpu::{GpuConfig, GpuModel};
 pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyStats, HitLevel};
 pub use hmc_logic::{HmcLogicConfig, HmcLogicModel};
-pub use memory_system::{AccessCost, MemorySystem};
+pub use memory_system::{AccessCost, MemorySystem, DEFAULT_BATCH_CAPACITY};
 pub use report::{Bound, HostReport};

@@ -34,7 +34,12 @@ pub struct MemorySystem {
     total_core_cycles: f64,
     accesses: u64,
     batched: VecDeque<Request>,
+    batch_capacity: usize,
 }
+
+/// Default bound on the batched-access queue (see
+/// [`MemorySystem::access_batched`]).
+pub const DEFAULT_BATCH_CAPACITY: usize = 1024;
 
 /// End-to-end outcome of one access.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,7 +62,15 @@ impl MemorySystem {
             total_core_cycles: 0.0,
             accesses: 0,
             batched: VecDeque::new(),
+            batch_capacity: DEFAULT_BATCH_CAPACITY,
         }
+    }
+
+    /// Sets the bound on the batched-access queue.
+    #[must_use]
+    pub fn with_batch_capacity(mut self, capacity: usize) -> Self {
+        self.batch_capacity = capacity;
+        self
     }
 
     /// A Skylake-class system: server hierarchy over one DDR3-1600 channel
@@ -106,12 +119,33 @@ impl MemorySystem {
 
     /// Queues an independent access (memory-level parallelism); call
     /// [`MemorySystem::drain`] to issue the whole batch concurrently.
-    pub fn access_batched(&mut self, addr: u64, write: bool) {
+    ///
+    /// The queue is bounded ([`DEFAULT_BATCH_CAPACITY`] by default; see
+    /// [`MemorySystem::with_batch_capacity`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::QueueFull`] when the batch queue is at
+    /// capacity. Like the controller's queue-full semantics, the error is
+    /// not sticky: the rejected access is simply dropped, and the queue
+    /// accepts new accesses again after [`MemorySystem::drain`].
+    pub fn access_batched(&mut self, addr: u64, write: bool) -> Result<(), DramError> {
+        if self.batched.len() >= self.batch_capacity {
+            return Err(DramError::QueueFull {
+                capacity: self.batch_capacity,
+            });
+        }
         self.batched.push_back(if write {
             Request::write(PhysAddr::new(addr).align_down(64))
         } else {
             Request::read(PhysAddr::new(addr).align_down(64))
         });
+        Ok(())
+    }
+
+    /// Batched accesses currently queued.
+    pub fn batched_len(&self) -> usize {
+        self.batched.len()
     }
 
     /// Issues all batched accesses through the hierarchy and controller
@@ -203,7 +237,7 @@ mod tests {
         // Batched: independent accesses issued together.
         let mut parallel = MemorySystem::skylake_ddr3();
         for &a in &addrs {
-            parallel.access_batched(a, false);
+            parallel.access_batched(a, false).unwrap();
         }
         let batched_cycles = parallel.drain().unwrap();
         assert!(
@@ -216,13 +250,34 @@ mod tests {
     fn streaming_hits_dram_row_buffers() {
         let mut m = MemorySystem::skylake_ddr3();
         for i in 0..512u64 {
-            m.access_batched(0x100_0000 + i * 64, false);
+            m.access_batched(0x100_0000 + i * 64, false).unwrap();
         }
         m.drain().unwrap();
         // Lines stream through the caches once (all misses) but hit open
         // DRAM rows.
         assert!(m.controller().stats().row_hit_rate() > 0.9);
         assert_eq!(m.hierarchy().stats().mem_accesses, 512);
+    }
+
+    #[test]
+    fn batch_queue_full_is_not_sticky() {
+        let mut m = MemorySystem::skylake_ddr3().with_batch_capacity(4);
+        for i in 0..4u64 {
+            m.access_batched(i * 64, false).unwrap();
+        }
+        // At capacity: the fifth access is rejected without corrupting the
+        // queue.
+        assert_eq!(
+            m.access_batched(4 * 64, false),
+            Err(DramError::QueueFull { capacity: 4 })
+        );
+        assert_eq!(m.batched_len(), 4);
+        // Draining frees the queue; new accesses are accepted again.
+        m.drain().unwrap();
+        assert_eq!(m.batched_len(), 0);
+        m.access_batched(0, false).unwrap();
+        assert_eq!(m.batched_len(), 1);
+        m.drain().unwrap();
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! The [`Backend`] trait every execution engine implements, plus the
+//! bounded [`JobQueue`] they share.
+
+use crate::error::RuntimeError;
+use crate::job::{Completion, Job, JobId};
+use pim_core::SiteModel;
+use pim_dram::{DramSpec, TraceRecord};
+use pim_energy::{Component, EnergyBreakdown};
+use std::collections::VecDeque;
+
+/// What a job is predicted to cost on a backend, before running it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Predicted nanoseconds (roofline over the backend's site model).
+    pub ns: f64,
+    /// Predicted energy by component.
+    pub energy: EnergyBreakdown,
+}
+
+impl CostEstimate {
+    /// Total predicted energy in nJ.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy.total_nj()
+    }
+}
+
+/// One execution engine behind the runtime: an Ambit DRAM, a Tesseract
+/// stack, a host roofline. Backends own a bounded submission queue
+/// (backpressure via [`RuntimeError::QueueFull`]), execute queued jobs on
+/// [`Backend::drain`], and report finished work through
+/// [`Backend::poll`].
+pub trait Backend {
+    /// Unique backend name — the handle forced placement uses.
+    fn name(&self) -> &str;
+
+    /// The roofline site model the offload advisor prices this backend
+    /// with.
+    fn site(&self) -> &SiteModel;
+
+    /// Whether this backend is the host side of the offload decision.
+    fn is_host(&self) -> bool {
+        false
+    }
+
+    /// Submission-queue bound.
+    fn capacity(&self) -> usize;
+
+    /// Jobs currently queued (not yet drained).
+    fn queue_depth(&self) -> usize;
+
+    /// Jobs accepted over this backend's lifetime.
+    fn submitted(&self) -> u64;
+
+    /// Jobs completed over this backend's lifetime.
+    fn completed(&self) -> u64;
+
+    /// Whether this backend can execute `job` at all.
+    fn supports(&self, job: &Job) -> bool;
+
+    /// Predicts `job`'s cost on this backend without executing it.
+    ///
+    /// The default prices the job's [`Job::profile`] on the backend's
+    /// [`SiteModel`] roofline, attributing all energy to
+    /// [`Component::Other`]; backends with a component-resolved energy
+    /// model override this.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unsupported`] if the backend cannot run the job.
+    fn estimate(&self, job: &Job) -> Result<CostEstimate, RuntimeError> {
+        if !self.supports(job) {
+            return Err(RuntimeError::Unsupported {
+                backend: self.name().to_string(),
+                job: job.kind(),
+            });
+        }
+        let profile = job.profile();
+        let site = self.site();
+        let mut energy = EnergyBreakdown::new();
+        energy.add_nj(Component::Other, site.energy_nj(&profile));
+        Ok(CostEstimate {
+            ns: site.time_ns(&profile),
+            energy,
+        })
+    }
+
+    /// Enqueues a job.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::QueueFull`] (non-sticky) at capacity,
+    /// [`RuntimeError::Unsupported`] for foreign job kinds.
+    fn submit(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError>;
+
+    /// Executes everything queued (batching/coalescing compatible jobs
+    /// where the engine supports it).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Engine`] if the engine rejects a job mid-batch; the
+    /// rest of that batch is lost but the backend stays usable.
+    fn drain(&mut self) -> Result<(), RuntimeError>;
+
+    /// Takes all completions produced by previous drains.
+    fn poll(&mut self) -> Vec<Completion>;
+
+    /// Enables or disables DRAM command-trace capture, where the engine
+    /// has a command-level device underneath (no-op elsewhere).
+    fn set_trace(&mut self, _enabled: bool) {}
+
+    /// Takes the captured command trace (empty when unsupported/disabled).
+    fn take_trace(&mut self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
+
+    /// The DRAM device spec behind [`Backend::take_trace`]'s records, for
+    /// oracle validation.
+    fn trace_spec(&self) -> Option<DramSpec> {
+        None
+    }
+}
+
+/// The bounded submission queue all backends share: capacity-checked
+/// submission, FIFO draining, and lifetime counters.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    capacity: usize,
+    queue: VecDeque<(JobId, Job)>,
+    done: Vec<Completion>,
+    submitted: u64,
+    completed: u64,
+}
+
+impl JobQueue {
+    /// Creates a queue bounded at `capacity` jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity,
+            queue: VecDeque::new(),
+            done: Vec::new(),
+            submitted: 0,
+            completed: 0,
+        }
+    }
+
+    /// The bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs waiting to be drained.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs ever accepted.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Jobs ever completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Accepts a job, or rejects it (non-stickily) at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::QueueFull`] when `depth() == capacity()`.
+    pub fn push(&mut self, backend: &str, id: JobId, job: Job) -> Result<(), RuntimeError> {
+        if self.queue.len() >= self.capacity {
+            return Err(RuntimeError::QueueFull {
+                backend: backend.to_string(),
+                capacity: self.capacity,
+            });
+        }
+        self.queue.push_back((id, job));
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// Takes the whole queued batch in FIFO order.
+    pub fn take_batch(&mut self) -> Vec<(JobId, Job)> {
+        self.queue.drain(..).collect()
+    }
+
+    /// Records a finished job.
+    pub fn finish(&mut self, completion: Completion) {
+        self.completed += 1;
+        self.done.push(completion);
+    }
+
+    /// Takes all recorded completions.
+    pub fn poll(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_full_is_not_sticky() {
+        let mut q = JobQueue::new(2);
+        let job = || Job::RowInit {
+            bits: 64,
+            ones: false,
+        };
+        q.push("b", 0, job()).unwrap();
+        q.push("b", 1, job()).unwrap();
+        let err = q.push("b", 2, job()).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::QueueFull {
+                backend: "b".into(),
+                capacity: 2
+            }
+        );
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.take_batch().len(), 2);
+        q.push("b", 3, job()).expect("accepts again after drain");
+        assert_eq!(q.submitted(), 3);
+    }
+}

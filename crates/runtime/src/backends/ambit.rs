@@ -1,0 +1,379 @@
+//! The Ambit in-DRAM engine as a runtime backend: lowers bitwise jobs to
+//! multi-bank programs and **coalesces** compatible jobs into one wider
+//! bank-parallel execution before dispatch.
+//!
+//! # Coalescing model
+//!
+//! `AmbitSystem::alloc` stripes a vector's row-sized chunks across banks
+//! (`chunk c → bank c % banks`), so a *small* job dispatched alone leaves
+//! most banks idle: a one-chunk job occupies exactly one bank. The
+//! backend therefore concatenates queued **same-operation single-step**
+//! jobs into one wider vector — chunk offsets are row-aligned, so each
+//! job's payload lands on its own rows — and executes that once. With the
+//! group capped at `total_banks` chunks every chunk sits on a *distinct*
+//! bank, the whole group runs fully bank-parallel, and each job's
+//! dependency chain is exactly what it would have been alone.
+//!
+//! That cap is what makes per-job accounting exact rather than
+//! approximate: job timing is reconstructed from
+//! [`AmbitSystem::last_chunk_ends`] (its own chunks' chains), commands
+//! are apportioned per chunk (an Ambit program issues identical commands
+//! for every chunk), and energy is re-priced from the job's own commands
+//! via [`AmbitSystem::price_commands`]. The determinism suite asserts the
+//! resulting outputs *and reports* are byte-identical to unbatched
+//! sequential dispatch.
+//!
+//! Jobs wider than the bank count, multi-step plans, RowClone jobs, and
+//! any job on a fault-injecting device (`tra_failure_rate > 0`, where the
+//! fault RNG is keyed on absolute chunk indices) dispatch individually.
+
+use crate::backend::{Backend, JobQueue};
+use crate::error::RuntimeError;
+use crate::job::{Completion, Job, JobId, JobOutput, JobReport};
+use pim_ambit::{AmbitConfig, AmbitError, AmbitSystem};
+use pim_core::SiteModel;
+use pim_dram::{CommandCounts, DramSpec, TraceRecord};
+use pim_workloads::{BitVec, BulkOp};
+use std::sync::Arc;
+
+/// Default submission-queue bound for engine-backed backends.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// One member of a coalesced group: `(id, a, optional b)`.
+type GroupMember = (JobId, Arc<BitVec>, Option<Arc<BitVec>>);
+
+/// [`AmbitSystem`] behind the [`Backend`] trait.
+#[derive(Debug)]
+pub struct AmbitBackend {
+    name: String,
+    sys: AmbitSystem,
+    site: SiteModel,
+    queue: JobQueue,
+    coalesce: bool,
+    total_banks: usize,
+    row_bits: usize,
+}
+
+impl AmbitBackend {
+    /// Creates a backend over a fresh Ambit device.
+    pub fn new(name: impl Into<String>, config: AmbitConfig) -> Self {
+        Self::with_capacity(name, config, DEFAULT_CAPACITY)
+    }
+
+    /// Like [`AmbitBackend::new`] with an explicit queue bound.
+    pub fn with_capacity(name: impl Into<String>, config: AmbitConfig, capacity: usize) -> Self {
+        let name = name.into();
+        let coalesce = config.tra_failure_rate == 0.0;
+        let total_banks = config.spec.org.total_banks() as usize;
+        let sys = AmbitSystem::new(config);
+        let row_bits = sys.row_bits();
+        // Advisory roofline: the analytic all-banks AND rate is the
+        // engine's output bandwidth; ~3 bytes move per output byte, and
+        // in-DRAM ops ride the row activations, so time is purely
+        // bandwidth-bound. Energy per byte is the E2-scale in-DRAM cost.
+        let out_gbps = sys.analytic_throughput_gbps(BulkOp::And);
+        let site = SiteModel::new(&name, 3.0 * out_gbps, 1e6, 1.2e-3, 0.0)
+            .expect("ambit site coefficients are valid");
+        AmbitBackend {
+            name,
+            sys,
+            site,
+            queue: JobQueue::new(capacity),
+            coalesce,
+            total_banks,
+            row_bits,
+        }
+    }
+
+    /// The underlying engine (stats, spec, analytic models).
+    pub fn system(&self) -> &AmbitSystem {
+        &self.sys
+    }
+
+    fn engine_err(&self, e: AmbitError) -> RuntimeError {
+        RuntimeError::Engine {
+            backend: self.name.clone(),
+            message: e.to_string(),
+        }
+    }
+
+    fn chunks_of(&self, len_bits: usize) -> usize {
+        len_bits.div_ceil(self.row_bits).max(1)
+    }
+
+    /// Executes one coalesced group of same-`op` single-step jobs whose
+    /// chunk total fits the bank count. `members` are `(id, a, b)`.
+    fn run_group(
+        &mut self,
+        op: BulkOp,
+        members: &[GroupMember],
+    ) -> Result<(), RuntimeError> {
+        let row_words = self.row_bits / 64;
+        // Row-aligned (hence word-aligned) chunk offset of each member.
+        let mut offsets = Vec::with_capacity(members.len());
+        let mut total_chunks = 0usize;
+        for (_, a, _) in members {
+            offsets.push(total_chunks);
+            total_chunks += self.chunks_of(a.len());
+        }
+        debug_assert!(total_chunks <= self.total_banks);
+        let total_bits = total_chunks * self.row_bits;
+
+        // Concatenate payloads at row boundaries; slack bits stay zero.
+        let concat = |sel: &dyn Fn(&GroupMember) -> &BitVec| {
+            let mut words = vec![0u64; total_bits / 64];
+            for (m, &off) in members.iter().zip(&offsets) {
+                let src = sel(m).as_words();
+                words[off * row_words..off * row_words + src.len()].copy_from_slice(src);
+            }
+            BitVec::from_words(words, total_bits)
+        };
+        let a_cat = concat(&|m| &m.1);
+        let b_cat = if op.is_unary() {
+            None
+        } else {
+            Some(concat(&|m| m.2.as_deref().expect("binary operands")))
+        };
+
+        let a_vec = self.sys.alloc(total_bits).map_err(|e| self.engine_err(e))?;
+        let b_vec = match &b_cat {
+            Some(_) => Some(self.sys.alloc(total_bits).map_err(|e| self.engine_err(e))?),
+            None => None,
+        };
+        let out_vec = self.sys.alloc(total_bits).map_err(|e| self.engine_err(e))?;
+        self.sys
+            .write(&a_vec, &a_cat)
+            .map_err(|e| self.engine_err(e))?;
+        if let (Some(bv), Some(bc)) = (&b_vec, &b_cat) {
+            self.sys.write(bv, bc).map_err(|e| self.engine_err(e))?;
+        }
+
+        let start = self.sys.clock();
+        let counts_before = *self.sys.counts();
+        self.sys
+            .execute(op, &a_vec, b_vec.as_ref(), &out_vec)
+            .map_err(|e| self.engine_err(e))?;
+        let delta = self.sys.counts().since(&counts_before);
+        let ends: Vec<_> = self.sys.last_chunk_ends().to_vec();
+        let out_cat = self.sys.read(&out_vec);
+
+        self.sys.free(a_vec);
+        if let Some(bv) = b_vec {
+            self.sys.free(bv);
+        }
+        self.sys.free(out_vec);
+
+        let out_words = out_cat.as_words();
+        for (m, &off) in members.iter().zip(&offsets) {
+            let (id, a, _) = m;
+            let len = a.len();
+            let chunks = self.chunks_of(len);
+            // The job's output occupies its own word-aligned row region.
+            let words = out_words[off * row_words..off * row_words + len.div_ceil(64)].to_vec();
+            let output = BitVec::from_words(words, len);
+            // As-if-alone timing: the slowest of the job's own chains.
+            let end = ends[off..off + chunks]
+                .iter()
+                .copied()
+                .max()
+                .expect("jobs have at least one chunk");
+            let cycles = end - start;
+            // The program issues the same commands for every chunk, so
+            // the group's delta divides exactly per chunk.
+            let mut commands = CommandCounts::new();
+            for (kind, n) in delta.iter() {
+                debug_assert_eq!(n % total_chunks as u64, 0, "homogeneous per-chunk commands");
+                for _ in 0..(n / total_chunks as u64) * chunks as u64 {
+                    commands.record(kind);
+                }
+            }
+            let report = JobReport {
+                backend: self.name.clone(),
+                ns: self.sys.spec().timing.cycles_to_ns(cycles),
+                bytes_out: (len as u64).div_ceil(8),
+                energy: self.sys.price_commands(&commands),
+                commands: Some(commands),
+            };
+            self.queue.finish(Completion {
+                id: *id,
+                output: JobOutput::Bits(output),
+                report,
+            });
+        }
+        Ok(())
+    }
+
+    /// Executes one job alone (the non-coalescible path).
+    fn run_single(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError> {
+        let (output, report) = match job {
+            Job::Bitwise { plan, inputs } => {
+                let refs: Vec<&BitVec> = inputs.iter().map(|v| v.as_ref()).collect();
+                let (mut outs, r) = self
+                    .sys
+                    .run_plan_multi(&plan, &refs)
+                    .map_err(|e| self.engine_err(e))?;
+                let output = if outs.len() == 1 {
+                    JobOutput::Bits(outs.swap_remove(0))
+                } else {
+                    JobOutput::MultiBits(outs)
+                };
+                (output, r)
+            }
+            Job::RowCopy { data, psm } => {
+                let src = self.sys.alloc(data.len()).map_err(|e| self.engine_err(e))?;
+                let dst = self.sys.alloc(data.len()).map_err(|e| self.engine_err(e))?;
+                self.sys
+                    .write(&src, &data)
+                    .map_err(|e| self.engine_err(e))?;
+                let r = if psm {
+                    self.sys.copy_psm(&src, &dst)
+                } else {
+                    self.sys.copy(&src, &dst)
+                }
+                .map_err(|e| self.engine_err(e))?;
+                let out = self.sys.read(&dst);
+                self.sys.free(src);
+                self.sys.free(dst);
+                (JobOutput::Bits(out), r)
+            }
+            Job::RowInit { bits, ones } => {
+                let dst = self.sys.alloc(bits).map_err(|e| self.engine_err(e))?;
+                let r = self.sys.fill(&dst, ones).map_err(|e| self.engine_err(e))?;
+                let out = self.sys.read(&dst);
+                self.sys.free(dst);
+                (JobOutput::Bits(out), r)
+            }
+            other => {
+                return Err(RuntimeError::Unsupported {
+                    backend: self.name.clone(),
+                    job: other.kind(),
+                })
+            }
+        };
+        self.queue.finish(Completion {
+            id,
+            output,
+            report: JobReport {
+                backend: self.name.clone(),
+                ns: report.ns,
+                bytes_out: report.bytes_out,
+                energy: report.energy,
+                commands: Some(report.commands),
+            },
+        });
+        Ok(())
+    }
+}
+
+/// A coalescing group under construction.
+struct Group {
+    op: BulkOp,
+    chunks: usize,
+    members: Vec<(JobId, Arc<BitVec>, Option<Arc<BitVec>>)>,
+}
+
+impl Backend for AmbitBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn site(&self) -> &SiteModel {
+        &self.site
+    }
+
+    fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    fn submitted(&self) -> u64 {
+        self.queue.submitted()
+    }
+
+    fn completed(&self) -> u64 {
+        self.queue.completed()
+    }
+
+    fn supports(&self, job: &Job) -> bool {
+        matches!(
+            job,
+            Job::Bitwise { .. } | Job::RowCopy { .. } | Job::RowInit { .. }
+        )
+    }
+
+    fn submit(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError> {
+        if !self.supports(&job) {
+            return Err(RuntimeError::Unsupported {
+                backend: self.name.clone(),
+                job: job.kind(),
+            });
+        }
+        self.queue.push(&self.name.clone(), id, job)
+    }
+
+    fn drain(&mut self) -> Result<(), RuntimeError> {
+        let batch = self.queue.take_batch();
+        // Pass 1: gather coalescible jobs into same-op groups capped at
+        // `total_banks` chunks (first-seen op order, splitting at the
+        // cap); everything else dispatches individually in queue order.
+        let mut groups: Vec<Group> = Vec::new();
+        let mut singles: Vec<(JobId, Job)> = Vec::new();
+        for (id, job) in batch {
+            let op = job.single_op();
+            let chunks = self.chunks_of(job.len_bits());
+            match op {
+                Some(op) if self.coalesce && chunks <= self.total_banks => {
+                    let (a, b) = match job {
+                        Job::Bitwise { mut inputs, .. } => {
+                            let a = inputs.remove(0);
+                            let b = inputs.pop();
+                            (a, b)
+                        }
+                        _ => unreachable!("single_op implies a bitwise job"),
+                    };
+                    match groups
+                        .iter_mut()
+                        .find(|g| g.op == op && g.chunks + chunks <= self.total_banks)
+                    {
+                        Some(g) => {
+                            g.chunks += chunks;
+                            g.members.push((id, a, b));
+                        }
+                        None => groups.push(Group {
+                            op,
+                            chunks,
+                            members: vec![(id, a, b)],
+                        }),
+                    }
+                }
+                _ => singles.push((id, job)),
+            }
+        }
+        for g in groups {
+            self.run_group(g.op, &g.members)?;
+        }
+        for (id, job) in singles {
+            self.run_single(id, job)?;
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<Completion> {
+        self.queue.poll()
+    }
+
+    fn set_trace(&mut self, enabled: bool) {
+        self.sys.set_trace(enabled);
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.sys.take_trace()
+    }
+
+    fn trace_spec(&self) -> Option<DramSpec> {
+        Some(self.sys.spec().clone())
+    }
+}

@@ -1,0 +1,315 @@
+//! Host-side backends: the CPU roofline (full job coverage, including a
+//! cache-hierarchy graph baseline), and the GPU / HMC-logic-layer
+//! rooflines (bulk bitwise only). These are the `is_host` ends of the
+//! offload decision and the forced-placement baselines for A/B runs.
+
+use crate::backend::{Backend, JobQueue};
+use crate::backends::ambit::DEFAULT_CAPACITY;
+use crate::error::RuntimeError;
+use crate::job::{Completion, GraphRun, Job, JobId, JobOutput, JobReport};
+use pim_core::SiteModel;
+use pim_host::{CpuModel, GpuModel, HmcLogicModel, HostReport};
+use pim_tesseract::{engine::run_kernel, HostGraphConfig, HostGraphModel, VertexPartition};
+use pim_workloads::{BitVec, BitwisePlan};
+use std::sync::Arc;
+
+fn host_job_report(name: &str, r: &HostReport) -> JobReport {
+    JobReport {
+        backend: name.to_string(),
+        ns: r.ns,
+        bytes_out: r.bytes_out,
+        energy: r.energy,
+        commands: None,
+    }
+}
+
+/// Evaluates a bitwise plan functionally on the CPU datapath.
+fn eval_plan(plan: &BitwisePlan, inputs: &[Arc<BitVec>]) -> JobOutput {
+    let refs: Vec<&BitVec> = inputs.iter().map(|v| v.as_ref()).collect();
+    let mut outs = plan.eval_cpu_multi(&refs);
+    if outs.len() == 1 {
+        JobOutput::Bits(outs.swap_remove(0))
+    } else {
+        JobOutput::MultiBits(outs)
+    }
+}
+
+/// The Skylake-class CPU roofline as the host backend. Supports every
+/// vector/stream job; add [`CpuBackend::with_graph`] for the
+/// cache-hierarchy graph baseline too.
+#[derive(Debug)]
+pub struct CpuBackend {
+    name: String,
+    cpu: CpuModel,
+    site: SiteModel,
+    graph: Option<(HostGraphConfig, VertexPartition)>,
+    queue: JobQueue,
+}
+
+impl CpuBackend {
+    /// Creates the host CPU backend.
+    pub fn new(name: impl Into<String>, cpu: CpuModel) -> Self {
+        Self::with_capacity(name, cpu, DEFAULT_CAPACITY)
+    }
+
+    /// Like [`CpuBackend::new`] with an explicit queue bound.
+    pub fn with_capacity(name: impl Into<String>, cpu: CpuModel, capacity: usize) -> Self {
+        let name = name.into();
+        // The paper's host site coordinates (§4 offload advisor).
+        let host = SiteModel::host();
+        let site = SiteModel::new(
+            &name,
+            host.bw_gbps,
+            host.gops,
+            host.nj_per_byte,
+            host.nj_per_op,
+        )
+        .expect("host site coefficients");
+        CpuBackend {
+            name,
+            cpu,
+            site,
+            graph: None,
+            queue: JobQueue::new(capacity),
+        }
+    }
+
+    /// Enables [`Job::GraphBatch`] on this host: kernels execute
+    /// functionally with `vaults`-way partitioned traffic accounting and
+    /// are priced by the out-of-order cache-hierarchy baseline.
+    #[must_use]
+    pub fn with_graph(mut self, config: HostGraphConfig, vaults: u32) -> Self {
+        self.graph = Some((config, VertexPartition::hashed(vaults)));
+        self
+    }
+}
+
+impl Backend for CpuBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn site(&self) -> &SiteModel {
+        &self.site
+    }
+
+    fn is_host(&self) -> bool {
+        true
+    }
+
+    fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    fn submitted(&self) -> u64 {
+        self.queue.submitted()
+    }
+
+    fn completed(&self) -> u64 {
+        self.queue.completed()
+    }
+
+    fn supports(&self, job: &Job) -> bool {
+        match job {
+            Job::Bitwise { .. }
+            | Job::RowCopy { .. }
+            | Job::RowInit { .. }
+            | Job::Stream { .. } => true,
+            Job::GraphBatch { .. } => self.graph.is_some(),
+        }
+    }
+
+    fn submit(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError> {
+        if !self.supports(&job) {
+            return Err(RuntimeError::Unsupported {
+                backend: self.name.clone(),
+                job: job.kind(),
+            });
+        }
+        self.queue.push(&self.name.clone(), id, job)
+    }
+
+    fn drain(&mut self) -> Result<(), RuntimeError> {
+        for (id, job) in self.queue.take_batch() {
+            let (output, report) = match job {
+                Job::Bitwise { plan, inputs } => {
+                    let len = inputs.first().map_or(0, |v| v.len());
+                    let out_bytes = (len as u64).div_ceil(8);
+                    // Single ops price as the native streaming kernel;
+                    // whole plans as the step-merged roofline sequence.
+                    let r = match crate::job::plan_single_op(&plan) {
+                        Some(op) => self.cpu.bulk_bitwise(op, out_bytes),
+                        None => self.cpu.run_plan(&plan, len),
+                    };
+                    (eval_plan(&plan, &inputs), host_job_report(&self.name, &r))
+                }
+                Job::RowCopy { data, .. } => {
+                    let r = self.cpu.memcpy(data.byte_len() as u64);
+                    (
+                        JobOutput::Bits(data.as_ref().clone()),
+                        host_job_report(&self.name, &r),
+                    )
+                }
+                Job::RowInit { bits, ones } => {
+                    let r = self.cpu.memset((bits as u64).div_ceil(8));
+                    let out = if ones {
+                        BitVec::ones(bits)
+                    } else {
+                        BitVec::zeros(bits)
+                    };
+                    (JobOutput::Bits(out), host_job_report(&self.name, &r))
+                }
+                Job::Stream { bytes, ops } => {
+                    let r = self.cpu.stream(bytes as u64, 0, ops as u64);
+                    (JobOutput::None, host_job_report(&self.name, &r))
+                }
+                Job::GraphBatch { kernel, graph } => {
+                    let (cfg, partition) = self.graph.as_ref().expect("submit checked support");
+                    let (output, trace) = run_kernel(kernel, &graph, partition);
+                    let r = HostGraphModel::new(cfg.clone()).run(&trace, &graph);
+                    (
+                        JobOutput::Graph(Box::new(GraphRun { output, trace })),
+                        JobReport {
+                            backend: self.name.clone(),
+                            ns: r.ns,
+                            bytes_out: 0,
+                            energy: r.energy,
+                            commands: None,
+                        },
+                    )
+                }
+            };
+            self.queue.finish(Completion { id, output, report });
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<Completion> {
+        self.queue.poll()
+    }
+}
+
+/// A single-op bulk-bitwise roofline backend over any `bulk_bitwise`
+/// pricing model (GPU, HMC logic layer).
+#[derive(Debug)]
+pub struct BitwiseRooflineBackend<M> {
+    name: String,
+    model: M,
+    price: fn(&M, pim_workloads::BulkOp, u64) -> HostReport,
+    site: SiteModel,
+    queue: JobQueue,
+}
+
+impl<M> BitwiseRooflineBackend<M> {
+    fn build(
+        name: String,
+        model: M,
+        price: fn(&M, pim_workloads::BulkOp, u64) -> HostReport,
+        site: SiteModel,
+        capacity: usize,
+    ) -> Self {
+        BitwiseRooflineBackend {
+            name,
+            model,
+            price,
+            site,
+            queue: JobQueue::new(capacity),
+        }
+    }
+}
+
+/// The GTX-745-class GPU as a backend.
+pub type GpuBackend = BitwiseRooflineBackend<GpuModel>;
+
+/// HMC logic-layer processing elements as a backend.
+pub type HmcLogicBackend = BitwiseRooflineBackend<HmcLogicModel>;
+
+impl GpuBackend {
+    /// Creates the GPU backend.
+    pub fn gpu(name: impl Into<String>, model: GpuModel) -> Self {
+        let name = name.into();
+        let site = SiteModel::new(&name, 25.6, 800.0, 0.03, 0.05).expect("gpu site coefficients");
+        Self::build(name, model, GpuModel::bulk_bitwise, site, DEFAULT_CAPACITY)
+    }
+}
+
+impl HmcLogicBackend {
+    /// Creates the HMC logic-layer backend.
+    pub fn hmc_logic(name: impl Into<String>, model: HmcLogicModel) -> Self {
+        let name = name.into();
+        let site =
+            SiteModel::new(&name, 320.0, 160.0, 0.008, 0.02).expect("hmc-logic site coefficients");
+        Self::build(
+            name,
+            model,
+            HmcLogicModel::bulk_bitwise,
+            site,
+            DEFAULT_CAPACITY,
+        )
+    }
+}
+
+impl<M> Backend for BitwiseRooflineBackend<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn site(&self) -> &SiteModel {
+        &self.site
+    }
+
+    fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    fn submitted(&self) -> u64 {
+        self.queue.submitted()
+    }
+
+    fn completed(&self) -> u64 {
+        self.queue.completed()
+    }
+
+    fn supports(&self, job: &Job) -> bool {
+        job.single_op().is_some()
+    }
+
+    fn submit(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError> {
+        if !self.supports(&job) {
+            return Err(RuntimeError::Unsupported {
+                backend: self.name.clone(),
+                job: job.kind(),
+            });
+        }
+        self.queue.push(&self.name.clone(), id, job)
+    }
+
+    fn drain(&mut self) -> Result<(), RuntimeError> {
+        for (id, job) in self.queue.take_batch() {
+            let op = job.single_op().expect("submit checked support");
+            let Job::Bitwise { plan, inputs } = job else {
+                unreachable!("single_op implies a bitwise job");
+            };
+            let len = inputs.first().map_or(0, |v| v.len());
+            let r = (self.price)(&self.model, op, (len as u64).div_ceil(8));
+            self.queue.finish(Completion {
+                id,
+                output: eval_plan(&plan, &inputs),
+                report: host_job_report(&self.name, &r),
+            });
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<Completion> {
+        self.queue.poll()
+    }
+}

@@ -1,0 +1,11 @@
+//! Backend implementations over each execution engine.
+
+pub mod ambit;
+pub mod host;
+pub mod stream;
+pub mod tesseract;
+
+pub use ambit::{AmbitBackend, DEFAULT_CAPACITY};
+pub use host::{BitwiseRooflineBackend, CpuBackend, GpuBackend, HmcLogicBackend};
+pub use stream::{StreamSiteBackend, StreamSiteConfig};
+pub use tesseract::TesseractBackend;

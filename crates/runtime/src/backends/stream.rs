@@ -1,0 +1,188 @@
+//! Abstract streaming-roofline backends for the consumer-workload
+//! analysis (E6): a site is a bandwidth/compute roofline plus
+//! component-resolved energy coefficients, derived from
+//! [`ConsumerSystemConfig`]. One host site and one PIM site (core or
+//! accelerator) per runtime reproduce the paper's mobile-SoC study with
+//! the offload advisor as the live placement policy.
+
+use crate::backend::{Backend, CostEstimate, JobQueue};
+use crate::backends::ambit::DEFAULT_CAPACITY;
+use crate::error::RuntimeError;
+use crate::job::{Completion, Job, JobId, JobOutput, JobReport};
+use pim_core::{ConsumerSystemConfig, PimSite, SiteModel};
+use pim_energy::{Component, EnergyBreakdown};
+
+/// Coefficients of one streaming site (1 µJ/MB ≡ 1e-3 nJ/B; 1 µJ/Mop ≡
+/// 1e-3 nJ/op — the consumer model's units, converted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSiteConfig {
+    /// Sustainable memory bandwidth, GB/s.
+    pub bw_gbps: f64,
+    /// Compute rate, Gops.
+    pub gops: f64,
+    /// Component charged per byte moved ([`Component::DramIo`] on a host
+    /// channel, [`Component::Tsv`] inside a stack).
+    pub byte_component: Component,
+    /// nJ per byte moved.
+    pub nj_per_byte: f64,
+    /// Hierarchy-movement nJ per op (charged to [`Component::Cache`]).
+    pub move_nj_per_op: f64,
+    /// Compute nJ per op (charged to [`Component::CoreCompute`]).
+    pub compute_nj_per_op: f64,
+}
+
+impl StreamSiteConfig {
+    /// The host side of a consumer SoC.
+    pub fn host(cfg: &ConsumerSystemConfig) -> Self {
+        StreamSiteConfig {
+            bw_gbps: cfg.host_bw_gbps,
+            gops: cfg.host_gops,
+            byte_component: Component::DramIo,
+            nj_per_byte: cfg.host_dram_uj_per_mb * 1e-3,
+            move_nj_per_op: cfg.host_move_uj_per_mop * 1e-3,
+            compute_nj_per_op: cfg.host_compute_uj_per_mop * 1e-3,
+        }
+    }
+
+    /// The PIM side of a consumer SoC, for a given logic-layer site.
+    pub fn pim(cfg: &ConsumerSystemConfig, site: PimSite) -> Self {
+        let (compute, gops) = match site {
+            PimSite::Core => (cfg.pim_core_compute_uj_per_mop, cfg.pim_core_gops),
+            PimSite::Accelerator => (cfg.pim_accel_compute_uj_per_mop, cfg.pim_accel_gops),
+        };
+        StreamSiteConfig {
+            bw_gbps: cfg.pim_bw_gbps,
+            gops,
+            byte_component: Component::Tsv,
+            nj_per_byte: cfg.pim_dram_uj_per_mb * 1e-3,
+            move_nj_per_op: cfg.pim_move_uj_per_mop * 1e-3,
+            compute_nj_per_op: compute * 1e-3,
+        }
+    }
+
+    fn cost(&self, bytes: f64, ops: f64) -> CostEstimate {
+        let mut energy = EnergyBreakdown::new();
+        energy.add_nj(self.byte_component, bytes * self.nj_per_byte);
+        energy.add_nj(Component::Cache, ops * self.move_nj_per_op);
+        energy.add_nj(Component::CoreCompute, ops * self.compute_nj_per_op);
+        CostEstimate {
+            ns: (bytes / self.bw_gbps).max(ops / self.gops),
+            energy,
+        }
+    }
+}
+
+/// A [`StreamSiteConfig`] behind the [`Backend`] trait; executes
+/// [`Job::Stream`] jobs by pricing them (there is no functional payload).
+#[derive(Debug)]
+pub struct StreamSiteBackend {
+    name: String,
+    config: StreamSiteConfig,
+    site: SiteModel,
+    is_host: bool,
+    queue: JobQueue,
+}
+
+impl StreamSiteBackend {
+    /// Creates a streaming site; `is_host` marks the host end of the
+    /// offload decision.
+    pub fn new(name: impl Into<String>, config: StreamSiteConfig, is_host: bool) -> Self {
+        let name = name.into();
+        // The advisor's site model collapses both per-op coefficients into
+        // one, so its energies equal the component-resolved totals.
+        let site = SiteModel::new(
+            &name,
+            config.bw_gbps,
+            config.gops,
+            config.nj_per_byte,
+            config.move_nj_per_op + config.compute_nj_per_op,
+        )
+        .expect("stream site coefficients");
+        StreamSiteBackend {
+            name,
+            config,
+            site,
+            is_host,
+            queue: JobQueue::new(DEFAULT_CAPACITY),
+        }
+    }
+}
+
+impl Backend for StreamSiteBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn site(&self) -> &SiteModel {
+        &self.site
+    }
+
+    fn is_host(&self) -> bool {
+        self.is_host
+    }
+
+    fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    fn submitted(&self) -> u64 {
+        self.queue.submitted()
+    }
+
+    fn completed(&self) -> u64 {
+        self.queue.completed()
+    }
+
+    fn supports(&self, job: &Job) -> bool {
+        matches!(job, Job::Stream { .. })
+    }
+
+    fn estimate(&self, job: &Job) -> Result<CostEstimate, RuntimeError> {
+        match job {
+            Job::Stream { bytes, ops } => Ok(self.config.cost(*bytes, *ops)),
+            other => Err(RuntimeError::Unsupported {
+                backend: self.name.clone(),
+                job: other.kind(),
+            }),
+        }
+    }
+
+    fn submit(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError> {
+        if !self.supports(&job) {
+            return Err(RuntimeError::Unsupported {
+                backend: self.name.clone(),
+                job: job.kind(),
+            });
+        }
+        self.queue.push(&self.name.clone(), id, job)
+    }
+
+    fn drain(&mut self) -> Result<(), RuntimeError> {
+        for (id, job) in self.queue.take_batch() {
+            let Job::Stream { bytes, ops } = job else {
+                unreachable!("submit rejects foreign job kinds");
+            };
+            let cost = self.config.cost(bytes, ops);
+            self.queue.finish(Completion {
+                id,
+                output: JobOutput::None,
+                report: JobReport {
+                    backend: self.name.clone(),
+                    ns: cost.ns,
+                    bytes_out: bytes as u64,
+                    energy: cost.energy,
+                    commands: None,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<Completion> {
+        self.queue.poll()
+    }
+}

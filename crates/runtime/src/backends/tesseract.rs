@@ -1,0 +1,118 @@
+//! The Tesseract graph accelerator as a runtime backend: each
+//! [`Job::GraphBatch`] runs a kernel to convergence as a batch of
+//! vault-sharded supersteps.
+
+use crate::backend::{Backend, JobQueue};
+use crate::backends::ambit::DEFAULT_CAPACITY;
+use crate::error::RuntimeError;
+use crate::job::{Completion, GraphRun, Job, JobId, JobOutput, JobReport};
+use pim_core::SiteModel;
+use pim_tesseract::{TesseractConfig, TesseractSim};
+
+/// [`TesseractSim`] behind the [`Backend`] trait.
+#[derive(Debug)]
+pub struct TesseractBackend {
+    name: String,
+    sim: TesseractSim,
+    site: SiteModel,
+    queue: JobQueue,
+}
+
+impl TesseractBackend {
+    /// Creates a backend over a fresh Tesseract stack.
+    pub fn new(name: impl Into<String>, config: TesseractConfig) -> Self {
+        Self::with_capacity(name, config, DEFAULT_CAPACITY)
+    }
+
+    /// Like [`TesseractBackend::new`] with an explicit queue bound.
+    pub fn with_capacity(
+        name: impl Into<String>,
+        config: TesseractConfig,
+        capacity: usize,
+    ) -> Self {
+        let name = name.into();
+        // Advisory roofline: aggregate TSV bandwidth across vaults and one
+        // op per core cycle per vault; per-byte energy is the vault+TSV
+        // path, per-op the in-order PIM core.
+        let bw = config.stack.vaults as f64 * config.stack.tsv_gbps_per_vault;
+        let gops = config.stack.vaults as f64 * config.core_ghz;
+        let site =
+            SiteModel::new(&name, bw, gops, 0.013, 0.06).expect("tesseract site coefficients");
+        TesseractBackend {
+            name,
+            sim: TesseractSim::new(config),
+            site,
+            queue: JobQueue::new(capacity),
+        }
+    }
+
+    /// The underlying simulator (config, partition).
+    pub fn simulator(&self) -> &TesseractSim {
+        &self.sim
+    }
+}
+
+impl Backend for TesseractBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn site(&self) -> &SiteModel {
+        &self.site
+    }
+
+    fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    fn submitted(&self) -> u64 {
+        self.queue.submitted()
+    }
+
+    fn completed(&self) -> u64 {
+        self.queue.completed()
+    }
+
+    fn supports(&self, job: &Job) -> bool {
+        matches!(job, Job::GraphBatch { .. })
+    }
+
+    fn submit(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError> {
+        if !self.supports(&job) {
+            return Err(RuntimeError::Unsupported {
+                backend: self.name.clone(),
+                job: job.kind(),
+            });
+        }
+        self.queue.push(&self.name.clone(), id, job)
+    }
+
+    fn drain(&mut self) -> Result<(), RuntimeError> {
+        for (id, job) in self.queue.take_batch() {
+            let Job::GraphBatch { kernel, graph } = job else {
+                unreachable!("submit rejects foreign job kinds");
+            };
+            let (output, trace, report) = self.sim.run(kernel, &graph);
+            self.queue.finish(Completion {
+                id,
+                output: JobOutput::Graph(Box::new(GraphRun { output, trace })),
+                report: JobReport {
+                    backend: self.name.clone(),
+                    ns: report.ns,
+                    bytes_out: 0,
+                    energy: report.energy,
+                    commands: None,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<Completion> {
+        self.queue.poll()
+    }
+}

@@ -1,0 +1,276 @@
+//! The [`Runtime`]: a set of named backends behind one submission
+//! surface, with the pim-core offload advisor as the live placement
+//! policy and forced placement for A/B studies.
+
+use crate::backend::{Backend, CostEstimate};
+use crate::error::RuntimeError;
+use crate::job::{Completion, Job, JobId};
+use pim_core::{decide, Objective, OffloadDecision};
+use pim_dram::{DramSpec, TraceRecord};
+
+/// Where a submitted job should run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Let the offload advisor choose between the host backend and the
+    /// best supporting PIM backend, optimizing `Objective`.
+    Advised(Objective),
+    /// Run on the named backend regardless of cost (the A/B override).
+    Forced(String),
+}
+
+/// How a job's backend was chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementDecision {
+    /// The backend the job was queued on.
+    pub backend: String,
+    /// The advisor's host-vs-PIM verdict, when placement was advised and
+    /// both sides existed (`None` for forced placement or a one-sided
+    /// runtime).
+    pub advised: Option<OffloadDecision>,
+}
+
+/// A point-in-time snapshot of one backend's queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Backend name.
+    pub name: String,
+    /// Submission-queue bound.
+    pub capacity: usize,
+    /// Jobs queued and not yet drained.
+    pub queue_depth: usize,
+    /// Jobs ever accepted.
+    pub submitted: u64,
+    /// Jobs ever completed.
+    pub completed: u64,
+}
+
+/// The batching job runtime over a fleet of [`Backend`]s.
+#[derive(Default)]
+pub struct Runtime {
+    backends: Vec<Box<dyn Backend>>,
+    next_id: JobId,
+    decisions: Vec<(JobId, PlacementDecision)>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field(
+                "backends",
+                &self
+                    .backends
+                    .iter()
+                    .map(|b| b.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Creates an empty runtime; add engines with [`Runtime::register`].
+    pub fn new() -> Self {
+        Runtime::default()
+    }
+
+    /// Adds a backend. Registration order breaks ties: the first `is_host`
+    /// backend is the host side of advised placement, and forced placement
+    /// resolves names in registration order.
+    pub fn register(&mut self, backend: Box<dyn Backend>) -> &mut Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Builder-style [`Runtime::register`].
+    #[must_use]
+    pub fn with(mut self, backend: Box<dyn Backend>) -> Self {
+        self.register(backend);
+        self
+    }
+
+    fn backend_index(&self, name: &str) -> Result<usize, RuntimeError> {
+        self.backends
+            .iter()
+            .position(|b| b.name() == name)
+            .ok_or_else(|| RuntimeError::UnknownBackend {
+                name: name.to_string(),
+            })
+    }
+
+    /// Picks a backend for `job` under `placement` without queueing it.
+    fn place(&self, job: &Job, placement: &Placement) -> Result<PlacementDecision, RuntimeError> {
+        match placement {
+            Placement::Forced(name) => {
+                let idx = self.backend_index(name)?;
+                let b = &self.backends[idx];
+                if !b.supports(job) {
+                    return Err(RuntimeError::Unsupported {
+                        backend: name.clone(),
+                        job: job.kind(),
+                    });
+                }
+                Ok(PlacementDecision {
+                    backend: name.clone(),
+                    advised: None,
+                })
+            }
+            Placement::Advised(objective) => self.advise(job, *objective),
+        }
+    }
+
+    /// The advisor path: price the job's profile on the host site and on
+    /// every supporting PIM site, offload to the highest-benefit PIM
+    /// backend the advisor approves, otherwise stay on the host.
+    fn advise(&self, job: &Job, objective: Objective) -> Result<PlacementDecision, RuntimeError> {
+        let profile = job.profile();
+        let host = self
+            .backends
+            .iter()
+            .find(|b| b.is_host() && b.supports(job));
+        let candidates = self
+            .backends
+            .iter()
+            .filter(|b| !b.is_host() && b.supports(job));
+
+        if let Some(host) = host {
+            let mut best: Option<(f64, &str, OffloadDecision)> = None;
+            for cand in candidates {
+                let d = decide(&profile, host.site(), cand.site(), objective);
+                if d.offload {
+                    let benefit = d.benefit(objective);
+                    if best.as_ref().is_none_or(|(b, _, _)| benefit > *b) {
+                        best = Some((benefit, cand.name(), d));
+                    }
+                }
+            }
+            Ok(match best {
+                Some((_, name, d)) => PlacementDecision {
+                    backend: name.to_string(),
+                    advised: Some(d),
+                },
+                None => PlacementDecision {
+                    backend: host.name().to_string(),
+                    advised: None,
+                },
+            })
+        } else {
+            // No host side: fall back to the cheapest supporting backend
+            // under the objective.
+            let mut best: Option<(f64, &str)> = None;
+            for cand in self.backends.iter().filter(|b| b.supports(job)) {
+                let est = cand.estimate(job)?;
+                let cost = match objective {
+                    Objective::Time => est.ns,
+                    Objective::Energy => est.energy_nj(),
+                    Objective::EnergyDelay => est.ns * est.energy_nj(),
+                };
+                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    best = Some((cost, cand.name()));
+                }
+            }
+            match best {
+                Some((_, name)) => Ok(PlacementDecision {
+                    backend: name.to_string(),
+                    advised: None,
+                }),
+                None => Err(RuntimeError::NoBackend { job: job.kind() }),
+            }
+        }
+    }
+
+    /// Queues a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownBackend`] / [`RuntimeError::Unsupported`] for
+    /// bad forced placement, [`RuntimeError::NoBackend`] when no backend
+    /// supports the job, [`RuntimeError::QueueFull`] (non-sticky — drain
+    /// and resubmit) when the chosen backend is at capacity.
+    pub fn submit(&mut self, job: Job, placement: Placement) -> Result<JobId, RuntimeError> {
+        let decision = self.place(&job, &placement)?;
+        let idx = self.backend_index(&decision.backend)?;
+        let id = self.next_id;
+        self.backends[idx].submit(id, job)?;
+        self.next_id += 1;
+        self.decisions.push((id, decision));
+        Ok(id)
+    }
+
+    /// Drains every backend (each batching/coalescing its queue as it sees
+    /// fit) and returns all completions, ordered by job id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RuntimeError::Engine`] a backend reports;
+    /// other backends still drain.
+    pub fn drain(&mut self) -> Result<Vec<Completion>, RuntimeError> {
+        let mut first_err = None;
+        for b in &mut self.backends {
+            if let Err(e) = b.drain() {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let mut done: Vec<Completion> = self.backends.iter_mut().flat_map(|b| b.poll()).collect();
+        done.sort_by_key(|c| c.id);
+        Ok(done)
+    }
+
+    /// How `id` was placed ([`Runtime::submit`] order is preserved).
+    pub fn decision(&self, id: JobId) -> Option<&PlacementDecision> {
+        self.decisions
+            .iter()
+            .find(|(jid, _)| *jid == id)
+            .map(|(_, d)| d)
+    }
+
+    /// Predicts `job`'s cost on a named backend without running it.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownBackend`] / [`RuntimeError::Unsupported`].
+    pub fn estimate_on(&self, backend: &str, job: &Job) -> Result<CostEstimate, RuntimeError> {
+        let idx = self.backend_index(backend)?;
+        self.backends[idx].estimate(job)
+    }
+
+    /// Queue statistics for every backend, in registration order.
+    pub fn stats(&self) -> Vec<BackendStats> {
+        self.backends
+            .iter()
+            .map(|b| BackendStats {
+                name: b.name().to_string(),
+                capacity: b.capacity(),
+                queue_depth: b.queue_depth(),
+                submitted: b.submitted(),
+                completed: b.completed(),
+            })
+            .collect()
+    }
+
+    /// Enables or disables DRAM command-trace capture on every backend
+    /// that has a command-level device underneath.
+    pub fn set_trace(&mut self, enabled: bool) {
+        for b in &mut self.backends {
+            b.set_trace(enabled);
+        }
+    }
+
+    /// Takes every captured command trace as `(backend, spec, records)`
+    /// triples, ready for oracle validation.
+    pub fn take_traces(&mut self) -> Vec<(String, DramSpec, Vec<TraceRecord>)> {
+        let mut out = Vec::new();
+        for b in &mut self.backends {
+            if let Some(spec) = b.trace_spec() {
+                let records = b.take_trace();
+                if !records.is_empty() {
+                    out.push((b.name().to_string(), spec, records));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,411 @@
+//! Integration tests for the batching runtime: coalescing identity,
+//! advised placement, forced placement, backpressure, and graph jobs.
+
+use pim_core::{ConsumerSystemConfig, Objective, PimSite};
+use pim_energy::Component;
+use pim_host::{CpuConfig, CpuModel};
+use pim_runtime::{
+    AmbitBackend, CpuBackend, Job, JobOutput, Placement, Runtime, RuntimeError, StreamSiteBackend,
+    StreamSiteConfig, TesseractBackend,
+};
+use pim_tesseract::{HostGraphConfig, TesseractConfig, TesseractSim};
+use pim_workloads::{BitVec, BulkOp, Graph, KernelKind, PlanBuilder};
+use std::sync::Arc;
+
+use pim_ambit::{AmbitConfig, AmbitSystem};
+
+fn ambit_runtime(config: AmbitConfig) -> Runtime {
+    Runtime::new().with(Box::new(AmbitBackend::new("ambit", config)))
+}
+
+fn patterned(bits: usize, salt: u64) -> Arc<BitVec> {
+    Arc::new(BitVec::from_fn(bits, |i| {
+        (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15 ^ salt) & 4 != 0
+    }))
+}
+
+/// A mixed batch of jobs exercising every Ambit dispatch path.
+fn mixed_jobs(row_bits: usize) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    // Coalescible: same-op small jobs, including non-row and non-word
+    // aligned lengths.
+    for (i, bits) in [row_bits, 1000, row_bits * 2, 77, row_bits / 2]
+        .iter()
+        .enumerate()
+    {
+        let a = patterned(*bits, i as u64);
+        let b = patterned(*bits, 100 + i as u64);
+        jobs.push(Job::bulk(BulkOp::And, a, Some(b)));
+    }
+    // A different op — separate group.
+    jobs.push(Job::bulk(
+        BulkOp::Or,
+        patterned(2000, 7),
+        Some(patterned(2000, 8)),
+    ));
+    // Unary.
+    jobs.push(Job::bulk(BulkOp::Not, patterned(row_bits, 9), None));
+    // Multi-step plan — individual dispatch.
+    let mut pb = PlanBuilder::new(2);
+    let x = pb.binary(BulkOp::Xor, pb.input(0), pb.input(1));
+    let y = pb.not(x);
+    jobs.push(Job::Bitwise {
+        plan: pb.finish(y),
+        inputs: vec![patterned(row_bits, 10), patterned(row_bits, 11)],
+    });
+    // RowClone jobs — individual dispatch.
+    jobs.push(Job::RowCopy {
+        data: patterned(3 * row_bits / 2, 12),
+        psm: false,
+    });
+    jobs.push(Job::RowInit {
+        bits: 500,
+        ones: true,
+    });
+    jobs
+}
+
+/// The tentpole invariant: a batched (coalesced) drain produces
+/// byte-identical outputs *and reports* to one-job-at-a-time dispatch.
+#[test]
+fn batched_dispatch_matches_sequential() {
+    let row_bits = AmbitSystem::new(AmbitConfig::ddr3()).row_bits();
+    let jobs = mixed_jobs(row_bits);
+
+    let mut batched = ambit_runtime(AmbitConfig::ddr3());
+    for job in &jobs {
+        batched
+            .submit(job.clone(), Placement::Forced("ambit".into()))
+            .unwrap();
+    }
+    let batched_done = batched.drain().unwrap();
+
+    let mut sequential = ambit_runtime(AmbitConfig::ddr3());
+    let mut sequential_done = Vec::new();
+    for job in &jobs {
+        sequential
+            .submit(job.clone(), Placement::Forced("ambit".into()))
+            .unwrap();
+        sequential_done.extend(sequential.drain().unwrap());
+    }
+
+    assert_eq!(batched_done.len(), jobs.len());
+    assert_eq!(batched_done, sequential_done);
+}
+
+/// Functional correctness of the coalesced path against the CPU datapath.
+#[test]
+fn coalesced_outputs_match_cpu_eval() {
+    let mut rt = ambit_runtime(AmbitConfig::ddr3());
+    let pairs: Vec<_> = (0..6)
+        .map(|i| {
+            (
+                patterned(1000 + 37 * i, i as u64),
+                patterned(1000 + 37 * i, 50 + i as u64),
+            )
+        })
+        .collect();
+    for (a, b) in &pairs {
+        rt.submit(
+            Job::bulk(BulkOp::Xor, a.clone(), Some(b.clone())),
+            Placement::Forced("ambit".into()),
+        )
+        .unwrap();
+    }
+    let done = rt.drain().unwrap();
+    for (c, (a, b)) in done.iter().zip(&pairs) {
+        assert_eq!(
+            c.output.bits().unwrap(),
+            &a.binary(BulkOp::Xor, b),
+            "job {}",
+            c.id
+        );
+    }
+}
+
+/// A coalesced-path (group of one) report equals the engine's own direct
+/// execute report: same cycles-derived ns, commands, energy, bytes.
+#[test]
+fn group_of_one_report_matches_direct_execute() {
+    let bits = 3000;
+    let a = patterned(bits, 1);
+    let b = patterned(bits, 2);
+
+    let mut rt = ambit_runtime(AmbitConfig::ddr3());
+    let id = rt
+        .submit(
+            Job::bulk(BulkOp::And, a.clone(), Some(b.clone())),
+            Placement::Forced("ambit".into()),
+        )
+        .unwrap();
+    let done = rt.drain().unwrap();
+    let c = &done[0];
+    assert_eq!(c.id, id);
+
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let va = sys.alloc(bits).unwrap();
+    let vb = sys.alloc(bits).unwrap();
+    let vo = sys.alloc(bits).unwrap();
+    sys.write(&va, &a).unwrap();
+    sys.write(&vb, &b).unwrap();
+    let direct = sys.execute(BulkOp::And, &va, Some(&vb), &vo).unwrap();
+
+    assert_eq!(c.output.bits().unwrap(), &sys.read(&vo));
+    assert_eq!(c.report.ns, direct.ns);
+    assert_eq!(c.report.bytes_out, direct.bytes_out);
+    assert_eq!(c.report.energy, direct.energy);
+    assert_eq!(
+        c.report.commands.as_ref().unwrap().total(),
+        direct.commands.total()
+    );
+}
+
+/// Fault-injecting devices skip coalescing but batched and sequential
+/// dispatch still agree (the fault RNG is keyed on absolute chunk
+/// indices, which the individual path reproduces).
+#[test]
+fn faulty_device_still_deterministic() {
+    let config = || {
+        let mut c = AmbitConfig::ddr3();
+        c.tra_failure_rate = 0.2;
+        c.fault_seed = 99;
+        c
+    };
+    let jobs: Vec<_> = (0..4)
+        .map(|i| Job::bulk(BulkOp::And, patterned(900, i), Some(patterned(900, 10 + i))))
+        .collect();
+
+    let mut batched = ambit_runtime(config());
+    for job in &jobs {
+        batched
+            .submit(job.clone(), Placement::Forced("ambit".into()))
+            .unwrap();
+    }
+    let batched_done = batched.drain().unwrap();
+
+    let mut sequential = ambit_runtime(config());
+    let mut sequential_done = Vec::new();
+    for job in &jobs {
+        sequential
+            .submit(job.clone(), Placement::Forced("ambit".into()))
+            .unwrap();
+        sequential_done.extend(sequential.drain().unwrap());
+    }
+    assert_eq!(batched_done, sequential_done);
+}
+
+/// Backpressure: QueueFull at capacity, accepted again after a drain.
+#[test]
+fn queue_full_is_not_sticky_through_runtime() {
+    let mut rt = Runtime::new().with(Box::new(AmbitBackend::with_capacity(
+        "ambit",
+        AmbitConfig::ddr3(),
+        2,
+    )));
+    let job = || Job::RowInit {
+        bits: 128,
+        ones: false,
+    };
+    rt.submit(job(), Placement::Forced("ambit".into())).unwrap();
+    rt.submit(job(), Placement::Forced("ambit".into())).unwrap();
+    let err = rt
+        .submit(job(), Placement::Forced("ambit".into()))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        RuntimeError::QueueFull {
+            backend: "ambit".into(),
+            capacity: 2
+        }
+    );
+    assert_eq!(rt.drain().unwrap().len(), 2);
+    rt.submit(job(), Placement::Forced("ambit".into()))
+        .expect("accepts again after drain");
+    let stats = rt.stats();
+    assert_eq!(stats[0].submitted, 3);
+    assert_eq!(stats[0].completed, 2);
+    assert_eq!(stats[0].queue_depth, 1);
+}
+
+/// RowClone jobs round-trip through the Ambit backend.
+#[test]
+fn rowclone_jobs_round_trip() {
+    let mut rt = ambit_runtime(AmbitConfig::ddr3());
+    let data = patterned(5000, 3);
+    let copy = rt
+        .submit(
+            Job::RowCopy {
+                data: data.clone(),
+                psm: true,
+            },
+            Placement::Forced("ambit".into()),
+        )
+        .unwrap();
+    let init = rt
+        .submit(
+            Job::RowInit {
+                bits: 777,
+                ones: true,
+            },
+            Placement::Forced("ambit".into()),
+        )
+        .unwrap();
+    let done = rt.drain().unwrap();
+    assert_eq!(done[0].id, copy);
+    assert_eq!(done[0].output.bits().unwrap(), data.as_ref());
+    assert_eq!(done[1].id, init);
+    assert_eq!(done[1].output.bits().unwrap(), &BitVec::ones(777));
+    assert!(done[1].report.ns > 0.0);
+}
+
+/// Advised placement offloads memory-bound work and keeps compute-bound
+/// work on the host.
+#[test]
+fn advisor_places_both_directions() {
+    let consumer = ConsumerSystemConfig::mobile_soc();
+    // A deliberately weak PIM compute site: plenty of bandwidth, almost
+    // no compute, so ops-heavy jobs stay home.
+    let weak_pim = StreamSiteConfig {
+        gops: 0.5,
+        ..StreamSiteConfig::pim(&consumer, PimSite::Core)
+    };
+    let mut rt = Runtime::new()
+        .with(Box::new(StreamSiteBackend::new(
+            "host",
+            StreamSiteConfig::host(&consumer),
+            true,
+        )))
+        .with(Box::new(StreamSiteBackend::new("pim", weak_pim, false)));
+
+    // Memory-bound: 1 MB moved, 1 Kop — PIM's 32 GB/s wins.
+    let mem = rt
+        .submit(
+            Job::Stream {
+                bytes: 1e6,
+                ops: 1e3,
+            },
+            Placement::Advised(Objective::Time),
+        )
+        .unwrap();
+    // Compute-bound: 1 KB moved, 1 Gop — the weak PIM core loses.
+    let cpu = rt
+        .submit(
+            Job::Stream {
+                bytes: 1e3,
+                ops: 1e9,
+            },
+            Placement::Advised(Objective::Time),
+        )
+        .unwrap();
+    let mem_decision = rt.decision(mem).unwrap().clone();
+    let cpu_decision = rt.decision(cpu).unwrap().clone();
+    assert_eq!(mem_decision.backend, "pim");
+    assert!(mem_decision.advised.unwrap().offload);
+    assert_eq!(cpu_decision.backend, "host");
+    assert!(cpu_decision.advised.is_none());
+
+    let done = rt.drain().unwrap();
+    assert_eq!(done[0].report.backend, "pim");
+    assert_eq!(done[1].report.backend, "host");
+    // Stream sites resolve energy per component.
+    assert!(done[0].report.energy.get(Component::Tsv) > 0.0);
+    assert!(done[1].report.energy.get(Component::DramIo) > 0.0);
+}
+
+/// Placement errors: unknown names, unsupported jobs, no backend at all.
+#[test]
+fn placement_errors() {
+    let mut rt = Runtime::new().with(Box::new(CpuBackend::new(
+        "cpu",
+        CpuModel::new(CpuConfig::skylake_ddr3()),
+    )));
+    let stream = Job::Stream {
+        bytes: 1e6,
+        ops: 1e3,
+    };
+    assert_eq!(
+        rt.submit(stream.clone(), Placement::Forced("gpu".into()))
+            .unwrap_err(),
+        RuntimeError::UnknownBackend { name: "gpu".into() }
+    );
+    let graph = Job::GraphBatch {
+        kernel: KernelKind::PageRank,
+        graph: Arc::new(Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])),
+    };
+    // The CPU backend only accepts graph jobs when configured with a
+    // cache-hierarchy baseline.
+    assert_eq!(
+        rt.submit(graph.clone(), Placement::Forced("cpu".into()))
+            .unwrap_err(),
+        RuntimeError::Unsupported {
+            backend: "cpu".into(),
+            job: "graph-batch"
+        }
+    );
+    assert_eq!(
+        rt.submit(graph, Placement::Advised(Objective::Time))
+            .unwrap_err(),
+        RuntimeError::NoBackend { job: "graph-batch" }
+    );
+}
+
+/// Graph jobs through the Tesseract backend equal a direct simulator run;
+/// a graph-enabled host backend also executes them.
+#[test]
+fn graph_jobs_match_direct_simulation() {
+    let config = TesseractConfig::single_cube();
+    let graph = Arc::new(Graph::from_edges(
+        64,
+        &(0..63u32).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+    ));
+    let mut rt = Runtime::new()
+        .with(Box::new(
+            CpuBackend::new("cpu", CpuModel::new(CpuConfig::skylake_ddr3()))
+                .with_graph(HostGraphConfig::ddr3_ooo(), config.stack.vaults),
+        ))
+        .with(Box::new(TesseractBackend::new("tesseract", config.clone())));
+
+    let advised = rt
+        .submit(
+            Job::GraphBatch {
+                kernel: KernelKind::PageRank,
+                graph: graph.clone(),
+            },
+            Placement::Advised(Objective::Time),
+        )
+        .unwrap();
+    let forced_host = rt
+        .submit(
+            Job::GraphBatch {
+                kernel: KernelKind::PageRank,
+                graph: graph.clone(),
+            },
+            Placement::Forced("cpu".into()),
+        )
+        .unwrap();
+    let done = rt.drain().unwrap();
+    assert_eq!(done.len(), 2);
+
+    // Graph traffic is memory-bound, so the advisor offloads.
+    assert_eq!(rt.decision(advised).unwrap().backend, "tesseract");
+    assert_eq!(done[0].report.backend, "tesseract");
+
+    let sim = TesseractSim::new(config);
+    let (output, trace, report) = sim.run(KernelKind::PageRank, &graph);
+    match &done[0].output {
+        JobOutput::Graph(run) => {
+            assert_eq!(run.output, output);
+            assert_eq!(run.trace, trace);
+        }
+        other => panic!("expected graph output, got {other:?}"),
+    }
+    assert_eq!(done[0].report.ns, report.ns);
+
+    // The forced host run produces the same functional output.
+    assert_eq!(done[1].id, forced_host);
+    match &done[1].output {
+        JobOutput::Graph(run) => assert_eq!(run.output, output),
+        other => panic!("expected graph output, got {other:?}"),
+    }
+    assert!(done[1].report.ns > 0.0);
+}

@@ -14,10 +14,11 @@ fn main() {
     println!("== offload advisor (kernel-granularity) ==");
     let host = SiteModel::host();
     let pim = SiteModel::pim_core();
+    let profile = |bytes, ops| KernelProfile::new(bytes, ops).expect("valid profile");
     let kernels = [
-        ("memcpy-like (8 B/op)", KernelProfile::new(8e6, 1e6)),
-        ("stream-compute (1 B/op)", KernelProfile::new(1e6, 1e6)),
-        ("dense-arithmetic (0.1 B/op)", KernelProfile::new(1e5, 1e6)),
+        ("memcpy-like (8 B/op)", profile(8e6, 1e6)),
+        ("stream-compute (1 B/op)", profile(1e6, 1e6)),
+        ("dense-arithmetic (0.1 B/op)", profile(1e5, 1e6)),
     ];
     for (name, k) in &kernels {
         let d = decide(k, &host, &pim, Objective::EnergyDelay);

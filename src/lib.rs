@@ -16,6 +16,7 @@
 //! | [`stack`] | `pim-stack` | HMC-like 3D stack, logic-layer area model |
 //! | [`tesseract`] | `pim-tesseract` | PIM graph accelerator + host baseline (paper §3) |
 //! | [`core`] | `pim-core` | tables, offload advisor, coherence + consumer analyses (paper §4) |
+//! | [`runtime`] | `pim-runtime` | batching job runtime with advisor-driven placement over every engine |
 //!
 //! ## Quick start
 //!
@@ -39,6 +40,7 @@ pub use pim_core as core;
 pub use pim_dram as dram;
 pub use pim_energy as energy;
 pub use pim_host as host;
+pub use pim_runtime as runtime;
 pub use pim_stack as stack;
 pub use pim_tesseract as tesseract;
 pub use pim_workloads as workloads;
