@@ -409,6 +409,19 @@ impl AmbitSystem {
     /// patterns: PIM row ops are bank-local in the exempt timing model, and
     /// each site's fault RNG depends only on `(fault_seed, site, chunk)`.
     fn run_banked(&mut self, sites: &[SiteCmd], start: Cycle, n_chunks: usize) -> Result<Cycle> {
+        // Engine-level telemetry is recorded here, on the parent device
+        // and before any bank sharding, so sequential and parallel runs
+        // observe identical streams in identical order.
+        if let Some(tel) = self.device.telemetry_mut() {
+            tel.count("ambit.ops", 0, 1);
+            tel.count("ambit.sites", 0, sites.len() as u64);
+            tel.observe(
+                "ambit.chunk_width",
+                0,
+                pim_telemetry::POW2_BOUNDS,
+                n_chunks as u64,
+            );
+        }
         #[cfg(feature = "parallel")]
         if let Some(end) = self.run_banked_parallel(sites, start, n_chunks)? {
             return Ok(end);
@@ -590,6 +603,32 @@ impl AmbitSystem {
     /// Takes the captured command trace (empty when capture is disabled).
     pub fn take_trace(&mut self) -> Vec<pim_dram::TraceRecord> {
         self.device.take_trace()
+    }
+
+    /// Enables or disables telemetry capture: the device's per-bank
+    /// command counters plus the engine's operation, site, and
+    /// chunk-width series. Bank-sharded parallel runs shard the sink
+    /// with the device and merge it back commutatively, so the
+    /// registry is identical at any thread count.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.device.set_telemetry(enabled);
+    }
+
+    /// `true` if telemetry capture is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.device.telemetry_enabled()
+    }
+
+    /// Takes the captured telemetry (`None` when disabled).
+    pub fn take_telemetry(&mut self) -> Option<pim_telemetry::TelemetrySink> {
+        self.device.take_telemetry()
+    }
+
+    /// Mutable access to the live telemetry sink (`None` when
+    /// disabled) — how the runtime's Ambit backend records coalescing
+    /// metrics next to the engine's own series.
+    pub fn telemetry_mut(&mut self) -> Option<&mut pim_telemetry::TelemetrySink> {
+        self.device.telemetry_mut()
     }
 
     /// Bits held by one DRAM row (the chunk granularity).

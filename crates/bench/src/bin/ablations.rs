@@ -1,17 +1,20 @@
 //! Regenerates the ablation studies (bank scaling, tFAW, address mapping,
 //! TRA reliability, coherence schemes).
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report).
 fn main() {
-    println!("{}", pim_bench::ablations::bank_scaling_table());
-    println!("{}", pim_bench::ablations::technology_table());
-    println!("{}", pim_bench::ablations::salp_table());
-    println!("{}", pim_bench::ablations::refresh_table());
-    println!("{}", pim_bench::ablations::faw_table());
-    println!("{}", pim_bench::ablations::mapping_table());
-    println!("{}", pim_bench::ablations::reliability_table());
-    println!("{}", pim_bench::ablations::coherence_table());
-    println!("{}", pim_bench::ablations::gather_table());
-    println!("{}", pim_bench::ablations::pei_table());
-    println!("{}", pim_bench::ablations::blocking_calls_table());
-    println!("{}", pim_bench::ablations::vm_table());
-    println!("{}", pim_bench::ablations::structures_table());
+    let mut log = pim_bench::report::RunLog::from_env("ablations");
+    log.table(pim_bench::ablations::bank_scaling_table());
+    log.table(pim_bench::ablations::technology_table());
+    log.table(pim_bench::ablations::salp_table());
+    log.table(pim_bench::ablations::refresh_table());
+    log.table(pim_bench::ablations::faw_table());
+    log.table(pim_bench::ablations::mapping_table());
+    log.table(pim_bench::ablations::reliability_table());
+    log.table(pim_bench::ablations::coherence_table());
+    log.table(pim_bench::ablations::gather_table());
+    log.table(pim_bench::ablations::pei_table());
+    log.table(pim_bench::ablations::blocking_calls_table());
+    log.table(pim_bench::ablations::vm_table());
+    log.table(pim_bench::ablations::structures_table());
+    log.finish().expect("write run report");
 }

@@ -3,122 +3,101 @@
 //! Pass a directory argument to also write one file per table; pass
 //! `--trace` to additionally capture, oracle-verify, and dump the E1/E5
 //! command traces under `<dir>/traces/` (default `results/traces/`).
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report; with
+//! telemetry the report embeds the E1/E5/E6 PIMTEL01 snapshots).
 
 use std::io::Write;
 
 fn main() {
-    let (flags, positional): (Vec<String>, Vec<String>) =
-        std::env::args().skip(1).partition(|a| a.starts_with("--"));
-    let out_dir = positional.into_iter().next();
-    let tables: Vec<(&str, String)> = vec![
-        ("e1_ambit_throughput", pim_bench::e1::table().to_markdown()),
-        ("e2_ambit_energy", pim_bench::e2::table().to_markdown()),
-        ("e3_hmc_ratio", pim_bench::e3::table().to_markdown()),
-        ("e4_query_latency", pim_bench::e4::table().to_markdown()),
-        ("e5_tesseract", pim_bench::e5::table(18, 16).to_markdown()),
-        (
-            "e5b_prefetchers",
-            pim_bench::e5::ablation_table(16, 16).to_markdown(),
-        ),
+    let mut log = pim_bench::report::RunLog::from_env("all_experiments");
+    let out_dir = log.args().iter().find(|a| !a.starts_with("--")).cloned();
+    let tables: Vec<(&str, pim_core::Table)> = vec![
+        ("e1_ambit_throughput", pim_bench::e1::table()),
+        ("e2_ambit_energy", pim_bench::e2::table()),
+        ("e3_hmc_ratio", pim_bench::e3::table()),
+        ("e4_query_latency", pim_bench::e4::table()),
+        ("e5_tesseract", pim_bench::e5::table(18, 16)),
+        ("e5b_prefetchers", pim_bench::e5::ablation_table(16, 16)),
         (
             "e5c_bandwidth",
-            pim_bench::e5::bandwidth_sweep_table(16, 16).to_markdown(),
+            pim_bench::e5::bandwidth_sweep_table(16, 16),
         ),
-        (
-            "e5d_graph_size",
-            pim_bench::e5::graph_size_sweep_table(16).to_markdown(),
-        ),
+        ("e5d_graph_size", pim_bench::e5::graph_size_sweep_table(16)),
         (
             "e5e_energy_breakdown",
-            pim_bench::e5::energy_breakdown_table(16, 16).to_markdown(),
+            pim_bench::e5::energy_breakdown_table(16, 16),
         ),
         (
             "e5f_frequency",
-            pim_bench::e5::frequency_sweep_table(16, 16).to_markdown(),
+            pim_bench::e5::frequency_sweep_table(16, 16),
         ),
-        (
-            "e5g_baselines",
-            pim_bench::e5::baselines_table(16, 16).to_markdown(),
-        ),
-        ("e6_consumer", pim_bench::e6::table().to_markdown()),
-        ("e7_area", pim_bench::e7::table().to_markdown()),
-        ("e8_rowclone", pim_bench::e8::table().to_markdown()),
-        ("e9_arithmetic", pim_bench::e9::table().to_markdown()),
-        ("e10_dna_filter", pim_bench::e10::table().to_markdown()),
-        (
-            "ablation_banks",
-            pim_bench::ablations::bank_scaling_table().to_markdown(),
-        ),
+        ("e5g_baselines", pim_bench::e5::baselines_table(16, 16)),
+        ("e6_consumer", pim_bench::e6::table()),
+        ("e7_area", pim_bench::e7::table()),
+        ("e8_rowclone", pim_bench::e8::table()),
+        ("e9_arithmetic", pim_bench::e9::table()),
+        ("e10_dna_filter", pim_bench::e10::table()),
+        ("ablation_banks", pim_bench::ablations::bank_scaling_table()),
         (
             "ablation_technology",
-            pim_bench::ablations::technology_table().to_markdown(),
+            pim_bench::ablations::technology_table(),
         ),
-        (
-            "ablation_salp",
-            pim_bench::ablations::salp_table().to_markdown(),
-        ),
-        (
-            "ablation_refresh",
-            pim_bench::ablations::refresh_table().to_markdown(),
-        ),
-        (
-            "ablation_faw",
-            pim_bench::ablations::faw_table().to_markdown(),
-        ),
-        (
-            "ablation_mapping",
-            pim_bench::ablations::mapping_table().to_markdown(),
-        ),
+        ("ablation_salp", pim_bench::ablations::salp_table()),
+        ("ablation_refresh", pim_bench::ablations::refresh_table()),
+        ("ablation_faw", pim_bench::ablations::faw_table()),
+        ("ablation_mapping", pim_bench::ablations::mapping_table()),
         (
             "ablation_reliability",
-            pim_bench::ablations::reliability_table().to_markdown(),
+            pim_bench::ablations::reliability_table(),
         ),
         (
             "ablation_coherence",
-            pim_bench::ablations::coherence_table().to_markdown(),
+            pim_bench::ablations::coherence_table(),
         ),
-        (
-            "ablation_gather",
-            pim_bench::ablations::gather_table().to_markdown(),
-        ),
-        (
-            "ablation_pei",
-            pim_bench::ablations::pei_table().to_markdown(),
-        ),
+        ("ablation_gather", pim_bench::ablations::gather_table()),
+        ("ablation_pei", pim_bench::ablations::pei_table()),
         (
             "ablation_blocking",
-            pim_bench::ablations::blocking_calls_table().to_markdown(),
+            pim_bench::ablations::blocking_calls_table(),
         ),
-        (
-            "ablation_vm",
-            pim_bench::ablations::vm_table().to_markdown(),
-        ),
+        ("ablation_vm", pim_bench::ablations::vm_table()),
         (
             "ablation_structures",
-            pim_bench::ablations::structures_table().to_markdown(),
+            pim_bench::ablations::structures_table(),
         ),
     ];
-    for (name, md) in &tables {
-        println!("{md}");
+    let count = tables.len();
+    for (name, t) in tables {
         if let Some(dir) = &out_dir {
             std::fs::create_dir_all(dir).expect("create output dir");
             let mut f =
                 std::fs::File::create(format!("{dir}/{name}.md")).expect("create table file");
-            f.write_all(md.as_bytes()).expect("write table");
+            f.write_all(t.to_markdown().as_bytes())
+                .expect("write table");
         }
+        log.table(t);
     }
-    eprintln!("{} tables regenerated", tables.len());
-    if flags.iter().any(|a| a == "--trace") {
+    log.event("tables", format!("{count} tables regenerated"));
+    if log.telemetry() {
+        log.snapshot(pim_bench::e1::telemetry_snapshot());
+        log.snapshot(pim_bench::e5::telemetry_snapshot(16, 16));
+        log.snapshot(pim_bench::e6::telemetry_snapshot());
+    }
+    if log.has_flag("--trace") {
         let base = out_dir.as_deref().unwrap_or("results");
         let dumped =
             pim_bench::tracecap::dump_all(std::path::Path::new(base)).expect("dump command traces");
         for (path, report) in &dumped {
-            eprintln!(
-                "trace: {} commands over {} cycles, oracle-clean -> {}",
-                report.commands,
-                report.span,
-                path.display()
+            log.event(
+                "trace",
+                format!(
+                    "{} commands over {} cycles, oracle-clean -> {}",
+                    report.commands,
+                    report.span,
+                    path.display()
+                ),
             );
         }
     }
+    log.finish().expect("write run report");
 }

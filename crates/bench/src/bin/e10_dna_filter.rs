@@ -1,4 +1,7 @@
 //! Regenerates extension experiment E10 (DNA seed-location filtering).
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report).
 fn main() {
-    println!("{}", pim_bench::e10::table());
+    let mut log = pim_bench::report::RunLog::from_env("e10_dna_filter");
+    log.table(pim_bench::e10::table());
+    log.finish().expect("write run report");
 }

@@ -4,29 +4,37 @@
 //! per-platform measurement table is always printed).
 //! `--trace` additionally captures the Ambit command stream, verifies it
 //! against the protocol oracle, and dumps it under `results/traces/`.
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report; with
+//! telemetry the report embeds the PIMTEL01 snapshot of a
+//! telemetry-enabled Ambit run).
 fn main() {
-    println!("{}", pim_bench::e1::table());
-    let args: Vec<String> = std::env::args().collect();
-    if args
+    let mut log = pim_bench::report::RunLog::from_env("e1_ambit_throughput");
+    log.table(pim_bench::e1::table());
+    if log
+        .args()
         .windows(2)
         .any(|w| w[0] == "--placement" && w[1] == "advised")
     {
-        println!(
-            "{}",
-            pim_bench::e1::placement_table(pim_core::Objective::Time)
-        );
+        log.table(pim_bench::e1::placement_table(pim_core::Objective::Time));
     }
-    if args.iter().any(|a| a == "--trace") {
+    if log.telemetry() {
+        log.snapshot(pim_bench::e1::telemetry_snapshot());
+    }
+    if log.has_flag("--trace") {
         let cap = pim_bench::tracecap::e1_trace();
         let (bin, json) = cap
             .write(&std::path::Path::new("results").join("traces"))
             .expect("write trace files");
-        eprintln!(
-            "trace: {} commands over {} cycles, oracle-clean -> {} / {}",
-            cap.report.commands,
-            cap.report.span,
-            bin.display(),
-            json.display()
+        log.event(
+            "trace",
+            format!(
+                "{} commands over {} cycles, oracle-clean -> {} / {}",
+                cap.report.commands,
+                cap.report.span,
+                bin.display(),
+                json.display()
+            ),
         );
     }
+    log.finish().expect("write run report");
 }

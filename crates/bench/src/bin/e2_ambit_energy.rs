@@ -1,4 +1,7 @@
 //! Regenerates experiment E2. See DESIGN.md §4.
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report).
 fn main() {
-    println!("{}", pim_bench::e2::table());
+    let mut log = pim_bench::report::RunLog::from_env("e2_ambit_energy");
+    log.table(pim_bench::e2::table());
+    log.finish().expect("write run report");
 }

@@ -1,4 +1,7 @@
 //! Regenerates experiment E3. See DESIGN.md §4.
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report).
 fn main() {
-    println!("{}", pim_bench::e3::table());
+    let mut log = pim_bench::report::RunLog::from_env("e3_hmc_ratio");
+    log.table(pim_bench::e3::table());
+    log.finish().expect("write run report");
 }

@@ -1,4 +1,7 @@
 //! Regenerates experiment E4 (bitmap + BitWeaving query latency).
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report).
 fn main() {
-    println!("{}", pim_bench::e4::table());
+    let mut log = pim_bench::report::RunLog::from_env("e4_query_latency");
+    log.table(pim_bench::e4::table());
+    log.finish().expect("write run report");
 }

@@ -3,40 +3,46 @@
 //! `--trace` additionally captures one vault's DRAM command stream,
 //! verifies it (refresh deadlines included), and dumps it under
 //! `results/traces/`.
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report; with
+//! telemetry the report embeds the PIMTEL01 snapshot of a
+//! telemetry-enabled five-kernel Tesseract run).
 fn main() {
-    let (flags, positional): (Vec<String>, Vec<String>) =
-        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let mut log = pim_bench::report::RunLog::from_env("e5_tesseract");
+    let positional: Vec<String> = log
+        .args()
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
     let mut args = positional.into_iter();
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
     let degree: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
-    println!("{}", pim_bench::e5::table(scale, degree));
-    println!("{}", pim_bench::e5::ablation_table(scale.min(18), degree));
-    println!(
-        "{}",
-        pim_bench::e5::bandwidth_sweep_table(scale.min(18), degree)
-    );
-    println!("{}", pim_bench::e5::graph_size_sweep_table(degree));
-    println!(
-        "{}",
-        pim_bench::e5::energy_breakdown_table(scale.min(18), degree)
-    );
-    println!(
-        "{}",
-        pim_bench::e5::frequency_sweep_table(scale.min(18), degree)
-    );
-    println!("{}", pim_bench::e5::baselines_table(scale.min(18), degree));
-    if flags.iter().any(|a| a == "--trace") {
+    log.table(pim_bench::e5::table(scale, degree));
+    log.table(pim_bench::e5::ablation_table(scale.min(18), degree));
+    log.table(pim_bench::e5::bandwidth_sweep_table(scale.min(18), degree));
+    log.table(pim_bench::e5::graph_size_sweep_table(degree));
+    log.table(pim_bench::e5::energy_breakdown_table(scale.min(18), degree));
+    log.table(pim_bench::e5::frequency_sweep_table(scale.min(18), degree));
+    log.table(pim_bench::e5::baselines_table(scale.min(18), degree));
+    if log.telemetry() {
+        log.snapshot(pim_bench::e5::telemetry_snapshot(scale.min(18), degree));
+    }
+    if log.has_flag("--trace") {
         let cap = pim_bench::tracecap::e5_trace(scale.min(18), degree);
         let (bin, json) = cap
             .write(&std::path::Path::new("results").join("traces"))
             .expect("write trace files");
-        eprintln!(
-            "trace: {} commands ({} refreshes) over {} cycles, oracle-clean -> {} / {}",
-            cap.report.commands,
-            cap.report.refreshes,
-            cap.report.span,
-            bin.display(),
-            json.display()
+        log.event(
+            "trace",
+            format!(
+                "{} commands ({} refreshes) over {} cycles, oracle-clean -> {} / {}",
+                cap.report.commands,
+                cap.report.refreshes,
+                cap.report.span,
+                bin.display(),
+                json.display()
+            ),
         );
     }
+    log.finish().expect("write run report");
 }

@@ -2,9 +2,13 @@
 //! Default: the study runs live through the pim-runtime advisor path.
 //! `--placement forced` prints the closed-form static accounting instead
 //! (the A/B baseline; the two must agree to floating-point noise).
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report; with
+//! telemetry the report also embeds the PIMTEL01 snapshot of a
+//! telemetry-enabled pim-core run).
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let forced = args
+    let mut log = pim_bench::report::RunLog::from_env("e6_consumer");
+    let forced = log
+        .args()
         .windows(2)
         .any(|w| w[0] == "--placement" && w[1] == "forced");
     let t = if forced {
@@ -12,5 +16,9 @@ fn main() {
     } else {
         pim_bench::e6::table_from(&pim_bench::e6::run(), " [runtime, advised]")
     };
-    println!("{t}");
+    log.table(t);
+    if log.telemetry() {
+        log.snapshot(pim_bench::e6::telemetry_snapshot());
+    }
+    log.finish().expect("write run report");
 }

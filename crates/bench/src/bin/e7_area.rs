@@ -1,4 +1,7 @@
 //! Regenerates experiment E7. See DESIGN.md §4.
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report).
 fn main() {
-    println!("{}", pim_bench::e7::table());
+    let mut log = pim_bench::report::RunLog::from_env("e7_area");
+    log.table(pim_bench::e7::table());
+    log.finish().expect("write run report");
 }

@@ -1,4 +1,7 @@
 //! Regenerates extension experiment E9 (in-DRAM bit-serial addition).
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report).
 fn main() {
-    println!("{}", pim_bench::e9::table());
+    let mut log = pim_bench::report::RunLog::from_env("e9_arithmetic");
+    log.table(pim_bench::e9::table());
+    log.finish().expect("write run report");
 }

@@ -90,6 +90,39 @@ pub fn captured_trace(
     (spec, records)
 }
 
+/// Runs the Ambit measurement workload with telemetry **and** command
+/// tracing enabled on the same run, returning the frozen snapshot plus
+/// the raw trace: the snapshot's `ambit.dram.cmd.*` counters and the
+/// oracle-validated trace must count the identical command stream (the
+/// reconciliation `tests/telemetry.rs` enforces).
+pub fn telemetry_capture(
+    config: AmbitConfig,
+    rounds: usize,
+) -> (
+    pim_telemetry::Snapshot,
+    DramSpec,
+    Vec<pim_dram::TraceRecord>,
+) {
+    let backend = AmbitBackend::new("ambit", config);
+    let (a, b) = ambit_operands(backend.system(), rounds);
+    let mut rt = Runtime::new().with(Box::new(backend));
+    rt.set_trace(true);
+    rt.set_telemetry(true);
+    let _ = measure_ops(&mut rt, "ambit", &a, &b);
+    let sink = rt.take_telemetry().expect("telemetry is enabled");
+    let (_, spec, records) = rt.take_traces().pop().expect("ambit trace");
+    let snap = pim_telemetry::Snapshot::from_sink(sink)
+        .with_meta("experiment", "e1")
+        .with_meta("backend", "ambit")
+        .with_meta("rounds", rounds.to_string());
+    (snap, spec, records)
+}
+
+/// The E1 telemetry snapshot (DDR3, 8 rounds — the headline config).
+pub fn telemetry_snapshot() -> pim_telemetry::Snapshot {
+    telemetry_capture(AmbitConfig::ddr3(), 8).0
+}
+
 /// Runs the experiment; `out_bytes` sizes the host-side kernels.
 ///
 /// The five platform measurements are independent (each task builds its

@@ -64,6 +64,35 @@ pub fn run(graph: &Graph) -> Vec<Comparison> {
     compare_all(graph, HostGraphConfig::ddr3_ooo())
 }
 
+/// Runs the five kernels sequentially through one telemetry-enabled
+/// Tesseract runtime and freezes the snapshot: per-vault superstep
+/// utilization and message volumes (`tesseract.vault.*`), the
+/// active-vault histogram, and one advised job span per kernel.
+pub fn telemetry_snapshot(scale: u32, degree: usize) -> pim_telemetry::Snapshot {
+    let graph = Arc::new(eval_graph(scale, degree));
+    let mut rt = Runtime::new().with(Box::new(TesseractBackend::new(
+        "tesseract",
+        TesseractConfig::isca2015(),
+    )));
+    rt.set_telemetry(true);
+    for &kernel in KernelKind::ALL.iter() {
+        rt.submit(
+            Job::GraphBatch {
+                kernel,
+                graph: graph.clone(),
+            },
+            Placement::Advised(Objective::Time),
+        )
+        .expect("submit");
+    }
+    rt.drain().expect("drain");
+    pim_telemetry::Snapshot::from_sink(rt.take_telemetry().expect("telemetry is enabled"))
+        .with_meta("experiment", "e5")
+        .with_meta("backend", "tesseract")
+        .with_meta("scale", scale.to_string())
+        .with_meta("degree", degree.to_string())
+}
+
 /// Like [`run`] but against the ISCA'15 HMC-OoO baseline (HMC as plain
 /// main memory — more bandwidth, still no computation in memory).
 pub fn run_vs_hmc_ooo(graph: &Graph) -> Vec<Comparison> {

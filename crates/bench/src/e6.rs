@@ -128,6 +128,24 @@ pub fn run_static() -> Vec<ConsumerAnalysis> {
     analyze_all(&ConsumerSystemConfig::mobile_soc())
 }
 
+/// Runs every workload's phases through one telemetry-enabled pim-core
+/// runtime and freezes the snapshot. The `energy.*` series sum to the
+/// closed-form per-workload PIM-core energies of [`run_static`] to
+/// 1e-9 relative (the reconciliation `tests/telemetry.rs` enforces),
+/// and every job span carries the advisor's estimate next to the
+/// measured cost.
+pub fn telemetry_snapshot() -> pim_telemetry::Snapshot {
+    let cfg = ConsumerSystemConfig::mobile_soc();
+    let mut rt = site_runtime(&cfg, PimSite::Core);
+    rt.set_telemetry(true);
+    for w in ConsumerWorkload::all() {
+        let _ = run_phases(&w, &mut rt);
+    }
+    pim_telemetry::Snapshot::from_sink(rt.take_telemetry().expect("telemetry is enabled"))
+        .with_meta("experiment", "e6")
+        .with_meta("site", "pim-core")
+}
+
 /// Renders the result table from precomputed analyses.
 pub fn table_from(analyses: &[ConsumerAnalysis], title_suffix: &str) -> Table {
     let mut t = Table::new(

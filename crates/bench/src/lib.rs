@@ -33,4 +33,5 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
+pub mod report;
 pub mod tracecap;

@@ -252,6 +252,24 @@ impl CommandKind {
         matches!(self, CommandKind::Wr | CommandKind::WrA)
     }
 
+    /// Telemetry series name for this kind's per-bank issue counter.
+    pub const fn telemetry_series(self) -> &'static str {
+        match self {
+            CommandKind::Act => "dram.cmd.act",
+            CommandKind::Pre => "dram.cmd.pre",
+            CommandKind::PreAll => "dram.cmd.prea",
+            CommandKind::Rd => "dram.cmd.rd",
+            CommandKind::RdA => "dram.cmd.rda",
+            CommandKind::Wr => "dram.cmd.wr",
+            CommandKind::WrA => "dram.cmd.wra",
+            CommandKind::Ref => "dram.cmd.ref",
+            CommandKind::Aap => "dram.cmd.aap",
+            CommandKind::Ap => "dram.cmd.ap",
+            CommandKind::Tra => "dram.cmd.tra",
+            CommandKind::TraAap => "dram.cmd.traaap",
+        }
+    }
+
     /// `true` for the in-DRAM computation extensions (AAP/AP/TRA).
     pub const fn is_pim(self) -> bool {
         matches!(

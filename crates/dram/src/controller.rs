@@ -213,6 +213,18 @@ impl Controller {
         self.device.take_trace()
     }
 
+    /// Enables or disables telemetry capture: the device's per-bank
+    /// command counters plus the scheduler's row-buffer hit/miss/
+    /// conflict, tFAW-stall, and refresh-busy series.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.device.set_telemetry(enabled);
+    }
+
+    /// Takes the captured telemetry (`None` when disabled).
+    pub fn take_telemetry(&mut self) -> Option<pim_telemetry::TelemetrySink> {
+        self.device.take_telemetry()
+    }
+
     /// The address-mapping scheme in use.
     pub fn mapping(&self) -> AddressMapping {
         self.mapping
@@ -348,6 +360,19 @@ impl Controller {
             return false;
         };
         let ch = cmd.channel() as usize;
+        if self.device.telemetry_enabled() {
+            // Sampled before `issue` mutates the rank's activate window:
+            // the cycles tFAW (not bank timing or tRRD) pushed this ACT.
+            if let Command::Act(row) = cmd {
+                let stall = self.device.act_faw_delay(row.bank_id());
+                if stall > 0 {
+                    let index = self.device.flat_bank_index(row.bank_id());
+                    if let Some(tel) = self.device.telemetry_mut() {
+                        tel.count("dram.ctrl.faw_stall_cycles", index, stall);
+                    }
+                }
+            }
+        }
         let outcome = self
             .device
             .issue(cmd, at)
@@ -381,6 +406,19 @@ impl Controller {
                     self.stats.row_misses += 1;
                 } else {
                     self.stats.row_hits += 1;
+                }
+                if self.device.telemetry_enabled() {
+                    let series = if p.needed_pre {
+                        "dram.ctrl.row_conflict"
+                    } else if p.needed_act {
+                        "dram.ctrl.row_miss"
+                    } else {
+                        "dram.ctrl.row_hit"
+                    };
+                    let index = self.device.flat_bank_index(p.addr.bank_id());
+                    if let Some(tel) = self.device.telemetry_mut() {
+                        tel.count(series, index, 1);
+                    }
                 }
                 let latency = outcome.done - p.arrival;
                 self.stats.last_done = self.stats.last_done.max(outcome.done);
@@ -421,6 +459,10 @@ impl Controller {
                 self.stats.refreshes += 1;
                 let ridx = (channel * self.device.spec().org.ranks + rank) as usize;
                 self.refresh[ridx].next_due += self.device.spec().timing.refi;
+                let rfc = self.device.spec().timing.rfc;
+                if let Some(tel) = self.device.telemetry_mut() {
+                    tel.count("dram.ctrl.refresh_busy_cycles", ridx as u32, rfc);
+                }
             }
             _ => {}
         }

@@ -14,6 +14,7 @@ use crate::error::{DramError, Result};
 use crate::spec::DramSpec;
 use crate::trace::{TraceRecord, TraceSink};
 use crate::types::{BankId, Cycle, DramAddr, RowId};
+use pim_telemetry::TelemetrySink;
 use std::collections::VecDeque;
 
 /// Rank-level timing state: tRRD spacing and the tFAW rolling window.
@@ -95,6 +96,9 @@ pub struct Device {
     /// Optional command-trace capture; `None` (the default) keeps the
     /// issue path free of any recording cost beyond one branch.
     sink: Option<TraceSink>,
+    /// Optional telemetry capture (per-bank command counters); same
+    /// zero-cost-when-disabled discipline as `sink`.
+    telemetry: Option<TelemetrySink>,
 }
 
 impl Device {
@@ -116,6 +120,7 @@ impl Device {
             store,
             counts: CommandCounts::new(),
             sink: None,
+            telemetry: None,
         };
         if dev.spec.pim.salp {
             let subarrays = dev.spec.org.subarrays;
@@ -179,6 +184,44 @@ impl Device {
             Some(sink) => std::mem::take(sink).into_records(),
             None => Vec::new(),
         }
+    }
+
+    /// Enables or disables telemetry capture (per-bank command
+    /// counters, controller scheduling metrics).
+    ///
+    /// Enabling starts a fresh registry; disabling discards it. While
+    /// disabled the only cost on the issue path is one branch on a
+    /// `None` option.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = if enabled {
+            Some(TelemetrySink::new())
+        } else {
+            None
+        };
+    }
+
+    /// `true` if telemetry capture is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Takes the captured telemetry, leaving a fresh sink in place
+    /// (capture stays enabled). `None` when capture is disabled.
+    pub fn take_telemetry(&mut self) -> Option<TelemetrySink> {
+        self.telemetry.as_mut().map(std::mem::take)
+    }
+
+    /// Mutable access to the live telemetry sink (for co-located
+    /// recorders like the controller and the Ambit engine), `None`
+    /// while capture is disabled.
+    pub fn telemetry_mut(&mut self) -> Option<&mut TelemetrySink> {
+        self.telemetry.as_mut()
+    }
+
+    /// Flat telemetry instance index of `bank`:
+    /// `(channel * ranks + rank) * banks + bank`.
+    pub fn flat_bank_index(&self, bank: BankId) -> u32 {
+        (bank.channel * self.spec.org.ranks + bank.rank) * self.spec.org.banks + bank.bank
     }
 
     /// Current state of `bank`.
@@ -404,6 +447,19 @@ impl Device {
         bank.next_act.max(rank.act_earliest(self.spec.timing.faw))
     }
 
+    /// How many cycles the four-activate window (tFAW) delays the next
+    /// ACT on `bank_id` beyond what bank timing and tRRD already
+    /// require. Zero when the window is not the binding constraint —
+    /// the controller samples this before issuing an ACT to attribute
+    /// rank-power stalls.
+    pub(crate) fn act_faw_delay(&self, bank_id: BankId) -> Cycle {
+        let bank = self.bank(bank_id);
+        let rank = &self.channels[bank_id.channel as usize].ranks[bank_id.rank as usize];
+        let without_faw = bank.next_act.max(rank.next_act);
+        let with_faw = bank.next_act.max(rank.act_earliest(self.spec.timing.faw));
+        with_faw.saturating_sub(without_faw)
+    }
+
     /// Like [`Device::act_earliest`] but for PIM activations, which skip
     /// the rank power constraints when `PimTiming::faw_exempt` is set and
     /// respect per-subarray occupancy when SALP is enabled.
@@ -449,6 +505,22 @@ impl Device {
         self.counts.record(cmd.kind());
         if let Some(sink) = &mut self.sink {
             sink.push(at, cmd);
+        }
+        if self.telemetry.is_some() {
+            // Per-bank counter for bank-scoped commands; rank-scoped
+            // REF/PREA index by flat rank instead (distinct series
+            // names, so the index spaces never mix).
+            let index = match cmd.bank() {
+                Some(b) => self.flat_bank_index(b),
+                None => {
+                    let (channel, rank) = cmd.rank();
+                    channel * self.spec.org.ranks + rank
+                }
+            };
+            let series = cmd.kind().telemetry_series();
+            if let Some(tel) = &mut self.telemetry {
+                tel.count(series, index, 1);
+            }
         }
         match cmd {
             Command::Act(row) => {
@@ -699,9 +771,10 @@ impl Device {
             channels: self.channels.clone(),
             store,
             counts: CommandCounts::new(),
-            // The shard records its own bank-local trace iff the parent is
-            // recording; join_bank merges it back.
+            // The shard records its own bank-local trace/telemetry iff
+            // the parent is recording; join_bank merges them back.
             sink: self.sink.as_ref().map(|_| TraceSink::new()),
+            telemetry: self.telemetry.as_ref().map(|_| TelemetrySink::new()),
         })
     }
 
@@ -721,6 +794,9 @@ impl Device {
         self.counts.merge(&shard.counts);
         if let (Some(mine), Some(theirs)) = (&mut self.sink, shard.sink.take()) {
             mine.absorb(theirs);
+        }
+        if let (Some(mine), Some(theirs)) = (&mut self.telemetry, shard.telemetry.take()) {
+            mine.merge(theirs);
         }
         Ok(())
     }

@@ -55,6 +55,23 @@ impl Component {
         self as usize
     }
 
+    /// Telemetry series name for this component's nJ sum.
+    pub const fn telemetry_series(self) -> &'static str {
+        match self {
+            Component::DramActivation => "energy.dram-act",
+            Component::DramColumn => "energy.dram-col",
+            Component::DramIo => "energy.dram-io",
+            Component::DramRefresh => "energy.dram-ref",
+            Component::DramBackground => "energy.dram-bg",
+            Component::PimOp => "energy.pim-op",
+            Component::Cache => "energy.cache",
+            Component::CoreCompute => "energy.core",
+            Component::Link => "energy.link",
+            Component::Tsv => "energy.tsv",
+            Component::Other => "energy.other",
+        }
+    }
+
     /// `true` if this component represents *data movement* (as opposed to
     /// computation) in the sense of the consumer-workloads study: everything
     /// involved in moving bytes between cores and memory.
@@ -166,6 +183,20 @@ impl EnergyBreakdown {
     /// Iterates `(component, nJ)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (Component, f64)> + '_ {
         Component::ALL.iter().map(move |&c| (c, self.nj[c.index()]))
+    }
+
+    /// Adds every non-zero component as an `energy.<component>` nJ sum
+    /// into `sink` at instance `index` — the per-phase attribution the
+    /// telemetry reports carry. Summing a report's `energy.*` series
+    /// therefore reconciles exactly with the closed-form accounting
+    /// (same f64 additions, same order).
+    pub fn record_telemetry(&self, sink: &mut pim_telemetry::TelemetrySink, index: u32) {
+        for c in Component::ALL {
+            let nj = self.get(c);
+            if nj != 0.0 {
+                sink.add(c.telemetry_series(), index, nj);
+            }
+        }
     }
 
     /// Returns this breakdown scaled by `factor` (e.g. per-iteration energy

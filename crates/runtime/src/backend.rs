@@ -6,6 +6,7 @@ use crate::job::{Completion, Job, JobId};
 use pim_core::SiteModel;
 use pim_dram::{DramSpec, TraceRecord};
 use pim_energy::{Component, EnergyBreakdown};
+use pim_telemetry::{ExecSpan, TelemetrySink};
 use std::collections::VecDeque;
 
 /// What a job is predicted to cost on a backend, before running it.
@@ -47,6 +48,13 @@ pub trait Backend {
 
     /// Jobs currently queued (not yet drained).
     fn queue_depth(&self) -> usize;
+
+    /// Deepest the submission queue has ever been (backpressure
+    /// incidents stay observable after the queue drains).
+    fn queue_high_water(&self) -> usize;
+
+    /// Cumulative [`RuntimeError::QueueFull`] rejections.
+    fn rejections(&self) -> u64;
 
     /// Jobs accepted over this backend's lifetime.
     fn submitted(&self) -> u64;
@@ -118,6 +126,24 @@ pub trait Backend {
     fn trace_spec(&self) -> Option<DramSpec> {
         None
     }
+
+    /// Enables or disables telemetry capture on the engine underneath
+    /// (no-op for backends with nothing to record).
+    fn set_telemetry(&mut self, _enabled: bool) {}
+
+    /// Takes the engine's captured telemetry (`None` when unsupported
+    /// or disabled). The runtime namespaces it under the backend name.
+    fn take_telemetry(&mut self) -> Option<TelemetrySink> {
+        None
+    }
+
+    /// Takes the engine-clock execute windows recorded since the last
+    /// call, as `(job, span)` pairs — only backends with a
+    /// cycle-domain device produce any. Recording happens only while
+    /// telemetry is enabled.
+    fn take_exec_spans(&mut self) -> Vec<(JobId, ExecSpan)> {
+        Vec::new()
+    }
 }
 
 /// The bounded submission queue all backends share: capacity-checked
@@ -129,6 +155,8 @@ pub struct JobQueue {
     done: Vec<Completion>,
     submitted: u64,
     completed: u64,
+    high_water: usize,
+    rejections: u64,
 }
 
 impl JobQueue {
@@ -140,6 +168,8 @@ impl JobQueue {
             done: Vec::new(),
             submitted: 0,
             completed: 0,
+            high_water: 0,
+            rejections: 0,
         }
     }
 
@@ -151,6 +181,17 @@ impl JobQueue {
     /// Jobs waiting to be drained.
     pub fn depth(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Cumulative capacity rejections (each one surfaced to the caller
+    /// as [`RuntimeError::QueueFull`]).
+    pub fn rejections(&self) -> u64 {
+        self.rejections
     }
 
     /// Jobs ever accepted.
@@ -170,6 +211,7 @@ impl JobQueue {
     /// [`RuntimeError::QueueFull`] when `depth() == capacity()`.
     pub fn push(&mut self, backend: &str, id: JobId, job: Job) -> Result<(), RuntimeError> {
         if self.queue.len() >= self.capacity {
+            self.rejections += 1;
             return Err(RuntimeError::QueueFull {
                 backend: backend.to_string(),
                 capacity: self.capacity,
@@ -177,6 +219,7 @@ impl JobQueue {
         }
         self.queue.push_back((id, job));
         self.submitted += 1;
+        self.high_water = self.high_water.max(self.queue.len());
         Ok(())
     }
 
@@ -219,8 +262,13 @@ mod tests {
             }
         );
         assert_eq!(q.depth(), 2);
+        assert_eq!(q.rejections(), 1);
         assert_eq!(q.take_batch().len(), 2);
         q.push("b", 3, job()).expect("accepts again after drain");
         assert_eq!(q.submitted(), 3);
+        // High-water survives the drain; the post-drain push never
+        // exceeded the earlier peak.
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.rejections(), 1);
     }
 }

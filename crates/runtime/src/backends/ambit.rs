@@ -33,6 +33,7 @@ use crate::job::{Completion, Job, JobId, JobOutput, JobReport};
 use pim_ambit::{AmbitConfig, AmbitError, AmbitSystem};
 use pim_core::SiteModel;
 use pim_dram::{CommandCounts, DramSpec, TraceRecord};
+use pim_telemetry::{ExecSpan, TelemetrySink, POW2_BOUNDS};
 use pim_workloads::{BitVec, BulkOp};
 use std::sync::Arc;
 
@@ -52,6 +53,9 @@ pub struct AmbitBackend {
     coalesce: bool,
     total_banks: usize,
     row_bits: usize,
+    /// Engine-clock execute windows recorded while telemetry is on,
+    /// drained by [`Backend::take_exec_spans`].
+    exec_spans: Vec<(JobId, ExecSpan)>,
 }
 
 impl AmbitBackend {
@@ -82,6 +86,7 @@ impl AmbitBackend {
             coalesce,
             total_banks,
             row_bits,
+            exec_spans: Vec::new(),
         }
     }
 
@@ -103,11 +108,7 @@ impl AmbitBackend {
 
     /// Executes one coalesced group of same-`op` single-step jobs whose
     /// chunk total fits the bank count. `members` are `(id, a, b)`.
-    fn run_group(
-        &mut self,
-        op: BulkOp,
-        members: &[GroupMember],
-    ) -> Result<(), RuntimeError> {
+    fn run_group(&mut self, op: BulkOp, members: &[GroupMember]) -> Result<(), RuntimeError> {
         let row_words = self.row_bits / 64;
         // Row-aligned (hence word-aligned) chunk offset of each member.
         let mut offsets = Vec::with_capacity(members.len());
@@ -163,6 +164,13 @@ impl AmbitBackend {
         }
         self.sys.free(out_vec);
 
+        if let Some(tel) = self.sys.telemetry_mut() {
+            tel.count("coalesce.groups", 0, 1);
+            tel.observe("coalesce.batch_jobs", 0, POW2_BOUNDS, members.len() as u64);
+            tel.observe("coalesce.batch_chunks", 0, POW2_BOUNDS, total_chunks as u64);
+        }
+        let telemetry_on = self.sys.telemetry_enabled();
+
         let out_words = out_cat.as_words();
         for (m, &off) in members.iter().zip(&offsets) {
             let (id, a, _) = m;
@@ -187,6 +195,16 @@ impl AmbitBackend {
                     commands.record(kind);
                 }
             }
+            if telemetry_on {
+                self.exec_spans.push((
+                    *id,
+                    ExecSpan {
+                        start,
+                        end,
+                        group: members.len() as u32,
+                    },
+                ));
+            }
             let report = JobReport {
                 backend: self.name.clone(),
                 ns: self.sys.spec().timing.cycles_to_ns(cycles),
@@ -205,6 +223,8 @@ impl AmbitBackend {
 
     /// Executes one job alone (the non-coalescible path).
     fn run_single(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError> {
+        let telemetry_on = self.sys.telemetry_enabled();
+        let start = self.sys.clock();
         let (output, report) = match job {
             Job::Bitwise { plan, inputs } => {
                 let refs: Vec<&BitVec> = inputs.iter().map(|v| v.as_ref()).collect();
@@ -250,6 +270,16 @@ impl AmbitBackend {
                 })
             }
         };
+        if telemetry_on {
+            self.exec_spans.push((
+                id,
+                ExecSpan {
+                    start,
+                    end: self.sys.clock(),
+                    group: 1,
+                },
+            ));
+        }
         self.queue.finish(Completion {
             id,
             output,
@@ -287,6 +317,14 @@ impl Backend for AmbitBackend {
 
     fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
+    fn rejections(&self) -> u64 {
+        self.queue.rejections()
     }
 
     fn submitted(&self) -> u64 {
@@ -375,5 +413,18 @@ impl Backend for AmbitBackend {
 
     fn trace_spec(&self) -> Option<DramSpec> {
         Some(self.sys.spec().clone())
+    }
+
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.sys.set_telemetry(enabled);
+        self.exec_spans.clear();
+    }
+
+    fn take_telemetry(&mut self) -> Option<TelemetrySink> {
+        self.sys.take_telemetry()
+    }
+
+    fn take_exec_spans(&mut self) -> Vec<(JobId, ExecSpan)> {
+        std::mem::take(&mut self.exec_spans)
     }
 }

@@ -105,6 +105,14 @@ impl Backend for CpuBackend {
         self.queue.depth()
     }
 
+    fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
+    fn rejections(&self) -> u64 {
+        self.queue.rejections()
+    }
+
     fn submitted(&self) -> u64 {
         self.queue.submitted()
     }
@@ -268,6 +276,14 @@ impl<M> Backend for BitwiseRooflineBackend<M> {
 
     fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
+    fn rejections(&self) -> u64 {
+        self.queue.rejections()
     }
 
     fn submitted(&self) -> u64 {

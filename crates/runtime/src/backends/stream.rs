@@ -129,6 +129,14 @@ impl Backend for StreamSiteBackend {
         self.queue.depth()
     }
 
+    fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
+    fn rejections(&self) -> u64 {
+        self.queue.rejections()
+    }
+
     fn submitted(&self) -> u64 {
         self.queue.submitted()
     }

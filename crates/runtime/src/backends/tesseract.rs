@@ -7,6 +7,7 @@ use crate::backends::ambit::DEFAULT_CAPACITY;
 use crate::error::RuntimeError;
 use crate::job::{Completion, GraphRun, Job, JobId, JobOutput, JobReport};
 use pim_core::SiteModel;
+use pim_telemetry::TelemetrySink;
 use pim_tesseract::{TesseractConfig, TesseractSim};
 
 /// [`TesseractSim`] behind the [`Backend`] trait.
@@ -16,6 +17,7 @@ pub struct TesseractBackend {
     sim: TesseractSim,
     site: SiteModel,
     queue: JobQueue,
+    telemetry: Option<TelemetrySink>,
 }
 
 impl TesseractBackend {
@@ -43,6 +45,7 @@ impl TesseractBackend {
             sim: TesseractSim::new(config),
             site,
             queue: JobQueue::new(capacity),
+            telemetry: None,
         }
     }
 
@@ -67,6 +70,14 @@ impl Backend for TesseractBackend {
 
     fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
+    fn rejections(&self) -> u64 {
+        self.queue.rejections()
     }
 
     fn submitted(&self) -> u64 {
@@ -97,6 +108,9 @@ impl Backend for TesseractBackend {
                 unreachable!("submit rejects foreign job kinds");
             };
             let (output, trace, report) = self.sim.run(kernel, &graph);
+            if let Some(sink) = &mut self.telemetry {
+                pim_tesseract::telemetry::record_execution(&trace, sink);
+            }
             self.queue.finish(Completion {
                 id,
                 output: JobOutput::Graph(Box::new(GraphRun { output, trace })),
@@ -114,5 +128,13 @@ impl Backend for TesseractBackend {
 
     fn poll(&mut self) -> Vec<Completion> {
         self.queue.poll()
+    }
+
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = enabled.then(TelemetrySink::new);
+    }
+
+    fn take_telemetry(&mut self) -> Option<TelemetrySink> {
+        self.telemetry.as_mut().map(std::mem::take)
     }
 }

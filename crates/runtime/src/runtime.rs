@@ -7,6 +7,8 @@ use crate::error::RuntimeError;
 use crate::job::{Completion, Job, JobId};
 use pim_core::{decide, Objective, OffloadDecision};
 use pim_dram::{DramSpec, TraceRecord};
+use pim_telemetry::{JobSpan, TelemetrySink};
+use std::collections::BTreeMap;
 
 /// Where a submitted job should run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +40,10 @@ pub struct BackendStats {
     pub capacity: usize,
     /// Jobs queued and not yet drained.
     pub queue_depth: usize,
+    /// Deepest the submission queue has ever been.
+    pub queue_high_water: usize,
+    /// Cumulative `QueueFull` rejections.
+    pub rejections: u64,
     /// Jobs ever accepted.
     pub submitted: u64,
     /// Jobs ever completed.
@@ -50,6 +56,11 @@ pub struct Runtime {
     backends: Vec<Box<dyn Backend>>,
     next_id: JobId,
     decisions: Vec<(JobId, PlacementDecision)>,
+    /// Runtime-level telemetry (spans + placement metrics); `None` means
+    /// disabled and every hot path reduces to one branch.
+    telemetry: Option<TelemetrySink>,
+    /// Spans opened at submit, closed (moved into `telemetry`) at drain.
+    pending_spans: BTreeMap<JobId, JobSpan>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -191,8 +202,44 @@ impl Runtime {
         let decision = self.place(&job, &placement)?;
         let idx = self.backend_index(&decision.backend)?;
         let id = self.next_id;
-        self.backends[idx].submit(id, job)?;
+        // Open the job's telemetry span before `job` moves into the queue;
+        // the estimate recorded here is exactly what the advisor priced.
+        let span = if self.telemetry.is_some() {
+            let est = self.backends[idx].estimate(&job).ok();
+            Some(JobSpan {
+                id,
+                kind: job.kind().to_string(),
+                backend: decision.backend.clone(),
+                queue_depth: 0, // filled in once the push succeeds
+                advised: match &placement {
+                    Placement::Advised(_) => Some(decision.advised.is_some()),
+                    Placement::Forced(_) => None,
+                },
+                est_ns: est.as_ref().map_or(0.0, |e| e.ns),
+                est_nj: est.as_ref().map_or(0.0, |e| e.energy_nj()),
+                actual_ns: 0.0,
+                actual_nj: 0.0,
+                commands: 0,
+                exec: None,
+            })
+        } else {
+            None
+        };
+        if let Err(e) = self.backends[idx].submit(id, job) {
+            if let Some(tel) = &mut self.telemetry {
+                tel.count("runtime.rejected", idx as u32, 1);
+            }
+            return Err(e);
+        }
         self.next_id += 1;
+        if let Some(mut span) = span {
+            let depth = self.backends[idx].queue_depth();
+            span.queue_depth = depth as u32;
+            let tel = self.telemetry.as_mut().expect("telemetry opened the span");
+            tel.count("runtime.jobs", idx as u32, 1);
+            tel.gauge("runtime.queue_depth", idx as u32, depth as u64);
+            self.pending_spans.insert(id, span);
+        }
         self.decisions.push((id, decision));
         Ok(id)
     }
@@ -216,7 +263,41 @@ impl Runtime {
         }
         let mut done: Vec<Completion> = self.backends.iter_mut().flat_map(|b| b.poll()).collect();
         done.sort_by_key(|c| c.id);
+        if self.telemetry.is_some() {
+            self.close_spans(&done);
+        }
         Ok(done)
+    }
+
+    /// Closes each completed job's pending span — measured time, energy,
+    /// command count, and the engine-clock execute window — and attributes
+    /// its energy breakdown to per-backend `energy.*` series. Completions
+    /// arrive sorted by id and spans are filed in that order, so the span
+    /// stream is independent of backend iteration and thread count.
+    fn close_spans(&mut self, done: &[Completion]) {
+        let mut exec = BTreeMap::new();
+        for b in &mut self.backends {
+            exec.extend(b.take_exec_spans());
+        }
+        let names: Vec<String> = self.backends.iter().map(|b| b.name().to_string()).collect();
+        let Some(tel) = &mut self.telemetry else {
+            return;
+        };
+        for c in done {
+            let Some(mut span) = self.pending_spans.remove(&c.id) else {
+                continue;
+            };
+            span.actual_ns = c.report.ns;
+            span.actual_nj = c.report.energy.total_nj();
+            span.commands = c.report.commands.as_ref().map_or(0, |cc| cc.total());
+            span.exec = exec.remove(&c.id);
+            let idx = names
+                .iter()
+                .position(|n| *n == c.report.backend)
+                .unwrap_or(0) as u32;
+            c.report.energy.record_telemetry(tel, idx);
+            tel.record_span(span);
+        }
     }
 
     /// How `id` was placed ([`Runtime::submit`] order is preserved).
@@ -245,6 +326,8 @@ impl Runtime {
                 name: b.name().to_string(),
                 capacity: b.capacity(),
                 queue_depth: b.queue_depth(),
+                queue_high_water: b.queue_high_water(),
+                rejections: b.rejections(),
                 submitted: b.submitted(),
                 completed: b.completed(),
             })
@@ -257,6 +340,32 @@ impl Runtime {
         for b in &mut self.backends {
             b.set_trace(enabled);
         }
+    }
+
+    /// Enables or disables telemetry capture: the runtime's own span and
+    /// placement registry, plus every backend's engine-level sink.
+    /// Disabled (the default) costs one branch per submit/drain.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = enabled.then(TelemetrySink::new);
+        self.pending_spans.clear();
+        for b in &mut self.backends {
+            b.set_telemetry(enabled);
+        }
+    }
+
+    /// Takes everything recorded since telemetry was enabled (or last
+    /// taken) as one merged sink: runtime-level series (`runtime.*`,
+    /// `energy.*`) and job spans unprefixed, each backend's engine series
+    /// namespaced under its name (e.g. `ambit.dram.cmd.act`). Returns
+    /// `None` while telemetry is disabled; capture stays enabled after.
+    pub fn take_telemetry(&mut self) -> Option<TelemetrySink> {
+        let mut sink = std::mem::take(self.telemetry.as_mut()?);
+        for b in &mut self.backends {
+            if let Some(engine) = b.take_telemetry() {
+                sink.merge_prefixed(b.name(), engine);
+            }
+        }
+        Some(sink)
     }
 
     /// Takes every captured command trace as `(backend, spec, records)`

@@ -1,0 +1,624 @@
+//! The versioned telemetry export: JSON for machines, a table for
+//! humans.
+//!
+//! ## JSON layout (`to_json_string` / `from_json_str`)
+//!
+//! ```json
+//! { "format": "PIMTEL01",
+//!   "meta": { "experiment": "e1", ... },
+//!   "metrics": [
+//!     { "name": "dram.cmd.act", "index": 0, "kind": "counter",
+//!       "value": 128 },
+//!     { "name": "queue.depth", "index": 0, "kind": "gauge",
+//!       "value": 2, "high_water": 7 },
+//!     { "name": "ambit.chunk_width", "index": 0, "kind": "histogram",
+//!       "bounds": [1, 2, 4], "counts": [0, 1, 2, 0], "total": 9 },
+//!     { "name": "energy.dram-act", "index": 0, "kind": "sum",
+//!       "value": 1.25 } ],
+//!   "spans": [
+//!     { "id": 0, "kind": "bitwise", "backend": "ambit",
+//!       "queue_depth": 1, "advised": true,
+//!       "est_ns": 10.0, "est_nj": 1.0,
+//!       "actual_ns": 11.5, "actual_nj": 1.1, "commands": 42,
+//!       "exec": { "start": 0, "end": 96, "group": 4 } } ] }
+//! ```
+//!
+//! Metrics appear in sorted `(name, index)` order and spans in job-id
+//! order, so the same run always serializes to the same bytes.
+//! Integers are carried through JSON numbers (exact to 2^53 — far
+//! beyond any counter this workspace produces).
+
+use crate::metrics::{Metric, MetricKey, TelemetrySink};
+use crate::span::{ExecSpan, JobSpan};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The self-describing format tag, versioned in the trailing digits.
+pub const FORMAT_TAG: &str = "PIMTEL01";
+
+/// A malformed telemetry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotFormatError(String);
+
+impl SnapshotFormatError {
+    fn new(msg: impl Into<String>) -> Self {
+        SnapshotFormatError(msg.into())
+    }
+}
+
+impl fmt::Display for SnapshotFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed telemetry snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotFormatError {}
+
+/// A frozen, exportable view of a [`TelemetrySink`]: free-form string
+/// metadata (experiment name, configuration) plus the registry and the
+/// span stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Report labels, exported in sorted key order.
+    pub meta: BTreeMap<String, String>,
+    /// The metric registry, keyed and exported in sorted order.
+    pub metrics: BTreeMap<MetricKey, Metric>,
+    /// Job spans, sorted by job id.
+    pub spans: Vec<JobSpan>,
+}
+
+impl Snapshot {
+    /// Freezes a sink into a snapshot (spans sort by job id).
+    pub fn from_sink(sink: TelemetrySink) -> Self {
+        let (metrics, mut spans) = sink.into_parts();
+        spans.sort_by_key(|s| s.id);
+        Snapshot {
+            meta: BTreeMap::new(),
+            metrics,
+            spans,
+        }
+    }
+
+    /// Adds a metadata label (builder style).
+    #[must_use]
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.insert(key.into(), value.into());
+        self
+    }
+
+    /// Thaws back into a sink (for reconciliation arithmetic on a
+    /// parsed report).
+    pub fn into_sink(self) -> TelemetrySink {
+        TelemetrySink::from_parts(self.metrics, self.spans)
+    }
+
+    /// The snapshot as a JSON value tree (what the string forms and
+    /// report embeddings serialize).
+    pub fn to_value(&self) -> Value {
+        let mut root = Map::new();
+        root.insert("format", Value::Str(FORMAT_TAG.to_string()));
+        let mut meta = Map::new();
+        for (k, v) in &self.meta {
+            meta.insert(k.clone(), Value::Str(v.clone()));
+        }
+        root.insert("meta", Value::Object(meta));
+
+        let mut metrics = Vec::with_capacity(self.metrics.len());
+        for (key, metric) in &self.metrics {
+            let mut m = Map::new();
+            m.insert("name", Value::Str(key.name.to_string()));
+            m.insert("index", Value::Num(key.index as f64));
+            match metric {
+                Metric::Counter(c) => {
+                    m.insert("kind", Value::Str("counter".into()));
+                    m.insert("value", Value::Num(*c as f64));
+                }
+                Metric::Sum(s) => {
+                    m.insert("kind", Value::Str("sum".into()));
+                    m.insert("value", Value::Num(*s));
+                }
+                Metric::Gauge { value, high_water } => {
+                    m.insert("kind", Value::Str("gauge".into()));
+                    m.insert("value", Value::Num(*value as f64));
+                    m.insert("high_water", Value::Num(*high_water as f64));
+                }
+                Metric::Histogram {
+                    bounds,
+                    counts,
+                    total,
+                } => {
+                    m.insert("kind", Value::Str("histogram".into()));
+                    m.insert(
+                        "bounds",
+                        Value::Array(bounds.iter().map(|&b| Value::Num(b as f64)).collect()),
+                    );
+                    m.insert(
+                        "counts",
+                        Value::Array(counts.iter().map(|&c| Value::Num(c as f64)).collect()),
+                    );
+                    m.insert("total", Value::Num(*total as f64));
+                }
+            }
+            metrics.push(Value::Object(m));
+        }
+        root.insert("metrics", Value::Array(metrics));
+
+        let mut spans = Vec::with_capacity(self.spans.len());
+        for s in &self.spans {
+            let mut m = Map::new();
+            m.insert("id", Value::Num(s.id as f64));
+            m.insert("kind", Value::Str(s.kind.clone()));
+            m.insert("backend", Value::Str(s.backend.clone()));
+            m.insert("queue_depth", Value::Num(s.queue_depth as f64));
+            m.insert(
+                "advised",
+                match s.advised {
+                    Some(b) => Value::Bool(b),
+                    None => Value::Null,
+                },
+            );
+            m.insert("est_ns", Value::Num(s.est_ns));
+            m.insert("est_nj", Value::Num(s.est_nj));
+            m.insert("actual_ns", Value::Num(s.actual_ns));
+            m.insert("actual_nj", Value::Num(s.actual_nj));
+            m.insert("commands", Value::Num(s.commands as f64));
+            m.insert(
+                "exec",
+                match &s.exec {
+                    Some(e) => {
+                        let mut x = Map::new();
+                        x.insert("start", Value::Num(e.start as f64));
+                        x.insert("end", Value::Num(e.end as f64));
+                        x.insert("group", Value::Num(e.group as f64));
+                        Value::Object(x)
+                    }
+                    None => Value::Null,
+                },
+            );
+            spans.push(Value::Object(m));
+        }
+        root.insert("spans", Value::Array(spans));
+        Value::Object(root)
+    }
+
+    /// Serializes to compact JSON. Deterministic: sorted metric keys,
+    /// id-sorted spans, shortest-roundtrip float formatting.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("telemetry values are finite")
+    }
+
+    /// Serializes to indented JSON (the `--telemetry` report format).
+    pub fn to_json_string_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("telemetry values are finite")
+    }
+
+    /// Parses a snapshot back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotFormatError`] on malformed JSON, a wrong/missing
+    /// format tag, or any schema violation [`Snapshot::validate_value`]
+    /// would report.
+    pub fn from_json_str(text: &str) -> Result<Self, SnapshotFormatError> {
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| SnapshotFormatError::new(format!("bad JSON: {e}")))?;
+        Self::validate_value(&value)?;
+        let root = as_object(&value, "root")?;
+
+        let mut meta = BTreeMap::new();
+        for (k, v) in as_object(root.get("meta").expect("validated"), "meta")?.iter() {
+            meta.insert(k.to_string(), v.as_str().expect("validated").to_string());
+        }
+
+        let mut metrics = BTreeMap::new();
+        for entry in as_array(root.get("metrics").expect("validated"), "metrics")? {
+            let m = as_object(entry, "metric")?;
+            let key = MetricKey::owned(
+                str_field(m, "name")?.to_string(),
+                u64_field(m, "index")? as u32,
+            );
+            let metric = match str_field(m, "kind")? {
+                "counter" => Metric::Counter(u64_field(m, "value")?),
+                "sum" => Metric::Sum(f64_field(m, "value")?),
+                "gauge" => Metric::Gauge {
+                    value: u64_field(m, "value")?,
+                    high_water: u64_field(m, "high_water")?,
+                },
+                "histogram" => Metric::Histogram {
+                    bounds: u64_array(m, "bounds")?.into(),
+                    counts: u64_array(m, "counts")?,
+                    total: u64_field(m, "total")?,
+                },
+                other => {
+                    return Err(SnapshotFormatError::new(format!(
+                        "unknown metric kind `{other}`"
+                    )))
+                }
+            };
+            metrics.insert(key, metric);
+        }
+
+        let mut spans = Vec::new();
+        for entry in as_array(root.get("spans").expect("validated"), "spans")? {
+            let m = as_object(entry, "span")?;
+            let advised = match m.get("advised") {
+                Some(Value::Bool(b)) => Some(*b),
+                _ => None,
+            };
+            let exec = match m.get("exec") {
+                Some(Value::Object(x)) => Some(ExecSpan {
+                    start: u64_field(x, "start")?,
+                    end: u64_field(x, "end")?,
+                    group: u64_field(x, "group")? as u32,
+                }),
+                _ => None,
+            };
+            spans.push(JobSpan {
+                id: u64_field(m, "id")?,
+                kind: str_field(m, "kind")?.to_string(),
+                backend: str_field(m, "backend")?.to_string(),
+                queue_depth: u64_field(m, "queue_depth")? as u32,
+                advised,
+                est_ns: f64_field(m, "est_ns")?,
+                est_nj: f64_field(m, "est_nj")?,
+                actual_ns: f64_field(m, "actual_ns")?,
+                actual_nj: f64_field(m, "actual_nj")?,
+                commands: u64_field(m, "commands")?,
+                exec,
+            });
+        }
+
+        Ok(Snapshot {
+            meta,
+            metrics,
+            spans,
+        })
+    }
+
+    /// Validates serialized text against the `PIMTEL01` schema without
+    /// materializing a snapshot (what the CI validator runs).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotFormatError`] describing the first violation.
+    pub fn validate_json(text: &str) -> Result<(), SnapshotFormatError> {
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| SnapshotFormatError::new(format!("bad JSON: {e}")))?;
+        Self::validate_value(&value)
+    }
+
+    /// Schema check on a parsed JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotFormatError`] describing the first violation.
+    pub fn validate_value(value: &Value) -> Result<(), SnapshotFormatError> {
+        let root = as_object(value, "root")?;
+        match root.get("format") {
+            Some(Value::Str(tag)) if tag == FORMAT_TAG => {}
+            Some(Value::Str(tag)) => {
+                return Err(SnapshotFormatError::new(format!(
+                    "format tag `{tag}`, expected `{FORMAT_TAG}`"
+                )))
+            }
+            _ => return Err(SnapshotFormatError::new("missing `format` tag")),
+        }
+        let meta = root
+            .get("meta")
+            .ok_or_else(|| SnapshotFormatError::new("missing `meta`"))?;
+        for (k, v) in as_object(meta, "meta")?.iter() {
+            if v.as_str().is_none() {
+                return Err(SnapshotFormatError::new(format!(
+                    "meta `{k}` is not a string"
+                )));
+            }
+        }
+        let metrics = root
+            .get("metrics")
+            .ok_or_else(|| SnapshotFormatError::new("missing `metrics`"))?;
+        for entry in as_array(metrics, "metrics")? {
+            let m = as_object(entry, "metric")?;
+            let name = str_field(m, "name")?;
+            u64_field(m, "index")?;
+            match str_field(m, "kind")? {
+                "counter" => {
+                    u64_field(m, "value")?;
+                }
+                "sum" => {
+                    f64_field(m, "value")?;
+                }
+                "gauge" => {
+                    let v = u64_field(m, "value")?;
+                    let hw = u64_field(m, "high_water")?;
+                    if hw < v {
+                        return Err(SnapshotFormatError::new(format!(
+                            "gauge `{name}` high_water {hw} below value {v}"
+                        )));
+                    }
+                }
+                "histogram" => {
+                    let bounds = u64_array(m, "bounds")?;
+                    let counts = u64_array(m, "counts")?;
+                    if counts.len() != bounds.len() + 1 {
+                        return Err(SnapshotFormatError::new(format!(
+                            "histogram `{name}`: {} counts for {} bounds (want bounds+1)",
+                            counts.len(),
+                            bounds.len()
+                        )));
+                    }
+                    if bounds.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(SnapshotFormatError::new(format!(
+                            "histogram `{name}` bounds not strictly ascending"
+                        )));
+                    }
+                    u64_field(m, "total")?;
+                }
+                other => {
+                    return Err(SnapshotFormatError::new(format!(
+                        "metric `{name}` has unknown kind `{other}`"
+                    )))
+                }
+            }
+        }
+        let spans = root
+            .get("spans")
+            .ok_or_else(|| SnapshotFormatError::new("missing `spans`"))?;
+        let mut last_id = None;
+        for entry in as_array(spans, "spans")? {
+            let m = as_object(entry, "span")?;
+            let id = u64_field(m, "id")?;
+            if last_id.is_some_and(|prev| id < prev) {
+                return Err(SnapshotFormatError::new("spans not sorted by id"));
+            }
+            last_id = Some(id);
+            str_field(m, "kind")?;
+            str_field(m, "backend")?;
+            u64_field(m, "queue_depth")?;
+            match m.get("advised") {
+                Some(Value::Bool(_)) | Some(Value::Null) => {}
+                _ => {
+                    return Err(SnapshotFormatError::new(format!(
+                        "span {id}: `advised` must be bool or null"
+                    )))
+                }
+            }
+            for f in ["est_ns", "est_nj", "actual_ns", "actual_nj"] {
+                f64_field(m, f)?;
+            }
+            u64_field(m, "commands")?;
+            match m.get("exec") {
+                Some(Value::Null) | None => {}
+                Some(Value::Object(x)) => {
+                    let start = u64_field(x, "start")?;
+                    let end = u64_field(x, "end")?;
+                    if end < start {
+                        return Err(SnapshotFormatError::new(format!(
+                            "span {id}: exec window ends before it starts"
+                        )));
+                    }
+                    u64_field(x, "group")?;
+                }
+                _ => {
+                    return Err(SnapshotFormatError::new(format!(
+                        "span {id}: `exec` must be object or null"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the human-readable table: metrics aggregated per series
+    /// name, then a per-span table.
+    pub fn to_table_string(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry snapshot ({FORMAT_TAG})");
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "  {k} = {v}");
+        }
+
+        // Aggregate each series over its instance indices.
+        let mut rows: Vec<(String, &'static str, usize, String)> = Vec::new();
+        let mut iter = self.metrics.iter().peekable();
+        while let Some((key, first)) = iter.next() {
+            let name = key.name.to_string();
+            let mut instances = 1usize;
+            let mut agg = first.clone();
+            while let Some((k2, m2)) = iter.peek() {
+                if k2.name != key.name {
+                    break;
+                }
+                agg.merge(m2);
+                instances += 1;
+                iter.next();
+            }
+            let (kind, rendered) = match &agg {
+                Metric::Counter(c) => ("counter", format!("{c}")),
+                Metric::Sum(s) => ("sum", format!("{s:.6}")),
+                Metric::Gauge { value, high_water } => {
+                    ("gauge", format!("{value} (high {high_water})"))
+                }
+                Metric::Histogram { counts, total, .. } => {
+                    let n: u64 = counts.iter().sum();
+                    let mean = if n > 0 { *total as f64 / n as f64 } else { 0.0 };
+                    ("histogram", format!("n={n} mean={mean:.2}"))
+                }
+            };
+            rows.push((name, kind, instances, rendered));
+        }
+        let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4).max(4);
+        let _ = writeln!(
+            out,
+            "  {:<name_w$}  {:<9}  {:>4}  value",
+            "name", "kind", "inst"
+        );
+        for (name, kind, instances, rendered) in rows {
+            let _ = writeln!(
+                out,
+                "  {name:<name_w$}  {kind:<9}  {instances:>4}  {rendered}"
+            );
+        }
+
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "  spans ({}):", self.spans.len());
+            let _ = writeln!(
+                out,
+                "    {:>4}  {:<12} {:<10} {:>5} {:>12} {:>12} {:>10} {:>8}",
+                "id", "kind", "backend", "group", "est_ns", "actual_ns", "err_ns", "cmds"
+            );
+            for s in &self.spans {
+                let group = s.exec.map_or(1, |e| e.group);
+                let _ = writeln!(
+                    out,
+                    "    {:>4}  {:<12} {:<10} {:>5} {:>12.2} {:>12.2} {:>10.2} {:>8}",
+                    s.id,
+                    s.kind,
+                    s.backend,
+                    group,
+                    s.est_ns,
+                    s.actual_ns,
+                    s.time_error_ns(),
+                    s.commands
+                );
+            }
+        }
+        out
+    }
+}
+
+fn as_object<'a>(v: &'a Value, what: &str) -> Result<&'a Map, SnapshotFormatError> {
+    match v {
+        Value::Object(m) => Ok(m),
+        _ => Err(SnapshotFormatError::new(format!(
+            "`{what}` is not an object"
+        ))),
+    }
+}
+
+fn as_array<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], SnapshotFormatError> {
+    match v {
+        Value::Array(items) => Ok(items),
+        _ => Err(SnapshotFormatError::new(format!(
+            "`{what}` is not an array"
+        ))),
+    }
+}
+
+fn str_field<'a>(m: &'a Map, name: &str) -> Result<&'a str, SnapshotFormatError> {
+    m.get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| SnapshotFormatError::new(format!("missing string field `{name}`")))
+}
+
+fn f64_field(m: &Map, name: &str) -> Result<f64, SnapshotFormatError> {
+    m.get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| SnapshotFormatError::new(format!("missing number field `{name}`")))
+}
+
+fn u64_field(m: &Map, name: &str) -> Result<u64, SnapshotFormatError> {
+    m.get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| SnapshotFormatError::new(format!("missing integer field `{name}`")))
+}
+
+fn u64_array(m: &Map, name: &str) -> Result<Vec<u64>, SnapshotFormatError> {
+    let items = m
+        .get(name)
+        .and_then(|v| match v {
+            Value::Array(items) => Some(items),
+            _ => None,
+        })
+        .ok_or_else(|| SnapshotFormatError::new(format!("missing array field `{name}`")))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| SnapshotFormatError::new(format!("`{name}` holds a non-integer")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::POW2_BOUNDS;
+
+    fn sample_sink() -> TelemetrySink {
+        let mut s = TelemetrySink::new();
+        s.count("dram.cmd.act", 0, 12);
+        s.count("dram.cmd.act", 3, 7);
+        s.add("energy.dram-act", 0, 1.5e-3);
+        s.gauge("queue.depth", 0, 3);
+        s.observe("chunk", 0, POW2_BOUNDS, 5);
+        s.record_span(JobSpan {
+            id: 1,
+            kind: "bitwise".into(),
+            backend: "ambit".into(),
+            queue_depth: 2,
+            advised: Some(true),
+            est_ns: 10.0,
+            est_nj: 0.5,
+            actual_ns: 12.25,
+            actual_nj: 0.625,
+            commands: 96,
+            exec: Some(ExecSpan {
+                start: 4,
+                end: 100,
+                group: 4,
+            }),
+        });
+        s.record_span(JobSpan {
+            id: 0,
+            kind: "stream".into(),
+            backend: "cpu".into(),
+            queue_depth: 1,
+            advised: None,
+            est_ns: 5.0,
+            est_nj: 0.25,
+            actual_ns: 5.0,
+            actual_nj: 0.25,
+            commands: 0,
+            exec: None,
+        });
+        s
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact_and_deterministic() {
+        let snap = Snapshot::from_sink(sample_sink()).with_meta("experiment", "unit");
+        let text = snap.to_json_string();
+        assert_eq!(text, snap.to_json_string(), "export must be deterministic");
+        let back = Snapshot::from_json_str(&text).expect("roundtrip parses");
+        assert_eq!(back, snap);
+        // Spans got sorted by id at freeze time.
+        assert_eq!(snap.spans[0].id, 0);
+        assert_eq!(snap.spans[1].id, 1);
+        Snapshot::validate_json(&text).expect("valid against schema");
+        Snapshot::validate_json(&snap.to_json_string_pretty()).expect("pretty form also valid");
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let snap = Snapshot::from_sink(sample_sink());
+        let good = snap.to_json_string();
+        let bad_tag = good.replace(FORMAT_TAG, "PIMTEL99");
+        assert!(Snapshot::validate_json(&bad_tag).is_err());
+        let bad_kind = good.replace("\"counter\"", "\"kounter\"");
+        assert!(Snapshot::validate_json(&bad_kind).is_err());
+        assert!(Snapshot::validate_json("{}").is_err());
+        assert!(Snapshot::validate_json("not json").is_err());
+    }
+
+    #[test]
+    fn table_renders_all_series() {
+        let snap = Snapshot::from_sink(sample_sink()).with_meta("experiment", "unit");
+        let table = snap.to_table_string();
+        assert!(table.contains(FORMAT_TAG));
+        assert!(table.contains("dram.cmd.act"));
+        assert!(table.contains("queue.depth"));
+        assert!(table.contains("spans (2)"));
+    }
+}

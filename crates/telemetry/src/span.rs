@@ -1,0 +1,73 @@
+//! Cycle-domain job lifecycle spans.
+
+use crate::Cycle;
+
+/// The execute window of one job on its engine's simulated clock.
+///
+/// Recorded by backends that run on a cycle-accurate device (the Ambit
+/// backend); roofline backends have no cycle domain and leave it out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSpan {
+    /// Engine clock when this job's execution window opened.
+    pub start: Cycle,
+    /// Engine clock when this job's last command retired.
+    pub end: Cycle,
+    /// Number of jobs coalesced into the batch this job ran in (1 for
+    /// a solo run).
+    pub group: u32,
+}
+
+impl ExecSpan {
+    /// Window length in cycles.
+    pub fn cycles(&self) -> Cycle {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// The full lifecycle of one runtime job:
+/// `submit → queue → (coalesce) → execute → complete`.
+///
+/// Estimated cost sits next to measured cost so advisor prediction
+/// error is a first-class quantity: `actual_ns - est_ns` per job, no
+/// post-processing required.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpan {
+    /// Runtime job id (submission order).
+    pub id: u64,
+    /// Job kind label (`bitwise`, `row-copy`, `graph-batch`, …).
+    pub kind: String,
+    /// Backend the job ran on.
+    pub backend: String,
+    /// Queue depth of that backend right after this job was enqueued.
+    pub queue_depth: u32,
+    /// The advisor's offload verdict: `Some(true)` offloaded by
+    /// advice, `Some(false)` kept on host by advice, `None` for forced
+    /// or one-sided placement.
+    pub advised: Option<bool>,
+    /// Predicted nanoseconds at submit time.
+    pub est_ns: f64,
+    /// Predicted total energy (nJ) at submit time.
+    pub est_nj: f64,
+    /// Measured nanoseconds.
+    pub actual_ns: f64,
+    /// Measured total energy (nJ).
+    pub actual_nj: f64,
+    /// DRAM commands attributed to this job (0 where the backend has
+    /// no command-level device).
+    pub commands: u64,
+    /// The execute window on the engine clock, where one exists.
+    pub exec: Option<ExecSpan>,
+}
+
+impl JobSpan {
+    /// Signed time prediction error in nanoseconds
+    /// (`actual - estimate`).
+    pub fn time_error_ns(&self) -> f64 {
+        self.actual_ns - self.est_ns
+    }
+
+    /// Signed energy prediction error in nanojoules.
+    pub fn energy_error_nj(&self) -> f64 {
+        self.actual_nj - self.est_nj
+    }
+}

@@ -34,6 +34,7 @@ pub mod engine;
 pub mod host_baseline;
 pub mod partition;
 pub mod sim;
+pub mod telemetry;
 pub mod timing;
 pub mod trace;
 
