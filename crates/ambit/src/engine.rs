@@ -214,8 +214,9 @@ pub struct AmbitSystem {
     /// Reusable site-list buffer: every operation builds its command replay
     /// list here, so steady-state execution performs no per-op allocation.
     site_buf: Vec<SiteCmd>,
-    /// Reusable per-chunk dependency-time buffer for sequential replay.
-    chunk_time_buf: Vec<Cycle>,
+    /// Reusable replay buffers (per-chunk dependency times + batched-issue
+    /// arrays) for sequential replay; shards use stack-local scratch.
+    run_buf: RunScratch,
 }
 
 /// Rows a site perturbs when fault injection is on — at most the three
@@ -342,9 +343,31 @@ fn inject_tra_faults(
     injected
 }
 
+/// Reusable replay buffers: the per-chunk dependency-time table plus the
+/// command/dependency arrays handed to [`Device::issue_run`] and its
+/// completion-cycle output. Owned by the system (sequential replay) or
+/// stack-local per shard, so steady-state execution stays allocation-free.
+#[derive(Debug, Clone, Default)]
+struct RunScratch {
+    chunk_time: Vec<Cycle>,
+    cmds: Vec<Command>,
+    not_before: Vec<Cycle>,
+    done: Vec<Cycle>,
+}
+
 /// Replays `sites` on `device` in order, chaining each command onto its
 /// chunk's dependency time and injecting faults where tagged. Returns the
 /// cycle the last command finishes and the number of faults injected.
+///
+/// Maximal homogeneous runs — same command kind, strictly increasing chunk
+/// (so no chunk's dependency time is read and written within one run), no
+/// fault injection pending — are handed to [`Device::issue_run`], which
+/// batches the per-command bookkeeping. `AmbitSystem::execute` emits sites
+/// micro-op-major / chunk-minor, so in steady state every micro-op step
+/// becomes one batched run across all chunks. Commands still validate and
+/// apply strictly in order; data, timing, counts, traces, and telemetry
+/// are byte-identical to the per-command path (pinned by the equivalence
+/// tests), which stays available via [`Device::set_batch_runs`].
 fn run_sites(
     device: &mut Device,
     sites: &[SiteCmd],
@@ -352,22 +375,68 @@ fn run_sites(
     n_chunks: usize,
     rate: f64,
     fault_seed: u64,
-    chunk_time: &mut Vec<Cycle>,
+    scratch: &mut RunScratch,
 ) -> Result<(Cycle, u64)> {
+    let RunScratch {
+        chunk_time,
+        cmds,
+        not_before,
+        done,
+    } = scratch;
     chunk_time.clear();
     chunk_time.resize(n_chunks, start);
     let mut end = start;
     let mut faults = 0u64;
-    for s in sites {
-        let (_, outcome) = device.issue_earliest(s.cmd, chunk_time[s.chunk])?;
-        chunk_time[s.chunk] = outcome.done;
-        end = end.max(outcome.done);
-        if rate > 0.0 && !s.fault_rows.is_empty() {
-            let mut rng = fault_site_rng(fault_seed, s.site, s.chunk as u64);
-            for &r in s.fault_rows.as_slice() {
-                faults += inject_tra_faults(device, r, rate, &mut rng);
+    let batch = device.batch_runs_enabled();
+    let mut i = 0;
+    while i < sites.len() {
+        let head = sites[i];
+        let injecting = rate > 0.0 && !head.fault_rows.is_empty();
+        // Extend the run while it stays homogeneous and batchable.
+        let mut j = i + 1;
+        if batch && !injecting {
+            let kind = head.cmd.kind();
+            let mut last_chunk = head.chunk;
+            while j < sites.len() {
+                let s = &sites[j];
+                if s.cmd.kind() != kind
+                    || s.chunk <= last_chunk
+                    || (rate > 0.0 && !s.fault_rows.is_empty())
+                {
+                    break;
+                }
+                last_chunk = s.chunk;
+                j += 1;
             }
         }
+        if j - i >= 2 {
+            let run = &sites[i..j];
+            cmds.clear();
+            not_before.clear();
+            for s in run {
+                cmds.push(s.cmd);
+                not_before.push(chunk_time[s.chunk]);
+            }
+            let res = device.issue_run(cmds, not_before, done);
+            // `done` covers the applied prefix even on error; fold it back
+            // before propagating so partial progress stays observable.
+            for (s, &d) in run.iter().zip(done.iter()) {
+                chunk_time[s.chunk] = d;
+                end = end.max(d);
+            }
+            res?;
+        } else {
+            let (_, outcome) = device.issue_earliest(head.cmd, chunk_time[head.chunk])?;
+            chunk_time[head.chunk] = outcome.done;
+            end = end.max(outcome.done);
+            if injecting {
+                let mut rng = fault_site_rng(fault_seed, head.site, head.chunk as u64);
+                for &r in head.fault_rows.as_slice() {
+                    faults += inject_tra_faults(device, r, rate, &mut rng);
+                }
+            }
+        }
+        i = j;
     }
     Ok((end, faults))
 }
@@ -391,7 +460,7 @@ impl AmbitSystem {
             fault_epoch: 0,
             faults_injected: 0,
             site_buf: Vec::new(),
-            chunk_time_buf: Vec::new(),
+            run_buf: RunScratch::default(),
         };
         sys.init_control_rows();
         sys
@@ -426,7 +495,7 @@ impl AmbitSystem {
         if let Some(end) = self.run_banked_parallel(sites, start, n_chunks)? {
             return Ok(end);
         }
-        let mut chunk_time = std::mem::take(&mut self.chunk_time_buf);
+        let mut scratch = std::mem::take(&mut self.run_buf);
         let res = run_sites(
             &mut self.device,
             sites,
@@ -434,9 +503,9 @@ impl AmbitSystem {
             n_chunks,
             self.tra_failure_rate,
             self.fault_seed,
-            &mut chunk_time,
+            &mut scratch,
         );
-        self.chunk_time_buf = chunk_time;
+        self.run_buf = scratch;
         let (end, faults) = res?;
         self.faults_injected += faults;
         Ok(end)
@@ -486,31 +555,24 @@ impl AmbitSystem {
         let results: Vec<Result<ShardRun>> = work
             .into_par_iter()
             .map(|(mut dev, group)| {
-                let mut chunk_time = Vec::new();
-                let (end, faults) = run_sites(
-                    &mut dev,
-                    &group,
-                    start,
-                    n_chunks,
-                    rate,
-                    seed,
-                    &mut chunk_time,
-                )?;
-                Ok((dev, end, faults, chunk_time))
+                let mut scratch = RunScratch::default();
+                let (end, faults) =
+                    run_sites(&mut dev, &group, start, n_chunks, rate, seed, &mut scratch)?;
+                Ok((dev, end, faults, scratch.chunk_time))
             })
             .collect();
         // Merge the shards' per-chunk completion times (each chunk's
         // commands live in exactly one bank, so max == the one real entry)
         // so `last_chunk_ends` is path-independent.
-        self.chunk_time_buf.clear();
-        self.chunk_time_buf.resize(n_chunks, start);
+        self.run_buf.chunk_time.clear();
+        self.run_buf.chunk_time.resize(n_chunks, start);
         let mut end = start;
         for (b, res) in banks.into_iter().zip(results) {
             let (shard, e, faults, chunk_time) = res?;
             self.device.join_bank(b, shard)?;
             end = end.max(e);
             self.faults_injected += faults;
-            for (merged, t) in self.chunk_time_buf.iter_mut().zip(chunk_time) {
+            for (merged, t) in self.run_buf.chunk_time.iter_mut().zip(chunk_time) {
                 *merged = (*merged).max(t);
             }
         }
@@ -579,7 +641,7 @@ impl AmbitSystem {
     /// coalesced dispatch as if it had run alone. Not updated by the
     /// analytic copy paths (`copy_psm` / `copy_lisa`).
     pub fn last_chunk_ends(&self) -> &[Cycle] {
-        &self.chunk_time_buf
+        &self.run_buf.chunk_time
     }
 
     /// Prices a command-count delta with this system's energy model — the
@@ -598,6 +660,25 @@ impl AmbitSystem {
     /// comparing; `pim-check`'s `Trace::capture` does this).
     pub fn set_trace(&mut self, enabled: bool) {
         self.device.set_trace(enabled);
+    }
+
+    /// Enables or disables the batched-run issue fast path (on by
+    /// default); per-command issue remains available for byte-for-byte
+    /// equivalence checks.
+    pub fn set_batch_issue(&mut self, enabled: bool) {
+        self.device.set_batch_runs(enabled);
+    }
+
+    /// `true` if the batched-run issue path is enabled.
+    pub fn batch_issue_enabled(&self) -> bool {
+        self.device.batch_runs_enabled()
+    }
+
+    /// Commands issued through the batched-run fast path so far — the
+    /// runtime's coalescing tests assert this advances when coalesced
+    /// jobs execute.
+    pub fn batched_commands(&self) -> u64 {
+        self.device.batched_commands()
     }
 
     /// Takes the captured command trace (empty when capture is disabled).

@@ -9,7 +9,7 @@
 //! `results/BENCH_datapath.json`, which E-series tooling and CI pick up.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
-use pim_dram::{DataStore, RowId};
+use pim_dram::{Command, DataStore, Device, DramSpec, RowId};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -17,6 +17,21 @@ use std::time::{Duration, Instant};
 const ROW_BYTES: u64 = 8192;
 const ROW_WORDS: usize = ROW_BYTES as usize / 8;
 const BANK_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// Per-op regression bands against the seed store: the compute ops must
+/// hold the paper-level raw-speed win; the memset/memcpy-bound stores
+/// (fill, aap) are physically capped near slice-primitive speed, so the
+/// band there is "never regress below the seed".
+fn speedup_target(op: &str) -> f64 {
+    match op {
+        "tra" | "bulk_and" => 5.0,
+        _ => 1.0,
+    }
+}
+
+/// Overall raw-speed bar: geometric-mean speedup across every (op, bank
+/// count) cell.
+const GEOMEAN_TARGET: f64 = 5.0;
 
 // ---------------------------------------------------------------------------
 // Seed baseline: verbatim port of the pre-arena DataStore (commit fa5c9f7) —
@@ -249,7 +264,61 @@ fn bench_datapath(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_datapath);
+// ---------------------------------------------------------------------------
+// Telemetry zero-overhead gate: the device's command-issue hot loop with
+// the telemetry sink disabled must run at least as fast as with it
+// enabled — disabling the sink recovers the full capture cost, so the
+// plumbing is pay-for-use.
+// ---------------------------------------------------------------------------
+
+/// A cross-bank AAP run (the engine's steady-state shape). AAP leaves the
+/// bank precharged, so the same run stays legal indefinitely.
+fn telemetry_gate_run(banks: u32) -> (Vec<Command>, Vec<u64>) {
+    let cmds: Vec<Command> = (0..banks)
+        .map(|bank| Command::Aap {
+            src: RowId::new(0, 0, bank, 0),
+            dst: RowId::new(0, 0, bank, 1),
+            invert: false,
+        })
+        .collect();
+    let not_before = vec![0u64; cmds.len()];
+    (cmds, not_before)
+}
+
+fn telemetry_gate_device(telemetry: bool) -> Device {
+    let mut dev = Device::new(DramSpec::ddr3_1600());
+    dev.set_telemetry(telemetry);
+    let pattern: Vec<u64> = (0..ROW_WORDS)
+        .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    for bank in 0..dev.spec().org.banks {
+        dev.store_mut().write_row(rid(bank, 0), &pattern);
+    }
+    dev
+}
+
+fn bench_telemetry_gate(c: &mut Criterion) {
+    let banks = DramSpec::ddr3_1600().org.banks;
+    let (cmds, not_before) = telemetry_gate_run(banks);
+    let mut group = c.benchmark_group("telemetry_gate");
+    group.throughput(Throughput::Elements(cmds.len() as u64));
+    for (label, telemetry) in [
+        ("issue_run_telemetry_off", false),
+        ("issue_run_telemetry_on", true),
+    ] {
+        group.bench_function(label, |b| {
+            let mut dev = telemetry_gate_device(telemetry);
+            let mut done = Vec::new();
+            b.iter(|| {
+                dev.issue_run(&cmds, &not_before, &mut done)
+                    .expect("legal run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datapath, bench_telemetry_gate);
 
 // ---------------------------------------------------------------------------
 // JSON emission (machine-readable words/s, used by EXPERIMENTS.md and CI).
@@ -323,8 +392,75 @@ impl<S: Datapath> DatapathDyn for S {
     }
 }
 
-fn write_json(records: &[OpRecord]) {
+/// Worst-case (minimum) speedup of `op` over every bank count, with its
+/// band and verdict.
+struct OpVerdict {
+    op: &'static str,
+    target: f64,
+    min_speedup: f64,
+    meets: bool,
+}
+
+fn per_op_verdicts(records: &[OpRecord]) -> Vec<OpVerdict> {
+    let mut verdicts: Vec<OpVerdict> = Vec::new();
+    for r in records {
+        let speedup = r.arena / r.seed;
+        match verdicts.iter_mut().find(|v| v.op == r.op) {
+            Some(v) => v.min_speedup = v.min_speedup.min(speedup),
+            None => verdicts.push(OpVerdict {
+                op: r.op,
+                target: speedup_target(r.op),
+                min_speedup: speedup,
+                meets: true,
+            }),
+        }
+    }
+    for v in &mut verdicts {
+        v.meets = v.min_speedup >= v.target;
+    }
+    verdicts
+}
+
+fn geomean_speedup(records: &[OpRecord]) -> f64 {
+    let ln_sum: f64 = records.iter().map(|r| (r.arena / r.seed).ln()).sum();
+    (ln_sum / records.len() as f64).exp()
+}
+
+/// Wall-clock telemetry-overhead probe: batched issue loop with the sink
+/// disabled vs enabled, in commands/s.
+struct TelemetryGate {
+    off_cmds_per_sec: f64,
+    on_cmds_per_sec: f64,
+}
+
+impl TelemetryGate {
+    /// Disabling the sink must recover the full capture cost: off-rate at
+    /// least matches on-rate, modulo 5% wall-clock noise.
+    fn meets(&self) -> bool {
+        self.off_cmds_per_sec >= self.on_cmds_per_sec * 0.95
+    }
+}
+
+fn measure_telemetry_gate() -> TelemetryGate {
+    let banks = DramSpec::ddr3_1600().org.banks;
+    let (cmds, not_before) = telemetry_gate_run(banks);
+    let rate = |telemetry: bool| {
+        let mut dev = telemetry_gate_device(telemetry);
+        let mut done = Vec::new();
+        words_per_sec(cmds.len() as u64, || {
+            dev.issue_run(&cmds, &not_before, &mut done)
+                .expect("legal run");
+        })
+    };
+    TelemetryGate {
+        off_cmds_per_sec: rate(false),
+        on_cmds_per_sec: rate(true),
+    }
+}
+
+fn write_json(records: &[OpRecord], verdicts: &[OpVerdict], geomean: f64, tel: &TelemetryGate) {
     let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let all_meet = verdicts.iter().all(|v| v.meets);
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"datapath\",\n");
     out.push_str(&format!("  \"row_words\": {ROW_WORDS},\n"));
@@ -344,14 +480,27 @@ fn write_json(records: &[OpRecord]) {
         ));
     }
     out.push_str("  ],\n");
-    let gate = records
-        .iter()
-        .find(|r| r.op == "bulk_and" && r.banks == 8)
-        .expect("8-bank bulk AND record");
+    out.push_str("  \"per_op\": [\n");
+    for (i, v) in verdicts.iter().enumerate() {
+        let sep = if i + 1 == verdicts.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"target\": {:.1}, \"min_speedup\": {:.2}, \
+             \"meets_target\": {}}}{}\n",
+            v.op, v.target, v.min_speedup, v.meets, sep
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"bulk_and_8bank_speedup\": {:.2},\n  \"meets_5x_target\": {}\n}}\n",
-        gate.arena / gate.seed,
-        gate.arena / gate.seed >= 5.0
+        "  \"telemetry_gate\": {{\"off_cmds_per_sec\": {:.0}, \
+         \"on_cmds_per_sec\": {:.0}, \"disabled_recovers_cost\": {}}},\n",
+        tel.off_cmds_per_sec,
+        tel.on_cmds_per_sec,
+        tel.meets()
+    ));
+    out.push_str(&format!(
+        "  \"geomean_speedup\": {:.2},\n  \"meets_5x_target\": {}\n}}\n",
+        geomean,
+        all_meet && geomean >= GEOMEAN_TARGET
     ));
     std::fs::create_dir_all(results_dir).expect("results dir");
     let path = format!("{results_dir}/BENCH_datapath.json");
@@ -384,5 +533,53 @@ fn main() {
             r.arena / r.seed
         );
     }
-    write_json(&records);
+
+    let verdicts = per_op_verdicts(&records);
+    let geomean = geomean_speedup(&records);
+    let tel = measure_telemetry_gate();
+    for v in &verdicts {
+        println!(
+            "datapath/{:<8} min speedup {:>6.2}x  (target {:.1}x)  {}",
+            v.op,
+            v.min_speedup,
+            v.target,
+            if v.meets { "ok" } else { "REGRESSED" }
+        );
+    }
+    println!(
+        "datapath geomean {:>6.2}x (target {GEOMEAN_TARGET:.1}x); telemetry off {:>10.3e} cmd/s vs on {:>10.3e} cmd/s ({})",
+        geomean,
+        tel.off_cmds_per_sec,
+        tel.on_cmds_per_sec,
+        if tel.meets() { "ok" } else { "OVERHEAD" }
+    );
+    write_json(&records, &verdicts, geomean, &tel);
+
+    // Regression gate: any op below its band, a sub-target geomean, or
+    // telemetry overhead with the sink disabled fails the bench run.
+    let mut failures: Vec<String> = verdicts
+        .iter()
+        .filter(|v| !v.meets)
+        .map(|v| {
+            format!(
+                "{} at {:.2}x (target {:.1}x)",
+                v.op, v.min_speedup, v.target
+            )
+        })
+        .collect();
+    if geomean < GEOMEAN_TARGET {
+        failures.push(format!(
+            "geomean {geomean:.2}x (target {GEOMEAN_TARGET:.1}x)"
+        ));
+    }
+    if !tel.meets() {
+        failures.push(format!(
+            "disabled telemetry costs throughput ({:.3e} vs {:.3e} cmd/s)",
+            tel.off_cmds_per_sec, tel.on_cmds_per_sec
+        ));
+    }
+    if !failures.is_empty() {
+        eprintln!("datapath regression gate FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
 }

@@ -318,6 +318,12 @@ impl CommandCounts {
         self.counts[kind.index()] += 1;
     }
 
+    /// Records `n` issues of `kind` at once — the batched-run issue path's
+    /// single bookkeeping touch for a homogeneous command run.
+    pub fn record_n(&mut self, kind: CommandKind, n: u64) {
+        self.counts[kind.index()] += n;
+    }
+
     /// Number of issues of `kind`.
     pub fn count(&self, kind: CommandKind) -> u64 {
         self.counts[kind.index()]

@@ -99,6 +99,14 @@ pub struct Device {
     /// Optional telemetry capture (per-bank command counters); same
     /// zero-cost-when-disabled discipline as `sink`.
     telemetry: Option<TelemetrySink>,
+    /// `true` (the default) lets callers use the [`Device::issue_run`]
+    /// batched path; turning it off forces per-command issue everywhere —
+    /// the equivalence tests' lever.
+    batch_runs: bool,
+    /// Commands issued through [`Device::issue_run`] since construction
+    /// (merged back on [`Device::join_bank`]); proves the fast path
+    /// actually engaged.
+    batched_commands: u64,
 }
 
 impl Device {
@@ -121,6 +129,8 @@ impl Device {
             counts: CommandCounts::new(),
             sink: None,
             telemetry: None,
+            batch_runs: true,
+            batched_commands: 0,
         };
         if dev.spec.pim.salp {
             let subarrays = dev.spec.org.subarrays;
@@ -216,6 +226,23 @@ impl Device {
     /// while capture is disabled.
     pub fn telemetry_mut(&mut self) -> Option<&mut TelemetrySink> {
         self.telemetry.as_mut()
+    }
+
+    /// Enables or disables the batched-run issue path ([`Device::issue_run`]).
+    /// On by default; callers that must compare batched and per-command
+    /// execution byte-for-byte turn it off.
+    pub fn set_batch_runs(&mut self, enabled: bool) {
+        self.batch_runs = enabled;
+    }
+
+    /// `true` if the batched-run issue path is enabled.
+    pub fn batch_runs_enabled(&self) -> bool {
+        self.batch_runs
+    }
+
+    /// Commands issued through the batched-run fast path so far.
+    pub fn batched_commands(&self) -> u64 {
+        self.batched_commands
     }
 
     /// Flat telemetry instance index of `bank`:
@@ -499,29 +526,40 @@ impl Device {
     /// cycle already known to be legal. Infallible by construction — this
     /// is what lets [`Device::issue_earliest`] validate exactly once.
     fn apply(&mut self, cmd: Command, at: Cycle) -> IssueOutcome {
-        let t = self.spec.timing;
-        let pim = self.spec.pim;
-        let burst = t.burst_cycles();
         self.counts.record(cmd.kind());
         if let Some(sink) = &mut self.sink {
             sink.push(at, cmd);
         }
         if self.telemetry.is_some() {
-            // Per-bank counter for bank-scoped commands; rank-scoped
-            // REF/PREA index by flat rank instead (distinct series
-            // names, so the index spaces never mix).
-            let index = match cmd.bank() {
-                Some(b) => self.flat_bank_index(b),
-                None => {
-                    let (channel, rank) = cmd.rank();
-                    channel * self.spec.org.ranks + rank
-                }
-            };
+            let index = self.telemetry_index(&cmd);
             let series = cmd.kind().telemetry_series();
             if let Some(tel) = &mut self.telemetry {
                 tel.count(series, index, 1);
             }
         }
+        self.apply_state(cmd, at)
+    }
+
+    /// Telemetry instance index for `cmd`: per-bank counter for
+    /// bank-scoped commands; rank-scoped REF/PREA index by flat rank
+    /// instead (distinct series names, so the index spaces never mix).
+    fn telemetry_index(&self, cmd: &Command) -> u32 {
+        match cmd.bank() {
+            Some(b) => self.flat_bank_index(b),
+            None => {
+                let (channel, rank) = cmd.rank();
+                channel * self.spec.org.ranks + rank
+            }
+        }
+    }
+
+    /// The state-transition half of [`Device::apply`]: timing chains and
+    /// functional data, no bookkeeping. [`Device::issue_run`] calls this
+    /// per command and batches counts/telemetry once per run.
+    fn apply_state(&mut self, cmd: Command, at: Cycle) -> IssueOutcome {
+        let t = self.spec.timing;
+        let pim = self.spec.pim;
+        let burst = t.burst_cycles();
         match cmd {
             Command::Act(row) => {
                 self.bank_mut(row.bank_id())
@@ -739,6 +777,98 @@ impl Device {
         Ok((at, self.apply(cmd, at)))
     }
 
+    /// Batch-issues a homogeneous run of commands — same [`CommandKind`],
+    /// each at the earliest legal cycle `>= not_before[i]` — and pushes each
+    /// command's completion cycle onto `done` (cleared first). Returns the
+    /// cycle the last command in the run finishes.
+    ///
+    /// Commands are validated and applied strictly in order, so the timing
+    /// chains, functional data, and captured trace are byte-identical to
+    /// issuing the run through [`Device::issue_earliest`] one command at a
+    /// time. What the batch saves is per-command bookkeeping churn: command
+    /// counts are recorded once per run ([`CommandCounts::record_n`]) and
+    /// per-bank telemetry counters are accumulated locally and flushed once
+    /// per distinct bank, in first-appearance order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Device::earliest`]. On a mid-run error the commands before
+    /// the failing one stay applied — exactly as if they had been issued
+    /// individually — and `done` holds their completion cycles, so counts,
+    /// trace, and telemetry still agree with the per-command path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmds` and `not_before` have different lengths; the run
+    /// must be kind-homogeneous (checked in debug builds).
+    pub fn issue_run(
+        &mut self,
+        cmds: &[Command],
+        not_before: &[Cycle],
+        done: &mut Vec<Cycle>,
+    ) -> Result<Cycle> {
+        assert_eq!(
+            cmds.len(),
+            not_before.len(),
+            "one dependency cycle per command"
+        );
+        done.clear();
+        let Some(first) = cmds.first() else {
+            return Ok(0);
+        };
+        let kind = first.kind();
+        debug_assert!(
+            cmds.iter().all(|c| c.kind() == kind),
+            "issue_run requires a kind-homogeneous run"
+        );
+        let trace_on = self.sink.is_some();
+        let tel_on = self.telemetry.is_some();
+        // Local per-bank accumulator; only allocates when telemetry is
+        // capturing (a mode that records into a sink anyway).
+        let mut tel_counts: Vec<(u32, u64)> = Vec::new();
+        let mut end = 0;
+        let mut err = None;
+        for (cmd, &nb) in cmds.iter().zip(not_before) {
+            let at = match self.earliest(cmd) {
+                Ok(e) => e.max(nb),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            };
+            if trace_on {
+                if let Some(sink) = &mut self.sink {
+                    sink.push(at, *cmd);
+                }
+            }
+            if tel_on {
+                let index = self.telemetry_index(cmd);
+                match tel_counts.iter_mut().find(|(i, _)| *i == index) {
+                    Some(entry) => entry.1 += 1,
+                    None => tel_counts.push((index, 1)),
+                }
+            }
+            let outcome = self.apply_state(*cmd, at);
+            done.push(outcome.done);
+            end = end.max(outcome.done);
+        }
+        // One bookkeeping touch for exactly the applied prefix.
+        self.counts.record_n(kind, done.len() as u64);
+        self.batched_commands += done.len() as u64;
+        if tel_on {
+            let series = kind.telemetry_series();
+            if let Some(tel) = &mut self.telemetry {
+                for (index, n) in tel_counts {
+                    tel.count(series, index, n);
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(end),
+        }
+    }
+
     fn rank_mut(&mut self, channel: u32, rank: u32) -> &mut RankTiming {
         &mut self.channels[channel as usize].ranks[rank as usize]
     }
@@ -775,6 +905,8 @@ impl Device {
             // the parent is recording; join_bank merges them back.
             sink: self.sink.as_ref().map(|_| TraceSink::new()),
             telemetry: self.telemetry.as_ref().map(|_| TelemetrySink::new()),
+            batch_runs: self.batch_runs,
+            batched_commands: 0,
         })
     }
 
@@ -792,6 +924,7 @@ impl Device {
             self.store.insert_bank(arena);
         }
         self.counts.merge(&shard.counts);
+        self.batched_commands += shard.batched_commands;
         if let (Some(mine), Some(theirs)) = (&mut self.sink, shard.sink.take()) {
             mine.absorb(theirs);
         }

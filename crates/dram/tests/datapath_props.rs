@@ -181,6 +181,84 @@ proptest! {
         }
     }
 
+    /// The one-pass allocate-and-fill path: a nonzero fill of an
+    /// unmaterialized row allocates exactly that row and leaves it
+    /// holding the splatted word — for byte-splat words (which take the
+    /// `write_bytes` fast path) and arbitrary words alike.
+    #[test]
+    fn fill_materializes_fresh_rows_in_one_pass(
+        word in prop_oneof![
+            Just(u64::MAX),
+            any::<u8>().prop_map(|b| u64::from_ne_bytes([b.max(1); 8])),
+            any::<u64>().prop_map(|w| w | 1),
+        ],
+        row in 0..ROWS,
+    ) {
+        let mut store = DataStore::new((ROW_WORDS * 8) as u64);
+        let id = RowId::new(0, 0, 0, row);
+        store.fill_row(id, word);
+        prop_assert_eq!(store.allocated_rows(), 1, "exactly the filled row allocates");
+        for i in 0..ROW_WORDS {
+            prop_assert_eq!(store.read_word(id, i), word);
+        }
+        // Refilling (materialized path) neither reallocates nor drifts.
+        store.fill_row(id, word ^ 1);
+        prop_assert_eq!(store.allocated_rows(), 1);
+        prop_assert_eq!(store.read_word(id, 0), word ^ 1);
+    }
+
+    /// Copying from an unmaterialized source zeroes the destination *in
+    /// place*: an existing destination keeps its allocation (now zeroed),
+    /// and a never-written destination stays unmaterialized — no
+    /// zero-then-write double pass, no phantom source allocation.
+    #[test]
+    fn copy_from_unmaterialized_source_zeroes_in_place(
+        seed in any::<u64>().prop_map(|w| w | 1),
+        cross_bank in any::<bool>(),
+    ) {
+        let mut store = DataStore::new((ROW_WORDS * 8) as u64);
+        let src = RowId::new(0, 0, 0, 0);
+        let dst_bank = if cross_bank { 1 } else { 0 };
+        let existing = RowId::new(0, 0, dst_bank, 1);
+        let fresh = RowId::new(0, 0, dst_bank, 2);
+        store.fill_row(existing, seed);
+        prop_assert_eq!(store.allocated_rows(), 1);
+
+        store.copy_row(src, existing);
+        prop_assert_eq!(store.allocated_rows(), 1, "src must not materialize");
+        for i in 0..ROW_WORDS {
+            prop_assert_eq!(store.read_word(existing, i), 0, "existing dst zeroed");
+        }
+        store.copy_row(src, fresh);
+        prop_assert_eq!(store.allocated_rows(), 1, "zero copy stays lazy");
+        prop_assert_eq!(store.read_word(fresh, 0), 0);
+    }
+
+    /// Copying a materialized source into a fresh destination allocates
+    /// exactly the destination, in the same bank (the
+    /// `extend_from_within` path) and across banks (`extend_from_slice`),
+    /// and the aliased copy `copy_row(r, r)` is an exact no-op.
+    #[test]
+    fn fresh_destination_copies_allocate_once_and_alias_is_noop(
+        data in prop::collection::vec(any::<u64>(), ROW_WORDS..ROW_WORDS + 1),
+        cross_bank in any::<bool>(),
+    ) {
+        let mut store = DataStore::new((ROW_WORDS * 8) as u64);
+        let src = RowId::new(0, 0, 0, 0);
+        let dst = RowId::new(0, 0, u32::from(cross_bank), 3);
+        store.write_row(src, &data);
+        prop_assert_eq!(store.allocated_rows(), 1);
+
+        store.copy_row(src, dst);
+        prop_assert_eq!(store.allocated_rows(), 2, "exactly the dst allocates");
+        prop_assert_eq!(store.read_row(dst), data.clone());
+        prop_assert_eq!(store.read_row(src), data.clone(), "src unchanged");
+
+        store.copy_row(src, src);
+        prop_assert_eq!(store.allocated_rows(), 2, "aliased copy allocates nothing");
+        prop_assert_eq!(store.read_row(src), data);
+    }
+
     /// The multi-row borrows return slices that really view the same
     /// storage `read_word` sees, in every operand order.
     #[test]

@@ -95,6 +95,11 @@ impl AmbitBackend {
         &self.sys
     }
 
+    /// Mutable engine access (e.g. toggling the batched-run fast path).
+    pub fn system_mut(&mut self) -> &mut AmbitSystem {
+        &mut self.sys
+    }
+
     fn engine_err(&self, e: AmbitError) -> RuntimeError {
         RuntimeError::Engine {
             backend: self.name.clone(),
@@ -151,10 +156,15 @@ impl AmbitBackend {
 
         let start = self.sys.clock();
         let counts_before = *self.sys.counts();
+        let batched_before = self.sys.batched_commands();
         self.sys
             .execute(op, &a_vec, b_vec.as_ref(), &out_vec)
             .map_err(|e| self.engine_err(e))?;
         let delta = self.sys.counts().since(&counts_before);
+        debug_assert!(
+            !self.sys.batch_issue_enabled() || self.sys.batched_commands() >= batched_before,
+            "batched-command counter is monotonic"
+        );
         let ends: Vec<_> = self.sys.last_chunk_ends().to_vec();
         let out_cat = self.sys.read(&out_vec);
 
@@ -168,6 +178,11 @@ impl AmbitBackend {
             tel.count("coalesce.groups", 0, 1);
             tel.observe("coalesce.batch_jobs", 0, POW2_BOUNDS, members.len() as u64);
             tel.observe("coalesce.batch_chunks", 0, POW2_BOUNDS, total_chunks as u64);
+            // Note: commands issued through the device's batched-run fast
+            // path are tracked by `AmbitSystem::batched_commands`, not as a
+            // telemetry series — batching granularity depends on how sites
+            // are sharded across worker threads, so a series would break
+            // snapshot thread-invariance.
         }
         let telemetry_on = self.sys.telemetry_enabled();
 
@@ -191,9 +206,7 @@ impl AmbitBackend {
             let mut commands = CommandCounts::new();
             for (kind, n) in delta.iter() {
                 debug_assert_eq!(n % total_chunks as u64, 0, "homogeneous per-chunk commands");
-                for _ in 0..(n / total_chunks as u64) * chunks as u64 {
-                    commands.record(kind);
-                }
+                commands.record_n(kind, (n / total_chunks as u64) * chunks as u64);
             }
             if telemetry_on {
                 self.exec_spans.push((
