@@ -11,7 +11,7 @@
 use crate::error::{AmbitError, Result};
 use crate::program::{program_for, Loc, MicroOp};
 use crate::rows::{SpecialRow, SubarrayLayout};
-use pim_dram::{BankId, Command, CommandCounts, Cycle, Device, DramSpec, RowId};
+use pim_dram::{BankId, Command, CommandCounts, Cycle, Device, DramAddr, DramSpec, RowId};
 use pim_energy::{DramEnergyModel, EnergyBreakdown};
 use pim_workloads::{BitVec, BitwisePlan, BulkOp, PlanStep, Reg};
 use std::fmt;
@@ -165,6 +165,27 @@ impl fmt::Display for ExecReport {
     }
 }
 
+/// How the engine shards a site list on the parallel path.
+///
+/// The default two-level mode is the fastest and the other two exist as
+/// explicit comparison points: the determinism suites pin all three modes
+/// byte-identical, and the scaling benches ablate one-level against
+/// two-level parallel efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// Two-level channel → bank fork (the default): one channel shard per
+    /// touched channel, banks forked from the channel shard under a nested
+    /// rayon scope.
+    #[default]
+    ChannelBank,
+    /// One-level bank fork off the parent device regardless of how many
+    /// channels the sites touch — the pre-channel-domain behavior.
+    BankOnly,
+    /// Sequential replay on the main device even when worker threads are
+    /// available.
+    Sequential,
+}
+
 /// Per-(bank, subarray) allocation cursor with a free list of reclaimed
 /// data rows.
 #[derive(Debug, Clone, Default)]
@@ -217,6 +238,9 @@ pub struct AmbitSystem {
     /// Reusable replay buffers (per-chunk dependency times + batched-issue
     /// arrays) for sequential replay; shards use stack-local scratch.
     run_buf: RunScratch,
+    /// Sharding strategy for the parallel path (default two-level
+    /// channel → bank).
+    shard_mode: ShardMode,
 }
 
 /// Rows a site perturbs when fault injection is on — at most the three
@@ -441,6 +465,55 @@ fn run_sites(
     Ok((end, faults))
 }
 
+/// A bank's replay worklist: the sites that touch it, in program order.
+#[cfg(feature = "parallel")]
+type BankGroups = Vec<(BankId, Vec<SiteCmd>)>;
+
+/// Forks one shard per `(bank, sites)` pair off `parent` (the whole
+/// device, or a channel shard on the two-level path), replays each group
+/// under a rayon scope, and joins shards back in first-appearance bank
+/// order. Returns the last completion cycle, faults injected, and the
+/// max-merged per-chunk completion times.
+#[cfg(feature = "parallel")]
+fn run_bank_groups(
+    parent: &mut Device,
+    pairs: BankGroups,
+    start: Cycle,
+    n_chunks: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<(Cycle, u64, Vec<Cycle>)> {
+    let mut work = Vec::with_capacity(pairs.len());
+    for (b, group) in pairs {
+        work.push((b, parent.fork_bank(b)?, group));
+    }
+    use rayon::prelude::*;
+    // Per-shard outcome: (device shard, end cycle, faults, chunk ends).
+    type ShardRun = (Device, Cycle, u64, Vec<Cycle>);
+    let results: Vec<(BankId, Result<ShardRun>)> = work
+        .into_par_iter()
+        .map(|(b, mut dev, group)| {
+            let mut scratch = RunScratch::default();
+            let res = run_sites(&mut dev, &group, start, n_chunks, rate, seed, &mut scratch)
+                .map(|(end, faults)| (dev, end, faults, scratch.chunk_time));
+            (b, res)
+        })
+        .collect();
+    let mut chunk_time = vec![start; n_chunks];
+    let mut end = start;
+    let mut faults = 0u64;
+    for (b, res) in results {
+        let (shard, e, f, ct) = res?;
+        parent.join_bank(b, shard)?;
+        end = end.max(e);
+        faults += f;
+        for (merged, t) in chunk_time.iter_mut().zip(ct) {
+            *merged = (*merged).max(t);
+        }
+    }
+    Ok((end, faults, chunk_time))
+}
+
 impl AmbitSystem {
     /// Creates an engine over a fresh device; control rows (`C0`/`C1`) are
     /// initialized in every subarray.
@@ -461,6 +534,7 @@ impl AmbitSystem {
             faults_injected: 0,
             site_buf: Vec::new(),
             run_buf: RunScratch::default(),
+            shard_mode: ShardMode::default(),
         };
         sys.init_control_rows();
         sys
@@ -511,12 +585,22 @@ impl AmbitSystem {
         Ok(end)
     }
 
-    /// Bank-sharded execution; returns `None` when parallelism cannot help:
-    /// a single worker thread, a non-exempt timing model (PIM ops couple
-    /// banks through rank tRRD/tFAW state), or all sites landing in one
-    /// bank. `sites` is only read — `SiteCmd` is `Copy`, so partitioning
-    /// copies sites into per-bank groups without disturbing the caller's
-    /// reusable buffer.
+    /// Sharded execution, two levels deep — channel-major, bank-minor.
+    /// Returns `None` when parallelism cannot help: a single worker
+    /// thread, a non-exempt timing model (PIM ops couple banks through
+    /// rank tRRD/tFAW state), or all sites landing in one bank. `sites` is
+    /// only read — `SiteCmd` is `Copy`, so partitioning copies sites into
+    /// per-bank groups without disturbing the caller's reusable buffer.
+    ///
+    /// With one channel touched this is the original one-level bank fork
+    /// from the parent device. With several, one channel shard is forked
+    /// per touched channel ([`Device::fork_channel`]); each channel's
+    /// worker then forks its banks from the *channel shard* and runs them
+    /// under a nested rayon scope, so scaling is no longer capped by one
+    /// channel's bank count. Joins happen channel-major then bank-major in
+    /// first-appearance order, which makes the raw merged trace order
+    /// deterministic; normalization on (cycle, channel, rank, bank) makes
+    /// it byte-identical to the sequential capture.
     #[cfg(feature = "parallel")]
     fn run_banked_parallel(
         &mut self,
@@ -524,7 +608,10 @@ impl AmbitSystem {
         start: Cycle,
         n_chunks: usize,
     ) -> Result<Option<Cycle>> {
-        if !self.device.spec().pim.faw_exempt || rayon::current_num_threads() <= 1 {
+        if !self.device.spec().pim.faw_exempt
+            || rayon::current_num_threads() <= 1
+            || self.shard_mode == ShardMode::Sequential
+        {
             return Ok(None);
         }
         // Partition by bank, preserving per-bank site order.
@@ -545,31 +632,72 @@ impl AmbitSystem {
         }
         let rate = self.tra_failure_rate;
         let seed = self.fault_seed;
-        let mut work = Vec::with_capacity(banks.len());
-        for (&b, group) in banks.iter().zip(groups) {
-            work.push((self.device.fork_bank(b)?, group));
+        // Distinct channels, first-appearance order.
+        let mut chans: Vec<u32> = Vec::new();
+        for b in &banks {
+            if !chans.contains(&b.channel) {
+                chans.push(b.channel);
+            }
+        }
+        if chans.len() == 1 || self.shard_mode == ShardMode::BankOnly {
+            // One channel touched (or one-level mode forced): bank-fork
+            // straight off the parent.
+            let pairs: BankGroups = banks.into_iter().zip(groups).collect();
+            let (end, faults, chunk_time) =
+                run_bank_groups(&mut self.device, pairs, start, n_chunks, rate, seed)?;
+            self.run_buf.chunk_time = chunk_time;
+            self.faults_injected += faults;
+            return Ok(Some(end));
+        }
+        // Two-level: fork one shard per touched channel, hand each worker
+        // its channel's (bank, sites) groups.
+        let mut per_chan: Vec<(u32, Device, BankGroups)> = Vec::with_capacity(chans.len());
+        for &ch in &chans {
+            per_chan.push((ch, self.device.fork_channel(ch)?, Vec::new()));
+        }
+        for (b, g) in banks.into_iter().zip(groups) {
+            let slot = per_chan
+                .iter_mut()
+                .find(|(c, _, _)| *c == b.channel)
+                .expect("every bank's channel was forked");
+            slot.2.push((b, g));
         }
         use rayon::prelude::*;
-        // Per-shard outcome: (device shard, end cycle, faults, chunk ends).
-        type ShardRun = (Device, Cycle, u64, Vec<Cycle>);
-        let results: Vec<Result<ShardRun>> = work
+        type ChanRun = (u32, Device, Result<(Cycle, u64, Vec<Cycle>)>);
+        let results: Vec<ChanRun> = per_chan
             .into_par_iter()
-            .map(|(mut dev, group)| {
-                let mut scratch = RunScratch::default();
-                let (end, faults) =
-                    run_sites(&mut dev, &group, start, n_chunks, rate, seed, &mut scratch)?;
-                Ok((dev, end, faults, scratch.chunk_time))
+            .map(|(ch, mut dev, pairs)| {
+                let res = if pairs.len() == 1 {
+                    // A single bank in this channel: run directly on the
+                    // channel shard, no inner fork.
+                    let mut scratch = RunScratch::default();
+                    run_sites(
+                        &mut dev,
+                        &pairs[0].1,
+                        start,
+                        n_chunks,
+                        rate,
+                        seed,
+                        &mut scratch,
+                    )
+                    .map(|(end, faults)| (end, faults, scratch.chunk_time))
+                } else {
+                    run_bank_groups(&mut dev, pairs, start, n_chunks, rate, seed)
+                };
+                (ch, dev, res)
             })
             .collect();
-        // Merge the shards' per-chunk completion times (each chunk's
-        // commands live in exactly one bank, so max == the one real entry)
-        // so `last_chunk_ends` is path-independent.
+        // Join channel-major; merge the shards' per-chunk completion times
+        // (each chunk's commands live in exactly one bank, so max == the
+        // one real entry) so `last_chunk_ends` is path-independent. The
+        // shard is joined back even when its run errored, so the partial
+        // prefix's data stays observable.
         self.run_buf.chunk_time.clear();
         self.run_buf.chunk_time.resize(n_chunks, start);
         let mut end = start;
-        for (b, res) in banks.into_iter().zip(results) {
-            let (shard, e, faults, chunk_time) = res?;
-            self.device.join_bank(b, shard)?;
+        for (ch, shard, res) in results {
+            self.device.join_channel(ch, shard)?;
+            let (e, faults, chunk_time) = res?;
             end = end.max(e);
             self.faults_injected += faults;
             for (merged, t) in self.run_buf.chunk_time.iter_mut().zip(chunk_time) {
@@ -677,8 +805,35 @@ impl AmbitSystem {
     /// Commands issued through the batched-run fast path so far — the
     /// runtime's coalescing tests assert this advances when coalesced
     /// jobs execute.
+    ///
+    /// **Accumulates across fork/join cycles**: every sharded operation's
+    /// joins *add* shard counts into this total, so back-to-back
+    /// measurement windows read cumulatively — call
+    /// [`AmbitSystem::reset_batched_commands`] between windows.
     pub fn batched_commands(&self) -> u64 {
         self.device.batched_commands()
+    }
+
+    /// Resets the [`AmbitSystem::batched_commands`] diagnostic counter to
+    /// zero. Purely diagnostic — execution, traces, and telemetry are
+    /// unaffected. Use at the start of each measurement window so repeated
+    /// fork/join cycles don't double-count into the next window's reading.
+    pub fn reset_batched_commands(&mut self) {
+        self.device.reset_batched_commands();
+    }
+
+    /// Selects the parallel-path sharding strategy (default:
+    /// [`ShardMode::ChannelBank`]). All modes are bit-identical in every
+    /// observable — data, reports, traces, telemetry, fault patterns —
+    /// and differ only in wall-clock scaling; the determinism suites pin
+    /// this.
+    pub fn set_shard_mode(&mut self, mode: ShardMode) {
+        self.shard_mode = mode;
+    }
+
+    /// The current parallel-path sharding strategy.
+    pub fn shard_mode(&self) -> ShardMode {
+        self.shard_mode
     }
 
     /// Takes the captured command trace (empty when capture is disabled).
@@ -840,6 +995,47 @@ impl AmbitSystem {
         }
         words.truncate(vec.len_bits.div_ceil(64).max(1));
         BitVec::from_words(words, vec.len_bits)
+    }
+
+    /// Issues *timed* host traffic over the vector's rows: per row one
+    /// ACT, a full row of RD (or WR) bursts, and a PRE, all through the
+    /// same per-channel/rank/bank timing state the PIM commands use.
+    /// Commands issue in order as early as the channel allows (a memory
+    /// controller streaming back-to-back), and the engine clock advances
+    /// to the last completion — so host traffic interleaved with
+    /// [`AmbitSystem::execute`] contends with bulk ops for the shared
+    /// channels. This is the co-running-host-traffic model behind the
+    /// scaling bench's interference ablation; [`AmbitSystem::read`] and
+    /// [`AmbitSystem::write`] stay functional and untimed.
+    ///
+    /// # Errors
+    ///
+    /// [`AmbitError::Dram`] only on engine bugs (sequencing is valid by
+    /// construction: each row is opened, streamed, and closed).
+    pub fn host_stream(&mut self, vec: &BulkVec, write: bool) -> Result<ExecReport> {
+        let start_counts = *self.device.counts();
+        let start = self.clock;
+        let columns = self.device.spec().org.columns;
+        let mut t = start;
+        let mut end = start;
+        for row in &vec.rows {
+            let (at, out) = self.device.issue_earliest(Command::Act(*row), t)?;
+            (t, end) = (at, end.max(out.done));
+            for col in 0..columns {
+                let addr = DramAddr::new(row.channel, row.rank, row.bank, row.row, col);
+                let cmd = if write {
+                    Command::Wr(addr)
+                } else {
+                    Command::Rd(addr)
+                };
+                let (at, out) = self.device.issue_earliest(cmd, t)?;
+                (t, end) = (at, end.max(out.done));
+            }
+            let (at, out) = self.device.issue_earliest(Command::Pre(row.bank_id()), t)?;
+            (t, end) = (at, end.max(out.done));
+        }
+        self.clock = end;
+        self.report(start, end, start_counts, vec)
     }
 
     fn check_colocated(&self, vecs: &[&BulkVec]) -> Result<()> {

@@ -4,12 +4,26 @@
 //! per-platform measurement table is always printed).
 //! `--trace` additionally captures the Ambit command stream, verifies it
 //! against the protocol oracle, and dumps it under `results/traces/`.
+//! `--banks N` / `--org CHxRAxBA` additionally measure a swept device
+//! organization (e.g. `--org 4x4x16` for the 256-bank machine) without
+//! recompiling; an invalid shape prints the spec's own error and exits
+//! nonzero.
 //! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report; with
 //! telemetry the report embeds the PIMTEL01 snapshot of a
 //! telemetry-enabled Ambit run).
 fn main() {
     let mut log = pim_bench::report::RunLog::from_env("e1_ambit_throughput");
+    let swept = match pim_bench::e1::org_from_args(log.args()) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("e1_ambit_throughput: {e}");
+            std::process::exit(2);
+        }
+    };
     log.table(pim_bench::e1::table());
+    if let Some(spec) = swept {
+        log.table(pim_bench::e1::custom_org_table(spec));
+    }
     if log
         .args()
         .windows(2)

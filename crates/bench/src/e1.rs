@@ -11,12 +11,138 @@
 
 use pim_ambit::{AmbitConfig, AmbitSystem};
 use pim_core::{geomean, Objective, Table, Value};
-use pim_dram::DramSpec;
+use pim_dram::{DramSpec, SpecError};
 use pim_host::{CpuConfig, CpuModel, GpuConfig, GpuModel, HmcLogicConfig, HmcLogicModel};
 use pim_runtime::{AmbitBackend, CpuBackend, GpuBackend, HmcLogicBackend, Job, Placement, Runtime};
 use pim_workloads::{BitVec, BulkOp};
 use rand::SeedableRng;
+use std::fmt;
 use std::sync::Arc;
+
+/// Why the `--banks N` / `--org CHxRAxBA` flags were rejected. Returned
+/// (not panicked) so the bin can print the problem and exit nonzero —
+/// bank sweeps feed shell loops, and a loop should see a clean error for
+/// the shapes the DRAM spec rules out, not a backtrace.
+#[derive(Debug, PartialEq, Eq)]
+pub enum OrgArgError {
+    /// The flag was given without a following value.
+    MissingValue(&'static str),
+    /// The value did not parse (`--banks` wants an integer, `--org` a
+    /// `CHxRAxBA` triple such as `4x4x16`).
+    Malformed(&'static str, String),
+    /// The shape parsed but violates the DRAM organization limits
+    /// (nonzero powers of two), as validated by [`DramSpec::with_org`].
+    Spec(String),
+}
+
+impl fmt::Display for OrgArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrgArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            OrgArgError::Malformed(flag, v) => match *flag {
+                "--org" => write!(f, "--org wants CHxRAxBA (e.g. 4x4x16), got `{v}`"),
+                _ => write!(f, "{flag} wants an integer, got `{v}`"),
+            },
+            OrgArgError::Spec(e) => write!(f, "organization rejected: {e}"),
+        }
+    }
+}
+
+impl From<SpecError> for OrgArgError {
+    fn from(e: SpecError) -> Self {
+        OrgArgError::Spec(e.to_string())
+    }
+}
+
+/// Parses the E1 bin's sweep flags into a DDR3 spec override:
+/// `--banks N` is shorthand for a single-channel, single-rank device with
+/// `N` banks, and `--org CHxRAxBA` gives the full shape (so `--org 4x4x16`
+/// is the 256-bank HMC-scale machine). Returns `Ok(None)` when neither
+/// flag is present; the last occurrence wins when both are.
+///
+/// # Errors
+///
+/// [`OrgArgError`] when a flag is missing its value, the value does not
+/// parse, or the shape fails [`DramSpec::with_org`] validation.
+pub fn org_from_args(args: &[String]) -> Result<Option<DramSpec>, OrgArgError> {
+    let mut spec = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let (ch, ra, ba) = match arg.as_str() {
+            "--banks" => {
+                let v = iter.next().ok_or(OrgArgError::MissingValue("--banks"))?;
+                let banks: u32 = v
+                    .parse()
+                    .map_err(|_| OrgArgError::Malformed("--banks", v.clone()))?;
+                (1, 1, banks)
+            }
+            "--org" => {
+                let v = iter.next().ok_or(OrgArgError::MissingValue("--org"))?;
+                let parts: Vec<u32> = v
+                    .split(['x', 'X'])
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| OrgArgError::Malformed("--org", v.clone()))?;
+                let [ch, ra, ba] = parts[..] else {
+                    return Err(OrgArgError::Malformed("--org", v.clone()));
+                };
+                (ch, ra, ba)
+            }
+            _ => continue,
+        };
+        spec = Some(DramSpec::ddr3_1600().with_org(ch, ra, ba)?);
+    }
+    Ok(spec)
+}
+
+/// Rounds of the row-round workload for a swept organization: large
+/// machines get fewer rounds so a 256-bank sweep costs about as much as
+/// the default 8-bank × 8-round measurement.
+fn rounds_for(spec: &DramSpec) -> usize {
+    (64 / spec.org.total_banks() as usize).clamp(1, 8)
+}
+
+/// Measured throughput table for a swept organization (`--banks`/`--org`)
+/// next to the default 8-bank DDR3 device, with the per-op scaling ratio.
+pub fn custom_org_table(spec: DramSpec) -> Table {
+    let org = spec.org;
+    let rounds = rounds_for(&spec);
+    let custom = measure_ambit(
+        AmbitConfig {
+            spec,
+            ..AmbitConfig::ddr3()
+        },
+        rounds,
+    );
+    let base = measure_ambit(AmbitConfig::ddr3(), 8);
+    let mut t = Table::new(
+        format!(
+            "E1 swept organization: {}ch x {}ra x {}ba ({} banks) vs ddr3-8banks (GB/s of output)",
+            org.channels,
+            org.ranks,
+            org.banks,
+            org.total_banks()
+        ),
+        &["op", "swept", "ddr3-8banks", "scaling"],
+    );
+    let mut ratios = Vec::new();
+    for (i, op) in BulkOp::ALL.iter().enumerate() {
+        ratios.push(custom[i] / base[i]);
+        t.row(vec![
+            op.to_string().into(),
+            Value::Num(custom[i]),
+            Value::Num(base[i]),
+            Value::Ratio(custom[i] / base[i]),
+        ]);
+    }
+    t.row(vec![
+        "geomean".into(),
+        "".into(),
+        "".into(),
+        Value::Ratio(geomean(&ratios).expect("throughputs are positive")),
+    ]);
+    t
+}
 
 /// Measured throughputs (GB/s of output) for one platform across all ops.
 #[derive(Debug, Clone)]
@@ -310,6 +436,68 @@ mod tests {
         let md = t.to_markdown();
         assert!(md.contains("ambit-ddr3-8banks"));
         assert!(md.contains("xnor"));
+    }
+
+    #[test]
+    fn org_flags_parse_and_reject_bad_shapes() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(org_from_args(&args(&[])).unwrap(), None);
+        assert_eq!(org_from_args(&args(&["--quietish"])).unwrap(), None);
+
+        let spec = org_from_args(&args(&["--banks", "16"])).unwrap().unwrap();
+        assert_eq!(spec.org.total_banks(), 16);
+        let spec = org_from_args(&args(&["--org", "4x4x16"])).unwrap().unwrap();
+        assert_eq!(
+            (spec.org.channels, spec.org.ranks, spec.org.banks),
+            (4, 4, 16)
+        );
+        assert_eq!(spec.org.total_banks(), 256);
+        // Last flag wins.
+        let spec = org_from_args(&args(&["--org", "4x4x16", "--banks", "8"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(spec.org.total_banks(), 8);
+
+        assert_eq!(
+            org_from_args(&args(&["--banks"])),
+            Err(OrgArgError::MissingValue("--banks"))
+        );
+        assert_eq!(
+            org_from_args(&args(&["--banks", "lots"])),
+            Err(OrgArgError::Malformed("--banks", "lots".into()))
+        );
+        assert_eq!(
+            org_from_args(&args(&["--org", "4x4"])),
+            Err(OrgArgError::Malformed("--org", "4x4".into()))
+        );
+        // A parseable but illegal shape surfaces the spec's own error,
+        // typed, instead of panicking.
+        assert!(matches!(
+            org_from_args(&args(&["--org", "3x1x8"])),
+            Err(OrgArgError::Spec(_))
+        ));
+        assert!(matches!(
+            org_from_args(&args(&["--banks", "0"])),
+            Err(OrgArgError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn swept_org_scales_throughput_with_bank_count() {
+        let spec = org_from_args(&["--org".to_string(), "2x2x8".to_string()])
+            .unwrap()
+            .unwrap();
+        let t = custom_org_table(spec);
+        let md = t.to_markdown();
+        assert!(md.contains("2ch x 2ra x 8ba (32 banks)"), "{md}");
+        // 4x the banks of the default device: every op's throughput must
+        // scale well past 2x.
+        let last = t.rows().last().unwrap();
+        let geomean_ratio = match last[3] {
+            Value::Ratio(v) => v,
+            ref other => panic!("unexpected cell {other:?}"),
+        };
+        assert!(geomean_ratio > 2.0, "32-bank scaling {geomean_ratio}");
     }
 
     #[test]

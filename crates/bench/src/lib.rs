@@ -34,4 +34,5 @@ pub mod e7;
 pub mod e8;
 pub mod e9;
 pub mod report;
+pub mod scaling;
 pub mod tracecap;

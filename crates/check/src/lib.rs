@@ -300,6 +300,80 @@ mod tests {
     }
 
     #[test]
+    fn cross_channel_interleaving_is_legal_but_the_same_cycles_on_one_channel_are_not() {
+        // Channels own independent command/data buses, so the oracle's
+        // per-channel bus state machines must accept same-cycle column
+        // bursts on *different* channels — and reject exactly those
+        // cycles when the traffic is forced onto one channel's bus.
+        let spec = DramSpec::ddr3_1600().with_channels(2);
+        let t = spec.timing;
+        let (rcd, ccd, rrd) = (t.rcd, t.ccd, t.rrd);
+
+        // Legal: each channel opens a row and streams reads, perfectly
+        // in phase. Same-cycle pairs across channels are fine.
+        let interleaved = Trace::capture(
+            spec.clone(),
+            vec![
+                TraceRecord {
+                    at: 0,
+                    cmd: Command::Act(RowId::new(0, 0, 0, 0)),
+                },
+                TraceRecord {
+                    at: 0,
+                    cmd: Command::Act(RowId::new(1, 0, 0, 0)),
+                },
+                TraceRecord {
+                    at: rcd,
+                    cmd: Command::Rd(DramAddr::new(0, 0, 0, 0, 0)),
+                },
+                TraceRecord {
+                    at: rcd,
+                    cmd: Command::Rd(DramAddr::new(1, 0, 0, 0, 0)),
+                },
+                TraceRecord {
+                    at: rcd + ccd,
+                    cmd: Command::Rd(DramAddr::new(0, 0, 0, 0, 1)),
+                },
+                TraceRecord {
+                    at: rcd + ccd,
+                    cmd: Command::Rd(DramAddr::new(1, 0, 0, 0, 1)),
+                },
+            ],
+        );
+        let report =
+            check_trace(&interleaved, CheckOptions::timing_only()).expect("channels interleave");
+        assert_eq!(report.commands, 6);
+
+        // Injected violation: the same same-cycle read pair, but on two
+        // banks of ONE channel — the shared bus's tCCD must fire.
+        let collided = Trace::capture(
+            spec,
+            vec![
+                TraceRecord {
+                    at: 0,
+                    cmd: Command::Act(RowId::new(0, 0, 0, 0)),
+                },
+                TraceRecord {
+                    at: rrd,
+                    cmd: Command::Act(RowId::new(0, 0, 1, 0)),
+                },
+                TraceRecord {
+                    at: rrd + rcd,
+                    cmd: Command::Rd(DramAddr::new(0, 0, 0, 0, 0)),
+                },
+                TraceRecord {
+                    at: rrd + rcd,
+                    cmd: Command::Rd(DramAddr::new(0, 0, 1, 0, 0)),
+                },
+            ],
+        );
+        match check_trace(&collided, CheckOptions::timing_only()) {
+            Err(Violation::TooEarly { constraint, .. }) => assert_eq!(constraint, "tCCD"),
+            other => panic!("expected a channel-bus tCCD violation, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn out_of_order_records_are_rejected() {
         let spec = DramSpec::ddr3_1600();
         let t = Trace {

@@ -527,6 +527,37 @@ impl DramSpec {
         self.org.banks = banks;
         self
     }
+
+    /// Returns a copy with a different rank count per channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is zero or not a power of two.
+    pub fn with_ranks(mut self, ranks: u32) -> Self {
+        assert!(
+            ranks.is_power_of_two(),
+            "ranks must be a nonzero power of two"
+        );
+        self.org.ranks = ranks;
+        self
+    }
+
+    /// Returns a copy reorganized as `channels x ranks x banks`, keeping
+    /// rows/columns/bus untouched — the fallible builder CLI sweeps use,
+    /// where an out-of-range organization must surface as a typed error
+    /// rather than a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Organization`] if the resulting organization fails
+    /// [`Organization::validate`] (zero or non-power-of-two counts).
+    pub fn with_org(mut self, channels: u32, ranks: u32, banks: u32) -> Result<Self, SpecError> {
+        self.org.channels = channels;
+        self.org.ranks = ranks;
+        self.org.banks = banks;
+        self.org.validate().map_err(SpecError::Organization)?;
+        Ok(self)
+    }
 }
 
 impl fmt::Display for DramSpec {
@@ -698,6 +729,20 @@ mod tests {
         assert_eq!(s.org.channels, 2);
         assert_eq!(s.org.banks, 16);
         assert!((s.peak_bandwidth_gbps() - 25.6).abs() < 0.1);
+        let r = DramSpec::ddr3_1600().with_ranks(4);
+        assert_eq!(r.org.ranks, 4);
+    }
+
+    #[test]
+    fn with_org_builds_256_banks_and_rejects_bad_shapes() {
+        let s = DramSpec::ddr3_1600().with_org(4, 4, 16).expect("valid org");
+        assert_eq!(s.org.total_banks(), 256);
+        assert_eq!((s.org.channels, s.org.ranks, s.org.banks), (4, 4, 16));
+        // Typed errors, not panics, for CLI-supplied shapes.
+        for (ch, ra, ba) in [(0, 1, 8), (3, 1, 8), (1, 0, 8), (1, 1, 12)] {
+            let err = DramSpec::ddr3_1600().with_org(ch, ra, ba).unwrap_err();
+            assert!(matches!(err, SpecError::Organization(_)), "{ch}x{ra}x{ba}");
+        }
     }
 
     #[test]

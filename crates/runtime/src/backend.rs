@@ -43,6 +43,17 @@ pub trait Backend {
         false
     }
 
+    /// How many independent channel-domain shards this backend can run
+    /// in parallel: DRAM channels for an Ambit device, stacks for a
+    /// Tesseract fleet, `1` for backends with no internal sharding.
+    /// The advisor surfaces this through
+    /// [`BackendStats`](crate::BackendStats) and
+    /// [`PlacementDecision`](crate::PlacementDecision) so placement can
+    /// treat each channel domain as a schedulable capacity unit.
+    fn channel_domains(&self) -> usize {
+        1
+    }
+
     /// Submission-queue bound.
     fn capacity(&self) -> usize;
 

@@ -328,6 +328,10 @@ impl Backend for AmbitBackend {
         self.queue.capacity()
     }
 
+    fn channel_domains(&self) -> usize {
+        self.sys.spec().org.channels as usize
+    }
+
     fn queue_depth(&self) -> usize {
         self.queue.depth()
     }

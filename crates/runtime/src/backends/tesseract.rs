@@ -68,6 +68,10 @@ impl Backend for TesseractBackend {
         self.queue.capacity()
     }
 
+    fn channel_domains(&self) -> usize {
+        self.sim.config().stacks as usize
+    }
+
     fn queue_depth(&self) -> usize {
         self.queue.depth()
     }

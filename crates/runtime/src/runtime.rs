@@ -29,6 +29,10 @@ pub struct PlacementDecision {
     /// both sides existed (`None` for forced placement or a one-sided
     /// runtime).
     pub advised: Option<OffloadDecision>,
+    /// Independent channel-domain shards on the chosen backend (DRAM
+    /// channels, Tesseract stacks) — the parallel capacity the placement
+    /// bought.
+    pub channel_domains: usize,
 }
 
 /// A point-in-time snapshot of one backend's queue.
@@ -38,6 +42,9 @@ pub struct BackendStats {
     pub name: String,
     /// Submission-queue bound.
     pub capacity: usize,
+    /// Independent channel-domain shards the backend runs in parallel
+    /// (DRAM channels, Tesseract stacks; `1` when unsharded).
+    pub channel_domains: usize,
     /// Jobs queued and not yet drained.
     pub queue_depth: usize,
     /// Deepest the submission queue has ever been.
@@ -124,6 +131,7 @@ impl Runtime {
                 Ok(PlacementDecision {
                     backend: name.clone(),
                     advised: None,
+                    channel_domains: b.channel_domains(),
                 })
             }
             Placement::Advised(objective) => self.advise(job, *objective),
@@ -145,30 +153,32 @@ impl Runtime {
             .filter(|b| !b.is_host() && b.supports(job));
 
         if let Some(host) = host {
-            let mut best: Option<(f64, &str, OffloadDecision)> = None;
+            let mut best: Option<(f64, &dyn Backend, OffloadDecision)> = None;
             for cand in candidates {
                 let d = decide(&profile, host.site(), cand.site(), objective);
                 if d.offload {
                     let benefit = d.benefit(objective);
                     if best.as_ref().is_none_or(|(b, _, _)| benefit > *b) {
-                        best = Some((benefit, cand.name(), d));
+                        best = Some((benefit, cand.as_ref(), d));
                     }
                 }
             }
             Ok(match best {
-                Some((_, name, d)) => PlacementDecision {
-                    backend: name.to_string(),
+                Some((_, cand, d)) => PlacementDecision {
+                    backend: cand.name().to_string(),
                     advised: Some(d),
+                    channel_domains: cand.channel_domains(),
                 },
                 None => PlacementDecision {
                     backend: host.name().to_string(),
                     advised: None,
+                    channel_domains: host.channel_domains(),
                 },
             })
         } else {
             // No host side: fall back to the cheapest supporting backend
             // under the objective.
-            let mut best: Option<(f64, &str)> = None;
+            let mut best: Option<(f64, &dyn Backend)> = None;
             for cand in self.backends.iter().filter(|b| b.supports(job)) {
                 let est = cand.estimate(job)?;
                 let cost = match objective {
@@ -177,13 +187,14 @@ impl Runtime {
                     Objective::EnergyDelay => est.ns * est.energy_nj(),
                 };
                 if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-                    best = Some((cost, cand.name()));
+                    best = Some((cost, cand.as_ref()));
                 }
             }
             match best {
-                Some((_, name)) => Ok(PlacementDecision {
-                    backend: name.to_string(),
+                Some((_, cand)) => Ok(PlacementDecision {
+                    backend: cand.name().to_string(),
                     advised: None,
+                    channel_domains: cand.channel_domains(),
                 }),
                 None => Err(RuntimeError::NoBackend { job: job.kind() }),
             }
@@ -325,6 +336,7 @@ impl Runtime {
             .map(|b| BackendStats {
                 name: b.name().to_string(),
                 capacity: b.capacity(),
+                channel_domains: b.channel_domains(),
                 queue_depth: b.queue_depth(),
                 queue_high_water: b.queue_high_water(),
                 rejections: b.rejections(),

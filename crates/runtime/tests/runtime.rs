@@ -312,6 +312,51 @@ fn advisor_places_both_directions() {
     assert!(done[1].report.energy.get(Component::DramIo) > 0.0);
 }
 
+/// Channel-domain capacity is advisor-visible: BackendStats and
+/// PlacementDecision report each backend's shard-domain count (DRAM
+/// channels for Ambit, stacks for Tesseract, 1 for unsharded backends).
+#[test]
+fn channel_domains_surface_in_stats_and_decisions() {
+    let mut four_ch = AmbitConfig::ddr3();
+    four_ch.spec = four_ch.spec.with_channels(4);
+    let mut rt = Runtime::new()
+        .with(Box::new(AmbitBackend::new("ambit", four_ch)))
+        .with(Box::new(TesseractBackend::new(
+            "tesseract",
+            TesseractConfig::isca2015(),
+        )))
+        .with(Box::new(CpuBackend::new(
+            "cpu",
+            CpuModel::new(CpuConfig::skylake_ddr3()),
+        )));
+
+    let stats = rt.stats();
+    let domains: Vec<(&str, usize)> = stats
+        .iter()
+        .map(|s| (s.name.as_str(), s.channel_domains))
+        .collect();
+    assert_eq!(
+        domains,
+        [("ambit", 4), ("tesseract", 16), ("cpu", 1)],
+        "channel domains must mirror spec channels / config stacks"
+    );
+
+    // A forced placement records the capacity the decision bought.
+    let row_bits = AmbitSystem::new(AmbitConfig::ddr3()).row_bits();
+    let id = rt
+        .submit(
+            Job::bulk(
+                BulkOp::And,
+                patterned(row_bits, 1),
+                Some(patterned(row_bits, 2)),
+            ),
+            Placement::Forced("ambit".into()),
+        )
+        .unwrap();
+    assert_eq!(rt.decision(id).unwrap().channel_domains, 4);
+    rt.drain().unwrap();
+}
+
 /// Placement errors: unknown names, unsupported jobs, no backend at all.
 #[test]
 fn placement_errors() {

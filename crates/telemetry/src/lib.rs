@@ -31,7 +31,7 @@ mod snapshot;
 mod span;
 
 pub use metrics::{Metric, MetricKey, TelemetrySink, POW2_BOUNDS};
-pub use snapshot::{Snapshot, FORMAT_TAG};
+pub use snapshot::{Snapshot, SnapshotFormatError, FORMAT_TAG};
 pub use span::{ExecSpan, JobSpan};
 
 /// A point in simulated time, in DRAM-clock cycles.

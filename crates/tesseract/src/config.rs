@@ -10,6 +10,11 @@ use pim_stack::StackConfig;
 pub struct TesseractConfig {
     /// The 3D stack hosting the PIM cores (one core per vault).
     pub stack: StackConfig,
+    /// Number of HMC cubes (stacks) the vaults are spread over. Vault
+    /// groups shard across stacks as contiguous blocks, so each stack is
+    /// an independent channel-domain-like execution shard; the engine's
+    /// superstep scan nests its parallelism stack → vault.
+    pub stacks: u32,
     /// PIM core clock, GHz (in-order, IPC 1).
     pub core_ghz: f64,
     /// Instruction overhead per remote function call (enqueue + dequeue +
@@ -55,6 +60,7 @@ impl TesseractConfig {
         stack.vaults *= 16; // 16 cubes x 32 vaults
         TesseractConfig {
             stack,
+            stacks: 16,
             core_ghz: 2.0,
             msg_overhead_instr: 2,
             msg_bytes: 16,
@@ -76,7 +82,27 @@ impl TesseractConfig {
     pub fn single_cube() -> Self {
         let mut c = TesseractConfig::isca2015();
         c.stack.vaults = 32;
+        c.stacks = 1;
         c
+    }
+
+    /// Copy with the vaults spread over `stacks` cubes (the multi-stack
+    /// scaling axis). Vault count is unchanged; only the sharding domain
+    /// structure moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stacks` is zero.
+    pub fn with_stacks(mut self, stacks: u32) -> Self {
+        assert!(stacks > 0, "stacks must be nonzero");
+        self.stacks = stacks;
+        self
+    }
+
+    /// Vaults per stack (the last stack may be smaller when vaults do not
+    /// divide evenly).
+    pub fn vaults_per_stack(&self) -> u32 {
+        self.stack.vaults.div_ceil(self.stacks)
     }
 
     /// Copy with both prefetchers disabled (ablation).
@@ -170,7 +196,11 @@ mod tests {
     fn isca_config_is_sane() {
         let c = TesseractConfig::isca2015();
         assert_eq!(c.cores(), 512);
+        assert_eq!(c.stacks, 16);
+        assert_eq!(c.vaults_per_stack(), 32);
         assert_eq!(TesseractConfig::single_cube().cores(), 32);
+        assert_eq!(TesseractConfig::single_cube().stacks, 1);
+        assert_eq!(TesseractConfig::single_cube().with_stacks(4).stacks, 4);
         assert!(c.list_prefetcher && c.msg_prefetcher);
         assert!(c.prefetch_mlp > c.base_mlp);
         assert!(c.local_latency_ns > 0.0);

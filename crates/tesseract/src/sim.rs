@@ -42,10 +42,11 @@ pub struct TesseractSim {
 }
 
 impl TesseractSim {
-    /// Creates a simulator; vertices are round-robin partitioned over the
-    /// configured vault count.
+    /// Creates a simulator; vertices are hash-partitioned over the
+    /// configured vault count, with vault groups sharded across the
+    /// configured stack count.
     pub fn new(config: TesseractConfig) -> Self {
-        let partition = VertexPartition::hashed(config.stack.vaults);
+        let partition = VertexPartition::hashed(config.stack.vaults).with_stacks(config.stacks);
         TesseractSim { config, partition }
     }
 
