@@ -9,7 +9,7 @@
 //! the CPU reference in the tests.
 
 use crate::error::{AmbitError, Result};
-use crate::program::{program_for, Loc, MicroOp};
+use crate::program::{program_for, Loc, MicroOp, RowInst, RowSlot};
 use crate::rows::{SpecialRow, SubarrayLayout};
 use pim_dram::{BankId, Command, CommandCounts, Cycle, Device, DramAddr, DramSpec, RowId};
 use pim_energy::{DramEnergyModel, EnergyBreakdown};
@@ -1152,6 +1152,124 @@ impl AmbitSystem {
                 invert,
             },
         }
+    }
+
+    fn resolve_slot(&self, slot: RowSlot, chunk: usize, planes: &[&BulkVec]) -> RowId {
+        match slot {
+            RowSlot::Plane(i) => planes[i as usize].rows[chunk],
+            RowSlot::Special(s) => {
+                let anchor = planes[0].rows[chunk];
+                let sa = self.layout.subarray_of(anchor.row);
+                anchor.bank_id().row(self.layout.special_row(sa, s))
+            }
+        }
+    }
+
+    fn row_command_for(&self, inst: &RowInst, chunk: usize, planes: &[&BulkVec]) -> Command {
+        let bank: BankId = planes[0].rows[chunk].bank_id();
+        match *inst {
+            RowInst::Copy { src, dst, invert } => Command::Aap {
+                src: self.resolve_slot(src, chunk, planes),
+                dst: self.resolve_slot(dst, chunk, planes),
+                invert,
+            },
+            RowInst::Tra { rows } => Command::Tra {
+                bank,
+                rows: [
+                    self.resolve_slot(rows[0], chunk, planes).row,
+                    self.resolve_slot(rows[1], chunk, planes).row,
+                    self.resolve_slot(rows[2], chunk, planes).row,
+                ],
+            },
+            RowInst::TraCopy { rows, dst, invert } => Command::TraAap {
+                bank,
+                rows: [
+                    self.resolve_slot(rows[0], chunk, planes).row,
+                    self.resolve_slot(rows[1], chunk, planes).row,
+                    self.resolve_slot(rows[2], chunk, planes).row,
+                ],
+                dst: self.resolve_slot(dst, chunk, planes).row,
+                invert,
+            },
+        }
+    }
+
+    /// Executes a compiled row-level program — a [`RowInst`] sequence such
+    /// as the MAJ/NOT μprograms `pim-simd` emits — over a table of
+    /// co-located plane vectors. `planes[i]` is what `RowSlot::Plane(i)`
+    /// addresses; special rows resolve against the subarray each chunk
+    /// lives in, exactly as in [`AmbitSystem::execute`]. The site list is
+    /// built instruction-major / chunk-minor, so the whole program rides
+    /// the same batched issue fast path and channel-domain sharding as the
+    /// built-in bulk operations.
+    ///
+    /// The returned report's `bytes_out` is `0`: the engine cannot know
+    /// which planes are the program's payload, so callers attribute output
+    /// bytes themselves.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmbitError::InvalidArgument`] if `planes` is empty, or if the
+    ///   planes span more chunks than the device has (bank × subarray)
+    ///   arenas — beyond that point two chunks of one plane would share
+    ///   the same physical special rows, and a program's scratch state
+    ///   would alias across chunks.
+    /// * [`AmbitError::LengthMismatch`] / [`AmbitError::NotColocated`] for
+    ///   incompatible plane vectors.
+    /// * [`AmbitError::PlanInvalid`] if an instruction violates the row
+    ///   discipline (see [`RowInst::validate`]).
+    pub fn execute_row_program(
+        &mut self,
+        insts: &[RowInst],
+        planes: &[&BulkVec],
+    ) -> Result<ExecReport> {
+        let first = *planes
+            .first()
+            .ok_or(AmbitError::InvalidArgument("row program needs planes"))?;
+        self.check_colocated(planes)?;
+        let org = &self.device.spec().org;
+        let arenas = (org.total_banks() * org.subarrays) as usize;
+        let n_chunks = first.rows.len();
+        if n_chunks > arenas {
+            return Err(AmbitError::InvalidArgument(
+                "row program spans more chunks than bank x subarray arenas; \
+                 special rows would alias across chunks",
+            ));
+        }
+        for inst in insts {
+            inst.validate(planes.len())
+                .map_err(AmbitError::PlanInvalid)?;
+        }
+
+        let start_counts = *self.device.counts();
+        let start = self.clock;
+        let mut sites = std::mem::take(&mut self.site_buf);
+        sites.clear();
+        for (op_idx, inst) in insts.iter().enumerate() {
+            for chunk in 0..n_chunks {
+                let cmd = self.row_command_for(inst, chunk, planes);
+                sites.push(SiteCmd {
+                    site: self.fault_epoch + op_idx as u64,
+                    chunk,
+                    fault_rows: self.fault_rows_for(&cmd),
+                    cmd,
+                });
+            }
+        }
+        self.fault_epoch += insts.len() as u64;
+        let end = self.run_banked(&sites, start, n_chunks);
+        self.site_buf = sites;
+        let end = end?;
+        self.clock = end;
+        let delta = self.device.counts().since(&start_counts);
+        let cycles = end - start;
+        Ok(ExecReport {
+            cycles,
+            ns: self.device.spec().timing.cycles_to_ns(cycles),
+            commands: delta,
+            energy: self.energy.energy_of(&delta, 0, 0),
+            bytes_out: 0,
+        })
     }
 
     /// Bitwise majority of three vectors (`dst = MAJ(a, b, c)`) — the

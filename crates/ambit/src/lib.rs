@@ -49,5 +49,5 @@ pub use analog::{monte_carlo_failure_rate, tra_trial, AnalogConfig};
 pub use engine::{AmbitConfig, AmbitSystem, BulkVec, ExecReport, ShardMode};
 pub use error::{AmbitError, Result};
 pub use gather::{strided_read, GatherConfig, StridedReport};
-pub use program::{program_for, Loc, MicroOp, MicroProgram};
+pub use program::{program_for, Loc, MicroOp, MicroProgram, RowInst, RowSlot};
 pub use rows::{SpecialRow, SubarrayLayout};

@@ -119,6 +119,128 @@ impl MicroProgram {
     }
 }
 
+/// A row operand of a compiled row-program instruction ([`RowInst`]).
+///
+/// Unlike [`Loc`], which names the fixed operand shape of the seven
+/// built-in bulk operations, a `RowSlot` addresses an arbitrary *plane
+/// table*: the co-located bulk vectors a compiler hands to
+/// [`execute_row_program`](crate::AmbitSystem::execute_row_program)
+/// (input planes, output planes, and scratch rows, in whatever order the
+/// compiler chose), plus the subarray's reserved special rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowSlot {
+    /// The `i`-th plane of the caller's plane table.
+    Plane(u32),
+    /// A reserved special row of the subarray (control and DCC rows).
+    Special(SpecialRow),
+}
+
+impl fmt::Display for RowSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RowSlot::Plane(i) => write!(f, "p{i}"),
+            RowSlot::Special(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One instruction of a compiled row-program: the same AAP/TRA primitive
+/// set as [`MicroOp`], but over [`RowSlot`] operands so a bit-serial
+/// compiler (`pim-simd`) can sequence arbitrarily many scratch rows
+/// instead of the fixed `T0..T3` temporaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowInst {
+    /// AAP: copy `src` to `dst`, optionally capturing the complement
+    /// (which requires `dst` to be a DCC row).
+    Copy {
+        /// Source row.
+        src: RowSlot,
+        /// Destination row.
+        dst: RowSlot,
+        /// Capture the complement through the DCC negated wordline.
+        invert: bool,
+    },
+    /// In-place triple-row activation: all three rows end up holding the
+    /// bitwise majority. Costs one AP.
+    Tra {
+        /// The three activated rows (pairwise distinct).
+        rows: [RowSlot; 3],
+    },
+    /// Fused TRA + copy-out: majority of `rows` lands in `dst`. Costs one
+    /// AAP.
+    TraCopy {
+        /// The three activated rows (pairwise distinct).
+        rows: [RowSlot; 3],
+        /// Destination row.
+        dst: RowSlot,
+        /// Capture the complement (requires `dst` to be a DCC row).
+        invert: bool,
+    },
+}
+
+impl RowInst {
+    /// `true` if this instruction costs a full AAP (vs. a single AP).
+    pub const fn is_aap_cost(&self) -> bool {
+        matches!(self, RowInst::Copy { .. } | RowInst::TraCopy { .. })
+    }
+
+    /// Checks this instruction against the hardware discipline the seven
+    /// built-in programs obey: every plane index within `n_planes`,
+    /// negated captures only into DCC rows, TRA rows pairwise distinct,
+    /// and no write to a control row (`C0`/`C1`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn validate(&self, n_planes: usize) -> std::result::Result<(), String> {
+        let check_idx = |slot: &RowSlot| -> std::result::Result<(), String> {
+            if let RowSlot::Plane(i) = slot {
+                if *i as usize >= n_planes {
+                    return Err(format!("{self:?}: plane {i} out of range ({n_planes})"));
+                }
+            }
+            Ok(())
+        };
+        let check_written = |slot: &RowSlot| -> std::result::Result<(), String> {
+            if let RowSlot::Special(s @ (SpecialRow::C0 | SpecialRow::C1)) = slot {
+                return Err(format!("{self:?}: writes control row {s}"));
+            }
+            Ok(())
+        };
+        let check_invert_dst = |slot: &RowSlot, invert: bool| -> std::result::Result<(), String> {
+            if invert && !matches!(slot, RowSlot::Special(s) if s.is_dcc()) {
+                return Err(format!("{self:?}: negated capture into non-DCC {slot}"));
+            }
+            Ok(())
+        };
+        let check_tra_rows = |rows: &[RowSlot; 3]| -> std::result::Result<(), String> {
+            for r in rows {
+                check_idx(r)?;
+                check_written(r)?;
+            }
+            if rows[0] == rows[1] || rows[0] == rows[2] || rows[1] == rows[2] {
+                return Err(format!("{self:?}: TRA rows must be pairwise distinct"));
+            }
+            Ok(())
+        };
+        match self {
+            RowInst::Copy { src, dst, invert } => {
+                check_idx(src)?;
+                check_idx(dst)?;
+                check_written(dst)?;
+                check_invert_dst(dst, *invert)
+            }
+            RowInst::Tra { rows } => check_tra_rows(rows),
+            RowInst::TraCopy { rows, dst, invert } => {
+                check_tra_rows(rows)?;
+                check_idx(dst)?;
+                check_written(dst)?;
+                check_invert_dst(dst, *invert)
+            }
+        }
+    }
+}
+
 /// Builds the micro-op program for `op`.
 pub fn program_for(op: BulkOp) -> MicroProgram {
     use Loc::{In, Out, Special};

@@ -1,0 +1,8 @@
+//! Regenerates extension experiment E11 (compiled SIMDRAM-style
+//! bit-serial arithmetic via the pim-simd compiler).
+//! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report).
+fn main() {
+    let mut log = pim_bench::report::RunLog::from_env("e11_simd_arith");
+    log.table(pim_bench::e11::table());
+    log.finish().expect("write run report");
+}

@@ -25,6 +25,7 @@ pub(crate) fn run_tasks<'a, T: Send>(tasks: Vec<Box<dyn FnOnce() -> T + Send + '
 pub mod ablations;
 pub mod e1;
 pub mod e10;
+pub mod e11;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -34,7 +34,7 @@ use pim_ambit::{AmbitConfig, AmbitError, AmbitSystem};
 use pim_core::SiteModel;
 use pim_dram::{CommandCounts, DramSpec, TraceRecord};
 use pim_telemetry::{ExecSpan, TelemetrySink, POW2_BOUNDS};
-use pim_workloads::{BitVec, BulkOp};
+use pim_workloads::{BitSlicedIntVec, BitVec, BulkOp};
 use std::sync::Arc;
 
 /// Default submission-queue bound for engine-backed backends.
@@ -276,6 +276,17 @@ impl AmbitBackend {
                 self.sys.free(dst);
                 (JobOutput::Bits(out), r)
             }
+            Job::SimdProgram { program, inputs } => {
+                let refs: Vec<&BitSlicedIntVec> = inputs.iter().map(|v| v.as_ref()).collect();
+                let (outs, r) =
+                    program
+                        .execute(&mut self.sys, &refs)
+                        .map_err(|e| RuntimeError::Engine {
+                            backend: self.name.clone(),
+                            message: e.to_string(),
+                        })?;
+                (JobOutput::Sliced(outs), r)
+            }
             other => {
                 return Err(RuntimeError::Unsupported {
                     backend: self.name.clone(),
@@ -355,7 +366,10 @@ impl Backend for AmbitBackend {
     fn supports(&self, job: &Job) -> bool {
         matches!(
             job,
-            Job::Bitwise { .. } | Job::RowCopy { .. } | Job::RowInit { .. }
+            Job::Bitwise { .. }
+                | Job::RowCopy { .. }
+                | Job::RowInit { .. }
+                | Job::SimdProgram { .. }
         )
     }
 

@@ -128,6 +128,10 @@ impl Backend for CpuBackend {
             | Job::RowInit { .. }
             | Job::Stream { .. } => true,
             Job::GraphBatch { .. } => self.graph.is_some(),
+            // Bit-serial row programs only make sense on a command-
+            // replayed DRAM engine; the host reference lives in the
+            // conformance tests, not the scheduler.
+            Job::SimdProgram { .. } => false,
         }
     }
 
@@ -190,6 +194,7 @@ impl Backend for CpuBackend {
                         },
                     )
                 }
+                Job::SimdProgram { .. } => unreachable!("submit checked support"),
             };
             self.queue.finish(Completion { id, output, report });
         }

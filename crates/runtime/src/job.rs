@@ -5,8 +5,9 @@
 use pim_core::KernelProfile;
 use pim_dram::CommandCounts;
 use pim_energy::{Component, EnergyBreakdown};
+use pim_simd::CompiledProgram;
 use pim_tesseract::{ExecutionTrace, KernelOutput};
-use pim_workloads::{BitVec, BitwisePlan, BulkOp, Graph, KernelKind, PlanBuilder};
+use pim_workloads::{BitSlicedIntVec, BitVec, BitwisePlan, BulkOp, Graph, KernelKind, PlanBuilder};
 use std::sync::Arc;
 
 /// Runtime-assigned job identifier, monotonically increasing per runtime.
@@ -56,6 +57,15 @@ pub enum Job {
         /// Operations executed.
         ops: f64,
     },
+    /// A compiled SIMDRAM-style bit-serial program (`pim-simd`) over
+    /// bit-sliced operands — arbitrary arithmetic lowered to MAJ/NOT row
+    /// sequences, executed in DRAM by command-replayed backends.
+    SimdProgram {
+        /// The compiled MAJ/NOT row program.
+        program: Arc<CompiledProgram>,
+        /// One bit-sliced vector per graph input, equal lane counts.
+        inputs: Vec<Arc<BitSlicedIntVec>>,
+    },
 }
 
 impl Job {
@@ -93,6 +103,7 @@ impl Job {
             Job::RowInit { .. } => "row-init",
             Job::GraphBatch { .. } => "graph-batch",
             Job::Stream { .. } => "stream",
+            Job::SimdProgram { .. } => "simd-program",
         }
     }
 
@@ -103,6 +114,10 @@ impl Job {
             Job::RowCopy { data, .. } => data.len(),
             Job::RowInit { bits, .. } => *bits,
             Job::GraphBatch { .. } | Job::Stream { .. } => 0,
+            Job::SimdProgram { program, inputs } => {
+                let lanes = inputs.first().map_or(0, |v| v.len());
+                lanes * program.total_planes() as usize
+            }
         }
     }
 
@@ -151,6 +166,17 @@ impl Job {
                 (16.0 * v + 8.0 * e, v + e)
             }
             Job::Stream { bytes, ops } => (*bytes, *ops),
+            Job::SimdProgram { program, inputs } => {
+                // Each row command streams roughly two lane-width rows
+                // through sense amplifiers; the op count is the program's
+                // per-lane gate work.
+                let lanes = inputs.first().map_or(0, |v| v.len());
+                let lane_bytes = lanes.div_ceil(8) as f64;
+                let stats = program.stats();
+                let bytes = 2.0 * stats.commands() as f64 * lane_bytes;
+                let ops = (stats.maj_gates + stats.not_gates) as f64 * lanes.div_ceil(64) as f64;
+                (bytes, ops)
+            }
         };
         KernelProfile::new(bytes, ops).expect("job profiles are finite and non-negative")
     }
@@ -189,6 +215,9 @@ pub enum JobOutput {
     MultiBits(Vec<BitVec>),
     /// A graph kernel run.
     Graph(Box<GraphRun>),
+    /// Compiled bit-serial program outputs, one bit-sliced vector per
+    /// graph output.
+    Sliced(Vec<BitSlicedIntVec>),
 }
 
 impl JobOutput {

@@ -394,6 +394,84 @@ fn placement_errors() {
     );
 }
 
+/// Compiled SIMD programs ride the runtime: forced onto the Ambit
+/// backend they produce the same sliced outputs as a direct engine run,
+/// and host backends reject them (bit-serial row programs only make
+/// sense on a command-replayed DRAM engine).
+#[test]
+fn simd_program_jobs_round_trip() {
+    use pim_simd::{Compiler, OpGraph};
+    use pim_workloads::BitSlicedIntVec;
+
+    let mut g = OpGraph::builder();
+    let a = g.input(8);
+    let b = g.input(8);
+    let sum = g.add(a, b);
+    let lt = g.lt(a, b);
+    g.output(sum);
+    g.output(lt);
+    let graph = g.finish();
+    let program = Arc::new(Compiler::new().compile(&graph).expect("compile"));
+
+    let av: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(37) & 0xFF).collect();
+    let bv: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(101) & 0xFF).collect();
+    let inputs = vec![
+        Arc::new(BitSlicedIntVec::from_values(&av, 8)),
+        Arc::new(BitSlicedIntVec::from_values(&bv, 8)),
+    ];
+    let job = Job::SimdProgram {
+        program: program.clone(),
+        inputs: inputs.clone(),
+    };
+
+    // Host backends refuse the job outright.
+    let mut host_rt = Runtime::new().with(Box::new(CpuBackend::new(
+        "cpu",
+        CpuModel::new(CpuConfig::skylake_ddr3()),
+    )));
+    assert_eq!(
+        host_rt
+            .submit(job.clone(), Placement::Forced("cpu".into()))
+            .unwrap_err(),
+        RuntimeError::Unsupported {
+            backend: "cpu".into(),
+            job: "simd-program"
+        }
+    );
+
+    let mut rt = ambit_runtime(AmbitConfig::ddr3());
+    let id = rt
+        .submit(job, Placement::Forced("ambit".into()))
+        .expect("ambit accepts simd programs");
+    let done = rt.drain().unwrap();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].id, id);
+
+    // Direct engine run for the reference report and outputs.
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let refs: Vec<&BitSlicedIntVec> = inputs.iter().map(|v| v.as_ref()).collect();
+    let (direct_outs, direct) = program.execute(&mut sys, &refs).expect("direct execute");
+
+    match &done[0].output {
+        JobOutput::Sliced(outs) => {
+            assert_eq!(outs.len(), 2);
+            assert_eq!(outs[0].to_values(), direct_outs[0].to_values());
+            assert_eq!(outs[1].to_values(), direct_outs[1].to_values());
+            for (i, (x, y)) in av.iter().zip(&bv).enumerate() {
+                assert_eq!(outs[0].to_values()[i], (x + y) & 0xFF);
+                assert_eq!(outs[1].to_values()[i], u64::from(x < y));
+            }
+        }
+        other => panic!("expected sliced output, got {other:?}"),
+    }
+    assert_eq!(done[0].report.ns, direct.ns);
+    assert_eq!(done[0].report.energy, direct.energy);
+    assert_eq!(
+        done[0].report.commands.as_ref().unwrap().total(),
+        direct.commands.total()
+    );
+}
+
 /// Graph jobs through the Tesseract backend equal a direct simulator run;
 /// a graph-enabled host backend also executes them.
 #[test]

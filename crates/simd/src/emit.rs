@@ -1,0 +1,475 @@
+//! Emission: plane program → AAP/TRA row instructions with scratch-row
+//! allocation.
+//!
+//! The emitter walks the live SSA expressions in definition order and
+//! turns each into [`RowInst`]s over a *plane table* laid out as
+//! `[input planes | output planes | scratch rows]`:
+//!
+//! * a MAJ becomes up to three AAP copies (operands that live in
+//!   read-only rows — input planes, output planes, C0/C1 control rows —
+//!   must be staged into scratch, because TRA destroys all three
+//!   activated rows) followed by one in-place TRA; a scratch-resident
+//!   operand at its last use is consumed *in place*, saving the copy,
+//!   and the majority result simply takes over one of the activated rows
+//!   (no copy-out);
+//! * a NOT becomes two AAPs through a dual-contact row (`src → DCC0`
+//!   with the negated wordline, then `DCC0 → dst`) — the only way the
+//!   substrate complements a row;
+//! * a value whose next home is an output plane is computed straight
+//!   into it (fused TRA-copy for MAJ), skipping the scratch round-trip.
+//!
+//! Scratch rows come from a lifetime-driven free list: a row returns to
+//! the pool the moment its value's last use retires, and allocation
+//! always picks the lowest free index — fully deterministic, bounded by
+//! the compile-time budget, and failing with
+//! [`SimdError::ScratchExhausted`] (never a panic) when a subarray's
+//! free-row budget cannot hold the program's peak liveness.
+
+use crate::error::{Result, SimdError};
+use crate::graph::OpGraph;
+use crate::lower::{lower, PExpr, PReg, PlaneProgram};
+use pim_ambit::{RowInst, RowSlot, SpecialRow};
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Default scratch-row budget: conservative share of a subarray's data
+/// rows (512-row subarrays keep 504 data rows after the reserved group),
+/// leaving room for input and output planes in the same subarray.
+pub const DEFAULT_SCRATCH_BUDGET: u32 = 256;
+
+/// Lifetime-driven scratch-row allocator: lowest-free-index reuse,
+/// typed failure at the budget.
+#[derive(Debug)]
+pub(crate) struct ScratchAllocator {
+    budget: u32,
+    next: u32,
+    free: BinaryHeap<std::cmp::Reverse<u32>>,
+    live: u32,
+    high_water: u32,
+}
+
+impl ScratchAllocator {
+    pub(crate) fn new(budget: u32) -> Self {
+        ScratchAllocator {
+            budget,
+            next: 0,
+            free: BinaryHeap::new(),
+            live: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Grabs a free row: the lowest previously-freed index, else a fresh
+    /// one.
+    pub(crate) fn alloc(&mut self) -> Result<u32> {
+        let slot = match self.free.pop() {
+            Some(std::cmp::Reverse(s)) => s,
+            None => {
+                if self.next >= self.budget {
+                    return Err(SimdError::ScratchExhausted {
+                        needed: self.next + 1,
+                        budget: self.budget,
+                    });
+                }
+                self.next += 1;
+                self.next - 1
+            }
+        };
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        Ok(slot)
+    }
+
+    /// Returns a row to the pool.
+    pub(crate) fn free(&mut self, slot: u32) {
+        debug_assert!(slot < self.next);
+        self.live -= 1;
+        self.free.push(std::cmp::Reverse(slot));
+    }
+
+    /// Distinct rows ever allocated (the plane table's scratch extent).
+    pub(crate) fn rows_used(&self) -> u32 {
+        self.next
+    }
+
+    /// Peak simultaneously-live rows.
+    pub(crate) fn high_water(&self) -> u32 {
+        self.high_water
+    }
+}
+
+/// Command and gate counts of a compiled program (per lane-chunk; the
+/// engine replays the sequence once per chunk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramStats {
+    /// AAP-cost instructions (copies and fused TRA-copies).
+    pub aap: u64,
+    /// AP-cost in-place triple-row activations.
+    pub tra: u64,
+    /// Live MAJ gates after folding/CSE/DCE.
+    pub maj_gates: u64,
+    /// Live NOT gates after folding/CSE/DCE.
+    pub not_gates: u64,
+    /// Peak simultaneously-live scratch rows.
+    pub scratch_high_water: u32,
+}
+
+impl ProgramStats {
+    /// Total row commands per chunk.
+    pub fn commands(&self) -> u64 {
+        self.aap + self.tra
+    }
+}
+
+/// Where a live plane value currently resides during emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Not yet materialized (pre-definition).
+    Pending,
+    /// One of the caller's input planes (read-only).
+    Input(u32),
+    /// A control row (read-only; all lanes 0 or 1).
+    Const(bool),
+    /// A scratch row (consumable in place at last use).
+    Scratch(u32),
+    /// An output plane (readable, never consumed in place).
+    Output(u32),
+    /// Consumed in place by a TRA; the register is dead.
+    Gone,
+}
+
+/// A fully lowered, scheduled, allocation-annotated program, ready to
+/// run on any [`AmbitSystem`](pim_ambit::AmbitSystem) via
+/// [`CompiledProgram::execute`].
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    pub(crate) input_widths: Vec<u32>,
+    pub(crate) output_widths: Vec<u32>,
+    pub(crate) n_input_planes: u32,
+    pub(crate) n_output_planes: u32,
+    pub(crate) scratch_rows: u32,
+    pub(crate) insts: Vec<RowInst>,
+    pub(crate) stats: ProgramStats,
+}
+
+impl CompiledProgram {
+    /// Lane widths of the inputs the program binds, in order.
+    pub fn input_widths(&self) -> &[u32] {
+        &self.input_widths
+    }
+
+    /// Lane widths of the outputs the program produces, in order.
+    pub fn output_widths(&self) -> &[u32] {
+        &self.output_widths
+    }
+
+    /// The emitted AAP/TRA instruction sequence (per chunk).
+    pub fn insts(&self) -> &[RowInst] {
+        &self.insts
+    }
+
+    /// Command and gate counts.
+    pub fn stats(&self) -> &ProgramStats {
+        &self.stats
+    }
+
+    /// Distinct scratch rows the program's plane table needs.
+    pub fn scratch_rows(&self) -> u32 {
+        self.scratch_rows
+    }
+
+    /// Input planes in the plane table (the table is laid out
+    /// `[input planes | output planes | scratch rows]`).
+    pub fn n_input_planes(&self) -> u32 {
+        self.n_input_planes
+    }
+
+    /// Output planes in the plane table.
+    pub fn n_output_planes(&self) -> u32 {
+        self.n_output_planes
+    }
+
+    /// Total plane-table rows per subarray arena: input planes + output
+    /// planes + scratch rows.
+    pub fn total_planes(&self) -> u32 {
+        self.n_input_planes + self.n_output_planes + self.scratch_rows
+    }
+}
+
+/// Compiles [`OpGraph`]s to [`CompiledProgram`]s under a scratch-row
+/// budget.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    scratch_budget: u32,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new()
+    }
+}
+
+impl Compiler {
+    /// A compiler with [`DEFAULT_SCRATCH_BUDGET`].
+    pub fn new() -> Self {
+        Compiler {
+            scratch_budget: DEFAULT_SCRATCH_BUDGET,
+        }
+    }
+
+    /// Overrides the scratch-row budget (a subarray's spare data rows).
+    pub fn with_scratch_budget(mut self, budget: u32) -> Self {
+        self.scratch_budget = budget;
+        self
+    }
+
+    /// Lowers and emits `graph`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimdError::ScratchExhausted`] if peak liveness exceeds the
+    /// scratch budget.
+    pub fn compile(&self, graph: &OpGraph) -> Result<CompiledProgram> {
+        let plane = lower(graph);
+        emit(graph, &plane, self.scratch_budget)
+    }
+}
+
+fn emit(graph: &OpGraph, plane: &PlaneProgram, budget: u32) -> Result<CompiledProgram> {
+    let n_input_planes = plane.n_input_planes;
+    let flat_outputs: Vec<PReg> = plane.outputs.iter().flatten().copied().collect();
+    let n_output_planes = u32::try_from(flat_outputs.len()).expect("too many output planes");
+    let out_base = n_input_planes;
+    let scratch_base = n_input_planes + n_output_planes;
+
+    // Liveness: everything reachable from an output.
+    let mut live = vec![false; plane.exprs.len()];
+    let mut stack: Vec<PReg> = flat_outputs.clone();
+    while let Some(r) = stack.pop() {
+        if std::mem::replace(&mut live[r as usize], true) {
+            continue;
+        }
+        match plane.exprs[r as usize] {
+            PExpr::Input(_) | PExpr::Const(_) => {}
+            PExpr::Not(x) => stack.push(x),
+            PExpr::Maj(x, y, z) => stack.extend([x, y, z]),
+        }
+    }
+
+    // Use counts: operand references of live expressions plus output
+    // occurrences.
+    let mut uses = vec![0u32; plane.exprs.len()];
+    for (r, e) in plane.exprs.iter().enumerate() {
+        if !live[r] {
+            continue;
+        }
+        match *e {
+            PExpr::Input(_) | PExpr::Const(_) => {}
+            PExpr::Not(x) => uses[x as usize] += 1,
+            PExpr::Maj(x, y, z) => {
+                uses[x as usize] += 1;
+                uses[y as usize] += 1;
+                uses[z as usize] += 1;
+            }
+        }
+    }
+    for &r in &flat_outputs {
+        uses[r as usize] += 1;
+    }
+
+    // First output occurrence of each register: computed values land
+    // there directly instead of taking a scratch round-trip.
+    let mut direct_out: HashMap<PReg, u32> = HashMap::new();
+    for (k, &r) in flat_outputs.iter().enumerate() {
+        if let Entry::Vacant(e) = direct_out.entry(r) {
+            e.insert(out_base + k as u32);
+        }
+    }
+
+    let mut alloc = ScratchAllocator::new(budget);
+    let mut loc = vec![Loc::Pending; plane.exprs.len()];
+    let mut insts: Vec<RowInst> = Vec::new();
+    let mut stats = ProgramStats::default();
+
+    let src_slot = |loc: Loc| -> RowSlot {
+        match loc {
+            Loc::Input(i) => RowSlot::Plane(i),
+            Loc::Const(false) => RowSlot::Special(SpecialRow::C0),
+            Loc::Const(true) => RowSlot::Special(SpecialRow::C1),
+            Loc::Scratch(s) => RowSlot::Plane(scratch_base + s),
+            Loc::Output(k) => RowSlot::Plane(k),
+            Loc::Pending | Loc::Gone => unreachable!("read of unmaterialized register"),
+        }
+    };
+
+    for (ri, e) in plane.exprs.iter().enumerate() {
+        if !live[ri] {
+            continue;
+        }
+        let r = ri as PReg;
+        match *e {
+            PExpr::Input(i) => loc[ri] = Loc::Input(i),
+            PExpr::Const(b) => loc[ri] = Loc::Const(b),
+            PExpr::Not(x) => {
+                stats.not_gates += 1;
+                let src = src_slot(loc[x as usize]);
+                let dcc = RowSlot::Special(SpecialRow::Dcc0);
+                insts.push(RowInst::Copy {
+                    src,
+                    dst: dcc,
+                    invert: true,
+                });
+                let dst = match direct_out.get(&r) {
+                    Some(&k) => {
+                        loc[ri] = Loc::Output(k);
+                        RowSlot::Plane(k)
+                    }
+                    None => {
+                        let s = alloc.alloc()?;
+                        loc[ri] = Loc::Scratch(s);
+                        RowSlot::Plane(scratch_base + s)
+                    }
+                };
+                insts.push(RowInst::Copy {
+                    src: dcc,
+                    dst,
+                    invert: false,
+                });
+                stats.aap += 2;
+                consume(x, &mut uses, &mut loc, &mut alloc);
+            }
+            PExpr::Maj(x, y, z) => {
+                stats.maj_gates += 1;
+                let mut rows = [RowSlot::Special(SpecialRow::T0); 3];
+                let mut row_slots = [u32::MAX; 3];
+                for (i, &o) in [x, y, z].iter().enumerate() {
+                    let ol = loc[o as usize];
+                    if let Loc::Scratch(s) = ol {
+                        if uses[o as usize] == 1 {
+                            // Last use of a scratch-resident value: TRA
+                            // consumes its row in place, no staging copy.
+                            rows[i] = RowSlot::Plane(scratch_base + s);
+                            row_slots[i] = s;
+                            loc[o as usize] = Loc::Gone;
+                            continue;
+                        }
+                    }
+                    let t = alloc.alloc()?;
+                    insts.push(RowInst::Copy {
+                        src: src_slot(ol),
+                        dst: RowSlot::Plane(scratch_base + t),
+                        invert: false,
+                    });
+                    stats.aap += 1;
+                    rows[i] = RowSlot::Plane(scratch_base + t);
+                    row_slots[i] = t;
+                }
+                match direct_out.get(&r) {
+                    Some(&k) => {
+                        // Fused TRA-copy straight into the output plane;
+                        // all three activated rows are garbage after.
+                        insts.push(RowInst::TraCopy {
+                            rows,
+                            dst: RowSlot::Plane(k),
+                            invert: false,
+                        });
+                        stats.aap += 1;
+                        loc[ri] = Loc::Output(k);
+                        for s in row_slots {
+                            alloc.free(s);
+                        }
+                    }
+                    None => {
+                        // In-place TRA: the result takes over the first
+                        // activated row, the other two return to the
+                        // pool.
+                        insts.push(RowInst::Tra { rows });
+                        stats.tra += 1;
+                        loc[ri] = Loc::Scratch(row_slots[0]);
+                        alloc.free(row_slots[1]);
+                        alloc.free(row_slots[2]);
+                    }
+                }
+                for o in [x, y, z] {
+                    consume(o, &mut uses, &mut loc, &mut alloc);
+                }
+            }
+        }
+    }
+
+    // Output planes not already written directly: one copy each.
+    for (k, &r) in flat_outputs.iter().enumerate() {
+        let dst = out_base + k as u32;
+        if loc[r as usize] == Loc::Output(dst) {
+            continue;
+        }
+        insts.push(RowInst::Copy {
+            src: src_slot(loc[r as usize]),
+            dst: RowSlot::Plane(dst),
+            invert: false,
+        });
+        stats.aap += 1;
+    }
+
+    stats.scratch_high_water = alloc.high_water();
+    Ok(CompiledProgram {
+        input_widths: graph.input_widths().to_vec(),
+        output_widths: graph.output_widths(),
+        n_input_planes,
+        n_output_planes,
+        scratch_rows: alloc.rows_used(),
+        insts,
+        stats,
+    })
+}
+
+/// Retires one use of `o`; at the last use, a scratch-resident value's
+/// row returns to the pool.
+fn consume(o: PReg, uses: &mut [u32], loc: &mut [Loc], alloc: &mut ScratchAllocator) {
+    uses[o as usize] -= 1;
+    if uses[o as usize] == 0 {
+        if let Loc::Scratch(s) = loc[o as usize] {
+            alloc.free(s);
+            loc[o as usize] = Loc::Gone;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_reuses_lowest_freed_row() {
+        let mut a = ScratchAllocator::new(8);
+        let r0 = a.alloc().unwrap();
+        let r1 = a.alloc().unwrap();
+        let r2 = a.alloc().unwrap();
+        assert_eq!((r0, r1, r2), (0, 1, 2));
+        a.free(r1);
+        a.free(r0);
+        assert_eq!(a.alloc().unwrap(), 0, "lowest freed row first");
+        assert_eq!(a.alloc().unwrap(), 1);
+        assert_eq!(a.alloc().unwrap(), 3, "fresh row after pool empties");
+        assert_eq!(a.rows_used(), 4);
+        assert_eq!(a.high_water(), 4);
+    }
+
+    #[test]
+    fn allocator_exhaustion_is_a_typed_error() {
+        let mut a = ScratchAllocator::new(2);
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        let err = a.alloc().unwrap_err();
+        assert_eq!(
+            err,
+            SimdError::ScratchExhausted {
+                needed: 3,
+                budget: 2
+            }
+        );
+        // Not sticky: freeing makes the next allocation succeed.
+        a.free(0);
+        assert_eq!(a.alloc().unwrap(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Typed errors for graph compilation and execution.
+
+use pim_ambit::AmbitError;
+use std::fmt;
+
+/// Everything that can go wrong compiling or executing an operation
+/// graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimdError {
+    /// The scratch-row allocator ran out of its subarray free-row budget.
+    /// Compilation fails cleanly instead of emitting a program the device
+    /// could never place.
+    ScratchExhausted {
+        /// Rows the program would have needed live at once.
+        needed: u32,
+        /// The budget compilation ran under.
+        budget: u32,
+    },
+    /// An execution input's lane width does not match the graph input it
+    /// binds to.
+    WidthMismatch {
+        /// Which graph input.
+        input: usize,
+        /// The width the graph declares.
+        expected: u32,
+        /// The width the bound vector has.
+        got: u32,
+    },
+    /// Execution inputs disagree on lane count, or the wrong number of
+    /// inputs was bound.
+    InputMismatch {
+        /// What was expected (inputs or lanes).
+        expected: usize,
+        /// What was provided.
+        got: usize,
+    },
+    /// The engine rejected the program or its plane allocation.
+    Ambit(AmbitError),
+}
+
+impl fmt::Display for SimdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimdError::ScratchExhausted { needed, budget } => write!(
+                f,
+                "scratch rows exhausted: program needs {needed} live rows, budget is {budget}"
+            ),
+            SimdError::WidthMismatch {
+                input,
+                expected,
+                got,
+            } => write!(
+                f,
+                "input {input} width mismatch: graph declares {expected} bits, vector has {got}"
+            ),
+            SimdError::InputMismatch { expected, got } => {
+                write!(f, "input mismatch: expected {expected}, got {got}")
+            }
+            SimdError::Ambit(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimdError::Ambit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AmbitError> for SimdError {
+    fn from(e: AmbitError) -> Self {
+        SimdError::Ambit(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SimdError>;

@@ -1,0 +1,420 @@
+//! The operation-graph IR: element-wise arithmetic over N-bit lanes.
+//!
+//! A graph is a DAG of lane-wise operations (add/sub/mul, comparisons,
+//! bitwise logic, constant shifts, bit reductions) over unsigned integer
+//! lanes of up to [`MAX_WIDTH`] bits. Lanes live in *vertical* (bit-sliced
+//! / transposed) layout when executed: plane `i` holds bit `i` of every
+//! lane, so one DRAM row operation advances one bit position of every lane
+//! at once — the SIMDRAM execution model.
+//!
+//! The graph carries its own *host reference semantics*
+//! ([`OpGraph::eval_reference`]): a plain scalar interpreter over `u64`
+//! lanes, deliberately independent of the MAJ/NOT lowering so the
+//! differential tests compare two separately-derived implementations.
+
+/// Maximum lane width in bits. `mul` doubles the width, and the reference
+/// interpreter works in `u64`, so operands are capped at 32 bits.
+pub const MAX_WIDTH: u32 = 32;
+
+/// Handle to a node in an [`OpGraph`] (or an [`OpGraphBuilder`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// One operation of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphOp {
+    /// An external input operand.
+    Input {
+        /// Position among the graph's inputs.
+        index: u32,
+    },
+    /// A constant broadcast to every lane.
+    Const {
+        /// The lane value (masked to the node width).
+        value: u64,
+    },
+    /// Wrapping addition (same width as the operands).
+    Add(NodeId, NodeId),
+    /// Wrapping subtraction (same width as the operands).
+    Sub(NodeId, NodeId),
+    /// Full-precision multiplication: a `w`-bit × `w`-bit → `2w`-bit
+    /// product.
+    Mul(NodeId, NodeId),
+    /// Bitwise AND.
+    And(NodeId, NodeId),
+    /// Bitwise OR.
+    Or(NodeId, NodeId),
+    /// Bitwise XOR.
+    Xor(NodeId, NodeId),
+    /// Bitwise NOT.
+    Not(NodeId),
+    /// Left shift by a constant (zero fill, same width).
+    Shl(NodeId, u32),
+    /// Logical right shift by a constant (zero fill, same width).
+    Shr(NodeId, u32),
+    /// Unsigned `a < b`, one result bit per lane.
+    Lt(NodeId, NodeId),
+    /// `a == b`, one result bit per lane.
+    Eq(NodeId, NodeId),
+    /// AND-reduction across the bits of each lane (1 iff the lane is
+    /// all-ones).
+    ReduceAnd(NodeId),
+    /// OR-reduction across the bits of each lane (1 iff the lane is
+    /// non-zero).
+    ReduceOr(NodeId),
+    /// XOR-reduction across the bits of each lane (lane parity).
+    ReduceXor(NodeId),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) op: GraphOp,
+    pub(crate) width: u32,
+}
+
+/// An immutable, validated operation graph — build one with
+/// [`OpGraphBuilder`], compile it with
+/// [`Compiler`](crate::Compiler), or evaluate it on the host with
+/// [`OpGraph::eval_reference`].
+#[derive(Debug, Clone)]
+pub struct OpGraph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) input_widths: Vec<u32>,
+    pub(crate) outputs: Vec<NodeId>,
+}
+
+impl OpGraph {
+    /// Starts building a graph.
+    pub fn builder() -> OpGraphBuilder {
+        OpGraphBuilder::new()
+    }
+
+    /// Widths of the graph's inputs, in binding order.
+    pub fn input_widths(&self) -> &[u32] {
+        &self.input_widths
+    }
+
+    /// Widths of the graph's outputs, in declaration order.
+    pub fn output_widths(&self) -> Vec<u32> {
+        self.outputs
+            .iter()
+            .map(|&n| self.nodes[n.0 as usize].width)
+            .collect()
+    }
+
+    /// The width of `node`'s value in bits.
+    pub fn width(&self, node: NodeId) -> u32 {
+        self.nodes[node.0 as usize].width
+    }
+
+    /// Number of nodes (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Host scalar reference semantics: evaluates the graph lane-wise over
+    /// `u64` values, masking every node to its width. `inputs[i]` binds
+    /// graph input `i`; all inputs must have the same lane count. Returns
+    /// one value vector per declared output.
+    ///
+    /// This interpreter never looks at the MAJ/NOT lowering — it is the
+    /// independent oracle the differential tests check compiled programs
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// If the input count or lane counts mismatch, or an input value
+    /// exceeds its declared width.
+    pub fn eval_reference(&self, inputs: &[&[u64]]) -> Vec<Vec<u64>> {
+        assert_eq!(inputs.len(), self.input_widths.len(), "input count");
+        let lanes = inputs.first().map_or(0, |v| v.len());
+        for (i, v) in inputs.iter().enumerate() {
+            assert_eq!(v.len(), lanes, "input {i} lane count");
+            let mask = width_mask(self.input_widths[i]);
+            for &x in v.iter() {
+                assert_eq!(x & mask, x, "input {i} value exceeds its width");
+            }
+        }
+        let mut values: Vec<Vec<u64>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mask = width_mask(node.width);
+            let v: Vec<u64> = match node.op {
+                GraphOp::Input { index } => inputs[index as usize].to_vec(),
+                GraphOp::Const { value } => vec![value & mask; lanes],
+                GraphOp::Add(a, b) => zip(&values, a, b, |x, y| x.wrapping_add(y) & mask),
+                GraphOp::Sub(a, b) => zip(&values, a, b, |x, y| x.wrapping_sub(y) & mask),
+                GraphOp::Mul(a, b) => zip(&values, a, b, |x, y| (x * y) & mask),
+                GraphOp::And(a, b) => zip(&values, a, b, |x, y| x & y),
+                GraphOp::Or(a, b) => zip(&values, a, b, |x, y| x | y),
+                GraphOp::Xor(a, b) => zip(&values, a, b, |x, y| x ^ y),
+                GraphOp::Not(a) => values[a.0 as usize].iter().map(|&x| !x & mask).collect(),
+                GraphOp::Shl(a, k) => values[a.0 as usize]
+                    .iter()
+                    .map(|&x| (x << k) & mask)
+                    .collect(),
+                GraphOp::Shr(a, k) => values[a.0 as usize].iter().map(|&x| x >> k).collect(),
+                GraphOp::Lt(a, b) => zip(&values, a, b, |x, y| u64::from(x < y)),
+                GraphOp::Eq(a, b) => zip(&values, a, b, |x, y| u64::from(x == y)),
+                GraphOp::ReduceAnd(a) => {
+                    let m = width_mask(self.nodes[a.0 as usize].width);
+                    values[a.0 as usize]
+                        .iter()
+                        .map(|&x| u64::from(x == m))
+                        .collect()
+                }
+                GraphOp::ReduceOr(a) => values[a.0 as usize]
+                    .iter()
+                    .map(|&x| u64::from(x != 0))
+                    .collect(),
+                GraphOp::ReduceXor(a) => values[a.0 as usize]
+                    .iter()
+                    .map(|&x| (x.count_ones() as u64) & 1)
+                    .collect(),
+            };
+            values.push(v);
+        }
+        self.outputs
+            .iter()
+            .map(|&n| values[n.0 as usize].clone())
+            .collect()
+    }
+}
+
+fn zip(values: &[Vec<u64>], a: NodeId, b: NodeId, f: impl Fn(u64, u64) -> u64) -> Vec<u64> {
+    values[a.0 as usize]
+        .iter()
+        .zip(values[b.0 as usize].iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect()
+}
+
+/// All-ones mask for a `width`-bit lane.
+pub(crate) fn width_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Builds an [`OpGraph`] node by node. Width rules are checked eagerly
+/// with panics — mismatched widths are programming errors, not runtime
+/// conditions (resource exhaustion, by contrast, surfaces as a typed
+/// error at compile time).
+#[derive(Debug, Default)]
+pub struct OpGraphBuilder {
+    nodes: Vec<Node>,
+    input_widths: Vec<u32>,
+    outputs: Vec<NodeId>,
+}
+
+impl OpGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: GraphOp, width: u32) -> NodeId {
+        assert!(
+            (1..=2 * MAX_WIDTH).contains(&width),
+            "node width {width} out of range"
+        );
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("graph too large"));
+        self.nodes.push(Node { op, width });
+        id
+    }
+
+    fn width(&self, n: NodeId) -> u32 {
+        self.nodes[n.0 as usize].width
+    }
+
+    fn same_width(&self, a: NodeId, b: NodeId) -> u32 {
+        let (wa, wb) = (self.width(a), self.width(b));
+        assert_eq!(wa, wb, "operand widths must match ({wa} vs {wb})");
+        wa
+    }
+
+    /// Declares a `width`-bit external input (1..=[`MAX_WIDTH`] bits).
+    pub fn input(&mut self, width: u32) -> NodeId {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "input width {width} out of range"
+        );
+        let index = u32::try_from(self.input_widths.len()).expect("too many inputs");
+        self.input_widths.push(width);
+        self.push(GraphOp::Input { index }, width)
+    }
+
+    /// A `width`-bit constant broadcast to every lane.
+    pub fn constant(&mut self, value: u64, width: u32) -> NodeId {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "const width {width} out of range"
+        );
+        assert_eq!(
+            value & width_mask(width),
+            value,
+            "constant exceeds its width"
+        );
+        self.push(GraphOp::Const { value }, width)
+    }
+
+    /// Wrapping `a + b` (operands and result share one width).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let w = self.same_width(a, b);
+        self.push(GraphOp::Add(a, b), w)
+    }
+
+    /// Wrapping `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let w = self.same_width(a, b);
+        self.push(GraphOp::Sub(a, b), w)
+    }
+
+    /// Full-precision `a * b`: the result is twice the operand width.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let w = self.same_width(a, b);
+        self.push(GraphOp::Mul(a, b), 2 * w)
+    }
+
+    /// Bitwise `a & b`.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let w = self.same_width(a, b);
+        self.push(GraphOp::And(a, b), w)
+    }
+
+    /// Bitwise `a | b`.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let w = self.same_width(a, b);
+        self.push(GraphOp::Or(a, b), w)
+    }
+
+    /// Bitwise `a ^ b`.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let w = self.same_width(a, b);
+        self.push(GraphOp::Xor(a, b), w)
+    }
+
+    /// Bitwise `!a`.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        let w = self.width(a);
+        self.push(GraphOp::Not(a), w)
+    }
+
+    /// `a << k` with zero fill (`k` strictly less than the width).
+    pub fn shl(&mut self, a: NodeId, k: u32) -> NodeId {
+        let w = self.width(a);
+        assert!(k < w, "shift {k} out of range for width {w}");
+        self.push(GraphOp::Shl(a, k), w)
+    }
+
+    /// `a >> k` (logical) with zero fill.
+    pub fn shr(&mut self, a: NodeId, k: u32) -> NodeId {
+        let w = self.width(a);
+        assert!(k < w, "shift {k} out of range for width {w}");
+        self.push(GraphOp::Shr(a, k), w)
+    }
+
+    /// Unsigned `a < b` — a 1-bit result per lane.
+    pub fn lt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.same_width(a, b);
+        self.push(GraphOp::Lt(a, b), 1)
+    }
+
+    /// `a == b` — a 1-bit result per lane.
+    pub fn eq(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.same_width(a, b);
+        self.push(GraphOp::Eq(a, b), 1)
+    }
+
+    /// AND-reduce the bits of each lane to 1 bit.
+    pub fn reduce_and(&mut self, a: NodeId) -> NodeId {
+        self.push(GraphOp::ReduceAnd(a), 1)
+    }
+
+    /// OR-reduce the bits of each lane to 1 bit.
+    pub fn reduce_or(&mut self, a: NodeId) -> NodeId {
+        self.push(GraphOp::ReduceOr(a), 1)
+    }
+
+    /// XOR-reduce (parity of) the bits of each lane to 1 bit.
+    pub fn reduce_xor(&mut self, a: NodeId) -> NodeId {
+        self.push(GraphOp::ReduceXor(a), 1)
+    }
+
+    /// Declares `node` a program output (outputs may repeat).
+    pub fn output(&mut self, node: NodeId) {
+        self.outputs.push(node);
+    }
+
+    /// Finishes the graph.
+    ///
+    /// # Panics
+    ///
+    /// If no output was declared.
+    pub fn finish(self) -> OpGraph {
+        assert!(!self.outputs.is_empty(), "graph declares no outputs");
+        OpGraph {
+            nodes: self.nodes,
+            input_widths: self.input_widths,
+            outputs: self.outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_add_mul_cmp() {
+        let mut g = OpGraph::builder();
+        let a = g.input(8);
+        let b = g.input(8);
+        let s = g.add(a, b);
+        let p = g.mul(a, b);
+        let lt = g.lt(a, b);
+        g.output(s);
+        g.output(p);
+        g.output(lt);
+        let g = g.finish();
+        let out = g.eval_reference(&[&[200, 0, 255], &[100, 0, 255]]);
+        assert_eq!(out[0], vec![(200 + 100) & 0xff, 0, (255 + 255) & 0xff]);
+        assert_eq!(out[1], vec![200 * 100, 0, 255 * 255]);
+        assert_eq!(out[2], vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn reference_reductions_and_shifts() {
+        let mut g = OpGraph::builder();
+        let a = g.input(4);
+        let sh = g.shl(a, 1);
+        let ra = g.reduce_and(a);
+        let ro = g.reduce_or(a);
+        let rx = g.reduce_xor(a);
+        g.output(sh);
+        g.output(ra);
+        g.output(ro);
+        g.output(rx);
+        let g = g.finish();
+        let out = g.eval_reference(&[&[0b1111, 0b0000, 0b0101]]);
+        assert_eq!(out[0], vec![0b1110, 0, 0b1010]);
+        assert_eq!(out[1], vec![1, 0, 0]);
+        assert_eq!(out[2], vec![1, 0, 1]);
+        assert_eq!(out[3], vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn width_mismatch_panics() {
+        let mut g = OpGraph::builder();
+        let a = g.input(8);
+        let b = g.input(4);
+        g.add(a, b);
+    }
+}

@@ -1,0 +1,242 @@
+//! Emission-discipline and scratch-allocator conformance, independent of
+//! the DRAM engine: a host-side [`RowInst`] interpreter with the exact
+//! TRA semantics (all three activated rows settle to the majority value)
+//! replays compiled programs and cross-checks them against the scalar
+//! reference. Any lifetime bug — a scratch row reused while its value is
+//! still live, a staged copy clobbering an operand — shows up as a
+//! wrong bit here with no engine in the loop.
+
+use pim_ambit::{RowInst, RowSlot, SpecialRow};
+use pim_simd::{Compiler, OpGraph, SimdError};
+
+/// Bool-lane interpreter for an emitted row program. One lane at a time:
+/// bit-serial programs are lane-independent, so scalar bools suffice.
+struct RowInterp {
+    planes: Vec<bool>,
+    dcc0: bool,
+    dcc1: bool,
+}
+
+impl RowInterp {
+    fn new(n_planes: u32) -> Self {
+        RowInterp {
+            planes: vec![false; n_planes as usize],
+            dcc0: false,
+            dcc1: false,
+        }
+    }
+
+    fn read(&self, slot: RowSlot) -> bool {
+        match slot {
+            RowSlot::Plane(i) => self.planes[i as usize],
+            RowSlot::Special(SpecialRow::C0) => false,
+            RowSlot::Special(SpecialRow::C1) => true,
+            RowSlot::Special(SpecialRow::Dcc0) => self.dcc0,
+            RowSlot::Special(SpecialRow::Dcc1) => self.dcc1,
+            RowSlot::Special(s) => panic!("compiled programs never read {s:?}"),
+        }
+    }
+
+    fn write(&mut self, slot: RowSlot, v: bool) {
+        match slot {
+            RowSlot::Plane(i) => self.planes[i as usize] = v,
+            RowSlot::Special(SpecialRow::Dcc0) => self.dcc0 = v,
+            RowSlot::Special(SpecialRow::Dcc1) => self.dcc1 = v,
+            RowSlot::Special(s) => panic!("compiled programs never write {s:?}"),
+        }
+    }
+
+    fn run(&mut self, insts: &[RowInst]) {
+        for inst in insts {
+            match *inst {
+                RowInst::Copy { src, dst, invert } => {
+                    let v = self.read(src) ^ invert;
+                    self.write(dst, v);
+                }
+                RowInst::Tra { rows } => {
+                    let m = self.majority(rows);
+                    for r in rows {
+                        self.write(r, m);
+                    }
+                }
+                RowInst::TraCopy { rows, dst, invert } => {
+                    let m = self.majority(rows);
+                    // The physical TRA settles all three activated rows
+                    // to the majority before the fused copy-out.
+                    for r in rows {
+                        self.write(r, m);
+                    }
+                    self.write(dst, m ^ invert);
+                }
+            }
+        }
+    }
+
+    fn majority(&self, rows: [RowSlot; 3]) -> bool {
+        let (a, b, c) = (self.read(rows[0]), self.read(rows[1]), self.read(rows[2]));
+        (a & b) | (a & c) | (b & c)
+    }
+}
+
+/// Runs `graph` through compile → host RowInst interpreter for one set
+/// of scalar operand values, returning the outputs.
+fn interpret(graph: &OpGraph, inputs: &[u64]) -> Vec<u64> {
+    let program = Compiler::new().compile(graph).expect("compile");
+    let mut interp = RowInterp::new(program.total_planes());
+    let mut plane = 0usize;
+    for (v, &w) in inputs.iter().zip(graph.input_widths()) {
+        for b in 0..w {
+            interp.planes[plane] = (v >> b) & 1 == 1;
+            plane += 1;
+        }
+    }
+    assert_eq!(plane as u32, program.n_input_planes());
+    interp.run(program.insts());
+    let mut outs = Vec::new();
+    let mut p = program.n_input_planes() as usize;
+    for &w in program.output_widths() {
+        let mut v = 0u64;
+        for b in 0..w {
+            v |= u64::from(interp.planes[p]) << b;
+            p += 1;
+        }
+        outs.push(v);
+    }
+    outs
+}
+
+fn mixed_graph(w: u32) -> OpGraph {
+    let mut g = OpGraph::builder();
+    let a = g.input(w);
+    let b = g.input(w);
+    // `a` and `sum` stay live across many later gates: long lifetimes
+    // force the allocator to keep rows pinned while temporaries churn.
+    let sum = g.add(a, b);
+    let diff = g.sub(sum, a);
+    let prod = g.mul(a, b);
+    let lt = g.lt(diff, b);
+    let x = g.xor(sum, diff);
+    g.output(sum);
+    g.output(prod);
+    g.output(lt);
+    g.output(x);
+    g.finish()
+}
+
+/// The host interpreter agrees with the scalar reference on every lane
+/// value — proving the emitted lifetime/aliasing discipline is sound
+/// without the engine in the loop.
+#[test]
+fn interpreter_matches_reference() {
+    for w in [2u32, 4, 8] {
+        let graph = mixed_graph(w);
+        let mask = (1u64 << w) - 1;
+        // Deterministic but well-mixed operand sweep.
+        for i in 0..64u64 {
+            let a = (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 7) & mask;
+            let b = (i.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) >> 13) & mask;
+            let got = interpret(&graph, &[a, b]);
+            let expect: Vec<u64> = graph
+                .eval_reference(&[&[a], &[b]])
+                .into_iter()
+                .map(|lanes| lanes[0])
+                .collect();
+            assert_eq!(got, expect, "w={w} a={a:#x} b={b:#x}");
+        }
+    }
+}
+
+/// Structural discipline: no instruction ever writes an input plane
+/// (TRA destroys rows, so read-only operands must be staged), and the
+/// only special rows referenced are C0/C1 (read) and DCC0 (the NOT
+/// path).
+#[test]
+fn emitted_writes_never_touch_input_planes() {
+    let graph = mixed_graph(8);
+    let program = Compiler::new().compile(&graph).expect("compile");
+    let n_in = program.n_input_planes();
+    let check_write = |slot: RowSlot| match slot {
+        RowSlot::Plane(i) => assert!(i >= n_in, "write to input plane {i}"),
+        RowSlot::Special(s) => assert_eq!(s, SpecialRow::Dcc0, "write to special {s:?}"),
+    };
+    let check_read = |slot: RowSlot| {
+        if let RowSlot::Special(s) = slot {
+            assert!(
+                matches!(s, SpecialRow::C0 | SpecialRow::C1 | SpecialRow::Dcc0),
+                "read of special {s:?}"
+            );
+        }
+    };
+    for inst in program.insts() {
+        match *inst {
+            RowInst::Copy { src, dst, .. } => {
+                check_read(src);
+                check_write(dst);
+            }
+            RowInst::Tra { rows } => {
+                for r in rows {
+                    check_read(r);
+                    check_write(r);
+                }
+            }
+            RowInst::TraCopy { rows, dst, .. } => {
+                for r in rows {
+                    check_read(r);
+                    check_write(r);
+                }
+                check_write(dst);
+            }
+        }
+    }
+}
+
+/// Compilation is a pure function of the graph: two compilers, two
+/// passes, byte-identical instruction streams and stats. This pins the
+/// allocator's lowest-free-index policy — a HashMap-iteration-order or
+/// free-list-ordering regression breaks this immediately.
+#[test]
+fn compilation_is_deterministic() {
+    for graph in [mixed_graph(8), mixed_graph(16)] {
+        let p1 = Compiler::new().compile(&graph).expect("compile");
+        let p2 = Compiler::new().compile(&graph).expect("compile");
+        assert_eq!(p1.insts(), p2.insts());
+        assert_eq!(p1.stats(), p2.stats());
+        assert_eq!(p1.scratch_rows(), p2.scratch_rows());
+    }
+}
+
+/// Scratch exhaustion is a typed error, never a panic, and the budget
+/// boundary is exact: the peak-liveness budget succeeds, one less fails.
+#[test]
+fn scratch_budget_exhaustion_is_typed() {
+    let mut g = OpGraph::builder();
+    let a = g.input(16);
+    let b = g.input(16);
+    let p = g.mul(a, b);
+    g.output(p);
+    let graph = g.finish();
+
+    let full = Compiler::new().compile(&graph).expect("compile");
+    let peak = full.stats().scratch_high_water;
+    assert!(peak > 2, "16-bit mul needs real scratch pressure");
+
+    let err = Compiler::new()
+        .with_scratch_budget(peak - 1)
+        .compile(&graph)
+        .expect_err("budget below peak liveness must fail");
+    match err {
+        SimdError::ScratchExhausted { needed, budget } => {
+            assert_eq!(budget, peak - 1);
+            assert_eq!(needed, peak, "fails exactly at the peak");
+        }
+        other => panic!("expected ScratchExhausted, got {other}"),
+    }
+
+    // The exact peak is enough: allocation at the boundary succeeds and
+    // produces the same program as the unconstrained compile.
+    let tight = Compiler::new()
+        .with_scratch_budget(peak)
+        .compile(&graph)
+        .expect("peak budget suffices");
+    assert_eq!(tight.insts(), full.insts());
+}

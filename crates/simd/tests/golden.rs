@@ -1,0 +1,92 @@
+//! Golden μprogram command counts.
+//!
+//! These pin the compiler's output for the two headline ops at the three
+//! standard widths to the SIMDRAM bit-serial cost shape: addition is
+//! *linear* in the lane width (one MIG full adder per bit — 3 MAJ +
+//! 1 NOT), multiplication is *quadratic* (shift-and-add over w partial
+//! products). Any lowering, folding, CSE, or emission change that
+//! regresses command counts fails here before it reaches a benchmark.
+
+use pim_simd::{Compiler, OpGraph, ProgramStats};
+
+fn binary(op: &str, w: u32) -> OpGraph {
+    let mut g = OpGraph::builder();
+    let a = g.input(w);
+    let b = g.input(w);
+    let r = match op {
+        "add" => g.add(a, b),
+        "mul" => g.mul(a, b),
+        _ => unreachable!(),
+    };
+    g.output(r);
+    g.finish()
+}
+
+fn stats(op: &str, w: u32) -> ProgramStats {
+    *Compiler::new()
+        .compile(&binary(op, w))
+        .expect("compile")
+        .stats()
+}
+
+#[track_caller]
+fn pin(op: &str, w: u32, aap: u64, tra: u64, maj: u64, not: u64, high_water: u32) {
+    let s = stats(op, w);
+    assert_eq!(
+        (s.aap, s.tra, s.maj_gates, s.not_gates, s.scratch_high_water),
+        (aap, tra, maj, not, high_water),
+        "golden counts moved for {op}{w}: got aap={} tra={} maj={} not={} hw={}",
+        s.aap,
+        s.tra,
+        s.maj_gates,
+        s.not_gates,
+        s.scratch_high_water,
+    );
+}
+
+/// w-bit add: one MIG full adder per bit (3 MAJ + 1 NOT), constant
+/// scratch pressure. Commands are exactly `11w + 1` (9w+1 AAP + 2w TRA).
+#[test]
+fn golden_add() {
+    pin("add", 8, 73, 16, 24, 8, 5);
+    pin("add", 16, 145, 32, 48, 16, 5);
+    pin("add", 32, 289, 64, 96, 32, 5);
+}
+
+/// w-bit mul: shift-and-add over w zero-extended partial products with
+/// constant folding killing the below-offset work; scratch pressure
+/// grows ~2w (the 2w-bit accumulator's live planes).
+#[test]
+fn golden_mul() {
+    pin("mul", 8, 552, 216, 232, 56, 19);
+    pin("mul", 16, 2256, 944, 976, 240, 35);
+    pin("mul", 32, 9120, 3936, 4000, 992, 67);
+}
+
+/// The add cost model is exactly linear: commands(w) = 11w + 1, and the
+/// full adder accounts 3 MAJ + 1 NOT per bit with width-independent
+/// scratch high water.
+#[test]
+fn add_shape_is_linear() {
+    for w in [2u32, 4, 8, 16, 32] {
+        let s = stats("add", w);
+        assert_eq!(s.commands(), 11 * u64::from(w) + 1, "commands at w={w}");
+        assert_eq!(s.maj_gates, 3 * u64::from(w), "MAJ gates at w={w}");
+        assert_eq!(s.not_gates, u64::from(w), "NOT gates at w={w}");
+        assert_eq!(s.scratch_high_water, 5, "scratch high water at w={w}");
+    }
+}
+
+/// The mul cost model is superlinear (quadratic partial-product work):
+/// doubling the width must cost strictly more than double per step, and
+/// stay within the 16×-per-doubling bound of a naive w² blowup.
+#[test]
+fn mul_shape_is_quadratic() {
+    let c8 = stats("mul", 8).commands();
+    let c16 = stats("mul", 16).commands();
+    let c32 = stats("mul", 32).commands();
+    assert!(c16 > 2 * c8, "mul16 ({c16}) vs 2×mul8 ({c8})");
+    assert!(c32 > 2 * c16, "mul32 ({c32}) vs 2×mul16 ({c16})");
+    assert!(c16 < 8 * c8, "mul16 ({c16}) blew past 8×mul8 ({c8})");
+    assert!(c32 < 8 * c16, "mul32 ({c32}) blew past 8×mul16 ({c16})");
+}
