@@ -38,6 +38,7 @@ fn main() {
         ("e9_arithmetic", pim_bench::e9::table()),
         ("e10_dna_filter", pim_bench::e10::table()),
         ("e11_simd_arith", pim_bench::e11::table()),
+        ("e12_tensor_ml", pim_bench::e12::table()),
         ("ablation_banks", pim_bench::ablations::bank_scaling_table()),
         (
             "ablation_technology",

@@ -1,0 +1,42 @@
+//! Regenerates extension experiment E12 (SimplePIM-style ML workloads
+//! on the pim-tensor frontend), writes `results/BENCH_tensor.json`, and
+//! gates it against the regression bands, exiting nonzero on violation.
+//! `--out <path>` overrides the output path; shared flags: `--quiet`,
+//! `--telemetry[=path]` (JSON run report).
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut log = pim_bench::report::RunLog::from_env("e12_tensor_ml");
+    let out = log
+        .args()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| PathBuf::from(&w[1]))
+        .unwrap_or_else(|| PathBuf::from("results").join("BENCH_tensor.json"));
+
+    let points = pim_bench::e12::run();
+    log.table(pim_bench::e12::table_for(&points));
+    let value = pim_bench::e12::to_value(&points);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&value).expect("report values are finite"),
+    )
+    .expect("write BENCH_tensor.json");
+    log.event("tensor", out.display().to_string());
+
+    match pim_bench::e12::check_bands(&value) {
+        Ok(()) => log.event("bands", "all regression bands hold"),
+        Err(e) => {
+            // Print the violation even under --quiet: CI reads this.
+            eprintln!("e12_tensor_ml: band violation: {e}");
+            std::process::exit(1);
+        }
+    }
+    log.finish().expect("write run report");
+}

@@ -1,0 +1,638 @@
+//! E12 (extension) — the SimplePIM-style ML workload suite on the
+//! tensor frontend.
+//!
+//! E11 measures single compiled operations; E12 measures whole workloads
+//! written against `pim-tensor`'s typed arrays: vector add, a tree
+//! reduction, a 16-bin histogram, the k-means assignment step, and
+//! linear/logistic-regression inference (plus a wide-multiply row that
+//! documents where the advisor keeps work on the host, per E11). Every
+//! workload runs twice through the *same* lazy-DAG planner — once forced
+//! onto the host CPU model, once with advised placement over CPU + Ambit
+//! — and each run is differentially checked against an independent
+//! scalar reference before it is timed. `results/BENCH_tensor.json`
+//! records the table; [`check_bands`] is the CI regression gate.
+
+use pim_core::{Objective, Table, Value};
+use pim_host::{CpuConfig, CpuModel};
+use pim_runtime::{CpuBackend, Placement, Runtime};
+use pim_tensor::{PimTensor, TensorConfig, TensorSession};
+use serde_json::Map;
+
+/// Lanes per workload: eight full DDR3 rows, the same scale E11 uses,
+/// so bank-parallel bit-serial programs amortize their fixed command
+/// cost.
+pub const LANES: usize = 1 << 16;
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadPoint {
+    /// Workload name.
+    pub name: &'static str,
+    /// The advisor objective the advised run placed under (`time` or
+    /// `energy`).
+    pub objective: &'static str,
+    /// Elements processed.
+    pub lanes: usize,
+    /// Jobs the advised run emitted.
+    pub jobs: u64,
+    /// Advised jobs that stayed on the host (bit-serial lost the cost
+    /// comparison — wide multiplies, sub-wave tails).
+    pub fallback_jobs: u64,
+    /// Compiled stages (scratch-budget splits + 1 per plan).
+    pub stages: u64,
+    /// Modeled device-busy time, host-only run (ns).
+    pub host_ns: f64,
+    /// Modeled device-busy time, advised CPU+Ambit run (ns).
+    pub pim_ns: f64,
+    /// Modeled energy, host-only run (nJ).
+    pub host_nj: f64,
+    /// Modeled energy, advised run (nJ).
+    pub pim_nj: f64,
+    /// Both runs matched the scalar reference bit-for-bit.
+    pub exact: bool,
+}
+
+impl WorkloadPoint {
+    /// Host / advised modeled time.
+    pub fn speedup(&self) -> f64 {
+        self.host_ns / self.pim_ns
+    }
+
+    /// Host / advised modeled energy.
+    pub fn energy_ratio(&self) -> f64 {
+        self.host_nj / self.pim_nj
+    }
+}
+
+fn hash_lanes(n: usize, mult: u64, bits: u32) -> Vec<u64> {
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    (0..n as u64)
+        .map(|i| (i.wrapping_mul(mult) >> 13) & mask)
+        .collect()
+}
+
+/// The advised two-site session every PIM-side measurement uses.
+fn advised_session(objective: Objective) -> TensorSession {
+    let mut sess = TensorSession::ddr3();
+    sess.config_mut().placement = Placement::Advised(objective);
+    sess
+}
+
+/// The host baseline: the same planner forced onto the CPU model.
+fn host_session() -> TensorSession {
+    let cpu = CpuBackend::new("cpu", CpuModel::new(CpuConfig::skylake_ddr3()));
+    TensorSession::new(
+        Runtime::new().with(Box::new(cpu)),
+        TensorConfig {
+            placement: Placement::Forced("cpu".into()),
+            ..TensorConfig::default()
+        },
+    )
+}
+
+/// Runs `eval` on both sessions, checks each against `want`, and folds
+/// the modeled costs plus the advised run's planning telemetry into one
+/// point.
+fn measure(
+    name: &'static str,
+    objective: Objective,
+    lanes: usize,
+    want: &[u64],
+    eval: impl Fn(&mut TensorSession) -> Vec<u64>,
+) -> WorkloadPoint {
+    let mut host = host_session();
+    let host_out = eval(&mut host);
+    let (host_ns, host_nj) = host.take_modeled_cost();
+
+    let mut pim = advised_session(objective);
+    pim.set_telemetry(true);
+    let pim_out = eval(&mut pim);
+    let (pim_ns, pim_nj) = pim.take_modeled_cost();
+    let sink = pim.take_telemetry().expect("telemetry enabled");
+
+    WorkloadPoint {
+        name,
+        objective: match objective {
+            Objective::Time => "time",
+            Objective::Energy => "energy",
+            Objective::EnergyDelay => "energy-delay",
+        },
+        lanes,
+        jobs: sink.counter("tensor.jobs", 0),
+        fallback_jobs: sink.counter("tensor.fallback_host", 0),
+        stages: sink.counter("tensor.stages", 0),
+        host_ns,
+        pim_ns,
+        host_nj,
+        pim_nj,
+        exact: host_out == want && pim_out == want,
+    }
+}
+
+/// `c[i] = a[i] + b[i]` over u32 lanes.
+pub fn vector_add() -> WorkloadPoint {
+    let av = hash_lanes(LANES, 0x9e37_79b9_7f4a_7c15, 32);
+    let bv = hash_lanes(LANES, 0xc2b2_ae3d_27d4_eb4f, 32);
+    let want: Vec<u64> = av
+        .iter()
+        .zip(&bv)
+        .map(|(&a, &b)| u64::from((a as u32).wrapping_add(b as u32)))
+        .collect();
+    measure("vector_add u32", Objective::Time, LANES, &want, |sess| {
+        let a = PimTensor::<u32>::from_u64_values(av.clone());
+        let b = PimTensor::<u32>::from_u64_values(bv.clone());
+        sess.eval(&(&a + &b))
+            .expect("eval")
+            .into_iter()
+            .map(u64::from)
+            .collect()
+    })
+}
+
+/// Exact 64-bit tree-reduction sum of u32 lanes.
+pub fn reduce_sum() -> WorkloadPoint {
+    let av = hash_lanes(LANES, 0x2545_f491_4f6c_dd1d, 32);
+    let want = vec![av.iter().sum::<u64>()];
+    measure("reduce_sum u32", Objective::Time, LANES, &want, |sess| {
+        let a = PimTensor::<u32>::from_u64_values(av.clone());
+        vec![sess.sum(&a).expect("sum")]
+    })
+}
+
+/// 16-bin histogram of u8 lanes (all range masks fuse into one
+/// multi-output program).
+pub fn histogram16() -> WorkloadPoint {
+    let av = hash_lanes(LANES, 0xd6e8_feb8_6659_fd93, 8);
+    let mut want = vec![0u64; 16];
+    for &v in &av {
+        want[(v >> 4) as usize] += 1;
+    }
+    measure(
+        "histogram 16-bin u8",
+        Objective::Time,
+        LANES,
+        &want.clone(),
+        |sess| {
+            let t = PimTensor::<u8>::from_u64_values(av.clone());
+            sess.histogram(&t, 16).expect("histogram")
+        },
+    )
+}
+
+/// K-means centroids: 4 clusters over 2 features quantized to 7 bits,
+/// so the 2-feature L1 distance (at most 254) still fits the u8 lane
+/// and the whole assignment tournament stays 8-bit end to end.
+const CENTROIDS: [[u8; 2]; 4] = [[16, 24], [48, 80], [96, 32], [112, 112]];
+
+/// L1 (Manhattan) distance in tensor form: `|x - c|` via compare/select,
+/// accumulated in the same u8 lane. Width minimization is what makes
+/// the workload bit-serial-profitable twice over: the mul-free distance
+/// avoids E11's quadratic multiply (a squared-L2 variant would route
+/// the whole program to the host — see the `wide_mul` row), and 7-bit
+/// features keep every plane count at 8 bits.
+fn l1_dist(x: &[PimTensor<u8>; 2], c: [u8; 2]) -> PimTensor<u8> {
+    let mut acc: Option<PimTensor<u8>> = None;
+    for (f, x) in x.iter().enumerate() {
+        let c = PimTensor::<u8>::splat(c[f], x.len());
+        let diff = x.lt(&c).select(&(&c - x), &(x - &c));
+        acc = Some(match acc {
+            Some(a) => &a + &diff,
+            None => diff,
+        });
+    }
+    acc.expect("at least one feature")
+}
+
+/// The k-means assignment step: each point gets the index of its
+/// nearest centroid, computed as one fused compare/select tournament.
+///
+/// Measured under [`Objective::Energy`]: clustering is a latency-tolerant
+/// batch job, and the 4-way tournament is command-heavy enough
+/// (~1850 commands per chunk) that bit-serial loses the time comparison
+/// by ~1.7x while winning energy by two orders of magnitude — in-DRAM
+/// majority ops spend no DQ/bus energy. Under `Objective::Time` the
+/// advisor (correctly) keeps it on the host; the band below pins the
+/// energy win *and* that the time cost stays bounded.
+pub fn kmeans_assign() -> WorkloadPoint {
+    let xs = [
+        hash_lanes(LANES, 0xff51_afd7_ed55_8ccd, 7),
+        hash_lanes(LANES, 0xc4ce_b9fe_1a85_ec53, 7),
+    ];
+    let want: Vec<u64> = (0..LANES)
+        .map(|i| {
+            let (mut best_k, mut best_d) = (0u64, u64::MAX);
+            for (k, c) in CENTROIDS.iter().enumerate() {
+                let d: u64 = (0..2).map(|f| xs[f][i].abs_diff(u64::from(c[f]))).sum();
+                if d < best_d {
+                    best_d = d;
+                    best_k = k as u64;
+                }
+            }
+            best_k
+        })
+        .collect();
+    measure(
+        "kmeans assign 4x2 u7",
+        Objective::Energy,
+        LANES,
+        &want,
+        |sess| {
+            let x = [
+                PimTensor::<u8>::from_u64_values(xs[0].clone()),
+                PimTensor::<u8>::from_u64_values(xs[1].clone()),
+            ];
+            let mut best_d = l1_dist(&x, CENTROIDS[0]);
+            let mut best_k = PimTensor::<u8>::splat(0, LANES);
+            for (k, c) in CENTROIDS.iter().enumerate().skip(1) {
+                let d = l1_dist(&x, *c);
+                let closer = d.lt(&best_d);
+                best_d = closer.select(&d, &best_d);
+                best_k = closer.select(&PimTensor::<u8>::splat(k as u8, LANES), &best_k);
+            }
+            sess.eval(&best_k)
+                .expect("eval")
+                .into_iter()
+                .map(u64::from)
+                .collect()
+        },
+    )
+}
+
+/// Fixed-point model shared by the regression workloads: 4 u8 features
+/// with power-of-two quantized weights (`w = 2^shift`), a u32 bias, the
+/// score accumulated at u32. Power-of-two weights turn the dot product
+/// into shift-adds — the standard quantization for bit-serial PIM
+/// inference; dense weights would bring the multiply in and route to
+/// the host (the `wide_mul` row measures exactly that regime).
+const WEIGHT_SHIFTS: [u32; 4] = [1, 4, 3, 5];
+const BIAS: u32 = 1000;
+const THRESHOLD: u32 = 8000;
+
+fn regression_features() -> [Vec<u64>; 4] {
+    [
+        hash_lanes(LANES, 0x94d0_49bb_1331_11eb, 8),
+        hash_lanes(LANES, 0xbf58_476d_1ce4_e5b9, 8),
+        hash_lanes(LANES, 0x2127_599b_f432_5c37, 8),
+        hash_lanes(LANES, 0x6eed_0e9d_a4d9_4a4f, 8),
+    ]
+}
+
+fn score_scalar(xs: &[Vec<u64>; 4], i: usize) -> u64 {
+    xs.iter()
+        .zip(&WEIGHT_SHIFTS)
+        .map(|(x, &s)| x[i] << s)
+        .sum::<u64>()
+        + u64::from(BIAS)
+}
+
+fn score_tensor(xs: &[Vec<u64>; 4]) -> PimTensor<u32> {
+    let mut acc = PimTensor::<u32>::splat(BIAS, LANES);
+    for (x, &s) in xs.iter().zip(&WEIGHT_SHIFTS) {
+        let x: PimTensor<u32> = PimTensor::<u8>::from_u64_values(x.clone()).widen();
+        acc = &acc + &x.shl(s);
+    }
+    acc
+}
+
+/// Linear-regression inference: the fixed-point dot product per lane.
+pub fn linreg_infer() -> WorkloadPoint {
+    let xs = regression_features();
+    let want: Vec<u64> = (0..LANES).map(|i| score_scalar(&xs, i)).collect();
+    measure(
+        "linreg infer 4-feat",
+        Objective::Time,
+        LANES,
+        &want,
+        |sess| {
+            sess.eval(&score_tensor(&xs))
+                .expect("eval")
+                .into_iter()
+                .map(u64::from)
+                .collect()
+        },
+    )
+}
+
+/// Logistic-regression inference: the same score thresholded into a
+/// class bit (the fixed-point stand-in for `sigmoid(score) >= 0.5`).
+pub fn logreg_infer() -> WorkloadPoint {
+    let xs = regression_features();
+    let want: Vec<u64> = (0..LANES)
+        .map(|i| u64::from(score_scalar(&xs, i) >= u64::from(THRESHOLD)))
+        .collect();
+    measure(
+        "logreg infer 4-feat",
+        Objective::Time,
+        LANES,
+        &want,
+        |sess| {
+            let class = score_tensor(&xs)
+                .lt(&PimTensor::<u32>::splat(THRESHOLD, LANES))
+                .not();
+            sess.eval_mask(&class)
+                .expect("eval")
+                .into_iter()
+                .map(u64::from)
+                .collect()
+        },
+    )
+}
+
+/// The E11 honesty row: a 32-bit multiply, where the quadratic
+/// bit-serial program loses and advised placement must keep every job
+/// on the host.
+pub fn wide_mul32() -> WorkloadPoint {
+    let av = hash_lanes(LANES, 0x8cb9_2ba7_2f3d_8dd7, 32);
+    let bv = hash_lanes(LANES, 0xa24b_aed4_963e_e407, 32);
+    let want: Vec<u64> = av.iter().zip(&bv).map(|(&a, &b)| a * b).collect();
+    measure(
+        "wide_mul u32 (host)",
+        Objective::Time,
+        LANES,
+        &want,
+        |sess| {
+            let a = PimTensor::<u32>::from_u64_values(av.clone());
+            let b = PimTensor::<u32>::from_u64_values(bv.clone());
+            let p: PimTensor<u64> = &a * &b;
+            sess.eval(&p).expect("eval")
+        },
+    )
+}
+
+/// Every E12 workload, in table order.
+pub fn run() -> Vec<WorkloadPoint> {
+    let tasks: Vec<Box<dyn FnOnce() -> WorkloadPoint + Send>> = vec![
+        Box::new(vector_add),
+        Box::new(reduce_sum),
+        Box::new(histogram16),
+        Box::new(kmeans_assign),
+        Box::new(linreg_infer),
+        Box::new(logreg_infer),
+        Box::new(wide_mul32),
+    ];
+    crate::run_tasks(tasks)
+}
+
+/// Renders the EXPERIMENTS.md table.
+pub fn table_for(points: &[WorkloadPoint]) -> Table {
+    let mut t = Table::new(
+        "E12 (extension): SimplePIM-style workloads on pim-tensor (advised CPU+Ambit vs host)",
+        &[
+            "workload",
+            "lanes",
+            "objective",
+            "jobs",
+            "host-fallback",
+            "stages",
+            "host (ms)",
+            "advised (ms)",
+            "speedup",
+            "host/PIM energy",
+            "exact",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.name.into(),
+            Value::Num(p.lanes as f64),
+            p.objective.into(),
+            Value::Num(p.jobs as f64),
+            Value::Num(p.fallback_jobs as f64),
+            Value::Num(p.stages as f64),
+            Value::Num(p.host_ns / 1e6),
+            Value::Num(p.pim_ns / 1e6),
+            Value::Ratio(p.speedup()),
+            Value::Ratio(p.energy_ratio()),
+            if p.exact { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t
+}
+
+/// Runs the suite and renders the table.
+pub fn table() -> Table {
+    table_for(&run())
+}
+
+/// Format tag of the `BENCH_tensor.json` envelope.
+pub const TENSOR_TAG: &str = "PIMTENSOR01";
+
+/// Serializes the suite as the `BENCH_tensor.json` value tree.
+pub fn to_value(points: &[WorkloadPoint]) -> serde_json::Value {
+    use serde_json::Value;
+    let mut root = Map::new();
+    root.insert("format", Value::Str(TENSOR_TAG.to_string()));
+    root.insert(
+        "workloads",
+        Value::Array(
+            points
+                .iter()
+                .map(|p| {
+                    let mut w = Map::new();
+                    w.insert("name", Value::Str(p.name.to_string()));
+                    w.insert("objective", Value::Str(p.objective.to_string()));
+                    w.insert("lanes", Value::Num(p.lanes as f64));
+                    w.insert("jobs", Value::Num(p.jobs as f64));
+                    w.insert("fallback_jobs", Value::Num(p.fallback_jobs as f64));
+                    w.insert("stages", Value::Num(p.stages as f64));
+                    w.insert("host_ns", Value::Num(p.host_ns));
+                    w.insert("pim_ns", Value::Num(p.pim_ns));
+                    w.insert("host_nj", Value::Num(p.host_nj));
+                    w.insert("pim_nj", Value::Num(p.pim_nj));
+                    w.insert("speedup", Value::Num(p.speedup()));
+                    w.insert("energy_ratio", Value::Num(p.energy_ratio()));
+                    w.insert("exact", Value::Bool(p.exact));
+                    Value::Object(w)
+                })
+                .collect(),
+        ),
+    );
+    serde_json::Value::Object(root)
+}
+
+/// Per-workload speedup floors for the CI gate. Bands sit well under
+/// the measured values (see EXPERIMENTS.md E12) so they catch planner
+/// or advisor regressions, not modeling noise.
+const SPEEDUP_FLOORS: [(&str, f64); 4] = [
+    ("vector_add u32", 2.0),
+    ("reduce_sum u32", 1.2),
+    ("histogram 16-bin u8", 2.0),
+    ("linreg infer 4-feat", 1.5),
+];
+
+/// The energy-objective workload (k-means assignment): it must offload
+/// every job, win energy by at least this ratio, and cost at most 2x
+/// host time (measured: ~108x energy at ~0.6x time).
+const KMEANS: &str = "kmeans assign 4x2 u7";
+const KMEANS_ENERGY_FLOOR: f64 = 20.0;
+const KMEANS_TIME_FLOOR: f64 = 0.5;
+
+/// Workloads the advisor must keep on the host, banded *near 1.0 from
+/// both sides*: advised placement may neither lose to the host it can
+/// always pick, nor claim a bit-serial win the cost models rule out.
+/// `wide_mul` loses on E11's quadratic multiply; `logreg` loses because
+/// its 1-bit class output makes the host stream almost free.
+const HOST_REGIME: [&str; 2] = ["logreg infer 4-feat", "wide_mul u32 (host)"];
+
+/// Checks the regression bands over a `BENCH_tensor.json` value tree.
+/// This is the CI gate: every workload must be bit-exact, the advised
+/// runs must hold their speedup floors, the energy-objective k-means
+/// row must offload and hold its energy ratio, and the host-regime rows
+/// must stay on the host (every job a fallback, speedup within 10% of
+/// 1.0).
+///
+/// # Errors
+///
+/// A description of the first band violated.
+pub fn check_bands(v: &serde_json::Value) -> Result<(), String> {
+    use serde_json::Value;
+    if v["format"].as_str() != Some(TENSOR_TAG) {
+        return Err(format!("bad format tag: {:?}", v["format"]));
+    }
+    let Value::Array(ws) = &v["workloads"] else {
+        return Err("workloads is not an array".into());
+    };
+    let find = |name: &str| {
+        ws.iter()
+            .find(|w| w["name"].as_str() == Some(name))
+            .ok_or(format!("missing workload {name:?}"))
+    };
+    for w in ws {
+        let name = w["name"].as_str().ok_or("workload lacks a name")?;
+        if w["exact"] != Value::Bool(true) {
+            return Err(format!("{name} diverged from the scalar reference"));
+        }
+    }
+    for (name, floor) in SPEEDUP_FLOORS {
+        let w = find(name)?;
+        let s = w["speedup"]
+            .as_f64()
+            .ok_or(format!("{name} speedup is not a number"))?;
+        if s < floor {
+            return Err(format!(
+                "advised-placement regression: {name} at {s:.2}x (band: >= {floor}x)"
+            ));
+        }
+    }
+    {
+        let w = find(KMEANS)?;
+        let fallback = w["fallback_jobs"].as_f64();
+        if w["jobs"].as_f64().unwrap_or(0.0) == 0.0 || fallback != Some(0.0) {
+            return Err(format!(
+                "{KMEANS} must offload under the energy objective ({fallback:?} fallbacks)"
+            ));
+        }
+        let e = w["energy_ratio"]
+            .as_f64()
+            .ok_or(format!("{KMEANS} energy_ratio is not a number"))?;
+        if e < KMEANS_ENERGY_FLOOR {
+            return Err(format!(
+                "energy regression: {KMEANS} at {e:.1}x (band: >= {KMEANS_ENERGY_FLOOR}x)"
+            ));
+        }
+        let s = w["speedup"]
+            .as_f64()
+            .ok_or(format!("{KMEANS} speedup is not a number"))?;
+        if s < KMEANS_TIME_FLOOR {
+            return Err(format!(
+                "{KMEANS} time cost out of band: {s:.2}x (band: >= {KMEANS_TIME_FLOOR}x)"
+            ));
+        }
+    }
+    for name in HOST_REGIME {
+        let w = find(name)?;
+        let (jobs, fallback) = (w["jobs"].as_f64(), w["fallback_jobs"].as_f64());
+        if jobs.is_none() || jobs != fallback || jobs == Some(0.0) {
+            return Err(format!(
+                "{name} must stay on the host: {jobs:?} jobs, {fallback:?} fallbacks"
+            ));
+        }
+        let s = w["speedup"]
+            .as_f64()
+            .ok_or(format!("{name} speedup is not a number"))?;
+        if !(0.9..=1.1).contains(&s) {
+            return Err(format!(
+                "{name} advised run should match the host baseline: {s:.2}x"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_is_exact_and_banded() {
+        let points = run();
+        assert_eq!(points.len(), 7);
+        check_bands(&to_value(&points)).expect("E12 bands hold");
+    }
+
+    #[test]
+    fn advised_add_offloads_and_traces_pass_the_oracle() {
+        let mut sess = advised_session(Objective::Time);
+        sess.runtime_mut().set_trace(true);
+        let av = hash_lanes(LANES, 0x9e37_79b9_7f4a_7c15, 32);
+        let bv = hash_lanes(LANES, 0xc2b2_ae3d_27d4_eb4f, 32);
+        let a = PimTensor::<u32>::from_u64_values(av.clone());
+        let b = PimTensor::<u32>::from_u64_values(bv.clone());
+        let got = sess.eval(&(&a + &b)).expect("eval");
+        for i in 0..LANES {
+            assert_eq!(
+                u64::from(got[i]),
+                u64::from((av[i] as u32).wrapping_add(bv[i] as u32))
+            );
+        }
+        assert!(
+            sess.last_decisions().iter().all(|d| d.backend == "ambit"),
+            "full-wave add must offload"
+        );
+        let traces = sess.runtime_mut().take_traces();
+        let ambit = traces
+            .iter()
+            .find(|(n, _, _)| n == "ambit")
+            .expect("ambit trace captured");
+        let trace = pim_check::Trace::capture(ambit.1.clone(), ambit.2.clone());
+        let report = pim_check::check_trace(&trace, pim_check::CheckOptions::timing_only())
+            .expect("oracle accepts the E12 command trace");
+        assert_eq!(report.commands, trace.records.len());
+    }
+
+    #[test]
+    fn bands_reject_divergence_and_host_losses() {
+        let mut points = run();
+        let json = to_value(&points);
+        assert!(check_bands(&json).is_ok());
+
+        points[0].exact = false;
+        assert!(check_bands(&to_value(&points)).is_err());
+        points[0].exact = true;
+
+        points[0].pim_ns = points[0].host_ns * 2.0;
+        assert!(check_bands(&to_value(&points)).is_err());
+        points[0].pim_ns = points[0].host_ns / 2.0;
+
+        let k = points
+            .iter()
+            .position(|p| p.name == KMEANS)
+            .expect("kmeans");
+        let saved = points[k].pim_nj;
+        points[k].pim_nj = points[k].host_nj; // energy win evaporates
+        assert!(check_bands(&to_value(&points)).is_err());
+        points[k].pim_nj = saved;
+
+        points[k].fallback_jobs = points[k].jobs; // stayed on the host
+        assert!(check_bands(&to_value(&points)).is_err());
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(table_for(&run()).to_markdown().contains("speedup"));
+    }
+}

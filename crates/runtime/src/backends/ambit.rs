@@ -27,11 +27,12 @@
 //! any job on a fault-injecting device (`tra_failure_rate > 0`, where the
 //! fault RNG is keyed on absolute chunk indices) dispatch individually.
 
-use crate::backend::{Backend, JobQueue};
+use crate::backend::{Backend, CostEstimate, JobQueue};
 use crate::error::RuntimeError;
 use crate::job::{Completion, Job, JobId, JobOutput, JobReport};
 use pim_ambit::{AmbitConfig, AmbitError, AmbitSystem};
 use pim_core::SiteModel;
+use pim_dram::CommandKind;
 use pim_dram::{CommandCounts, DramSpec, TraceRecord};
 use pim_telemetry::{ExecSpan, TelemetrySink, POW2_BOUNDS};
 use pim_workloads::{BitSlicedIntVec, BitVec, BulkOp};
@@ -371,6 +372,47 @@ impl Backend for AmbitBackend {
                 | Job::RowInit { .. }
                 | Job::SimdProgram { .. }
         )
+    }
+
+    fn estimate(&self, job: &Job) -> Result<CostEstimate, RuntimeError> {
+        if !self.supports(job) {
+            return Err(RuntimeError::Unsupported {
+                backend: self.name.clone(),
+                job: job.kind(),
+            });
+        }
+        match job {
+            // A compiled program's cost is its command sequence, not a
+            // byte stream: project the typed [`pim_simd::CostModel`]
+            // through the device's AAP/TRA timings (bank-parallel waves
+            // of row-sized chunks) and its per-command energy model.
+            // This is what lets the advisor see mul's quadratic command
+            // blowup without executing anything.
+            Job::SimdProgram { program, inputs } => {
+                let lanes = inputs.first().map_or(0, |v| v.len());
+                let cost = program.cost_model();
+                let pim = self.sys.spec().pim;
+                let cycles =
+                    cost.lane_cycles(lanes, self.row_bits, self.total_banks, pim.aap, pim.tra);
+                let chunks = lanes.div_ceil(self.row_bits).max(1) as u64;
+                let mut counts = CommandCounts::new();
+                counts.record_n(CommandKind::Aap, cost.aap * chunks);
+                counts.record_n(CommandKind::Tra, cost.tra * chunks);
+                Ok(CostEstimate {
+                    ns: self.sys.spec().timing.cycles_to_ns(cycles),
+                    energy: self.sys.price_commands(&counts),
+                })
+            }
+            _ => {
+                let profile = job.profile();
+                let mut energy = pim_energy::EnergyBreakdown::new();
+                energy.add_nj(pim_energy::Component::Other, self.site.energy_nj(&profile));
+                Ok(CostEstimate {
+                    ns: self.site.time_ns(&profile),
+                    energy,
+                })
+            }
+        }
     }
 
     fn submit(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError> {

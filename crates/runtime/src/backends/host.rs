@@ -3,14 +3,15 @@
 //! rooflines (bulk bitwise only). These are the `is_host` ends of the
 //! offload decision and the forced-placement baselines for A/B runs.
 
-use crate::backend::{Backend, JobQueue};
+use crate::backend::{Backend, CostEstimate, JobQueue};
 use crate::backends::ambit::DEFAULT_CAPACITY;
 use crate::error::RuntimeError;
 use crate::job::{Completion, GraphRun, Job, JobId, JobOutput, JobReport};
 use pim_core::SiteModel;
 use pim_host::{CpuModel, GpuModel, HmcLogicModel, HostReport};
+use pim_simd::CompiledProgram;
 use pim_tesseract::{engine::run_kernel, HostGraphConfig, HostGraphModel, VertexPartition};
-use pim_workloads::{BitVec, BitwisePlan};
+use pim_workloads::{BitSlicedIntVec, BitVec, BitwisePlan};
 use std::sync::Arc;
 
 fn host_job_report(name: &str, r: &HostReport) -> JobReport {
@@ -32,6 +33,35 @@ fn eval_plan(plan: &BitwisePlan, inputs: &[Arc<BitVec>]) -> JobOutput {
     } else {
         JobOutput::MultiBits(outs)
     }
+}
+
+/// Traffic/instruction shape of a compiled bit-serial program executed
+/// as a vectorized scalar loop on the host: stream every input lane in,
+/// every output lane out, and spend one SIMD-amortized op per graph node
+/// per lane (4-wide, the E11 calibration).
+fn simd_stream_shape(program: &CompiledProgram, lanes: usize) -> (u64, u64, u64) {
+    let graph = program.source_graph();
+    let lane_bytes = |w: u32| (lanes as u64 * u64::from(w)).div_ceil(8);
+    let read: u64 = graph.input_widths().iter().map(|&w| lane_bytes(w)).sum();
+    let write: u64 = graph.output_widths().iter().map(|&w| lane_bytes(w)).sum();
+    let ops = (graph.len() as u64 * lanes as u64).div_ceil(4);
+    (read, write, ops)
+}
+
+/// Evaluates a compiled bit-serial program functionally via the graph's
+/// host reference interpreter (the same oracle the conformance suite
+/// trusts), re-slicing the results at the graph's output widths.
+fn eval_simd(program: &CompiledProgram, inputs: &[Arc<BitSlicedIntVec>]) -> JobOutput {
+    let values: Vec<Vec<u64>> = inputs.iter().map(|v| v.to_values()).collect();
+    let refs: Vec<&[u64]> = values.iter().map(|v| v.as_slice()).collect();
+    let graph = program.source_graph();
+    let outs = graph.eval_reference(&refs);
+    let sliced = outs
+        .iter()
+        .zip(graph.output_widths())
+        .map(|(vals, w)| BitSlicedIntVec::from_values(vals, w))
+        .collect();
+    JobOutput::Sliced(sliced)
 }
 
 /// The Skylake-class CPU roofline as the host backend. Supports every
@@ -126,12 +156,45 @@ impl Backend for CpuBackend {
             Job::Bitwise { .. }
             | Job::RowCopy { .. }
             | Job::RowInit { .. }
-            | Job::Stream { .. } => true,
+            | Job::Stream { .. }
+            // Compiled bit-serial programs run here as a vectorized
+            // scalar loop over the source graph — the fallback site the
+            // advisor routes to where bit-serial loses (wide multiply).
+            | Job::SimdProgram { .. } => true,
             Job::GraphBatch { .. } => self.graph.is_some(),
-            // Bit-serial row programs only make sense on a command-
-            // replayed DRAM engine; the host reference lives in the
-            // conformance tests, not the scheduler.
-            Job::SimdProgram { .. } => false,
+        }
+    }
+
+    fn estimate(&self, job: &Job) -> Result<CostEstimate, RuntimeError> {
+        if !self.supports(job) {
+            return Err(RuntimeError::Unsupported {
+                backend: self.name.clone(),
+                job: job.kind(),
+            });
+        }
+        match job {
+            // Price the loop the host would actually run (lane streams +
+            // per-node scalar work), not the job's PIM-shaped byte
+            // profile — this is what makes the advisor's simd-program
+            // comparison honest.
+            Job::SimdProgram { program, inputs } => {
+                let lanes = inputs.first().map_or(0, |v| v.len());
+                let (read, write, ops) = simd_stream_shape(program, lanes);
+                let r = self.cpu.stream(read, write, ops);
+                Ok(CostEstimate {
+                    ns: r.ns,
+                    energy: r.energy,
+                })
+            }
+            _ => {
+                let profile = job.profile();
+                let mut energy = pim_energy::EnergyBreakdown::new();
+                energy.add_nj(pim_energy::Component::Other, self.site.energy_nj(&profile));
+                Ok(CostEstimate {
+                    ns: self.site.time_ns(&profile),
+                    energy,
+                })
+            }
         }
     }
 
@@ -194,7 +257,15 @@ impl Backend for CpuBackend {
                         },
                     )
                 }
-                Job::SimdProgram { .. } => unreachable!("submit checked support"),
+                Job::SimdProgram { program, inputs } => {
+                    let lanes = inputs.first().map_or(0, |v| v.len());
+                    let (read, write, ops) = simd_stream_shape(&program, lanes);
+                    let r = self.cpu.stream(read, write, ops);
+                    (
+                        eval_simd(&program, &inputs),
+                        host_job_report(&self.name, &r),
+                    )
+                }
             };
             self.queue.finish(Completion { id, output, report });
         }

@@ -153,9 +153,37 @@ impl Runtime {
             .filter(|b| !b.is_host() && b.supports(job));
 
         if let Some(host) = host {
+            // For compiled bit-serial programs the shared byte/op profile
+            // is a fiction on both sides: the true PIM cost is the emitted
+            // AAP/TRA sequence (quadratic in width for multiply), the true
+            // host cost a vectorized scalar loop. Price each side with its
+            // backend's own estimator so the verdict tracks the compiled
+            // program — this is what routes wide multiplies back to the
+            // host.
+            let host_est = match job {
+                Job::SimdProgram { .. } => Some(host.estimate(job)?),
+                _ => None,
+            };
             let mut best: Option<(f64, &dyn Backend, OffloadDecision)> = None;
             for cand in candidates {
-                let d = decide(&profile, host.site(), cand.site(), objective);
+                let d = match &host_est {
+                    Some(h) => {
+                        let c = cand.estimate(job)?;
+                        let (hc, pc) = match objective {
+                            Objective::Time => (h.ns, c.ns),
+                            Objective::Energy => (h.energy_nj(), c.energy_nj()),
+                            Objective::EnergyDelay => (h.ns * h.energy_nj(), c.ns * c.energy_nj()),
+                        };
+                        OffloadDecision {
+                            offload: pc < hc,
+                            host_time_ns: h.ns,
+                            host_energy_nj: h.energy_nj(),
+                            pim_time_ns: c.ns,
+                            pim_energy_nj: c.energy_nj(),
+                        }
+                    }
+                    None => decide(&profile, host.site(), cand.site(), objective),
+                };
                 if d.offload {
                     let benefit = d.benefit(objective);
                     if best.as_ref().is_none_or(|(b, _, _)| benefit > *b) {

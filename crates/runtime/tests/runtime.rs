@@ -396,8 +396,8 @@ fn placement_errors() {
 
 /// Compiled SIMD programs ride the runtime: forced onto the Ambit
 /// backend they produce the same sliced outputs as a direct engine run,
-/// and host backends reject them (bit-serial row programs only make
-/// sense on a command-replayed DRAM engine).
+/// and the host backend executes the same program as a vectorized
+/// scalar loop with bit-identical outputs (the advisor's fallback site).
 #[test]
 fn simd_program_jobs_round_trip() {
     use pim_simd::{Compiler, OpGraph};
@@ -424,20 +424,21 @@ fn simd_program_jobs_round_trip() {
         inputs: inputs.clone(),
     };
 
-    // Host backends refuse the job outright.
+    // The host backend runs the same program functionally (reference
+    // interpreter over the source graph) and prices it as a stream.
     let mut host_rt = Runtime::new().with(Box::new(CpuBackend::new(
         "cpu",
         CpuModel::new(CpuConfig::skylake_ddr3()),
     )));
-    assert_eq!(
-        host_rt
-            .submit(job.clone(), Placement::Forced("cpu".into()))
-            .unwrap_err(),
-        RuntimeError::Unsupported {
-            backend: "cpu".into(),
-            job: "simd-program"
-        }
-    );
+    let host_id = host_rt
+        .submit(job.clone(), Placement::Forced("cpu".into()))
+        .expect("host accepts simd programs");
+    let host_done = host_rt.drain().unwrap();
+    assert_eq!(host_done.len(), 1);
+    assert_eq!(host_done[0].id, host_id);
+    assert_eq!(host_done[0].report.backend, "cpu");
+    assert!(host_done[0].report.ns > 0.0);
+    assert_eq!(host_done[0].report.commands, None);
 
     let mut rt = ambit_runtime(AmbitConfig::ddr3());
     let id = rt
@@ -464,11 +465,94 @@ fn simd_program_jobs_round_trip() {
         }
         other => panic!("expected sliced output, got {other:?}"),
     }
+    // The host's reference-interpreter run is bit-identical to in-DRAM.
+    assert_eq!(host_done[0].output, done[0].output);
     assert_eq!(done[0].report.ns, direct.ns);
     assert_eq!(done[0].report.energy, direct.energy);
     assert_eq!(
         done[0].report.commands.as_ref().unwrap().total(),
         direct.commands.total()
+    );
+}
+
+/// The E11 honesty regression: advised placement for compiled programs
+/// compares backend estimates (compiled AAP/TRA sequence vs vectorized
+/// host loop), so linear-cost ops offload to DRAM while wide multiplies
+/// — whose bit-serial command count is quadratic in width — route to
+/// the host by default. `--placement forced` remains the A/B override.
+#[test]
+fn simd_mul_routes_to_host() {
+    use pim_simd::{Compiler, OpGraph};
+    use pim_workloads::BitSlicedIntVec;
+
+    let build = |op: &str, w: u32| {
+        let mut g = OpGraph::builder();
+        let a = g.input(w);
+        let b = g.input(w);
+        let r = match op {
+            "add" => g.add(a, b),
+            "mul" => g.mul(a, b),
+            _ => unreachable!(),
+        };
+        g.output(r);
+        g.finish()
+    };
+    let job = |op: &str, w: u32, lanes: u64| {
+        let graph = build(op, w);
+        let program = Arc::new(Compiler::new().compile(&graph).expect("compile"));
+        let mask = if w == 64 { u64::MAX } else { (1 << w) - 1 };
+        let vals: Vec<u64> = (0..lanes).map(|i| i.wrapping_mul(37) & mask).collect();
+        let inputs = vec![
+            Arc::new(BitSlicedIntVec::from_values(&vals, w)),
+            Arc::new(BitSlicedIntVec::from_values(&vals, w)),
+        ];
+        Job::SimdProgram { program, inputs }
+    };
+
+    let mut rt = Runtime::new()
+        .with(Box::new(CpuBackend::new(
+            "cpu",
+            CpuModel::new(CpuConfig::skylake_ddr3()),
+        )))
+        .with(Box::new(AmbitBackend::new("ambit", AmbitConfig::ddr3())));
+
+    let placed = |rt: &mut Runtime, j: Job| {
+        let id = rt.submit(j, Placement::Advised(Objective::Time)).unwrap();
+        rt.decision(id).unwrap().clone()
+    };
+
+    // Linear-command ops win in DRAM at scale: massive lane parallelism
+    // against a per-lane host loop.
+    let lanes = 1 << 16;
+    let d = placed(&mut rt, job("add", 32, lanes));
+    assert_eq!(d.backend, "ambit", "wide add should offload");
+    let adv = d.advised.expect("advised verdict recorded");
+    assert!(adv.offload && adv.pim_time_ns < adv.host_time_ns);
+
+    // Quadratic-command multiplies at >= 16 bits lose to the host loop.
+    for w in [16, 32] {
+        let d = placed(&mut rt, job("mul", w, lanes));
+        assert_eq!(d.backend, "cpu", "mul{w} should stay on the host");
+        assert!(d.advised.is_none(), "host placement records no offload");
+    }
+
+    // Everything placed still executes correctly where it landed.
+    let done = rt.drain().unwrap();
+    assert_eq!(done.len(), 3);
+    for c in &done {
+        assert!(matches!(c.output, JobOutput::Sliced(_)));
+    }
+
+    // The estimates the advisor compared are reachable directly and
+    // reproduce the verdicts.
+    let wide_mul = job("mul", 32, lanes);
+    let host_est = rt.estimate_on("cpu", &wide_mul).unwrap();
+    let pim_est = rt.estimate_on("ambit", &wide_mul).unwrap();
+    assert!(
+        host_est.ns < pim_est.ns,
+        "host {} ns should beat pim {} ns on mul32",
+        host_est.ns,
+        pim_est.ns
     );
 }
 

@@ -1,0 +1,97 @@
+//! The typed per-graph cost model compilation returns alongside the
+//! instruction sequence.
+//!
+//! A [`CostModel`] is derived once, during emission, and carried by the
+//! [`CompiledProgram`](crate::CompiledProgram) — so a planner that has
+//! compiled a graph, and an advisor that must price the same program on a
+//! command-replayed backend, both read the same numbers without compiling
+//! twice. The model is exact for commands and rows (it *is* the emitted
+//! program's accounting, not an estimate); the cycle projection is
+//! parameterized on the device's AAP/TRA latencies and its bank
+//! parallelism, which is all a placement decision needs.
+
+/// Command, gate, and row costs of one compiled graph, per lane-chunk.
+///
+/// The engine replays the emitted sequence once per row-sized chunk of
+/// lanes; chunks on distinct banks replay in parallel, chunks sharing a
+/// bank serialize. [`CostModel::cycles`] and [`CostModel::lane_cycles`]
+/// encode exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostModel {
+    /// AAP-cost commands per chunk (copies and fused TRA-copies).
+    pub aap: u64,
+    /// TRA-cost in-place triple-row activations per chunk.
+    pub tra: u64,
+    /// Live MAJ gates after folding/CSE/DCE.
+    pub maj_gates: u64,
+    /// Live NOT gates after folding/CSE/DCE.
+    pub not_gates: u64,
+    /// Distinct scratch rows the plane table needs per subarray arena.
+    pub scratch_rows: u32,
+    /// Peak simultaneously-live scratch rows.
+    pub scratch_high_water: u32,
+    /// Input planes (one DRAM row per chunk each).
+    pub input_planes: u32,
+    /// Output planes (one DRAM row per chunk each).
+    pub output_planes: u32,
+}
+
+impl CostModel {
+    /// Total row commands per chunk.
+    pub fn commands(&self) -> u64 {
+        self.aap + self.tra
+    }
+
+    /// Total plane-table rows per subarray arena: inputs + outputs +
+    /// scratch.
+    pub fn total_rows(&self) -> u32 {
+        self.input_planes + self.output_planes + self.scratch_rows
+    }
+
+    /// Device cycles for one chunk: every command serializes within its
+    /// bank.
+    pub fn cycles(&self, aap_cycles: u64, tra_cycles: u64) -> u64 {
+        self.aap * aap_cycles + self.tra * tra_cycles
+    }
+
+    /// Projected device cycles for `lanes` lanes on a device with
+    /// `row_bits`-bit rows and `banks` independent banks: chunks spread
+    /// across banks replay in parallel, and every `banks` chunks add one
+    /// serialized wave.
+    pub fn lane_cycles(
+        &self,
+        lanes: usize,
+        row_bits: usize,
+        banks: usize,
+        aap: u64,
+        tra: u64,
+    ) -> u64 {
+        if lanes == 0 {
+            return 0;
+        }
+        let chunks = lanes.div_ceil(row_bits.max(1)).max(1);
+        let waves = chunks.div_ceil(banks.max(1)) as u64;
+        waves * self.cycles(aap, tra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_serialization() {
+        let c = CostModel {
+            aap: 10,
+            tra: 5,
+            ..CostModel::default()
+        };
+        assert_eq!(c.commands(), 15);
+        let cyc = c.cycles(3, 2);
+        assert_eq!(cyc, 40);
+        // 4 chunks over 8 banks: one wave. 9 chunks: two waves.
+        assert_eq!(c.lane_cycles(4 * 64, 64, 8, 3, 2), cyc);
+        assert_eq!(c.lane_cycles(9 * 64, 64, 8, 3, 2), 2 * cyc);
+        assert_eq!(c.lane_cycles(0, 64, 8, 3, 2), 0);
+    }
+}

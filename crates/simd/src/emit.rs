@@ -25,6 +25,7 @@
 //! [`SimdError::ScratchExhausted`] (never a panic) when a subarray's
 //! free-row budget cannot hold the program's peak liveness.
 
+use crate::cost::CostModel;
 use crate::error::{Result, SimdError};
 use crate::graph::OpGraph;
 use crate::lower::{lower, PExpr, PReg, PlaneProgram};
@@ -150,6 +151,7 @@ pub struct CompiledProgram {
     pub(crate) scratch_rows: u32,
     pub(crate) insts: Vec<RowInst>,
     pub(crate) stats: ProgramStats,
+    pub(crate) graph: OpGraph,
 }
 
 impl CompiledProgram {
@@ -193,6 +195,32 @@ impl CompiledProgram {
     /// planes + scratch rows.
     pub fn total_planes(&self) -> u32 {
         self.n_input_planes + self.n_output_planes + self.scratch_rows
+    }
+
+    /// The source operation graph the program was compiled from — the
+    /// independent host reference semantics
+    /// ([`OpGraph::eval_reference`]) travel with the program, so a host
+    /// backend can execute the same job functionally without touching
+    /// the MAJ/NOT lowering.
+    pub fn source_graph(&self) -> &OpGraph {
+        &self.graph
+    }
+
+    /// The typed cost model: exact per-chunk command/gate/row counts
+    /// derived during emission, plus cycle projections parameterized on
+    /// device timing. Compiling once yields both the program and its
+    /// placement costs.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            aap: self.stats.aap,
+            tra: self.stats.tra,
+            maj_gates: self.stats.maj_gates,
+            not_gates: self.stats.not_gates,
+            scratch_rows: self.scratch_rows,
+            scratch_high_water: self.stats.scratch_high_water,
+            input_planes: self.n_input_planes,
+            output_planes: self.n_output_planes,
+        }
     }
 }
 
@@ -420,6 +448,7 @@ fn emit(graph: &OpGraph, plane: &PlaneProgram, budget: u32) -> Result<CompiledPr
         scratch_rows: alloc.rows_used(),
         insts,
         stats,
+        graph: graph.clone(),
     })
 }
 

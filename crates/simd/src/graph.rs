@@ -12,9 +12,15 @@
 //! lanes, deliberately independent of the MAJ/NOT lowering so the
 //! differential tests compare two separately-derived implementations.
 
-/// Maximum lane width in bits. `mul` doubles the width, and the reference
-/// interpreter works in `u64`, so operands are capped at 32 bits.
+/// Maximum `mul` operand width in bits. `mul` doubles the width, and the
+/// reference interpreter works in `u64`, so multiplication operands are
+/// capped at 32 bits. Every other operation works up to
+/// [`MAX_INPUT_WIDTH`] bits.
 pub const MAX_WIDTH: u32 = 32;
+
+/// Maximum lane width of inputs, constants, and results: the reference
+/// interpreter's `u64` lanes.
+pub const MAX_INPUT_WIDTH: u32 = 64;
 
 /// Handle to a node in an [`OpGraph`] (or an [`OpGraphBuilder`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,6 +70,9 @@ pub enum GraphOp {
     ReduceOr(NodeId),
     /// XOR-reduction across the bits of each lane (lane parity).
     ReduceXor(NodeId),
+    /// Zero-extension to a wider lane (the node's width; high planes are
+    /// constant zero, so widening costs no gates).
+    Extend(NodeId),
 }
 
 #[derive(Debug, Clone)]
@@ -148,7 +157,7 @@ impl OpGraph {
                 GraphOp::Const { value } => vec![value & mask; lanes],
                 GraphOp::Add(a, b) => zip(&values, a, b, |x, y| x.wrapping_add(y) & mask),
                 GraphOp::Sub(a, b) => zip(&values, a, b, |x, y| x.wrapping_sub(y) & mask),
-                GraphOp::Mul(a, b) => zip(&values, a, b, |x, y| (x * y) & mask),
+                GraphOp::Mul(a, b) => zip(&values, a, b, |x, y| x.wrapping_mul(y) & mask),
                 GraphOp::And(a, b) => zip(&values, a, b, |x, y| x & y),
                 GraphOp::Or(a, b) => zip(&values, a, b, |x, y| x | y),
                 GraphOp::Xor(a, b) => zip(&values, a, b, |x, y| x ^ y),
@@ -175,6 +184,7 @@ impl OpGraph {
                     .iter()
                     .map(|&x| (x.count_ones() as u64) & 1)
                     .collect(),
+                GraphOp::Extend(a) => values[a.0 as usize].clone(),
             };
             values.push(v);
         }
@@ -221,7 +231,7 @@ impl OpGraphBuilder {
 
     fn push(&mut self, op: GraphOp, width: u32) -> NodeId {
         assert!(
-            (1..=2 * MAX_WIDTH).contains(&width),
+            (1..=MAX_INPUT_WIDTH).contains(&width),
             "node width {width} out of range"
         );
         let id = NodeId(u32::try_from(self.nodes.len()).expect("graph too large"));
@@ -239,10 +249,11 @@ impl OpGraphBuilder {
         wa
     }
 
-    /// Declares a `width`-bit external input (1..=[`MAX_WIDTH`] bits).
+    /// Declares a `width`-bit external input (1..=[`MAX_INPUT_WIDTH`]
+    /// bits).
     pub fn input(&mut self, width: u32) -> NodeId {
         assert!(
-            (1..=MAX_WIDTH).contains(&width),
+            (1..=MAX_INPUT_WIDTH).contains(&width),
             "input width {width} out of range"
         );
         let index = u32::try_from(self.input_widths.len()).expect("too many inputs");
@@ -253,7 +264,7 @@ impl OpGraphBuilder {
     /// A `width`-bit constant broadcast to every lane.
     pub fn constant(&mut self, value: u64, width: u32) -> NodeId {
         assert!(
-            (1..=MAX_WIDTH).contains(&width),
+            (1..=MAX_INPUT_WIDTH).contains(&width),
             "const width {width} out of range"
         );
         assert_eq!(
@@ -276,9 +287,15 @@ impl OpGraphBuilder {
         self.push(GraphOp::Sub(a, b), w)
     }
 
-    /// Full-precision `a * b`: the result is twice the operand width.
+    /// Full-precision `a * b`: the result is twice the operand width
+    /// (operands capped at [`MAX_WIDTH`] bits so the product fits the
+    /// reference interpreter's `u64` lanes).
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let w = self.same_width(a, b);
+        assert!(
+            w <= MAX_WIDTH,
+            "mul operand width {w} exceeds {MAX_WIDTH} bits"
+        );
         self.push(GraphOp::Mul(a, b), 2 * w)
     }
 
@@ -345,6 +362,20 @@ impl OpGraphBuilder {
     /// XOR-reduce (parity of) the bits of each lane to 1 bit.
     pub fn reduce_xor(&mut self, a: NodeId) -> NodeId {
         self.push(GraphOp::ReduceXor(a), 1)
+    }
+
+    /// Zero-extends `a` to `width` bits (free: the high planes are
+    /// constant zero). `width` must be at least `a`'s width.
+    pub fn extend(&mut self, a: NodeId, width: u32) -> NodeId {
+        let w = self.width(a);
+        assert!(
+            width >= w,
+            "extend target {width} narrower than operand width {w}"
+        );
+        if width == w {
+            return a;
+        }
+        self.push(GraphOp::Extend(a), width)
     }
 
     /// Declares `node` a program output (outputs may repeat).

@@ -49,12 +49,16 @@
 
 #![warn(missing_docs)]
 
+mod cost;
 mod emit;
 mod error;
 mod exec;
 mod graph;
 mod lower;
+mod stage;
 
+pub use cost::CostModel;
 pub use emit::{CompiledProgram, Compiler, ProgramStats, DEFAULT_SCRATCH_BUDGET};
 pub use error::{Result, SimdError};
-pub use graph::{GraphOp, NodeId, OpGraph, OpGraphBuilder, MAX_WIDTH};
+pub use graph::{GraphOp, NodeId, OpGraph, OpGraphBuilder, MAX_INPUT_WIDTH, MAX_WIDTH};
+pub use stage::{compile_staged, Stage, StageBinding, StagedProgram};

@@ -359,6 +359,14 @@ pub(crate) fn lower(graph: &OpGraph) -> PlaneProgram {
                 }
                 vec![acc]
             }
+            GraphOp::Extend(a) => {
+                // Zero-extension is free: existing planes are renamed and
+                // the high planes are the constant-zero register.
+                let mut planes = values[a.0 as usize].clone();
+                let zero = lw.konst(false);
+                planes.resize(node.width as usize, zero);
+                planes
+            }
         };
         debug_assert_eq!(planes.len(), node.width as usize);
         values.push(planes);

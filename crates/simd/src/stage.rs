@@ -1,0 +1,443 @@
+//! Staged compilation: splitting a graph that exhausts the scratch-row
+//! budget into a pipeline of smaller programs.
+//!
+//! [`Compiler::compile`] is whole-graph-or-error: a graph whose peak
+//! plane liveness exceeds the subarray's free-row budget fails with
+//! [`SimdError::ScratchExhausted`]. [`compile_staged`] turns that hard
+//! edge into a plan: it packs the longest prefix of the graph's
+//! (topologically ordered) nodes that *does* compile into a stage,
+//! materializes the cut values as stage outputs, rebinds them as inputs
+//! of the next stage, and repeats. Between stages the cut values round-
+//! trip through ordinary bit-sliced vectors — exactly the shape a
+//! runtime job carries — so every stage is independently schedulable
+//! (and independently placeable) as its own `Job::SimdProgram`.
+//!
+//! The split search is a bisection over the prefix length per stage:
+//! `O(log n)` trial compiles per stage rather than one per node. A graph
+//! whose *single node* exceeds the budget still fails with the original
+//! typed error — splitting cannot help a primitive that is too wide.
+
+use crate::emit::{CompiledProgram, Compiler};
+use crate::error::{Result, SimdError};
+use crate::graph::{GraphOp, NodeId, OpGraph, OpGraphBuilder};
+use std::collections::HashMap;
+
+/// Where one input of a [`Stage`] comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageBinding {
+    /// The original graph's input at this index.
+    External(usize),
+    /// Output `output` of earlier stage `stage`.
+    Intermediate {
+        /// Index of the producing stage.
+        stage: usize,
+        /// Index among that stage's outputs.
+        output: usize,
+    },
+}
+
+/// One stage of a [`StagedProgram`]: a compiled program plus the binding
+/// of each of its inputs.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// The compiled program for this slice of the graph.
+    pub program: CompiledProgram,
+    /// One binding per program input, in input order.
+    pub bindings: Vec<StageBinding>,
+}
+
+/// A graph compiled as a pipeline of stages, produced by
+/// [`compile_staged`]. Running the stages in order with intermediates
+/// carried between them computes exactly the original graph.
+#[derive(Debug, Clone)]
+pub struct StagedProgram {
+    /// The stages, in execution order.
+    pub stages: Vec<Stage>,
+    /// For each original graph output: which `(stage, output)` holds it.
+    pub outputs: Vec<(usize, usize)>,
+}
+
+impl StagedProgram {
+    /// Total commands per chunk across all stages.
+    pub fn commands(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.program.stats().commands())
+            .sum()
+    }
+
+    /// Number of scratch-split events: stages beyond the first.
+    pub fn splits(&self) -> usize {
+        self.stages.len().saturating_sub(1)
+    }
+
+    /// Runs the staged pipeline on `sys`, carrying intermediates as
+    /// bit-sliced vectors between stages — the reference execution path
+    /// the conformance tests compare against single-program compiles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage's execution error.
+    pub fn execute(
+        &self,
+        sys: &mut pim_ambit::AmbitSystem,
+        inputs: &[&pim_workloads::BitSlicedIntVec],
+    ) -> Result<Vec<pim_workloads::BitSlicedIntVec>> {
+        let mut produced: Vec<Vec<pim_workloads::BitSlicedIntVec>> = Vec::new();
+        for stage in &self.stages {
+            let bound: Vec<&pim_workloads::BitSlicedIntVec> = stage
+                .bindings
+                .iter()
+                .map(|b| match *b {
+                    StageBinding::External(i) => inputs[i],
+                    StageBinding::Intermediate { stage, output } => &produced[stage][output],
+                })
+                .collect();
+            let (outs, _report) = stage.program.execute(sys, &bound)?;
+            produced.push(outs);
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|&(s, o)| produced[s][o].clone())
+            .collect())
+    }
+}
+
+fn children(op: &GraphOp) -> Vec<NodeId> {
+    match *op {
+        GraphOp::Input { .. } | GraphOp::Const { .. } => vec![],
+        GraphOp::Add(a, b)
+        | GraphOp::Sub(a, b)
+        | GraphOp::Mul(a, b)
+        | GraphOp::And(a, b)
+        | GraphOp::Or(a, b)
+        | GraphOp::Xor(a, b)
+        | GraphOp::Lt(a, b)
+        | GraphOp::Eq(a, b) => vec![a, b],
+        GraphOp::Not(a)
+        | GraphOp::Shl(a, _)
+        | GraphOp::Shr(a, _)
+        | GraphOp::ReduceAnd(a)
+        | GraphOp::ReduceOr(a)
+        | GraphOp::ReduceXor(a)
+        | GraphOp::Extend(a) => vec![a],
+    }
+}
+
+/// The subgraph over original nodes `[start, end)`, with every reference
+/// to an earlier node turned into a subgraph input, plus the bindings
+/// those inputs need and the original indices of the nodes the stage
+/// must materialize as outputs.
+struct SubGraph {
+    graph: OpGraph,
+    bindings: Vec<PendingBinding>,
+    /// Original node index of each declared subgraph output, in order.
+    out_nodes: Vec<usize>,
+}
+
+/// A binding before stage indices of producers are known.
+#[derive(Debug, Clone, Copy)]
+enum PendingBinding {
+    External(usize),
+    /// Original node index; resolved against the intermediate map.
+    Node(usize),
+}
+
+/// Builds the subgraph for nodes `[start, end)`. `needed_later[j]` marks
+/// original nodes referenced at or beyond `end` or declared graph
+/// outputs.
+fn subgraph(graph: &OpGraph, start: usize, end: usize) -> SubGraph {
+    let mut b = OpGraphBuilder::new();
+    let mut map: HashMap<usize, NodeId> = HashMap::new();
+    let mut bindings: Vec<PendingBinding> = Vec::new();
+
+    // Resolves an operand: in-range nodes map directly; earlier constants
+    // are re-materialized locally (cheaper than a row round-trip);
+    // everything else becomes a subgraph input.
+    macro_rules! res {
+        ($id:expr) => {{
+            let j = $id.0 as usize;
+            match map.get(&j) {
+                Some(&n) => n,
+                None => {
+                    debug_assert!(j < start, "forward reference in topological order");
+                    let node = &graph.nodes[j];
+                    let n = match node.op {
+                        GraphOp::Const { value } => b.constant(value, node.width),
+                        GraphOp::Input { index } => {
+                            bindings.push(PendingBinding::External(index as usize));
+                            b.input(node.width)
+                        }
+                        _ => {
+                            bindings.push(PendingBinding::Node(j));
+                            b.input(node.width)
+                        }
+                    };
+                    map.insert(j, n);
+                    n
+                }
+            }
+        }};
+    }
+
+    for j in start..end {
+        let node = &graph.nodes[j];
+        let n = match node.op {
+            GraphOp::Input { index } => {
+                bindings.push(PendingBinding::External(index as usize));
+                b.input(node.width)
+            }
+            GraphOp::Const { value } => b.constant(value, node.width),
+            GraphOp::Add(x, y) => {
+                let (x, y) = (res!(x), res!(y));
+                b.add(x, y)
+            }
+            GraphOp::Sub(x, y) => {
+                let (x, y) = (res!(x), res!(y));
+                b.sub(x, y)
+            }
+            GraphOp::Mul(x, y) => {
+                let (x, y) = (res!(x), res!(y));
+                b.mul(x, y)
+            }
+            GraphOp::And(x, y) => {
+                let (x, y) = (res!(x), res!(y));
+                b.and(x, y)
+            }
+            GraphOp::Or(x, y) => {
+                let (x, y) = (res!(x), res!(y));
+                b.or(x, y)
+            }
+            GraphOp::Xor(x, y) => {
+                let (x, y) = (res!(x), res!(y));
+                b.xor(x, y)
+            }
+            GraphOp::Not(x) => {
+                let x = res!(x);
+                b.not(x)
+            }
+            GraphOp::Shl(x, k) => {
+                let x = res!(x);
+                b.shl(x, k)
+            }
+            GraphOp::Shr(x, k) => {
+                let x = res!(x);
+                b.shr(x, k)
+            }
+            GraphOp::Lt(x, y) => {
+                let (x, y) = (res!(x), res!(y));
+                b.lt(x, y)
+            }
+            GraphOp::Eq(x, y) => {
+                let (x, y) = (res!(x), res!(y));
+                b.eq(x, y)
+            }
+            GraphOp::ReduceAnd(x) => {
+                let x = res!(x);
+                b.reduce_and(x)
+            }
+            GraphOp::ReduceOr(x) => {
+                let x = res!(x);
+                b.reduce_or(x)
+            }
+            GraphOp::ReduceXor(x) => {
+                let x = res!(x);
+                b.reduce_xor(x)
+            }
+            GraphOp::Extend(x) => {
+                let x = res!(x);
+                b.extend(x, node.width)
+            }
+        };
+        map.insert(j, n);
+    }
+
+    // Outputs: every in-range node referenced at or beyond `end`, or
+    // named among the original graph outputs, in node order.
+    let mut needed = vec![false; graph.nodes.len()];
+    for node in &graph.nodes[end..] {
+        for c in children(&node.op) {
+            needed[c.0 as usize] = true;
+        }
+    }
+    for &o in &graph.outputs {
+        needed[o.0 as usize] = true;
+    }
+    let mut out_nodes = Vec::new();
+    for j in start..end {
+        if needed[j] {
+            b.output(map[&j]);
+            out_nodes.push(j);
+        }
+    }
+    if out_nodes.is_empty() {
+        // A slice of entirely dead nodes (possible when the source graph
+        // carries unused values): materialize the last one so the stage
+        // is a valid program; nothing will ever bind it.
+        b.output(map[&(end - 1)]);
+        out_nodes.push(end - 1);
+    }
+    SubGraph {
+        graph: b.finish(),
+        bindings,
+        out_nodes,
+    }
+}
+
+/// Probes whether the `[start, end)` slice compiles under the budget,
+/// returning the subgraph and its program if so.
+fn feasible(
+    graph: &OpGraph,
+    start: usize,
+    end: usize,
+    compiler: &Compiler,
+) -> Result<(SubGraph, CompiledProgram)> {
+    let sub = subgraph(graph, start, end);
+    let program = compiler.compile(&sub.graph)?;
+    Ok((sub, program))
+}
+
+/// Compiles `graph` under `budget` scratch rows, splitting into stages
+/// when a single program cannot hold the graph's peak plane liveness.
+///
+/// A graph that compiles whole returns a one-stage program (identical to
+/// [`Compiler::compile`] output). Splitting preserves semantics exactly:
+/// cut values are materialized bit-for-bit between stages.
+///
+/// # Errors
+///
+/// [`SimdError::ScratchExhausted`] if even a single-node slice exceeds
+/// the budget — no split can rescue an individual primitive.
+pub fn compile_staged(graph: &OpGraph, budget: u32) -> Result<StagedProgram> {
+    let compiler = Compiler::new().with_scratch_budget(budget);
+    let n = graph.nodes.len();
+    let mut stages: Vec<Stage> = Vec::new();
+    // Original node index -> (stage, output index) of where it was
+    // materialized.
+    let mut placed: HashMap<usize, (usize, usize)> = HashMap::new();
+    let mut start = 0usize;
+    while start < n {
+        // Try the whole remainder first (the common, unsplit case), then
+        // bisect for the longest feasible prefix.
+        let (end, sub, program) = match feasible(graph, start, n, &compiler) {
+            Ok((sub, program)) => (n, sub, program),
+            Err(_) => {
+                let mut lo = start + 1;
+                let mut hi = n - 1;
+                let mut best: Option<(usize, SubGraph, CompiledProgram)> = None;
+                while lo <= hi {
+                    let mid = lo + (hi - lo) / 2;
+                    match feasible(graph, start, mid, &compiler) {
+                        Ok((sub, program)) => {
+                            best = Some((mid, sub, program));
+                            lo = mid + 1;
+                        }
+                        Err(_) => {
+                            if mid == start + 1 {
+                                break;
+                            }
+                            hi = mid - 1;
+                        }
+                    }
+                }
+                match best {
+                    Some(b) => b,
+                    None => {
+                        // Even one node does not fit: surface the typed
+                        // error from the minimal slice.
+                        let sub = subgraph(graph, start, (start + 1).min(n));
+                        return match compiler.compile(&sub.graph) {
+                            Err(e) => Err(e),
+                            Ok(_) => Err(SimdError::ScratchExhausted {
+                                needed: budget + 1,
+                                budget,
+                            }),
+                        };
+                    }
+                }
+            }
+        };
+        let bindings = sub
+            .bindings
+            .iter()
+            .map(|b| match *b {
+                PendingBinding::External(i) => StageBinding::External(i),
+                PendingBinding::Node(j) => {
+                    let (stage, output) = placed[&j];
+                    StageBinding::Intermediate { stage, output }
+                }
+            })
+            .collect();
+        let stage_idx = stages.len();
+        for (o, &j) in sub.out_nodes.iter().enumerate() {
+            placed.insert(j, (stage_idx, o));
+        }
+        stages.push(Stage { program, bindings });
+        start = end;
+    }
+
+    let outputs = graph
+        .outputs
+        .iter()
+        .map(|o| placed[&(o.0 as usize)])
+        .collect();
+    Ok(StagedProgram { stages, outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpGraph;
+
+    fn chain_graph(w: u32, len: usize) -> OpGraph {
+        let mut g = OpGraph::builder();
+        let a = g.input(w);
+        let b = g.input(w);
+        let mut acc = g.add(a, b);
+        for _ in 0..len {
+            acc = g.add(acc, b);
+            acc = g.xor(acc, a);
+        }
+        g.output(acc);
+        g.finish()
+    }
+
+    #[test]
+    fn unsplit_graph_is_one_stage() {
+        let g = chain_graph(8, 4);
+        let staged = compile_staged(&g, 256).unwrap();
+        assert_eq!(staged.stages.len(), 1);
+        assert_eq!(staged.splits(), 0);
+        assert_eq!(staged.outputs, vec![(0, 0)]);
+        let whole = Compiler::new().compile(&g).unwrap();
+        assert_eq!(
+            staged.stages[0].program.stats().commands(),
+            whole.stats().commands()
+        );
+    }
+
+    #[test]
+    fn tight_budget_splits_and_binds_intermediates() {
+        let g = chain_graph(8, 24);
+        let whole = Compiler::new().compile(&g).unwrap();
+        let tight = whole.stats().scratch_high_water / 2;
+        let staged = compile_staged(&g, tight).expect("splitting rescues the budget");
+        assert!(staged.splits() >= 1, "expected at least one split");
+        for stage in &staged.stages {
+            assert!(stage.program.stats().scratch_high_water <= tight);
+        }
+        // Later stages consume earlier intermediates.
+        assert!(staged.stages[1..].iter().any(|s| s
+            .bindings
+            .iter()
+            .any(|b| matches!(b, StageBinding::Intermediate { .. }))));
+    }
+
+    #[test]
+    fn impossible_budget_is_a_typed_error() {
+        let g = chain_graph(16, 8);
+        let err = compile_staged(&g, 1).unwrap_err();
+        assert!(matches!(err, SimdError::ScratchExhausted { .. }));
+    }
+}

@@ -7,7 +7,7 @@
 //! products). Any lowering, folding, CSE, or emission change that
 //! regresses command counts fails here before it reaches a benchmark.
 
-use pim_simd::{Compiler, OpGraph, ProgramStats};
+use pim_simd::{Compiler, CostModel, OpGraph, ProgramStats};
 
 fn binary(op: &str, w: u32) -> OpGraph {
     let mut g = OpGraph::builder();
@@ -74,6 +74,32 @@ fn add_shape_is_linear() {
         assert_eq!(s.maj_gates, 3 * u64::from(w), "MAJ gates at w={w}");
         assert_eq!(s.not_gates, u64::from(w), "NOT gates at w={w}");
         assert_eq!(s.scratch_high_water, 5, "scratch high water at w={w}");
+    }
+}
+
+/// The typed [`CostModel`] a compile returns must agree exactly with the
+/// pinned golden command counts (add = 11w+1) and the program's own
+/// stats — the planner and the advisor place off this struct without
+/// recompiling, so it cannot be allowed to drift from the emitted
+/// program.
+#[test]
+fn cost_model_matches_golden_counts() {
+    for w in [8u32, 16, 32] {
+        let p = Compiler::new().compile(&binary("add", w)).expect("compile");
+        let c: CostModel = p.cost_model();
+        assert_eq!(c.commands(), 11 * u64::from(w) + 1, "add{w} commands");
+        assert_eq!(c.aap, 9 * u64::from(w) + 1, "add{w} AAP");
+        assert_eq!(c.tra, 2 * u64::from(w), "add{w} TRA");
+        assert_eq!((c.aap, c.tra), (p.stats().aap, p.stats().tra));
+        assert_eq!(c.maj_gates, p.stats().maj_gates);
+        assert_eq!(c.not_gates, p.stats().not_gates);
+        assert_eq!(c.scratch_rows, p.scratch_rows());
+        assert_eq!(c.scratch_high_water, p.stats().scratch_high_water);
+        assert_eq!(c.input_planes, p.n_input_planes());
+        assert_eq!(c.output_planes, p.n_output_planes());
+        assert_eq!(c.total_rows(), p.total_planes());
+        // Cycle projection: per-chunk commands weighted by device timing.
+        assert_eq!(c.cycles(3, 2), 3 * c.aap + 2 * c.tra);
     }
 }
 

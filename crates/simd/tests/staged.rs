@@ -1,0 +1,186 @@
+//! Conformance for the staged-compilation path: splitting a graph on
+//! `ScratchExhausted` must preserve semantics bit-exactly (staged ==
+//! whole-graph == host reference), and the new 64-bit/`extend` node
+//! shapes must round-trip through the full compile+execute pipeline.
+
+use pim_ambit::{AmbitConfig, AmbitSystem};
+use pim_simd::{compile_staged, Compiler, OpGraph, SimdError, DEFAULT_SCRATCH_BUDGET};
+use pim_workloads::BitSlicedIntVec;
+use proptest::prelude::*;
+
+fn run_staged(graph: &OpGraph, budget: u32, inputs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let staged = compile_staged(graph, budget).expect("staged compile");
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let vecs: Vec<BitSlicedIntVec> = inputs
+        .iter()
+        .zip(graph.input_widths())
+        .map(|(v, &w)| BitSlicedIntVec::from_values(v, w))
+        .collect();
+    let refs: Vec<&BitSlicedIntVec> = vecs.iter().collect();
+    let outs = staged.execute(&mut sys, &refs).expect("staged execute");
+    outs.iter().map(|o| o.to_values()).collect()
+}
+
+/// A deep dependent chain whose peak liveness scales with depth — the
+/// shape that exhausts a tight scratch budget.
+fn deep_chain(w: u32, depth: usize) -> OpGraph {
+    let mut g = OpGraph::builder();
+    let a = g.input(w);
+    let b = g.input(w);
+    let mut acc = g.add(a, b);
+    for i in 0..depth {
+        acc = if i % 3 == 0 {
+            g.sub(acc, a)
+        } else if i % 3 == 1 {
+            g.xor(acc, b)
+        } else {
+            g.add(acc, b)
+        };
+    }
+    g.output(acc);
+    g.finish()
+}
+
+/// Staged execution under a range of budgets must match both the
+/// single-program compile and the host reference.
+#[test]
+fn staged_matches_whole_and_reference() {
+    let g = deep_chain(8, 20);
+    let av: Vec<u64> = (0..160).map(|i| (i * 7 + 3) % 256).collect();
+    let bv: Vec<u64> = (0..160).map(|i| (i * 131 + 17) % 256).collect();
+    let expect = g.eval_reference(&[&av, &bv]);
+
+    let whole = Compiler::new().compile(&g).expect("whole compile");
+    let hw = whole.stats().scratch_high_water;
+    // Floor: a single 8-bit `sub` node needs 12 live rows (its upfront
+    // NOT planes plus adder pressure), and splitting cannot go below one
+    // node.
+    for budget in [DEFAULT_SCRATCH_BUDGET, hw, hw.div_ceil(2).max(12)] {
+        let staged = compile_staged(&g, budget).expect("staged compile");
+        for s in &staged.stages {
+            assert!(
+                s.program.stats().scratch_high_water <= budget,
+                "stage exceeds budget {budget}"
+            );
+        }
+        let got = run_staged(&g, budget, &[av.clone(), bv.clone()]);
+        assert_eq!(got, expect, "budget {budget}");
+    }
+}
+
+/// A multi-output graph split across stages must route every declared
+/// output to the right stage intermediate.
+#[test]
+fn staged_multi_output_routing() {
+    let mut g = OpGraph::builder();
+    let a = g.input(8);
+    let b = g.input(8);
+    let early = g.add(a, b);
+    let mut acc = early;
+    for _ in 0..12 {
+        acc = g.add(acc, b);
+    }
+    let late = g.xor(acc, a);
+    g.output(early);
+    g.output(late);
+    g.output(early);
+    let g = g.finish();
+
+    let av: Vec<u64> = (0..96).map(|i| i % 256).collect();
+    let bv: Vec<u64> = (0..96).map(|i| (i * 5 + 1) % 256).collect();
+    let expect = g.eval_reference(&[&av, &bv]);
+    let whole = Compiler::new().compile(&g).expect("whole");
+    let tight = whole.stats().scratch_high_water / 2;
+    let staged = compile_staged(&g, tight).expect("staged");
+    assert!(staged.splits() >= 1);
+    let got = run_staged(&g, tight, &[av, bv]);
+    assert_eq!(got, expect);
+}
+
+/// 64-bit lanes and zero-extension through the full pipeline: widen
+/// 8-bit operands, accumulate at 32 and 64 bits, compare against the
+/// reference.
+#[test]
+fn extend_and_wide_lanes() {
+    let mut g = OpGraph::builder();
+    let a = g.input(8);
+    let b = g.input(8);
+    let p = g.mul(a, b); // 16-bit product
+    let p32 = g.extend(p, 32);
+    let a32 = g.extend(a, 32);
+    let s32 = g.add(p32, a32);
+    let s64 = g.extend(s32, 64);
+    let b64 = g.extend(b, 64);
+    let t64 = g.add(s64, b64);
+    g.output(s32);
+    g.output(t64);
+    let g = g.finish();
+
+    let av: Vec<u64> = (0..64).map(|i| (i * 11 + 200) % 256).collect();
+    let bv: Vec<u64> = (0..64).map(|i| (i * 97 + 13) % 256).collect();
+    let expect = g.eval_reference(&[&av, &bv]);
+
+    let program = Compiler::new().compile(&g).expect("compile");
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let va = BitSlicedIntVec::from_values(&av, 8);
+    let vb = BitSlicedIntVec::from_values(&bv, 8);
+    let (outs, _r) = program.execute(&mut sys, &[&va, &vb]).expect("execute");
+    let got: Vec<Vec<u64>> = outs.iter().map(|o| o.to_values()).collect();
+    assert_eq!(got, expect);
+    assert_eq!(outs[1].bits(), 64);
+}
+
+/// 64-bit addition end to end (inputs at the new width cap).
+#[test]
+fn add_64bit_lanes() {
+    let mut g = OpGraph::builder();
+    let a = g.input(64);
+    let b = g.input(64);
+    let s = g.add(a, b);
+    g.output(s);
+    let g = g.finish();
+    let av = vec![u64::MAX, 0, 1 << 63, 0x0123_4567_89ab_cdef];
+    let bv = vec![1, u64::MAX, 1 << 63, 0xfedc_ba98_7654_3210];
+    let expect = g.eval_reference(&[&av, &bv]);
+    let program = Compiler::new().compile(&g).expect("compile");
+    let mut sys = AmbitSystem::new(AmbitConfig::ddr3());
+    let va = BitSlicedIntVec::from_values(&av, 64);
+    let vb = BitSlicedIntVec::from_values(&bv, 64);
+    let (outs, _r) = program.execute(&mut sys, &[&va, &vb]).expect("execute");
+    assert_eq!(outs[0].to_values(), expect[0]);
+}
+
+/// Splitting cannot rescue a primitive whose own liveness exceeds the
+/// budget: the typed error survives staging.
+#[test]
+fn single_node_over_budget_stays_typed() {
+    let mut g = OpGraph::builder();
+    let a = g.input(32);
+    let b = g.input(32);
+    let m = g.mul(a, b);
+    g.output(m);
+    let g = g.finish();
+    let err = compile_staged(&g, 4).unwrap_err();
+    assert!(matches!(err, SimdError::ScratchExhausted { .. }));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random chains at random tight budgets stay bit-exact when staged.
+    #[test]
+    fn staged_random_chains(
+        depth in 4usize..24,
+        seed_a in 0u64..1000,
+        budget_div in 2u32..5,
+    ) {
+        let g = deep_chain(8, depth);
+        let av: Vec<u64> = (0..64).map(|i| (i * 7 + seed_a) % 256).collect();
+        let bv: Vec<u64> = (0..64).map(|i| (i * 13 + seed_a * 3 + 1) % 256).collect();
+        let expect = g.eval_reference(&[&av, &bv]);
+        let whole = Compiler::new().compile(&g).expect("whole");
+        let budget = (whole.stats().scratch_high_water / budget_div).max(12);
+        let got = run_staged(&g, budget, &[av, bv]);
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,66 @@
+//! The element types a [`PimTensor`](crate::PimTensor) can hold.
+//!
+//! Lane values live in DRAM as vertically bit-sliced planes, so an
+//! element type is fully characterized by its bit width and its `u64`
+//! round-trip — the sealed [`PimElem`] trait. Widening multiplication
+//! ([`WidenMul`]) is typed separately because the bit-serial multiplier
+//! produces a double-width product: `u8 × u8 → u16` and so on, with no
+//! `u64` multiply (the compiler caps multiplier operands at 32 bits).
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// An unsigned integer lane type with a fixed bit-sliced width.
+pub trait PimElem: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// Lane width in bits (the number of DRAM planes a vector needs).
+    const BITS: u32;
+    /// Largest representable lane value, as `u64`.
+    const MAX_U64: u64;
+    /// The lane value as `u64` (always fits).
+    fn to_u64(self) -> u64;
+    /// Reconstructs the lane from a `u64` already masked to `BITS`.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! elem {
+    ($t:ty, $bits:expr) => {
+        impl PimElem for $t {
+            const BITS: u32 = $bits;
+            const MAX_U64: u64 = <$t>::MAX as u64;
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                debug_assert!(v <= Self::MAX_U64, "value {v} exceeds {}", Self::BITS);
+                v as $t
+            }
+        }
+    };
+}
+
+elem!(u8, 8);
+elem!(u16, 16);
+elem!(u32, 32);
+elem!(u64, 64);
+
+/// Element types with a bit-serial widening multiply: the product of two
+/// `Self` lanes is one `Wide` lane, exactly (no wrap).
+pub trait WidenMul: PimElem {
+    /// The double-width product type.
+    type Wide: PimElem;
+}
+
+impl WidenMul for u8 {
+    type Wide = u16;
+}
+impl WidenMul for u16 {
+    type Wide = u32;
+}
+impl WidenMul for u32 {
+    type Wide = u64;
+}

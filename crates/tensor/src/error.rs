@@ -1,0 +1,50 @@
+//! Typed failures of planning and evaluation.
+
+use pim_runtime::RuntimeError;
+use pim_simd::SimdError;
+
+/// What can go wrong between recording a tensor expression and holding
+/// its values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The fused graph failed to compile even after stage splitting
+    /// (a single primitive exceeded the scratch budget).
+    Compile(SimdError),
+    /// A runtime submission or drain failed.
+    Runtime(RuntimeError),
+    /// A completed job returned a payload shape the planner did not
+    /// expect (not bit-sliced outputs).
+    BadOutput {
+        /// The job kind string for diagnostics.
+        job: &'static str,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::Compile(e) => write!(f, "tensor graph compilation failed: {e}"),
+            TensorError::Runtime(e) => write!(f, "tensor job execution failed: {e}"),
+            TensorError::BadOutput { job } => {
+                write!(f, "{job} job returned a non-sliced payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl From<SimdError> for TensorError {
+    fn from(e: SimdError) -> Self {
+        TensorError::Compile(e)
+    }
+}
+
+impl From<RuntimeError> for TensorError {
+    fn from(e: RuntimeError) -> Self {
+        TensorError::Runtime(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,131 @@
+//! The planning layer: expression DAGs → fused, staged, tileable
+//! compiled programs.
+//!
+//! Lowering walks the `Arc`-shared DAG once, deduplicating nodes by
+//! pointer identity (a tensor used twice lowers to one graph node) and
+//! source payloads by data pointer (one graph input per distinct
+//! buffer). The whole multi-root fusion then compiles through
+//! [`pim_simd::compile_staged`], which splits on `ScratchExhausted` into
+//! a pipeline of independently schedulable programs. Tiling — cutting
+//! the lane axis into bank-parallel slices — is the session's job; the
+//! plan only fixes the per-tile program shapes.
+
+use crate::error::Result;
+use crate::expr::{BinOp, Expr, ExprRef, UnOp};
+use pim_simd::{compile_staged, CompiledProgram, NodeId, OpGraph, OpGraphBuilder, StageBinding};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One stage of a fused plan: a compiled program (shared across tiles)
+/// plus where each of its inputs comes from.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanStage {
+    pub program: Arc<CompiledProgram>,
+    pub bindings: Vec<StageBinding>,
+}
+
+/// A compiled multi-root tensor computation, ready to run tile by tile.
+#[derive(Debug)]
+pub(crate) struct Plan {
+    /// The fused graph (node count and output widths feed telemetry and
+    /// gather).
+    pub graph: OpGraph,
+    /// Source payload per graph input, in input order.
+    pub sources: Vec<Arc<Vec<u64>>>,
+    /// Compiled stages in execution order.
+    pub stages: Vec<PlanStage>,
+    /// For each root: which `(stage, output)` materializes it.
+    pub outputs: Vec<(usize, usize)>,
+}
+
+#[derive(Default)]
+struct Lowering {
+    builder: OpGraphBuilder,
+    /// Expression node (by pointer) → graph node.
+    memo: HashMap<usize, NodeId>,
+    /// Source payload (by data pointer) → graph node.
+    source_memo: HashMap<usize, NodeId>,
+    sources: Vec<Arc<Vec<u64>>>,
+}
+
+impl Lowering {
+    fn lower(&mut self, e: &ExprRef) -> NodeId {
+        let key = Arc::as_ptr(e) as usize;
+        if let Some(&n) = self.memo.get(&key) {
+            return n;
+        }
+        let n = match &**e {
+            Expr::Source { data, width } => {
+                let skey = Arc::as_ptr(data) as usize;
+                match self.source_memo.get(&skey) {
+                    Some(&n) => n,
+                    None => {
+                        let n = self.builder.input(*width);
+                        self.source_memo.insert(skey, n);
+                        self.sources.push(data.clone());
+                        n
+                    }
+                }
+            }
+            Expr::Splat { value, width } => self.builder.constant(*value, *width),
+            Expr::Binary { op, a, b, .. } => {
+                let (x, y) = (self.lower(a), self.lower(b));
+                match op {
+                    BinOp::Add => self.builder.add(x, y),
+                    BinOp::Sub => self.builder.sub(x, y),
+                    BinOp::Mul => self.builder.mul(x, y),
+                    BinOp::And => self.builder.and(x, y),
+                    BinOp::Or => self.builder.or(x, y),
+                    BinOp::Xor => self.builder.xor(x, y),
+                    BinOp::Lt => self.builder.lt(x, y),
+                    BinOp::Eq => self.builder.eq(x, y),
+                }
+            }
+            Expr::Unary { op, a, width } => {
+                let x = self.lower(a);
+                match op {
+                    UnOp::Not => self.builder.not(x),
+                    UnOp::Shl(k) => self.builder.shl(x, *k),
+                    UnOp::Shr(k) => self.builder.shr(x, *k),
+                    UnOp::Extend => self.builder.extend(x, *width),
+                }
+            }
+        };
+        self.memo.insert(key, n);
+        n
+    }
+}
+
+impl Plan {
+    /// Fuses `roots` into one graph and compiles it under `budget`
+    /// scratch rows, splitting into stages where the budget demands.
+    pub fn build(roots: &[ExprRef], budget: u32) -> Result<Plan> {
+        let mut lw = Lowering::default();
+        let ids: Vec<NodeId> = roots.iter().map(|r| lw.lower(r)).collect();
+        let mut builder = lw.builder;
+        for id in ids {
+            builder.output(id);
+        }
+        let graph = builder.finish();
+        let staged = compile_staged(&graph, budget)?;
+        let stages = staged
+            .stages
+            .into_iter()
+            .map(|s| PlanStage {
+                program: Arc::new(s.program),
+                bindings: s.bindings,
+            })
+            .collect();
+        Ok(Plan {
+            graph,
+            sources: lw.sources,
+            stages,
+            outputs: staged.outputs,
+        })
+    }
+
+    /// Stage-split events (stages beyond the first).
+    pub fn splits(&self) -> usize {
+        self.stages.len().saturating_sub(1)
+    }
+}

@@ -1,0 +1,260 @@
+//! Tiling and scheduling determinism: a tensor evaluation must be
+//! byte-identical whether it runs as one untiled job, many bank-tiles,
+//! or on the host reference — across every shard mode and (with the
+//! `parallel` feature) any rayon thread count. Command traces from the
+//! DRAM paths must satisfy the protocol oracle.
+
+use pim_ambit::{AmbitConfig, ShardMode};
+use pim_host::{CpuConfig, CpuModel};
+use pim_runtime::{AmbitBackend, CpuBackend, Placement, Runtime};
+use pim_tensor::{PimTensor, TensorConfig, TensorSession};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// A session with one Ambit device in the given shard mode, forced
+/// placement, and `tile_lanes` tiling (`0` = untiled).
+fn ambit_session(mode: ShardMode, tile_lanes: usize) -> TensorSession {
+    let mut ambit = AmbitBackend::new("ambit", AmbitConfig::ddr3());
+    ambit.system_mut().set_shard_mode(mode);
+    TensorSession::new(
+        Runtime::new().with(Box::new(ambit)),
+        TensorConfig {
+            tile_lanes,
+            placement: Placement::Forced("ambit".into()),
+            ..TensorConfig::default()
+        },
+    )
+}
+
+/// The host oracle: the same plan executed by the CPU backend's
+/// reference interpreter.
+fn host_session() -> TensorSession {
+    let cpu = CpuBackend::new("cpu", CpuModel::new(CpuConfig::skylake_ddr3()));
+    TensorSession::new(
+        Runtime::new().with(Box::new(cpu)),
+        TensorConfig {
+            placement: Placement::Forced("cpu".into()),
+            ..TensorConfig::default()
+        },
+    )
+}
+
+fn gen_lanes(n: usize, seed: u64, bits: u32) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    (0..n).map(|_| rng.gen::<u64>() & mask).collect()
+}
+
+/// Records the shared test expression over two u16 tensors: an
+/// add/xor/select chain deep enough to exercise carry logic and
+/// comparisons in one fused program.
+fn chain(av: &[u64], bv: &[u64]) -> PimTensor<u16> {
+    let a = PimTensor::<u16>::from_u64_values(av.to_vec());
+    let b = PimTensor::<u16>::from_u64_values(bv.to_vec());
+    let s = &a + &b;
+    let x = &s ^ &a;
+    x.lt(&b).select(&(&x & &b), &s)
+}
+
+/// Scalar model of [`chain`].
+fn chain_scalar(av: &[u64], bv: &[u64]) -> Vec<u16> {
+    av.iter()
+        .zip(bv)
+        .map(|(&a, &b)| {
+            let (a, b) = (a as u16, b as u16);
+            let s = a.wrapping_add(b);
+            let x = s ^ a;
+            if x < b {
+                x & b
+            } else {
+                s
+            }
+        })
+        .collect()
+}
+
+fn run(sess: &mut TensorSession, av: &[u64], bv: &[u64]) -> Vec<u16> {
+    let t = chain(av, bv);
+    sess.eval(&t).expect("eval")
+}
+
+fn assert_oracle_accepts(sess: &mut TensorSession) {
+    let traces = sess.runtime_mut().take_traces();
+    assert!(!traces.is_empty(), "tracing was enabled");
+    for (backend, spec, records) in traces {
+        let trace = pim_check::Trace::capture(spec, records);
+        if let Err(v) = pim_check::check_trace(&trace, pim_check::CheckOptions::timing_only()) {
+            panic!("oracle rejected {backend} trace: {v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The satellite acceptance property: tiled multi-job evaluation is
+    /// byte-identical to a single untiled job and to the host reference,
+    /// for every shard mode, at generated lane counts and tile sizes
+    /// that leave ragged final tiles.
+    #[test]
+    fn tiled_equals_untiled_equals_host(
+        lanes in 1usize..600,
+        tile in 1usize..97,
+        seed in 0u64..1_000,
+    ) {
+        let av = gen_lanes(lanes, seed, 16);
+        let bv = gen_lanes(lanes, seed ^ 0x5EED, 16);
+        let want = chain_scalar(&av, &bv);
+
+        let host = run(&mut host_session(), &av, &bv);
+        prop_assert_eq!(&host, &want);
+
+        let untiled = run(&mut ambit_session(ShardMode::Sequential, 0), &av, &bv);
+        prop_assert_eq!(&untiled, &want);
+
+        for mode in [ShardMode::Sequential, ShardMode::BankOnly, ShardMode::ChannelBank] {
+            let mut sess = ambit_session(mode, tile);
+            sess.runtime_mut().set_trace(true);
+            let tiled = run(&mut sess, &av, &bv);
+            prop_assert_eq!(&tiled, &want, "mode {:?} tile {}", mode, tile);
+            assert_oracle_accepts(&mut sess);
+        }
+    }
+}
+
+/// Reductions agree between the DRAM tree (tiled) and the host path,
+/// including the staged-split planner under a tight scratch budget.
+#[test]
+fn tiled_reduction_matches_host() {
+    let av = gen_lanes(777, 99, 32);
+    let a = || PimTensor::<u32>::from_u64_values(av.clone());
+
+    let mut dram = ambit_session(ShardMode::ChannelBank, 128);
+    let mut host = host_session();
+    assert_eq!(dram.sum(&a()).unwrap(), av.iter().sum::<u64>());
+    assert_eq!(dram.sum(&a()).unwrap(), host.sum(&a()).unwrap());
+    assert_eq!(dram.min(&a()).unwrap(), *av.iter().min().unwrap() as u32);
+}
+
+#[cfg(feature = "parallel")]
+mod thread_invariance {
+    use super::*;
+    use pim_telemetry::TelemetrySink;
+
+    fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("pool")
+            .install(f)
+    }
+
+    /// `tensor.*` planning counters the session records for one
+    /// evaluation, for cross-thread-count comparison.
+    fn tensor_counters(sink: &TelemetrySink) -> Vec<(&'static str, u64)> {
+        [
+            "tensor.plans",
+            "tensor.stages",
+            "tensor.scratch_splits",
+            "tensor.tiles",
+            "tensor.jobs",
+            "tensor.fallback_host",
+        ]
+        .into_iter()
+        .map(|name| (name, sink.counter(name, 0)))
+        .collect()
+    }
+
+    fn run_with_telemetry(mode: ShardMode) -> (Vec<u16>, Vec<(&'static str, u64)>) {
+        let av = gen_lanes(1234, 7, 16);
+        let bv = gen_lanes(1234, 8, 16);
+        let mut sess = ambit_session(mode, 100);
+        sess.set_telemetry(true);
+        let out = run(&mut sess, &av, &bv);
+        let sink = sess.take_telemetry().expect("telemetry enabled");
+        (out, tensor_counters(&sink))
+    }
+
+    /// Outputs and `tensor.*` telemetry must not depend on the rayon
+    /// pool size, in any shard mode.
+    #[test]
+    fn results_and_telemetry_identical_across_thread_counts() {
+        for mode in [
+            ShardMode::Sequential,
+            ShardMode::BankOnly,
+            ShardMode::ChannelBank,
+        ] {
+            let base = with_threads(1, || run_with_telemetry(mode));
+            assert!(base.1.iter().any(|&(_, v)| v > 0), "counters recorded");
+            for threads in [2usize, 4, 8] {
+                let other = with_threads(threads, || run_with_telemetry(mode));
+                assert_eq!(
+                    base.0, other.0,
+                    "outputs differ at {threads} threads ({mode:?})"
+                );
+                assert_eq!(
+                    base.1, other.1,
+                    "telemetry differs at {threads} threads ({mode:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Advised placement sends wide multiplies to the host and counts the
+/// fallback in telemetry; narrow adds stay in DRAM.
+#[test]
+fn advised_placement_falls_back_on_wide_mul() {
+    let mut sess = TensorSession::ddr3();
+    sess.set_telemetry(true);
+
+    let av = gen_lanes(256, 21, 32);
+    let bv = gen_lanes(256, 22, 32);
+    let a = PimTensor::<u32>::from_u64_values(av.clone());
+    let b = PimTensor::<u32>::from_u64_values(bv.clone());
+
+    // Wide multiply: quadratic bit-serial cost loses to the host loop.
+    let p: PimTensor<u64> = &a * &b;
+    let got = sess.eval(&p).unwrap();
+    for i in 0..av.len() {
+        assert_eq!(got[i], av[i] * bv[i], "lane {i}");
+    }
+    assert!(
+        sess.last_decisions().iter().all(|d| d.backend == "cpu"),
+        "wide mul should stay on the host"
+    );
+    let sink = sess.take_telemetry().expect("telemetry enabled");
+    assert!(sink.counter("tensor.fallback_host", 0) > 0);
+
+    // Narrow add at full-wave lane counts: bank-parallel bit-serial
+    // amortizes its fixed command cost and wins, so offload is advised.
+    // (At a few hundred lanes the host loop wins even for add — the
+    // advisor is cost-based, not op-based.)
+    sess.set_telemetry(true);
+    let lanes = sess.config().tile_lanes.max(1 << 16);
+    let av = gen_lanes(lanes, 23, 32);
+    let bv = gen_lanes(lanes, 24, 32);
+    let a = PimTensor::<u32>::from_u64_values(av.clone());
+    let b = PimTensor::<u32>::from_u64_values(bv.clone());
+    let s = &a + &b;
+    let got = sess.eval(&s).unwrap();
+    for i in 0..av.len() {
+        assert_eq!(
+            u64::from(got[i]),
+            (av[i] as u32).wrapping_add(bv[i] as u32) as u64
+        );
+    }
+    assert!(
+        sess.last_decisions().iter().all(|d| d.backend == "ambit"),
+        "narrow add should offload"
+    );
+    let advised = &sess.last_decisions()[0].advised;
+    let adv = advised.as_ref().expect("advisor compared costs");
+    assert!(adv.offload && adv.pim_time_ns < adv.host_time_ns);
+    let sink = sess.take_telemetry().expect("telemetry enabled");
+    assert_eq!(sink.counter("tensor.fallback_host", 0), 0);
+}

@@ -40,16 +40,16 @@ impl BitSlicedIntVec {
     ///
     /// # Panics
     ///
-    /// Panics if `bits` is 0 or > 63, or a value needs more than `bits`
+    /// Panics if `bits` is 0 or > 64, or a value needs more than `bits`
     /// bits.
     pub fn from_values(values: &[u64], bits: u32) -> Self {
-        assert!((1..=63).contains(&bits), "bits must be in 1..=63");
-        let limit = 1u64 << bits;
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+        let limit = 1u64.checked_shl(bits).unwrap_or(0).wrapping_sub(1);
         let planes = (0..bits)
             .map(|p| {
                 BitVec::from_fn(values.len(), |i| {
                     assert!(
-                        values[i] < limit,
+                        values[i] <= limit,
                         "value {} needs more than {bits} bits",
                         values[i]
                     );
@@ -81,7 +81,8 @@ impl BitSlicedIntVec {
 
     /// Generates `len` uniformly random `bits`-bit values.
     pub fn random<R: rand::Rng>(len: usize, bits: u32, rng: &mut R) -> Self {
-        let values: Vec<u64> = (0..len).map(|_| rng.gen_range(0..(1u64 << bits))).collect();
+        let mask = 1u64.checked_shl(bits).unwrap_or(0).wrapping_sub(1);
+        let values: Vec<u64> = (0..len).map(|_| rng.gen::<u64>() & mask).collect();
         BitSlicedIntVec::from_values(&values, bits)
     }
 
