@@ -867,6 +867,26 @@ impl AmbitSystem {
         self.device.telemetry_mut()
     }
 
+    /// Enables or disables profiling capture: one occupancy slice per
+    /// issued command on its bank/rank/channel lane, spanning issue to
+    /// completion on the engine clock. Sharded parallel runs fork the
+    /// sink with the device and absorb it back on join; consumers
+    /// normalize at export, so the timeline is byte-identical at any
+    /// thread count and [`ShardMode`].
+    pub fn set_profile(&mut self, enabled: bool) {
+        self.device.set_profile(enabled);
+    }
+
+    /// `true` if profiling capture is on.
+    pub fn profile_enabled(&self) -> bool {
+        self.device.profile_enabled()
+    }
+
+    /// Takes the captured profile events (`None` when disabled).
+    pub fn take_profile(&mut self) -> Option<pim_profile::ProfileSink> {
+        self.device.take_profile()
+    }
+
     /// Bits held by one DRAM row (the chunk granularity).
     pub fn row_bits(&self) -> usize {
         self.device.spec().org.row_bits() as usize

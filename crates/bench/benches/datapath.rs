@@ -265,10 +265,10 @@ fn bench_datapath(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------------
-// Telemetry zero-overhead gate: the device's command-issue hot loop with
-// the telemetry sink disabled must run at least as fast as with it
-// enabled — disabling the sink recovers the full capture cost, so the
-// plumbing is pay-for-use.
+// Telemetry/profiling zero-overhead gate: the device's command-issue hot
+// loop with both sinks disabled must run at least as fast as with either
+// enabled — disabling a sink recovers its full capture cost, so both
+// plumbings are pay-for-use.
 // ---------------------------------------------------------------------------
 
 /// A cross-bank AAP run (the engine's steady-state shape). AAP leaves the
@@ -285,9 +285,10 @@ fn telemetry_gate_run(banks: u32) -> (Vec<Command>, Vec<u64>) {
     (cmds, not_before)
 }
 
-fn telemetry_gate_device(telemetry: bool) -> Device {
+fn telemetry_gate_device(telemetry: bool, profile: bool) -> Device {
     let mut dev = Device::new(DramSpec::ddr3_1600());
     dev.set_telemetry(telemetry);
+    dev.set_profile(profile);
     let pattern: Vec<u64> = (0..ROW_WORDS)
         .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .collect();
@@ -302,12 +303,13 @@ fn bench_telemetry_gate(c: &mut Criterion) {
     let (cmds, not_before) = telemetry_gate_run(banks);
     let mut group = c.benchmark_group("telemetry_gate");
     group.throughput(Throughput::Elements(cmds.len() as u64));
-    for (label, telemetry) in [
-        ("issue_run_telemetry_off", false),
-        ("issue_run_telemetry_on", true),
+    for (label, telemetry, profile) in [
+        ("issue_run_sinks_off", false, false),
+        ("issue_run_telemetry_on", true, false),
+        ("issue_run_profile_on", false, true),
     ] {
         group.bench_function(label, |b| {
-            let mut dev = telemetry_gate_device(telemetry);
+            let mut dev = telemetry_gate_device(telemetry, profile);
             let mut done = Vec::new();
             b.iter(|| {
                 dev.issue_run(&cmds, &not_before, &mut done)
@@ -426,26 +428,28 @@ fn geomean_speedup(records: &[OpRecord]) -> f64 {
     (ln_sum / records.len() as f64).exp()
 }
 
-/// Wall-clock telemetry-overhead probe: batched issue loop with the sink
-/// disabled vs enabled, in commands/s.
+/// Wall-clock sink-overhead probe: batched issue loop with both sinks
+/// disabled vs telemetry enabled vs profiling enabled, in commands/s.
 struct TelemetryGate {
     off_cmds_per_sec: f64,
     on_cmds_per_sec: f64,
+    profile_on_cmds_per_sec: f64,
 }
 
 impl TelemetryGate {
-    /// Disabling the sink must recover the full capture cost: off-rate at
-    /// least matches on-rate, modulo 5% wall-clock noise.
+    /// Disabling a sink must recover its full capture cost: off-rate at
+    /// least matches each enabled rate, modulo 5% wall-clock noise.
     fn meets(&self) -> bool {
         self.off_cmds_per_sec >= self.on_cmds_per_sec * 0.95
+            && self.off_cmds_per_sec >= self.profile_on_cmds_per_sec * 0.95
     }
 }
 
 fn measure_telemetry_gate() -> TelemetryGate {
     let banks = DramSpec::ddr3_1600().org.banks;
     let (cmds, not_before) = telemetry_gate_run(banks);
-    let rate = |telemetry: bool| {
-        let mut dev = telemetry_gate_device(telemetry);
+    let rate = |telemetry: bool, profile: bool| {
+        let mut dev = telemetry_gate_device(telemetry, profile);
         let mut done = Vec::new();
         words_per_sec(cmds.len() as u64, || {
             dev.issue_run(&cmds, &not_before, &mut done)
@@ -453,8 +457,9 @@ fn measure_telemetry_gate() -> TelemetryGate {
         })
     };
     TelemetryGate {
-        off_cmds_per_sec: rate(false),
-        on_cmds_per_sec: rate(true),
+        off_cmds_per_sec: rate(false, false),
+        on_cmds_per_sec: rate(true, false),
+        profile_on_cmds_per_sec: rate(false, true),
     }
 }
 
@@ -492,9 +497,11 @@ fn write_json(records: &[OpRecord], verdicts: &[OpVerdict], geomean: f64, tel: &
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"telemetry_gate\": {{\"off_cmds_per_sec\": {:.0}, \
-         \"on_cmds_per_sec\": {:.0}, \"disabled_recovers_cost\": {}}},\n",
+         \"on_cmds_per_sec\": {:.0}, \"profile_on_cmds_per_sec\": {:.0}, \
+         \"disabled_recovers_cost\": {}}},\n",
         tel.off_cmds_per_sec,
         tel.on_cmds_per_sec,
+        tel.profile_on_cmds_per_sec,
         tel.meets()
     ));
     out.push_str(&format!(
@@ -547,10 +554,11 @@ fn main() {
         );
     }
     println!(
-        "datapath geomean {:>6.2}x (target {GEOMEAN_TARGET:.1}x); telemetry off {:>10.3e} cmd/s vs on {:>10.3e} cmd/s ({})",
+        "datapath geomean {:>6.2}x (target {GEOMEAN_TARGET:.1}x); sinks off {:>10.3e} cmd/s vs telemetry {:>10.3e} vs profile {:>10.3e} cmd/s ({})",
         geomean,
         tel.off_cmds_per_sec,
         tel.on_cmds_per_sec,
+        tel.profile_on_cmds_per_sec,
         if tel.meets() { "ok" } else { "OVERHEAD" }
     );
     write_json(&records, &verdicts, geomean, &tel);
@@ -574,8 +582,8 @@ fn main() {
     }
     if !tel.meets() {
         failures.push(format!(
-            "disabled telemetry costs throughput ({:.3e} vs {:.3e} cmd/s)",
-            tel.off_cmds_per_sec, tel.on_cmds_per_sec
+            "disabled sinks cost throughput (off {:.3e} vs telemetry {:.3e} vs profile {:.3e} cmd/s)",
+            tel.off_cmds_per_sec, tel.on_cmds_per_sec, tel.profile_on_cmds_per_sec
         ));
     }
     if !failures.is_empty() {

@@ -2,7 +2,9 @@
 //! on the pim-tensor frontend), writes `results/BENCH_tensor.json`, and
 //! gates it against the regression bands, exiting nonzero on violation.
 //! `--out <path>` overrides the output path; shared flags: `--quiet`,
-//! `--telemetry[=path]` (JSON run report).
+//! `--telemetry[=path]` (JSON run report), `--profile[=path]`
+//! (PIMPROF01 / Perfetto cycle-domain profile of the advised
+//! vector-add + linreg tensor run).
 
 use std::path::PathBuf;
 
@@ -29,6 +31,10 @@ fn main() {
     )
     .expect("write BENCH_tensor.json");
     log.event("tensor", out.display().to_string());
+
+    if log.profiling() {
+        log.profile(pim_bench::e12::profile_capture(pim_core::Objective::Time));
+    }
 
     match pim_bench::e12::check_bands(&value) {
         Ok(()) => log.event("bands", "all regression bands hold"),

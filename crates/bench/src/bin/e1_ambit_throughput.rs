@@ -10,7 +10,8 @@
 //! nonzero.
 //! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report; with
 //! telemetry the report embeds the PIMTEL01 snapshot of a
-//! telemetry-enabled Ambit run).
+//! telemetry-enabled Ambit run), `--profile[=path]` (PIMPROF01 /
+//! Perfetto cycle-domain profile of the advised four-platform run).
 fn main() {
     let mut log = pim_bench::report::RunLog::from_env("e1_ambit_throughput");
     let swept = match pim_bench::e1::org_from_args(log.args()) {
@@ -33,6 +34,9 @@ fn main() {
     }
     if log.telemetry() {
         log.snapshot(pim_bench::e1::telemetry_snapshot());
+    }
+    if log.profiling() {
+        log.profile(pim_bench::e1::profile_capture(pim_core::Objective::Time));
     }
     if log.has_flag("--trace") {
         let cap = pim_bench::tracecap::e1_trace();

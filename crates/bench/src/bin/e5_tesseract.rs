@@ -5,7 +5,9 @@
 //! `results/traces/`.
 //! Shared flags: `--quiet`, `--telemetry[=path]` (JSON run report; with
 //! telemetry the report embeds the PIMTEL01 snapshot of a
-//! telemetry-enabled five-kernel Tesseract run).
+//! telemetry-enabled five-kernel Tesseract run), `--profile[=path]`
+//! (PIMPROF01 / Perfetto cycle-domain profile of the same five-kernel
+//! run on the synthesized vault clock).
 fn main() {
     let mut log = pim_bench::report::RunLog::from_env("e5_tesseract");
     let positional: Vec<String> = log
@@ -26,6 +28,9 @@ fn main() {
     log.table(pim_bench::e5::baselines_table(scale.min(18), degree));
     if log.telemetry() {
         log.snapshot(pim_bench::e5::telemetry_snapshot(scale.min(18), degree));
+    }
+    if log.profiling() {
+        log.profile(pim_bench::e5::profile_capture(scale.min(18), degree));
     }
     if log.has_flag("--trace") {
         let cap = pim_bench::tracecap::e5_trace(scale.min(18), degree);

@@ -393,6 +393,43 @@ pub fn placement_table(objective: Objective) -> Table {
     t
 }
 
+/// Cycle-domain profile of the advised E1 workload: the exact
+/// submissions of [`placement_table`] rerun with profiling enabled, so
+/// the exported `PIMPROF01` capture carries one timeline group per
+/// backend the advisor used (queue/jobs lanes plus the Ambit device's
+/// per-bank command lanes) and one [`JobRecord`](pim_profile::JobRecord)
+/// per op with the advisor's estimates for calibration.
+pub fn profile_capture(objective: Objective) -> pim_profile::Profile {
+    let ambit = AmbitBackend::new("ambit-ddr3-8banks", AmbitConfig::ddr3());
+    let bits = ambit.system().row_bits() * ambit.system().spec().org.total_banks() as usize;
+    let mut rt = Runtime::new()
+        .with(Box::new(CpuBackend::new(
+            "skylake-cpu",
+            CpuModel::new(CpuConfig::skylake_ddr3()),
+        )))
+        .with(Box::new(GpuBackend::gpu(
+            "gtx745-gpu",
+            GpuModel::new(GpuConfig::gtx745()),
+        )))
+        .with(Box::new(HmcLogicBackend::hmc_logic(
+            "hmc-logic-layer",
+            HmcLogicModel::new(HmcLogicConfig::hmc2()),
+        )))
+        .with(Box::new(ambit));
+    rt.set_profile(true);
+    let (a, b) = host_operands((bits / 8) as u64);
+    for &op in BulkOp::ALL.iter() {
+        let rhs = if op.is_unary() { None } else { Some(b.clone()) };
+        rt.submit(Job::bulk(op, a.clone(), rhs), Placement::Advised(objective))
+            .expect("submit");
+    }
+    rt.drain().expect("drain");
+    rt.take_profile()
+        .expect("profiling is enabled")
+        .with_meta("experiment", "e1")
+        .with_meta("placement", "advised")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -363,6 +363,26 @@ pub fn wide_mul32() -> WorkloadPoint {
     )
 }
 
+/// Cycle-domain profile of the advised vector-add and linear-regression
+/// workloads: the tensor planner's jobs captured end to end through the
+/// runtime (queue waits, Ambit bank lanes, per-job phase records), as
+/// the `PIMPROF01` export for E12.
+pub fn profile_capture(objective: Objective) -> pim_profile::Profile {
+    let mut sess = advised_session(objective);
+    sess.set_profile(true);
+    let av = hash_lanes(LANES, 0x9e37_79b9_7f4a_7c15, 32);
+    let bv = hash_lanes(LANES, 0xc2b2_ae3d_27d4_eb4f, 32);
+    let a = PimTensor::<u32>::from_u64_values(av);
+    let b = PimTensor::<u32>::from_u64_values(bv);
+    sess.eval(&(&a + &b)).expect("eval");
+    sess.eval(&score_tensor(&regression_features()))
+        .expect("eval");
+    sess.take_profile()
+        .expect("profiling is enabled")
+        .with_meta("experiment", "e12")
+        .with_meta("lanes", LANES.to_string())
+}
+
 /// Every E12 workload, in table order.
 pub fn run() -> Vec<WorkloadPoint> {
     let tasks: Vec<Box<dyn FnOnce() -> WorkloadPoint + Send>> = vec![

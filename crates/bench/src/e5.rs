@@ -93,6 +93,37 @@ pub fn telemetry_snapshot(scale: u32, degree: usize) -> pim_telemetry::Snapshot 
         .with_meta("degree", degree.to_string())
 }
 
+/// Cycle-domain profile of the five-kernel Tesseract run: the same
+/// workload as [`telemetry_snapshot`] with profiling enabled instead,
+/// returning the `PIMPROF01` capture — per-vault superstep slices on the
+/// synthesized picosecond clock, queue/jobs lanes, and one
+/// [`JobRecord`](pim_profile::JobRecord) per kernel.
+pub fn profile_capture(scale: u32, degree: usize) -> pim_profile::Profile {
+    let graph = Arc::new(eval_graph(scale, degree));
+    let mut rt = Runtime::new().with(Box::new(TesseractBackend::new(
+        "tesseract",
+        TesseractConfig::isca2015(),
+    )));
+    rt.set_profile(true);
+    for &kernel in KernelKind::ALL.iter() {
+        rt.submit(
+            Job::GraphBatch {
+                kernel,
+                graph: graph.clone(),
+            },
+            Placement::Advised(Objective::Time),
+        )
+        .expect("submit");
+    }
+    rt.drain().expect("drain");
+    rt.take_profile()
+        .expect("profiling is enabled")
+        .with_meta("experiment", "e5")
+        .with_meta("backend", "tesseract")
+        .with_meta("scale", scale.to_string())
+        .with_meta("degree", degree.to_string())
+}
+
 /// Like [`run`] but against the ISCA'15 HMC-OoO baseline (HMC as plain
 /// main memory — more bandwidth, still no computation in memory).
 pub fn run_vs_hmc_ooo(graph: &Graph) -> Vec<Comparison> {

@@ -1,5 +1,6 @@
-//! Structured run reports: the `--telemetry` / `--quiet` flags every
-//! experiment binary shares, plus the single table/event rendering path.
+//! Structured run reports: the `--telemetry` / `--profile` / `--quiet`
+//! flags every experiment binary shares, plus the single table/event
+//! rendering path.
 //!
 //! A [`RunLog`] collects everything a binary would have printed ad hoc —
 //! result tables, status events, telemetry snapshots — and renders it
@@ -10,8 +11,14 @@
 //! when `--telemetry` is given. The JSON is built from the same
 //! deterministic value tree as the telemetry snapshots, so a report is
 //! byte-identical across runs and thread counts.
+//!
+//! `--profile` additionally exports a `PIMPROF01` cycle-domain profile as
+//! its **own** file under `results/profile/` — a standalone document (the
+//! embedded `traceEvents` array loads directly in Perfetto / `chrome://
+//! tracing`), deliberately not embedded in the run report.
 
 use pim_core::{Table, Value as Cell};
+use pim_profile::Profile;
 use pim_telemetry::Snapshot;
 use serde_json::{Map, Value};
 use std::path::{Path, PathBuf};
@@ -22,16 +29,21 @@ pub const REPORT_TAG: &str = "PIMRUN01";
 /// Where reports land when `--telemetry` is given without a path.
 pub const DEFAULT_DIR: &str = "results/telemetry";
 
+/// Where profiles land when `--profile` is given without a path.
+pub const PROFILE_DIR: &str = "results/profile";
+
 /// One experiment binary's output, accumulated then rendered.
 #[derive(Debug)]
 pub struct RunLog {
     name: String,
     quiet: bool,
     telemetry_path: Option<PathBuf>,
+    profile_path: Option<PathBuf>,
     args: Vec<String>,
     tables: Vec<Table>,
     events: Vec<(String, String)>,
     snapshots: Vec<Snapshot>,
+    profile: Option<Profile>,
 }
 
 impl RunLog {
@@ -42,10 +54,12 @@ impl RunLog {
             name: name.into(),
             quiet: false,
             telemetry_path: None,
+            profile_path: None,
             args: Vec::new(),
             tables: Vec::new(),
             events: Vec::new(),
             snapshots: Vec::new(),
+            profile: None,
         }
     }
 
@@ -57,7 +71,11 @@ impl RunLog {
     /// * `--telemetry` — write the JSON run report to
     ///   `results/telemetry/<name>.json`;
     /// * `--telemetry=<path>` (or `--telemetry <file>.json`) — write it
-    ///   to an explicit path.
+    ///   to an explicit path;
+    /// * `--profile` — export the `PIMPROF01` cycle-domain profile to
+    ///   `results/profile/<name>.json`;
+    /// * `--profile=<path>` (or `--profile <file>.json`) — export it to
+    ///   an explicit path.
     pub fn from_env(name: impl Into<String>) -> Self {
         Self::from_args(name, std::env::args().skip(1).collect())
     }
@@ -81,8 +99,19 @@ impl RunLog {
                     Some(path) => PathBuf::from(path),
                     None => Path::new(DEFAULT_DIR).join(format!("{}.json", log.name)),
                 });
+            } else if arg == "--profile" {
+                let explicit = iter
+                    .peek()
+                    .is_some_and(|next| next.ends_with(".json"))
+                    .then(|| iter.next().expect("peeked"));
+                log.profile_path = Some(match explicit {
+                    Some(path) => PathBuf::from(path),
+                    None => Path::new(PROFILE_DIR).join(format!("{}.json", log.name)),
+                });
             } else if let Some(path) = arg.strip_prefix("--telemetry=") {
                 log.telemetry_path = Some(PathBuf::from(path));
+            } else if let Some(path) = arg.strip_prefix("--profile=") {
+                log.profile_path = Some(PathBuf::from(path));
             } else {
                 log.args.push(arg);
             }
@@ -111,6 +140,12 @@ impl RunLog {
         self.telemetry_path.is_some()
     }
 
+    /// Whether this run exports a `PIMPROF01` profile (so binaries can
+    /// skip profile-enabled reruns nobody will read).
+    pub fn profiling(&self) -> bool {
+        self.profile_path.is_some()
+    }
+
     /// Records a result table, printing its markdown unless quiet.
     pub fn table(&mut self, table: Table) {
         if !self.quiet {
@@ -137,6 +172,21 @@ impl RunLog {
             println!("{}", snap.to_table_string());
         }
         self.snapshots.push(snap);
+    }
+
+    /// Attaches the run's cycle-domain profile: prints the analytics
+    /// report (per-kind latency percentiles, phase attribution, lane
+    /// utilization, critical paths, advisor calibration) unless quiet,
+    /// and queues the `PIMPROF01` export for [`RunLog::finish`]. The last
+    /// profile attached wins.
+    pub fn profile(&mut self, profile: Profile) {
+        if !self.quiet {
+            println!(
+                "{}",
+                pim_profile::analytics::Report::from_profile(&profile).to_table_string()
+            );
+        }
+        self.profile = Some(profile);
     }
 
     /// The machine-readable run report as a JSON value tree.
@@ -174,21 +224,30 @@ impl RunLog {
         serde_json::to_string_pretty(&self.report_value()).expect("report values are finite")
     }
 
-    /// Writes the JSON run report if `--telemetry` was given, returning
-    /// its path; prints where it landed (as an event) on success.
+    /// Writes the pending exports: the `PIMPROF01` profile (its own
+    /// file — Perfetto loads it directly) if `--profile` was given, then
+    /// the JSON run report if `--telemetry` was given, returning the
+    /// report's path; prints where each landed (as an event) on success.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors creating the directory or file.
+    /// Propagates filesystem errors creating the directories or files.
     pub fn finish(mut self) -> std::io::Result<Option<PathBuf>> {
+        let ensure_dir = |path: &Path| -> std::io::Result<()> {
+            match path.parent() {
+                Some(dir) if !dir.as_os_str().is_empty() => std::fs::create_dir_all(dir),
+                _ => Ok(()),
+            }
+        };
+        if let (Some(path), Some(profile)) = (self.profile_path.clone(), self.profile.take()) {
+            ensure_dir(&path)?;
+            std::fs::write(&path, profile.to_json_string_pretty())?;
+            self.event("profile", path.display().to_string());
+        }
         let Some(path) = self.telemetry_path.clone() else {
             return Ok(None);
         };
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
+        ensure_dir(&path)?;
         self.event("telemetry", path.display().to_string());
         std::fs::write(&path, self.report_json())?;
         Ok(Some(path))
@@ -360,6 +419,46 @@ mod tests {
         assert_eq!(log.telemetry_path, Some(PathBuf::from("out/run.json")));
         let log = RunLog::from_args("e1", vec!["--telemetry=x.json".into()]);
         assert_eq!(log.telemetry_path, Some(PathBuf::from("x.json")));
+    }
+
+    #[test]
+    fn profile_flag_mirrors_the_telemetry_parsing() {
+        // Bare flag: default path under results/profile, positionals
+        // pass through untouched.
+        let log = RunLog::from_args("e5", vec!["--profile".into(), "18".into()]);
+        assert!(log.profiling());
+        assert_eq!(
+            log.profile_path,
+            Some(Path::new(PROFILE_DIR).join("e5.json"))
+        );
+        assert_eq!(log.args(), ["18"]);
+
+        let log = RunLog::from_args("e1", vec!["--profile".into(), "out/p.json".into()]);
+        assert_eq!(log.profile_path, Some(PathBuf::from("out/p.json")));
+        let log = RunLog::from_args("e1", vec!["--profile=p.json".into()]);
+        assert_eq!(log.profile_path, Some(PathBuf::from("p.json")));
+        assert!(!log.telemetry(), "--profile does not imply --telemetry");
+        assert!(!RunLog::from_args("e1", vec![]).profiling());
+    }
+
+    #[test]
+    fn finish_writes_the_profile_as_its_own_file() {
+        let dir = std::env::temp_dir().join("pim_bench_runlog_profile_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("demo_profile.json");
+        let mut log = RunLog::from_args(
+            "demo",
+            vec!["--quiet".into(), format!("--profile={}", path.display())],
+        );
+        let mut sink = pim_profile::ProfileSink::new();
+        sink.slice(pim_profile::Lane::Queue, "wait", 0, 5, Some(1));
+        let mut profile = Profile::new().with_meta("experiment", "demo");
+        profile.add_group("demo-backend", 1.0, sink);
+        log.profile(profile);
+        assert!(log.finish().expect("write profile").is_none(), "no report");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        Profile::validate_json(&text).expect("written profile validates");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

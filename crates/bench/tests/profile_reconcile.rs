@@ -1,0 +1,175 @@
+//! Cross-format reconciliation of the three export envelopes over one
+//! E1-style Ambit run:
+//!
+//! * `PIMPROF01` vs `PIMTRC01` — the profile's device-lane occupancy
+//!   slices are one-to-one with the command-trace records (same count,
+//!   same issue cycles), occupancy is positive, and every slice lies
+//!   inside the union of the jobs' batch windows;
+//! * `PIMPROF01` vs `PIMRUN01` — the job records written to the profile
+//!   file agree span-for-span (id, kind, backend, estimated and
+//!   measured cost) with the telemetry job spans embedded in the run
+//!   report written next to it, and both sum to the completions' total.
+
+use pim_ambit::AmbitConfig;
+use pim_profile::{analytics, Lane, Profile};
+use pim_runtime::{AmbitBackend, Job, Placement, Runtime};
+use pim_telemetry::Snapshot;
+use pim_workloads::{BitVec, BulkOp};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn e1_jobs(n: usize, bits: usize, seed: u64) -> Vec<Job> {
+    let ops = [BulkOp::And, BulkOp::Or, BulkOp::Xor, BulkOp::Nand];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let a = Arc::new(BitVec::random(bits, 0.5, &mut rng));
+            let b = Arc::new(BitVec::random(bits, 0.5, &mut rng));
+            Job::bulk(ops[i % ops.len()], a, Some(b))
+        })
+        .collect()
+}
+
+/// Is this event a device occupancy slice (as opposed to the runtime's
+/// queue/jobs lifecycle lanes)?
+fn is_device_slice(e: &pim_profile::TraceEvent) -> bool {
+    matches!(e.lane, Lane::Bank(_) | Lane::Rank(_) | Lane::Channel(_)) && e.value.is_none()
+}
+
+#[test]
+fn profile_occupancy_reconciles_with_the_command_trace() {
+    let mut rt = Runtime::new().with(Box::new(AmbitBackend::new("ambit", AmbitConfig::ddr3())));
+    rt.set_trace(true);
+    rt.set_profile(true);
+    for job in e1_jobs(6, 30_000, 17) {
+        rt.submit(job, Placement::Forced("ambit".into()))
+            .expect("submit");
+    }
+    rt.drain().expect("drain");
+    let traces = rt.take_traces();
+    let profile = rt.take_profile().expect("profiling is enabled");
+
+    let (_, _, records) = traces
+        .iter()
+        .find(|(n, _, _)| n == "ambit")
+        .expect("ambit trace captured");
+    let group = profile.group("ambit").expect("ambit produced events");
+
+    // Every traced command has exactly one profile occupancy slice,
+    // issued at the same cycle: the two envelopes describe the same
+    // command stream.
+    let slices: Vec<&pim_profile::TraceEvent> =
+        group.events.iter().filter(|e| is_device_slice(e)).collect();
+    assert_eq!(slices.len(), records.len(), "one slice per traced command");
+    let mut slice_starts: Vec<u64> = slices.iter().map(|e| e.start).collect();
+    let mut record_ats: Vec<u64> = records.iter().map(|r| r.at).collect();
+    slice_starts.sort_unstable();
+    record_ats.sort_unstable();
+    assert_eq!(slice_starts, record_ats, "issue cycles agree");
+
+    // Occupancy is real work: positive busy cycles on the bank lanes,
+    // with overlaps merged, and no lane busier than the batch envelope.
+    let busy = analytics::lane_busy(&group.events);
+    let bank_busy: u64 = busy
+        .iter()
+        .filter(|(l, _)| matches!(l, Lane::Bank(_)))
+        .map(|(_, c)| c)
+        .sum();
+    assert!(bank_busy > 0, "bulk ops occupy bank lanes");
+    let first_batch = profile
+        .jobs
+        .iter()
+        .map(|j| j.phases.expect("ambit has phases").batch_start)
+        .min()
+        .expect("jobs recorded");
+    let last_drain = profile
+        .jobs
+        .iter()
+        .map(|j| j.phases.expect("ambit has phases").drain_end)
+        .max()
+        .expect("jobs recorded");
+    for e in &slices {
+        assert!(
+            e.start >= first_batch && e.end <= last_drain,
+            "command slice [{}, {}) escapes the batch envelope [{first_batch}, {last_drain})",
+            e.start,
+            e.end
+        );
+    }
+    for j in &profile.jobs {
+        let p = j.phases.expect("ambit has phases");
+        assert!(p.execute() > 0, "job {} executes", j.id);
+    }
+}
+
+#[test]
+fn profile_job_records_reconcile_with_the_run_report() {
+    let mut rt = Runtime::new().with(Box::new(AmbitBackend::new("ambit", AmbitConfig::ddr3())));
+    rt.set_telemetry(true);
+    rt.set_profile(true);
+    for job in e1_jobs(5, 24_000, 29) {
+        rt.submit(job, Placement::Forced("ambit".into()))
+            .expect("submit");
+    }
+    let done = rt.drain().expect("drain");
+    let snapshot = Snapshot::from_sink(rt.take_telemetry().expect("telemetry on"))
+        .with_meta("experiment", "reconcile");
+    let profile = rt.take_profile().expect("profiling is enabled");
+
+    // Write both artifacts the way the bins do, then reconcile the
+    // files on disk — the exact bytes a consumer sees.
+    let dir = std::env::temp_dir().join("pim_bench_profile_reconcile_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let report_path = dir.join("report.json");
+    let profile_path = dir.join("profile.json");
+    let mut log = pim_bench::report::RunLog::from_args(
+        "reconcile",
+        vec![
+            "--quiet".into(),
+            format!("--telemetry={}", report_path.display()),
+            format!("--profile={}", profile_path.display()),
+        ],
+    );
+    log.snapshot(snapshot);
+    log.profile(profile);
+    log.finish().expect("write artifacts");
+
+    let report_text = std::fs::read_to_string(&report_path).expect("report written");
+    pim_bench::report::validate_report(&report_text).expect("PIMRUN01 validates");
+    let profile_text = std::fs::read_to_string(&profile_path).expect("profile written");
+    Profile::validate_json(&profile_text).expect("PIMPROF01 validates");
+    let profile = Profile::from_json_str(&profile_text).expect("parses");
+
+    // Pull the embedded PIMTEL01 snapshot back out of the run report.
+    let report: serde_json::Value = serde_json::from_str(&report_text).expect("JSON");
+    let serde_json::Value::Array(snaps) = &report["telemetry"] else {
+        panic!("report embeds a telemetry array");
+    };
+    let snap_value = snaps.first().expect("one embedded snapshot");
+    let snapshot = Snapshot::from_json_str(&serde_json::to_string(snap_value).expect("serialize"))
+        .expect("embedded snapshot parses");
+
+    // Span-for-span agreement, and both sum to the completions' total.
+    assert_eq!(snapshot.spans.len(), profile.jobs.len());
+    assert_eq!(profile.jobs.len(), done.len());
+    let mut span_sum = 0.0;
+    let mut record_sum = 0.0;
+    for (span, record) in snapshot.spans.iter().zip(profile.jobs.iter()) {
+        assert_eq!(span.id, record.id);
+        assert_eq!(span.kind, record.kind);
+        assert_eq!(span.backend, record.backend);
+        assert_eq!(span.queue_depth, record.queue_depth);
+        assert_eq!(span.advised, record.advised);
+        assert_eq!(span.est_ns, record.est_ns);
+        assert_eq!(span.est_nj, record.est_nj);
+        assert_eq!(span.actual_ns, record.actual_ns);
+        assert_eq!(span.actual_nj, record.actual_nj);
+        assert_eq!(span.commands, record.commands);
+        span_sum += span.actual_ns;
+        record_sum += record.actual_ns;
+    }
+    let done_sum: f64 = done.iter().map(|c| c.report.ns).sum();
+    assert_eq!(span_sum, done_sum);
+    assert_eq!(record_sum, done_sum);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -270,6 +270,24 @@ impl CommandKind {
         }
     }
 
+    /// Lowercase mnemonic for this kind (profiling event names).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            CommandKind::Act => "act",
+            CommandKind::Pre => "pre",
+            CommandKind::PreAll => "prea",
+            CommandKind::Rd => "rd",
+            CommandKind::RdA => "rda",
+            CommandKind::Wr => "wr",
+            CommandKind::WrA => "wra",
+            CommandKind::Ref => "ref",
+            CommandKind::Aap => "aap",
+            CommandKind::Ap => "ap",
+            CommandKind::Tra => "tra",
+            CommandKind::TraAap => "traaap",
+        }
+    }
+
     /// `true` for the in-DRAM computation extensions (AAP/AP/TRA).
     pub const fn is_pim(self) -> bool {
         matches!(

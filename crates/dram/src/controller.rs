@@ -225,6 +225,24 @@ impl Controller {
         self.device.take_telemetry()
     }
 
+    /// Enables or disables profiling capture: one occupancy slice per
+    /// issued command on its bank/rank/channel lane. Every command the
+    /// scheduler issues funnels through the device's single mutation
+    /// point, so the timeline is complete.
+    pub fn set_profile(&mut self, enabled: bool) {
+        self.device.set_profile(enabled);
+    }
+
+    /// `true` if profiling capture is on.
+    pub fn profile_enabled(&self) -> bool {
+        self.device.profile_enabled()
+    }
+
+    /// Takes the captured profile events (`None` when disabled).
+    pub fn take_profile(&mut self) -> Option<pim_profile::ProfileSink> {
+        self.device.take_profile()
+    }
+
     /// The address-mapping scheme in use.
     pub fn mapping(&self) -> AddressMapping {
         self.mapping

@@ -14,6 +14,7 @@ use crate::error::{DramError, Result};
 use crate::spec::DramSpec;
 use crate::trace::{TraceRecord, TraceSink};
 use crate::types::{BankId, Cycle, DramAddr, RowId};
+use pim_profile::{Lane, ProfileSink};
 use pim_telemetry::TelemetrySink;
 use std::collections::VecDeque;
 
@@ -99,6 +100,9 @@ pub struct Device {
     /// Optional telemetry capture (per-bank command counters); same
     /// zero-cost-when-disabled discipline as `sink`.
     telemetry: Option<TelemetrySink>,
+    /// Optional profiling capture (per-bank/rank/channel occupancy
+    /// slices); same zero-cost-when-disabled discipline as `sink`.
+    profile: Option<ProfileSink>,
     /// `true` (the default) lets callers use the [`Device::issue_run`]
     /// batched path; turning it off forces per-command issue everywhere —
     /// the equivalence tests' lever.
@@ -132,6 +136,7 @@ impl Device {
             counts: CommandCounts::new(),
             sink: None,
             telemetry: None,
+            profile: None,
             batch_runs: true,
             batched_commands: 0,
         };
@@ -229,6 +234,40 @@ impl Device {
     /// while capture is disabled.
     pub fn telemetry_mut(&mut self) -> Option<&mut TelemetrySink> {
         self.telemetry.as_mut()
+    }
+
+    /// Enables or disables profiling capture: one occupancy slice per
+    /// issued command on its bank/rank/channel lane, spanning issue
+    /// cycle to completion.
+    ///
+    /// Enabling starts a fresh sink; disabling discards it. While
+    /// disabled the only cost on the issue path is one branch on a
+    /// `None` option — the same discipline as `set_trace`.
+    pub fn set_profile(&mut self, enabled: bool) {
+        self.profile = if enabled {
+            Some(ProfileSink::new())
+        } else {
+            None
+        };
+    }
+
+    /// `true` if profiling capture is on.
+    pub fn profile_enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Takes the captured profile events, leaving a fresh sink in
+    /// place (capture stays enabled). `None` when capture is disabled.
+    /// Shard-merged captures are concatenated shard-major; consumers
+    /// normalize at export (see `pim_profile::event::normalize`).
+    pub fn take_profile(&mut self) -> Option<ProfileSink> {
+        self.profile.as_mut().map(std::mem::take)
+    }
+
+    /// Mutable access to the live profile sink (for co-located
+    /// recorders like the Ambit engine), `None` while disabled.
+    pub fn profile_mut(&mut self) -> Option<&mut ProfileSink> {
+        self.profile.as_mut()
     }
 
     /// Enables or disables the batched-run issue path ([`Device::issue_run`]).
@@ -556,7 +595,32 @@ impl Device {
                 tel.count(series, index, 1);
             }
         }
-        self.apply_state(cmd, at)
+        let outcome = self.apply_state(cmd, at);
+        if self.profile.is_some() {
+            let lane = self.profile_lane(&cmd);
+            let name = cmd.kind().mnemonic();
+            if let Some(prof) = &mut self.profile {
+                prof.slice(lane, name, at, outcome.done, None);
+            }
+        }
+        outcome
+    }
+
+    /// Profiling lane for `cmd`: column transfers occupy the channel's
+    /// data-bus lane (the paper's bus-vs-in-DRAM split), rank-scoped
+    /// REF/PREA the flat rank lane, and everything else — activations
+    /// and the in-DRAM compute commands — its flat bank lane.
+    fn profile_lane(&self, cmd: &Command) -> Lane {
+        match cmd.kind() {
+            CommandKind::Rd | CommandKind::RdA | CommandKind::Wr | CommandKind::WrA => {
+                Lane::Channel(cmd.channel())
+            }
+            CommandKind::Ref | CommandKind::PreAll => {
+                let (channel, rank) = cmd.rank();
+                Lane::Rank(channel * self.spec.org.ranks + rank)
+            }
+            _ => Lane::Bank(self.flat_bank_index(cmd.bank().expect("bank-scoped command"))),
+        }
     }
 
     /// Telemetry instance index for `cmd`: per-bank counter for
@@ -842,6 +906,8 @@ impl Device {
         );
         let trace_on = self.sink.is_some();
         let tel_on = self.telemetry.is_some();
+        let prof_on = self.profile.is_some();
+        let prof_name = kind.mnemonic();
         // Local per-bank accumulator; only allocates when telemetry is
         // capturing (a mode that records into a sink anyway).
         let mut tel_counts: Vec<(u32, u64)> = Vec::new();
@@ -868,6 +934,12 @@ impl Device {
                 }
             }
             let outcome = self.apply_state(*cmd, at);
+            if prof_on {
+                let lane = self.profile_lane(cmd);
+                if let Some(prof) = &mut self.profile {
+                    prof.slice(lane, prof_name, at, outcome.done, None);
+                }
+            }
             done.push(outcome.done);
             end = end.max(outcome.done);
         }
@@ -924,6 +996,7 @@ impl Device {
             // the parent is recording; join_bank merges them back.
             sink: self.sink.as_ref().map(|_| TraceSink::new()),
             telemetry: self.telemetry.as_ref().map(|_| TelemetrySink::new()),
+            profile: self.profile.as_ref().map(|_| ProfileSink::new()),
             batch_runs: self.batch_runs,
             batched_commands: 0,
         })
@@ -949,6 +1022,9 @@ impl Device {
         }
         if let (Some(mine), Some(theirs)) = (&mut self.telemetry, shard.telemetry.take()) {
             mine.merge(theirs);
+        }
+        if let (Some(mine), Some(theirs)) = (&mut self.profile, shard.profile.take()) {
+            mine.absorb(theirs);
         }
         Ok(())
     }
@@ -989,6 +1065,7 @@ impl Device {
             counts: CommandCounts::new(),
             sink: self.sink.as_ref().map(|_| TraceSink::new()),
             telemetry: self.telemetry.as_ref().map(|_| TelemetrySink::new()),
+            profile: self.profile.as_ref().map(|_| ProfileSink::new()),
             batch_runs: self.batch_runs,
             batched_commands: 0,
         })
@@ -1021,6 +1098,9 @@ impl Device {
         }
         if let (Some(mine), Some(theirs)) = (&mut self.telemetry, shard.telemetry.take()) {
             mine.merge(theirs);
+        }
+        if let (Some(mine), Some(theirs)) = (&mut self.profile, shard.profile.take()) {
+            mine.absorb(theirs);
         }
         Ok(())
     }

@@ -1,0 +1,300 @@
+//! HDR-style log-spaced latency histograms and exact percentile
+//! extraction.
+//!
+//! [`LogHistogram`] subdivides every power-of-two octave into
+//! `2^sub_bits` equal sub-buckets, bounding relative quantization
+//! error at `2^-sub_bits` across the full `u64` range while keeping
+//! the bucket count small — the classic HDR-histogram layout. Values
+//! below `2^(sub_bits+1)` are recorded exactly (unit-width buckets).
+//!
+//! All state is integer counts, so merging shard histograms is plain
+//! addition: commutative, associative, and byte-identical to
+//! recording the union sequentially — the property the shard
+//! determinism tests pin down.
+//!
+//! For *exact* p50/p99/p999 the analytics layer keeps raw integer
+//! latencies and calls [`percentile_exact`] (nearest-rank on a sorted
+//! slice); the histogram carries the distribution *shape* for export.
+
+/// Default octave subdivision: 32 sub-buckets, ≤ 3.2% relative error.
+pub const DEFAULT_SUB_BITS: u32 = 5;
+
+/// A log-spaced histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    sub_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl LogHistogram {
+    /// An empty histogram with `2^sub_bits` sub-buckets per octave
+    /// (`sub_bits` in `1..=16`).
+    pub fn new(sub_bits: u32) -> Self {
+        assert!((1..=16).contains(&sub_bits), "sub_bits out of range");
+        LogHistogram {
+            sub_bits,
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// The octave subdivision exponent.
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
+    /// Bucket index for a value.
+    fn index_of(&self, v: u64) -> usize {
+        let sub = 1u64 << self.sub_bits;
+        if v < 2 * sub {
+            // Exact region: unit-width buckets for [0, 2*sub).
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - self.sub_bits;
+        let offset = ((v >> shift) - sub) as usize;
+        (2 * sub as usize) + (shift as usize - 1) * sub as usize + offset
+    }
+
+    /// Inclusive lower bound of a bucket.
+    pub fn bucket_low(&self, index: usize) -> u64 {
+        let sub = 1usize << self.sub_bits;
+        if index < 2 * sub {
+            return index as u64;
+        }
+        let rel = index - 2 * sub;
+        let shift = (rel / sub + 1) as u32;
+        let offset = (rel % sub) as u64;
+        ((1u64 << self.sub_bits) + offset) << shift
+    }
+
+    /// Exclusive upper bound of a bucket.
+    pub fn bucket_high(&self, index: usize) -> u64 {
+        let sub = 1usize << self.sub_bits;
+        if index < 2 * sub {
+            return index as u64 + 1;
+        }
+        let rel = index - 2 * sub;
+        let shift = (rel / sub + 1) as u32;
+        self.bucket_low(index) + (1u64 << shift)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records a value `n` times.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.index_of(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += v as u128 * n as u128;
+    }
+
+    /// Adds another histogram's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// If the two histograms use different `sub_bits` (their bucket
+    /// layouts are incompatible).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(
+            self.sub_bits, other.sub_bits,
+            "cannot merge histograms with different sub_bits"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Nearest-rank percentile approximated at bucket resolution
+    /// (returns the bucket's inclusive lower bound; exact for values
+    /// in the unit-width region).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = nearest_rank(q, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_low(i);
+            }
+        }
+        self.bucket_low(self.counts.len().saturating_sub(1))
+    }
+
+    /// Non-empty buckets as `(low, high, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_low(i), self.bucket_high(i), c))
+    }
+
+    /// Raw parts for serialization: `(sub_bits, counts, total, sum)`.
+    /// Trailing zero buckets are trimmed so equal distributions always
+    /// serialize identically.
+    pub fn to_parts(&self) -> (u32, Vec<u64>, u64, u128) {
+        let mut counts = self.counts.clone();
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        (self.sub_bits, counts, self.total, self.sum)
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new(DEFAULT_SUB_BITS)
+    }
+}
+
+/// The 1-based nearest rank for quantile `q` over `n` values.
+fn nearest_rank(q: f64, n: u64) -> u64 {
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * n as f64).ceil() as u64;
+    rank.clamp(1, n)
+}
+
+/// Exact nearest-rank percentile over an ascending-sorted slice.
+///
+/// `percentile_exact(v, 0.5)` is the p50, `0.99` the p99, `0.999`
+/// the p999. Returns 0 for an empty slice.
+pub fn percentile_exact(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let rank = nearest_rank(q, sorted.len() as u64);
+    sorted[(rank - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_range() {
+        let h = LogHistogram::new(3);
+        // Every bucket's high bound is the next bucket's low bound.
+        for i in 0..200 {
+            assert_eq!(h.bucket_high(i), h.bucket_low(i + 1), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn index_respects_bucket_bounds() {
+        let h = LogHistogram::new(5);
+        for v in [0u64, 1, 63, 64, 65, 1000, 4096, 1 << 20, u64::MAX / 2] {
+            let i = h.index_of(v);
+            assert!(h.bucket_low(i) <= v && v < h.bucket_high(i), "v={v}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new(5);
+        for v in 0..64 {
+            h.record(v);
+        }
+        for v in 0..64 {
+            let i = h.index_of(v);
+            assert_eq!(h.bucket_low(i), v);
+            assert_eq!(h.bucket_high(i), v + 1);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = LogHistogram::new(5);
+        for v in [100u64, 999, 12345, 1 << 30, (1 << 40) + 7] {
+            let i = h.index_of(v);
+            let width = h.bucket_high(i) - h.bucket_low(i);
+            assert!(
+                (width as f64) / (v as f64) <= 1.0 / 32.0 + 1e-12,
+                "v={v} width={width}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let values = [3u64, 70, 70, 4096, 12345, 99999, 1 << 33];
+        let mut seq = LogHistogram::new(5);
+        for &v in &values {
+            seq.record(v);
+        }
+        let mut a = LogHistogram::new(5);
+        let mut b = LogHistogram::new(5);
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        let mut merged = LogHistogram::new(5);
+        merged.merge(&b);
+        merged.merge(&a);
+        assert_eq!(merged, seq);
+        assert_eq!(merged.to_parts(), seq.to_parts());
+    }
+
+    #[test]
+    fn exact_percentiles_match_definition() {
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile_exact(&sorted, 0.5), 500);
+        assert_eq!(percentile_exact(&sorted, 0.99), 990);
+        assert_eq!(percentile_exact(&sorted, 0.999), 999);
+        assert_eq!(percentile_exact(&sorted, 1.0), 1000);
+        assert_eq!(percentile_exact(&sorted, 0.0), 1);
+        assert_eq!(percentile_exact(&[], 0.5), 0);
+        assert_eq!(percentile_exact(&[42], 0.999), 42);
+    }
+
+    #[test]
+    fn histogram_percentile_tracks_exact_in_unit_region() {
+        let mut h = LogHistogram::new(5);
+        let mut raw = Vec::new();
+        for v in [1u64, 2, 3, 10, 20, 30, 40, 50, 60] {
+            h.record(v);
+            raw.push(v);
+        }
+        raw.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h.percentile(q), percentile_exact(&raw, q));
+        }
+    }
+}

@@ -1,0 +1,688 @@
+//! The versioned profile export: a `PIMPROF01` envelope that is
+//! *simultaneously* a valid Chrome Trace Event / Perfetto JSON file.
+//!
+//! ## JSON layout
+//!
+//! ```json
+//! { "format": "PIMPROF01",
+//!   "displayTimeUnit": "ns",
+//!   "meta": { "experiment": "e1", ... },
+//!   "groups": [
+//!     { "name": "ambit", "ns_per_cycle": 1.25,
+//!       "events": [
+//!         { "lane": "bank/0", "name": "aap", "start": 36, "end": 85,
+//!           "job": 0 },
+//!         { "lane": "queue", "name": "depth", "start": 4, "end": 4,
+//!           "value": 3 } ] } ],
+//!   "jobs": [
+//!     { "id": 0, "kind": "bitwise", "backend": "ambit",
+//!       "queue_depth": 1, "advised": true,
+//!       "est_ns": 10.0, "est_nj": 1.0,
+//!       "actual_ns": 11.5, "actual_nj": 1.1,
+//!       "commands": 42, "group": 4,
+//!       "phases": { "submit": 0, "batch_start": 4, "exec_start": 9,
+//!                   "exec_end": 81, "drain_end": 96 } } ],
+//!   "traceEvents": [ ...derived Chrome events... ] }
+//! ```
+//!
+//! `groups`/`jobs` carry the exact integer cycle data (the canonical
+//! payload — parse-back reads only these); `traceEvents` is *derived*
+//! from them at export time in the Chrome Trace Event format (`ph:"M"`
+//! process/thread names, `ph:"X"` complete slices with microsecond
+//! `ts`/`dur`, `ph:"C"` counters), one process per group, one thread
+//! per lane. Perfetto and `chrome://tracing` ignore the extra
+//! top-level keys, so the same file loads as a waterfall unmodified.
+//!
+//! Group events are stored normalized (see
+//! [`crate::event::normalize`]) and jobs sorted by id, so the same run
+//! serializes to the same bytes regardless of thread count or
+//! ShardMode.
+
+use crate::event::{normalize, Lane, ProfileSink, TraceEvent};
+use crate::record::{JobPhases, JobRecord};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The self-describing format tag, versioned in the trailing digits.
+pub const FORMAT_TAG: &str = "PIMPROF01";
+
+/// A malformed profile export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileFormatError(String);
+
+impl ProfileFormatError {
+    fn new(msg: impl Into<String>) -> Self {
+        ProfileFormatError(msg.into())
+    }
+}
+
+impl fmt::Display for ProfileFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed profile: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProfileFormatError {}
+
+/// One timeline group: an engine or backend with its own clock domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Group name (backend name; doubles as the Chrome process name).
+    pub name: String,
+    /// Nanoseconds per cycle of this group's clock (converts event
+    /// cycles to wall time at export).
+    pub ns_per_cycle: f64,
+    /// Canonically ordered events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Group {
+    /// The distinct lanes appearing in this group, in canonical order.
+    pub fn lanes(&self) -> Vec<Lane> {
+        let mut lanes: Vec<Lane> = self.events.iter().map(|e| e.lane).collect();
+        lanes.sort_by_key(|l| l.sort_key());
+        lanes.dedup();
+        lanes
+    }
+}
+
+/// A complete profiling capture: metadata, per-group timelines, and
+/// per-job records.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    /// Report labels, exported in sorted key order.
+    pub meta: BTreeMap<String, String>,
+    /// Timeline groups in insertion order (runtime backend order).
+    pub groups: Vec<Group>,
+    /// Job records, sorted by id.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Adds a metadata label (builder style).
+    #[must_use]
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.insert(key.into(), value.into());
+        self
+    }
+
+    /// Drains a sink into a new group, normalizing its events.
+    pub fn add_group(&mut self, name: impl Into<String>, ns_per_cycle: f64, sink: ProfileSink) {
+        let mut events = sink.into_events();
+        normalize(&mut events);
+        self.groups.push(Group {
+            name: name.into(),
+            ns_per_cycle,
+            events,
+        });
+    }
+
+    /// Appends job records, keeping the stream sorted by id.
+    pub fn add_jobs(&mut self, jobs: impl IntoIterator<Item = JobRecord>) {
+        self.jobs.extend(jobs);
+        self.jobs.sort_by_key(|j| j.id);
+    }
+
+    /// Looks up a group by name.
+    pub fn group(&self, name: &str) -> Option<&Group> {
+        self.groups.iter().find(|g| g.name == name)
+    }
+
+    /// Total events across all groups.
+    pub fn events_total(&self) -> usize {
+        self.groups.iter().map(|g| g.events.len()).sum()
+    }
+
+    /// The profile as a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        let mut root = Map::new();
+        root.insert("format", Value::Str(FORMAT_TAG.to_string()));
+        root.insert("displayTimeUnit", Value::Str("ns".to_string()));
+
+        let mut meta = Map::new();
+        for (k, v) in &self.meta {
+            meta.insert(k.clone(), Value::Str(v.clone()));
+        }
+        root.insert("meta", Value::Object(meta));
+
+        let mut groups = Vec::with_capacity(self.groups.len());
+        for g in &self.groups {
+            let mut m = Map::new();
+            m.insert("name", Value::Str(g.name.clone()));
+            m.insert("ns_per_cycle", Value::Num(g.ns_per_cycle));
+            let mut events = Vec::with_capacity(g.events.len());
+            for e in &g.events {
+                let mut ev = Map::new();
+                ev.insert("lane", Value::Str(e.lane.label()));
+                ev.insert("name", Value::Str(e.name.to_string()));
+                ev.insert("start", Value::Num(e.start as f64));
+                ev.insert("end", Value::Num(e.end as f64));
+                if let Some(job) = e.job {
+                    ev.insert("job", Value::Num(job as f64));
+                }
+                if let Some(value) = e.value {
+                    ev.insert("value", Value::Num(value as f64));
+                }
+                events.push(Value::Object(ev));
+            }
+            m.insert("events", Value::Array(events));
+            groups.push(Value::Object(m));
+        }
+        root.insert("groups", Value::Array(groups));
+
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for j in &self.jobs {
+            let mut m = Map::new();
+            m.insert("id", Value::Num(j.id as f64));
+            m.insert("kind", Value::Str(j.kind.clone()));
+            m.insert("backend", Value::Str(j.backend.clone()));
+            m.insert("queue_depth", Value::Num(j.queue_depth as f64));
+            m.insert(
+                "advised",
+                match j.advised {
+                    Some(b) => Value::Bool(b),
+                    None => Value::Null,
+                },
+            );
+            m.insert("est_ns", Value::Num(j.est_ns));
+            m.insert("est_nj", Value::Num(j.est_nj));
+            m.insert("actual_ns", Value::Num(j.actual_ns));
+            m.insert("actual_nj", Value::Num(j.actual_nj));
+            m.insert("commands", Value::Num(j.commands as f64));
+            m.insert("group", Value::Num(j.group as f64));
+            m.insert(
+                "phases",
+                match &j.phases {
+                    Some(p) => {
+                        let mut x = Map::new();
+                        x.insert("submit", Value::Num(p.submit as f64));
+                        x.insert("batch_start", Value::Num(p.batch_start as f64));
+                        x.insert("exec_start", Value::Num(p.exec_start as f64));
+                        x.insert("exec_end", Value::Num(p.exec_end as f64));
+                        x.insert("drain_end", Value::Num(p.drain_end as f64));
+                        Value::Object(x)
+                    }
+                    None => Value::Null,
+                },
+            );
+            jobs.push(Value::Object(m));
+        }
+        root.insert("jobs", Value::Array(jobs));
+
+        root.insert("traceEvents", Value::Array(self.to_chrome_events()));
+        Value::Object(root)
+    }
+
+    /// Derives the Chrome Trace Event array: per-group process
+    /// metadata, per-lane thread metadata, then `ph:"X"` slices and
+    /// `ph:"C"` counters with microsecond timestamps.
+    fn to_chrome_events(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            let pid = gi as u64 + 1;
+            out.push(chrome_meta(pid, None, "process_name", &g.name));
+            let lanes = g.lanes();
+            let tid_of = |lane: Lane| -> u64 {
+                lanes.iter().position(|&l| l == lane).unwrap_or(0) as u64 + 1
+            };
+            for &lane in &lanes {
+                out.push(chrome_meta(
+                    pid,
+                    Some(tid_of(lane)),
+                    "thread_name",
+                    &lane.label(),
+                ));
+            }
+            let us = |cycles: u64| cycles as f64 * g.ns_per_cycle / 1000.0;
+            for e in &g.events {
+                let mut m = Map::new();
+                m.insert("name", Value::Str(e.name.to_string()));
+                m.insert("pid", Value::Num(pid as f64));
+                m.insert("tid", Value::Num(tid_of(e.lane) as f64));
+                m.insert("ts", Value::Num(us(e.start)));
+                if let Some(value) = e.value {
+                    m.insert("ph", Value::Str("C".to_string()));
+                    let mut args = Map::new();
+                    args.insert(&*e.name, Value::Num(value as f64));
+                    m.insert("args", Value::Object(args));
+                } else {
+                    m.insert("ph", Value::Str("X".to_string()));
+                    m.insert("dur", Value::Num(us(e.end) - us(e.start)));
+                    if let Some(job) = e.job {
+                        let mut args = Map::new();
+                        args.insert("job", Value::Num(job as f64));
+                        m.insert("args", Value::Object(args));
+                    }
+                }
+                out.push(Value::Object(m));
+            }
+        }
+        out
+    }
+
+    /// Serializes to compact JSON. Deterministic: normalized events,
+    /// id-sorted jobs, sorted metadata keys.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("profile values are finite")
+    }
+
+    /// Serializes to indented JSON (the `--profile` report format).
+    pub fn to_json_string_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("profile values are finite")
+    }
+
+    /// Parses a profile back from JSON (reads the exact-integer
+    /// `groups`/`jobs` payload; the derived `traceEvents` are not
+    /// consulted).
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileFormatError`] on malformed JSON, a wrong format tag,
+    /// or any schema violation [`Profile::validate_value`] reports.
+    pub fn from_json_str(text: &str) -> Result<Self, ProfileFormatError> {
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| ProfileFormatError::new(format!("bad JSON: {e}")))?;
+        Self::validate_value(&value)?;
+        let root = as_object(&value, "root")?;
+
+        let mut meta = BTreeMap::new();
+        for (k, v) in as_object(root.get("meta").expect("validated"), "meta")?.iter() {
+            meta.insert(k.to_string(), v.as_str().expect("validated").to_string());
+        }
+
+        let mut groups = Vec::new();
+        for entry in as_array(root.get("groups").expect("validated"), "groups")? {
+            let g = as_object(entry, "group")?;
+            let mut events = Vec::new();
+            for ev in as_array(g.get("events").expect("validated"), "events")? {
+                let e = as_object(ev, "event")?;
+                events.push(TraceEvent {
+                    lane: Lane::from_label(str_field(e, "lane")?).expect("validated"),
+                    name: str_field(e, "name")?.to_string().into(),
+                    start: u64_field(e, "start")?,
+                    end: u64_field(e, "end")?,
+                    job: opt_u64_field(e, "job"),
+                    value: opt_u64_field(e, "value"),
+                });
+            }
+            groups.push(Group {
+                name: str_field(g, "name")?.to_string(),
+                ns_per_cycle: f64_field(g, "ns_per_cycle")?,
+                events,
+            });
+        }
+
+        let mut jobs = Vec::new();
+        for entry in as_array(root.get("jobs").expect("validated"), "jobs")? {
+            let m = as_object(entry, "job")?;
+            let advised = match m.get("advised") {
+                Some(Value::Bool(b)) => Some(*b),
+                _ => None,
+            };
+            let phases = match m.get("phases") {
+                Some(Value::Object(p)) => Some(JobPhases {
+                    submit: u64_field(p, "submit")?,
+                    batch_start: u64_field(p, "batch_start")?,
+                    exec_start: u64_field(p, "exec_start")?,
+                    exec_end: u64_field(p, "exec_end")?,
+                    drain_end: u64_field(p, "drain_end")?,
+                }),
+                _ => None,
+            };
+            jobs.push(JobRecord {
+                id: u64_field(m, "id")?,
+                kind: str_field(m, "kind")?.to_string(),
+                backend: str_field(m, "backend")?.to_string(),
+                queue_depth: u64_field(m, "queue_depth")? as u32,
+                advised,
+                est_ns: f64_field(m, "est_ns")?,
+                est_nj: f64_field(m, "est_nj")?,
+                actual_ns: f64_field(m, "actual_ns")?,
+                actual_nj: f64_field(m, "actual_nj")?,
+                commands: u64_field(m, "commands")?,
+                group: u64_field(m, "group")? as u32,
+                phases,
+            });
+        }
+
+        Ok(Profile { meta, groups, jobs })
+    }
+
+    /// Validates serialized text against the `PIMPROF01` schema
+    /// without materializing a profile (what CI runs on exported
+    /// reports).
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileFormatError`] describing the first violation.
+    pub fn validate_json(text: &str) -> Result<(), ProfileFormatError> {
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| ProfileFormatError::new(format!("bad JSON: {e}")))?;
+        Self::validate_value(&value)
+    }
+
+    /// Schema check on a parsed JSON tree: envelope tag, canonical
+    /// event ordering, interval sanity, phase monotonicity, and the
+    /// Chrome `traceEvents` shape.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileFormatError`] describing the first violation.
+    pub fn validate_value(value: &Value) -> Result<(), ProfileFormatError> {
+        let root = as_object(value, "root")?;
+        match root.get("format") {
+            Some(Value::Str(tag)) if tag == FORMAT_TAG => {}
+            Some(Value::Str(tag)) => {
+                return Err(ProfileFormatError::new(format!(
+                    "format tag `{tag}`, expected `{FORMAT_TAG}`"
+                )))
+            }
+            _ => return Err(ProfileFormatError::new("missing `format` tag")),
+        }
+        let meta = root
+            .get("meta")
+            .ok_or_else(|| ProfileFormatError::new("missing `meta`"))?;
+        for (k, v) in as_object(meta, "meta")?.iter() {
+            if v.as_str().is_none() {
+                return Err(ProfileFormatError::new(format!(
+                    "meta `{k}` is not a string"
+                )));
+            }
+        }
+
+        let groups = root
+            .get("groups")
+            .ok_or_else(|| ProfileFormatError::new("missing `groups`"))?;
+        for entry in as_array(groups, "groups")? {
+            let g = as_object(entry, "group")?;
+            let name = str_field(g, "name")?;
+            let npc = f64_field(g, "ns_per_cycle")?;
+            if !(npc.is_finite() && npc > 0.0) {
+                return Err(ProfileFormatError::new(format!(
+                    "group `{name}`: ns_per_cycle must be positive and finite"
+                )));
+            }
+            let events = g
+                .get("events")
+                .ok_or_else(|| ProfileFormatError::new(format!("group `{name}`: no events")))?;
+            let mut last_key: Option<((u8, u32), u64, u64)> = None;
+            for ev in as_array(events, "events")? {
+                let e = as_object(ev, "event")?;
+                let lane_label = str_field(e, "lane")?;
+                let lane = Lane::from_label(lane_label).ok_or_else(|| {
+                    ProfileFormatError::new(format!("group `{name}`: bad lane `{lane_label}`"))
+                })?;
+                str_field(e, "name")?;
+                let start = u64_field(e, "start")?;
+                let end = u64_field(e, "end")?;
+                if end < start {
+                    return Err(ProfileFormatError::new(format!(
+                        "group `{name}`: event on `{lane_label}` ends before it starts"
+                    )));
+                }
+                if e.get("value").is_some() && end != start {
+                    return Err(ProfileFormatError::new(format!(
+                        "group `{name}`: counter event on `{lane_label}` is not instantaneous"
+                    )));
+                }
+                let key = (lane.sort_key(), start, end);
+                if last_key.is_some_and(|prev| key < prev) {
+                    return Err(ProfileFormatError::new(format!(
+                        "group `{name}`: events not in canonical order"
+                    )));
+                }
+                last_key = Some(key);
+            }
+        }
+
+        let jobs = root
+            .get("jobs")
+            .ok_or_else(|| ProfileFormatError::new("missing `jobs`"))?;
+        let mut last_id = None;
+        for entry in as_array(jobs, "jobs")? {
+            let m = as_object(entry, "job")?;
+            let id = u64_field(m, "id")?;
+            if last_id.is_some_and(|prev| id < prev) {
+                return Err(ProfileFormatError::new("jobs not sorted by id"));
+            }
+            last_id = Some(id);
+            str_field(m, "kind")?;
+            str_field(m, "backend")?;
+            u64_field(m, "queue_depth")?;
+            match m.get("advised") {
+                Some(Value::Bool(_)) | Some(Value::Null) => {}
+                _ => {
+                    return Err(ProfileFormatError::new(format!(
+                        "job {id}: `advised` must be bool or null"
+                    )))
+                }
+            }
+            for f in ["est_ns", "est_nj", "actual_ns", "actual_nj"] {
+                f64_field(m, f)?;
+            }
+            u64_field(m, "commands")?;
+            u64_field(m, "group")?;
+            match m.get("phases") {
+                Some(Value::Null) | None => {}
+                Some(Value::Object(p)) => {
+                    let marks = [
+                        u64_field(p, "submit")?,
+                        u64_field(p, "batch_start")?,
+                        u64_field(p, "exec_start")?,
+                        u64_field(p, "exec_end")?,
+                        u64_field(p, "drain_end")?,
+                    ];
+                    if marks.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(ProfileFormatError::new(format!(
+                            "job {id}: phases not monotonic"
+                        )));
+                    }
+                }
+                _ => {
+                    return Err(ProfileFormatError::new(format!(
+                        "job {id}: `phases` must be object or null"
+                    )))
+                }
+            }
+        }
+
+        let trace_events = root
+            .get("traceEvents")
+            .ok_or_else(|| ProfileFormatError::new("missing `traceEvents`"))?;
+        for entry in as_array(trace_events, "traceEvents")? {
+            let m = as_object(entry, "traceEvent")?;
+            match str_field(m, "ph")? {
+                "M" | "X" | "C" => {}
+                other => {
+                    return Err(ProfileFormatError::new(format!(
+                        "traceEvent has unknown phase `{other}`"
+                    )))
+                }
+            }
+            u64_field(m, "pid")?;
+        }
+        Ok(())
+    }
+}
+
+fn chrome_meta(pid: u64, tid: Option<u64>, what: &str, name: &str) -> Value {
+    let mut m = Map::new();
+    m.insert("name", Value::Str(what.to_string()));
+    m.insert("ph", Value::Str("M".to_string()));
+    m.insert("pid", Value::Num(pid as f64));
+    if let Some(tid) = tid {
+        m.insert("tid", Value::Num(tid as f64));
+    }
+    let mut args = Map::new();
+    args.insert("name", Value::Str(name.to_string()));
+    m.insert("args", Value::Object(args));
+    Value::Object(m)
+}
+
+fn as_object<'a>(v: &'a Value, what: &str) -> Result<&'a Map, ProfileFormatError> {
+    match v {
+        Value::Object(m) => Ok(m),
+        _ => Err(ProfileFormatError::new(format!(
+            "`{what}` is not an object"
+        ))),
+    }
+}
+
+fn as_array<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], ProfileFormatError> {
+    match v {
+        Value::Array(items) => Ok(items),
+        _ => Err(ProfileFormatError::new(format!("`{what}` is not an array"))),
+    }
+}
+
+fn str_field<'a>(m: &'a Map, name: &str) -> Result<&'a str, ProfileFormatError> {
+    m.get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProfileFormatError::new(format!("missing string field `{name}`")))
+}
+
+fn f64_field(m: &Map, name: &str) -> Result<f64, ProfileFormatError> {
+    m.get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| ProfileFormatError::new(format!("missing number field `{name}`")))
+}
+
+fn u64_field(m: &Map, name: &str) -> Result<u64, ProfileFormatError> {
+    m.get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ProfileFormatError::new(format!("missing integer field `{name}`")))
+}
+
+fn opt_u64_field(m: &Map, name: &str) -> Option<u64> {
+    m.get(name).and_then(Value::as_u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Lane;
+
+    fn sample_profile() -> Profile {
+        let mut sink = ProfileSink::new();
+        sink.slice(Lane::Bank(1), "aap", 50, 99, Some(1));
+        sink.slice(Lane::Bank(0), "aap", 0, 49, Some(0));
+        sink.slice(Lane::Channel(0), "wr", 0, 4, Some(0));
+        sink.counter(Lane::Queue, "depth", 0, 2);
+        let mut p = Profile::new().with_meta("experiment", "unit");
+        p.add_group("ambit", 1.25, sink);
+        p.add_jobs([
+            JobRecord {
+                id: 1,
+                kind: "bitwise".into(),
+                backend: "ambit".into(),
+                queue_depth: 2,
+                advised: Some(true),
+                est_ns: 10.0,
+                est_nj: 1.0,
+                actual_ns: 12.5,
+                actual_nj: 1.25,
+                commands: 12,
+                group: 2,
+                phases: Some(JobPhases {
+                    submit: 0,
+                    batch_start: 4,
+                    exec_start: 50,
+                    exec_end: 99,
+                    drain_end: 120,
+                }),
+            },
+            JobRecord {
+                id: 0,
+                kind: "bitwise".into(),
+                backend: "ambit".into(),
+                queue_depth: 1,
+                advised: None,
+                est_ns: 8.0,
+                est_nj: 0.5,
+                actual_ns: 9.0,
+                actual_nj: 0.5,
+                commands: 10,
+                group: 2,
+                phases: None,
+            },
+        ]);
+        p
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact_and_deterministic() {
+        let p = sample_profile();
+        let text = p.to_json_string();
+        assert_eq!(text, p.to_json_string(), "export must be deterministic");
+        let back = Profile::from_json_str(&text).expect("roundtrip parses");
+        assert_eq!(back, p);
+        // Jobs got sorted, events normalized (channel before bank).
+        assert_eq!(p.jobs[0].id, 0);
+        assert_eq!(p.groups[0].events[0].lane, Lane::Queue);
+        Profile::validate_json(&text).expect("valid against schema");
+        Profile::validate_json(&p.to_json_string_pretty()).expect("pretty form also valid");
+    }
+
+    #[test]
+    fn chrome_events_cover_groups_lanes_and_slices() {
+        let p = sample_profile();
+        let value = p.to_value();
+        let root = match &value {
+            Value::Object(m) => m,
+            _ => unreachable!(),
+        };
+        let events = match root.get("traceEvents").unwrap() {
+            Value::Array(a) => a,
+            _ => unreachable!(),
+        };
+        // 1 process_name + 4 thread_names + 4 events.
+        assert_eq!(events.len(), 9);
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                Value::Object(m) => m.get("ph").and_then(Value::as_str),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 5);
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 3);
+        assert_eq!(phases.iter().filter(|p| **p == "C").count(), 1);
+        // Slice timestamps are in microseconds of the group clock.
+        let slice = events
+            .iter()
+            .filter_map(|e| match e {
+                Value::Object(m) if m.get("ph").and_then(Value::as_str) == Some("X") => Some(m),
+                _ => None,
+            })
+            .next_back()
+            .unwrap();
+        // Last X event: bank/1 aap at cycle 50, 1.25 ns/cycle.
+        assert!((slice.get("ts").unwrap().as_f64().unwrap() - 50.0 * 1.25 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let p = sample_profile();
+        let good = p.to_json_string();
+        assert!(Profile::validate_json(&good.replace(FORMAT_TAG, "PIMPROF99")).is_err());
+        assert!(Profile::validate_json(&good.replace("\"bank/0\"", "\"bunk/0\"")).is_err());
+        assert!(Profile::validate_json("{}").is_err());
+        assert!(Profile::validate_json("not json").is_err());
+        // Events out of canonical order are rejected.
+        let mut bad = sample_profile();
+        bad.groups[0].events.reverse();
+        assert!(Profile::validate_value(&bad.to_value()).is_err());
+        // Non-monotonic phases are rejected.
+        let mut bad = sample_profile();
+        if let Some(p) = &mut bad.jobs[1].phases {
+            p.exec_end = 0;
+        }
+        assert!(Profile::validate_value(&bad.to_value()).is_err());
+    }
+}

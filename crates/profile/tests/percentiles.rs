@@ -1,0 +1,97 @@
+//! Property tests for the latency analytics (the shard-merge and
+//! exact-percentile halves of the determinism story):
+//!
+//! * a [`LogHistogram`] built by merging arbitrary shard partitions —
+//!   in any shard order — is byte-identical (via `to_parts`) to one
+//!   built by recording the union sequentially;
+//! * [`percentile_exact`] agrees with the nearest-rank definition
+//!   computed from scratch against the sorted reference, for p50, p99,
+//!   and p999;
+//! * the histogram's bucket-resolution percentile never strays beyond
+//!   its advertised relative quantization error from the exact value.
+
+use pim_profile::{percentile_exact, LogHistogram};
+use proptest::prelude::*;
+
+/// Nearest-rank percentile straight from the definition: the smallest
+/// element whose 1-based rank is at least `ceil(q * n)`.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Shard-merged histograms equal sequential capture bit-for-bit,
+    /// regardless of how values are partitioned or the order shards
+    /// are absorbed.
+    #[test]
+    fn shard_merge_is_byte_identical_to_sequential(
+        values in proptest::collection::vec(0u64..1u64 << 48, 1..200),
+        shard_of in proptest::collection::vec(0usize..8, 200..201),
+        rotate in 0usize..8,
+    ) {
+        let mut seq = LogHistogram::default();
+        for &v in &values {
+            seq.record(v);
+        }
+
+        let mut shards = vec![LogHistogram::default(); 8];
+        for (i, &v) in values.iter().enumerate() {
+            shards[shard_of[i]].record(v);
+        }
+        // Absorb in an arbitrary rotation of shard order.
+        shards.rotate_left(rotate);
+        let mut merged = LogHistogram::default();
+        for s in &shards {
+            merged.merge(s);
+        }
+
+        prop_assert_eq!(&merged, &seq);
+        prop_assert_eq!(merged.to_parts(), seq.to_parts());
+        prop_assert_eq!(merged.count(), values.len() as u64);
+    }
+
+    /// `percentile_exact` is nearest-rank, verified against the
+    /// from-scratch definition at the three headline quantiles.
+    #[test]
+    fn exact_percentiles_match_the_sorted_reference(
+        mut values in proptest::collection::vec(0u64..1u64 << 40, 1..500),
+    ) {
+        values.sort_unstable();
+        for q in [0.5, 0.99, 0.999] {
+            prop_assert_eq!(percentile_exact(&values, q), oracle(&values, q));
+        }
+        // Extremes are the min and max by definition.
+        prop_assert_eq!(percentile_exact(&values, 0.0), values[0]);
+        prop_assert_eq!(percentile_exact(&values, 1.0), *values.last().unwrap());
+    }
+
+    /// The log-spaced histogram's percentile lands in the bucket that
+    /// contains the exact percentile: its answer (the bucket's low
+    /// bound) is never above the exact value and never below it by
+    /// more than the bucket's advertised relative error.
+    #[test]
+    fn histogram_percentile_brackets_the_exact_value(
+        mut values in proptest::collection::vec(0u64..1u64 << 40, 1..300),
+    ) {
+        let mut h = LogHistogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.99, 0.999] {
+            let exact = percentile_exact(&values, q);
+            let approx = h.percentile(q);
+            prop_assert!(approx <= exact, "q={q}: {approx} > exact {exact}");
+            // One sub-bucket of slack: low bound of the containing bucket.
+            let err = (exact - approx) as f64;
+            let bound = exact as f64 / 32.0 + 1.0;
+            prop_assert!(err <= bound, "q={q}: err {err} > bound {bound}");
+        }
+    }
+}

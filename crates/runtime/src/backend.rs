@@ -6,6 +6,7 @@ use crate::job::{Completion, Job, JobId};
 use pim_core::SiteModel;
 use pim_dram::{DramSpec, TraceRecord};
 use pim_energy::{Component, EnergyBreakdown};
+use pim_profile::{JobPhases, ProfileSink};
 use pim_telemetry::{ExecSpan, TelemetrySink};
 use std::collections::VecDeque;
 
@@ -151,9 +152,42 @@ pub trait Backend {
     /// Takes the engine-clock execute windows recorded since the last
     /// call, as `(job, span)` pairs — only backends with a
     /// cycle-domain device produce any. Recording happens only while
-    /// telemetry is enabled.
+    /// telemetry or profiling is enabled.
     fn take_exec_spans(&mut self) -> Vec<(JobId, ExecSpan)> {
         Vec::new()
+    }
+
+    /// Enables or disables cycle-domain profiling-event capture on the
+    /// engine underneath (no-op for backends with no cycle domain).
+    /// Disabled costs one branch per event site.
+    fn set_profile(&mut self, _enabled: bool) {}
+
+    /// Takes the engine's captured profiling events (`None` when
+    /// unsupported or disabled); capture stays enabled after.
+    fn take_profile(&mut self) -> Option<ProfileSink> {
+        None
+    }
+
+    /// Nanoseconds per cycle of this backend's profiling clock, used to
+    /// place its timeline group on the wall-clock axis. `None` for
+    /// backends with no cycle domain.
+    fn profile_ns_per_cycle(&self) -> Option<f64> {
+        None
+    }
+
+    /// Takes the per-job lifecycle phase boundaries recorded since the
+    /// last call. Only backends with a cycle domain record any, and
+    /// only while profiling is enabled.
+    fn take_job_phases(&mut self) -> Vec<(JobId, JobPhases)> {
+        Vec::new()
+    }
+
+    /// Reads **and resets** the submission-queue high-water mark, so a
+    /// caller sampling at interval boundaries sees per-window peaks
+    /// instead of a lifetime maximum. The default (for backends without
+    /// a resettable queue) falls back to the lifetime value.
+    fn take_queue_high_water(&mut self) -> usize {
+        self.queue_high_water()
     }
 }
 
@@ -197,6 +231,13 @@ impl JobQueue {
     /// Deepest the queue has ever been.
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Reads and resets the high-water mark. The new window restarts at
+    /// the *current* depth, not zero — jobs still queued are already
+    /// "the deepest the queue has been" in the window that starts now.
+    pub fn take_high_water(&mut self) -> usize {
+        std::mem::replace(&mut self.high_water, self.queue.len())
     }
 
     /// Cumulative capacity rejections (each one surfaced to the caller
@@ -281,5 +322,29 @@ mod tests {
         // exceeded the earlier peak.
         assert_eq!(q.high_water(), 2);
         assert_eq!(q.rejections(), 1);
+    }
+
+    #[test]
+    fn take_high_water_resets_to_current_depth() {
+        let mut q = JobQueue::new(8);
+        let job = || Job::RowInit {
+            bits: 64,
+            ones: false,
+        };
+        for id in 0..3 {
+            q.push("b", id, job()).unwrap();
+        }
+        q.take_batch();
+        q.push("b", 3, job()).unwrap();
+        // First window saw depth 3; the mark resets to the current
+        // depth (1), not zero — the queued job still counts.
+        assert_eq!(q.take_high_water(), 3);
+        assert_eq!(q.high_water(), 1);
+        q.push("b", 4, job()).unwrap();
+        assert_eq!(q.take_high_water(), 2);
+        // An empty queue restarts the window at zero.
+        q.take_batch();
+        q.take_high_water();
+        assert_eq!(q.high_water(), 0);
     }
 }

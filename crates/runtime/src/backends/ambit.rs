@@ -34,8 +34,10 @@ use pim_ambit::{AmbitConfig, AmbitError, AmbitSystem};
 use pim_core::SiteModel;
 use pim_dram::CommandKind;
 use pim_dram::{CommandCounts, DramSpec, TraceRecord};
+use pim_profile::{Cycle, JobPhases, ProfileSink};
 use pim_telemetry::{ExecSpan, TelemetrySink, POW2_BOUNDS};
 use pim_workloads::{BitSlicedIntVec, BitVec, BulkOp};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Default submission-queue bound for engine-backed backends.
@@ -54,9 +56,15 @@ pub struct AmbitBackend {
     coalesce: bool,
     total_banks: usize,
     row_bits: usize,
-    /// Engine-clock execute windows recorded while telemetry is on,
-    /// drained by [`Backend::take_exec_spans`].
+    /// Engine-clock execute windows recorded while telemetry or
+    /// profiling is on, drained by [`Backend::take_exec_spans`].
     exec_spans: Vec<(JobId, ExecSpan)>,
+    /// Engine clock at each pending job's submit, recorded while
+    /// profiling is on (queue-wait attribution).
+    submit_clocks: BTreeMap<JobId, Cycle>,
+    /// Per-job lifecycle phases recorded while profiling is on, drained
+    /// by [`Backend::take_job_phases`].
+    job_phases: Vec<(JobId, JobPhases)>,
 }
 
 impl AmbitBackend {
@@ -88,6 +96,8 @@ impl AmbitBackend {
             total_banks,
             row_bits,
             exec_spans: Vec::new(),
+            submit_clocks: BTreeMap::new(),
+            job_phases: Vec::new(),
         }
     }
 
@@ -115,6 +125,9 @@ impl AmbitBackend {
     /// Executes one coalesced group of same-`op` single-step jobs whose
     /// chunk total fits the bank count. `members` are `(id, a, b)`.
     fn run_group(&mut self, op: BulkOp, members: &[GroupMember]) -> Result<(), RuntimeError> {
+        let profile_on = self.sys.profile_enabled();
+        // Queue wait ends and staging (operand placement) begins here.
+        let batch_start = self.sys.clock();
         let row_words = self.row_bits / 64;
         // Row-aligned (hence word-aligned) chunk offset of each member.
         let mut offsets = Vec::with_capacity(members.len());
@@ -174,6 +187,9 @@ impl AmbitBackend {
             self.sys.free(bv);
         }
         self.sys.free(out_vec);
+        // Results are back on the host; the batch closes here for every
+        // member (read-back is a whole-batch operation).
+        let drain_end = self.sys.clock();
 
         if let Some(tel) = self.sys.telemetry_mut() {
             tel.count("coalesce.groups", 0, 1);
@@ -209,13 +225,26 @@ impl AmbitBackend {
                 debug_assert_eq!(n % total_chunks as u64, 0, "homogeneous per-chunk commands");
                 commands.record_n(kind, (n / total_chunks as u64) * chunks as u64);
             }
-            if telemetry_on {
+            if telemetry_on || profile_on {
                 self.exec_spans.push((
                     *id,
                     ExecSpan {
                         start,
                         end,
                         group: members.len() as u32,
+                    },
+                ));
+            }
+            if profile_on {
+                let submit = self.submit_clocks.remove(id).unwrap_or(batch_start);
+                self.job_phases.push((
+                    *id,
+                    JobPhases {
+                        submit,
+                        batch_start,
+                        exec_start: start,
+                        exec_end: end,
+                        drain_end,
                     },
                 ));
             }
@@ -238,6 +267,7 @@ impl AmbitBackend {
     /// Executes one job alone (the non-coalescible path).
     fn run_single(&mut self, id: JobId, job: Job) -> Result<(), RuntimeError> {
         let telemetry_on = self.sys.telemetry_enabled();
+        let profile_on = self.sys.profile_enabled();
         let start = self.sys.clock();
         let (output, report) = match job {
             Job::Bitwise { plan, inputs } => {
@@ -295,13 +325,30 @@ impl AmbitBackend {
                 })
             }
         };
-        if telemetry_on {
+        let end = self.sys.clock();
+        if telemetry_on || profile_on {
             self.exec_spans.push((
                 id,
                 ExecSpan {
                     start,
-                    end: self.sys.clock(),
+                    end,
                     group: 1,
+                },
+            ));
+        }
+        if profile_on {
+            // A solo run stages inside its own execute window (operand
+            // writes are part of the plan), so batch/stage collapse onto
+            // the window edges.
+            let submit = self.submit_clocks.remove(&id).unwrap_or(start);
+            self.job_phases.push((
+                id,
+                JobPhases {
+                    submit,
+                    batch_start: start,
+                    exec_start: start,
+                    exec_end: end,
+                    drain_end: end,
                 },
             ));
         }
@@ -422,7 +469,11 @@ impl Backend for AmbitBackend {
                 job: job.kind(),
             });
         }
-        self.queue.push(&self.name.clone(), id, job)
+        self.queue.push(&self.name.clone(), id, job)?;
+        if self.sys.profile_enabled() {
+            self.submit_clocks.insert(id, self.sys.clock());
+        }
+        Ok(())
     }
 
     fn drain(&mut self) -> Result<(), RuntimeError> {
@@ -499,5 +550,27 @@ impl Backend for AmbitBackend {
 
     fn take_exec_spans(&mut self) -> Vec<(JobId, ExecSpan)> {
         std::mem::take(&mut self.exec_spans)
+    }
+
+    fn set_profile(&mut self, enabled: bool) {
+        self.sys.set_profile(enabled);
+        self.submit_clocks.clear();
+        self.job_phases.clear();
+    }
+
+    fn take_profile(&mut self) -> Option<ProfileSink> {
+        self.sys.take_profile()
+    }
+
+    fn profile_ns_per_cycle(&self) -> Option<f64> {
+        Some(self.sys.spec().timing.cycles_to_ns(1))
+    }
+
+    fn take_job_phases(&mut self) -> Vec<(JobId, JobPhases)> {
+        std::mem::take(&mut self.job_phases)
+    }
+
+    fn take_queue_high_water(&mut self) -> usize {
+        self.queue.take_high_water()
     }
 }

@@ -275,6 +275,10 @@ impl Backend for CpuBackend {
     fn poll(&mut self) -> Vec<Completion> {
         self.queue.poll()
     }
+
+    fn take_queue_high_water(&mut self) -> usize {
+        self.queue.take_high_water()
+    }
 }
 
 /// A single-op bulk-bitwise roofline backend over any `bulk_bitwise`
@@ -403,5 +407,9 @@ impl<M> Backend for BitwiseRooflineBackend<M> {
 
     fn poll(&mut self) -> Vec<Completion> {
         self.queue.poll()
+    }
+
+    fn take_queue_high_water(&mut self) -> usize {
+        self.queue.take_high_water()
     }
 }

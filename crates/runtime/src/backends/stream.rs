@@ -193,4 +193,8 @@ impl Backend for StreamSiteBackend {
     fn poll(&mut self) -> Vec<Completion> {
         self.queue.poll()
     }
+
+    fn take_queue_high_water(&mut self) -> usize {
+        self.queue.take_high_water()
+    }
 }

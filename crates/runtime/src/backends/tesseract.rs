@@ -7,8 +7,10 @@ use crate::backends::ambit::DEFAULT_CAPACITY;
 use crate::error::RuntimeError;
 use crate::job::{Completion, GraphRun, Job, JobId, JobOutput, JobReport};
 use pim_core::SiteModel;
+use pim_profile::{Cycle, JobPhases, ProfileSink};
 use pim_telemetry::TelemetrySink;
 use pim_tesseract::{TesseractConfig, TesseractSim};
+use std::collections::BTreeMap;
 
 /// [`TesseractSim`] behind the [`Backend`] trait.
 #[derive(Debug)]
@@ -18,6 +20,17 @@ pub struct TesseractBackend {
     site: SiteModel,
     queue: JobQueue,
     telemetry: Option<TelemetrySink>,
+    /// Profiling events on the synthesized picosecond clock (see
+    /// [`pim_tesseract::profile`]); `None` = disabled.
+    profile: Option<ProfileSink>,
+    /// The synthesized clock: advances by each job's superstep
+    /// waterfall as it executes (jobs run back-to-back).
+    clock: Cycle,
+    /// Clock at each pending job's submit, recorded while profiling is
+    /// on.
+    submit_clocks: BTreeMap<JobId, Cycle>,
+    /// Per-job lifecycle phases recorded while profiling is on.
+    job_phases: Vec<(JobId, JobPhases)>,
 }
 
 impl TesseractBackend {
@@ -46,6 +59,10 @@ impl TesseractBackend {
             site,
             queue: JobQueue::new(capacity),
             telemetry: None,
+            profile: None,
+            clock: 0,
+            submit_clocks: BTreeMap::new(),
+            job_phases: Vec::new(),
         }
     }
 
@@ -103,10 +120,17 @@ impl Backend for TesseractBackend {
                 job: job.kind(),
             });
         }
-        self.queue.push(&self.name.clone(), id, job)
+        self.queue.push(&self.name.clone(), id, job)?;
+        if self.profile.is_some() {
+            self.submit_clocks.insert(id, self.clock);
+        }
+        Ok(())
     }
 
     fn drain(&mut self) -> Result<(), RuntimeError> {
+        // One batch boundary for the whole drain pass: every queued
+        // job's wait ends when the pass starts picking work up.
+        let batch_start = self.clock;
         for (id, job) in self.queue.take_batch() {
             let Job::GraphBatch { kernel, graph } = job else {
                 unreachable!("submit rejects foreign job kinds");
@@ -114,6 +138,29 @@ impl Backend for TesseractBackend {
             let (output, trace, report) = self.sim.run(kernel, &graph);
             if let Some(sink) = &mut self.telemetry {
                 pim_tesseract::telemetry::record_execution(&trace, sink);
+            }
+            if let Some(sink) = self.profile.as_mut() {
+                let exec_start = self.clock;
+                self.clock = pim_tesseract::profile::record_execution(
+                    &trace,
+                    self.sim.config(),
+                    exec_start,
+                    Some(id),
+                    sink,
+                );
+                // The kernel's output lives in the vaults when it
+                // converges — there is no separate read-back phase.
+                let submit = self.submit_clocks.remove(&id).unwrap_or(batch_start);
+                self.job_phases.push((
+                    id,
+                    JobPhases {
+                        submit,
+                        batch_start,
+                        exec_start,
+                        exec_end: self.clock,
+                        drain_end: self.clock,
+                    },
+                ));
             }
             self.queue.finish(Completion {
                 id,
@@ -140,5 +187,30 @@ impl Backend for TesseractBackend {
 
     fn take_telemetry(&mut self) -> Option<TelemetrySink> {
         self.telemetry.as_mut().map(std::mem::take)
+    }
+
+    fn set_profile(&mut self, enabled: bool) {
+        self.profile = enabled.then(ProfileSink::new);
+        self.clock = 0;
+        self.submit_clocks.clear();
+        self.job_phases.clear();
+    }
+
+    fn take_profile(&mut self) -> Option<ProfileSink> {
+        // The clock keeps running across takes so successive windows
+        // stay on one monotonic timeline.
+        self.profile.as_mut().map(std::mem::take)
+    }
+
+    fn profile_ns_per_cycle(&self) -> Option<f64> {
+        Some(pim_tesseract::profile::NS_PER_CYCLE)
+    }
+
+    fn take_job_phases(&mut self) -> Vec<(JobId, JobPhases)> {
+        std::mem::take(&mut self.job_phases)
+    }
+
+    fn take_queue_high_water(&mut self) -> usize {
+        self.queue.take_high_water()
     }
 }

@@ -7,7 +7,8 @@ use crate::error::RuntimeError;
 use crate::job::{Completion, Job, JobId};
 use pim_core::{decide, Objective, OffloadDecision};
 use pim_dram::{DramSpec, TraceRecord};
-use pim_telemetry::{JobSpan, TelemetrySink};
+use pim_profile::{JobPhases, JobRecord, Lane, Profile};
+use pim_telemetry::{ExecSpan, JobSpan, TelemetrySink};
 use std::collections::BTreeMap;
 
 /// Where a submitted job should run.
@@ -57,6 +58,14 @@ pub struct BackendStats {
     pub completed: u64,
 }
 
+/// Runtime-level profiling capture: job records opened at submit,
+/// closed at drain, and drained by [`Runtime::take_profile`].
+#[derive(Debug, Default)]
+struct ProfileCapture {
+    pending: BTreeMap<JobId, JobRecord>,
+    finished: Vec<JobRecord>,
+}
+
 /// The batching job runtime over a fleet of [`Backend`]s.
 #[derive(Default)]
 pub struct Runtime {
@@ -68,6 +77,9 @@ pub struct Runtime {
     telemetry: Option<TelemetrySink>,
     /// Spans opened at submit, closed (moved into `telemetry`) at drain.
     pending_spans: BTreeMap<JobId, JobSpan>,
+    /// Cycle-domain profiling capture; `None` means disabled and every
+    /// hot path reduces to one branch.
+    profile: Option<ProfileCapture>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -241,25 +253,49 @@ impl Runtime {
         let decision = self.place(&job, &placement)?;
         let idx = self.backend_index(&decision.backend)?;
         let id = self.next_id;
-        // Open the job's telemetry span before `job` moves into the queue;
-        // the estimate recorded here is exactly what the advisor priced.
+        // Open the job's telemetry span and profiling record before `job`
+        // moves into the queue; the estimate recorded here is exactly
+        // what the advisor priced.
+        let est = if self.telemetry.is_some() || self.profile.is_some() {
+            self.backends[idx].estimate(&job).ok()
+        } else {
+            None
+        };
+        let advised = match &placement {
+            Placement::Advised(_) => Some(decision.advised.is_some()),
+            Placement::Forced(_) => None,
+        };
         let span = if self.telemetry.is_some() {
-            let est = self.backends[idx].estimate(&job).ok();
             Some(JobSpan {
                 id,
                 kind: job.kind().to_string(),
                 backend: decision.backend.clone(),
                 queue_depth: 0, // filled in once the push succeeds
-                advised: match &placement {
-                    Placement::Advised(_) => Some(decision.advised.is_some()),
-                    Placement::Forced(_) => None,
-                },
+                advised,
                 est_ns: est.as_ref().map_or(0.0, |e| e.ns),
                 est_nj: est.as_ref().map_or(0.0, |e| e.energy_nj()),
                 actual_ns: 0.0,
                 actual_nj: 0.0,
                 commands: 0,
                 exec: None,
+            })
+        } else {
+            None
+        };
+        let record = if self.profile.is_some() {
+            Some(JobRecord {
+                id,
+                kind: job.kind().to_string(),
+                backend: decision.backend.clone(),
+                queue_depth: 0, // filled in once the push succeeds
+                advised,
+                est_ns: est.as_ref().map_or(0.0, |e| e.ns),
+                est_nj: est.as_ref().map_or(0.0, |e| e.energy_nj()),
+                actual_ns: 0.0,
+                actual_nj: 0.0,
+                commands: 0,
+                group: 1,
+                phases: None,
             })
         } else {
             None
@@ -271,13 +307,18 @@ impl Runtime {
             return Err(e);
         }
         self.next_id += 1;
+        let depth = self.backends[idx].queue_depth();
         if let Some(mut span) = span {
-            let depth = self.backends[idx].queue_depth();
             span.queue_depth = depth as u32;
             let tel = self.telemetry.as_mut().expect("telemetry opened the span");
             tel.count("runtime.jobs", idx as u32, 1);
             tel.gauge("runtime.queue_depth", idx as u32, depth as u64);
             self.pending_spans.insert(id, span);
+        }
+        if let Some(mut record) = record {
+            record.queue_depth = depth as u32;
+            let prof = self.profile.as_mut().expect("profiling opened the record");
+            prof.pending.insert(id, record);
         }
         self.decisions.push((id, decision));
         Ok(id)
@@ -302,40 +343,60 @@ impl Runtime {
         }
         let mut done: Vec<Completion> = self.backends.iter_mut().flat_map(|b| b.poll()).collect();
         done.sort_by_key(|c| c.id);
-        if self.telemetry.is_some() {
-            self.close_spans(&done);
+        if self.telemetry.is_some() || self.profile.is_some() {
+            self.close_jobs(&done);
         }
         Ok(done)
     }
 
-    /// Closes each completed job's pending span — measured time, energy,
-    /// command count, and the engine-clock execute window — and attributes
-    /// its energy breakdown to per-backend `energy.*` series. Completions
-    /// arrive sorted by id and spans are filed in that order, so the span
-    /// stream is independent of backend iteration and thread count.
-    fn close_spans(&mut self, done: &[Completion]) {
-        let mut exec = BTreeMap::new();
+    /// Closes each completed job's pending telemetry span and profiling
+    /// record — measured time, energy, command count, the engine-clock
+    /// execute window, and (for profiling) the lifecycle phase
+    /// boundaries — and attributes its energy breakdown to per-backend
+    /// `energy.*` series. Completions arrive sorted by id and spans are
+    /// filed in that order, so the span stream is independent of backend
+    /// iteration and thread count.
+    fn close_jobs(&mut self, done: &[Completion]) {
+        let mut exec: BTreeMap<JobId, ExecSpan> = BTreeMap::new();
         for b in &mut self.backends {
             exec.extend(b.take_exec_spans());
         }
+        let mut phases: BTreeMap<JobId, JobPhases> = BTreeMap::new();
+        if self.profile.is_some() {
+            for b in &mut self.backends {
+                phases.extend(b.take_job_phases());
+            }
+        }
         let names: Vec<String> = self.backends.iter().map(|b| b.name().to_string()).collect();
-        let Some(tel) = &mut self.telemetry else {
-            return;
-        };
-        for c in done {
-            let Some(mut span) = self.pending_spans.remove(&c.id) else {
-                continue;
-            };
-            span.actual_ns = c.report.ns;
-            span.actual_nj = c.report.energy.total_nj();
-            span.commands = c.report.commands.as_ref().map_or(0, |cc| cc.total());
-            span.exec = exec.remove(&c.id);
-            let idx = names
-                .iter()
-                .position(|n| *n == c.report.backend)
-                .unwrap_or(0) as u32;
-            c.report.energy.record_telemetry(tel, idx);
-            tel.record_span(span);
+        if let Some(tel) = &mut self.telemetry {
+            for c in done {
+                let Some(mut span) = self.pending_spans.remove(&c.id) else {
+                    continue;
+                };
+                span.actual_ns = c.report.ns;
+                span.actual_nj = c.report.energy.total_nj();
+                span.commands = c.report.commands.as_ref().map_or(0, |cc| cc.total());
+                span.exec = exec.get(&c.id).copied();
+                let idx = names
+                    .iter()
+                    .position(|n| *n == c.report.backend)
+                    .unwrap_or(0) as u32;
+                c.report.energy.record_telemetry(tel, idx);
+                tel.record_span(span);
+            }
+        }
+        if let Some(prof) = &mut self.profile {
+            for c in done {
+                let Some(mut record) = prof.pending.remove(&c.id) else {
+                    continue;
+                };
+                record.actual_ns = c.report.ns;
+                record.actual_nj = c.report.energy.total_nj();
+                record.commands = c.report.commands.as_ref().map_or(0, |cc| cc.total());
+                record.group = exec.get(&c.id).map_or(1, |s| s.group);
+                record.phases = phases.get(&c.id).copied();
+                prof.finished.push(record);
+            }
         }
     }
 
@@ -367,6 +428,26 @@ impl Runtime {
                 channel_domains: b.channel_domains(),
                 queue_depth: b.queue_depth(),
                 queue_high_water: b.queue_high_water(),
+                rejections: b.rejections(),
+                submitted: b.submitted(),
+                completed: b.completed(),
+            })
+            .collect()
+    }
+
+    /// Like [`Runtime::stats`], but reads **and resets** each backend's
+    /// queue high-water mark, so successive calls report per-window
+    /// peaks instead of a lifetime maximum (the other counters stay
+    /// cumulative).
+    pub fn stats_window(&mut self) -> Vec<BackendStats> {
+        self.backends
+            .iter_mut()
+            .map(|b| BackendStats {
+                name: b.name().to_string(),
+                capacity: b.capacity(),
+                channel_domains: b.channel_domains(),
+                queue_depth: b.queue_depth(),
+                queue_high_water: b.take_queue_high_water(),
                 rejections: b.rejections(),
                 submitted: b.submitted(),
                 completed: b.completed(),
@@ -406,6 +487,70 @@ impl Runtime {
             }
         }
         Some(sink)
+    }
+
+    /// Enables or disables cycle-domain profiling capture: per-job
+    /// lifecycle records (submit → queue-wait → batch → execute →
+    /// drain) at the runtime level, plus every backend's engine-level
+    /// timeline sink. Disabled (the default) costs one branch per
+    /// submit/drain — the datapath bench gates this.
+    pub fn set_profile(&mut self, enabled: bool) {
+        self.profile = enabled.then(ProfileCapture::default);
+        for b in &mut self.backends {
+            b.set_profile(enabled);
+        }
+    }
+
+    /// Whether profiling capture is on.
+    pub fn profile_enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Takes everything profiled since capture was enabled (or last
+    /// taken) as one [`Profile`]: a timeline group per backend that
+    /// produced events — engine lanes (banks, channels, vaults) from
+    /// the backend's own sink, plus runtime `queue`/`jobs` lanes
+    /// synthesized from the closed job records — and the records
+    /// themselves in the `jobs` array. Returns `None` while profiling
+    /// is disabled; capture stays enabled after. Jobs submitted but not
+    /// yet drained stay pending for the next take.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        let jobs = std::mem::take(&mut self.profile.as_mut()?.finished);
+        let mut profile = Profile::new().with_meta("source", "pim-runtime");
+        for b in &mut self.backends {
+            let mut sink = b.take_profile().unwrap_or_default();
+            let name = b.name().to_string();
+            for record in jobs.iter().filter(|r| r.backend == name) {
+                if let Some(p) = record.phases {
+                    sink.counter(
+                        Lane::Queue,
+                        "depth",
+                        p.submit,
+                        u64::from(record.queue_depth),
+                    );
+                    sink.slice(
+                        Lane::Queue,
+                        "wait",
+                        p.submit,
+                        p.batch_start,
+                        Some(record.id),
+                    );
+                    sink.slice(
+                        Lane::Jobs,
+                        record.kind.clone(),
+                        p.submit,
+                        p.drain_end,
+                        Some(record.id),
+                    );
+                }
+            }
+            if !sink.is_empty() {
+                let ns_per_cycle = b.profile_ns_per_cycle().unwrap_or(1.0);
+                profile.add_group(name, ns_per_cycle, sink);
+            }
+        }
+        profile.add_jobs(jobs);
+        Some(profile)
     }
 
     /// Takes every captured command trace as `(backend, spec, records)`

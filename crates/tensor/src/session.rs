@@ -142,6 +142,19 @@ impl TensorSession {
         Some(sink)
     }
 
+    /// Enables or disables cycle-domain profiling on the session's
+    /// runtime (queue/jobs lanes, device command lanes, per-job phase
+    /// records).
+    pub fn set_profile(&mut self, enabled: bool) {
+        self.runtime.set_profile(enabled);
+    }
+
+    /// Takes the `PIMPROF01` profile captured since profiling was
+    /// enabled. `None` while disabled.
+    pub fn take_profile(&mut self) -> Option<pim_profile::Profile> {
+        self.runtime.take_profile()
+    }
+
     /// Takes (and resets) the modeled cost accumulated since the last
     /// call: total backend-reported nanoseconds and nanojoules over
     /// every job the session drained. Nanoseconds sum each job's own

@@ -33,6 +33,7 @@ pub mod config;
 pub mod engine;
 pub mod host_baseline;
 pub mod partition;
+pub mod profile;
 pub mod sim;
 pub mod telemetry;
 pub mod timing;
